@@ -1,0 +1,91 @@
+// Ablation B: sensitivity of the speculative decoder to the typical-
+// acceptance hyper-parameters (epsilon, delta of Eq. 1), the number of
+// draft heads, and the candidate count — reporting mean accepted tokens
+// per step and modeled speedup for the Ours-trained model (design choices
+// called out in DESIGN.md).
+#include "bench_common.hpp"
+
+using namespace vsd;
+using namespace vsd::bench;
+
+namespace {
+
+double run_config(const eval::TrainedSystem& sys,
+                  const std::vector<std::string>& prompts, int n_prompts,
+                  const spec::DecodeConfig& base_cfg, double* mean_accept) {
+  Rng rng(9);
+  double sum_accept = 0.0;
+  double steps = 0.0;
+  double tokens = 0.0;
+  int outputs = 0;
+  for (int i = 0; i < n_prompts; ++i) {
+    spec::DecodeConfig cfg = base_cfg;
+    const spec::DecodeResult r = eval::generate(sys, prompts[static_cast<std::size_t>(i)],
+                                                cfg, rng);
+    if (r.steps == 0) continue;
+    sum_accept += r.mean_accepted();
+    steps += r.steps;
+    tokens += static_cast<double>(r.ids.size());
+    ++outputs;
+  }
+  if (mean_accept != nullptr && outputs > 0) *mean_accept = sum_accept / outputs;
+  return steps > 0 ? tokens / steps : 0.0;  // == modeled speedup vs NTP
+}
+
+}  // namespace
+
+int main() {
+  const Scale scale = Scale::from_env();
+  scale.print("Ablation — typical acceptance / head count / candidates");
+  const Workbench wb = Workbench::build(scale);
+  const eval::TrainedSystem sys =
+      wb.train(spec::Method::Ours, /*enc_dec=*/false, 1.0, scale);
+  const auto prompts = eval::make_speed_prompts(scale.prompts, scale.seed + 17);
+
+  spec::DecodeConfig base;
+  base.max_new_tokens = 180;
+  base.temperature = 0.8f;
+
+  std::printf("\n-- epsilon sweep (delta=%.2f, heads=%d) --\n", base.acceptance.delta,
+              base.num_heads);
+  std::printf("%8s %14s %16s\n", "epsilon", "tok/step", "modeled speedup");
+  for (const float eps : {0.02f, 0.05f, 0.09f, 0.2f, 0.4f}) {
+    spec::DecodeConfig cfg = base;
+    cfg.acceptance.epsilon = eps;
+    double accept = 0.0;
+    const double sp = run_config(sys, prompts, scale.prompts, cfg, &accept);
+    std::printf("%8.2f %14.2f %15.2fx\n", eps, accept, sp);
+  }
+
+  std::printf("\n-- delta sweep (epsilon=0.09, heads=%d) --\n", base.num_heads);
+  std::printf("%8s %14s %16s\n", "delta", "tok/step", "modeled speedup");
+  for (const float delta : {0.1f, 0.3f, 0.6f, 0.9f}) {
+    spec::DecodeConfig cfg = base;
+    cfg.acceptance.delta = delta;
+    double accept = 0.0;
+    const double sp = run_config(sys, prompts, scale.prompts, cfg, &accept);
+    std::printf("%8.2f %14.2f %15.2fx\n", delta, accept, sp);
+  }
+
+  std::printf("\n-- head-count sweep --\n");
+  std::printf("%8s %14s %16s\n", "heads", "tok/step", "modeled speedup");
+  for (const int heads : {1, 2, 4, 6, 8, 10}) {
+    spec::DecodeConfig cfg = base;
+    cfg.num_heads = heads;
+    double accept = 0.0;
+    const double sp = run_config(sys, prompts, scale.prompts, cfg, &accept);
+    std::printf("%8d %14.2f %15.2fx\n", heads, accept, sp);
+  }
+
+  std::printf("\n-- candidate-count sweep (greedy) --\n");
+  std::printf("%8s %14s %16s\n", "cands", "tok/step", "modeled speedup");
+  for (const int cands : {1, 2, 3, 5}) {
+    spec::DecodeConfig cfg = base;
+    cfg.temperature = 0.0f;
+    cfg.num_candidates = cands;
+    double accept = 0.0;
+    const double sp = run_config(sys, prompts, scale.prompts, cfg, &accept);
+    std::printf("%8d %14.2f %15.2fx\n", cands, accept, sp);
+  }
+  return 0;
+}

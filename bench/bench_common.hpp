@@ -1,0 +1,91 @@
+// Shared plumbing for the experiment benches: builds the dataset and
+// tokenizer once, trains the three method variants, and provides printing
+// helpers.  Every bench accepts environment knobs so the same binary can
+// run as a quick smoke test or at closer-to-paper scale:
+//   VSD_ITEMS     full-dataset item count          (default 96)
+//   VSD_EPOCHS    training epochs                  (default 3)
+//   VSD_PROBLEMS  problems per benchmark           (default 6)
+//   VSD_SAMPLES   samples per prompt (n in pass@k) (default 6)
+//   VSD_PROMPTS   speed-eval prompts               (default 16)
+//   VSD_SEED      global seed                      (default 1)
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "eval/harness.hpp"
+
+namespace vsd::bench {
+
+struct Scale {
+  int items;
+  int epochs;
+  int problems;
+  int samples;
+  int prompts;
+  std::uint64_t seed;
+
+  static Scale from_env() {
+    Scale s;
+    s.items = eval::env_int("VSD_ITEMS", 32);
+    s.epochs = eval::env_int("VSD_EPOCHS", 20);
+    s.problems = eval::env_int("VSD_PROBLEMS", 6);
+    s.samples = eval::env_int("VSD_SAMPLES", 6);
+    s.prompts = eval::env_int("VSD_PROMPTS", 12);
+    s.seed = static_cast<std::uint64_t>(eval::env_int("VSD_SEED", 1));
+    return s;
+  }
+
+  void print(const char* bench_name) const {
+    std::printf("# %s — scaled reproduction (CPU)\n", bench_name);
+    std::printf("# scale: items=%d epochs=%d problems=%d samples=%d prompts=%d seed=%llu\n",
+                items, epochs, problems, samples, prompts,
+                static_cast<unsigned long long>(seed));
+    std::printf("# (set VSD_ITEMS/VSD_EPOCHS/... to rescale; see bench_common.hpp)\n\n");
+  }
+};
+
+struct Workbench {
+  data::Dataset dataset;
+  text::Tokenizer tokenizer = text::Tokenizer::byte_fallback();
+
+  static Workbench build(const Scale& s) {
+    Workbench w;
+    data::DatasetConfig dcfg;
+    dcfg.target_items = s.items;
+    dcfg.seed = s.seed;
+    w.dataset = data::build_dataset(dcfg);
+    w.tokenizer = text::Tokenizer::train(data::tokenizer_corpus(w.dataset),
+                                         {.vocab_size = 384});
+    std::printf("# dataset: %zu cleaned items (raw files=%d, dropped: dup=%d syntax=%d comment=%d)\n",
+                w.dataset.items.size(), w.dataset.refine_stats.raw_files,
+                w.dataset.refine_stats.dropped_duplicates,
+                w.dataset.refine_stats.dropped_syntax,
+                w.dataset.refine_stats.dropped_comment_only);
+    return w;
+  }
+
+  eval::TrainedSystem train(spec::Method method, bool encoder_decoder,
+                            double fraction, const Scale& s) const {
+    eval::SystemConfig cfg;
+    cfg.method = method;
+    cfg.encoder_decoder = encoder_decoder;
+    cfg.fraction = fraction;
+    cfg.epochs = s.epochs;
+    cfg.seed = s.seed;
+    std::printf("# training %-6s (%s, fraction %.2f) ...\n", spec::method_name(method),
+                encoder_decoder ? "enc-dec" : "dec-only", fraction);
+    std::fflush(stdout);
+    eval::TrainedSystem sys = eval::train_system(cfg, dataset, tokenizer);
+    std::printf("#   %d items, %d steps, %.1fs, loss %.3f -> %.3f\n",
+                sys.train_items, sys.train_stats.steps, sys.train_stats.seconds,
+                sys.train_stats.first_loss, sys.train_stats.final_loss);
+    std::fflush(stdout);
+    return sys;
+  }
+};
+
+inline double pct(double v) { return 100.0 * v; }
+
+}  // namespace vsd::bench

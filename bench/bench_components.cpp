@@ -1,0 +1,147 @@
+// Component micro-benchmarks (google-benchmark): the substrates every
+// experiment rests on — lexer, parser, fragment marking, simulator,
+// tokenizer, tensor kernels, and single-step model inference.
+#include <benchmark/benchmark.h>
+
+#include "data/templates.hpp"
+#include "nn/model.hpp"
+#include "sim/check.hpp"
+#include "text/bpe.hpp"
+#include "vlog/parser.hpp"
+
+namespace {
+
+using namespace vsd;
+
+const std::string& sample_code() {
+  static const std::string code = [] {
+    Rng rng(1);
+    std::string out;
+    for (int i = 0; i < 8; ++i) {
+      out += data::TemplateLibrary::generate_any(rng).code;
+      out += "\n";
+    }
+    return out;
+  }();
+  return code;
+}
+
+void BM_Lexer(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vlog::lex(sample_code()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sample_code().size()));
+}
+BENCHMARK(BM_Lexer);
+
+void BM_Parser(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vlog::parse(sample_code()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sample_code().size()));
+}
+BENCHMARK(BM_Parser);
+
+void BM_SyntaxCheck(benchmark::State& state) {
+  Rng rng(2);
+  const data::RtlSample s = data::TemplateLibrary::generate_any(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vlog::syntax_ok(s.code));
+  }
+}
+BENCHMARK(BM_SyntaxCheck);
+
+void BM_SimDiffCheck(benchmark::State& state) {
+  Rng rng(3);
+  const data::RtlSample s =
+      data::TemplateLibrary::generate(state.range(0) == 0 ? "adder" : "counter", rng);
+  sim::DiffOptions opts;
+  opts.cycles = 32;
+  opts.vectors = 32;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::diff_check(s.code, s.code, s.module_name, opts));
+  }
+}
+BENCHMARK(BM_SimDiffCheck)->Arg(0)->Arg(1);
+
+void BM_TokenizerEncode(benchmark::State& state) {
+  const text::Tokenizer tok =
+      text::Tokenizer::train({sample_code()}, {.vocab_size = 384});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tok.encode(sample_code()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sample_code().size()));
+}
+BENCHMARK(BM_TokenizerEncode);
+
+void BM_Matmul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(4);
+  nn::Tensor a = nn::Tensor::randn(n, n, 1.0f, rng);
+  nn::Tensor b = nn::Tensor::randn(n, n, 1.0f, rng);
+  nn::Tensor c(n, n);
+  for (auto _ : state) {
+    c.fill(0.0f);
+    nn::matmul_acc(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2ll * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128);
+
+void BM_DecoderStep(benchmark::State& state) {
+  nn::ModelConfig cfg;
+  cfg.vocab = 384;
+  cfg.d_model = 64;
+  cfg.n_layers = 2;
+  cfg.n_heads = 2;
+  cfg.d_ff = 192;
+  cfg.max_seq = 448;
+  cfg.n_medusa_heads = 10;
+  const nn::TransformerModel model(cfg, 1);
+  nn::InferSession sess(model);
+  std::vector<int> ctx(64, 10);
+  sess.feed(ctx);
+  const int tok = 11;
+  int len = sess.len();
+  for (auto _ : state) {
+    sess.truncate(len);
+    nn::Tensor h = sess.feed(std::span<const int>(&tok, 1));
+    benchmark::DoNotOptimize(sess.lm_logits(h));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DecoderStep);
+
+void BM_BatchedVerifyStep(benchmark::State& state) {
+  // Cost of verifying n+1=11 drafted positions in one pass — compare with
+  // 11x BM_DecoderStep to see the batching win the speed model captures.
+  nn::ModelConfig cfg;
+  cfg.vocab = 384;
+  cfg.d_model = 64;
+  cfg.n_layers = 2;
+  cfg.n_heads = 2;
+  cfg.d_ff = 192;
+  cfg.max_seq = 448;
+  cfg.n_medusa_heads = 10;
+  const nn::TransformerModel model(cfg, 1);
+  nn::InferSession sess(model);
+  std::vector<int> ctx(64, 10);
+  sess.feed(ctx);
+  std::vector<int> chain(11, 11);
+  const int len = sess.len();
+  for (auto _ : state) {
+    sess.truncate(len);
+    nn::Tensor h = sess.feed(chain);
+    benchmark::DoNotOptimize(sess.lm_logits(h));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 11);
+}
+BENCHMARK(BM_BatchedVerifyStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Fig. 5 reproduction: decoding-step comparison on the paper's
+// data_register example.  The paper reports Ours 14 steps < Medusa 24 <
+// NTP 77, with Ours committing only complete code fragments per step.
+#include "bench_common.hpp"
+#include "vlog/fragment.hpp"
+
+using namespace vsd;
+using namespace vsd::bench;
+
+int main() {
+  Scale scale = Scale::from_env();
+  scale.print("Fig. 5 — decoding processes on the data_register example");
+  const Workbench wb = Workbench::build(scale);
+
+  // The paper decodes its Fig.-5 prompt ("Create a simple Verilog module
+  // named data_register ...") with a fine-tuned 7B model.  Our miniature
+  // model only speaks its own corpus dialect, so we use the corpus's
+  // register-family instruction — the same design, phrased as trained.
+  std::string instruction =
+      "Please act as a professional Verilog designer. Create a simple Verilog "
+      "module named \"data_register\" that takes a 4-bit input `data_in` and "
+      "assigns it to a 4-bit output `data_out` using a non-blocking assignment "
+      "on the positive edge of the clock.";
+  for (const auto& item : wb.dataset.items) {
+    if (item.family == "register") {
+      instruction = item.instruction;
+      break;
+    }
+  }
+  const std::string prompt = data::alpaca_prompt(instruction);
+
+  const spec::Method methods[3] = {spec::Method::Ours, spec::Method::Medusa,
+                                   spec::Method::NTP};
+  for (const spec::Method m : methods) {
+    const eval::TrainedSystem sys = wb.train(m, /*enc_dec=*/false, 1.0, scale);
+    Rng rng(scale.seed);
+    spec::DecodeConfig dcfg;
+    dcfg.max_new_tokens = 260;
+    const spec::DecodeResult r = eval::generate(sys, prompt, dcfg, rng);
+    const std::string text = sys.tokenizer.decode(r.ids);
+    std::printf("\n== %s: %d steps, %zu tokens, %.2f tokens/step ==\n",
+                spec::method_name(m), r.steps, r.ids.size(), r.mean_accepted());
+    // Step-by-step trace of committed bursts (Fig. 5's "complete code
+    // fragments" column).
+    std::size_t pos = 0;
+    int shown = 0;
+    for (const int accepted : r.accepted_per_step) {
+      if (shown++ >= 12) {
+        std::printf("  ... (%zu more steps)\n", r.accepted_per_step.size() -
+                    static_cast<std::size_t>(shown) + 1);
+        break;
+      }
+      std::vector<int> burst;
+      for (int i = 0; i < accepted && pos < r.ids.size(); ++i, ++pos) {
+        burst.push_back(r.ids[pos]);
+      }
+      std::string burst_text = sys.tokenizer.decode(burst, /*keep_special=*/true);
+      for (char& ch : burst_text) {
+        if (ch == '\n') ch = ' ';
+      }
+      std::printf("  step %2d: +%d tok | %s\n", shown, accepted, burst_text.c_str());
+    }
+    std::printf("  generated code:\n%s\n", text.c_str());
+  }
+  std::printf("# paper: Ours 14 steps < Medusa 24 < NTP 77 (same ordering expected)\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig. 6 reproduction: pass@5 (Function and Syntax, both benchmarks) as a
+// function of training-data size for the encoder-decoder (CodeT5p-like)
+// architecture, comparing Ours / Medusa / NTP.
+#include "bench_common.hpp"
+
+using namespace vsd;
+using namespace vsd::bench;
+
+int main() {
+  const Scale scale = Scale::from_env();
+  scale.print("Fig. 6 — pass@5 vs training-data size (CodeT5p-like)");
+  const Workbench wb = Workbench::build(scale);
+
+  const auto rtllm = eval::make_from_dataset(wb.dataset, scale.problems,
+                                             eval::BenchStyle::RtllmLike,
+                                             scale.seed + 101);
+  const auto vgen = eval::make_from_dataset(wb.dataset, scale.problems,
+                                            eval::BenchStyle::VgenLike,
+                                            scale.seed + 202);
+
+  eval::QualityOptions qopts;
+  qopts.n_samples = scale.samples;
+  qopts.temperatures = {0.4f};
+
+  const std::vector<double> fractions =
+      eval::env_int("VSD_FULL", 0) != 0 ? std::vector<double>{0.25, 0.5, 0.75, 1.0}
+                                        : std::vector<double>{0.25, 1.0};
+  const spec::Method methods[3] = {spec::Method::Ours, spec::Method::Medusa,
+                                   spec::Method::NTP};
+
+  std::printf("\n%-9s %-8s | %18s | %18s\n", "", "", "Function pass@5", "Syntax pass@5");
+  std::printf("%-9s %-8s | %8s %9s | %8s %9s\n", "fraction", "method", "RTLLM",
+              "VGen", "RTLLM", "VGen");
+  for (const double frac : fractions) {
+    for (int m = 0; m < 3; ++m) {
+      const eval::TrainedSystem sys = wb.train(methods[m], /*enc_dec=*/true, frac, scale);
+      const eval::BenchScores r = eval::evaluate_quality(sys, rtllm, qopts);
+      const eval::BenchScores v = eval::evaluate_quality(sys, vgen, qopts);
+      std::printf("%-9.2f %-8s | %7.2f%% %8.2f%% | %7.2f%% %8.2f%%\n", frac,
+                  spec::method_name(methods[m]), pct(r.func_pass_at_k[1]),
+                  pct(v.func_pass_at_k[1]), pct(r.syn_pass_at_k[1]),
+                  pct(v.syn_pass_at_k[1]));
+    }
+  }
+  std::printf("\n# Fig. 6 shape: Ours curve above both baselines at every data size;\n"
+              "# all curves trend upward with more data.\n");
+  return 0;
+}

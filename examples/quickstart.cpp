@@ -1,0 +1,65 @@
+// Quickstart: the full pipeline in one file.
+//
+//   1. Build a synthetic Verilog corpus and run the Fig.-2 refinement.
+//   2. Train a BPE tokenizer with the [FRAG] special token.
+//   3. Fine-tune a small decoder-only model with syntax-enriched labels
+//      (the paper's method, "Ours").
+//   4. Generate a module with syntax-aligned speculative decoding.
+//   5. Check the result with the built-in parser and simulator.
+//
+// Run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "data/dataset.hpp"
+#include "eval/harness.hpp"
+#include "sim/check.hpp"
+#include "vlog/parser.hpp"
+
+int main() {
+  using namespace vsd;
+
+  // 1. Dataset (synthetic GitHub-scrape substitute) + refinement pipeline.
+  data::DatasetConfig dcfg;
+  dcfg.target_items = 48;
+  dcfg.seed = 7;
+  const data::Dataset dataset = data::build_dataset(dcfg);
+  std::printf("dataset: %zu cleaned (module,description) pairs\n",
+              dataset.items.size());
+
+  // 2. Tokenizer with [FRAG] as an atomic special token.
+  const text::Tokenizer tokenizer =
+      text::Tokenizer::train(data::tokenizer_corpus(dataset), {.vocab_size = 384});
+  std::printf("tokenizer: vocab=%d\n", tokenizer.vocab_size());
+
+  // 3. Train with the paper's method (MEDUSA heads + syntax-enriched labels).
+  eval::SystemConfig cfg;
+  cfg.method = spec::Method::Ours;
+  cfg.epochs = 3;
+  cfg.seed = 7;
+  std::printf("training (this takes a minute on one core)...\n");
+  const eval::TrainedSystem sys = eval::train_system(cfg, dataset, tokenizer);
+  std::printf("trained: %d steps, loss %.3f -> %.3f\n", sys.train_stats.steps,
+              sys.train_stats.first_loss, sys.train_stats.final_loss);
+
+  // 4. Generate a 2-to-1 mux with speculative decoding.
+  const std::string prompt = data::alpaca_prompt(
+      "Write a simple Verilog code for a 2-to-1 multiplexer of 4-bit inputs "
+      "`a` and `b`; output `y` equals `b` when `sel` is 1.");
+  Rng rng(1);
+  spec::DecodeConfig dc;
+  dc.max_new_tokens = 220;
+  const spec::DecodeResult result = eval::generate(sys, prompt, dc, rng);
+  const std::string code = sys.tokenizer.decode(result.ids);
+  std::printf("\ngenerated in %d decode steps (%.2f tokens/step):\n%s\n",
+              result.steps, result.mean_accepted(), code.c_str());
+
+  // 5. Check the output.
+  const bool syntax = vlog::syntax_ok(code);
+  std::printf("syntax check: %s\n", syntax ? "PASS" : "FAIL");
+  if (syntax) {
+    const sim::CompileCheck cc = sim::check_compiles(code);
+    std::printf("elaboration: %s%s%s\n", cc.ok ? "PASS" : "FAIL",
+                cc.ok ? "" : " — ", cc.ok ? "" : cc.error.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// spec_decode_demo: a close-up of the decoding mechanics (paper Fig. 5) —
+// trains one model with MEDUSA heads on a small corpus, then decodes the
+// same prompt three ways (NTP, Medusa, Ours) printing the per-step
+// committed bursts so the fragment alignment is visible.
+//
+// Run:  ./build/examples/spec_decode_demo
+#include <cstdio>
+
+#include "eval/harness.hpp"
+
+int main() {
+  using namespace vsd;
+
+  data::DatasetConfig dcfg;
+  dcfg.target_items = 64;
+  dcfg.seed = 11;
+  const data::Dataset dataset = data::build_dataset(dcfg);
+  const text::Tokenizer tokenizer =
+      text::Tokenizer::train(data::tokenizer_corpus(dataset), {.vocab_size = 384});
+
+  std::printf("training an Ours model (MEDUSA heads + syntax-enriched labels)...\n");
+  eval::SystemConfig cfg;
+  cfg.method = spec::Method::Ours;
+  cfg.epochs = 4;
+  cfg.seed = 11;
+  const eval::TrainedSystem ours = eval::train_system(cfg, dataset, tokenizer);
+
+  const std::string prompt = data::alpaca_prompt(dataset.items[0].instruction);
+  std::printf("\nprompt:\n%s\n", prompt.c_str());
+
+  struct Mode {
+    const char* name;
+    bool speculative;
+    bool integrity;
+  };
+  const Mode modes[3] = {{"NTP (1 token/step)", false, false},
+                         {"Medusa (typical acceptance)", true, false},
+                         {"Ours (+ fragment integrity)", true, true}};
+
+  for (const Mode& mode : modes) {
+    Rng rng(5);
+    spec::DecodeConfig dc;
+    dc.max_new_tokens = 200;
+    dc.fragment_integrity = mode.integrity;
+    const spec::Decoder decoder(*ours.model);
+    const auto prompt_ids = ours.tokenizer.encode(prompt, /*add_bos=*/true);
+    const spec::DecodeResult r = mode.speculative
+                                     ? decoder.speculative(prompt_ids, dc, rng)
+                                     : decoder.ntp(prompt_ids, dc, rng);
+    std::printf("== %s: %d steps for %zu tokens (%.2f tok/step) ==\n", mode.name,
+                r.steps, r.ids.size(), r.mean_accepted());
+    std::size_t pos = 0;
+    int shown = 0;
+    for (const int accepted : r.accepted_per_step) {
+      if (shown++ >= 8) {
+        std::printf("   ...\n");
+        break;
+      }
+      std::vector<int> burst;
+      for (int i = 0; i < accepted && pos < r.ids.size(); ++i, ++pos) {
+        burst.push_back(r.ids[pos]);
+      }
+      std::string text = ours.tokenizer.decode(burst, /*keep_special=*/true);
+      for (char& ch : text) {
+        if (ch == '\n') ch = ' ';
+      }
+      std::printf("   step %d commits %d: \"%s\"\n", shown, accepted, text.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// verilog_lint: stand-alone front-end demo — parse Verilog from a file (or
+// a built-in example), report syntax errors, and show the paper's Fig.-3
+// pipeline: AST keywords, significant tokens, and [FRAG]-marked code.
+//
+// Run:  ./build/examples/verilog_lint [file.v]
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "vlog/fragment.hpp"
+#include "vlog/parser.hpp"
+#include "vlog/printer.hpp"
+#include "vlog/significant.hpp"
+
+namespace {
+
+constexpr const char* kDefault = R"(
+module data_register (
+    input clk,
+    input [3:0] data_in,
+    output reg [3:0] data_out
+);
+    always @(posedge clk) begin
+        data_out <= data_in;
+    end
+endmodule
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vsd::vlog;
+
+  std::string source = kDefault;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    source = buf.str();
+  }
+
+  const ParseResult result = parse(source);
+  if (!result.ok) {
+    std::printf("SYNTAX ERROR at line %d: %s\n", result.error_line,
+                result.error.c_str());
+    return 2;
+  }
+  std::printf("parsed %zu module(s)\n", result.unit->modules.size());
+  for (const auto& m : result.unit->modules) {
+    std::printf("\n== module %s (%zu ports, %zu items) ==\n", m->name.c_str(),
+                m->ports.size(), m->items.size());
+    std::printf("-- AST keywords (Fig. 3 extraction) --\n  ");
+    for (const auto& kw : extract_ast_keywords(*m)) std::printf("%s ", kw.c_str());
+    std::printf("\n");
+  }
+
+  std::printf("\n-- canonical pretty-print --\n%s", print_source(*result.unit).c_str());
+  std::printf("\n-- [FRAG]-marked code (training-data view) --\n%s\n",
+              mark_fragments(source).c_str());
+  return 0;
+}

@@ -1,0 +1,25 @@
+// vsd::Error — library-wide exception type and contract-check helpers.
+//
+// All vsd libraries signal contract violations and unrecoverable input
+// errors by throwing vsd::Error.  Recoverable conditions (e.g. "this code
+// does not parse") are reported through result types, not exceptions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace vsd {
+
+/// Exception thrown on contract violations across all vsd libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws vsd::Error with `msg` if `cond` is false.
+inline void check(bool cond, std::string_view msg) {
+  if (!cond) throw Error(std::string(msg));
+}
+
+}  // namespace vsd

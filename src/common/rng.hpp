@@ -1,0 +1,110 @@
+// vsd::Rng — deterministic, splittable pseudo-random generator.
+//
+// Every stochastic component in the library (corpus generation, weight
+// initialisation, sampling decoders, stimulus generation) takes a vsd::Rng
+// so that experiments are reproducible bit-for-bit from a single seed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace vsd {
+
+/// xoshiro256**-based generator.  Cheap to copy; `split()` derives an
+/// independent stream so parallel components never share state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform float in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [0, 1).
+  float next_float() { return static_cast<float>(next_double()); }
+
+  /// Gaussian sample via Box–Muller.
+  double next_gaussian() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u = 0.0;
+    double v = 0.0;
+    double s = 0.0;
+    do {
+      u = next_double() * 2.0 - 1.0;
+      v = next_double() * 2.0 - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * mul;
+    have_spare_ = true;
+    return u * mul;
+  }
+
+  /// Bernoulli with probability p.
+  bool next_bool(double p = 0.5) { return next_double() < p; }
+
+  /// Derives an independent generator stream.
+  Rng split() { return Rng(next_u64() ^ 0xD1B54A32D192ED03ull); }
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[next_below(v.size())];
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[next_below(i)]);
+    }
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace vsd

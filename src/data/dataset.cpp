@@ -1,0 +1,131 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "vlog/fragment.hpp"
+
+namespace vsd::data {
+
+namespace {
+
+std::string trimmed(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+}  // namespace
+
+Dataset build_dataset(const DatasetConfig& cfg) {
+  Rng rng(cfg.seed);
+  // Oversample: refinement drops some raw material by design.
+  const int raw_target = cfg.target_items + cfg.target_items / 4 + 8;
+
+  std::vector<RtlSample> samples;
+  samples.reserve(static_cast<std::size_t>(raw_target));
+  for (int i = 0; i < raw_target; ++i) {
+    samples.push_back(TemplateLibrary::generate_any(rng, Pool::Train));
+  }
+
+  // Assemble raw "files": mostly one module per file, some multi-module
+  // files, plus injected corruption / duplicates / comment-only files to
+  // exercise every gate of the refinement pipeline.
+  std::unordered_map<std::string, const RtlSample*> by_code;
+  std::vector<std::string> files;
+  std::size_t next = 0;
+  while (next < samples.size()) {
+    const int per_file = rng.next_bool(0.2) ? 2 : 1;
+    std::string file;
+    for (int m = 0; m < per_file && next < samples.size(); ++m) {
+      const RtlSample& s = samples[next++];
+      by_code[trimmed(s.code)] = &s;
+      if (rng.next_bool(0.3)) {
+        file += "// " + s.family + " module\n";
+      }
+      file += s.code;
+      file += "\n";
+    }
+    if (rng.next_bool(cfg.corrupt_fraction)) {
+      file.resize(file.size() / 2);  // truncated: incomplete module
+    }
+    files.push_back(file);
+    if (rng.next_bool(cfg.duplicate_fraction) && !files.empty()) {
+      files.push_back(files[rng.next_below(files.size())]);
+    }
+    if (rng.next_bool(cfg.comment_fraction)) {
+      files.push_back("// nothing but commentary in this file\n// module endmodule\n");
+    }
+  }
+
+  RefineResult refined = refine(files);
+
+  Dataset out;
+  out.refine_stats = refined.stats;
+  for (std::string& code : refined.cleaned) {
+    const auto it = by_code.find(trimmed(code));
+    if (it == by_code.end()) continue;  // e.g. a truncated-file survivor
+    const RtlSample& s = *it->second;
+    DatasetItem item;
+    item.instruction = s.description;
+    item.code = code;
+    item.marked_code = vlog::mark_fragments(code);
+    item.module_name = s.module_name;
+    item.family = s.family;
+    out.items.push_back(std::move(item));
+    if (static_cast<int>(out.items.size()) >= cfg.target_items) break;
+  }
+  return out;
+}
+
+Dataset subset(const Dataset& full, double fraction, std::uint64_t seed) {
+  Dataset out;
+  out.refine_stats = full.refine_stats;
+  if (fraction >= 1.0) {
+    out.items = full.items;
+    return out;
+  }
+  Rng rng(seed);
+  std::vector<std::size_t> idx(full.items.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  rng.shuffle(idx);
+  const auto n = static_cast<std::size_t>(fraction * static_cast<double>(idx.size()));
+  idx.resize(n);
+  std::sort(idx.begin(), idx.end());
+  out.items.reserve(n);
+  for (const std::size_t i : idx) out.items.push_back(full.items[i]);
+  return out;
+}
+
+std::string alpaca_prompt(const std::string& instruction) {
+  return "### Instruction:\n" + instruction + "\n### Response:\n";
+}
+
+std::vector<std::string> tokenizer_corpus(const Dataset& ds) {
+  std::vector<std::string> out;
+  out.reserve(ds.items.size() * 2);
+  for (const DatasetItem& item : ds.items) {
+    out.push_back(alpaca_prompt(item.instruction));
+    out.push_back(item.marked_code);
+  }
+  return out;
+}
+
+std::vector<spec::EncodedExample> encode_for_training(const Dataset& ds,
+                                                      const text::Tokenizer& tok,
+                                                      bool marked) {
+  std::vector<spec::EncodedExample> out;
+  out.reserve(ds.items.size());
+  for (const DatasetItem& item : ds.items) {
+    spec::EncodedExample ex;
+    ex.prompt_ids = tok.encode(alpaca_prompt(item.instruction));
+    ex.code_ids = tok.encode(marked ? item.marked_code : item.code,
+                             /*add_bos=*/false, /*add_eos=*/true);
+    out.push_back(std::move(ex));
+  }
+  return out;
+}
+
+}  // namespace vsd::data

@@ -1,0 +1,57 @@
+// Dataset construction (paper Section III-A / IV-A1): synthetic raw corpus
+// -> refinement pipeline -> Alpaca-style instruction/response pairs with
+// [FRAG]-marked responses, plus fractional subsets for the data-size sweep.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/pipeline.hpp"
+#include "data/templates.hpp"
+#include "spec/trainer.hpp"
+#include "text/bpe.hpp"
+
+namespace vsd::data {
+
+struct DatasetItem {
+  std::string instruction;  // NL description (GPT-4-summary substitute)
+  std::string code;         // cleaned Verilog
+  std::string marked_code;  // code with [FRAG] markers (Fig. 3)
+  std::string module_name;
+  std::string family;
+};
+
+struct Dataset {
+  std::vector<DatasetItem> items;
+  RefineStats refine_stats;
+};
+
+struct DatasetConfig {
+  int target_items = 400;        // item count after refinement (approximate)
+  std::uint64_t seed = 1;
+  double corrupt_fraction = 0.05;   // truncated files (incomplete modules)
+  double duplicate_fraction = 0.08; // injected near-duplicates
+  double comment_fraction = 0.03;   // comment-dominated files
+};
+
+/// Generates a raw synthetic corpus, runs the Fig. 2 refinement, and
+/// attaches descriptions + [FRAG] markings.
+Dataset build_dataset(const DatasetConfig& cfg);
+
+/// Random `fraction` of the items (paper trains on 1/4, 1/2, 3/4, full).
+Dataset subset(const Dataset& full, double fraction, std::uint64_t seed);
+
+/// Alpaca-style prompt text for an instruction.
+std::string alpaca_prompt(const std::string& instruction);
+
+/// Corpus for tokenizer training (prompts + marked code).
+std::vector<std::string> tokenizer_corpus(const Dataset& ds);
+
+/// Tokenises the dataset for the trainer.  `marked` selects the
+/// [FRAG]-marked response (Ours) vs the plain response (NTP/Medusa).
+std::vector<spec::EncodedExample> encode_for_training(const Dataset& ds,
+                                                      const text::Tokenizer& tok,
+                                                      bool marked);
+
+}  // namespace vsd::data

@@ -1,0 +1,97 @@
+#include "data/minhash.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+
+namespace vsd::data {
+
+MinHash::MinHash(int num_hashes, int shingle_len, std::uint64_t seed)
+    : shingle_len_(shingle_len) {
+  Rng rng(seed);
+  a_.reserve(static_cast<std::size_t>(num_hashes));
+  b_.reserve(static_cast<std::size_t>(num_hashes));
+  for (int i = 0; i < num_hashes; ++i) {
+    a_.push_back(rng.next_u64() | 1);  // odd multiplier
+    b_.push_back(rng.next_u64());
+  }
+}
+
+std::uint64_t MinHash::shingle_hash(std::string_view s) const {
+  // FNV-1a.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::vector<std::uint64_t> MinHash::signature(std::string_view doc) const {
+  std::vector<std::uint64_t> sig(a_.size(), ~0ull);
+  if (doc.size() < static_cast<std::size_t>(shingle_len_)) {
+    const std::uint64_t h = shingle_hash(doc);
+    for (std::size_t i = 0; i < a_.size(); ++i) sig[i] = a_[i] * h + b_[i];
+    return sig;
+  }
+  for (std::size_t pos = 0; pos + shingle_len_ <= doc.size(); ++pos) {
+    const std::uint64_t h = shingle_hash(doc.substr(pos, static_cast<std::size_t>(shingle_len_)));
+    for (std::size_t i = 0; i < a_.size(); ++i) {
+      sig[i] = std::min(sig[i], a_[i] * h + b_[i]);
+    }
+  }
+  return sig;
+}
+
+double MinHash::similarity(const std::vector<std::uint64_t>& a,
+                           const std::vector<std::uint64_t>& b) {
+  if (a.empty() || a.size() != b.size()) return 0.0;
+  int match = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) match += a[i] == b[i] ? 1 : 0;
+  return static_cast<double>(match) / static_cast<double>(a.size());
+}
+
+double MinHash::exact_jaccard(std::string_view a, std::string_view b) const {
+  auto shingles = [this](std::string_view doc) {
+    std::unordered_set<std::uint64_t> out;
+    if (doc.size() < static_cast<std::size_t>(shingle_len_)) {
+      out.insert(shingle_hash(doc));
+      return out;
+    }
+    for (std::size_t pos = 0; pos + shingle_len_ <= doc.size(); ++pos) {
+      out.insert(shingle_hash(doc.substr(pos, static_cast<std::size_t>(shingle_len_))));
+    }
+    return out;
+  };
+  const auto sa = shingles(a);
+  const auto sb = shingles(b);
+  std::size_t inter = 0;
+  for (const std::uint64_t h : sa) inter += sb.count(h);
+  const std::size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+std::vector<std::size_t> dedup_by_minhash(const std::vector<std::string>& docs,
+                                          double threshold, int num_hashes) {
+  const MinHash mh(num_hashes);
+  std::vector<std::vector<std::uint64_t>> kept_sigs;
+  std::vector<std::size_t> kept;
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    const auto sig = mh.signature(docs[i]);
+    bool duplicate = false;
+    for (const auto& prev : kept_sigs) {
+      if (MinHash::similarity(sig, prev) >= threshold) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      kept.push_back(i);
+      kept_sigs.push_back(sig);
+    }
+  }
+  return kept;
+}
+
+}  // namespace vsd::data

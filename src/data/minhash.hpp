@@ -1,0 +1,45 @@
+// MinHash signatures + Jaccard similarity for near-duplicate removal
+// (paper Section III-A, reference [31]).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vsd::data {
+
+/// MinHash over character k-shingles.
+class MinHash {
+ public:
+  explicit MinHash(int num_hashes = 64, int shingle_len = 5, std::uint64_t seed = 7);
+
+  /// Signature of a document.
+  std::vector<std::uint64_t> signature(std::string_view doc) const;
+
+  /// Estimated Jaccard similarity of two signatures.
+  static double similarity(const std::vector<std::uint64_t>& a,
+                           const std::vector<std::uint64_t>& b);
+
+  /// Exact Jaccard similarity over shingle sets (used to validate the
+  /// estimator in tests).
+  double exact_jaccard(std::string_view a, std::string_view b) const;
+
+  int num_hashes() const { return static_cast<int>(a_.size()); }
+
+ private:
+  std::uint64_t shingle_hash(std::string_view s) const;
+
+  int shingle_len_;
+  std::vector<std::uint64_t> a_;
+  std::vector<std::uint64_t> b_;
+};
+
+/// Removes near-duplicates: keeps the first occurrence of every group of
+/// documents whose pairwise similarity is >= threshold.  Returns kept
+/// indices in the original order.
+std::vector<std::size_t> dedup_by_minhash(const std::vector<std::string>& docs,
+                                          double threshold = 0.9,
+                                          int num_hashes = 64);
+
+}  // namespace vsd::data

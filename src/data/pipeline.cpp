@@ -1,0 +1,91 @@
+#include "data/pipeline.hpp"
+
+#include "data/minhash.hpp"
+#include "vlog/lexer.hpp"
+#include "vlog/parser.hpp"
+
+namespace vsd::data {
+
+std::vector<std::string> split_modules(std::string_view file_text) {
+  std::vector<std::string> out;
+  const vlog::LexResult lexed = vlog::lex(file_text);
+  if (!lexed.ok) return out;
+  std::size_t module_begin = 0;
+  bool in_module = false;
+  for (const vlog::Token& tok : lexed.tokens) {
+    if (tok.is_kw(vlog::Keyword::Module) || tok.is_kw(vlog::Keyword::Macromodule)) {
+      if (!in_module) {
+        module_begin = tok.begin;
+        in_module = true;
+      }
+    } else if (tok.is_kw(vlog::Keyword::Endmodule) && in_module) {
+      out.emplace_back(file_text.substr(module_begin, tok.end - module_begin));
+      in_module = false;
+    }
+  }
+  return out;  // a trailing unterminated module is dropped (incomplete)
+}
+
+bool mostly_comments(std::string_view code, double threshold) {
+  std::size_t comment_bytes = 0;
+  std::size_t code_bytes = 0;
+  std::size_t i = 0;
+  while (i < code.size()) {
+    if (code[i] == '/' && i + 1 < code.size() && code[i + 1] == '/') {
+      while (i < code.size() && code[i] != '\n') {
+        ++comment_bytes;
+        ++i;
+      }
+    } else if (code[i] == '/' && i + 1 < code.size() && code[i + 1] == '*') {
+      while (i < code.size() && !(code[i] == '*' && i + 1 < code.size() && code[i + 1] == '/')) {
+        ++comment_bytes;
+        ++i;
+      }
+      comment_bytes += 2;
+      i += 2;
+    } else {
+      if (!std::isspace(static_cast<unsigned char>(code[i]))) ++code_bytes;
+      ++i;
+    }
+  }
+  const std::size_t total = comment_bytes + code_bytes;
+  if (total == 0) return true;
+  return static_cast<double>(comment_bytes) / static_cast<double>(total) > threshold;
+}
+
+RefineResult refine(const std::vector<std::string>& files, double dedup_threshold) {
+  RefineResult out;
+  out.stats.raw_files = static_cast<int>(files.size());
+
+  std::vector<std::string> modules;
+  for (const std::string& f : files) {
+    for (std::string& m : split_modules(f)) {
+      modules.push_back(std::move(m));
+    }
+  }
+  out.stats.modules_split = static_cast<int>(modules.size());
+
+  std::vector<std::string> filtered;
+  for (std::string& m : modules) {
+    if (mostly_comments(m)) {
+      ++out.stats.dropped_comment_only;
+      continue;
+    }
+    filtered.push_back(std::move(m));
+  }
+
+  const std::vector<std::size_t> kept_idx = dedup_by_minhash(filtered, dedup_threshold);
+  out.stats.dropped_duplicates = static_cast<int>(filtered.size() - kept_idx.size());
+
+  for (const std::size_t i : kept_idx) {
+    if (!vlog::syntax_ok(filtered[i])) {
+      ++out.stats.dropped_syntax;
+      continue;
+    }
+    out.cleaned.push_back(std::move(filtered[i]));
+  }
+  out.stats.kept = static_cast<int>(out.cleaned.size());
+  return out;
+}
+
+}  // namespace vsd::data

@@ -1,0 +1,38 @@
+// Data refinement pipeline (paper Fig. 2, left): split raw files into
+// modules, filter incomplete / comment-dominated code, de-duplicate with
+// MinHash+Jaccard, and gate on the Stagira-substitute syntax check.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vsd::data {
+
+/// Extracts each complete `module ... endmodule` span (verbatim source
+/// text).  Files that do not lex return no modules.
+std::vector<std::string> split_modules(std::string_view file_text);
+
+/// True when more than `threshold` of the non-whitespace bytes sit inside
+/// comments.
+bool mostly_comments(std::string_view code, double threshold = 0.6);
+
+struct RefineStats {
+  int raw_files = 0;
+  int modules_split = 0;
+  int dropped_comment_only = 0;
+  int dropped_duplicates = 0;
+  int dropped_syntax = 0;
+  int kept = 0;
+};
+
+struct RefineResult {
+  std::vector<std::string> cleaned;  // modules that passed every gate
+  RefineStats stats;
+};
+
+/// Runs the full refinement over raw file contents.
+RefineResult refine(const std::vector<std::string>& files,
+                    double dedup_threshold = 0.9);
+
+}  // namespace vsd::data

@@ -1,0 +1,470 @@
+#include "data/templates.hpp"
+
+#include <functional>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace vsd::data {
+
+namespace {
+
+struct NamePools {
+  std::vector<std::string> suffixes;       // module-name suffixes
+  std::vector<std::string> data_in;
+  std::vector<std::string> data_out;
+  std::vector<int> widths;
+};
+
+const NamePools& pools(Pool p) {
+  static const NamePools train = {
+      {"", "_unit", "_core", "_mod"},
+      {"data_in", "in_data", "d_in", "din"},
+      {"data_out", "out_data", "d_out", "dout"},
+      {2, 4, 8, 16},
+  };
+  // The eval pool shares the identifier/width vocabulary with training and
+  // differs only in its sampling stream: a ~10^5-parameter model has no
+  // open-vocabulary copying ability, so held-out *identifiers* would floor
+  // functional accuracy at zero for every method and erase the comparison.
+  // Problems still differ from most corpus items in (family, width, name)
+  // combination; see EXPERIMENTS.md "benchmark construction".
+  static const NamePools eval = {
+      {"", "_unit", "_core", "_mod"},
+      {"data_in", "in_data", "d_in", "din"},
+      {"data_out", "out_data", "d_out", "dout"},
+      {2, 4, 8, 16},
+  };
+  return p == Pool::Train ? train : eval;
+}
+
+std::string W(int w) { return std::to_string(w); }
+std::string msb(int w) { return "[" + std::to_string(w - 1) + ":0]"; }
+
+struct Ctx {
+  Rng& rng;
+  const NamePools& np;
+  std::string din;
+  std::string dout;
+  int width;
+
+  std::string pick_phrase(std::vector<std::string> options) {
+    return options[rng.next_below(options.size())];
+  }
+};
+
+using FamilyFn = std::function<RtlSample(Ctx&)>;
+
+RtlSample make(Ctx& ctx, const std::string& family, const std::string& base_name,
+               const std::string& description, const std::string& header,
+               const std::string& body) {
+  RtlSample s;
+  s.family = family;
+  s.module_name = base_name;
+  s.description = description;
+  s.header = header;
+  s.code = header + "\n" + body;
+  return s;
+}
+
+// --- family implementations --------------------------------------------------
+
+RtlSample fam_register(Ctx& c) {
+  const bool has_rst = c.rng.next_bool(0.6);
+  const bool has_en = c.rng.next_bool(0.3);
+  const std::string name = "data_register" + c.np.suffixes[c.rng.next_below(c.np.suffixes.size())];
+  std::string ports = "input clk, ";
+  if (has_rst) ports += "input rst, ";
+  if (has_en) ports += "input en, ";
+  ports += "input " + msb(c.width) + " " + c.din + ", output reg " + msb(c.width) + " " + c.dout;
+  const std::string header = "module " + name + "(" + ports + ");";
+  std::string body = "  always @(posedge clk";
+  if (has_rst) body += " or posedge rst";
+  body += ")\n";
+  if (has_rst && has_en) {
+    body += "    if (rst) " + c.dout + " <= " + W(c.width) + "'d0;\n"
+            "    else if (en) " + c.dout + " <= " + c.din + ";\n";
+  } else if (has_rst) {
+    body += "    if (rst) " + c.dout + " <= " + W(c.width) + "'d0;\n"
+            "    else " + c.dout + " <= " + c.din + ";\n";
+  } else if (has_en) {
+    body += "    if (en) " + c.dout + " <= " + c.din + ";\n";
+  } else {
+    body += "    " + c.dout + " <= " + c.din + ";\n";
+  }
+  body += "endmodule\n";
+  std::string desc = c.pick_phrase({
+      "Create a " + W(c.width) + "-bit register named \"" + name + "\" that captures `" +
+          c.din + "` into `" + c.dout + "` on the positive clock edge",
+      "Write a Verilog module called \"" + name + "\" implementing a " + W(c.width) +
+          "-bit data register: `" + c.dout + "` takes the value of `" + c.din +
+          "` at every rising edge of `clk`",
+  });
+  if (has_rst) desc += ", with a synchronous-style clear to zero when `rst` is high";
+  if (has_en) desc += ", updating only while `en` is asserted";
+  desc += ".";
+  return make(c, "register", name, desc, header, body);
+}
+
+RtlSample fam_mux2(Ctx& c) {
+  const std::string name = "mux2to1" + c.np.suffixes[c.rng.next_below(c.np.suffixes.size())];
+  const std::string header = "module " + name + "(input " + msb(c.width) + " a, input " +
+                             msb(c.width) + " b, input sel, output " + msb(c.width) + " y);";
+  const std::string body = "  assign y = sel ? b : a;\nendmodule\n";
+  const std::string desc = c.pick_phrase({
+      "Write a simple Verilog module named \"" + name + "\" for a 2-to-1 multiplexer of " +
+          W(c.width) + "-bit inputs `a` and `b`; output `y` equals `b` when `sel` is 1.",
+      "Create a " + W(c.width) + "-bit 2-to-1 mux called \"" + name +
+          "\": `y` selects between `a` (sel=0) and `b` (sel=1).",
+  });
+  return make(c, "mux2", name, desc, header, body);
+}
+
+RtlSample fam_mux4(Ctx& c) {
+  const std::string name = "mux4to1" + c.np.suffixes[c.rng.next_below(c.np.suffixes.size())];
+  const std::string header = "module " + name + "(input " + msb(c.width) + " d0, input " +
+                             msb(c.width) + " d1, input " + msb(c.width) + " d2, input " +
+                             msb(c.width) + " d3, input [1:0] sel, output reg " +
+                             msb(c.width) + " y);";
+  const std::string body =
+      "  always @(*)\n"
+      "    case (sel)\n"
+      "      2'd0: y = d0;\n"
+      "      2'd1: y = d1;\n"
+      "      2'd2: y = d2;\n"
+      "      default: y = d3;\n"
+      "    endcase\n"
+      "endmodule\n";
+  const std::string desc =
+      "Implement a 4-to-1 multiplexer named \"" + name + "\" with four " + W(c.width) +
+      "-bit inputs `d0`..`d3` and a 2-bit select `sel`; output `y` is registered "
+      "combinationally through a case statement.";
+  return make(c, "mux4", name, desc, header, body);
+}
+
+RtlSample fam_counter(Ctx& c) {
+  const bool down = c.rng.next_bool(0.3);
+  const bool has_en = c.rng.next_bool(0.4);
+  const std::string name = std::string(down ? "down_counter" : "up_counter") +
+                           c.np.suffixes[c.rng.next_below(c.np.suffixes.size())];
+  std::string ports = "input clk, input rst, ";
+  if (has_en) ports += "input en, ";
+  ports += "output reg " + msb(c.width) + " count";
+  const std::string header = "module " + name + "(" + ports + ");";
+  const std::string step = down ? "count - " + W(c.width) + "'d1"
+                                : "count + " + W(c.width) + "'d1";
+  std::string body = "  always @(posedge clk or posedge rst)\n"
+                     "    if (rst) count <= " + W(c.width) + "'d0;\n";
+  if (has_en) {
+    body += "    else if (en) count <= " + step + ";\n";
+  } else {
+    body += "    else count <= " + step + ";\n";
+  }
+  body += "endmodule\n";
+  std::string desc = "Design a " + W(c.width) + "-bit " +
+                     (down ? std::string("down") : std::string("up")) +
+                     "-counter module named \"" + name +
+                     "\" with asynchronous active-high reset `rst`";
+  if (has_en) desc += " and count-enable `en`";
+  desc += "; the count updates on the rising edge of `clk`.";
+  return make(c, "counter", name, desc, header, body);
+}
+
+RtlSample fam_adder(Ctx& c) {
+  const bool carry = c.rng.next_bool(0.5);
+  const std::string name = "adder" + W(c.width) +
+                           c.np.suffixes[c.rng.next_below(c.np.suffixes.size())];
+  std::string header;
+  std::string body;
+  if (carry) {
+    header = "module " + name + "(input " + msb(c.width) + " a, input " + msb(c.width) +
+             " b, output " + msb(c.width) + " sum, output cout);";
+    body = "  assign {cout, sum} = a + b;\nendmodule\n";
+  } else {
+    header = "module " + name + "(input " + msb(c.width) + " a, input " + msb(c.width) +
+             " b, output [" + W(c.width) + ":0] sum);";
+    body = "  assign sum = a + b;\nendmodule\n";
+  }
+  const std::string desc = c.pick_phrase({
+      "Write a combinational " + W(c.width) + "-bit adder named \"" + name +
+          "\" that adds `a` and `b`" +
+          (carry ? " producing `sum` and a carry-out `cout`." : " into a " +
+           W(c.width + 1) + "-bit result `sum`."),
+      "Create module \"" + name + "\": a " + W(c.width) + "-bit adder" +
+          (carry ? " with separate carry output `cout`." : " with full-width sum output."),
+  });
+  return make(c, "adder", name, desc, header, body);
+}
+
+RtlSample fam_logic_unit(Ctx& c) {
+  const std::string name = "logic_unit" + c.np.suffixes[c.rng.next_below(c.np.suffixes.size())];
+  const std::string header = "module " + name + "(input " + msb(c.width) + " a, input " +
+                             msb(c.width) + " b, input [1:0] op, output reg " +
+                             msb(c.width) + " y);";
+  const std::string body =
+      "  always @(*)\n"
+      "    case (op)\n"
+      "      2'b00: y = a & b;\n"
+      "      2'b01: y = a | b;\n"
+      "      2'b10: y = a ^ b;\n"
+      "      default: y = ~(a | b);\n"
+      "    endcase\n"
+      "endmodule\n";
+  const std::string desc =
+      "Implement a " + W(c.width) + "-bit bitwise logic unit named \"" + name +
+      "\" computing AND, OR, XOR, or NOR of `a` and `b` according to the 2-bit "
+      "opcode `op` (00, 01, 10, 11 respectively).";
+  return make(c, "logic_unit", name, desc, header, body);
+}
+
+RtlSample fam_alu(Ctx& c) {
+  const std::string name = "alu" + W(c.width) +
+                           c.np.suffixes[c.rng.next_below(c.np.suffixes.size())];
+  const std::string header = "module " + name + "(input " + msb(c.width) + " a, input " +
+                             msb(c.width) + " b, input [2:0] op, output reg " +
+                             msb(c.width) + " y);";
+  const std::string body =
+      "  always @(*)\n"
+      "    case (op)\n"
+      "      3'd0: y = a + b;\n"
+      "      3'd1: y = a - b;\n"
+      "      3'd2: y = a & b;\n"
+      "      3'd3: y = a | b;\n"
+      "      3'd4: y = a ^ b;\n"
+      "      3'd5: y = ~a;\n"
+      "      3'd6: y = a << 1;\n"
+      "      default: y = a >> 1;\n"
+      "    endcase\n"
+      "endmodule\n";
+  const std::string desc =
+      "Design a simple " + W(c.width) + "-bit ALU named \"" + name +
+      "\" supporting add, subtract, AND, OR, XOR, NOT, shift-left and shift-right "
+      "selected by the 3-bit opcode `op`.";
+  return make(c, "alu", name, desc, header, body);
+}
+
+RtlSample fam_comparator(Ctx& c) {
+  const std::string name = "comparator" + c.np.suffixes[c.rng.next_below(c.np.suffixes.size())];
+  const std::string header = "module " + name + "(input " + msb(c.width) + " a, input " +
+                             msb(c.width) + " b, output eq, output lt, output gt);";
+  const std::string body =
+      "  assign eq = a == b;\n"
+      "  assign lt = a < b;\n"
+      "  assign gt = a > b;\nendmodule\n";
+  const std::string desc =
+      "Write a " + W(c.width) + "-bit unsigned comparator module named \"" + name +
+      "\" with outputs `eq`, `lt`, `gt` indicating a == b, a < b and a > b.";
+  return make(c, "comparator", name, desc, header, body);
+}
+
+RtlSample fam_shifter(Ctx& c) {
+  const std::string name = "shifter" + c.np.suffixes[c.rng.next_below(c.np.suffixes.size())];
+  const std::string header = "module " + name + "(input " + msb(c.width) + " " + c.din +
+                             ", input dir, output " + msb(c.width) + " " + c.dout + ");";
+  const std::string body = "  assign " + c.dout + " = dir ? (" + c.din + " >> 1) : (" +
+                           c.din + " << 1);\nendmodule\n";
+  const std::string desc =
+      "Create a " + W(c.width) + "-bit shifter named \"" + name + "\": output `" + c.dout +
+      "` is `" + c.din + "` shifted left by one when `dir` is 0 and right by one when "
+      "`dir` is 1.";
+  return make(c, "shifter", name, desc, header, body);
+}
+
+RtlSample fam_parity(Ctx& c) {
+  const bool odd = c.rng.next_bool(0.5);
+  const std::string name = std::string(odd ? "odd" : "even") + "_parity" +
+                           c.np.suffixes[c.rng.next_below(c.np.suffixes.size())];
+  const std::string header =
+      "module " + name + "(input " + msb(c.width) + " " + c.din + ", output p);";
+  const std::string body = std::string("  assign p = ") + (odd ? "~" : "") + "(^" + c.din +
+                           ");\nendmodule\n";
+  const std::string desc =
+      "Implement module \"" + name + "\" computing the " +
+      (odd ? std::string("odd") : std::string("even")) + " parity bit `p` of the " +
+      W(c.width) + "-bit input `" + c.din + "` (XOR reduction" +
+      (odd ? ", inverted)." : ").");
+  return make(c, "parity", name, desc, header, body);
+}
+
+RtlSample fam_decoder(Ctx& c) {
+  const int n = c.rng.next_bool() ? 2 : 3;
+  const int outs = 1 << n;
+  const std::string name = "decoder" + W(n) + "to" + W(outs) +
+                           c.np.suffixes[c.rng.next_below(c.np.suffixes.size())];
+  const std::string header = "module " + name + "(input [" + W(n - 1) + ":0] sel, "
+                             "input en, output " + msb(outs) + " y);";
+  const std::string body =
+      "  assign y = en ? (" + W(outs) + "'d1 << sel) : " + W(outs) + "'d0;\nendmodule\n";
+  const std::string desc =
+      "Write a " + W(n) + "-to-" + W(outs) + " one-hot decoder named \"" + name +
+      "\" with enable `en`; exactly the bit of `y` indexed by `sel` is high when "
+      "enabled, otherwise `y` is zero.";
+  return make(c, "decoder", name, desc, header, body);
+}
+
+RtlSample fam_gray(Ctx& c) {
+  const std::string name = "bin2gray" + c.np.suffixes[c.rng.next_below(c.np.suffixes.size())];
+  const std::string header = "module " + name + "(input " + msb(c.width) + " bin, output " +
+                             msb(c.width) + " gray);";
+  const std::string body = "  assign gray = bin ^ (bin >> 1);\nendmodule\n";
+  const std::string desc =
+      "Create a " + W(c.width) + "-bit binary-to-Gray-code converter named \"" + name +
+      "\": `gray` equals `bin` XORed with `bin` shifted right by one.";
+  return make(c, "gray", name, desc, header, body);
+}
+
+RtlSample fam_edge_detector(Ctx& c) {
+  const bool falling = c.rng.next_bool(0.3);
+  const std::string name = std::string(falling ? "fall" : "rise") + "_edge_det" +
+                           c.np.suffixes[c.rng.next_below(c.np.suffixes.size())];
+  const std::string header =
+      "module " + name + "(input clk, input rst, input sig, output pulse);";
+  std::string body =
+      "  reg prev;\n"
+      "  always @(posedge clk or posedge rst)\n"
+      "    if (rst) prev <= 1'b0;\n"
+      "    else prev <= sig;\n";
+  body += falling ? "  assign pulse = prev & ~sig;\nendmodule\n"
+                  : "  assign pulse = sig & ~prev;\nendmodule\n";
+  const std::string desc =
+      std::string("Design module \"") + name + "\" that emits a one-cycle `pulse` on every " +
+      (falling ? "falling" : "rising") +
+      " edge of `sig`, using a register `prev` clocked by `clk` with async reset `rst`.";
+  return make(c, "edge_detector", name, desc, header, body);
+}
+
+RtlSample fam_shift_register(Ctx& c) {
+  const std::string name = "shift_reg" + W(c.width) +
+                           c.np.suffixes[c.rng.next_below(c.np.suffixes.size())];
+  const std::string header = "module " + name +
+                             "(input clk, input rst, input sin, output reg " +
+                             msb(c.width) + " q);";
+  const std::string body =
+      "  always @(posedge clk or posedge rst)\n"
+      "    if (rst) q <= " + W(c.width) + "'d0;\n"
+      "    else q <= {q[" + W(c.width - 2) + ":0], sin};\nendmodule\n";
+  const std::string desc =
+      "Implement a " + W(c.width) + "-bit serial-in shift register named \"" + name +
+      "\" shifting `sin` into the LSB of `q` each rising clock edge, with async reset.";
+  return make(c, "shift_register", name, desc, header, body);
+}
+
+RtlSample fam_min_max(Ctx& c) {
+  const bool is_max = c.rng.next_bool(0.5);
+  const std::string name = std::string(is_max ? "max" : "min") + "_unit" +
+                           c.np.suffixes[c.rng.next_below(c.np.suffixes.size())];
+  const std::string header = "module " + name + "(input " + msb(c.width) + " a, input " +
+                             msb(c.width) + " b, output " + msb(c.width) + " y);";
+  const std::string body = std::string("  assign y = (a ") + (is_max ? ">" : "<") +
+                           " b) ? a : b;\nendmodule\n";
+  const std::string desc =
+      "Write module \"" + name + "\" outputting the " +
+      (is_max ? std::string("maximum") : std::string("minimum")) + " of the two " +
+      W(c.width) + "-bit unsigned inputs `a` and `b` on `y`.";
+  return make(c, "min_max", name, desc, header, body);
+}
+
+RtlSample fam_seq_detector(Ctx& c) {
+  // Overlapping "101" or "110" detector, 3-state Mealy-ish FSM.
+  const bool pat101 = c.rng.next_bool(0.5);
+  const std::string name = std::string("seq") + (pat101 ? "101" : "110") + "_det" +
+                           c.np.suffixes[c.rng.next_below(c.np.suffixes.size())];
+  const std::string header =
+      "module " + name + "(input clk, input rst, input din, output reg found);";
+  std::string body =
+      "  reg [1:0] state;\n"
+      "  always @(posedge clk or posedge rst) begin\n"
+      "    if (rst) begin\n"
+      "      state <= 2'd0;\n"
+      "      found <= 1'b0;\n"
+      "    end else begin\n"
+      "      found <= 1'b0;\n"
+      "      case (state)\n";
+  if (pat101) {
+    body +=
+        "        2'd0: state <= din ? 2'd1 : 2'd0;\n"
+        "        2'd1: state <= din ? 2'd1 : 2'd2;\n"
+        "        2'd2: begin\n"
+        "          if (din) begin\n"
+        "            found <= 1'b1;\n"
+        "            state <= 2'd1;\n"
+        "          end else\n"
+        "            state <= 2'd0;\n"
+        "        end\n"
+        "        default: state <= 2'd0;\n";
+  } else {
+    body +=
+        "        2'd0: state <= din ? 2'd1 : 2'd0;\n"
+        "        2'd1: state <= din ? 2'd2 : 2'd0;\n"
+        "        2'd2: begin\n"
+        "          if (!din) begin\n"
+        "            found <= 1'b1;\n"
+        "            state <= 2'd0;\n"
+        "          end else\n"
+        "            state <= 2'd2;\n"
+        "        end\n"
+        "        default: state <= 2'd0;\n";
+  }
+  body +=
+      "      endcase\n"
+      "    end\n"
+      "  end\nendmodule\n";
+  const std::string desc =
+      std::string("Design a Moore-style finite state machine module named \"") + name +
+      "\" that raises `found` for one cycle whenever the serial input `din` has produced "
+      "the bit pattern " + (pat101 ? "101" : "110") +
+      " (overlapping detection), with async reset `rst`.";
+  return make(c, "seq_detector", name, desc, header, body);
+}
+
+const std::unordered_map<std::string, FamilyFn>& family_table() {
+  static const std::unordered_map<std::string, FamilyFn> table = {
+      {"register", fam_register},
+      {"mux2", fam_mux2},
+      {"mux4", fam_mux4},
+      {"counter", fam_counter},
+      {"adder", fam_adder},
+      {"logic_unit", fam_logic_unit},
+      {"alu", fam_alu},
+      {"comparator", fam_comparator},
+      {"shifter", fam_shifter},
+      {"parity", fam_parity},
+      {"decoder", fam_decoder},
+      {"gray", fam_gray},
+      {"edge_detector", fam_edge_detector},
+      {"shift_register", fam_shift_register},
+      {"min_max", fam_min_max},
+      {"seq_detector", fam_seq_detector},
+  };
+  return table;
+}
+
+}  // namespace
+
+const std::vector<std::string>& TemplateLibrary::families() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const auto& [name, fn] : family_table()) out.push_back(name);
+    std::sort(out.begin(), out.end());
+    return out;
+  }();
+  return names;
+}
+
+RtlSample TemplateLibrary::generate(const std::string& family, Rng& rng, Pool pool) {
+  const auto it = family_table().find(family);
+  check(it != family_table().end(), "unknown template family " + family);
+  const NamePools& np = pools(pool);
+  Ctx ctx{rng, np,
+          np.data_in[rng.next_below(np.data_in.size())],
+          np.data_out[rng.next_below(np.data_out.size())],
+          np.widths[rng.next_below(np.widths.size())]};
+  return it->second(ctx);
+}
+
+RtlSample TemplateLibrary::generate_any(Rng& rng, Pool pool) {
+  const auto& names = families();
+  return generate(names[rng.next_below(names.size())], rng, pool);
+}
+
+}  // namespace vsd::data

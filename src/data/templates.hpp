@@ -1,0 +1,44 @@
+// Parameterised RTL template library — the reproduction's substitute for
+// the paper's GitHub .v scrape (+ MG-Verilog / RTLCoder) and for the GPT-4
+// generated functional descriptions.
+//
+// Every template emits a (description, code) pair where the code parses
+// with vsd::vlog and simulates with vsd::sim; the same library (with a
+// held-out name/width pool) provides golden designs for the RTLLM-like and
+// VGen-like evaluation benchmarks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace vsd::data {
+
+struct RtlSample {
+  std::string family;       // template family, e.g. "counter"
+  std::string module_name;
+  std::string description;  // natural-language functional description
+  std::string header;       // module header line(s), VGen-style prompt part
+  std::string code;         // complete module
+};
+
+/// Name/width pool selector: Train is used for corpus generation, Eval for
+/// benchmark golden designs (held-out identifiers and widths so benchmark
+/// problems are not literal corpus members).
+enum class Pool { Train, Eval };
+
+class TemplateLibrary {
+ public:
+  /// All template family names.
+  static const std::vector<std::string>& families();
+
+  /// Generates one sample of `family`.
+  static RtlSample generate(const std::string& family, Rng& rng,
+                            Pool pool = Pool::Train);
+
+  /// Generates a sample of a uniformly random family.
+  static RtlSample generate_any(Rng& rng, Pool pool = Pool::Train);
+};
+
+}  // namespace vsd::data

@@ -1,0 +1,109 @@
+#include "eval/benchmarks.hpp"
+
+#include "data/dataset.hpp"
+#include "data/templates.hpp"
+
+namespace vsd::eval {
+
+namespace {
+
+std::vector<BenchProblem> make_suite(BenchStyle style, const char* prefix, int n,
+                                     std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<BenchProblem> out;
+  const auto& families = data::TemplateLibrary::families();
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    // Round-robin over families for coverage, random parameters within.
+    const std::string& family = families[static_cast<std::size_t>(i) % families.size()];
+    data::RtlSample s = data::TemplateLibrary::generate(family, rng, data::Pool::Eval);
+    BenchProblem p;
+    p.id = std::string(prefix) + "-" + std::to_string(i);
+    p.style = style;
+    p.family = s.family;
+    p.instruction = s.description;
+    p.header = s.header;
+    p.module_name = s.module_name;
+    p.golden_code = s.code;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string problem_prompt(const BenchProblem& p) {
+  std::string prompt = data::alpaca_prompt(p.instruction);
+  if (p.style == BenchStyle::VgenLike) {
+    prompt += p.header + "\n";
+  }
+  return prompt;
+}
+
+std::string assemble_candidate(const BenchProblem& p, const std::string& generation) {
+  // Trim leading whitespace, cut after the first complete module (models
+  // may ramble past `endmodule`).
+  std::string text = generation;
+  const std::size_t start = text.find_first_not_of(" \t\n\r");
+  if (start != std::string::npos && start > 0) text.erase(0, start);
+  const std::size_t end = text.find("endmodule");
+  if (end != std::string::npos) text.resize(end + 9);
+
+  if (p.style == BenchStyle::VgenLike) {
+    // The prompt already contains the header; if the model restarted the
+    // module from scratch anyway, use its complete module as-is.
+    if (text.rfind("module", 0) == 0) return text;
+    return p.header + "\n" + text;
+  }
+  return text;
+}
+
+std::vector<BenchProblem> make_from_dataset(const data::Dataset& ds, int n,
+                                            BenchStyle style, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::size_t> idx(ds.items.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  rng.shuffle(idx);
+  std::vector<BenchProblem> out;
+  const int count = std::min<int>(n, static_cast<int>(idx.size()));
+  for (int i = 0; i < count; ++i) {
+    const data::DatasetItem& item = ds.items[idx[static_cast<std::size_t>(i)]];
+    BenchProblem p;
+    p.id = std::string(style == BenchStyle::VgenLike ? "vgen-ds-" : "rtllm-ds-") +
+           std::to_string(i);
+    p.style = style;
+    p.family = item.family;
+    p.instruction = item.instruction;
+    // Header = first line of the module (up to and incl. the first ';').
+    const std::size_t semi = item.code.find(';');
+    p.header = semi == std::string::npos ? item.code : item.code.substr(0, semi + 1);
+    p.module_name = item.module_name;
+    p.golden_code = item.code;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::vector<BenchProblem> make_rtllm_like(int n, std::uint64_t seed) {
+  return make_suite(BenchStyle::RtllmLike, "rtllm", n, seed);
+}
+
+std::vector<BenchProblem> make_vgen_like(int n, std::uint64_t seed) {
+  return make_suite(BenchStyle::VgenLike, "vgen", n, seed ^ 0x9E3779B9u);
+}
+
+std::vector<std::string> make_speed_prompts(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    data::RtlSample s = data::TemplateLibrary::generate_any(
+        rng, rng.next_bool() ? data::Pool::Eval : data::Pool::Train);
+    std::string prompt = data::alpaca_prompt(s.description);
+    if (rng.next_bool()) prompt += s.header + "\n";  // VGen-format half
+    out.push_back(std::move(prompt));
+  }
+  return out;
+}
+
+}  // namespace vsd::eval

@@ -1,0 +1,174 @@
+#include "eval/harness.hpp"
+
+#include <cstdlib>
+
+#include "sim/check.hpp"
+#include "vlog/parser.hpp"
+
+namespace vsd::eval {
+
+TrainedSystem train_system(const SystemConfig& cfg, const data::Dataset& full,
+                           const text::Tokenizer& tokenizer) {
+  TrainedSystem sys;
+  sys.config = cfg;
+  sys.tokenizer = tokenizer;
+
+  data::Dataset ds = data::subset(full, cfg.fraction, cfg.seed ^ 0xDA7A);
+  sys.train_items = static_cast<int>(ds.items.size());
+
+  nn::ModelConfig mc;
+  mc.vocab = tokenizer.vocab_size();
+  mc.d_model = cfg.d_model;
+  mc.n_layers = cfg.n_layers;
+  mc.n_heads = cfg.attn_heads;
+  mc.d_ff = cfg.d_ff;
+  mc.max_seq = cfg.max_seq;
+  mc.encoder_decoder = cfg.encoder_decoder;
+  mc.enc_layers = cfg.enc_layers;
+  mc.n_medusa_heads = cfg.method == spec::Method::NTP ? 0 : cfg.medusa_heads;
+  sys.model = std::make_unique<nn::TransformerModel>(mc, cfg.seed);
+
+  spec::TrainConfig tc;
+  tc.method = cfg.method;
+  tc.epochs = cfg.epochs;
+  tc.lr = cfg.lr;
+  tc.max_seq = cfg.max_seq - 8;
+  tc.seed = cfg.seed;
+  spec::Trainer trainer(*sys.model, tc);
+  const auto examples =
+      data::encode_for_training(ds, tokenizer, cfg.method == spec::Method::Ours);
+  sys.train_stats = trainer.fit(examples);
+  return sys;
+}
+
+spec::DecodeResult generate(const TrainedSystem& sys, const std::string& prompt,
+                            const spec::DecodeConfig& dcfg, Rng& rng) {
+  const spec::Decoder decoder(*sys.model);
+  std::vector<int> prompt_ids;
+  if (sys.config.encoder_decoder) {
+    prompt_ids = sys.tokenizer.encode(prompt);
+  } else {
+    prompt_ids = sys.tokenizer.encode(prompt, /*add_bos=*/true);
+  }
+  spec::DecodeConfig cfg = dcfg;
+  if (sys.config.method == spec::Method::Ours) {
+    // Ours emits [FRAG]-marked sequences, ~1.5x longer in tokens for the
+    // same code; give it budget so modules are not truncated mid-body
+    // (markers are stripped before evaluation and don't count as output).
+    cfg.max_new_tokens = cfg.max_new_tokens + cfg.max_new_tokens / 2;
+  }
+  // Clamp the prompt to leave room for generation.
+  const int max_prompt = sys.config.max_seq - cfg.max_new_tokens - 16;
+  if (static_cast<int>(prompt_ids.size()) > max_prompt && max_prompt > 0) {
+    prompt_ids.resize(static_cast<std::size_t>(max_prompt));
+  }
+  if (sys.config.method == spec::Method::NTP) {
+    return decoder.ntp(prompt_ids, cfg, rng);
+  }
+  cfg.fragment_integrity = sys.config.method == spec::Method::Ours;
+  return decoder.speculative(prompt_ids, cfg, rng);
+}
+
+BenchScores evaluate_quality(const TrainedSystem& sys,
+                             const std::vector<BenchProblem>& problems,
+                             const QualityOptions& opts) {
+  BenchScores scores;
+  std::vector<std::pair<int, int>> func_nc;
+  std::vector<std::pair<int, int>> syn_nc;
+  Rng rng(opts.seed);
+
+  for (const BenchProblem& p : problems) {
+    const std::string prompt = problem_prompt(p);
+    int best_func = -1;
+    int best_syn = -1;
+    for (const float temp : opts.temperatures) {
+      int c_func = 0;
+      int c_syn = 0;
+      for (int s = 0; s < opts.n_samples; ++s) {
+        spec::DecodeConfig dcfg;
+        dcfg.temperature = temp;
+        dcfg.max_new_tokens = opts.max_new_tokens;
+        spec::DecodeResult r = generate(sys, prompt, dcfg, rng);
+        const std::string text = sys.tokenizer.decode(r.ids);
+        const std::string candidate = assemble_candidate(p, text);
+        const bool syntax = vlog::syntax_ok(candidate) &&
+                            sim::check_compiles(candidate, p.module_name).ok;
+        bool functional = false;
+        if (syntax) {
+          sim::DiffOptions dopts;
+          dopts.cycles = 48;
+          dopts.vectors = 48;
+          dopts.seed = opts.seed ^ (static_cast<std::uint64_t>(s) << 8);
+          const sim::DiffResult d =
+              sim::diff_check(p.golden_code, candidate, p.module_name, dopts);
+          functional = d.equivalent;
+        }
+        c_syn += syntax ? 1 : 0;
+        c_func += functional ? 1 : 0;
+      }
+      best_func = std::max(best_func, c_func);
+      best_syn = std::max(best_syn, c_syn);
+    }
+    func_nc.emplace_back(opts.n_samples, best_func);
+    syn_nc.emplace_back(opts.n_samples, best_syn);
+  }
+
+  for (const int k : opts.ks) {
+    scores.func_pass_at_k.push_back(mean_pass_at_k(func_nc, k));
+    scores.syn_pass_at_k.push_back(mean_pass_at_k(syn_nc, k));
+  }
+  scores.func_rate = pass_rate(func_nc);
+  scores.syn_rate = pass_rate(syn_nc);
+  return scores;
+}
+
+SpeedRow evaluate_speed(const TrainedSystem& sys,
+                        const std::vector<std::string>& prompts,
+                        const SpeedOptions& opts, double t_step_seconds) {
+  SpeedRow row;
+  Rng rng(opts.seed);
+  double sum_speed_model = 0.0;
+  double sum_speed_wall = 0.0;
+  double sum_accept = 0.0;
+  int outputs = 0;
+
+  const float temps[2] = {0.0f, opts.sampling_temperature};
+  const int n = std::min<int>(opts.n_prompts, static_cast<int>(prompts.size()));
+  for (int i = 0; i < n; ++i) {
+    for (const float temp : temps) {
+      spec::DecodeConfig dcfg;
+      dcfg.temperature = temp;
+      dcfg.max_new_tokens = opts.max_new_tokens;
+      const spec::DecodeResult r = generate(sys, prompts[static_cast<std::size_t>(i)],
+                                            dcfg, rng);
+      if (r.ids.empty() || r.steps == 0) continue;
+      const double tokens = static_cast<double>(r.ids.size());
+      const double modeled_time = static_cast<double>(r.steps) * t_step_seconds;
+      // Eq. 3: mean over outputs of length / time.
+      sum_speed_model += tokens / std::max(modeled_time, 1e-12);
+      sum_speed_wall += tokens / std::max(r.wall_seconds, 1e-12);
+      sum_accept += r.mean_accepted();
+      row.total_tokens += tokens;
+      row.total_steps += r.steps;
+      ++outputs;
+    }
+  }
+  if (outputs > 0) {
+    row.tokens_per_sec_model = sum_speed_model / outputs;
+    row.tokens_per_sec_wall = sum_speed_wall / outputs;
+    row.mean_accepted = sum_accept / outputs;
+  }
+  return row;
+}
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+}  // namespace vsd::eval

@@ -1,0 +1,120 @@
+// End-to-end experiment harness: trains a (model, method, data-fraction)
+// system and evaluates quality (Table I / Fig. 6) and speed (Table II /
+// Fig. 1) exactly along the paper's protocol, scaled to CPU.
+//
+// Speed metric note: the paper measures wall-clock tokens/s on A800 GPUs,
+// where batch-1 decoding is memory-bandwidth-bound and verifying n+1
+// drafted positions costs roughly one forward pass.  On a single CPU core
+// our miniature models are compute-bound, so we report BOTH raw wall-clock
+// tokens/s and a *serving-latency model* tokens/s (= tokens / (steps x
+// t_step), with t_step calibrated as the measured single-token step time).
+// The latency model reproduces the regime the paper measures; see
+// EXPERIMENTS.md.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "eval/benchmarks.hpp"
+#include "eval/passk.hpp"
+#include "nn/model.hpp"
+#include "spec/decode.hpp"
+#include "spec/trainer.hpp"
+#include "text/bpe.hpp"
+
+namespace vsd::eval {
+
+/// Scaled-down analogue of one fine-tuning run from the paper.
+struct SystemConfig {
+  spec::Method method = spec::Method::Ours;
+  bool encoder_decoder = false;  // false: CodeLlama-like; true: CodeT5p-like
+  double fraction = 1.0;         // training-data fraction (1/4 .. 1)
+  int medusa_heads = 10;         // paper: 10 heads
+  int epochs = 20;   // paper trains much longer relative to model scale
+  float lr = 2e-3f;  // paper: 5e-4 at 7B scale; miniature models need more
+  int vocab = 384;
+  int d_model = 80;
+  int n_layers = 2;
+  int enc_layers = 1;
+  int attn_heads = 2;
+  int d_ff = 192;
+  int max_seq = 448;
+  std::uint64_t seed = 1;
+};
+
+struct TrainedSystem {
+  SystemConfig config;
+  std::unique_ptr<nn::TransformerModel> model;
+  text::Tokenizer tokenizer = text::Tokenizer::byte_fallback();
+  spec::TrainStats train_stats;
+  int train_items = 0;
+};
+
+/// Trains one system.  `tokenizer` must have been trained on the full
+/// dataset (shared across methods so vocabularies are comparable).
+TrainedSystem train_system(const SystemConfig& cfg, const data::Dataset& full,
+                           const text::Tokenizer& tokenizer);
+
+/// Generates one completion for a prompt with the system's method.
+spec::DecodeResult generate(const TrainedSystem& sys, const std::string& prompt,
+                            const spec::DecodeConfig& dcfg, Rng& rng);
+
+// --- quality (Table I, Fig. 6) ---------------------------------------------
+
+struct QualityOptions {
+  int n_samples = 20;                         // n in Eq. 5
+  std::vector<float> temperatures = {0.4f, 0.8f};
+  int max_new_tokens = 300;
+  std::vector<int> ks = {1, 5, 10};
+  std::uint64_t seed = 99;
+};
+
+struct BenchScores {
+  std::vector<double> func_pass_at_k;  // aligned with QualityOptions::ks
+  double func_rate = 0.0;
+  std::vector<double> syn_pass_at_k;
+  double syn_rate = 0.0;
+};
+
+BenchScores evaluate_quality(const TrainedSystem& sys,
+                             const std::vector<BenchProblem>& problems,
+                             const QualityOptions& opts);
+
+// --- speed (Table II, Fig. 1) ------------------------------------------------
+
+struct SpeedOptions {
+  int n_prompts = 60;           // paper uses 575; scaled via env knob
+  int max_new_tokens = 220;
+  float sampling_temperature = 0.8f;  // paper: greedy + T=0.8 per prompt
+  std::uint64_t seed = 7;
+};
+
+struct SpeedRow {
+  double tokens_per_sec_model = 0.0;  // serving-latency model (headline)
+  double tokens_per_sec_wall = 0.0;   // raw CPU wall clock
+  double mean_accepted = 0.0;         // tokens committed per decode step
+  double total_tokens = 0.0;
+  double total_steps = 0.0;
+};
+
+/// Runs the Eq. 3 speed measurement over `prompts` (greedy + sampling per
+/// prompt).  `t_step_seconds` is the calibrated one-token step latency.
+SpeedRow evaluate_speed(const TrainedSystem& sys,
+                        const std::vector<std::string>& prompts,
+                        const SpeedOptions& opts, double t_step_seconds);
+
+/// Eq. 4 speedup helper.
+inline double speedup(const SpeedRow& method, const SpeedRow& ntp_baseline) {
+  return ntp_baseline.tokens_per_sec_model > 0.0
+             ? method.tokens_per_sec_model / ntp_baseline.tokens_per_sec_model
+             : 0.0;
+}
+
+/// Reads an integer scale knob from the environment (VSD_* variables let
+/// the bench binaries run anywhere from smoke-test to paper-scale).
+int env_int(const char* name, int fallback);
+double env_double(const char* name, double fallback);
+
+}  // namespace vsd::eval

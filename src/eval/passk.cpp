@@ -1,0 +1,32 @@
+#include "eval/passk.hpp"
+
+namespace vsd::eval {
+
+double pass_at_k(int n, int c, int k) {
+  check(n >= 1 && c >= 0 && c <= n && k >= 1, "pass_at_k: bad arguments");
+  if (k > n) k = n;
+  if (c == 0) return 0.0;
+  if (n - c < k) return 1.0;
+  // 1 - prod_{i=0}^{k-1} (n - c - i) / (n - i)
+  double prod = 1.0;
+  for (int i = 0; i < k; ++i) {
+    prod *= static_cast<double>(n - c - i) / static_cast<double>(n - i);
+  }
+  return 1.0 - prod;
+}
+
+double mean_pass_at_k(const std::vector<std::pair<int, int>>& n_and_c, int k) {
+  if (n_and_c.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [n, c] : n_and_c) sum += pass_at_k(n, c, k);
+  return sum / static_cast<double>(n_and_c.size());
+}
+
+double pass_rate(const std::vector<std::pair<int, int>>& n_and_c) {
+  if (n_and_c.empty()) return 0.0;
+  int passed = 0;
+  for (const auto& [n, c] : n_and_c) passed += c > 0 ? 1 : 0;
+  return static_cast<double>(passed) / static_cast<double>(n_and_c.size());
+}
+
+}  // namespace vsd::eval

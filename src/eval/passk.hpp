@@ -1,0 +1,21 @@
+// Evaluation metrics: pass@k (paper Eq. 5, from VerilogEval) and
+// Pass Rate (Eq. 6).
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace vsd::eval {
+
+/// Unbiased pass@k estimator for one prompt: 1 - C(n-c, k) / C(n, k),
+/// where n samples were drawn and c passed.
+double pass_at_k(int n, int c, int k);
+
+/// Mean pass@k across prompts given per-prompt (n, c).
+double mean_pass_at_k(const std::vector<std::pair<int, int>>& n_and_c, int k);
+
+/// Eq. 6: fraction of benchmark prompts with at least one passing sample.
+double pass_rate(const std::vector<std::pair<int, int>>& n_and_c);
+
+}  // namespace vsd::eval

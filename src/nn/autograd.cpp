@@ -1,0 +1,495 @@
+#include "nn/autograd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace vsd::nn {
+
+Var make_leaf(Tensor value, bool requires_grad, std::string name) {
+  auto n = std::make_shared<Node>();
+  n->value = std::move(value);
+  n->requires_grad = requires_grad;
+  n->name = std::move(name);
+  return n;
+}
+
+namespace {
+
+Var make_op(Tensor value, std::vector<Var> inputs, std::function<void()> backward_fn) {
+  auto n = std::make_shared<Node>();
+  n->value = std::move(value);
+  n->inputs = std::move(inputs);
+  bool any = false;
+  for (const Var& in : n->inputs) any = any || in->requires_grad;
+  n->requires_grad = any;
+  if (any) n->backward_fn = std::move(backward_fn);
+  return n;
+}
+
+void topo_visit(const Var& v, std::unordered_set<Node*>& seen, std::vector<Var>& order) {
+  if (!v || !v->requires_grad || seen.count(v.get()) > 0) return;
+  seen.insert(v.get());
+  for (const Var& in : v->inputs) topo_visit(in, seen, order);
+  order.push_back(v);
+}
+
+}  // namespace
+
+void backward(const Var& loss) {
+  check(loss && loss->value.rows() == 1 && loss->value.cols() == 1,
+        "backward() expects a scalar loss");
+  std::unordered_set<Node*> seen;
+  std::vector<Var> order;
+  topo_visit(loss, seen, order);
+  loss->ensure_grad().at(0, 0) = 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node& n = **it;
+    if (n.backward_fn && !n.grad.empty()) n.backward_fn();
+  }
+}
+
+Var linear(const Var& x, const Var& w, const Var& b) {
+  const int t = x->value.rows();
+  const int d = x->value.cols();
+  const int e = w->value.cols();
+  check(w->value.rows() == d, "linear: shape mismatch");
+  Tensor out(t, e);
+  matmul_acc(x->value.data(), w->value.data(), out.data(), t, d, e);
+  if (b) {
+    check(b->value.cols() == e, "linear: bias mismatch");
+    for (int i = 0; i < t; ++i) {
+      float* row = out.row(i);
+      const float* brow = b->value.data();
+      for (int j = 0; j < e; ++j) row[j] += brow[j];
+    }
+  }
+  std::vector<Var> inputs = b ? std::vector<Var>{x, w, b} : std::vector<Var>{x, w};
+  Node* xn = x.get();
+  Node* wn = w.get();
+  Node* bn = b ? b.get() : nullptr;
+  auto result = make_op(std::move(out), std::move(inputs), nullptr);
+  Node* rn = result.get();
+  if (result->requires_grad) {
+    result->backward_fn = [xn, wn, bn, rn, t, d, e]() {
+      const float* dy = rn->grad.data();
+      if (xn->requires_grad) {
+        matmul_bt_acc(dy, wn->value.data(), xn->ensure_grad().data(), t, e, d);
+      }
+      if (wn->requires_grad) {
+        matmul_at_acc(xn->value.data(), dy, wn->ensure_grad().data(), t, d, e);
+      }
+      if (bn != nullptr && bn->requires_grad) {
+        float* db = bn->ensure_grad().data();
+        for (int i = 0; i < t; ++i) {
+          const float* row = rn->grad.row(i);
+          for (int j = 0; j < e; ++j) db[j] += row[j];
+        }
+      }
+    };
+  }
+  return result;
+}
+
+Var add(const Var& a, const Var& b) {
+  check(a->value.same_shape(b->value), "add: shape mismatch");
+  Tensor out = a->value;
+  const float* bp = b->value.data();
+  float* op = out.data();
+  for (std::size_t i = 0; i < out.size(); ++i) op[i] += bp[i];
+  Node* an = a.get();
+  Node* bn = b.get();
+  auto result = make_op(std::move(out), {a, b}, nullptr);
+  Node* rn = result.get();
+  if (result->requires_grad) {
+    result->backward_fn = [an, bn, rn]() {
+      const float* dy = rn->grad.data();
+      if (an->requires_grad) {
+        float* da = an->ensure_grad().data();
+        for (std::size_t i = 0; i < rn->grad.size(); ++i) da[i] += dy[i];
+      }
+      if (bn->requires_grad) {
+        float* db = bn->ensure_grad().data();
+        for (std::size_t i = 0; i < rn->grad.size(); ++i) db[i] += dy[i];
+      }
+    };
+  }
+  return result;
+}
+
+Var scale(const Var& x, float s) {
+  Tensor out = x->value;
+  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] *= s;
+  Node* xn = x.get();
+  auto result = make_op(std::move(out), {x}, nullptr);
+  Node* rn = result.get();
+  if (result->requires_grad) {
+    result->backward_fn = [xn, rn, s]() {
+      float* dx = xn->ensure_grad().data();
+      const float* dy = rn->grad.data();
+      for (std::size_t i = 0; i < rn->grad.size(); ++i) dx[i] += s * dy[i];
+    };
+  }
+  return result;
+}
+
+Var silu(const Var& x) {
+  Tensor out = x->value;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const float v = out.data()[i];
+    out.data()[i] = v / (1.0f + std::exp(-v));
+  }
+  Node* xn = x.get();
+  auto result = make_op(std::move(out), {x}, nullptr);
+  Node* rn = result.get();
+  if (result->requires_grad) {
+    result->backward_fn = [xn, rn]() {
+      float* dx = xn->ensure_grad().data();
+      const float* dy = rn->grad.data();
+      const float* xv = xn->value.data();
+      for (std::size_t i = 0; i < rn->grad.size(); ++i) {
+        const float v = xv[i];
+        const float sig = 1.0f / (1.0f + std::exp(-v));
+        dx[i] += dy[i] * (sig * (1.0f + v * (1.0f - sig)));
+      }
+    };
+  }
+  return result;
+}
+
+Var mul(const Var& a, const Var& b) {
+  check(a->value.same_shape(b->value), "mul: shape mismatch");
+  Tensor out = a->value;
+  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] *= b->value.data()[i];
+  Node* an = a.get();
+  Node* bn = b.get();
+  auto result = make_op(std::move(out), {a, b}, nullptr);
+  Node* rn = result.get();
+  if (result->requires_grad) {
+    result->backward_fn = [an, bn, rn]() {
+      const float* dy = rn->grad.data();
+      if (an->requires_grad) {
+        float* da = an->ensure_grad().data();
+        const float* bv = bn->value.data();
+        for (std::size_t i = 0; i < rn->grad.size(); ++i) da[i] += dy[i] * bv[i];
+      }
+      if (bn->requires_grad) {
+        float* db = bn->ensure_grad().data();
+        const float* av = an->value.data();
+        for (std::size_t i = 0; i < rn->grad.size(); ++i) db[i] += dy[i] * av[i];
+      }
+    };
+  }
+  return result;
+}
+
+Var rmsnorm(const Var& x, const Var& g) {
+  const int t = x->value.rows();
+  const int d = x->value.cols();
+  check(g->value.cols() == d && g->value.rows() == 1, "rmsnorm: gain mismatch");
+  Tensor out(t, d);
+  std::vector<float> inv_rms(static_cast<std::size_t>(t));
+  for (int i = 0; i < t; ++i) {
+    const float* row = x->value.row(i);
+    float sum = 0.0f;
+    for (int j = 0; j < d; ++j) sum += row[j] * row[j];
+    const float inv = 1.0f / std::sqrt(sum / static_cast<float>(d) + 1e-6f);
+    inv_rms[static_cast<std::size_t>(i)] = inv;
+    float* orow = out.row(i);
+    const float* grow = g->value.data();
+    for (int j = 0; j < d; ++j) orow[j] = row[j] * inv * grow[j];
+  }
+  Node* xn = x.get();
+  Node* gn = g.get();
+  auto result = make_op(std::move(out), {x, g}, nullptr);
+  Node* rn = result.get();
+  if (result->requires_grad) {
+    result->backward_fn = [xn, gn, rn, t, d, inv_rms = std::move(inv_rms)]() {
+      const float* gv = gn->value.data();
+      for (int i = 0; i < t; ++i) {
+        const float* dy = rn->grad.row(i);
+        const float* xv = xn->value.row(i);
+        const float inv = inv_rms[static_cast<std::size_t>(i)];
+        if (gn->requires_grad) {
+          float* dg = gn->ensure_grad().data();
+          for (int j = 0; j < d; ++j) dg[j] += dy[j] * xv[j] * inv;
+        }
+        if (xn->requires_grad) {
+          float* dx = xn->ensure_grad().row(i);
+          // dL/dx = inv * g * dy - inv^3 / d * x * sum(dy * g * x)
+          float dot = 0.0f;
+          for (int j = 0; j < d; ++j) dot += dy[j] * gv[j] * xv[j];
+          const float k = inv * inv * inv * dot / static_cast<float>(d);
+          for (int j = 0; j < d; ++j) dx[j] += dy[j] * gv[j] * inv - k * xv[j];
+        }
+      }
+    };
+  }
+  return result;
+}
+
+Var embed(const Var& tok_table, const Var& pos_table, std::span<const int> ids,
+          int pos_offset) {
+  const int t = static_cast<int>(ids.size());
+  const int d = tok_table->value.cols();
+  check(t >= 1, "embed: empty sequence");
+  check(pos_offset + t <= pos_table->value.rows(), "embed: sequence too long");
+  Tensor out(t, d);
+  for (int i = 0; i < t; ++i) {
+    const int id = ids[static_cast<std::size_t>(i)];
+    check(id >= 0 && id < tok_table->value.rows(), "embed: id out of range");
+    const float* trow = tok_table->value.row(id);
+    const float* prow = pos_table->value.row(pos_offset + i);
+    float* orow = out.row(i);
+    for (int j = 0; j < d; ++j) orow[j] = trow[j] + prow[j];
+  }
+  std::vector<int> ids_copy(ids.begin(), ids.end());
+  Node* tn = tok_table.get();
+  Node* pn = pos_table.get();
+  auto result = make_op(std::move(out), {tok_table, pos_table}, nullptr);
+  Node* rn = result.get();
+  if (result->requires_grad) {
+    result->backward_fn = [tn, pn, rn, t, d, pos_offset, ids = std::move(ids_copy)]() {
+      for (int i = 0; i < t; ++i) {
+        const float* dy = rn->grad.row(i);
+        if (tn->requires_grad) {
+          float* dt = tn->ensure_grad().row(ids[static_cast<std::size_t>(i)]);
+          for (int j = 0; j < d; ++j) dt[j] += dy[j];
+        }
+        if (pn->requires_grad) {
+          float* dp = pn->ensure_grad().row(pos_offset + i);
+          for (int j = 0; j < d; ++j) dp[j] += dy[j];
+        }
+      }
+    };
+  }
+  return result;
+}
+
+namespace {
+
+/// Shared attention kernel.  q:[T,D], k/v:[S,D]; causal applies only when
+/// the sequences coincide (self-attention).
+Var attention_impl(const Var& q, const Var& k, const Var& v, int n_heads,
+                   bool causal) {
+  const int t = q->value.rows();
+  const int s = k->value.rows();
+  const int d = q->value.cols();
+  check(d % n_heads == 0, "attention: heads must divide d_model");
+  check(k->value.cols() == d && v->value.cols() == d && v->value.rows() == s,
+        "attention: shape mismatch");
+  const int dh = d / n_heads;
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  Tensor out(t, d);
+  // probs[h][t][s]
+  auto probs = std::make_shared<std::vector<Tensor>>();
+  probs->reserve(static_cast<std::size_t>(n_heads));
+  for (int h = 0; h < n_heads; ++h) {
+    probs->emplace_back(t, s);
+    Tensor& p = probs->back();
+    const int off = h * dh;
+    for (int i = 0; i < t; ++i) {
+      const float* qrow = q->value.row(i) + off;
+      const int limit = causal ? i + 1 : s;
+      float maxv = -1e30f;
+      float* prow = p.row(i);
+      for (int j = 0; j < limit; ++j) {
+        const float* krow = k->value.row(j) + off;
+        float dot = 0.0f;
+        for (int c = 0; c < dh; ++c) dot += qrow[c] * krow[c];
+        dot *= inv_sqrt;
+        prow[j] = dot;
+        maxv = std::max(maxv, dot);
+      }
+      float denom = 0.0f;
+      for (int j = 0; j < limit; ++j) {
+        prow[j] = std::exp(prow[j] - maxv);
+        denom += prow[j];
+      }
+      const float inv_denom = 1.0f / denom;
+      for (int j = 0; j < limit; ++j) prow[j] *= inv_denom;
+      for (int j = limit; j < s; ++j) prow[j] = 0.0f;
+      float* orow = out.row(i) + off;
+      for (int c = 0; c < dh; ++c) orow[c] = 0.0f;
+      for (int j = 0; j < limit; ++j) {
+        const float pv = prow[j];
+        if (pv == 0.0f) continue;
+        const float* vrow = v->value.row(j) + off;
+        for (int c = 0; c < dh; ++c) orow[c] += pv * vrow[c];
+      }
+    }
+  }
+
+  Node* qn = q.get();
+  Node* kn = k.get();
+  Node* vn = v.get();
+  auto result = make_op(std::move(out), {q, k, v}, nullptr);
+  Node* rn = result.get();
+  if (result->requires_grad) {
+    result->backward_fn = [qn, kn, vn, rn, n_heads, t, s, dh, inv_sqrt, causal,
+                           probs]() {
+      std::vector<float> dp(static_cast<std::size_t>(s));
+      for (int h = 0; h < n_heads; ++h) {
+        const Tensor& p = (*probs)[static_cast<std::size_t>(h)];
+        const int off = h * dh;
+        for (int i = 0; i < t; ++i) {
+          const int limit = causal ? i + 1 : s;
+          const float* dy = rn->grad.row(i) + off;
+          const float* prow = p.row(i);
+          // dV and dp.
+          float dot_dp_p = 0.0f;
+          for (int j = 0; j < limit; ++j) {
+            const float* vrow = vn->value.row(j) + off;
+            float acc = 0.0f;
+            for (int c = 0; c < dh; ++c) acc += dy[c] * vrow[c];
+            dp[static_cast<std::size_t>(j)] = acc;
+            dot_dp_p += acc * prow[j];
+            if (vn->requires_grad) {
+              float* dv = vn->ensure_grad().row(j) + off;
+              const float pv = prow[j];
+              for (int c = 0; c < dh; ++c) dv[c] += pv * dy[c];
+            }
+          }
+          // ds = p * (dp - sum(dp*p)); dQ, dK.
+          const float* qrow = qn->value.row(i) + off;
+          float* dq = qn->requires_grad ? qn->ensure_grad().row(i) + off : nullptr;
+          for (int j = 0; j < limit; ++j) {
+            const float ds = prow[j] * (dp[static_cast<std::size_t>(j)] - dot_dp_p) *
+                             inv_sqrt;
+            if (ds == 0.0f) continue;
+            const float* krow = kn->value.row(j) + off;
+            if (dq != nullptr) {
+              for (int c = 0; c < dh; ++c) dq[c] += ds * krow[c];
+            }
+            if (kn->requires_grad) {
+              float* dk = kn->ensure_grad().row(j) + off;
+              for (int c = 0; c < dh; ++c) dk[c] += ds * qrow[c];
+            }
+          }
+        }
+      }
+    };
+  }
+  return result;
+}
+
+}  // namespace
+
+Var attention(const Var& q, const Var& k, const Var& v, int n_heads, bool causal) {
+  return attention_impl(q, k, v, n_heads, causal);
+}
+
+Var cross_attention(const Var& q, const Var& k, const Var& v, int n_heads) {
+  return attention_impl(q, k, v, n_heads, /*causal=*/false);
+}
+
+Var cross_entropy(const Var& logits, std::span<const int> targets, int ignore_id,
+                  int* counted) {
+  const int t = logits->value.rows();
+  const int vsz = logits->value.cols();
+  check(static_cast<int>(targets.size()) == t, "cross_entropy: target size mismatch");
+  auto probs = std::make_shared<Tensor>(t, vsz);
+  int count = 0;
+  double loss_sum = 0.0;
+  for (int i = 0; i < t; ++i) {
+    const int target = targets[static_cast<std::size_t>(i)];
+    const float* row = logits->value.row(i);
+    float* prow = probs->row(i);
+    if (target == ignore_id) {
+      for (int j = 0; j < vsz; ++j) prow[j] = 0.0f;
+      continue;
+    }
+    check(target >= 0 && target < vsz, "cross_entropy: target out of range");
+    float maxv = row[0];
+    for (int j = 1; j < vsz; ++j) maxv = std::max(maxv, row[j]);
+    float denom = 0.0f;
+    for (int j = 0; j < vsz; ++j) {
+      prow[j] = std::exp(row[j] - maxv);
+      denom += prow[j];
+    }
+    const float inv = 1.0f / denom;
+    for (int j = 0; j < vsz; ++j) prow[j] *= inv;
+    loss_sum += -std::log(static_cast<double>(std::max(prow[target], 1e-12f)));
+    ++count;
+  }
+  if (counted != nullptr) *counted = count;
+  Tensor out(1, 1);
+  out.at(0, 0) = count > 0 ? static_cast<float>(loss_sum / count) : 0.0f;
+  std::vector<int> targets_copy(targets.begin(), targets.end());
+  Node* ln = logits.get();
+  auto result = make_op(std::move(out), {logits}, nullptr);
+  Node* rn = result.get();
+  if (result->requires_grad && count > 0) {
+    result->backward_fn = [ln, rn, t, vsz, count, probs,
+                           targets = std::move(targets_copy), ignore_id]() {
+      const float dscale = rn->grad.at(0, 0) / static_cast<float>(count);
+      float* dl = ln->ensure_grad().data();
+      for (int i = 0; i < t; ++i) {
+        const int target = targets[static_cast<std::size_t>(i)];
+        if (target == ignore_id) continue;
+        const float* prow = probs->row(i);
+        float* drow = dl + static_cast<std::size_t>(i) * vsz;
+        for (int j = 0; j < vsz; ++j) drow[j] += dscale * prow[j];
+        drow[target] -= dscale;
+      }
+    };
+  } else {
+    result->backward_fn = nullptr;
+  }
+  return result;
+}
+
+Var weighted_sum(const std::vector<Var>& losses, const std::vector<float>& coeffs) {
+  check(losses.size() == coeffs.size(), "weighted_sum: size mismatch");
+  Tensor out(1, 1);
+  std::vector<Var> inputs;
+  std::vector<float> used_coeffs;
+  for (std::size_t i = 0; i < losses.size(); ++i) {
+    if (!losses[i]) continue;
+    out.at(0, 0) += coeffs[i] * losses[i]->value.at(0, 0);
+    inputs.push_back(losses[i]);
+    used_coeffs.push_back(coeffs[i]);
+  }
+  check(!inputs.empty(), "weighted_sum: no losses");
+  std::vector<Node*> raw;
+  raw.reserve(inputs.size());
+  for (const Var& v : inputs) raw.push_back(v.get());
+  auto result = make_op(std::move(out), std::move(inputs), nullptr);
+  Node* rn = result.get();
+  if (result->requires_grad) {
+    result->backward_fn = [rn, raw = std::move(raw), used_coeffs]() {
+      const float dy = rn->grad.at(0, 0);
+      for (std::size_t i = 0; i < raw.size(); ++i) {
+        if (raw[i]->requires_grad) raw[i]->ensure_grad().at(0, 0) += dy * used_coeffs[i];
+      }
+    };
+  }
+  return result;
+}
+
+Var slice_rows(const Var& x, int begin, int end) {
+  check(begin >= 0 && end <= x->value.rows() && begin < end, "slice_rows: bad range");
+  const int d = x->value.cols();
+  Tensor out(end - begin, d);
+  for (int i = begin; i < end; ++i) {
+    const float* src = x->value.row(i);
+    float* dst = out.row(i - begin);
+    std::copy(src, src + d, dst);
+  }
+  Node* xn = x.get();
+  auto result = make_op(std::move(out), {x}, nullptr);
+  Node* rn = result.get();
+  if (result->requires_grad) {
+    result->backward_fn = [xn, rn, begin, d]() {
+      for (int i = 0; i < rn->grad.rows(); ++i) {
+        float* dx = xn->ensure_grad().row(begin + i);
+        const float* dy = rn->grad.row(i);
+        for (int j = 0; j < d; ++j) dx[j] += dy[j];
+      }
+    };
+  }
+  return result;
+}
+
+}  // namespace vsd::nn

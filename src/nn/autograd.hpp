@@ -1,0 +1,88 @@
+// Tape-based reverse-mode automatic differentiation over Tensor.
+//
+// A computation graph is built from Var nodes (shared_ptr).  `backward()`
+// topologically sorts the graph and runs each node's backward closure,
+// accumulating into input gradients.  Ops are deliberately fused at the
+// granularity the transformer needs (attention, cross-entropy) to keep
+// graphs small and CPU-friendly.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace vsd::nn {
+
+struct Node;
+using Var = std::shared_ptr<Node>;
+
+struct Node {
+  Tensor value;
+  Tensor grad;  // allocated lazily, same shape as value
+  std::vector<Var> inputs;
+  std::function<void()> backward_fn;  // reads this->grad, accumulates inputs
+  bool requires_grad = false;
+  std::string name;  // parameters only; useful for debugging/serialisation
+
+  Tensor& ensure_grad() {
+    if (grad.empty()) grad = Tensor::zeros(value.rows(), value.cols());
+    return grad;
+  }
+};
+
+/// Creates a leaf node (parameter or constant input).
+Var make_leaf(Tensor value, bool requires_grad, std::string name = "");
+
+/// Runs reverse-mode differentiation from `loss` (must be 1x1).
+void backward(const Var& loss);
+
+// --- operations ------------------------------------------------------------
+
+/// y = x W + b.  x:[T,D] W:[D,E] b:[1,E] (b may be null).
+Var linear(const Var& x, const Var& w, const Var& b);
+
+/// Elementwise sum (same shapes).
+Var add(const Var& a, const Var& b);
+
+/// y = x * s (scalar constant).
+Var scale(const Var& x, float s);
+
+/// SiLU activation x * sigmoid(x).
+Var silu(const Var& x);
+
+/// Elementwise product (same shapes).
+Var mul(const Var& a, const Var& b);
+
+/// RMSNorm over rows with learned gain g:[1,D].
+Var rmsnorm(const Var& x, const Var& g);
+
+/// Embedding lookup + positional embedding:
+/// out[t] = tok[ids[t]] + pos[pos_offset + t].
+Var embed(const Var& tok_table, const Var& pos_table, std::span<const int> ids,
+          int pos_offset = 0);
+
+/// Multi-head self attention over pre-projected Q,K,V ([T,D] each).
+/// `causal` masks future positions.
+Var attention(const Var& q, const Var& k, const Var& v, int n_heads, bool causal);
+
+/// Multi-head cross attention: Q from decoder [T,D], K/V from encoder [S,D].
+Var cross_attention(const Var& q, const Var& k, const Var& v, int n_heads);
+
+/// Mean cross-entropy over rows of logits [T,V] against `targets` (size T).
+/// Rows whose target == ignore_id contribute nothing.  Returns 1x1 loss and
+/// reports the number of counted rows via *counted (optional).
+Var cross_entropy(const Var& logits, std::span<const int> targets, int ignore_id,
+                  int* counted = nullptr);
+
+/// Weighted sum of scalar losses: sum_i coeff[i] * losses[i].  Missing
+/// (null) losses are skipped.
+Var weighted_sum(const std::vector<Var>& losses, const std::vector<float>& coeffs);
+
+/// Rows [begin, end) of x as a view-copy (gradient routed back).
+Var slice_rows(const Var& x, int begin, int end);
+
+}  // namespace vsd::nn

@@ -1,0 +1,464 @@
+#include "nn/model.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+namespace vsd::nn {
+
+namespace {
+
+std::string layer_prefix(bool encoder, int layer) {
+  return (encoder ? "enc.L" : "dec.L") + std::to_string(layer) + ".";
+}
+
+}  // namespace
+
+std::size_t ModelConfig::param_count() const {
+  std::size_t n = 0;
+  const auto d = static_cast<std::size_t>(d_model);
+  const auto v = static_cast<std::size_t>(vocab);
+  const auto ff = static_cast<std::size_t>(d_ff);
+  n += v * d;                                   // tok
+  n += static_cast<std::size_t>(max_seq) * d;   // pos
+  const std::size_t self_block = d + 4 * d * d + d + d * ff + ff + ff * d + d;
+  const std::size_t cross = d + 4 * d * d;
+  n += static_cast<std::size_t>(n_layers) * (self_block + (encoder_decoder ? cross : 0));
+  if (encoder_decoder) {
+    n += static_cast<std::size_t>(enc_layers) * self_block + d;  // + enc final norm
+  }
+  n += d;      // final norm
+  n += d * v;  // lm head
+  n += static_cast<std::size_t>(n_medusa_heads) * (d * d + d + d * v);
+  return n;
+}
+
+TransformerModel::TransformerModel(ModelConfig cfg, std::uint64_t seed) : cfg_(cfg) {
+  Rng rng(seed);
+  const int d = cfg.d_model;
+  const float sd = 0.02f;
+  const float res_sd = sd / std::sqrt(static_cast<float>(2 * cfg.n_layers));
+
+  add_param("tok", Tensor::randn(cfg.vocab, d, sd, rng));
+  add_param("pos", Tensor::randn(cfg.max_seq, d, sd, rng));
+
+  auto add_block = [&](const std::string& p, bool with_cross) {
+    add_param(p + "ln1.g", Tensor::full(1, d, 1.0f));
+    add_param(p + "wq", Tensor::randn(d, d, sd, rng));
+    add_param(p + "wk", Tensor::randn(d, d, sd, rng));
+    add_param(p + "wv", Tensor::randn(d, d, sd, rng));
+    add_param(p + "wo", Tensor::randn(d, d, res_sd, rng));
+    if (with_cross) {
+      add_param(p + "lnx.g", Tensor::full(1, d, 1.0f));
+      add_param(p + "xwq", Tensor::randn(d, d, sd, rng));
+      add_param(p + "xwk", Tensor::randn(d, d, sd, rng));
+      add_param(p + "xwv", Tensor::randn(d, d, sd, rng));
+      add_param(p + "xwo", Tensor::randn(d, d, res_sd, rng));
+    }
+    add_param(p + "ln2.g", Tensor::full(1, d, 1.0f));
+    add_param(p + "w1", Tensor::randn(d, cfg.d_ff, sd, rng));
+    add_param(p + "b1", Tensor::zeros(1, cfg.d_ff));
+    add_param(p + "w2", Tensor::randn(cfg.d_ff, d, res_sd, rng));
+    add_param(p + "b2", Tensor::zeros(1, d));
+  };
+
+  if (cfg.encoder_decoder) {
+    for (int l = 0; l < cfg.enc_layers; ++l) add_block(layer_prefix(true, l), false);
+    add_param("enc.lnf.g", Tensor::full(1, d, 1.0f));
+  }
+  for (int l = 0; l < cfg.n_layers; ++l) {
+    add_block(layer_prefix(false, l), cfg.encoder_decoder);
+  }
+  add_param("lnf.g", Tensor::full(1, d, 1.0f));
+  add_param("lm", Tensor::randn(d, cfg.vocab, sd, rng));
+  for (int k = 0; k < cfg.n_medusa_heads; ++k) {
+    const std::string p = "mh" + std::to_string(k) + ".";
+    add_param(p + "w1", Tensor::randn(d, d, sd, rng));
+    add_param(p + "b1", Tensor::zeros(1, d));
+    add_param(p + "lm", Tensor::randn(d, cfg.vocab, sd, rng));
+  }
+}
+
+Var TransformerModel::add_param(const std::string& name, Tensor t) {
+  Var v = make_leaf(std::move(t), /*requires_grad=*/true, name);
+  params_.push_back(v);
+  by_name_[name] = v;
+  return v;
+}
+
+Var TransformerModel::param(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  check(it != by_name_.end(), "unknown parameter " + name);
+  return it->second;
+}
+
+float TransformerModel::lr_mult(const Var& p) const {
+  // MEDUSA heads: 4x the base learning rate (paper Section IV-A2).
+  return p->name.rfind("mh", 0) == 0 ? 4.0f : 1.0f;
+}
+
+std::size_t TransformerModel::param_count() const {
+  std::size_t n = 0;
+  for (const Var& p : params_) n += p->value.size();
+  return n;
+}
+
+Var TransformerModel::block_forward(Var x, const std::string& p, bool causal,
+                                    const Var& enc) {
+  // Self-attention sublayer.
+  Var h = rmsnorm(x, param(p + "ln1.g"));
+  Var q = linear(h, param(p + "wq"), nullptr);
+  Var k = linear(h, param(p + "wk"), nullptr);
+  Var v = linear(h, param(p + "wv"), nullptr);
+  Var attn = attention(q, k, v, cfg_.n_heads, causal);
+  x = add(x, linear(attn, param(p + "wo"), nullptr));
+  // Cross-attention sublayer (decoder of encoder-decoder models).
+  if (enc) {
+    Var hx = rmsnorm(x, param(p + "lnx.g"));
+    Var xq = linear(hx, param(p + "xwq"), nullptr);
+    Var xk = linear(enc, param(p + "xwk"), nullptr);
+    Var xv = linear(enc, param(p + "xwv"), nullptr);
+    Var xattn = cross_attention(xq, xk, xv, cfg_.n_heads);
+    x = add(x, linear(xattn, param(p + "xwo"), nullptr));
+  }
+  // MLP sublayer.
+  Var h2 = rmsnorm(x, param(p + "ln2.g"));
+  Var mid = silu(linear(h2, param(p + "w1"), param(p + "b1")));
+  x = add(x, linear(mid, param(p + "w2"), param(p + "b2")));
+  return x;
+}
+
+Var TransformerModel::encode_hidden(std::span<const int> src_ids) {
+  check(cfg_.encoder_decoder, "encode_hidden on a decoder-only model");
+  Var x = embed(param("tok"), param("pos"), src_ids);
+  for (int l = 0; l < cfg_.enc_layers; ++l) {
+    x = block_forward(x, layer_prefix(true, l), /*causal=*/false, nullptr);
+  }
+  return rmsnorm(x, param("enc.lnf.g"));
+}
+
+Var TransformerModel::decode_hidden(std::span<const int> ids, const Var& enc) {
+  check(!cfg_.encoder_decoder || enc != nullptr,
+        "encoder-decoder model needs encoder context");
+  Var x = embed(param("tok"), param("pos"), ids);
+  for (int l = 0; l < cfg_.n_layers; ++l) {
+    x = block_forward(x, layer_prefix(false, l), /*causal=*/true,
+                      cfg_.encoder_decoder ? enc : nullptr);
+  }
+  return rmsnorm(x, param("lnf.g"));
+}
+
+Var TransformerModel::lm_logits(const Var& hidden) {
+  return linear(hidden, param("lm"), nullptr);
+}
+
+Var TransformerModel::head_logits(const Var& hidden, int k) {
+  check(k >= 0 && k < cfg_.n_medusa_heads, "medusa head index out of range");
+  const std::string p = "mh" + std::to_string(k) + ".";
+  // MEDUSA residual block: h' = h + SiLU(W1 h + b1); logits = h' W_lm.
+  Var res = silu(linear(hidden, param(p + "w1"), param(p + "b1")));
+  Var h2 = add(hidden, res);
+  return linear(h2, param(p + "lm"), nullptr);
+}
+
+// --- serialization ------------------------------------------------------------
+
+std::string TransformerModel::serialize() const {
+  std::ostringstream out(std::ios::binary);
+  out << "vsd-model-v1\n";
+  out << cfg_.vocab << " " << cfg_.d_model << " " << cfg_.n_layers << " "
+      << cfg_.n_heads << " " << cfg_.d_ff << " " << cfg_.max_seq << " "
+      << (cfg_.encoder_decoder ? 1 : 0) << " " << cfg_.enc_layers << " "
+      << cfg_.n_medusa_heads << "\n";
+  for (const Var& p : params_) {
+    out << p->name << " " << p->value.rows() << " " << p->value.cols() << "\n";
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+  }
+  return out.str();
+}
+
+std::unique_ptr<TransformerModel> TransformerModel::deserialize(std::string_view data) {
+  std::istringstream in{std::string(data), std::ios::binary};
+  std::string magic;
+  std::getline(in, magic);
+  check(magic == "vsd-model-v1", "bad model serialization");
+  ModelConfig cfg;
+  int ed = 0;
+  in >> cfg.vocab >> cfg.d_model >> cfg.n_layers >> cfg.n_heads >> cfg.d_ff >>
+      cfg.max_seq >> ed >> cfg.enc_layers >> cfg.n_medusa_heads;
+  cfg.encoder_decoder = ed != 0;
+  in.ignore();  // newline
+  auto model = std::make_unique<TransformerModel>(cfg, /*seed=*/0);
+  for (const Var& p : model->params_) {
+    std::string name;
+    int rows = 0;
+    int cols = 0;
+    in >> name >> rows >> cols;
+    in.ignore();
+    check(name == p->name, "parameter order mismatch: " + name + " vs " + p->name);
+    check(rows == p->value.rows() && cols == p->value.cols(), "shape mismatch " + name);
+    in.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+  }
+  return model;
+}
+
+// --- inference ------------------------------------------------------------------
+
+InferSession::InferSession(const TransformerModel& m) : m_(m) {
+  const ModelConfig& cfg = m.config();
+  k_cache_.reserve(static_cast<std::size_t>(cfg.n_layers));
+  v_cache_.reserve(static_cast<std::size_t>(cfg.n_layers));
+  for (int l = 0; l < cfg.n_layers; ++l) {
+    k_cache_.emplace_back(cfg.max_seq, cfg.d_model);
+    v_cache_.emplace_back(cfg.max_seq, cfg.d_model);
+  }
+}
+
+const Tensor& InferSession::weight(const std::string& name) const {
+  return m_.param(name)->value;
+}
+
+namespace {
+
+// y[TxE] = x[TxD] W[DxE] (+ b).
+Tensor apply_linear(const Tensor& x, const Tensor& w, const Tensor* b) {
+  Tensor out(x.rows(), w.cols());
+  matmul_acc(x.data(), w.data(), out.data(), x.rows(), x.cols(), w.cols());
+  if (b != nullptr) {
+    for (int i = 0; i < out.rows(); ++i) {
+      float* row = out.row(i);
+      for (int j = 0; j < out.cols(); ++j) row[j] += b->data()[j];
+    }
+  }
+  return out;
+}
+
+void apply_rmsnorm_inplace(Tensor& x, const Tensor& g) {
+  for (int i = 0; i < x.rows(); ++i) {
+    float* row = x.row(i);
+    float sum = 0.0f;
+    for (int j = 0; j < x.cols(); ++j) sum += row[j] * row[j];
+    const float inv = 1.0f / std::sqrt(sum / static_cast<float>(x.cols()) + 1e-6f);
+    for (int j = 0; j < x.cols(); ++j) row[j] *= inv * g.data()[j];
+  }
+}
+
+void apply_silu_inplace(Tensor& x) {
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float v = x.data()[i];
+    x.data()[i] = v / (1.0f + std::exp(-v));
+  }
+}
+
+}  // namespace
+
+void InferSession::set_encoder(std::span<const int> src_ids) {
+  const ModelConfig& cfg = m_.config();
+  check(cfg.encoder_decoder, "set_encoder on a decoder-only model");
+  const int s = static_cast<int>(src_ids.size());
+  check(s >= 1 && s <= cfg.max_seq, "encoder input length out of range");
+  const Tensor& tok = weight("tok");
+  const Tensor& pos = weight("pos");
+  Tensor x(s, cfg.d_model);
+  for (int i = 0; i < s; ++i) {
+    const float* trow = tok.row(src_ids[static_cast<std::size_t>(i)]);
+    const float* prow = pos.row(i);
+    float* orow = x.row(i);
+    for (int j = 0; j < cfg.d_model; ++j) orow[j] = trow[j] + prow[j];
+  }
+  for (int l = 0; l < cfg.enc_layers; ++l) {
+    const std::string p = layer_prefix(true, l);
+    Tensor h = x;
+    apply_rmsnorm_inplace(h, weight(p + "ln1.g"));
+    Tensor q = apply_linear(h, weight(p + "wq"), nullptr);
+    Tensor k = apply_linear(h, weight(p + "wk"), nullptr);
+    Tensor v = apply_linear(h, weight(p + "wv"), nullptr);
+    // Full (non-causal) attention.
+    const int dh = cfg.d_model / cfg.n_heads;
+    const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(dh));
+    Tensor attn(s, cfg.d_model);
+    std::vector<float> scores(static_cast<std::size_t>(s));
+    for (int hI = 0; hI < cfg.n_heads; ++hI) {
+      const int off = hI * dh;
+      for (int i = 0; i < s; ++i) {
+        const float* qrow = q.row(i) + off;
+        float maxv = -1e30f;
+        for (int j = 0; j < s; ++j) {
+          const float* krow = k.row(j) + off;
+          float dot = 0.0f;
+          for (int c = 0; c < dh; ++c) dot += qrow[c] * krow[c];
+          scores[static_cast<std::size_t>(j)] = dot * inv_sqrt;
+          maxv = std::max(maxv, scores[static_cast<std::size_t>(j)]);
+        }
+        float denom = 0.0f;
+        for (int j = 0; j < s; ++j) {
+          scores[static_cast<std::size_t>(j)] =
+              std::exp(scores[static_cast<std::size_t>(j)] - maxv);
+          denom += scores[static_cast<std::size_t>(j)];
+        }
+        float* orow = attn.row(i) + off;
+        for (int c = 0; c < dh; ++c) orow[c] = 0.0f;
+        for (int j = 0; j < s; ++j) {
+          const float pv = scores[static_cast<std::size_t>(j)] / denom;
+          const float* vrow = v.row(j) + off;
+          for (int c = 0; c < dh; ++c) orow[c] += pv * vrow[c];
+        }
+      }
+    }
+    Tensor proj = apply_linear(attn, weight(p + "wo"), nullptr);
+    for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] += proj.data()[i];
+    Tensor h2 = x;
+    apply_rmsnorm_inplace(h2, weight(p + "ln2.g"));
+    Tensor mid = apply_linear(h2, weight(p + "w1"), &weight(p + "b1"));
+    apply_silu_inplace(mid);
+    Tensor out2 = apply_linear(mid, weight(p + "w2"), &weight(p + "b2"));
+    for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] += out2.data()[i];
+  }
+  apply_rmsnorm_inplace(x, weight("enc.lnf.g"));
+  enc_out_ = std::move(x);
+}
+
+Tensor InferSession::feed(std::span<const int> ids) {
+  const ModelConfig& cfg = m_.config();
+  const int n = static_cast<int>(ids.size());
+  check(n >= 1, "feed: empty input");
+  check(len_ + n <= cfg.max_seq, "feed: sequence exceeds max_seq");
+  check(!cfg.encoder_decoder || enc_out_.rows() > 0,
+        "feed: encoder context not set");
+  const int d = cfg.d_model;
+  const Tensor& tok = weight("tok");
+  const Tensor& pos = weight("pos");
+  Tensor x(n, d);
+  for (int i = 0; i < n; ++i) {
+    const int id = ids[static_cast<std::size_t>(i)];
+    check(id >= 0 && id < cfg.vocab, "feed: id out of range");
+    const float* trow = tok.row(id);
+    const float* prow = pos.row(len_ + i);
+    float* orow = x.row(i);
+    for (int j = 0; j < d; ++j) orow[j] = trow[j] + prow[j];
+  }
+
+  const int dh = d / cfg.n_heads;
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(dh));
+  std::vector<float> scores(static_cast<std::size_t>(cfg.max_seq));
+
+  for (int l = 0; l < cfg.n_layers; ++l) {
+    const std::string p = layer_prefix(false, l);
+    Tensor h = x;
+    apply_rmsnorm_inplace(h, weight(p + "ln1.g"));
+    Tensor q = apply_linear(h, weight(p + "wq"), nullptr);
+    Tensor k = apply_linear(h, weight(p + "wk"), nullptr);
+    Tensor v = apply_linear(h, weight(p + "wv"), nullptr);
+    // Append to cache.
+    Tensor& kc = k_cache_[static_cast<std::size_t>(l)];
+    Tensor& vc = v_cache_[static_cast<std::size_t>(l)];
+    for (int i = 0; i < n; ++i) {
+      std::memcpy(kc.row(len_ + i), k.row(i), sizeof(float) * static_cast<std::size_t>(d));
+      std::memcpy(vc.row(len_ + i), v.row(i), sizeof(float) * static_cast<std::size_t>(d));
+    }
+    // Causal attention against the cache.
+    Tensor attn(n, d);
+    for (int hI = 0; hI < cfg.n_heads; ++hI) {
+      const int off = hI * dh;
+      for (int i = 0; i < n; ++i) {
+        const int limit = len_ + i + 1;
+        const float* qrow = q.row(i) + off;
+        float maxv = -1e30f;
+        for (int j = 0; j < limit; ++j) {
+          const float* krow = kc.row(j) + off;
+          float dot = 0.0f;
+          for (int c = 0; c < dh; ++c) dot += qrow[c] * krow[c];
+          scores[static_cast<std::size_t>(j)] = dot * inv_sqrt;
+          maxv = std::max(maxv, scores[static_cast<std::size_t>(j)]);
+        }
+        float denom = 0.0f;
+        for (int j = 0; j < limit; ++j) {
+          scores[static_cast<std::size_t>(j)] =
+              std::exp(scores[static_cast<std::size_t>(j)] - maxv);
+          denom += scores[static_cast<std::size_t>(j)];
+        }
+        const float inv_denom = 1.0f / denom;
+        float* orow = attn.row(i) + off;
+        for (int c = 0; c < dh; ++c) orow[c] = 0.0f;
+        for (int j = 0; j < limit; ++j) {
+          const float pv = scores[static_cast<std::size_t>(j)] * inv_denom;
+          const float* vrow = vc.row(j) + off;
+          for (int c = 0; c < dh; ++c) orow[c] += pv * vrow[c];
+        }
+      }
+    }
+    Tensor proj = apply_linear(attn, weight(p + "wo"), nullptr);
+    for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] += proj.data()[i];
+
+    if (cfg.encoder_decoder) {
+      Tensor hx = x;
+      apply_rmsnorm_inplace(hx, weight(p + "lnx.g"));
+      Tensor xq = apply_linear(hx, weight(p + "xwq"), nullptr);
+      Tensor xk = apply_linear(enc_out_, weight(p + "xwk"), nullptr);
+      Tensor xv = apply_linear(enc_out_, weight(p + "xwv"), nullptr);
+      const int s = enc_out_.rows();
+      Tensor xattn(n, d);
+      for (int hI = 0; hI < cfg.n_heads; ++hI) {
+        const int off = hI * dh;
+        for (int i = 0; i < n; ++i) {
+          const float* qrow = xq.row(i) + off;
+          float maxv = -1e30f;
+          for (int j = 0; j < s; ++j) {
+            const float* krow = xk.row(j) + off;
+            float dot = 0.0f;
+            for (int c = 0; c < dh; ++c) dot += qrow[c] * krow[c];
+            scores[static_cast<std::size_t>(j)] = dot * inv_sqrt;
+            maxv = std::max(maxv, scores[static_cast<std::size_t>(j)]);
+          }
+          float denom = 0.0f;
+          for (int j = 0; j < s; ++j) {
+            scores[static_cast<std::size_t>(j)] =
+                std::exp(scores[static_cast<std::size_t>(j)] - maxv);
+            denom += scores[static_cast<std::size_t>(j)];
+          }
+          const float inv_denom = 1.0f / denom;
+          float* orow = xattn.row(i) + off;
+          for (int c = 0; c < dh; ++c) orow[c] = 0.0f;
+          for (int j = 0; j < s; ++j) {
+            const float pv = scores[static_cast<std::size_t>(j)] * inv_denom;
+            const float* vrow = xv.row(j) + off;
+            for (int c = 0; c < dh; ++c) orow[c] += pv * vrow[c];
+          }
+        }
+      }
+      Tensor xproj = apply_linear(xattn, weight(p + "xwo"), nullptr);
+      for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] += xproj.data()[i];
+    }
+
+    Tensor h2 = x;
+    apply_rmsnorm_inplace(h2, weight(p + "ln2.g"));
+    Tensor mid = apply_linear(h2, weight(p + "w1"), &weight(p + "b1"));
+    apply_silu_inplace(mid);
+    Tensor out2 = apply_linear(mid, weight(p + "w2"), &weight(p + "b2"));
+    for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] += out2.data()[i];
+  }
+  apply_rmsnorm_inplace(x, weight("lnf.g"));
+  len_ += n;
+  return x;
+}
+
+void InferSession::truncate(int new_len) {
+  check(new_len >= 0 && new_len <= len_, "truncate: bad length");
+  len_ = new_len;  // cache rows beyond new_len are simply overwritten later
+}
+
+Tensor InferSession::lm_logits(const Tensor& hidden) const {
+  return apply_linear(hidden, weight("lm"), nullptr);
+}
+
+Tensor InferSession::head_logits(const Tensor& hidden, int k) const {
+  const std::string p = "mh" + std::to_string(k) + ".";
+  Tensor mid = apply_linear(hidden, weight(p + "w1"), &weight(p + "b1"));
+  apply_silu_inplace(mid);
+  for (std::size_t i = 0; i < mid.size(); ++i) mid.data()[i] += hidden.data()[i];
+  return apply_linear(mid, weight(p + "lm"), nullptr);
+}
+
+}  // namespace vsd::nn

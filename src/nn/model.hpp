@@ -1,0 +1,117 @@
+// Miniature transformer language models (decoder-only and encoder-decoder)
+// with optional MEDUSA-style extra decoding heads.
+//
+// These stand in for CodeLlama-7b (decoder-only) and CodeT5p-220m
+// (encoder-decoder) in the reproduction: the speculative-decoding method
+// under study operates on decoding mechanics and label construction, which
+// are architecture-size independent.
+//
+// Two execution paths share one set of weights:
+//   * a training path building an autograd graph (micro-batch of one
+//     sequence, as in the paper's QLoRA setup), and
+//   * an inference path with a KV cache that can feed several positions in
+//     one call and truncate (roll back) — exactly the primitive speculative
+//     decoding needs for candidate verification.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/autograd.hpp"
+
+namespace vsd::nn {
+
+struct ModelConfig {
+  int vocab = 512;
+  int d_model = 64;
+  int n_layers = 2;
+  int n_heads = 2;
+  int d_ff = 192;
+  int max_seq = 512;
+  bool encoder_decoder = false;  // CodeT5p-style when true
+  int enc_layers = 2;
+  int n_medusa_heads = 0;        // 0 => plain NTP model
+
+  std::size_t param_count() const;
+};
+
+class InferSession;
+
+class TransformerModel {
+ public:
+  TransformerModel(ModelConfig cfg, std::uint64_t seed);
+
+  const ModelConfig& config() const { return cfg_; }
+
+  // --- training graph -------------------------------------------------------
+  /// Encoder hidden states [S, D] (encoder-decoder models only).
+  Var encode_hidden(std::span<const int> src_ids);
+  /// Decoder hidden states [T, D]; `enc` supplies cross-attention context
+  /// for encoder-decoder models (null for decoder-only).
+  Var decode_hidden(std::span<const int> ids, const Var& enc = nullptr);
+  /// Base LM logits [T, V].
+  Var lm_logits(const Var& hidden);
+  /// MEDUSA head logits [T, V] for head index k in [0, n_medusa_heads).
+  Var head_logits(const Var& hidden, int k);
+
+  // --- parameters ------------------------------------------------------------
+  const std::vector<Var>& params() const { return params_; }
+  /// Per-parameter learning-rate multiplier (MEDUSA heads train at 4x the
+  /// base LR, Section IV-A2).
+  float lr_mult(const Var& p) const;
+  std::size_t param_count() const;
+
+  /// Simple binary checkpoint (config + named tensors).
+  std::string serialize() const;
+  static std::unique_ptr<TransformerModel> deserialize(std::string_view data);
+
+ private:
+  friend class InferSession;
+
+  Var param(const std::string& name) const;
+  Var add_param(const std::string& name, Tensor t);
+  Var block_forward(Var x, const std::string& prefix, bool causal, const Var& enc);
+
+  ModelConfig cfg_;
+  std::vector<Var> params_;
+  std::unordered_map<std::string, Var> by_name_;
+};
+
+/// KV-cached inference over a TransformerModel (no gradients).
+class InferSession {
+ public:
+  explicit InferSession(const TransformerModel& m);
+
+  /// Encoder-decoder models: run the encoder once over the source prompt.
+  void set_encoder(std::span<const int> src_ids);
+
+  /// Appends `ids` at the current position and returns their final hidden
+  /// states [n, D].  Cost is one pass over n positions (this batching is
+  /// what makes speculative verification cheaper than n sequential steps).
+  Tensor feed(std::span<const int> ids);
+
+  /// Rolls the cache back to `new_len` positions (rejected speculation).
+  void truncate(int new_len);
+
+  int len() const { return len_; }
+
+  /// Base-model logits for hidden rows [n, V].
+  Tensor lm_logits(const Tensor& hidden) const;
+  /// MEDUSA-head logits [n, V].
+  Tensor head_logits(const Tensor& hidden, int k) const;
+
+ private:
+  const TransformerModel& m_;
+  int len_ = 0;
+  // Per decoder layer: cached K and V, each [max_seq, D].
+  std::vector<Tensor> k_cache_;
+  std::vector<Tensor> v_cache_;
+  Tensor enc_out_;  // [S, D] encoder output (encoder-decoder only)
+
+  const Tensor& weight(const std::string& name) const;
+};
+
+}  // namespace vsd::nn

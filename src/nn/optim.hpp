@@ -1,0 +1,113 @@
+// AdamW optimizer and the cosine-with-warmup learning-rate schedule used by
+// the paper's fine-tuning recipe.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "nn/autograd.hpp"
+
+namespace vsd::nn {
+
+class AdamW {
+ public:
+  struct Options {
+    float lr = 5e-4f;   // paper: initial LR 5e-4 for the base model
+    float beta1 = 0.9f;
+    float beta2 = 0.95f;
+    float eps = 1e-8f;
+    float weight_decay = 0.01f;
+    float grad_clip = 1.0f;  // global-norm clip; <= 0 disables
+  };
+
+  /// `lr_mults` gives a per-parameter LR multiplier (heads train at 4x).
+  AdamW(std::vector<Var> params, std::vector<float> lr_mults, Options opts)
+      : params_(std::move(params)), lr_mults_(std::move(lr_mults)), opts_(opts) {
+    check(params_.size() == lr_mults_.size(), "AdamW: mult size mismatch");
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (const Var& p : params_) {
+      m_.emplace_back(p->value.rows(), p->value.cols());
+      v_.emplace_back(p->value.rows(), p->value.cols());
+    }
+  }
+
+  void zero_grad() {
+    for (const Var& p : params_) {
+      if (!p->grad.empty()) p->grad.fill(0.0f);
+    }
+  }
+
+  /// One update.  `lr_scale` comes from the schedule (in [0,1]).
+  void step(float lr_scale) {
+    ++t_;
+    // Global-norm gradient clipping.
+    float scale = 1.0f;
+    if (opts_.grad_clip > 0.0f) {
+      double norm_sq = 0.0;
+      for (const Var& p : params_) {
+        if (p->grad.empty()) continue;
+        const float* g = p->grad.data();
+        for (std::size_t i = 0; i < p->grad.size(); ++i) {
+          norm_sq += static_cast<double>(g[i]) * g[i];
+        }
+      }
+      const double norm = std::sqrt(norm_sq);
+      if (norm > opts_.grad_clip) {
+        scale = static_cast<float>(opts_.grad_clip / (norm + 1e-12));
+      }
+    }
+    const float bc1 = 1.0f - std::pow(opts_.beta1, static_cast<float>(t_));
+    const float bc2 = 1.0f - std::pow(opts_.beta2, static_cast<float>(t_));
+    for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+      Var& p = params_[pi];
+      if (p->grad.empty()) continue;
+      const float lr = opts_.lr * lr_scale * lr_mults_[pi];
+      float* w = p->value.data();
+      const float* g = p->grad.data();
+      float* m = m_[pi].data();
+      float* v = v_[pi].data();
+      for (std::size_t i = 0; i < p->value.size(); ++i) {
+        const float gi = g[i] * scale;
+        m[i] = opts_.beta1 * m[i] + (1.0f - opts_.beta1) * gi;
+        v[i] = opts_.beta2 * v[i] + (1.0f - opts_.beta2) * gi * gi;
+        const float mhat = m[i] / bc1;
+        const float vhat = v[i] / bc2;
+        w[i] -= lr * (mhat / (std::sqrt(vhat) + opts_.eps) +
+                      opts_.weight_decay * w[i]);
+      }
+    }
+  }
+
+  int steps_taken() const { return t_; }
+
+ private:
+  std::vector<Var> params_;
+  std::vector<float> lr_mults_;
+  Options opts_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  int t_ = 0;
+};
+
+/// Cosine schedule with linear warmup; returns a multiplier in [0,1].
+inline float cosine_lr_scale(int step, int total_steps, int warmup_steps) {
+  if (total_steps <= 0) return 1.0f;
+  if (step < warmup_steps) {
+    return static_cast<float>(step + 1) / static_cast<float>(warmup_steps);
+  }
+  const float progress = static_cast<float>(step - warmup_steps) /
+                         static_cast<float>(std::max(1, total_steps - warmup_steps));
+  return 0.5f * (1.0f + std::cos(3.14159265358979f * std::min(1.0f, progress)));
+}
+
+/// λ's sine growth from 0 to `lambda_max` over training (paper Eq. 2 text:
+/// "λ follows a sine growth pattern, increasing from 0 to 0.2").
+inline float lambda_sine(int step, int total_steps, float lambda_max = 0.2f) {
+  if (total_steps <= 0) return lambda_max;
+  const float progress = std::min(1.0f, static_cast<float>(step) /
+                                            static_cast<float>(total_steps));
+  return lambda_max * std::sin(0.5f * 3.14159265358979f * progress);
+}
+
+}  // namespace vsd::nn

@@ -1,0 +1,107 @@
+// Dense row-major float tensor (rank 1 or 2 is all the library needs).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace vsd::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(int rows, int cols) : rows_(rows), cols_(cols) {
+    check(rows >= 1 && cols >= 1, "Tensor dims must be >= 1");
+    data_.assign(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), 0.0f);
+  }
+
+  static Tensor zeros(int rows, int cols) { return Tensor(rows, cols); }
+
+  static Tensor randn(int rows, int cols, float stddev, Rng& rng) {
+    Tensor t(rows, cols);
+    for (float& v : t.data_) {
+      v = static_cast<float>(rng.next_gaussian()) * stddev;
+    }
+    return t;
+  }
+
+  static Tensor full(int rows, int cols, float value) {
+    Tensor t(rows, cols);
+    for (float& v : t.data_) v = value;
+    return t;
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float* row(int r) { return data_.data() + static_cast<std::size_t>(r) * cols_; }
+  const float* row(int r) const {
+    return data_.data() + static_cast<std::size_t>(r) * cols_;
+  }
+
+  float& at(int r, int c) { return data_[static_cast<std::size_t>(r) * cols_ + c]; }
+  float at(int r, int c) const {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+  bool same_shape(const Tensor& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// C[MxN] += A[MxK] * B[KxN].  ikj loop order for contiguous inner access.
+inline void matmul_acc(const float* a, const float* b, float* c, int m, int k, int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    float* crow = c + static_cast<std::size_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + static_cast<std::size_t>(p) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// C[MxN] += A[MxK] * B^T where B is [NxK].
+inline void matmul_bt_acc(const float* a, const float* b, float* c, int m, int k, int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    float* crow = c + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<std::size_t>(j) * k;
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+/// C[KxN] += A^T * B where A is [MxK], B is [MxN].
+inline void matmul_at_acc(const float* a, const float* b, float* c, int m, int k, int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    const float* brow = b + static_cast<std::size_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      float* crow = c + static_cast<std::size_t>(p) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace vsd::nn

@@ -1,0 +1,330 @@
+#include "sim/check.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+
+#include "vlog/parser.hpp"
+
+namespace vsd::sim {
+
+namespace {
+
+std::shared_ptr<const vlog::SourceUnit> parse_shared(const std::string& source,
+                                                     std::string* error) {
+  vlog::ParseResult r = vlog::parse(source);
+  if (!r.ok || !r.unit || r.unit->modules.empty()) {
+    if (error != nullptr) {
+      *error = r.ok ? "no modules found" : r.error;
+    }
+    return nullptr;
+  }
+  return std::shared_ptr<const vlog::SourceUnit>(std::move(r.unit));
+}
+
+std::string pick_top(const vlog::SourceUnit& unit, const std::string& requested) {
+  if (!requested.empty()) return requested;
+  return unit.modules.back()->name;
+}
+
+bool contains_ci(const std::string& haystack, std::string_view needle) {
+  auto lower = [](char c) {
+    return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  };
+  if (needle.empty() || haystack.size() < needle.size()) return false;
+  for (std::size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    bool match = true;
+    for (std::size_t j = 0; j < needle.size(); ++j) {
+      if (lower(haystack[i + j]) != lower(needle[j])) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return true;
+  }
+  return false;
+}
+
+bool name_is_clock(const std::string& n) {
+  return n == "clk" || n == "clock" || n == "i_clk" || n == "clk_i";
+}
+
+struct ResetInfo {
+  bool is_reset = false;
+  bool active_low = false;
+};
+
+ResetInfo classify_reset(const std::string& n) {
+  static const char* kActiveHigh[] = {"rst", "reset", "arst", "srst", "i_rst", "rst_i", "clr", "clear"};
+  static const char* kActiveLow[] = {"rst_n", "reset_n", "rstn", "resetn", "arst_n", "nrst", "nreset", "aresetn"};
+  for (const char* s : kActiveLow) {
+    if (n == s) return {true, true};
+  }
+  for (const char* s : kActiveHigh) {
+    if (n == s) return {true, false};
+  }
+  return {};
+}
+
+}  // namespace
+
+CompileCheck check_compiles(const std::string& source, const std::string& top) {
+  CompileCheck out;
+  std::string err;
+  auto unit = parse_shared(source, &err);
+  if (!unit) {
+    out.error = "parse: " + err;
+    return out;
+  }
+  ElabResult elab = elaborate(unit, pick_top(*unit, top));
+  if (!elab.ok) {
+    out.error = "elaborate: " + elab.error;
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+TbResult run_testbench(const std::string& source, const std::string& top,
+                       SimOptions opts) {
+  TbResult out;
+  std::string err;
+  auto unit = parse_shared(source, &err);
+  if (!unit) {
+    out.error = "parse: " + err;
+    return out;
+  }
+  ElabResult elab = elaborate(unit, pick_top(*unit, top));
+  if (!elab.ok) {
+    out.error = "elaborate: " + elab.error;
+    return out;
+  }
+  Simulation sim(std::move(elab), opts);
+  out.status = sim.run();
+  out.log = sim.log();
+  out.error = sim.error();
+  out.ran = out.status == SimStatus::Finished || out.status == SimStatus::Quiet;
+  const bool has_fail = contains_ci(out.log, "fail") || contains_ci(out.log, "error") ||
+                        contains_ci(out.log, "mismatch");
+  const bool has_pass = contains_ci(out.log, "pass");
+  out.passed = out.ran && has_pass && !has_fail;
+  return out;
+}
+
+namespace {
+
+struct PortView {
+  std::string name;
+  int width = 1;
+  bool is_clock = false;
+  ResetInfo reset;
+};
+
+/// Extracts the top module's input/output port lists from an elaborated
+/// design (the elaborator records top_inputs/top_outputs in port order).
+struct Interface {
+  std::vector<PortView> inputs;
+  std::vector<PortView> outputs;
+};
+
+Interface interface_of(const Simulation& sim) {
+  Interface out;
+  const Design& d = sim.design();
+  for (const int id : d.top_inputs) {
+    const Signal& s = d.signals[static_cast<std::size_t>(id)];
+    PortView p;
+    p.name = s.name;
+    p.width = s.width;
+    p.is_clock = name_is_clock(s.name);
+    p.reset = classify_reset(s.name);
+    out.inputs.push_back(std::move(p));
+  }
+  for (const int id : d.top_outputs) {
+    const Signal& s = d.signals[static_cast<std::size_t>(id)];
+    PortView p;
+    p.name = s.name;
+    p.width = s.width;
+    out.outputs.push_back(std::move(p));
+  }
+  return out;
+}
+
+Value random_value(Rng& rng, int width) {
+  Value v(width, Logic::Zero);
+  for (int i = 0; i < width; ++i) {
+    v.set_bit(i, rng.next_bool() ? Logic::One : Logic::Zero);
+  }
+  return v;
+}
+
+/// Compares candidate output bits against golden; golden x/z bits are
+/// don't-care.
+bool outputs_agree(const Value& golden, const Value& cand) {
+  if (golden.width() != cand.width()) return false;
+  for (int i = 0; i < golden.width(); ++i) {
+    const Logic g = golden.bit(i);
+    if (g == Logic::X || g == Logic::Z) continue;
+    if (cand.bit(i) != g) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+DiffResult diff_check(const std::string& golden_src, const std::string& candidate_src,
+                      const std::string& top, const DiffOptions& opts) {
+  DiffResult out;
+
+  std::string err;
+  auto golden_unit = parse_shared(golden_src, &err);
+  if (!golden_unit) {
+    out.detail = "golden parse failed: " + err;
+    return out;
+  }
+  ElabResult golden_elab = elaborate(golden_unit, top);
+  if (!golden_elab.ok) {
+    out.detail = "golden elaboration failed: " + golden_elab.error;
+    return out;
+  }
+
+  auto cand_unit = parse_shared(candidate_src, &err);
+  if (!cand_unit) {
+    out.detail = "candidate parse failed: " + err;
+    return out;
+  }
+  bool has_top = false;
+  for (const auto& m : cand_unit->modules) has_top |= m->name == top;
+  if (!has_top) {
+    out.detail = "candidate does not define module '" + top + "'";
+    return out;
+  }
+  ElabResult cand_elab = elaborate(cand_unit, top);
+  if (!cand_elab.ok) {
+    out.detail = "candidate elaboration failed: " + cand_elab.error;
+    return out;
+  }
+  out.candidate_compiles = true;
+
+  Simulation golden(std::move(golden_elab), opts.sim);
+  Simulation cand(std::move(cand_elab), opts.sim);
+
+  const Interface gif = interface_of(golden);
+  const Interface cif = interface_of(cand);
+  if (gif.inputs.size() != cif.inputs.size() ||
+      gif.outputs.size() != cif.outputs.size()) {
+    out.detail = "port count mismatch";
+    return out;
+  }
+  for (const auto& gp : gif.inputs) {
+    const auto it = std::find_if(cif.inputs.begin(), cif.inputs.end(),
+                                 [&](const PortView& p) { return p.name == gp.name; });
+    if (it == cif.inputs.end() || it->width != gp.width) {
+      out.detail = "input port mismatch: " + gp.name;
+      return out;
+    }
+  }
+  for (const auto& gp : gif.outputs) {
+    const auto it = std::find_if(cif.outputs.begin(), cif.outputs.end(),
+                                 [&](const PortView& p) { return p.name == gp.name; });
+    if (it == cif.outputs.end() || it->width != gp.width) {
+      out.detail = "output port mismatch: " + gp.name;
+      return out;
+    }
+  }
+  out.interface_matches = true;
+
+  Rng rng(opts.seed);
+  const PortView* clock = nullptr;
+  for (const auto& p : gif.inputs) {
+    if (p.is_clock) {
+      clock = &p;
+      break;
+    }
+  }
+
+  auto drive_both = [&](const std::string& name, const Value& v) {
+    golden.poke(name, v);
+    cand.poke(name, v);
+  };
+  auto settle_both = [&]() -> bool {
+    const SimStatus gs = golden.settle();
+    const SimStatus cs = cand.settle();
+    if (gs == SimStatus::RuntimeError || gs == SimStatus::ActivityLimit) {
+      out.detail = "golden simulation error: " + golden.error();
+      return false;
+    }
+    if (cs == SimStatus::RuntimeError || cs == SimStatus::ActivityLimit) {
+      out.detail = "candidate simulation error: " + cand.error();
+      return false;
+    }
+    return true;
+  };
+  auto compare_outputs = [&](int step) {
+    for (const auto& p : gif.outputs) {
+      ++out.checks;
+      const Value g = golden.peek(p.name);
+      const Value c = cand.peek(p.name);
+      if (!outputs_agree(g, c)) {
+        ++out.mismatches;
+        if (out.detail.empty()) {
+          out.detail = "step " + std::to_string(step) + ": " + p.name + " golden=" +
+                       g.to_bit_string() + " candidate=" + c.to_bit_string();
+        }
+      }
+    }
+  };
+
+  if (clock != nullptr) {
+    // Sequential protocol: apply reset, then random inputs each cycle.
+    drive_both(clock->name, Value::from_uint(0, 1));
+    for (const auto& p : gif.inputs) {
+      if (p.is_clock) continue;
+      if (p.reset.is_reset) {
+        drive_both(p.name, Value::from_uint(p.reset.active_low ? 0 : 1, p.width));
+      } else {
+        drive_both(p.name, random_value(rng, p.width));
+      }
+    }
+    if (!settle_both()) return out;
+    // Two reset cycles.
+    for (int i = 0; i < 2; ++i) {
+      drive_both(clock->name, Value::from_uint(1, 1));
+      if (!settle_both()) return out;
+      drive_both(clock->name, Value::from_uint(0, 1));
+      if (!settle_both()) return out;
+    }
+    // Deassert resets.
+    for (const auto& p : gif.inputs) {
+      if (p.reset.is_reset) {
+        drive_both(p.name, Value::from_uint(p.reset.active_low ? 1 : 0, p.width));
+      }
+    }
+    if (!settle_both()) return out;
+    for (int cycle = 0; cycle < opts.cycles; ++cycle) {
+      for (const auto& p : gif.inputs) {
+        if (p.is_clock || p.reset.is_reset) continue;
+        drive_both(p.name, random_value(rng, p.width));
+      }
+      if (!settle_both()) return out;
+      drive_both(clock->name, Value::from_uint(1, 1));
+      if (!settle_both()) return out;
+      compare_outputs(cycle);
+      drive_both(clock->name, Value::from_uint(0, 1));
+      if (!settle_both()) return out;
+    }
+  } else {
+    // Combinational protocol: random vectors.
+    for (int vec = 0; vec < opts.vectors; ++vec) {
+      for (const auto& p : gif.inputs) {
+        drive_both(p.name, random_value(rng, p.width));
+      }
+      if (!settle_both()) return out;
+      compare_outputs(vec);
+    }
+  }
+
+  out.equivalent = out.mismatches == 0 && out.checks > 0 && out.detail.empty();
+  return out;
+}
+
+}  // namespace vsd::sim

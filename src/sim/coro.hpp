@@ -1,0 +1,152 @@
+// SimTask — a recursive coroutine used to execute Verilog processes.
+//
+// Statement execution is written as ordinary recursive coroutines; a
+// process suspends by `co_yield`-ing a Suspend request (delay or edge
+// wait), which bubbles to the scheduler no matter how deeply nested the
+// yielding statement is (symmetric transfer keeps the stack flat).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <utility>
+#include <vector>
+
+namespace vsd::sim {
+
+enum class EdgeSense : std::uint8_t { Any, Pos, Neg };
+
+/// One entry of an event wait list: signal id + edge sense.
+struct EdgeWait {
+  int signal = -1;
+  EdgeSense sense = EdgeSense::Any;
+};
+
+/// A request from a running process to the scheduler.
+struct Suspend {
+  enum class Kind : std::uint8_t { Delay, Edges } kind = Suspend::Kind::Delay;
+  std::uint64_t delay = 0;
+  std::vector<EdgeWait> waits;
+
+  static Suspend for_delay(std::uint64_t d) {
+    Suspend s;
+    s.kind = Kind::Delay;
+    s.delay = d;
+    return s;
+  }
+  static Suspend for_edges(std::vector<EdgeWait> w) {
+    Suspend s;
+    s.kind = Kind::Edges;
+    s.waits = std::move(w);
+    return s;
+  }
+};
+
+class SimTask {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct promise_type {
+    Suspend pending;                 // valid on the root promise after a yield
+    promise_type* root = this;
+    promise_type* parent = nullptr;
+    Handle self;
+    Handle leaf;                     // root only: deepest active coroutine
+    std::exception_ptr exc;
+
+    SimTask get_return_object() {
+      self = Handle::from_promise(*this);
+      leaf = self;
+      return SimTask(self);
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(Handle h) noexcept {
+        promise_type& p = h.promise();
+        if (p.parent != nullptr) {
+          p.root->leaf = p.parent->self;
+          if (p.exc != nullptr && p.parent->exc == nullptr) {
+            // Propagate so the parent's ChildAwaiter can rethrow.
+          }
+          return p.parent->self;
+        }
+        return std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    std::suspend_always yield_value(Suspend s) {
+      root->pending = std::move(s);
+      return {};
+    }
+    void return_void() {}
+    void unhandled_exception() { exc = std::current_exception(); }
+  };
+
+  SimTask() = default;
+  explicit SimTask(Handle h) : h_(h) {}
+  SimTask(SimTask&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  SimTask& operator=(SimTask&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  SimTask(const SimTask&) = delete;
+  SimTask& operator=(const SimTask&) = delete;
+  ~SimTask() { destroy(); }
+
+  /// Awaiting a SimTask from inside another SimTask runs it as a child:
+  /// its yields bubble to the root, its completion resumes the parent.
+  struct ChildAwaiter {
+    Handle child;
+    bool await_ready() const noexcept { return !child || child.done(); }
+    std::coroutine_handle<> await_suspend(Handle parent) noexcept {
+      child.promise().parent = &parent.promise();
+      child.promise().root = parent.promise().root;
+      parent.promise().root->leaf = child;
+      return child;
+    }
+    void await_resume() {
+      if (child && child.promise().exc != nullptr) {
+        std::rethrow_exception(child.promise().exc);
+      }
+    }
+  };
+  ChildAwaiter operator co_await() const noexcept { return ChildAwaiter{h_}; }
+
+  bool valid() const { return static_cast<bool>(h_); }
+  bool done() const { return !h_ || h_.done(); }
+
+  /// Resumes the deepest suspended coroutine of this (root) task.
+  /// Returns false when the task has completed.  Rethrows any exception
+  /// that escaped the task body.
+  bool resume() {
+    if (done()) return false;
+    h_.promise().leaf.resume();
+    if (h_.done()) {
+      if (h_.promise().exc != nullptr) std::rethrow_exception(h_.promise().exc);
+      return false;
+    }
+    return true;
+  }
+
+  /// The suspend request recorded by the last yield (root task only).
+  const Suspend& pending() const { return h_.promise().pending; }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+  Handle h_;
+};
+
+}  // namespace vsd::sim

@@ -1,0 +1,104 @@
+// Elaborated design: the flattened runtime representation consumed by the
+// event-driven simulator.
+//
+// Elaboration flattens the module hierarchy (instances become prefixed
+// signal names, generate-for loops are unrolled, parameters are folded)
+// into a single list of signals plus a single list of processes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "vlog/ast.hpp"
+#include "sim/value.hpp"
+
+namespace vsd::sim {
+
+/// One elaborated net/variable (possibly a memory array).
+struct Signal {
+  std::string name;   // flattened hierarchical name: "u0.q"
+  int width = 1;
+  bool is_signed = false;
+  int msb = 0;        // declared bounds; msb may be < lsb
+  int lsb = 0;
+  bool is_reg = false;
+  Value value;        // current value (non-array signals)
+
+  // Memory arrays: reg [7:0] m [0:15]
+  bool is_array = false;
+  int array_lo = 0;
+  int array_hi = -1;
+  std::vector<Value> words;
+
+  /// Maps a declared bit index (e.g. 5 in x[5]) to a physical lsb-offset.
+  /// Returns -1 when out of range.
+  int bit_offset(std::int64_t declared_index) const {
+    if (msb >= lsb) {
+      if (declared_index < lsb || declared_index > msb) return -1;
+      return static_cast<int>(declared_index - lsb);
+    }
+    if (declared_index < msb || declared_index > lsb) return -1;
+    return static_cast<int>(lsb - declared_index);
+  }
+};
+
+enum class ProcKind : std::uint8_t { Initial, Always, ContAssign };
+
+/// An elaborated process.  For ContAssign, `lhs`/`rhs` point into the AST
+/// and `sensitivity` lists the signals whose change re-triggers evaluation.
+struct Process {
+  ProcKind kind = ProcKind::Initial;
+  const vlog::Stmt* body = nullptr;        // Initial / Always
+  const vlog::Expr* lhs = nullptr;         // ContAssign
+  const vlog::Expr* rhs = nullptr;         // ContAssign
+  std::string scope;                        // hierarchical prefix ("u0.")
+  std::vector<int> sensitivity;             // ContAssign static sensitivity
+};
+
+/// A module-scope user function/task visible to the interpreter.
+struct RoutineDef {
+  const vlog::FunctionItem* function = nullptr;
+  const vlog::TaskItem* task = nullptr;
+  std::string scope;
+};
+
+/// Fully elaborated design.
+struct Design {
+  std::vector<Signal> signals;
+  std::unordered_map<std::string, int> signal_index;
+  std::vector<Process> processes;
+  std::unordered_map<std::string, RoutineDef> routines;  // scoped name
+  std::vector<int> top_inputs;   // signal ids of top-level input ports
+  std::vector<int> top_outputs;  // signal ids of top-level output ports
+
+  /// Synthetic expressions created during elaboration (port-connection
+  /// identifiers); owned here so Process pointers stay valid.
+  std::vector<std::unique_ptr<vlog::Expr>> owned_exprs;
+
+  int find(const std::string& name) const {
+    const auto it = signal_index.find(name);
+    return it == signal_index.end() ? -1 : it->second;
+  }
+};
+
+/// Result of elaboration.  The design borrows AST nodes from `unit`, which
+/// is therefore owned (shared) by the result.
+struct ElabResult {
+  std::shared_ptr<const vlog::SourceUnit> unit;
+  std::unique_ptr<Design> design;
+  bool ok = false;
+  std::string error;
+};
+
+/// Elaborates `top` (by name) from `unit`.  `param_overrides` override the
+/// top module's parameters.
+ElabResult elaborate(std::shared_ptr<const vlog::SourceUnit> unit,
+                     const std::string& top,
+                     const std::vector<std::pair<std::string, std::int64_t>>&
+                         param_overrides = {});
+
+}  // namespace vsd::sim

@@ -1,0 +1,35 @@
+// Shared helpers between the elaborator and the interpreter: constant
+// expression evaluation over a parameter environment, and read-set
+// collection for sensitivity analysis.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "sim/value.hpp"
+#include "vlog/ast.hpp"
+
+namespace vsd::sim::detail {
+
+/// Compile-time name environment (parameters, genvars).
+using ParamEnv = std::unordered_map<std::string, Value>;
+
+/// Evaluates a constant expression; nullopt if it references anything
+/// outside `env` or uses an unsupported construct.
+std::optional<Value> const_eval(const vlog::Expr& e, const ParamEnv& env);
+
+/// const_eval + known-integer conversion.
+std::optional<std::int64_t> const_eval_int(const vlog::Expr& e, const ParamEnv& env);
+
+/// Maps a (possibly hierarchical) name to a signal id, or -1.
+using ScopeResolver = std::function<int(const std::string&)>;
+
+/// Inserts the ids of all signals read by `e` into `out`.
+void collect_reads(const vlog::Expr* e, const ScopeResolver& resolve,
+                   std::set<int>& out);
+
+}  // namespace vsd::sim::detail

@@ -1,0 +1,926 @@
+// Elaboration: AST -> flattened runtime Design.
+#include <algorithm>
+#include <set>
+
+#include "sim/design.hpp"
+#include "sim/elab_detail.hpp"
+#include "common/error.hpp"
+
+namespace vsd::sim {
+
+using vlog::Expr;
+using vlog::ExprKind;
+using vlog::ItemKind;
+using vlog::Module;
+using vlog::ModuleItem;
+using vlog::NetType;
+using vlog::PortDir;
+using vlog::SourceUnit;
+
+namespace detail {
+
+std::optional<Value> const_eval(const Expr& e, const ParamEnv& env) {
+  switch (e.kind) {
+    case ExprKind::Number: {
+      const auto& n = static_cast<const vlog::NumberExpr&>(e);
+      if (n.is_real) {
+        return Value::from_int(static_cast<std::int64_t>(n.real_value), 64);
+      }
+      return Value::from_bits_msb_first(n.bits, n.is_signed);
+    }
+    case ExprKind::Ident: {
+      const auto& i = static_cast<const vlog::IdentExpr&>(e);
+      if (i.path.size() != 1) return std::nullopt;
+      const auto it = env.find(i.path[0]);
+      if (it == env.end()) return std::nullopt;
+      return it->second;
+    }
+    case ExprKind::Unary: {
+      const auto& u = static_cast<const vlog::UnaryExpr&>(e);
+      auto v = const_eval(*u.operand, env);
+      if (!v) return std::nullopt;
+      switch (u.op) {
+        case vlog::UnaryOp::Plus: return v;
+        case vlog::UnaryOp::Minus: return Value::negate(*v);
+        case vlog::UnaryOp::LogicNot: return Value::logic_not(*v);
+        case vlog::UnaryOp::BitNot: return Value::bit_not(*v);
+        case vlog::UnaryOp::ReduceAnd: return Value::reduce_and(*v);
+        case vlog::UnaryOp::ReduceNand: return Value::bit_not(Value::reduce_and(*v));
+        case vlog::UnaryOp::ReduceOr: return Value::reduce_or(*v);
+        case vlog::UnaryOp::ReduceNor: return Value::bit_not(Value::reduce_or(*v));
+        case vlog::UnaryOp::ReduceXor: return Value::reduce_xor(*v);
+        case vlog::UnaryOp::ReduceXnor: return Value::bit_not(Value::reduce_xor(*v));
+      }
+      return std::nullopt;
+    }
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const vlog::BinaryExpr&>(e);
+      auto l = const_eval(*b.lhs, env);
+      auto r = const_eval(*b.rhs, env);
+      if (!l || !r) return std::nullopt;
+      const int w = max_width(*l, *r);
+      switch (b.op) {
+        case vlog::BinaryOp::Add: return Value::add(l->resized(w), r->resized(w));
+        case vlog::BinaryOp::Sub: return Value::sub(l->resized(w), r->resized(w));
+        case vlog::BinaryOp::Mul: return Value::mul(*l, *r);
+        case vlog::BinaryOp::Div: return Value::div(*l, *r);
+        case vlog::BinaryOp::Mod: return Value::mod(*l, *r);
+        case vlog::BinaryOp::Pow: return Value::pow(*l, *r);
+        case vlog::BinaryOp::Eq: return Value::eq(*l, *r);
+        case vlog::BinaryOp::Neq: return Value::neq(*l, *r);
+        case vlog::BinaryOp::CaseEq: return Value::case_eq(*l, *r);
+        case vlog::BinaryOp::CaseNeq: return Value::case_neq(*l, *r);
+        case vlog::BinaryOp::Lt: return Value::lt(*l, *r);
+        case vlog::BinaryOp::Le: return Value::le(*l, *r);
+        case vlog::BinaryOp::Gt: return Value::gt(*l, *r);
+        case vlog::BinaryOp::Ge: return Value::ge(*l, *r);
+        case vlog::BinaryOp::LogicAnd: return Value::logic_and(*l, *r);
+        case vlog::BinaryOp::LogicOr: return Value::logic_or(*l, *r);
+        case vlog::BinaryOp::BitAnd: return Value::bit_and(*l, *r);
+        case vlog::BinaryOp::BitOr: return Value::bit_or(*l, *r);
+        case vlog::BinaryOp::BitXor: return Value::bit_xor(*l, *r);
+        case vlog::BinaryOp::BitXnor: return Value::bit_xnor(*l, *r);
+        case vlog::BinaryOp::Shl: return Value::shl(*l, *r);
+        case vlog::BinaryOp::Shr: return Value::shr(*l, *r);
+        case vlog::BinaryOp::AShl: return Value::shl(*l, *r);
+        case vlog::BinaryOp::AShr: return Value::ashr(*l, *r);
+      }
+      return std::nullopt;
+    }
+    case ExprKind::Ternary: {
+      const auto& t = static_cast<const vlog::TernaryExpr&>(e);
+      auto c = const_eval(*t.cond, env);
+      if (!c) return std::nullopt;
+      bool unknown = false;
+      const bool taken = c->is_true(&unknown);
+      if (unknown) return std::nullopt;
+      return const_eval(taken ? *t.then_expr : *t.else_expr, env);
+    }
+    case ExprKind::Call: {
+      const auto& c = static_cast<const vlog::CallExpr&>(e);
+      if (c.is_system && c.callee == "$clog2" && c.args.size() == 1) {
+        auto v = const_eval(*c.args[0], env);
+        if (!v || v->has_xz()) return std::nullopt;
+        std::uint64_t n = v->to_uint();
+        int r = 0;
+        if (n > 0) --n;
+        while (n > 0) {
+          ++r;
+          n >>= 1;
+        }
+        return Value::from_uint(static_cast<std::uint64_t>(r), 32);
+      }
+      return std::nullopt;
+    }
+    case ExprKind::Concat: {
+      const auto& cc = static_cast<const vlog::ConcatExpr&>(e);
+      std::vector<Value> parts;
+      for (const auto& p : cc.parts) {
+        auto v = const_eval(*p, env);
+        if (!v) return std::nullopt;
+        parts.push_back(std::move(*v));
+      }
+      return Value::concat(parts);
+    }
+    case ExprKind::Repl: {
+      const auto& r = static_cast<const vlog::ReplExpr&>(e);
+      auto count = const_eval(*r.count, env);
+      auto body = const_eval(*r.body, env);
+      if (!count || !body || count->has_xz()) return std::nullopt;
+      const auto n = static_cast<int>(count->to_uint());
+      if (n < 1 || n > 1 << 16) return std::nullopt;
+      return Value::repl(n, *body);
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<std::int64_t> const_eval_int(const Expr& e, const ParamEnv& env) {
+  auto v = const_eval(e, env);
+  if (!v || v->has_xz()) return std::nullopt;
+  return v->to_int();
+}
+
+void collect_reads(const Expr* e, const ScopeResolver& resolve,
+                   std::set<int>& out) {
+  if (e == nullptr) return;
+  switch (e->kind) {
+    case ExprKind::Ident: {
+      const int id = resolve(static_cast<const vlog::IdentExpr&>(*e).full_name());
+      if (id >= 0) out.insert(id);
+      break;
+    }
+    case ExprKind::Select: {
+      const auto& s = static_cast<const vlog::SelectExpr&>(*e);
+      collect_reads(s.base.get(), resolve, out);
+      collect_reads(s.index.get(), resolve, out);
+      collect_reads(s.width.get(), resolve, out);
+      break;
+    }
+    case ExprKind::Unary:
+      collect_reads(static_cast<const vlog::UnaryExpr&>(*e).operand.get(), resolve, out);
+      break;
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const vlog::BinaryExpr&>(*e);
+      collect_reads(b.lhs.get(), resolve, out);
+      collect_reads(b.rhs.get(), resolve, out);
+      break;
+    }
+    case ExprKind::Ternary: {
+      const auto& t = static_cast<const vlog::TernaryExpr&>(*e);
+      collect_reads(t.cond.get(), resolve, out);
+      collect_reads(t.then_expr.get(), resolve, out);
+      collect_reads(t.else_expr.get(), resolve, out);
+      break;
+    }
+    case ExprKind::Concat:
+      for (const auto& p : static_cast<const vlog::ConcatExpr&>(*e).parts) {
+        collect_reads(p.get(), resolve, out);
+      }
+      break;
+    case ExprKind::Repl: {
+      const auto& r = static_cast<const vlog::ReplExpr&>(*e);
+      collect_reads(r.count.get(), resolve, out);
+      collect_reads(r.body.get(), resolve, out);
+      break;
+    }
+    case ExprKind::Call:
+      for (const auto& a : static_cast<const vlog::CallExpr&>(*e).args) {
+        collect_reads(a.get(), resolve, out);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::ParamEnv;
+using detail::const_eval;
+using detail::const_eval_int;
+
+class ElabFailure : public std::exception {
+ public:
+  explicit ElabFailure(std::string msg) : msg_(std::move(msg)) {}
+  const char* what() const noexcept override { return msg_.c_str(); }
+
+ private:
+  std::string msg_;
+};
+
+class Elaborator {
+ public:
+  explicit Elaborator(const SourceUnit& unit) : unit_(unit) {
+    for (const auto& m : unit.modules) modules_[m->name] = m.get();
+    design_ = std::make_unique<Design>();
+  }
+
+  std::unique_ptr<Design> run(const std::string& top,
+                              const std::vector<std::pair<std::string, std::int64_t>>&
+                                  overrides) {
+    const Module* m = find_module(top);
+    ParamEnv env;
+    for (const auto& [name, value] : overrides) {
+      env[name] = Value::from_int(value, 32);
+    }
+    elab_module(*m, "", env, /*is_top=*/true, /*depth=*/0);
+    finalize();
+    validate_names();
+    return std::move(design_);
+  }
+
+ private:
+  const Module* find_module(const std::string& name) const {
+    const auto it = modules_.find(name);
+    if (it == modules_.end()) throw ElabFailure("unknown module '" + name + "'");
+    return it->second;
+  }
+
+  int add_signal(Signal sig) {
+    if (design_->signal_index.count(sig.name) > 0) {
+      return design_->signal_index.at(sig.name);
+    }
+    const int id = static_cast<int>(design_->signals.size());
+    design_->signal_index[sig.name] = id;
+    design_->signals.push_back(std::move(sig));
+    return id;
+  }
+
+  /// Resolver following the scope chain: "a.b." -> try a.b.x, a.x, x.
+  detail::ScopeResolver resolver(const std::string& scope) const {
+    const Design* d = design_.get();
+    return [d, scope](const std::string& name) -> int {
+      std::string s = scope;
+      while (true) {
+        const int id = d->find(s + name);
+        if (id >= 0) return id;
+        if (s.empty()) return -1;
+        // Drop the innermost "x." component.
+        const std::size_t dot = s.rfind('.', s.size() - 2);
+        s = dot == std::string::npos ? std::string() : s.substr(0, dot + 1);
+      }
+    };
+  }
+
+  struct PendingConn {
+    const Expr* formal_side = nullptr;  // synthetic ident (child port)
+    const Expr* actual = nullptr;       // parent-scope expression
+    bool child_drives = false;          // true for output ports
+  };
+
+  // Creates a synthetic identifier expression owned by the design.
+  const Expr* make_ident(const std::string& flat_name) {
+    auto id = std::make_unique<vlog::IdentExpr>();
+    id->path.push_back(flat_name);
+    const Expr* raw = id.get();
+    owned_.push_back(std::move(id));
+    return raw;
+  }
+
+  void add_cont_assign(const Expr* lhs, const Expr* rhs, const std::string& scope) {
+    Process p;
+    p.kind = ProcKind::ContAssign;
+    p.lhs = lhs;
+    p.rhs = rhs;
+    p.scope = scope;
+    // Sensitivity is filled in by finalize() once every signal exists
+    // (forward references to later declarations are legal Verilog).
+    design_->processes.push_back(std::move(p));
+  }
+
+  /// Post-pass: computes continuous-assign sensitivities over the complete
+  /// signal table.
+  void finalize() {
+    for (Process& p : design_->processes) {
+      if (p.kind != ProcKind::ContAssign) continue;
+      std::set<int> reads;
+      detail::collect_reads(p.rhs, resolver(p.scope), reads);
+      collect_lhs_index_reads(p.lhs, p.scope, reads);
+      p.sensitivity.assign(reads.begin(), reads.end());
+    }
+  }
+
+  void collect_lhs_index_reads(const Expr* lhs, const std::string& scope,
+                               std::set<int>& out) {
+    if (lhs == nullptr) return;
+    if (lhs->kind == ExprKind::Select) {
+      const auto& s = static_cast<const vlog::SelectExpr&>(*lhs);
+      detail::collect_reads(s.index.get(), resolver(scope), out);
+      detail::collect_reads(s.width.get(), resolver(scope), out);
+      collect_lhs_index_reads(s.base.get(), scope, out);
+    } else if (lhs->kind == ExprKind::Concat) {
+      for (const auto& p : static_cast<const vlog::ConcatExpr&>(*lhs).parts) {
+        collect_lhs_index_reads(p.get(), scope, out);
+      }
+    }
+  }
+
+  std::pair<int, int> range_bounds(const std::optional<vlog::Range>& r,
+                                   const ParamEnv& env, const char* what) {
+    if (!r) return {0, 0};
+    const auto msb = const_eval_int(*r->msb, env);
+    const auto lsb = const_eval_int(*r->lsb, env);
+    if (!msb || !lsb) throw ElabFailure(std::string("non-constant range in ") + what);
+    const std::int64_t span = std::abs(*msb - *lsb);
+    if (span >= 1 << 16) throw ElabFailure("range too wide");
+    return {static_cast<int>(*msb), static_cast<int>(*lsb)};
+  }
+
+  void elab_module(const Module& m, const std::string& prefix, ParamEnv overrides,
+                   bool is_top, int depth) {
+    if (depth > 32) throw ElabFailure("instantiation too deep (recursive?)");
+
+    // 1. Parameters: header params then body params, respecting overrides.
+    ParamEnv env;
+    auto bind_param = [&](const std::string& name, const Expr& value) {
+      const auto it = overrides.find(name);
+      if (it != overrides.end()) {
+        env[name] = it->second;
+        return;
+      }
+      auto v = const_eval(value, env);
+      if (!v) throw ElabFailure("non-constant parameter '" + name + "' in " + m.name);
+      env[name] = std::move(*v);
+    };
+    for (const auto& pa : m.header_params) bind_param(pa.name, *pa.value);
+    for (const auto& item : m.items) {
+      if (item->kind != ItemKind::ParamDecl) continue;
+      const auto& pd = static_cast<const vlog::ParamDeclItem&>(*item);
+      for (const auto& pa : pd.params) {
+        if (pd.local) {
+          auto v = const_eval(*pa.value, env);
+          if (!v) throw ElabFailure("non-constant localparam '" + pa.name + "'");
+          env[pa.name] = std::move(*v);
+        } else {
+          bind_param(pa.name, *pa.value);
+        }
+      }
+    }
+
+    // 2. Port directions/shapes: ANSI header or body port declarations.
+    struct PortShape {
+      PortDir dir = PortDir::Input;
+      bool is_reg = false;
+      bool is_signed = false;
+      int msb = 0, lsb = 0;
+      bool declared = false;
+    };
+    std::unordered_map<std::string, PortShape> port_shapes;
+    std::vector<std::string> port_order;
+    for (const auto& p : m.ports) {
+      PortShape shape;
+      shape.dir = p.dir;
+      shape.is_reg = p.is_reg;
+      shape.is_signed = p.is_signed;
+      shape.declared = p.ansi;
+      if (p.range) {
+        const auto [msb, lsb] = range_bounds(p.range, env, "port");
+        shape.msb = msb;
+        shape.lsb = lsb;
+      }
+      port_shapes[p.name] = shape;
+      port_order.push_back(p.name);
+    }
+    for (const auto& item : m.items) {
+      if (item->kind != ItemKind::PortDecl) continue;
+      const auto& pd = static_cast<const vlog::PortDeclItem&>(*item);
+      const auto [msb, lsb] = range_bounds(pd.range, env, "port declaration");
+      for (const auto& name : pd.names) {
+        const auto it = port_shapes.find(name);
+        if (it == port_shapes.end()) {
+          throw ElabFailure("port declaration for non-port '" + name + "' in " + m.name);
+        }
+        it->second.dir = pd.dir;
+        it->second.is_reg = it->second.is_reg || pd.is_reg;
+        it->second.is_signed = pd.is_signed;
+        it->second.msb = msb;
+        it->second.lsb = lsb;
+        it->second.declared = true;
+      }
+    }
+    // Merge reg/width info from body net declarations of port names.
+    for (const auto& item : m.items) {
+      if (item->kind != ItemKind::NetDecl) continue;
+      const auto& nd = static_cast<const vlog::NetDeclItem&>(*item);
+      for (const auto& dn : nd.nets) {
+        const auto it = port_shapes.find(dn.name);
+        if (it == port_shapes.end()) continue;
+        if (nd.net == NetType::Reg || nd.net == NetType::Integer) it->second.is_reg = true;
+        if (nd.range) {
+          const auto [msb, lsb] = range_bounds(nd.range, env, "net declaration");
+          it->second.msb = msb;
+          it->second.lsb = lsb;
+        }
+        if (nd.is_signed) it->second.is_signed = true;
+      }
+    }
+
+    // 3. Create port signals.
+    for (const auto& name : port_order) {
+      const PortShape& shape = port_shapes.at(name);
+      if (!shape.declared) {
+        throw ElabFailure("port '" + name + "' of " + m.name + " lacks a declaration");
+      }
+      Signal sig;
+      sig.name = prefix + name;
+      sig.msb = shape.msb;
+      sig.lsb = shape.lsb;
+      sig.width = std::abs(shape.msb - shape.lsb) + 1;
+      sig.is_signed = shape.is_signed;
+      sig.is_reg = shape.is_reg;
+      sig.value = Value(sig.width, Logic::X, sig.is_signed);
+      const int id = add_signal(std::move(sig));
+      if (is_top) {
+        if (shape.dir == PortDir::Input) design_->top_inputs.push_back(id);
+        else if (shape.dir == PortDir::Output) design_->top_outputs.push_back(id);
+      }
+    }
+
+    // 4. Remaining items.
+    elab_items(m.items, m, prefix, env, depth);
+
+    // 5. Parameters become constant pseudo-signals so runtime expressions
+    //    (e.g. `q <= WIDTH - 1`) can read them through the scope chain.
+    for (const auto& [name, value] : env) {
+      if (design_->signal_index.count(prefix + name) > 0) continue;
+      Signal sig;
+      sig.name = prefix + name;
+      sig.width = value.width();
+      sig.is_signed = value.is_signed();
+      sig.msb = value.width() - 1;
+      sig.lsb = 0;
+      sig.value = value;
+      add_signal(std::move(sig));
+    }
+  }
+
+  void elab_items(const std::vector<vlog::ItemPtr>& items, const Module& m,
+                  const std::string& prefix, ParamEnv& env, int depth) {
+    // Phase 1: declarations, so processes and instances elaborated in
+    // phase 2 may reference nets declared later in the module.
+    for (const auto& item : items) {
+      if (item->kind == ItemKind::NetDecl) {
+        elab_net_decl(static_cast<const vlog::NetDeclItem&>(*item), prefix, env);
+      }
+    }
+    for (const auto& item : items) {
+      switch (item->kind) {
+        case ItemKind::PortDecl:
+        case ItemKind::ParamDecl:
+        case ItemKind::Genvar:
+        case ItemKind::NetDecl:
+          break;  // handled during setup / compile-time / phase 1
+        case ItemKind::ContAssign: {
+          const auto& a = static_cast<const vlog::ContAssignItem&>(*item);
+          for (const auto& [lhs, rhs] : a.assigns) {
+            add_cont_assign(lhs.get(), rhs.get(), prefix);
+          }
+          break;
+        }
+        case ItemKind::Always: {
+          Process p;
+          p.kind = ProcKind::Always;
+          p.body = static_cast<const vlog::AlwaysItem&>(*item).body.get();
+          p.scope = prefix;
+          design_->processes.push_back(std::move(p));
+          break;
+        }
+        case ItemKind::Initial: {
+          Process p;
+          p.kind = ProcKind::Initial;
+          p.body = static_cast<const vlog::InitialItem&>(*item).body.get();
+          p.scope = prefix;
+          design_->processes.push_back(std::move(p));
+          break;
+        }
+        case ItemKind::Function: {
+          const auto& f = static_cast<const vlog::FunctionItem&>(*item);
+          RoutineDef def;
+          def.function = &f;
+          def.scope = prefix;
+          design_->routines[prefix + f.name] = def;
+          break;
+        }
+        case ItemKind::Task: {
+          const auto& t = static_cast<const vlog::TaskItem&>(*item);
+          RoutineDef def;
+          def.task = &t;
+          def.scope = prefix;
+          design_->routines[prefix + t.name] = def;
+          break;
+        }
+        case ItemKind::Instance:
+          elab_instance(static_cast<const vlog::InstanceItem&>(*item), prefix, env, depth);
+          break;
+        case ItemKind::GenerateFor:
+          elab_generate_for(static_cast<const vlog::GenerateForItem&>(*item), m,
+                            prefix, env, depth);
+          break;
+      }
+    }
+  }
+
+  void elab_net_decl(const vlog::NetDeclItem& nd, const std::string& prefix,
+                     const ParamEnv& env) {
+    int msb = 0;
+    int lsb = 0;
+    bool is_signed = nd.is_signed;
+    bool is_reg = nd.net == NetType::Reg;
+    if (nd.net == NetType::Integer || nd.net == NetType::Time) {
+      msb = nd.net == NetType::Integer ? 31 : 63;
+      is_signed = nd.net == NetType::Integer;
+      is_reg = true;
+    } else if (nd.range) {
+      std::tie(msb, lsb) = range_bounds(nd.range, env, "net declaration");
+    }
+    for (const auto& dn : nd.nets) {
+      if (design_->signal_index.count(prefix + dn.name) > 0) {
+        // Port re-declaration — already created; apply initializer if any.
+        if (dn.init != nullptr) apply_initializer(prefix + dn.name, *dn.init, prefix, env, is_reg);
+        continue;
+      }
+      Signal sig;
+      sig.name = prefix + dn.name;
+      sig.msb = msb;
+      sig.lsb = lsb;
+      sig.width = std::abs(msb - lsb) + 1;
+      sig.is_signed = is_signed;
+      sig.is_reg = is_reg;
+      if (nd.net == NetType::Supply0) sig.value = Value(sig.width, Logic::Zero);
+      else if (nd.net == NetType::Supply1) sig.value = Value(sig.width, Logic::One);
+      else sig.value = Value(sig.width, Logic::X, is_signed);
+      if (dn.unpacked) {
+        const auto [alo, ahi] = range_bounds(dn.unpacked, env, "memory declaration");
+        sig.is_array = true;
+        sig.array_lo = std::min(alo, ahi);
+        sig.array_hi = std::max(alo, ahi);
+        const auto words = static_cast<std::size_t>(sig.array_hi - sig.array_lo + 1);
+        if (words > 1u << 20) throw ElabFailure("memory too large");
+        sig.words.assign(words, Value(sig.width, Logic::X, is_signed));
+      }
+      add_signal(std::move(sig));
+      if (dn.init != nullptr) apply_initializer(prefix + dn.name, *dn.init, prefix, env, is_reg);
+    }
+  }
+
+  void apply_initializer(const std::string& flat_name, const Expr& init,
+                         const std::string& prefix, const ParamEnv& env,
+                         bool is_reg) {
+    if (is_reg) {
+      // reg r = expr;  — constant initial value (like `initial r = expr`).
+      auto v = const_eval(init, env);
+      Signal& sig = design_->signals[static_cast<std::size_t>(design_->find(flat_name))];
+      if (v) sig.value = v->resized(sig.width);
+      return;
+    }
+    // wire w = expr;  — shorthand for a continuous assignment.
+    add_cont_assign(make_ident(flat_name), &init, prefix);
+  }
+
+  void elab_instance(const vlog::InstanceItem& inst, const std::string& prefix,
+                     const ParamEnv& env, int depth) {
+    const Module* child = find_module(inst.module_name);
+    const std::string child_prefix = prefix + inst.instance_name + ".";
+
+    // Parameter overrides.
+    ParamEnv child_overrides;
+    if (!inst.param_overrides.empty()) {
+      std::vector<std::string> header_names;
+      for (const auto& pa : child->header_params) header_names.push_back(pa.name);
+      std::size_t ordered = 0;
+      for (const auto& c : inst.param_overrides) {
+        std::string name = c.formal;
+        if (name.empty()) {
+          if (ordered >= header_names.size()) {
+            throw ElabFailure("too many ordered parameter overrides for " + inst.module_name);
+          }
+          name = header_names[ordered++];
+        }
+        if (c.actual == nullptr) continue;
+        auto v = const_eval(*c.actual, env);
+        if (!v) throw ElabFailure("non-constant parameter override '" + name + "'");
+        child_overrides[name] = std::move(*v);
+      }
+    }
+
+    elab_module(*child, child_prefix, child_overrides, /*is_top=*/false, depth + 1);
+
+    // Port connections.
+    std::vector<std::string> formal_order;
+    std::unordered_map<std::string, PortDir> dirs;
+    for (const auto& p : child->ports) formal_order.push_back(p.name);
+    for (const auto& p : child->ports) {
+      if (p.ansi) dirs[p.name] = p.dir;
+    }
+    for (const auto& item : child->items) {
+      if (item->kind != ItemKind::PortDecl) continue;
+      const auto& pd = static_cast<const vlog::PortDeclItem&>(*item);
+      for (const auto& n : pd.names) dirs[n] = pd.dir;
+    }
+
+    std::size_t ordered = 0;
+    for (const auto& c : inst.connections) {
+      std::string formal = c.formal;
+      if (formal.empty()) {
+        if (ordered >= formal_order.size()) {
+          throw ElabFailure("too many ordered connections for " + inst.module_name);
+        }
+        formal = formal_order[ordered++];
+      }
+      if (c.actual == nullptr) continue;  // .port() — left unconnected
+      const auto dir_it = dirs.find(formal);
+      if (dir_it == dirs.end()) {
+        throw ElabFailure("connection to unknown port '" + formal + "' of " +
+                          inst.module_name);
+      }
+      const std::string flat_formal = child_prefix + formal;
+      if (design_->find(flat_formal) < 0) {
+        throw ElabFailure("internal: missing port signal " + flat_formal);
+      }
+      switch (dir_it->second) {
+        case PortDir::Input:
+          add_cont_assign(make_ident(flat_formal), c.actual.get(), prefix);
+          break;
+        case PortDir::Output:
+          add_cont_assign(c.actual.get(), make_ident(flat_formal), prefix);
+          break;
+        case PortDir::Inout:
+          throw ElabFailure("inout ports are not supported");
+      }
+    }
+  }
+
+  void elab_generate_for(const vlog::GenerateForItem& g, const Module& m,
+                         const std::string& prefix, ParamEnv& env, int depth) {
+    auto init = const_eval_int(*g.init, env);
+    if (!init) throw ElabFailure("non-constant generate-for init");
+    std::int64_t i = *init;
+    int iterations = 0;
+    while (true) {
+      ParamEnv iter_env = env;
+      iter_env[g.genvar] = Value::from_int(i, 32);
+      auto cond = detail::const_eval(*g.cond, iter_env);
+      if (!cond) throw ElabFailure("non-constant generate-for condition");
+      bool unknown = false;
+      if (!cond->is_true(&unknown) || unknown) break;
+      if (++iterations > 4096) throw ElabFailure("generate-for runs too long");
+
+      const std::string label = g.label.empty() ? "genblk" : g.label;
+      const std::string iter_prefix =
+          prefix + label + "[" + std::to_string(i) + "].";
+      // Expose the genvar value inside the block as a constant signal.
+      Signal gv;
+      gv.name = iter_prefix + g.genvar;
+      gv.width = 32;
+      gv.is_signed = true;
+      gv.msb = 31;
+      gv.value = Value::from_int(i, 32);
+      add_signal(std::move(gv));
+
+      ParamEnv body_env = iter_env;
+      elab_items(g.body, m, iter_prefix, body_env, depth);
+
+      auto next = const_eval_int(*g.step, iter_env);
+      if (!next) throw ElabFailure("non-constant generate-for step");
+      if (*next == i) throw ElabFailure("generate-for does not advance");
+      i = *next;
+    }
+  }
+
+  // --- post-elaboration name validation (the "compile" gate) --------------
+
+  bool routine_exists(const std::string& scope, const std::string& name) const {
+    std::string s = scope;
+    while (true) {
+      if (design_->routines.count(s + name) > 0) return true;
+      if (s.empty()) return false;
+      const std::size_t dot = s.rfind('.', s.size() - 2);
+      s = dot == std::string::npos ? std::string() : s.substr(0, dot + 1);
+    }
+  }
+
+  void validate_expr(const Expr* e, const std::string& scope,
+                     const std::set<std::string>& locals) {
+    if (e == nullptr) return;
+    switch (e->kind) {
+      case ExprKind::Ident: {
+        const auto& i = static_cast<const vlog::IdentExpr&>(*e);
+        if (i.path.size() == 1 && locals.count(i.path[0]) > 0) return;
+        if (resolver(scope)(i.full_name()) >= 0) return;
+        throw ElabFailure("undeclared identifier '" + i.full_name() + "'");
+      }
+      case ExprKind::Select: {
+        const auto& s = static_cast<const vlog::SelectExpr&>(*e);
+        validate_expr(s.base.get(), scope, locals);
+        validate_expr(s.index.get(), scope, locals);
+        validate_expr(s.width.get(), scope, locals);
+        return;
+      }
+      case ExprKind::Unary:
+        validate_expr(static_cast<const vlog::UnaryExpr&>(*e).operand.get(), scope, locals);
+        return;
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const vlog::BinaryExpr&>(*e);
+        validate_expr(b.lhs.get(), scope, locals);
+        validate_expr(b.rhs.get(), scope, locals);
+        return;
+      }
+      case ExprKind::Ternary: {
+        const auto& t = static_cast<const vlog::TernaryExpr&>(*e);
+        validate_expr(t.cond.get(), scope, locals);
+        validate_expr(t.then_expr.get(), scope, locals);
+        validate_expr(t.else_expr.get(), scope, locals);
+        return;
+      }
+      case ExprKind::Concat:
+        for (const auto& p : static_cast<const vlog::ConcatExpr&>(*e).parts) {
+          validate_expr(p.get(), scope, locals);
+        }
+        return;
+      case ExprKind::Repl: {
+        const auto& r = static_cast<const vlog::ReplExpr&>(*e);
+        validate_expr(r.count.get(), scope, locals);
+        validate_expr(r.body.get(), scope, locals);
+        return;
+      }
+      case ExprKind::Call: {
+        const auto& c = static_cast<const vlog::CallExpr&>(*e);
+        if (!c.is_system && !routine_exists(scope, c.callee)) {
+          throw ElabFailure("call to undeclared function '" + c.callee + "'");
+        }
+        for (const auto& a : c.args) validate_expr(a.get(), scope, locals);
+        return;
+      }
+      default:
+        return;
+    }
+  }
+
+  void validate_stmt(const vlog::Stmt* s, const std::string& scope,
+                     const std::set<std::string>& locals) {
+    if (s == nullptr) return;
+    using vlog::StmtKind;
+    switch (s->kind) {
+      case StmtKind::Block:
+        for (const auto& st : static_cast<const vlog::BlockStmt&>(*s).body) {
+          validate_stmt(st.get(), scope, locals);
+        }
+        return;
+      case StmtKind::Assign: {
+        const auto& a = static_cast<const vlog::AssignStmt&>(*s);
+        validate_expr(a.lhs.get(), scope, locals);
+        validate_expr(a.rhs.get(), scope, locals);
+        validate_expr(a.delay.get(), scope, locals);
+        return;
+      }
+      case StmtKind::If: {
+        const auto& i = static_cast<const vlog::IfStmt&>(*s);
+        validate_expr(i.cond.get(), scope, locals);
+        validate_stmt(i.then_stmt.get(), scope, locals);
+        validate_stmt(i.else_stmt.get(), scope, locals);
+        return;
+      }
+      case StmtKind::Case: {
+        const auto& c = static_cast<const vlog::CaseStmt&>(*s);
+        validate_expr(c.subject.get(), scope, locals);
+        for (const auto& item : c.items) {
+          for (const auto& l : item.labels) validate_expr(l.get(), scope, locals);
+          validate_stmt(item.body.get(), scope, locals);
+        }
+        return;
+      }
+      case StmtKind::For: {
+        const auto& loop = static_cast<const vlog::ForStmt&>(*s);
+        validate_stmt(loop.init.get(), scope, locals);
+        validate_expr(loop.cond.get(), scope, locals);
+        validate_stmt(loop.step.get(), scope, locals);
+        validate_stmt(loop.body.get(), scope, locals);
+        return;
+      }
+      case StmtKind::While: {
+        const auto& loop = static_cast<const vlog::WhileStmt&>(*s);
+        validate_expr(loop.cond.get(), scope, locals);
+        validate_stmt(loop.body.get(), scope, locals);
+        return;
+      }
+      case StmtKind::Repeat: {
+        const auto& loop = static_cast<const vlog::RepeatStmt&>(*s);
+        validate_expr(loop.count.get(), scope, locals);
+        validate_stmt(loop.body.get(), scope, locals);
+        return;
+      }
+      case StmtKind::Forever:
+        validate_stmt(static_cast<const vlog::ForeverStmt&>(*s).body.get(), scope, locals);
+        return;
+      case StmtKind::Delay: {
+        const auto& d = static_cast<const vlog::DelayStmt&>(*s);
+        validate_expr(d.delay.get(), scope, locals);
+        validate_stmt(d.body.get(), scope, locals);
+        return;
+      }
+      case StmtKind::EventControl: {
+        const auto& e = static_cast<const vlog::EventControlStmt&>(*s);
+        for (const auto& ev : e.events) validate_expr(ev.signal.get(), scope, locals);
+        validate_stmt(e.body.get(), scope, locals);
+        return;
+      }
+      case StmtKind::Wait: {
+        const auto& w = static_cast<const vlog::WaitStmt&>(*s);
+        validate_expr(w.cond.get(), scope, locals);
+        validate_stmt(w.body.get(), scope, locals);
+        return;
+      }
+      case StmtKind::SysTask:
+        for (const auto& a : static_cast<const vlog::SysTaskStmt&>(*s).args) {
+          validate_expr(a.get(), scope, locals);
+        }
+        return;
+      case StmtKind::TaskCall: {
+        const auto& t = static_cast<const vlog::TaskCallStmt&>(*s);
+        if (!routine_exists(scope, t.name)) {
+          throw ElabFailure("call to undeclared task '" + t.name + "'");
+        }
+        for (const auto& a : t.args) validate_expr(a.get(), scope, locals);
+        return;
+      }
+      default:
+        return;
+    }
+  }
+
+  static std::set<std::string> routine_locals(const RoutineDef& def) {
+    std::set<std::string> locals;
+    auto add_net_locals = [&locals](const std::vector<vlog::ItemPtr>& items) {
+      for (const auto& item : items) {
+        if (item->kind != ItemKind::NetDecl) continue;
+        for (const auto& dn : static_cast<const vlog::NetDeclItem&>(*item).nets) {
+          locals.insert(dn.name);
+        }
+      }
+    };
+    if (def.function != nullptr) {
+      locals.insert(def.function->name);
+      for (const auto& a : def.function->args) locals.insert(a.name);
+      add_net_locals(def.function->locals);
+    }
+    if (def.task != nullptr) {
+      for (const auto& a : def.task->args) locals.insert(a.name);
+      add_net_locals(def.task->locals);
+    }
+    return locals;
+  }
+
+  void validate_names() {
+    const std::set<std::string> no_locals;
+    for (const Process& p : design_->processes) {
+      if (p.kind == ProcKind::ContAssign) {
+        validate_expr(p.lhs, p.scope, no_locals);
+        validate_expr(p.rhs, p.scope, no_locals);
+      } else {
+        validate_stmt(p.body, p.scope, no_locals);
+      }
+    }
+    for (const auto& [name, def] : design_->routines) {
+      const std::set<std::string> locals = routine_locals(def);
+      if (def.function != nullptr) validate_stmt(def.function->body.get(), def.scope, locals);
+      if (def.task != nullptr) validate_stmt(def.task->body.get(), def.scope, locals);
+    }
+  }
+
+  const SourceUnit& unit_;
+  std::unordered_map<std::string, const Module*> modules_;
+  std::unique_ptr<Design> design_;
+  std::vector<std::unique_ptr<vlog::Expr>> owned_;
+
+ public:
+  std::vector<std::unique_ptr<vlog::Expr>>& owned_exprs() { return owned_; }
+};
+
+}  // namespace
+
+ElabResult elaborate(std::shared_ptr<const SourceUnit> unit, const std::string& top,
+                     const std::vector<std::pair<std::string, std::int64_t>>& overrides) {
+  ElabResult out;
+  out.unit = unit;
+  if (!unit) {
+    out.error = "null source unit";
+    return out;
+  }
+  try {
+    Elaborator e(*unit);
+    out.design = e.run(top, overrides);
+    out.design->owned_exprs = std::move(e.owned_exprs());
+    out.ok = true;
+  } catch (const ElabFailure& f) {
+    out.error = f.what();
+  } catch (const Error& err) {
+    out.error = err.what();
+  }
+  return out;
+}
+
+}  // namespace vsd::sim

@@ -1,0 +1,1695 @@
+#include "sim/sim.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "sim/elab_detail.hpp"
+
+namespace vsd::sim {
+
+using vlog::Expr;
+using vlog::ExprKind;
+using vlog::Stmt;
+using vlog::StmtKind;
+
+namespace {
+
+/// Thrown by the interpreter to abort the whole simulation.
+struct SimAbort {
+  SimStatus status;
+  std::string msg;
+};
+
+/// Thrown on $finish / $stop / $fatal.
+struct FinishRequest {};
+
+/// Local variable frame for functions and tasks.
+struct Frame {
+  std::unordered_map<std::string, Value> vars;
+  Frame* parent = nullptr;
+
+  Value* find(const std::string& name) {
+    const auto it = vars.find(name);
+    if (it != vars.end()) return &it->second;
+    return parent != nullptr ? parent->find(name) : nullptr;
+  }
+};
+
+/// Resolved assignment target.
+struct LRef {
+  bool is_frame = false;
+  std::string frame_var;
+  int sig = -1;
+  int word = -1;  // memory word index (array offset), -1 for plain signals
+  int lo = 0;     // physical lsb offset
+  int width = 1;
+  bool valid = true;  // x index etc. => write silently dropped (Verilog rule)
+};
+
+struct NbaEntry {
+  LRef ref;
+  Value value;
+};
+
+struct Watcher {
+  int proc = -1;
+  std::uint64_t gen = 0;
+  EdgeSense sense = EdgeSense::Any;
+};
+
+struct FutureEvent {
+  std::uint64_t time = 0;
+  std::uint64_t seq = 0;
+  int proc = -1;  // >= 0: resume process; -1: apply NBA entry
+  std::shared_ptr<NbaEntry> nba;
+};
+
+struct FutureOrder {
+  bool operator()(const FutureEvent& a, const FutureEvent& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+struct ProcRt {
+  SimTask task;
+  bool alive = true;
+  bool in_active = false;
+  std::uint64_t gen = 0;  // bumped on each wake; stale watchers are skipped
+};
+
+struct MonitorEntry {
+  const vlog::SysTaskStmt* stmt = nullptr;
+  std::string scope;
+  std::string last;
+};
+
+}  // namespace
+
+struct Simulation::Impl {
+  Simulation* owner = nullptr;
+  SimOptions opts;
+
+  std::vector<ProcRt> procs;
+  std::deque<int> active;
+  std::vector<NbaEntry> nba;
+  std::priority_queue<FutureEvent, std::vector<FutureEvent>, FutureOrder> future;
+  std::uint64_t seq = 0;
+
+  std::vector<std::vector<Watcher>> waiters;       // per-signal dynamic
+  std::vector<std::vector<int>> static_watchers;   // per-signal cont-assigns
+  std::vector<MonitorEntry> monitors;
+  std::unordered_map<const Stmt*, std::vector<int>> star_cache;
+
+  std::uint64_t activations = 0;
+  std::uint64_t statements = 0;
+  std::uint64_t rng_state = 0x1234'5678'9abc'def0ull;
+
+  Design& design() { return *owner->design_; }
+
+  // ----------------------------------------------------------------------
+  // Name resolution (scope chain)
+  // ----------------------------------------------------------------------
+
+  int resolve(const std::string& scope, const std::string& name) const {
+    const Design& d = *owner->design_;
+    std::string s = scope;
+    while (true) {
+      const int id = d.find(s + name);
+      if (id >= 0) return id;
+      if (s.empty()) return -1;
+      const std::size_t dot = s.rfind('.', s.size() - 2);
+      s = dot == std::string::npos ? std::string() : s.substr(0, dot + 1);
+    }
+  }
+
+  const RoutineDef* resolve_routine(const std::string& scope,
+                                    const std::string& name) const {
+    const Design& d = *owner->design_;
+    std::string s = scope;
+    while (true) {
+      const auto it = d.routines.find(s + name);
+      if (it != d.routines.end()) return &it->second;
+      if (s.empty()) return nullptr;
+      const std::size_t dot = s.rfind('.', s.size() - 2);
+      s = dot == std::string::npos ? std::string() : s.substr(0, dot + 1);
+    }
+  }
+
+  [[noreturn]] void abort_sim(const std::string& msg) const {
+    throw SimAbort{SimStatus::RuntimeError, msg};
+  }
+
+  void count_statement() {
+    if (++statements > opts.max_statements) {
+      throw SimAbort{SimStatus::ActivityLimit, "statement budget exceeded"};
+    }
+  }
+
+  // ----------------------------------------------------------------------
+  // Static width analysis (context-determined expression widths)
+  // ----------------------------------------------------------------------
+
+  int width_of(const Expr* e, Frame* f, const std::string& scope) {
+    if (e == nullptr) return 1;
+    switch (e->kind) {
+      case ExprKind::Number:
+        return std::max(1, static_cast<const vlog::NumberExpr&>(*e).width);
+      case ExprKind::String: {
+        const auto& s = static_cast<const vlog::StringExpr&>(*e);
+        return std::max<int>(8, static_cast<int>(s.value.size()) * 8);
+      }
+      case ExprKind::Ident: {
+        const auto& i = static_cast<const vlog::IdentExpr&>(*e);
+        if (f != nullptr && i.path.size() == 1) {
+          if (Value* v = f->find(i.path[0])) return v->width();
+        }
+        const int id = resolve(scope, i.full_name());
+        if (id < 0) return 32;
+        return design().signals[static_cast<std::size_t>(id)].width;
+      }
+      case ExprKind::Select: {
+        const auto& s = static_cast<const vlog::SelectExpr&>(*e);
+        switch (s.select) {
+          case vlog::SelectKind::Bit: {
+            // Word select on a memory yields the word width.
+            if (s.base->kind == ExprKind::Ident) {
+              const int id = resolve(
+                  scope, static_cast<const vlog::IdentExpr&>(*s.base).full_name());
+              if (id >= 0 && design().signals[static_cast<std::size_t>(id)].is_array) {
+                return design().signals[static_cast<std::size_t>(id)].width;
+              }
+            }
+            return 1;
+          }
+          case vlog::SelectKind::Part: {
+            const auto msb = detail::const_eval_int(*s.index, {});
+            const auto lsb = detail::const_eval_int(*s.width, {});
+            if (msb && lsb) return static_cast<int>(std::abs(*msb - *lsb)) + 1;
+            return 32;
+          }
+          case vlog::SelectKind::IndexedUp:
+          case vlog::SelectKind::IndexedDown: {
+            const auto w = detail::const_eval_int(*s.width, {});
+            return w ? static_cast<int>(*w) : 32;
+          }
+        }
+        return 1;
+      }
+      case ExprKind::Unary: {
+        const auto& u = static_cast<const vlog::UnaryExpr&>(*e);
+        switch (u.op) {
+          case vlog::UnaryOp::Plus:
+          case vlog::UnaryOp::Minus:
+          case vlog::UnaryOp::BitNot:
+            return width_of(u.operand.get(), f, scope);
+          default:
+            return 1;  // logical not, reductions
+        }
+      }
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const vlog::BinaryExpr&>(*e);
+        switch (b.op) {
+          case vlog::BinaryOp::Eq: case vlog::BinaryOp::Neq:
+          case vlog::BinaryOp::CaseEq: case vlog::BinaryOp::CaseNeq:
+          case vlog::BinaryOp::Lt: case vlog::BinaryOp::Le:
+          case vlog::BinaryOp::Gt: case vlog::BinaryOp::Ge:
+          case vlog::BinaryOp::LogicAnd: case vlog::BinaryOp::LogicOr:
+            return 1;
+          case vlog::BinaryOp::Shl: case vlog::BinaryOp::Shr:
+          case vlog::BinaryOp::AShl: case vlog::BinaryOp::AShr:
+          case vlog::BinaryOp::Pow:
+            return width_of(b.lhs.get(), f, scope);
+          default:
+            return std::max(width_of(b.lhs.get(), f, scope),
+                            width_of(b.rhs.get(), f, scope));
+        }
+      }
+      case ExprKind::Ternary: {
+        const auto& t = static_cast<const vlog::TernaryExpr&>(*e);
+        return std::max(width_of(t.then_expr.get(), f, scope),
+                        width_of(t.else_expr.get(), f, scope));
+      }
+      case ExprKind::Concat: {
+        const auto& c = static_cast<const vlog::ConcatExpr&>(*e);
+        int w = 0;
+        for (const auto& p : c.parts) w += width_of(p.get(), f, scope);
+        return std::max(1, w);
+      }
+      case ExprKind::Repl: {
+        const auto& r = static_cast<const vlog::ReplExpr&>(*e);
+        const auto n = detail::const_eval_int(*r.count, {});
+        return std::max(1, static_cast<int>(n.value_or(1)) *
+                               width_of(r.body.get(), f, scope));
+      }
+      case ExprKind::Call: {
+        const auto& c = static_cast<const vlog::CallExpr&>(*e);
+        if (c.is_system) {
+          if (c.callee == "$time") return 64;
+          if ((c.callee == "$signed" || c.callee == "$unsigned") && !c.args.empty()) {
+            return width_of(c.args[0].get(), f, scope);
+          }
+          return 32;
+        }
+        if (const RoutineDef* r = resolve_routine(scope, c.callee);
+            r != nullptr && r->function != nullptr) {
+          if (r->function->return_range) {
+            const auto msb = detail::const_eval_int(*r->function->return_range->msb, {});
+            const auto lsb = detail::const_eval_int(*r->function->return_range->lsb, {});
+            if (msb && lsb) return static_cast<int>(std::abs(*msb - *lsb)) + 1;
+          }
+          return 32;
+        }
+        return 32;
+      }
+    }
+    return 1;
+  }
+
+  // ----------------------------------------------------------------------
+  // Expression evaluation
+  // ----------------------------------------------------------------------
+
+  Value eval(const Expr* e, Frame* f, const std::string& scope, int ctx = 0) {
+    if (e == nullptr) abort_sim("null expression");
+    switch (e->kind) {
+      case ExprKind::Number: {
+        const auto& n = static_cast<const vlog::NumberExpr&>(*e);
+        if (n.is_real) {
+          return Value::from_int(static_cast<std::int64_t>(n.real_value), 64);
+        }
+        Value v = Value::from_bits_msb_first(n.bits, n.is_signed);
+        if (ctx > v.width()) v = v.resized(ctx);
+        return v;
+      }
+      case ExprKind::String: {
+        const auto& s = static_cast<const vlog::StringExpr&>(*e);
+        const int w = std::max<int>(8, static_cast<int>(s.value.size()) * 8);
+        Value v(w, Logic::Zero);
+        int hi = w;
+        for (const char c : s.value) {
+          hi -= 8;
+          v.deposit(hi, Value::from_uint(static_cast<unsigned char>(c), 8));
+        }
+        return v;
+      }
+      case ExprKind::Ident: {
+        const auto& i = static_cast<const vlog::IdentExpr&>(*e);
+        if (f != nullptr && i.path.size() == 1) {
+          if (Value* v = f->find(i.path[0])) {
+            return ctx > v->width() ? v->resized(ctx) : *v;
+          }
+        }
+        const int id = resolve(scope, i.full_name());
+        if (id < 0) abort_sim("unknown identifier '" + i.full_name() + "'");
+        const Signal& sig = design().signals[static_cast<std::size_t>(id)];
+        if (sig.is_array) abort_sim("memory '" + sig.name + "' used without index");
+        return ctx > sig.value.width() ? sig.value.resized(ctx) : sig.value;
+      }
+      case ExprKind::Select:
+        return eval_select(static_cast<const vlog::SelectExpr&>(*e), f, scope, ctx);
+      case ExprKind::Unary: {
+        const auto& u = static_cast<const vlog::UnaryExpr&>(*e);
+        switch (u.op) {
+          case vlog::UnaryOp::Plus: return eval(u.operand.get(), f, scope, ctx);
+          case vlog::UnaryOp::Minus:
+            return Value::negate(eval(u.operand.get(), f, scope, ctx));
+          case vlog::UnaryOp::LogicNot:
+            return Value::logic_not(eval(u.operand.get(), f, scope));
+          case vlog::UnaryOp::BitNot:
+            return Value::bit_not(eval(u.operand.get(), f, scope, ctx));
+          case vlog::UnaryOp::ReduceAnd:
+            return Value::reduce_and(eval(u.operand.get(), f, scope));
+          case vlog::UnaryOp::ReduceNand:
+            return Value::bit_not(Value::reduce_and(eval(u.operand.get(), f, scope)));
+          case vlog::UnaryOp::ReduceOr:
+            return Value::reduce_or(eval(u.operand.get(), f, scope));
+          case vlog::UnaryOp::ReduceNor:
+            return Value::bit_not(Value::reduce_or(eval(u.operand.get(), f, scope)));
+          case vlog::UnaryOp::ReduceXor:
+            return Value::reduce_xor(eval(u.operand.get(), f, scope));
+          case vlog::UnaryOp::ReduceXnor:
+            return Value::bit_not(Value::reduce_xor(eval(u.operand.get(), f, scope)));
+        }
+        abort_sim("bad unary op");
+      }
+      case ExprKind::Binary:
+        return eval_binary(static_cast<const vlog::BinaryExpr&>(*e), f, scope, ctx);
+      case ExprKind::Ternary: {
+        const auto& t = static_cast<const vlog::TernaryExpr&>(*e);
+        const Value c = eval(t.cond.get(), f, scope);
+        bool unknown = false;
+        const bool taken = c.is_true(&unknown);
+        const int w = std::max(ctx, std::max(width_of(t.then_expr.get(), f, scope),
+                                             width_of(t.else_expr.get(), f, scope)));
+        if (unknown) {
+          // 4-state merge: bits that agree keep their value, others become x.
+          const Value a = eval(t.then_expr.get(), f, scope, w).resized(w);
+          const Value b = eval(t.else_expr.get(), f, scope, w).resized(w);
+          Value out(w, Logic::X);
+          for (int i = 0; i < w; ++i) {
+            if (a.bit(i) == b.bit(i)) out.set_bit(i, a.bit(i));
+          }
+          return out;
+        }
+        return eval(taken ? t.then_expr.get() : t.else_expr.get(), f, scope, w)
+            .resized(w);
+      }
+      case ExprKind::Concat: {
+        const auto& c = static_cast<const vlog::ConcatExpr&>(*e);
+        std::vector<Value> parts;
+        parts.reserve(c.parts.size());
+        for (const auto& p : c.parts) parts.push_back(eval(p.get(), f, scope));
+        return Value::concat(parts);
+      }
+      case ExprKind::Repl: {
+        const auto& r = static_cast<const vlog::ReplExpr&>(*e);
+        const Value count = eval(r.count.get(), f, scope);
+        if (count.has_xz()) abort_sim("x/z replication count");
+        const auto n = static_cast<int>(count.to_uint());
+        if (n < 1 || n > 1 << 16) abort_sim("bad replication count");
+        return Value::repl(n, eval(r.body.get(), f, scope));
+      }
+      case ExprKind::Call:
+        return eval_call(static_cast<const vlog::CallExpr&>(*e), f, scope);
+    }
+    abort_sim("bad expression kind");
+  }
+
+  Value eval_binary(const vlog::BinaryExpr& b, Frame* f, const std::string& scope,
+                    int ctx) {
+    using vlog::BinaryOp;
+    switch (b.op) {
+      case BinaryOp::Add: case BinaryOp::Sub: case BinaryOp::Mul:
+      case BinaryOp::Div: case BinaryOp::Mod:
+      case BinaryOp::BitAnd: case BinaryOp::BitOr:
+      case BinaryOp::BitXor: case BinaryOp::BitXnor: {
+        const int w = std::max(ctx, std::max(width_of(b.lhs.get(), f, scope),
+                                             width_of(b.rhs.get(), f, scope)));
+        Value l = eval(b.lhs.get(), f, scope, w).resized(w);
+        Value r = eval(b.rhs.get(), f, scope, w).resized(w);
+        switch (b.op) {
+          case BinaryOp::Add: return Value::add(l, r);
+          case BinaryOp::Sub: return Value::sub(l, r);
+          case BinaryOp::Mul: return Value::mul(l, r);
+          case BinaryOp::Div: return Value::div(l, r);
+          case BinaryOp::Mod: return Value::mod(l, r);
+          case BinaryOp::BitAnd: return Value::bit_and(l, r);
+          case BinaryOp::BitOr: return Value::bit_or(l, r);
+          case BinaryOp::BitXor: return Value::bit_xor(l, r);
+          default: return Value::bit_xnor(l, r);
+        }
+      }
+      case BinaryOp::Pow:
+        return Value::pow(eval(b.lhs.get(), f, scope, ctx),
+                          eval(b.rhs.get(), f, scope));
+      case BinaryOp::Eq:
+        return Value::eq(eval(b.lhs.get(), f, scope), eval(b.rhs.get(), f, scope));
+      case BinaryOp::Neq:
+        return Value::neq(eval(b.lhs.get(), f, scope), eval(b.rhs.get(), f, scope));
+      case BinaryOp::CaseEq:
+        return Value::case_eq(eval(b.lhs.get(), f, scope), eval(b.rhs.get(), f, scope));
+      case BinaryOp::CaseNeq:
+        return Value::case_neq(eval(b.lhs.get(), f, scope), eval(b.rhs.get(), f, scope));
+      case BinaryOp::Lt:
+        return Value::lt(eval(b.lhs.get(), f, scope), eval(b.rhs.get(), f, scope));
+      case BinaryOp::Le:
+        return Value::le(eval(b.lhs.get(), f, scope), eval(b.rhs.get(), f, scope));
+      case BinaryOp::Gt:
+        return Value::gt(eval(b.lhs.get(), f, scope), eval(b.rhs.get(), f, scope));
+      case BinaryOp::Ge:
+        return Value::ge(eval(b.lhs.get(), f, scope), eval(b.rhs.get(), f, scope));
+      case BinaryOp::LogicAnd:
+        return Value::logic_and(eval(b.lhs.get(), f, scope),
+                                eval(b.rhs.get(), f, scope));
+      case BinaryOp::LogicOr:
+        return Value::logic_or(eval(b.lhs.get(), f, scope),
+                               eval(b.rhs.get(), f, scope));
+      case BinaryOp::Shl: case BinaryOp::AShl:
+        return Value::shl(eval(b.lhs.get(), f, scope, ctx),
+                          eval(b.rhs.get(), f, scope));
+      case BinaryOp::Shr:
+        return Value::shr(eval(b.lhs.get(), f, scope, ctx),
+                          eval(b.rhs.get(), f, scope));
+      case BinaryOp::AShr:
+        return Value::ashr(eval(b.lhs.get(), f, scope, ctx),
+                           eval(b.rhs.get(), f, scope));
+    }
+    abort_sim("bad binary op");
+  }
+
+  Value eval_select(const vlog::SelectExpr& s, Frame* f, const std::string& scope,
+                    int /*ctx*/) {
+    // Memory word access: ident[idx] where ident is an array.
+    if (s.base->kind == ExprKind::Ident) {
+      const auto& id = static_cast<const vlog::IdentExpr&>(*s.base);
+      const int sig_id = resolve(scope, id.full_name());
+      if (sig_id >= 0) {
+        const Signal& sig = design().signals[static_cast<std::size_t>(sig_id)];
+        if (sig.is_array) {
+          if (s.select != vlog::SelectKind::Bit) {
+            abort_sim("part-select on memory '" + sig.name + "'");
+          }
+          const Value idx = eval(s.index.get(), f, scope);
+          if (idx.has_xz()) return Value(sig.width, Logic::X);
+          const std::int64_t word = idx.to_int() - sig.array_lo;
+          if (word < 0 || word >= static_cast<std::int64_t>(sig.words.size())) {
+            return Value(sig.width, Logic::X);
+          }
+          return sig.words[static_cast<std::size_t>(word)];
+        }
+      }
+    }
+    const Value base = eval(s.base.get(), f, scope);
+    // Physical offset mapping uses the declared range when the base is a
+    // plain signal; otherwise assumes [w-1:0].
+    int msb = base.width() - 1;
+    int lsb = 0;
+    if (s.base->kind == ExprKind::Ident) {
+      const auto& id = static_cast<const vlog::IdentExpr&>(*s.base);
+      if (f == nullptr || id.path.size() != 1 || f->find(id.path[0]) == nullptr) {
+        const int sig_id = resolve(scope, id.full_name());
+        if (sig_id >= 0) {
+          const Signal& sig = design().signals[static_cast<std::size_t>(sig_id)];
+          msb = sig.msb;
+          lsb = sig.lsb;
+        }
+      }
+    }
+    const bool descending = msb >= lsb;
+    auto offset_of = [&](std::int64_t declared) -> int {
+      if (descending) {
+        if (declared < lsb || declared > msb) return -1;
+        return static_cast<int>(declared - lsb);
+      }
+      if (declared < msb || declared > lsb) return -1;
+      return static_cast<int>(lsb - declared);
+    };
+    switch (s.select) {
+      case vlog::SelectKind::Bit: {
+        const Value idx = eval(s.index.get(), f, scope);
+        if (idx.has_xz()) return Value(1, Logic::X);
+        const int off = offset_of(idx.to_int());
+        if (off < 0) return Value(1, Logic::X);
+        return base.extract(off, 1);
+      }
+      case vlog::SelectKind::Part: {
+        const Value hi = eval(s.index.get(), f, scope);
+        const Value lo = eval(s.width.get(), f, scope);
+        if (hi.has_xz() || lo.has_xz()) return Value(1, Logic::X);
+        const int off_hi = offset_of(hi.to_int());
+        const int off_lo = offset_of(lo.to_int());
+        if (off_hi < 0 || off_lo < 0) {
+          const int w = static_cast<int>(std::abs(hi.to_int() - lo.to_int())) + 1;
+          return Value(std::max(1, w), Logic::X);
+        }
+        const int lo_off = std::min(off_hi, off_lo);
+        const int w = std::abs(off_hi - off_lo) + 1;
+        return base.extract(lo_off, w);
+      }
+      case vlog::SelectKind::IndexedUp:
+      case vlog::SelectKind::IndexedDown: {
+        const Value idx = eval(s.index.get(), f, scope);
+        const Value wv = eval(s.width.get(), f, scope);
+        if (wv.has_xz()) abort_sim("x/z indexed-select width");
+        const int w = static_cast<int>(wv.to_uint());
+        if (w < 1 || w > 1 << 16) abort_sim("bad indexed-select width");
+        if (idx.has_xz()) return Value(w, Logic::X);
+        std::int64_t base_decl = idx.to_int();
+        std::int64_t lo_decl;
+        if (s.select == vlog::SelectKind::IndexedUp) {
+          lo_decl = descending ? base_decl : base_decl + w - 1;
+        } else {
+          lo_decl = descending ? base_decl - w + 1 : base_decl;
+        }
+        const int off = offset_of(lo_decl);
+        if (off < 0) return Value(w, Logic::X);
+        return base.extract(off, w);
+      }
+    }
+    abort_sim("bad select kind");
+  }
+
+  Value eval_call(const vlog::CallExpr& c, Frame* f, const std::string& scope) {
+    if (c.is_system) {
+      if (c.callee == "$time" || c.callee == "$stime" || c.callee == "$realtime") {
+        return Value::from_uint(owner->now_, 64);
+      }
+      if (c.callee == "$signed" && c.args.size() == 1) {
+        Value v = eval(c.args[0].get(), f, scope);
+        v.set_signed(true);
+        return v;
+      }
+      if (c.callee == "$unsigned" && c.args.size() == 1) {
+        Value v = eval(c.args[0].get(), f, scope);
+        v.set_signed(false);
+        return v;
+      }
+      if (c.callee == "$random") {
+        rng_state = rng_state * 6364136223846793005ull + 1442695040888963407ull;
+        return Value::from_uint(rng_state >> 16, 32, /*is_signed=*/true);
+      }
+      if (c.callee == "$clog2" && c.args.size() == 1) {
+        const Value v = eval(c.args[0].get(), f, scope);
+        if (v.has_xz()) return Value(32, Logic::X);
+        std::uint64_t n = v.to_uint();
+        int r = 0;
+        if (n > 0) --n;
+        while (n > 0) {
+          ++r;
+          n >>= 1;
+        }
+        return Value::from_uint(static_cast<std::uint64_t>(r), 32);
+      }
+      abort_sim("unsupported system function " + c.callee);
+    }
+    const RoutineDef* r = resolve_routine(scope, c.callee);
+    if (r == nullptr || r->function == nullptr) {
+      abort_sim("call to unknown function '" + c.callee + "'");
+    }
+    const vlog::FunctionItem& fn = *r->function;
+    if (c.args.size() != fn.args.size()) {
+      abort_sim("function '" + c.callee + "' arity mismatch");
+    }
+    Frame frame;
+    for (std::size_t i = 0; i < fn.args.size(); ++i) {
+      int w = 32;
+      if (fn.args[i].range) {
+        const auto msb = detail::const_eval_int(*fn.args[i].range->msb, {});
+        const auto lsb = detail::const_eval_int(*fn.args[i].range->lsb, {});
+        if (msb && lsb) w = static_cast<int>(std::abs(*msb - *lsb)) + 1;
+      }
+      Value v = eval(c.args[i].get(), f, scope, w).resized(w);
+      v.set_signed(fn.args[i].is_signed || fn.args[i].net == vlog::NetType::Integer);
+      frame.vars[fn.args[i].name] = std::move(v);
+    }
+    int ret_w = 32;
+    bool ret_signed = fn.is_signed;
+    if (fn.return_range) {
+      const auto msb = detail::const_eval_int(*fn.return_range->msb, {});
+      const auto lsb = detail::const_eval_int(*fn.return_range->lsb, {});
+      if (msb && lsb) ret_w = static_cast<int>(std::abs(*msb - *lsb)) + 1;
+    }
+    frame.vars[fn.name] = Value(ret_w, Logic::X, ret_signed);
+    for (const auto& local : fn.locals) {
+      if (local->kind != vlog::ItemKind::NetDecl) continue;
+      const auto& nd = static_cast<const vlog::NetDeclItem&>(*local);
+      int w = 1;
+      bool sgn = nd.is_signed;
+      if (nd.net == vlog::NetType::Integer) {
+        w = 32;
+        sgn = true;
+      } else if (nd.range) {
+        const auto msb = detail::const_eval_int(*nd.range->msb, {});
+        const auto lsb = detail::const_eval_int(*nd.range->lsb, {});
+        if (msb && lsb) w = static_cast<int>(std::abs(*msb - *lsb)) + 1;
+      }
+      for (const auto& dn : nd.nets) frame.vars[dn.name] = Value(w, Logic::X, sgn);
+    }
+    exec_sync(fn.body.get(), &frame, r->scope, 0);
+    return frame.vars.at(fn.name);
+  }
+
+  // ----------------------------------------------------------------------
+  // LValue resolution and writes
+  // ----------------------------------------------------------------------
+
+  void resolve_lvalue(const Expr* e, Frame* f, const std::string& scope,
+                      std::vector<LRef>& out) {
+    if (e == nullptr) abort_sim("null lvalue");
+    switch (e->kind) {
+      case ExprKind::Concat:
+        for (const auto& p : static_cast<const vlog::ConcatExpr&>(*e).parts) {
+          resolve_lvalue(p.get(), f, scope, out);
+        }
+        return;
+      case ExprKind::Ident: {
+        const auto& id = static_cast<const vlog::IdentExpr&>(*e);
+        if (f != nullptr && id.path.size() == 1) {
+          if (Value* v = f->find(id.path[0])) {
+            LRef ref;
+            ref.is_frame = true;
+            ref.frame_var = id.path[0];
+            ref.lo = 0;
+            ref.width = v->width();
+            out.push_back(std::move(ref));
+            return;
+          }
+        }
+        const int sig_id = resolve(scope, id.full_name());
+        if (sig_id < 0) abort_sim("assignment to unknown '" + id.full_name() + "'");
+        const Signal& sig = design().signals[static_cast<std::size_t>(sig_id)];
+        if (sig.is_array) abort_sim("memory '" + sig.name + "' assigned without index");
+        LRef ref;
+        ref.sig = sig_id;
+        ref.lo = 0;
+        ref.width = sig.width;
+        out.push_back(std::move(ref));
+        return;
+      }
+      case ExprKind::Select: {
+        const auto& s = static_cast<const vlog::SelectExpr&>(*e);
+        // Innermost base must be an identifier.
+        const Expr* base = s.base.get();
+        if (base->kind == ExprKind::Ident) {
+          const auto& id = static_cast<const vlog::IdentExpr&>(*base);
+          if (f != nullptr && id.path.size() == 1 && f->find(id.path[0]) != nullptr) {
+            // Select on a frame variable (function local).
+            Value* v = f->find(id.path[0]);
+            LRef ref;
+            ref.is_frame = true;
+            ref.frame_var = id.path[0];
+            fill_select_offsets(s, f, scope, v->width() - 1, 0, ref);
+            out.push_back(std::move(ref));
+            return;
+          }
+          const int sig_id = resolve(scope, id.full_name());
+          if (sig_id < 0) abort_sim("assignment to unknown '" + id.full_name() + "'");
+          const Signal& sig = design().signals[static_cast<std::size_t>(sig_id)];
+          LRef ref;
+          ref.sig = sig_id;
+          if (sig.is_array) {
+            if (s.select != vlog::SelectKind::Bit) {
+              abort_sim("part-select write on memory '" + sig.name + "'");
+            }
+            const Value idx = eval(s.index.get(), f, scope);
+            if (idx.has_xz()) {
+              ref.valid = false;
+              ref.width = sig.width;
+            } else {
+              const std::int64_t word = idx.to_int() - sig.array_lo;
+              if (word < 0 || word >= static_cast<std::int64_t>(sig.words.size())) {
+                ref.valid = false;
+              }
+              ref.word = static_cast<int>(word);
+              ref.width = sig.width;
+            }
+            out.push_back(std::move(ref));
+            return;
+          }
+          fill_select_offsets(s, f, scope, sig.msb, sig.lsb, ref);
+          out.push_back(std::move(ref));
+          return;
+        }
+        if (base->kind == ExprKind::Select) {
+          // Bit/part select of a memory word: m[i][3:0].
+          const auto& inner = static_cast<const vlog::SelectExpr&>(*base);
+          if (inner.base->kind != ExprKind::Ident) abort_sim("unsupported lvalue");
+          const auto& id = static_cast<const vlog::IdentExpr&>(*inner.base);
+          const int sig_id = resolve(scope, id.full_name());
+          if (sig_id < 0) abort_sim("assignment to unknown '" + id.full_name() + "'");
+          const Signal& sig = design().signals[static_cast<std::size_t>(sig_id)];
+          if (!sig.is_array) abort_sim("nested select on non-memory lvalue");
+          LRef ref;
+          ref.sig = sig_id;
+          const Value idx = eval(inner.index.get(), f, scope);
+          if (idx.has_xz()) {
+            ref.valid = false;
+            ref.width = sig.width;
+            out.push_back(std::move(ref));
+            return;
+          }
+          const std::int64_t word = idx.to_int() - sig.array_lo;
+          if (word < 0 || word >= static_cast<std::int64_t>(sig.words.size())) {
+            ref.valid = false;
+          }
+          ref.word = static_cast<int>(word);
+          fill_select_offsets(s, f, scope, sig.msb, sig.lsb, ref);
+          out.push_back(std::move(ref));
+          return;
+        }
+        abort_sim("unsupported lvalue");
+      }
+      default:
+        abort_sim("expression is not an lvalue");
+    }
+  }
+
+  void fill_select_offsets(const vlog::SelectExpr& s, Frame* f,
+                           const std::string& scope, int msb, int lsb, LRef& ref) {
+    const bool descending = msb >= lsb;
+    auto offset_of = [&](std::int64_t declared) -> int {
+      if (descending) {
+        if (declared < lsb || declared > msb) return -1;
+        return static_cast<int>(declared - lsb);
+      }
+      if (declared < msb || declared > lsb) return -1;
+      return static_cast<int>(lsb - declared);
+    };
+    switch (s.select) {
+      case vlog::SelectKind::Bit: {
+        const Value idx = eval(s.index.get(), f, scope);
+        if (idx.has_xz()) {
+          ref.valid = false;
+          ref.width = 1;
+          return;
+        }
+        const int off = offset_of(idx.to_int());
+        if (off < 0) ref.valid = false;
+        ref.lo = std::max(0, off);
+        ref.width = 1;
+        return;
+      }
+      case vlog::SelectKind::Part: {
+        const Value hi = eval(s.index.get(), f, scope);
+        const Value lo = eval(s.width.get(), f, scope);
+        if (hi.has_xz() || lo.has_xz()) {
+          ref.valid = false;
+          ref.width = 1;
+          return;
+        }
+        const int off_hi = offset_of(hi.to_int());
+        const int off_lo = offset_of(lo.to_int());
+        if (off_hi < 0 || off_lo < 0) {
+          ref.valid = false;
+          ref.width = static_cast<int>(std::abs(hi.to_int() - lo.to_int())) + 1;
+          return;
+        }
+        ref.lo = std::min(off_hi, off_lo);
+        ref.width = std::abs(off_hi - off_lo) + 1;
+        return;
+      }
+      case vlog::SelectKind::IndexedUp:
+      case vlog::SelectKind::IndexedDown: {
+        const Value idx = eval(s.index.get(), f, scope);
+        const Value wv = eval(s.width.get(), f, scope);
+        if (wv.has_xz()) abort_sim("x/z indexed-select width");
+        const int w = static_cast<int>(wv.to_uint());
+        if (w < 1 || w > 1 << 16) abort_sim("bad indexed-select width");
+        ref.width = w;
+        if (idx.has_xz()) {
+          ref.valid = false;
+          return;
+        }
+        const std::int64_t base_decl = idx.to_int();
+        const bool up = s.select == vlog::SelectKind::IndexedUp;
+        const std::int64_t lo_decl =
+            up ? (descending ? base_decl : base_decl + w - 1)
+               : (descending ? base_decl - w + 1 : base_decl);
+        const int off = offset_of(lo_decl);
+        if (off < 0) {
+          ref.valid = false;
+          return;
+        }
+        ref.lo = off;
+        return;
+      }
+    }
+  }
+
+  /// Applies a resolved write immediately (blocking / continuous), waking
+  /// sensitive processes.
+  void apply_write(const LRef& ref, const Value& value, Frame* f) {
+    if (!ref.valid) return;
+    const Value sized = value.resized(ref.width);
+    if (ref.is_frame) {
+      Value* v = f != nullptr ? f->find(ref.frame_var) : nullptr;
+      if (v == nullptr) abort_sim("internal: lost frame variable " + ref.frame_var);
+      v->deposit(ref.lo, sized);
+      return;
+    }
+    Signal& sig = design().signals[static_cast<std::size_t>(ref.sig)];
+    Value& target = ref.word >= 0 ? sig.words[static_cast<std::size_t>(ref.word)]
+                                  : sig.value;
+    const Value old_bits = target.extract(ref.lo, ref.width);
+    if (old_bits.identical(sized)) return;
+    const Logic old_b0 = target.bit(0);
+    target.deposit(ref.lo, sized);
+    const Logic new_b0 = target.bit(0);
+    notify_change(ref.sig, old_b0, new_b0);
+  }
+
+  static bool is_posedge(Logic a, Logic b) {
+    const bool a_low = a == Logic::Zero;
+    const bool a_mid = a == Logic::X || a == Logic::Z;
+    const bool b_high = b == Logic::One;
+    const bool b_mid = b == Logic::X || b == Logic::Z;
+    return (a_low && (b_high || b_mid)) || (a_mid && b_high);
+  }
+  static bool is_negedge(Logic a, Logic b) {
+    const bool a_high = a == Logic::One;
+    const bool a_mid = a == Logic::X || a == Logic::Z;
+    const bool b_low = b == Logic::Zero;
+    const bool b_mid = b == Logic::X || b == Logic::Z;
+    return (a_high && (b_low || b_mid)) || (a_mid && b_low);
+  }
+
+  void notify_change(int sig_id, Logic old_b0, Logic new_b0) {
+    for (const int p : static_watchers[static_cast<std::size_t>(sig_id)]) {
+      push_active(p);
+    }
+    auto& list = waiters[static_cast<std::size_t>(sig_id)];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      const Watcher& w = list[i];
+      if (w.gen != procs[static_cast<std::size_t>(w.proc)].gen) continue;  // stale
+      bool fire = false;
+      switch (w.sense) {
+        case EdgeSense::Any: fire = true; break;
+        case EdgeSense::Pos: fire = is_posedge(old_b0, new_b0); break;
+        case EdgeSense::Neg: fire = is_negedge(old_b0, new_b0); break;
+      }
+      if (fire) {
+        wake_proc(w.proc);
+      } else {
+        list[keep++] = w;
+      }
+    }
+    list.resize(keep);
+  }
+
+  void push_active(int p) {
+    ProcRt& rt = procs[static_cast<std::size_t>(p)];
+    if (!rt.alive || rt.in_active) return;
+    rt.in_active = true;
+    active.push_back(p);
+  }
+
+  /// Wakes a suspended process: bumps its generation (invalidating other
+  /// registered waiters) and schedules it.
+  void wake_proc(int p) {
+    ProcRt& rt = procs[static_cast<std::size_t>(p)];
+    if (!rt.alive) return;
+    ++rt.gen;
+    push_active(p);
+  }
+
+  // ----------------------------------------------------------------------
+  // Statement execution: synchronous path (function bodies)
+  // ----------------------------------------------------------------------
+
+  void exec_sync(const Stmt* s, Frame* f, const std::string& scope, int depth) {
+    if (s == nullptr) return;
+    if (depth > 256) abort_sim("function nesting too deep");
+    count_statement();
+    switch (s->kind) {
+      case StmtKind::Block:
+        for (const auto& st : static_cast<const vlog::BlockStmt&>(*s).body) {
+          exec_sync(st.get(), f, scope, depth + 1);
+        }
+        return;
+      case StmtKind::Assign: {
+        const auto& a = static_cast<const vlog::AssignStmt&>(*s);
+        if (a.non_blocking || a.delay != nullptr) {
+          abort_sim("non-blocking/delayed assignment inside function");
+        }
+        do_blocking_assign(a, f, scope);
+        return;
+      }
+      case StmtKind::If: {
+        const auto& i = static_cast<const vlog::IfStmt&>(*s);
+        if (eval(i.cond.get(), f, scope).is_true()) {
+          exec_sync(i.then_stmt.get(), f, scope, depth + 1);
+        } else if (i.else_stmt != nullptr) {
+          exec_sync(i.else_stmt.get(), f, scope, depth + 1);
+        }
+        return;
+      }
+      case StmtKind::Case: {
+        const auto& c = static_cast<const vlog::CaseStmt&>(*s);
+        if (const Stmt* body = select_case_item(c, f, scope)) {
+          exec_sync(body, f, scope, depth + 1);
+        }
+        return;
+      }
+      case StmtKind::For: {
+        const auto& loop = static_cast<const vlog::ForStmt&>(*s);
+        exec_sync(loop.init.get(), f, scope, depth + 1);
+        while (eval(loop.cond.get(), f, scope).is_true()) {
+          exec_sync(loop.body.get(), f, scope, depth + 1);
+          exec_sync(loop.step.get(), f, scope, depth + 1);
+          count_statement();
+        }
+        return;
+      }
+      case StmtKind::While: {
+        const auto& loop = static_cast<const vlog::WhileStmt&>(*s);
+        while (eval(loop.cond.get(), f, scope).is_true()) {
+          exec_sync(loop.body.get(), f, scope, depth + 1);
+          count_statement();
+        }
+        return;
+      }
+      case StmtKind::Repeat: {
+        const auto& loop = static_cast<const vlog::RepeatStmt&>(*s);
+        const Value n = eval(loop.count.get(), f, scope);
+        const std::uint64_t count = n.has_xz() ? 0 : n.to_uint();
+        for (std::uint64_t i = 0; i < count; ++i) {
+          exec_sync(loop.body.get(), f, scope, depth + 1);
+          count_statement();
+        }
+        return;
+      }
+      case StmtKind::SysTask:
+        exec_sys_task(static_cast<const vlog::SysTaskStmt&>(*s), f, scope);
+        return;
+      case StmtKind::Null:
+        return;
+      default:
+        abort_sim("statement not allowed inside a function");
+    }
+  }
+
+  void do_blocking_assign(const vlog::AssignStmt& a, Frame* f,
+                          const std::string& scope) {
+    std::vector<LRef> refs;
+    resolve_lvalue(a.lhs.get(), f, scope, refs);
+    int total = 0;
+    for (const LRef& r : refs) total += r.width;
+    Value v = eval(a.rhs.get(), f, scope, total).resized(total);
+    // Concat lvalues: msb-first in source order.
+    int hi = total;
+    for (const LRef& r : refs) {
+      hi -= r.width;
+      apply_write(r, v.extract(hi, r.width), f);
+    }
+  }
+
+  const Stmt* select_case_item(const vlog::CaseStmt& c, Frame* f,
+                               const std::string& scope) {
+    const Value subject = eval(c.subject.get(), f, scope);
+    const Stmt* default_body = nullptr;
+    for (const auto& item : c.items) {
+      if (item.labels.empty()) {
+        if (default_body == nullptr) default_body = item.body.get();
+        continue;
+      }
+      for (const auto& label : item.labels) {
+        const Value lv = eval(label.get(), f, scope);
+        if (case_label_matches(c.case_kind, subject, lv)) return item.body.get();
+      }
+    }
+    return default_body;
+  }
+
+  static bool case_label_matches(vlog::CaseKind kind, const Value& subject,
+                                 const Value& label) {
+    const int w = max_width(subject, label);
+    const Value s = subject.resized(w);
+    const Value l = label.resized(w);
+    for (int i = 0; i < w; ++i) {
+      const Logic sb = s.bit(i);
+      const Logic lb = l.bit(i);
+      const bool wild_z = kind != vlog::CaseKind::Case &&
+                          (sb == Logic::Z || lb == Logic::Z);
+      const bool wild_x = kind == vlog::CaseKind::Casex &&
+                          (sb == Logic::X || lb == Logic::X);
+      if (wild_z || wild_x) continue;
+      if (sb != lb) return false;
+    }
+    return true;
+  }
+
+  // ----------------------------------------------------------------------
+  // Statement execution: coroutine path (processes; may suspend)
+  // ----------------------------------------------------------------------
+
+  SimTask exec_stmt(const Stmt* s, Frame* f, std::string scope) {
+    if (s == nullptr) co_return;
+    count_statement();
+    switch (s->kind) {
+      case StmtKind::Block: {
+        const auto& b = static_cast<const vlog::BlockStmt&>(*s);
+        for (const auto& st : b.body) co_await exec_stmt(st.get(), f, scope);
+        co_return;
+      }
+      case StmtKind::Assign: {
+        const auto& a = static_cast<const vlog::AssignStmt&>(*s);
+        if (!a.non_blocking) {
+          if (a.delay != nullptr) {
+            // Evaluate now, assign after the delay (IEEE intra-assign rule).
+            std::vector<LRef> refs;
+            resolve_lvalue(a.lhs.get(), f, scope, refs);
+            int total = 0;
+            for (const LRef& r : refs) total += r.width;
+            Value v = eval(a.rhs.get(), f, scope, total).resized(total);
+            const Value d = eval(a.delay.get(), f, scope);
+            co_yield Suspend::for_delay(d.has_xz() ? 0 : d.to_uint());
+            int hi = total;
+            for (const LRef& r : refs) {
+              hi -= r.width;
+              apply_write(r, v.extract(hi, r.width), f);
+            }
+          } else {
+            do_blocking_assign(a, f, scope);
+          }
+          co_return;
+        }
+        // Non-blocking assignment.
+        std::vector<LRef> refs;
+        resolve_lvalue(a.lhs.get(), f, scope, refs);
+        int total = 0;
+        for (const LRef& r : refs) total += r.width;
+        Value v = eval(a.rhs.get(), f, scope, total).resized(total);
+        std::uint64_t delay = 0;
+        if (a.delay != nullptr) {
+          const Value d = eval(a.delay.get(), f, scope);
+          delay = d.has_xz() ? 0 : d.to_uint();
+        }
+        int hi = total;
+        for (const LRef& r : refs) {
+          hi -= r.width;
+          if (r.is_frame) abort_sim("non-blocking assignment to a local variable");
+          NbaEntry entry{r, v.extract(hi, r.width)};
+          if (delay == 0) {
+            nba.push_back(std::move(entry));
+          } else {
+            FutureEvent ev;
+            ev.time = owner->now_ + delay;
+            ev.seq = ++seq;
+            ev.nba = std::make_shared<NbaEntry>(std::move(entry));
+            future.push(std::move(ev));
+          }
+        }
+        co_return;
+      }
+      case StmtKind::If: {
+        const auto& i = static_cast<const vlog::IfStmt&>(*s);
+        if (eval(i.cond.get(), f, scope).is_true()) {
+          co_await exec_stmt(i.then_stmt.get(), f, scope);
+        } else if (i.else_stmt != nullptr) {
+          co_await exec_stmt(i.else_stmt.get(), f, scope);
+        }
+        co_return;
+      }
+      case StmtKind::Case: {
+        const auto& c = static_cast<const vlog::CaseStmt&>(*s);
+        const Stmt* body = select_case_item(c, f, scope);
+        if (body != nullptr) co_await exec_stmt(body, f, scope);
+        co_return;
+      }
+      case StmtKind::For: {
+        const auto& loop = static_cast<const vlog::ForStmt&>(*s);
+        co_await exec_stmt(loop.init.get(), f, scope);
+        while (eval(loop.cond.get(), f, scope).is_true()) {
+          co_await exec_stmt(loop.body.get(), f, scope);
+          co_await exec_stmt(loop.step.get(), f, scope);
+          count_statement();
+        }
+        co_return;
+      }
+      case StmtKind::While: {
+        const auto& loop = static_cast<const vlog::WhileStmt&>(*s);
+        while (eval(loop.cond.get(), f, scope).is_true()) {
+          co_await exec_stmt(loop.body.get(), f, scope);
+          count_statement();
+        }
+        co_return;
+      }
+      case StmtKind::Repeat: {
+        const auto& loop = static_cast<const vlog::RepeatStmt&>(*s);
+        const Value n = eval(loop.count.get(), f, scope);
+        const std::uint64_t count = n.has_xz() ? 0 : n.to_uint();
+        for (std::uint64_t i = 0; i < count; ++i) {
+          co_await exec_stmt(loop.body.get(), f, scope);
+          count_statement();
+        }
+        co_return;
+      }
+      case StmtKind::Forever: {
+        const auto& loop = static_cast<const vlog::ForeverStmt&>(*s);
+        while (true) {
+          const std::uint64_t before = activations;
+          co_await exec_stmt(loop.body.get(), f, scope);
+          count_statement();
+          if (activations == before) {
+            abort_sim("forever loop body never suspends");
+          }
+        }
+      }
+      case StmtKind::Delay: {
+        const auto& d = static_cast<const vlog::DelayStmt&>(*s);
+        const Value dv = eval(d.delay.get(), f, scope);
+        co_yield Suspend::for_delay(dv.has_xz() ? 0 : dv.to_uint());
+        co_await exec_stmt(d.body.get(), f, scope);
+        co_return;
+      }
+      case StmtKind::EventControl: {
+        const auto& e = static_cast<const vlog::EventControlStmt&>(*s);
+        co_yield Suspend::for_edges(event_waits(e, f, scope));
+        co_await exec_stmt(e.body.get(), f, scope);
+        co_return;
+      }
+      case StmtKind::Wait: {
+        const auto& w = static_cast<const vlog::WaitStmt&>(*s);
+        while (!eval(w.cond.get(), f, scope).is_true()) {
+          std::set<int> reads;
+          detail::collect_reads(
+              w.cond.get(),
+              [this, &scope](const std::string& n) { return resolve(scope, n); },
+              reads);
+          if (reads.empty()) abort_sim("wait() on a constant false condition");
+          std::vector<EdgeWait> waits_list;
+          for (const int id : reads) waits_list.push_back({id, EdgeSense::Any});
+          co_yield Suspend::for_edges(std::move(waits_list));
+        }
+        co_await exec_stmt(w.body.get(), f, scope);
+        co_return;
+      }
+      case StmtKind::SysTask:
+        exec_sys_task(static_cast<const vlog::SysTaskStmt&>(*s), f, scope);
+        co_return;
+      case StmtKind::TaskCall: {
+        const auto& t = static_cast<const vlog::TaskCallStmt&>(*s);
+        co_await exec_user_task(t, f, scope);
+        co_return;
+      }
+      case StmtKind::Disable:
+      case StmtKind::Trigger:
+        co_return;  // named-event machinery is out of scope; treated as no-ops
+      case StmtKind::Null:
+        co_return;
+    }
+  }
+
+  SimTask exec_user_task(const vlog::TaskCallStmt& t, Frame* f, std::string scope) {
+    const RoutineDef* r = resolve_routine(scope, t.name);
+    if (r == nullptr || r->task == nullptr) {
+      abort_sim("call to unknown task '" + t.name + "'");
+    }
+    const vlog::TaskItem& task = *r->task;
+    if (t.args.size() != task.args.size()) {
+      abort_sim("task '" + t.name + "' arity mismatch");
+    }
+    Frame frame;
+    frame.parent = nullptr;
+    for (std::size_t i = 0; i < task.args.size(); ++i) {
+      int w = 32;
+      if (task.args[i].range) {
+        const auto msb = detail::const_eval_int(*task.args[i].range->msb, {});
+        const auto lsb = detail::const_eval_int(*task.args[i].range->lsb, {});
+        if (msb && lsb) w = static_cast<int>(std::abs(*msb - *lsb)) + 1;
+      }
+      if (task.args[i].dir == vlog::PortDir::Input) {
+        frame.vars[task.args[i].name] = eval(t.args[i].get(), f, scope, w).resized(w);
+      } else {
+        frame.vars[task.args[i].name] = Value(w, Logic::X);
+      }
+    }
+    for (const auto& local : task.locals) {
+      if (local->kind != vlog::ItemKind::NetDecl) continue;
+      const auto& nd = static_cast<const vlog::NetDeclItem&>(*local);
+      int w = nd.net == vlog::NetType::Integer ? 32 : 1;
+      if (nd.range) {
+        const auto msb = detail::const_eval_int(*nd.range->msb, {});
+        const auto lsb = detail::const_eval_int(*nd.range->lsb, {});
+        if (msb && lsb) w = static_cast<int>(std::abs(*msb - *lsb)) + 1;
+      }
+      for (const auto& dn : nd.nets) frame.vars[dn.name] = Value(w, Logic::X);
+    }
+    co_await exec_stmt(task.body.get(), &frame, r->scope);
+    // Copy back output arguments.
+    for (std::size_t i = 0; i < task.args.size(); ++i) {
+      if (task.args[i].dir == vlog::PortDir::Input) continue;
+      std::vector<LRef> refs;
+      resolve_lvalue(t.args[i].get(), f, scope, refs);
+      if (refs.size() == 1) apply_write(refs[0], frame.vars.at(task.args[i].name), f);
+    }
+  }
+
+  std::vector<EdgeWait> event_waits(const vlog::EventControlStmt& e, Frame* f,
+                                    const std::string& scope) {
+    std::vector<EdgeWait> out;
+    if (e.star) {
+      auto it = star_cache.find(e.body.get());
+      if (it == star_cache.end()) {
+        std::set<int> reads;
+        collect_stmt_reads(e.body.get(), scope, reads);
+        std::vector<int> ids(reads.begin(), reads.end());
+        it = star_cache.emplace(e.body.get(), std::move(ids)).first;
+      }
+      for (const int id : it->second) out.push_back({id, EdgeSense::Any});
+      if (out.empty()) abort_sim("always @(*) with empty sensitivity");
+      return out;
+    }
+    for (const auto& ev : e.events) {
+      EdgeSense sense = EdgeSense::Any;
+      if (ev.edge == vlog::EdgeKind::Posedge) sense = EdgeSense::Pos;
+      if (ev.edge == vlog::EdgeKind::Negedge) sense = EdgeSense::Neg;
+      if (ev.signal->kind == ExprKind::Ident) {
+        const auto& id = static_cast<const vlog::IdentExpr&>(*ev.signal);
+        const int sig_id = resolve(scope, id.full_name());
+        if (sig_id < 0) abort_sim("unknown event signal '" + id.full_name() + "'");
+        out.push_back({sig_id, sense});
+      } else {
+        std::set<int> reads;
+        detail::collect_reads(
+            ev.signal.get(),
+            [this, &scope](const std::string& n) { return resolve(scope, n); },
+            reads);
+        for (const int id : reads) out.push_back({id, sense});
+      }
+    }
+    (void)f;
+    if (out.empty()) abort_sim("event control without signals");
+    return out;
+  }
+
+  void collect_stmt_reads(const Stmt* s, const std::string& scope,
+                          std::set<int>& out) {
+    if (s == nullptr) return;
+    const auto resolve_fn = [this, &scope](const std::string& n) {
+      return resolve(scope, n);
+    };
+    switch (s->kind) {
+      case StmtKind::Block:
+        for (const auto& st : static_cast<const vlog::BlockStmt&>(*s).body) {
+          collect_stmt_reads(st.get(), scope, out);
+        }
+        return;
+      case StmtKind::Assign: {
+        const auto& a = static_cast<const vlog::AssignStmt&>(*s);
+        detail::collect_reads(a.rhs.get(), resolve_fn, out);
+        // Index expressions on the LHS are reads too.
+        collect_lhs_reads(a.lhs.get(), scope, out);
+        return;
+      }
+      case StmtKind::If: {
+        const auto& i = static_cast<const vlog::IfStmt&>(*s);
+        detail::collect_reads(i.cond.get(), resolve_fn, out);
+        collect_stmt_reads(i.then_stmt.get(), scope, out);
+        collect_stmt_reads(i.else_stmt.get(), scope, out);
+        return;
+      }
+      case StmtKind::Case: {
+        const auto& c = static_cast<const vlog::CaseStmt&>(*s);
+        detail::collect_reads(c.subject.get(), resolve_fn, out);
+        for (const auto& item : c.items) {
+          for (const auto& l : item.labels) detail::collect_reads(l.get(), resolve_fn, out);
+          collect_stmt_reads(item.body.get(), scope, out);
+        }
+        return;
+      }
+      case StmtKind::For: {
+        const auto& loop = static_cast<const vlog::ForStmt&>(*s);
+        collect_stmt_reads(loop.init.get(), scope, out);
+        detail::collect_reads(loop.cond.get(), resolve_fn, out);
+        collect_stmt_reads(loop.step.get(), scope, out);
+        collect_stmt_reads(loop.body.get(), scope, out);
+        return;
+      }
+      case StmtKind::While: {
+        const auto& loop = static_cast<const vlog::WhileStmt&>(*s);
+        detail::collect_reads(loop.cond.get(), resolve_fn, out);
+        collect_stmt_reads(loop.body.get(), scope, out);
+        return;
+      }
+      case StmtKind::Repeat: {
+        const auto& loop = static_cast<const vlog::RepeatStmt&>(*s);
+        detail::collect_reads(loop.count.get(), resolve_fn, out);
+        collect_stmt_reads(loop.body.get(), scope, out);
+        return;
+      }
+      case StmtKind::SysTask:
+        for (const auto& a : static_cast<const vlog::SysTaskStmt&>(*s).args) {
+          detail::collect_reads(a.get(), resolve_fn, out);
+        }
+        return;
+      case StmtKind::TaskCall:
+        for (const auto& a : static_cast<const vlog::TaskCallStmt&>(*s).args) {
+          detail::collect_reads(a.get(), resolve_fn, out);
+        }
+        return;
+      default:
+        return;
+    }
+  }
+
+  void collect_lhs_reads(const Expr* lhs, const std::string& scope,
+                         std::set<int>& out) {
+    if (lhs == nullptr) return;
+    const auto resolve_fn = [this, &scope](const std::string& n) {
+      return resolve(scope, n);
+    };
+    if (lhs->kind == ExprKind::Select) {
+      const auto& s = static_cast<const vlog::SelectExpr&>(*lhs);
+      detail::collect_reads(s.index.get(), resolve_fn, out);
+      detail::collect_reads(s.width.get(), resolve_fn, out);
+      collect_lhs_reads(s.base.get(), scope, out);
+    } else if (lhs->kind == ExprKind::Concat) {
+      for (const auto& p : static_cast<const vlog::ConcatExpr&>(*lhs).parts) {
+        collect_lhs_reads(p.get(), scope, out);
+      }
+    }
+  }
+
+  // ----------------------------------------------------------------------
+  // System tasks
+  // ----------------------------------------------------------------------
+
+  void exec_sys_task(const vlog::SysTaskStmt& t, Frame* f, const std::string& scope) {
+    const std::string& n = t.name;
+    if (n == "$finish" || n == "$stop") {
+      throw FinishRequest{};
+    }
+    if (n == "$fatal") {
+      owner->log_ += format_args(t.args, f, scope);
+      owner->log_ += "\n";
+      throw FinishRequest{};
+    }
+    if (n == "$display" || n == "$displayb" || n == "$displayh" || n == "$error" ||
+        n == "$warning" || n == "$info" || n == "$strobe") {
+      owner->log_ += format_args(t.args, f, scope);
+      owner->log_ += "\n";
+      return;
+    }
+    if (n == "$write") {
+      owner->log_ += format_args(t.args, f, scope);
+      return;
+    }
+    if (n == "$monitor") {
+      MonitorEntry m;
+      m.stmt = &t;
+      m.scope = scope;
+      monitors.push_back(std::move(m));
+      return;
+    }
+    // $dumpfile/$dumpvars/$timeformat/$readmem*/...: ignored.
+  }
+
+  std::string format_args(const std::vector<vlog::ExprPtr>& args, Frame* f,
+                          const std::string& scope) {
+    if (args.empty()) return "";
+    std::string out;
+    std::size_t next = 0;
+    if (args[0]->kind == ExprKind::String) {
+      const std::string& fmt = static_cast<const vlog::StringExpr&>(*args[0]).value;
+      next = 1;
+      for (std::size_t i = 0; i < fmt.size(); ++i) {
+        if (fmt[i] != '%') {
+          out.push_back(fmt[i]);
+          continue;
+        }
+        ++i;
+        // Skip width/zero-padding flags.
+        while (i < fmt.size() && (std::isdigit(static_cast<unsigned char>(fmt[i])))) ++i;
+        if (i >= fmt.size()) break;
+        const char spec = static_cast<char>(std::tolower(static_cast<unsigned char>(fmt[i])));
+        if (spec == '%') {
+          out.push_back('%');
+          continue;
+        }
+        if (spec == 'm') {
+          out += scope.empty() ? "top" : scope.substr(0, scope.size() - 1);
+          continue;
+        }
+        if (next >= args.size()) {
+          out += "<missing>";
+          continue;
+        }
+        const Expr* arg = args[next++].get();
+        if (spec == 's' && arg->kind == ExprKind::String) {
+          out += static_cast<const vlog::StringExpr&>(*arg).value;
+          continue;
+        }
+        const Value v = eval(arg, f, scope);
+        switch (spec) {
+          case 'd': case 't':
+            if (v.is_signed() && !v.has_xz() && v.to_int() < 0) {
+              out += "-" + Value::negate(v).to_decimal_string();
+            } else {
+              out += v.to_decimal_string();
+            }
+            break;
+          case 'b': out += v.to_bit_string(); break;
+          case 'h': case 'x': {
+            std::string hex;
+            for (int bit = 0; bit < v.width(); bit += 4) {
+              const Value nib = v.extract(bit, std::min(4, v.width() - bit));
+              if (nib.has_xz()) {
+                hex.insert(hex.begin(), nib.to_bit_string().find('z') != std::string::npos
+                                            ? 'z' : 'x');
+              } else {
+                hex.insert(hex.begin(), "0123456789abcdef"[nib.to_uint() & 0xF]);
+              }
+            }
+            out += hex;
+            break;
+          }
+          case 'o': {
+            std::string oct;
+            for (int bit = 0; bit < v.width(); bit += 3) {
+              const Value d = v.extract(bit, std::min(3, v.width() - bit));
+              if (d.has_xz()) oct.insert(oct.begin(), 'x');
+              else oct.insert(oct.begin(), static_cast<char>('0' + (d.to_uint() & 7)));
+            }
+            out += oct;
+            break;
+          }
+          case 'c':
+            out.push_back(static_cast<char>(v.to_uint() & 0xFF));
+            break;
+          case 's': {
+            std::string text;
+            for (int bit = v.width() - 8; bit >= 0; bit -= 8) {
+              const char c = static_cast<char>(v.extract(bit, 8).to_uint() & 0xFF);
+              if (c != '\0') text.push_back(c);
+            }
+            out += text;
+            break;
+          }
+          default:
+            out += v.to_decimal_string();
+            break;
+        }
+      }
+      return out;
+    }
+    // No leading format string: print args as decimals, space separated.
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (i > 0) out.push_back(' ');
+      if (args[i]->kind == ExprKind::String) {
+        out += static_cast<const vlog::StringExpr&>(*args[i]).value;
+      } else {
+        out += eval(args[i].get(), f, scope).to_decimal_string();
+      }
+    }
+    return out;
+  }
+
+  void eval_monitors() {
+    for (MonitorEntry& m : monitors) {
+      std::string text;
+      try {
+        text = format_args(m.stmt->args, nullptr, m.scope);
+      } catch (const SimAbort&) {
+        continue;
+      }
+      if (text != m.last) {
+        m.last = text;
+        owner->log_ += text;
+        owner->log_ += "\n";
+      }
+    }
+  }
+
+  // ----------------------------------------------------------------------
+  // Process bodies and the scheduler
+  // ----------------------------------------------------------------------
+
+  SimTask run_initial(const Stmt* body, std::string scope) {
+    co_await exec_stmt(body, nullptr, scope);
+  }
+
+  SimTask run_always(const Stmt* body, std::string scope) {
+    while (true) {
+      const std::uint64_t before = activations;
+      co_await exec_stmt(body, nullptr, scope);
+      count_statement();
+      if (activations == before) {
+        abort_sim("always block never suspends");
+      }
+    }
+  }
+
+  void eval_cont_assign(const Process& p) {
+    std::vector<LRef> refs;
+    resolve_lvalue(p.lhs, nullptr, p.scope, refs);
+    int total = 0;
+    for (const LRef& r : refs) total += r.width;
+    Value v = eval(p.rhs, nullptr, p.scope, total).resized(total);
+    int hi = total;
+    for (const LRef& r : refs) {
+      hi -= r.width;
+      apply_write(r, v.extract(hi, r.width), nullptr);
+    }
+  }
+
+  void start() {
+    const Design& d = design();
+    waiters.assign(d.signals.size(), {});
+    static_watchers.assign(d.signals.size(), {});
+    procs.resize(d.processes.size());
+    for (std::size_t i = 0; i < d.processes.size(); ++i) {
+      const Process& p = d.processes[i];
+      if (p.kind == ProcKind::ContAssign) {
+        for (const int sig : p.sensitivity) {
+          static_watchers[static_cast<std::size_t>(sig)].push_back(static_cast<int>(i));
+        }
+      } else if (p.kind == ProcKind::Always) {
+        procs[i].task = run_always(p.body, p.scope);
+      } else {
+        procs[i].task = run_initial(p.body, p.scope);
+      }
+      push_active(static_cast<int>(i));
+    }
+  }
+
+  /// Runs one process activation; returns false when the simulation should
+  /// stop (finish or error).
+  bool run_proc(int pid) {
+    ProcRt& rt = procs[static_cast<std::size_t>(pid)];
+    rt.in_active = false;
+    if (!rt.alive) return true;
+    if (++activations > opts.max_activations) {
+      owner->error_ = "activation budget exceeded";
+      last_status = SimStatus::ActivityLimit;
+      return false;
+    }
+    const Process& p = design().processes[static_cast<std::size_t>(pid)];
+    try {
+      if (p.kind == ProcKind::ContAssign) {
+        eval_cont_assign(p);
+        return true;
+      }
+      if (!rt.task.resume()) {
+        rt.alive = false;
+        return true;
+      }
+      // Suspended: act on the request.
+      const Suspend& susp = rt.task.pending();
+      if (susp.kind == Suspend::Kind::Delay) {
+        FutureEvent ev;
+        ev.time = owner->now_ + std::max<std::uint64_t>(0, susp.delay);
+        ev.seq = ++seq;
+        ev.proc = pid;
+        future.push(std::move(ev));
+      } else {
+        ++rt.gen;
+        for (const EdgeWait& w : susp.waits) {
+          waiters[static_cast<std::size_t>(w.signal)].push_back(
+              Watcher{pid, rt.gen, w.sense});
+        }
+      }
+      return true;
+    } catch (const FinishRequest&) {
+      owner->finish_ = true;
+      rt.alive = false;
+      last_status = SimStatus::Finished;
+      return false;
+    } catch (const SimAbort& a) {
+      owner->error_ = a.msg;
+      rt.alive = false;
+      last_status = a.status;
+      return false;
+    } catch (const Error& e) {
+      owner->error_ = e.what();
+      rt.alive = false;
+      last_status = SimStatus::RuntimeError;
+      return false;
+    }
+  }
+
+  SimStatus last_status = SimStatus::Quiet;
+
+  /// Core event loop: processes all events with time <= `until`.
+  SimStatus loop(std::uint64_t until) {
+    if (owner->finish_) return SimStatus::Finished;
+    if (!owner->error_.empty()) return last_status;
+    while (true) {
+      // Delta cycles at the current time.
+      int delta = 0;
+      while (!active.empty() || !nba.empty()) {
+        if (++delta > opts.max_delta) {
+          owner->error_ = "delta cycle limit exceeded (combinational loop?)";
+          return SimStatus::ActivityLimit;
+        }
+        while (!active.empty()) {
+          const int pid = active.front();
+          active.pop_front();
+          if (!run_proc(pid)) return last_status;
+        }
+        std::vector<NbaEntry> pending = std::move(nba);
+        nba.clear();
+        for (const NbaEntry& e : pending) {
+          try {
+            apply_write(e.ref, e.value, nullptr);
+          } catch (const SimAbort& a) {
+            owner->error_ = a.msg;
+            return a.status;
+          }
+        }
+      }
+      eval_monitors();
+      if (future.empty()) return SimStatus::Quiet;
+      const std::uint64_t next_t = future.top().time;
+      if (next_t > until) {
+        owner->now_ = until;
+        return SimStatus::TimeLimit;
+      }
+      owner->now_ = next_t;
+      while (!future.empty() && future.top().time == next_t) {
+        FutureEvent ev = future.top();
+        future.pop();
+        if (ev.proc >= 0) {
+          wake_proc(ev.proc);
+        } else if (ev.nba) {
+          nba.push_back(*ev.nba);
+        }
+      }
+    }
+  }
+};
+
+Simulation::Simulation(ElabResult elab, SimOptions opts)
+    : impl_(std::make_unique<Impl>()) {
+  check(elab.ok && elab.design != nullptr, "Simulation requires a successful elaboration");
+  design_ = std::move(elab.design);
+  unit_ = std::move(elab.unit);
+  impl_->owner = this;
+  impl_->opts = opts;
+  impl_->start();
+  // Run the time-0 delta cycles so that every process reaches its first
+  // suspension point (event waiters registered, initial values applied)
+  // before the caller's first poke()/peek().  This matches the IEEE
+  // "processes start at time 0" semantics.
+  impl_->loop(0);
+}
+
+Simulation::~Simulation() = default;
+
+SimStatus Simulation::run() {
+  const SimStatus s = impl_->loop(impl_->opts.max_time);
+  return s;
+}
+
+SimStatus Simulation::run_until(std::uint64_t t) {
+  return impl_->loop(std::min<std::uint64_t>(t, impl_->opts.max_time));
+}
+
+SimStatus Simulation::settle() { return impl_->loop(now_); }
+
+void Simulation::poke(const std::string& name, const Value& v) {
+  const int id = design_->find(name);
+  check(id >= 0, "poke: unknown signal " + name);
+  LRef ref;
+  ref.sig = id;
+  ref.lo = 0;
+  ref.width = design_->signals[static_cast<std::size_t>(id)].width;
+  impl_->apply_write(ref, v, nullptr);
+}
+
+Value Simulation::peek(const std::string& name) const {
+  const int id = design_->find(name);
+  check(id >= 0, "peek: unknown signal " + name);
+  return design_->signals[static_cast<std::size_t>(id)].value;
+}
+
+bool Simulation::has_signal(const std::string& name) const {
+  return design_->find(name) >= 0;
+}
+
+}  // namespace vsd::sim

@@ -1,0 +1,87 @@
+// Event-driven 4-state Verilog simulator (the reproduction's substitute
+// for Icarus Verilog in the paper's functional-correctness checks).
+//
+// Supports: continuous assignments, always/initial processes, blocking and
+// non-blocking assignment with delays, event controls (@posedge/negedge/*),
+// wait, case/casez/casex, for/while/repeat/forever, memories, functions,
+// tasks, module instances (flattened at elaboration), generate-for, and the
+// common system tasks ($display/$write/$monitor/$finish/$time/$random...).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/design.hpp"
+#include "sim/coro.hpp"
+
+namespace vsd::sim {
+
+/// Simulation resource limits.  Generated (possibly adversarial) code must
+/// never hang the evaluation harness, so every loop has a budget.
+struct SimOptions {
+  std::uint64_t max_time = 1'000'000;        // simulated time units
+  std::uint64_t max_activations = 500'000;   // process resumes
+  std::uint64_t max_statements = 5'000'000;  // interpreted statements
+  int max_delta = 20'000;                    // delta cycles per time step
+};
+
+enum class SimStatus {
+  Finished,       // $finish reached
+  Quiet,          // no more events (simulation ran dry)
+  TimeLimit,      // max_time exceeded
+  ActivityLimit,  // activation/statement/delta budget exceeded
+  RuntimeError,   // interpreter error (bad select, unknown name, ...)
+};
+
+/// One run of an elaborated design.
+class Simulation {
+ public:
+  explicit Simulation(ElabResult elab, SimOptions opts = {});
+  ~Simulation();
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Runs until $finish, quiescence, or a resource limit.
+  SimStatus run();
+
+  /// Runs until simulated time exceeds `t` (or termination).  Events at
+  /// time <= t are fully processed; time is left at min(next event, t+1).
+  SimStatus run_until(std::uint64_t t);
+
+  /// Settles all zero-delay activity at the current time (delta cycles +
+  /// non-blocking updates), without advancing time.
+  SimStatus settle();
+
+  /// Drives a top-level input (or any signal) from outside, then returns.
+  /// Call settle()/run_until() afterwards to propagate.
+  void poke(const std::string& name, const Value& v);
+
+  /// Reads a signal's current value by flattened name.
+  Value peek(const std::string& name) const;
+
+  bool has_signal(const std::string& name) const;
+
+  std::uint64_t now() const { return now_; }
+  bool finished() const { return finish_; }
+  const std::string& log() const { return log_; }
+  const std::string& error() const { return error_; }
+  const Design& design() const { return *design_; }
+
+ private:
+  friend class Interp;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::unique_ptr<Design> design_;
+  std::shared_ptr<const vlog::SourceUnit> unit_;  // keeps AST alive
+
+  std::uint64_t now_ = 0;
+  bool finish_ = false;
+  std::string log_;
+  std::string error_;
+};
+
+}  // namespace vsd::sim

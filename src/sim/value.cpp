@@ -1,0 +1,506 @@
+#include "sim/value.hpp"
+
+#include <algorithm>
+
+namespace vsd::sim {
+
+char logic_char(Logic l) {
+  switch (l) {
+    case Logic::Zero: return '0';
+    case Logic::One: return '1';
+    case Logic::X: return 'x';
+    case Logic::Z: return 'z';
+  }
+  return '?';
+}
+
+Logic logic_from_char(char c) {
+  switch (c) {
+    case '0': return Logic::Zero;
+    case '1': return Logic::One;
+    case 'x': case 'X': return Logic::X;
+    case 'z': case 'Z': return Logic::Z;
+    default: throw Error(std::string("bad logic digit '") + c + "'");
+  }
+}
+
+Value::Value(int width, Logic fill, bool is_signed) : signed_(is_signed) {
+  check(width >= 1, "Value width must be >= 1");
+  bits_.assign(static_cast<std::size_t>(width), fill);
+}
+
+Value Value::from_uint(std::uint64_t v, int width, bool is_signed) {
+  Value out(width, Logic::Zero, is_signed);
+  for (int i = 0; i < width && i < 64; ++i) {
+    out.bits_[static_cast<std::size_t>(i)] =
+        ((v >> i) & 1u) != 0 ? Logic::One : Logic::Zero;
+  }
+  return out;
+}
+
+Value Value::from_int(std::int64_t v, int width) {
+  Value out(width, Logic::Zero, /*is_signed=*/true);
+  for (int i = 0; i < width; ++i) {
+    const std::int64_t shifted = i < 64 ? (v >> i) : (v >> 63);
+    out.bits_[static_cast<std::size_t>(i)] =
+        (shifted & 1) != 0 ? Logic::One : Logic::Zero;
+  }
+  return out;
+}
+
+Value Value::from_bits_msb_first(std::string_view bits, bool is_signed) {
+  check(!bits.empty(), "empty bit string");
+  Value out(static_cast<int>(bits.size()), Logic::X, is_signed);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    out.bits_[bits.size() - 1 - i] = logic_from_char(bits[i]);
+  }
+  return out;
+}
+
+bool Value::has_xz() const {
+  return std::any_of(bits_.begin(), bits_.end(), [](Logic l) {
+    return l == Logic::X || l == Logic::Z;
+  });
+}
+
+bool Value::is_all_x() const {
+  return std::all_of(bits_.begin(), bits_.end(),
+                     [](Logic l) { return l == Logic::X; });
+}
+
+bool Value::is_true(bool* unknown) const {
+  bool saw_one = false;
+  bool saw_xz = false;
+  for (const Logic l : bits_) {
+    if (l == Logic::One) saw_one = true;
+    if (l == Logic::X || l == Logic::Z) saw_xz = true;
+  }
+  if (unknown != nullptr) *unknown = !saw_one && saw_xz;
+  return saw_one;
+}
+
+std::uint64_t Value::to_uint() const {
+  std::uint64_t v = 0;
+  const int n = std::min(width(), 64);
+  for (int i = 0; i < n; ++i) {
+    if (bits_[static_cast<std::size_t>(i)] == Logic::One) v |= 1ull << i;
+  }
+  return v;
+}
+
+std::int64_t Value::to_int() const {
+  std::uint64_t v = to_uint();
+  const int w = std::min(width(), 64);
+  if (signed_ && w < 64 && bits_[static_cast<std::size_t>(w - 1)] == Logic::One) {
+    v |= ~((1ull << w) - 1);  // sign-extend
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+std::string Value::to_bit_string() const {
+  std::string s;
+  s.reserve(bits_.size());
+  for (auto it = bits_.rbegin(); it != bits_.rend(); ++it) {
+    s.push_back(logic_char(*it));
+  }
+  return s;
+}
+
+std::string Value::to_literal() const {
+  return std::to_string(width()) + "'b" + to_bit_string();
+}
+
+std::string Value::to_decimal_string() const {
+  if (has_xz()) return "x";
+  // Repeated divide-by-10 over the bit vector (supports >64-bit values).
+  std::vector<int> digits(bits_.size());
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    digits[bits_.size() - 1 - i] = bits_[i] == Logic::One ? 1 : 0;
+  }
+  std::string out;
+  bool all_zero = false;
+  while (!all_zero) {
+    int rem = 0;
+    all_zero = true;
+    for (int& d : digits) {
+      const int cur = rem * 2 + d;
+      d = cur / 10;
+      rem = cur % 10;
+      if (d != 0) all_zero = false;
+    }
+    out.push_back(static_cast<char>('0' + rem));
+    if (all_zero) break;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+Value Value::resized(int width) const {
+  check(width >= 1, "resize width must be >= 1");
+  Value out(width, Logic::Zero, signed_);
+  const int copy = std::min(width, this->width());
+  for (int i = 0; i < copy; ++i) out.bits_[static_cast<std::size_t>(i)] = bits_[static_cast<std::size_t>(i)];
+  if (width > this->width()) {
+    const Logic msb = bits_.back();
+    Logic ext = Logic::Zero;
+    if (msb == Logic::X || msb == Logic::Z) ext = msb;
+    else if (signed_) ext = msb;
+    for (int i = this->width(); i < width; ++i) out.bits_[static_cast<std::size_t>(i)] = ext;
+  }
+  return out;
+}
+
+Value Value::binary_common(const Value& a, const Value& b, int width) {
+  (void)a;
+  (void)b;
+  return Value(width, Logic::X, a.signed_ && b.signed_);
+}
+
+// --- arithmetic --------------------------------------------------------------
+
+namespace {
+
+bool both_known(const Value& a, const Value& b) {
+  return !a.has_xz() && !b.has_xz();
+}
+
+// Full-width binary addition over known bits; `borrow_mode` selects subtract.
+Value add_sub(const Value& a, const Value& b, bool subtract) {
+  const int w = max_width(a, b);
+  const bool s = a.is_signed() && b.is_signed();
+  if (a.has_xz() || b.has_xz()) return Value(w, Logic::X, s);
+  Value av = a.resized(w);
+  Value bv = b.resized(w);
+  Value out(w, Logic::Zero, s);
+  int carry = subtract ? 1 : 0;
+  for (int i = 0; i < w; ++i) {
+    const int ab = av.bit(i) == Logic::One ? 1 : 0;
+    int bb = bv.bit(i) == Logic::One ? 1 : 0;
+    if (subtract) bb = 1 - bb;
+    const int sum = ab + bb + carry;
+    out.set_bit(i, (sum & 1) != 0 ? Logic::One : Logic::Zero);
+    carry = sum >> 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+Value Value::add(const Value& a, const Value& b) { return add_sub(a, b, false); }
+Value Value::sub(const Value& a, const Value& b) { return add_sub(a, b, true); }
+
+Value Value::mul(const Value& a, const Value& b) {
+  const int w = max_width(a, b);
+  const bool s = a.signed_ && b.signed_;
+  if (!both_known(a, b)) return Value(w, Logic::X, s);
+  // Schoolbook over bit vectors (handles >64-bit widths).
+  Value av = a.resized(w);
+  Value acc(w, Logic::Zero, s);
+  for (int i = 0; i < w; ++i) {
+    if (b.width() > i ? b.bit(i) == Logic::One : false) {
+      acc = add_sub(acc, shl(av, Value::from_uint(static_cast<std::uint64_t>(i), 32)), false);
+    }
+  }
+  acc.set_signed(s);
+  return acc;
+}
+
+Value Value::div(const Value& a, const Value& b) {
+  const int w = max_width(a, b);
+  const bool s = a.signed_ && b.signed_;
+  if (!both_known(a, b)) return Value(w, Logic::X, s);
+  if (w <= 64) {
+    if (s) {
+      const std::int64_t bb = b.resized(w).to_int();
+      if (bb == 0) return Value(w, Logic::X, s);
+      return from_int(a.resized(w).to_int() / bb, w);
+    }
+    const std::uint64_t bb = b.to_uint();
+    if (bb == 0) return Value(w, Logic::X, s);
+    return from_uint(a.to_uint() / bb, w, s);
+  }
+  return Value(w, Logic::X, s);  // >64-bit division unsupported; yields x
+}
+
+Value Value::mod(const Value& a, const Value& b) {
+  const int w = max_width(a, b);
+  const bool s = a.signed_ && b.signed_;
+  if (!both_known(a, b)) return Value(w, Logic::X, s);
+  if (w <= 64) {
+    if (s) {
+      const std::int64_t bb = b.resized(w).to_int();
+      if (bb == 0) return Value(w, Logic::X, s);
+      return from_int(a.resized(w).to_int() % bb, w);
+    }
+    const std::uint64_t bb = b.to_uint();
+    if (bb == 0) return Value(w, Logic::X, s);
+    return from_uint(a.to_uint() % bb, w, s);
+  }
+  return Value(w, Logic::X, s);
+}
+
+Value Value::pow(const Value& a, const Value& b) {
+  const int w = a.width();
+  if (!both_known(a, b)) return Value(w, Logic::X, a.signed_);
+  std::uint64_t base = a.to_uint();
+  std::uint64_t exp = b.to_uint();
+  std::uint64_t out = 1;
+  while (exp > 0) {
+    if ((exp & 1) != 0) out *= base;
+    base *= base;
+    exp >>= 1;
+  }
+  return from_uint(out, w, a.signed_);
+}
+
+Value Value::negate(const Value& a) {
+  return sub(from_uint(0, a.width(), a.signed_), a);
+}
+
+// --- bitwise -------------------------------------------------------------------
+
+namespace {
+
+Logic and3(Logic a, Logic b) {
+  if (a == Logic::Zero || b == Logic::Zero) return Logic::Zero;
+  if (a == Logic::One && b == Logic::One) return Logic::One;
+  return Logic::X;
+}
+
+Logic or3(Logic a, Logic b) {
+  if (a == Logic::One || b == Logic::One) return Logic::One;
+  if (a == Logic::Zero && b == Logic::Zero) return Logic::Zero;
+  return Logic::X;
+}
+
+Logic xor3(Logic a, Logic b) {
+  if (a == Logic::X || a == Logic::Z || b == Logic::X || b == Logic::Z) {
+    return Logic::X;
+  }
+  return a == b ? Logic::Zero : Logic::One;
+}
+
+Logic not3(Logic a) {
+  if (a == Logic::Zero) return Logic::One;
+  if (a == Logic::One) return Logic::Zero;
+  return Logic::X;
+}
+
+template <typename F>
+Value bitwise(const Value& a, const Value& b, F f) {
+  const int w = max_width(a, b);
+  Value av = a.resized(w);
+  Value bv = b.resized(w);
+  Value out(w, Logic::X, a.is_signed() && b.is_signed());
+  for (int i = 0; i < w; ++i) out.set_bit(i, f(av.bit(i), bv.bit(i)));
+  return out;
+}
+
+}  // namespace
+
+Value Value::bit_and(const Value& a, const Value& b) { return bitwise(a, b, and3); }
+Value Value::bit_or(const Value& a, const Value& b) { return bitwise(a, b, or3); }
+Value Value::bit_xor(const Value& a, const Value& b) { return bitwise(a, b, xor3); }
+Value Value::bit_xnor(const Value& a, const Value& b) {
+  return bitwise(a, b, [](Logic x, Logic y) { return not3(xor3(x, y)); });
+}
+
+Value Value::bit_not(const Value& a) {
+  Value out(a.width(), Logic::X, a.signed_);
+  for (int i = 0; i < a.width(); ++i) out.set_bit(i, not3(a.bit(i)));
+  return out;
+}
+
+// --- reductions -----------------------------------------------------------------
+
+Value Value::reduce_and(const Value& a) {
+  Logic acc = Logic::One;
+  for (int i = 0; i < a.width(); ++i) acc = and3(acc, a.bit(i));
+  Value out(1, acc);
+  return out;
+}
+
+Value Value::reduce_or(const Value& a) {
+  Logic acc = Logic::Zero;
+  for (int i = 0; i < a.width(); ++i) acc = or3(acc, a.bit(i));
+  Value out(1, acc);
+  return out;
+}
+
+Value Value::reduce_xor(const Value& a) {
+  Logic acc = Logic::Zero;
+  for (int i = 0; i < a.width(); ++i) acc = xor3(acc, a.bit(i));
+  Value out(1, acc);
+  return out;
+}
+
+// --- logical --------------------------------------------------------------------
+
+namespace {
+
+Logic truthiness(const Value& v) {
+  bool unknown = false;
+  const bool t = v.is_true(&unknown);
+  if (t) return Logic::One;
+  return unknown ? Logic::X : Logic::Zero;
+}
+
+}  // namespace
+
+Value Value::logic_and(const Value& a, const Value& b) {
+  return Value(1, and3(truthiness(a), truthiness(b)));
+}
+
+Value Value::logic_or(const Value& a, const Value& b) {
+  return Value(1, or3(truthiness(a), truthiness(b)));
+}
+
+Value Value::logic_not(const Value& a) {
+  return Value(1, not3(truthiness(a)));
+}
+
+// --- comparison -----------------------------------------------------------------
+
+Value Value::eq(const Value& a, const Value& b) {
+  const int w = max_width(a, b);
+  Value av = a.resized(w);
+  Value bv = b.resized(w);
+  if (av.has_xz() || bv.has_xz()) return Value(1, Logic::X);
+  for (int i = 0; i < w; ++i) {
+    if (av.bit(i) != bv.bit(i)) return Value(1, Logic::Zero);
+  }
+  return Value(1, Logic::One);
+}
+
+Value Value::neq(const Value& a, const Value& b) { return logic_not(eq(a, b)); }
+
+Value Value::case_eq(const Value& a, const Value& b) {
+  const int w = max_width(a, b);
+  Value av = a.resized(w);
+  Value bv = b.resized(w);
+  for (int i = 0; i < w; ++i) {
+    if (av.bit(i) != bv.bit(i)) return Value(1, Logic::Zero);
+  }
+  return Value(1, Logic::One);
+}
+
+Value Value::case_neq(const Value& a, const Value& b) {
+  return case_eq(a, b).bit(0) == Logic::One ? Value(1, Logic::Zero)
+                                            : Value(1, Logic::One);
+}
+
+namespace {
+
+// -1: a < b, 0: equal, +1: a > b, 2: unknown
+int compare(const Value& a, const Value& b) {
+  const int w = max_width(a, b);
+  Value av = a.resized(w);
+  Value bv = b.resized(w);
+  if (av.has_xz() || bv.has_xz()) return 2;
+  const bool s = a.is_signed() && b.is_signed();
+  if (s) {
+    const bool an = av.bit(w - 1) == Logic::One;
+    const bool bn = bv.bit(w - 1) == Logic::One;
+    if (an != bn) return an ? -1 : 1;
+  }
+  for (int i = w - 1; i >= 0; --i) {
+    if (av.bit(i) != bv.bit(i)) return av.bit(i) == Logic::One ? 1 : -1;
+  }
+  return 0;
+}
+
+Value cmp_result(int c, bool lt_true, bool eq_true, bool gt_true) {
+  if (c == 2) return Value(1, Logic::X);
+  const bool r = (c < 0 && lt_true) || (c == 0 && eq_true) || (c > 0 && gt_true);
+  return Value(1, r ? Logic::One : Logic::Zero);
+}
+
+}  // namespace
+
+Value Value::lt(const Value& a, const Value& b) { return cmp_result(compare(a, b), true, false, false); }
+Value Value::le(const Value& a, const Value& b) { return cmp_result(compare(a, b), true, true, false); }
+Value Value::gt(const Value& a, const Value& b) { return cmp_result(compare(a, b), false, false, true); }
+Value Value::ge(const Value& a, const Value& b) { return cmp_result(compare(a, b), false, true, true); }
+
+// --- shifts ----------------------------------------------------------------------
+
+Value Value::shl(const Value& a, const Value& amount) {
+  if (amount.has_xz()) return Value(a.width(), Logic::X, a.signed_);
+  const std::uint64_t n = amount.to_uint();
+  Value out(a.width(), Logic::Zero, a.signed_);
+  for (int i = 0; i < a.width(); ++i) {
+    const std::uint64_t src = static_cast<std::uint64_t>(i);
+    if (src >= n && static_cast<int>(src - n) < a.width()) {
+      out.set_bit(i, a.bit(static_cast<int>(src - n)));
+    }
+  }
+  return out;
+}
+
+Value Value::shr(const Value& a, const Value& amount) {
+  if (amount.has_xz()) return Value(a.width(), Logic::X, a.signed_);
+  const std::uint64_t n = amount.to_uint();
+  Value out(a.width(), Logic::Zero, a.signed_);
+  for (int i = 0; i < a.width(); ++i) {
+    const std::uint64_t src = static_cast<std::uint64_t>(i) + n;
+    if (src < static_cast<std::uint64_t>(a.width())) {
+      out.set_bit(i, a.bit(static_cast<int>(src)));
+    }
+  }
+  return out;
+}
+
+Value Value::ashr(const Value& a, const Value& amount) {
+  if (!a.signed_) return shr(a, amount);
+  if (amount.has_xz()) return Value(a.width(), Logic::X, a.signed_);
+  const std::uint64_t n = amount.to_uint();
+  const Logic sign = a.bit(a.width() - 1);
+  Value out(a.width(), sign, a.signed_);
+  for (int i = 0; i < a.width(); ++i) {
+    const std::uint64_t src = static_cast<std::uint64_t>(i) + n;
+    if (src < static_cast<std::uint64_t>(a.width())) {
+      out.set_bit(i, a.bit(static_cast<int>(src)));
+    }
+  }
+  return out;
+}
+
+// --- structure ---------------------------------------------------------------------
+
+Value Value::concat(const std::vector<Value>& parts_msb_first) {
+  int total = 0;
+  for (const Value& p : parts_msb_first) total += p.width();
+  check(total >= 1, "empty concatenation");
+  Value out(total, Logic::X, false);
+  int hi = total;
+  for (const Value& p : parts_msb_first) {
+    hi -= p.width();
+    for (int i = 0; i < p.width(); ++i) out.set_bit(hi + i, p.bit(i));
+  }
+  return out;
+}
+
+Value Value::repl(int count, const Value& v) {
+  check(count >= 1, "replication count must be >= 1");
+  std::vector<Value> parts(static_cast<std::size_t>(count), v);
+  return concat(parts);
+}
+
+Value Value::extract(int lo, int width) const {
+  check(width >= 1, "extract width must be >= 1");
+  Value out(width, Logic::X, false);
+  for (int i = 0; i < width; ++i) {
+    const int src = lo + i;
+    if (src >= 0 && src < this->width()) out.set_bit(i, bit(src));
+  }
+  return out;
+}
+
+void Value::deposit(int lo, const Value& v) {
+  for (int i = 0; i < v.width(); ++i) {
+    const int dst = lo + i;
+    if (dst >= 0 && dst < width()) set_bit(dst, v.bit(i));
+  }
+}
+
+}  // namespace vsd::sim

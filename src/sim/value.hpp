@@ -1,0 +1,137 @@
+// 4-state logic values with Verilog operator semantics.
+//
+// A Value is a fixed-width vector of {0,1,x,z} digits (lsb-first) plus a
+// signedness flag.  All operators follow IEEE 1364 semantics: arithmetic
+// with any x/z operand yields all-x, comparisons yield 1'bx, case equality
+// matches x/z literally, logical connectives use 3-valued truth tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace vsd::sim {
+
+/// One 4-state logic digit.
+enum class Logic : std::uint8_t { Zero = 0, One = 1, X = 2, Z = 3 };
+
+char logic_char(Logic l);
+Logic logic_from_char(char c);
+
+class Value {
+ public:
+  /// Zero-width values are disallowed; default is 1-bit x.
+  Value() : bits_(1, Logic::X) {}
+
+  /// All-`fill` value of `width` bits.
+  explicit Value(int width, Logic fill = Logic::X, bool is_signed = false);
+
+  /// From an unsigned integer, truncated/zero-extended to `width`.
+  static Value from_uint(std::uint64_t v, int width, bool is_signed = false);
+
+  /// From a signed integer (sign-extended into `width` bits).
+  static Value from_int(std::int64_t v, int width = 32);
+
+  /// From an msb-first digit string over {0,1,x,z} (as produced by
+  /// vlog::decode_number).
+  static Value from_bits_msb_first(std::string_view bits, bool is_signed = false);
+
+  int width() const { return static_cast<int>(bits_.size()); }
+  bool is_signed() const { return signed_; }
+  void set_signed(bool s) { signed_ = s; }
+
+  Logic bit(int i) const { return bits_[static_cast<std::size_t>(i)]; }
+  void set_bit(int i, Logic l) { bits_[static_cast<std::size_t>(i)] = l; }
+
+  bool has_xz() const;
+  bool is_all_x() const;
+
+  /// True iff every bit is 0 or 1 and the value is non-zero.  x/z bits make
+  /// the answer "unknown", reported via `*unknown` when provided.
+  bool is_true(bool* unknown = nullptr) const;
+
+  /// Interprets as unsigned (x/z read as 0); truncates above 64 bits.
+  std::uint64_t to_uint() const;
+  /// Interprets as two's complement signed.
+  std::int64_t to_int() const;
+
+  /// msb-first digit string, e.g. "10x0".
+  std::string to_bit_string() const;
+  /// Verilog-style literal, e.g. "4'b10x0".
+  std::string to_literal() const;
+  /// Decimal rendering ("x" if any bit unknown), as %d would print.
+  std::string to_decimal_string() const;
+
+  /// Truncates or extends to `width` following Verilog rules: signed values
+  /// sign-extend, unsigned zero-extend, x/z msb extends as itself.
+  Value resized(int width) const;
+
+  bool identical(const Value& o) const { return bits_ == o.bits_; }
+
+  // --- arithmetic (operands must be pre-sized to a common width) ----------
+  static Value add(const Value& a, const Value& b);
+  static Value sub(const Value& a, const Value& b);
+  static Value mul(const Value& a, const Value& b);
+  static Value div(const Value& a, const Value& b);
+  static Value mod(const Value& a, const Value& b);
+  static Value pow(const Value& a, const Value& b);
+  static Value negate(const Value& a);
+
+  // --- bitwise -------------------------------------------------------------
+  static Value bit_and(const Value& a, const Value& b);
+  static Value bit_or(const Value& a, const Value& b);
+  static Value bit_xor(const Value& a, const Value& b);
+  static Value bit_xnor(const Value& a, const Value& b);
+  static Value bit_not(const Value& a);
+
+  // --- reductions (1-bit result) -------------------------------------------
+  static Value reduce_and(const Value& a);
+  static Value reduce_or(const Value& a);
+  static Value reduce_xor(const Value& a);
+
+  // --- logical (1-bit result, 3-valued) -------------------------------------
+  static Value logic_and(const Value& a, const Value& b);
+  static Value logic_or(const Value& a, const Value& b);
+  static Value logic_not(const Value& a);
+
+  // --- comparison (1-bit result) --------------------------------------------
+  static Value eq(const Value& a, const Value& b);
+  static Value neq(const Value& a, const Value& b);
+  static Value case_eq(const Value& a, const Value& b);
+  static Value case_neq(const Value& a, const Value& b);
+  static Value lt(const Value& a, const Value& b);
+  static Value le(const Value& a, const Value& b);
+  static Value gt(const Value& a, const Value& b);
+  static Value ge(const Value& a, const Value& b);
+
+  // --- shifts (shift amount self-determined; x amount => all-x) -------------
+  static Value shl(const Value& a, const Value& amount);
+  static Value shr(const Value& a, const Value& amount);
+  static Value ashr(const Value& a, const Value& amount);
+
+  // --- structure ------------------------------------------------------------
+  /// Concatenation: `parts` listed msb-first (Verilog {a, b} => a is high).
+  static Value concat(const std::vector<Value>& parts_msb_first);
+  static Value repl(int count, const Value& v);
+
+  /// Extracts bits [lo, lo+width) (lsb-indexed).  Out-of-range bits read x.
+  Value extract(int lo, int width) const;
+  /// Writes `v` into bits [lo, lo+v.width()); out-of-range bits ignored.
+  void deposit(int lo, const Value& v);
+
+ private:
+  static Value binary_common(const Value& a, const Value& b, int width);
+
+  std::vector<Logic> bits_;  // lsb-first
+  bool signed_ = false;
+};
+
+/// Result width of a context-determined binary operation.
+inline int max_width(const Value& a, const Value& b) {
+  return a.width() > b.width() ? a.width() : b.width();
+}
+
+}  // namespace vsd::sim

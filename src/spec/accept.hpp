@@ -1,0 +1,37 @@
+// Typical-acceptance rule for speculative tokens (paper Eq. 1, following
+// MEDUSA): a drafted token x is accepted when
+//     p_base(x | prefix) > min(epsilon, delta * exp(-H(p_base(.|prefix)))).
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+namespace vsd::spec {
+
+struct TypicalAcceptance {
+  float epsilon = 0.09f;
+  float delta = 0.3f;
+
+  /// Shannon entropy (nats) of a probability vector.
+  static double entropy(std::span<const float> probs) {
+    double h = 0.0;
+    for (const float p : probs) {
+      if (p > 1e-12f) h -= static_cast<double>(p) * std::log(static_cast<double>(p));
+    }
+    return h;
+  }
+
+  /// Eq. 1: accept `token` under base-model distribution `probs`.
+  bool accepts(std::span<const float> probs, int token) const {
+    const double threshold =
+        std::min(static_cast<double>(epsilon),
+                 static_cast<double>(delta) * std::exp(-entropy(probs)));
+    return static_cast<double>(probs[static_cast<std::size_t>(token)]) > threshold;
+  }
+};
+
+/// softmax(logits / temperature); temperature <= 0 means 1.0 (raw).
+std::vector<float> softmax(std::span<const float> logits, float temperature = 1.0f);
+
+}  // namespace vsd::spec

@@ -1,0 +1,297 @@
+#include "spec/decode.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace vsd::spec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::vector<float> row_of(const nn::Tensor& t, int row) {
+  return std::vector<float>(t.row(row), t.row(row) + t.cols());
+}
+
+/// Indices of the k largest logits.
+std::vector<int> top_k_indices(std::span<const float> logits, int k) {
+  std::vector<int> idx(logits.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<int>(i);
+  const int kk = std::min<int>(k, static_cast<int>(idx.size()));
+  std::partial_sort(idx.begin(), idx.begin() + kk, idx.end(),
+                    [&](int a, int b) {
+                      return logits[static_cast<std::size_t>(a)] >
+                             logits[static_cast<std::size_t>(b)];
+                    });
+  idx.resize(static_cast<std::size_t>(kk));
+  return idx;
+}
+
+}  // namespace
+
+std::vector<float> softmax(std::span<const float> logits, float temperature) {
+  const float t = temperature > 0.0f ? temperature : 1.0f;
+  std::vector<float> out(logits.size());
+  float maxv = logits[0];
+  for (const float v : logits) maxv = std::max(maxv, v);
+  double denom = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp((logits[i] - maxv) / t);
+    denom += out[i];
+  }
+  const float inv = static_cast<float>(1.0 / denom);
+  for (float& v : out) v *= inv;
+  return out;
+}
+
+int pick_token(std::span<const float> logits, float temperature, Rng& rng) {
+  if (temperature <= 0.0f) {
+    int best = 0;
+    for (std::size_t i = 1; i < logits.size(); ++i) {
+      if (logits[i] > logits[static_cast<std::size_t>(best)]) best = static_cast<int>(i);
+    }
+    return best;
+  }
+  const std::vector<float> probs = softmax(logits, temperature);
+  double r = rng.next_double();
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    r -= probs[i];
+    if (r <= 0.0) return static_cast<int>(i);
+  }
+  return static_cast<int>(probs.size()) - 1;
+}
+
+int Decoder::prime_session(nn::InferSession& sess, std::span<const int> prompt_ids,
+                           nn::Tensor& h_last) const {
+  if (model_.config().encoder_decoder) {
+    sess.set_encoder(prompt_ids);
+    const int bos = text::Tokenizer::kBos;
+    h_last = sess.feed(std::span<const int>(&bos, 1));
+    return 1;
+  }
+  h_last = sess.feed(prompt_ids);
+  return static_cast<int>(prompt_ids.size());
+}
+
+DecodeResult Decoder::ntp(std::span<const int> prompt_ids, const DecodeConfig& cfg,
+                          Rng& rng) const {
+  DecodeResult out;
+  const auto start = Clock::now();
+  nn::InferSession sess(model_);
+  nn::Tensor h;
+  out.positions += prime_session(sess, prompt_ids, h);
+
+  const int budget = std::min(cfg.max_new_tokens,
+                              model_.config().max_seq - sess.len() - 1);
+  for (int i = 0; i < budget; ++i) {
+    const nn::Tensor logits = sess.lm_logits(h);
+    const std::vector<float> last = row_of(logits, logits.rows() - 1);
+    const int next = pick_token(last, cfg.temperature, rng);
+    ++out.steps;
+    out.accepted_per_step.push_back(1);
+    if (next == cfg.eos_id) {
+      out.hit_eos = true;
+      break;
+    }
+    out.ids.push_back(next);
+    h = sess.feed(std::span<const int>(&next, 1));
+    ++out.positions;
+  }
+  out.wall_seconds = seconds_since(start);
+  return out;
+}
+
+DecodeResult Decoder::speculative(std::span<const int> prompt_ids,
+                                  const DecodeConfig& cfg, Rng& rng) const {
+  DecodeResult out;
+  const auto start = Clock::now();
+  const int n_heads = std::min(cfg.num_heads, model_.config().n_medusa_heads);
+  check(n_heads >= 1, "speculative decoding needs at least one draft head");
+
+  nn::InferSession sess(model_);
+  nn::Tensor h;
+  out.positions += prime_session(sess, prompt_ids, h);
+
+  int generated = 0;
+  bool done = false;
+  while (!done && generated < cfg.max_new_tokens &&
+         sess.len() + n_heads + 2 < model_.config().max_seq) {
+    // --- draft: base top-k candidates + one chain from the heads ----------
+    const nn::Tensor base_logits_t = sess.lm_logits(h);
+    const std::vector<float> base_logits = row_of(base_logits_t, base_logits_t.rows() - 1);
+
+    std::vector<int> first_tokens;
+    if (cfg.temperature > 0.0f) {
+      first_tokens.push_back(pick_token(base_logits, cfg.temperature, rng));
+      for (const int t : top_k_indices(base_logits, cfg.num_candidates)) {
+        if (static_cast<int>(first_tokens.size()) >= cfg.num_candidates) break;
+        if (t != first_tokens[0]) first_tokens.push_back(t);
+      }
+    } else {
+      first_tokens = top_k_indices(base_logits, cfg.num_candidates);
+    }
+
+    std::vector<int> head_tokens(static_cast<std::size_t>(n_heads));
+    for (int k = 0; k < n_heads; ++k) {
+      const nn::Tensor hl = sess.head_logits(h, k);
+      const std::vector<float> row = row_of(hl, hl.rows() - 1);
+      head_tokens[static_cast<std::size_t>(k)] =
+          pick_token(row, /*temperature=*/0.0f, rng);
+    }
+
+    // --- verify each candidate chain, keep the longest accepted prefix ----
+    const int base_len = sess.len();
+    const float prob_temp = cfg.temperature > 0.0f ? cfg.temperature : 1.0f;
+    int best_accepted = 0;
+    std::vector<int> best_chain;
+    nn::Tensor best_hidden;
+    std::size_t best_c = 0;
+    std::size_t last_fed = static_cast<std::size_t>(-1);
+
+    for (std::size_t c = 0; c < first_tokens.size(); ++c) {
+      std::vector<int> chain;
+      chain.push_back(first_tokens[c]);
+      chain.insert(chain.end(), head_tokens.begin(), head_tokens.end());
+
+      // The primary candidate's first token came from the base model
+      // itself (argmax / sample) and is always accepted; alternative
+      // candidates must pass the acceptance rule for their first token.
+      if (c > 0) {
+        if (cfg.temperature <= 0.0f) {
+          continue;  // greedy: only the argmax first token is lossless
+        }
+        const std::vector<float> probs = softmax(base_logits, prob_temp);
+        if (!cfg.acceptance.accepts(probs, chain[0])) continue;
+      }
+      if (sess.len() > base_len) sess.truncate(base_len);
+      const nn::Tensor hs = sess.feed(chain);
+      last_fed = c;
+      out.positions += static_cast<long>(chain.size());
+      int accepted = 1;  // the base-model token is always accepted
+      if (chain[0] != cfg.eos_id) {
+        const nn::Tensor lj = sess.lm_logits(hs);  // logits for every row
+        for (int j = 1; j < static_cast<int>(chain.size()); ++j) {
+          const std::vector<float> logits_row = row_of(lj, j - 1);
+          const int tok = chain[static_cast<std::size_t>(j)];
+          bool ok = false;
+          if (cfg.temperature <= 0.0f) {
+            // Greedy decoding: lossless — accept only the base argmax
+            // (MEDUSA's greedy verification).
+            int best = 0;
+            for (std::size_t v = 1; v < logits_row.size(); ++v) {
+              if (logits_row[v] > logits_row[static_cast<std::size_t>(best)]) {
+                best = static_cast<int>(v);
+              }
+            }
+            ok = tok == best;
+          } else {
+            // Sampling: typical acceptance (Eq. 1).
+            const std::vector<float> probs = softmax(logits_row, prob_temp);
+            ok = cfg.acceptance.accepts(probs, tok);
+          }
+          if (!ok) break;
+          ++accepted;
+          if (tok == cfg.eos_id) break;
+        }
+      }
+      // Fragment-integrity check (the paper's addition): the committed
+      // burst must end on a complete syntactic fragment, i.e. at the last
+      // [FRAG] boundary inside the accepted span.  EOS also closes a
+      // fragment.
+      if (cfg.fragment_integrity && accepted > 1) {
+        int last_ok = 0;  // index of last fragment-closing token, -1 none
+        bool found = false;
+        for (int j = accepted - 1; j >= 0; --j) {
+          const int tok = chain[static_cast<std::size_t>(j)];
+          if (tok == cfg.frag_id || tok == cfg.eos_id) {
+            last_ok = j;
+            found = true;
+            break;
+          }
+        }
+        accepted = found ? last_ok + 1 : 1;
+      }
+      if (accepted > best_accepted) {
+        best_accepted = accepted;
+        best_chain = chain;
+        best_hidden = hs;
+        best_c = c;
+      }
+    }
+    check(best_accepted >= 1, "speculative step accepted nothing");
+
+    // --- commit ------------------------------------------------------------
+    std::vector<int> committed(best_chain.begin(),
+                               best_chain.begin() + best_accepted);
+    if (best_c == last_fed) {
+      // The winner was the last candidate fed: its KV rows are still in
+      // the cache; just roll back the rejected tail.
+      sess.truncate(base_len + best_accepted);
+      // h := hidden row of the last committed token.
+      nn::Tensor h_new(1, best_hidden.cols());
+      std::copy(best_hidden.row(best_accepted - 1),
+                best_hidden.row(best_accepted - 1) + best_hidden.cols(),
+                h_new.row(0));
+      h = std::move(h_new);
+    } else {
+      sess.truncate(base_len);
+      h = sess.feed(committed);
+      out.positions += static_cast<long>(committed.size());
+      nn::Tensor h_new(1, h.cols());
+      std::copy(h.row(h.rows() - 1), h.row(h.rows() - 1) + h.cols(), h_new.row(0));
+      h = std::move(h_new);
+    }
+
+    ++out.steps;
+    int emitted = 0;
+    for (const int tok : committed) {
+      if (tok == cfg.eos_id) {
+        out.hit_eos = true;
+        done = true;
+        break;
+      }
+      out.ids.push_back(tok);
+      ++emitted;
+      ++generated;
+    }
+    out.accepted_per_step.push_back(emitted > 0 ? emitted : 1);
+  }
+  out.wall_seconds = seconds_since(start);
+  return out;
+}
+
+double Decoder::measure_step_seconds(int context_len, int reps) const {
+  nn::InferSession sess(model_);
+  Rng rng(42);
+  const int vocab = model_.config().vocab;
+  std::vector<int> ctx;
+  ctx.reserve(static_cast<std::size_t>(context_len));
+  for (int i = 0; i < context_len; ++i) {
+    ctx.push_back(static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(vocab - text::Tokenizer::kNumSpecials))) +
+                  text::Tokenizer::kNumSpecials);
+  }
+  if (model_.config().encoder_decoder) {
+    sess.set_encoder(ctx);
+    const int bos = text::Tokenizer::kBos;
+    sess.feed(std::span<const int>(&bos, 1));
+  } else {
+    sess.feed(ctx);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  nn::Tensor h;
+  for (int r = 0; r < reps; ++r) {
+    const int tok = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(vocab - 5))) + 5;
+    h = sess.feed(std::span<const int>(&tok, 1));
+    (void)sess.lm_logits(h);
+  }
+  return seconds_since(start) / reps;
+}
+
+}  // namespace vsd::spec

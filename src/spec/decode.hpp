@@ -1,0 +1,73 @@
+// Decoders: conventional next-token prediction (NTP), MEDUSA speculative
+// decoding, and the paper's syntax-aligned variant (MEDUSA + fragment
+// integrity check) — Section III-B.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/model.hpp"
+#include "spec/accept.hpp"
+#include "text/bpe.hpp"
+
+namespace vsd::spec {
+
+struct DecodeConfig {
+  int max_new_tokens = 200;
+  float temperature = 0.0f;  // 0 => greedy
+  int num_heads = 10;        // draft heads used per step (<= model heads)
+  int num_candidates = 1;    // top-k base candidates kept per step
+  TypicalAcceptance acceptance;
+  bool fragment_integrity = false;  // true => "Ours"
+  int frag_id = text::Tokenizer::kFrag;
+  int eos_id = text::Tokenizer::kEos;
+};
+
+struct DecodeResult {
+  std::vector<int> ids;                // generated token ids (no prompt/EOS)
+  int steps = 0;                       // decoding iterations (Fig. 5 metric)
+  long positions = 0;                  // decoder positions fed in total
+  double wall_seconds = 0.0;
+  std::vector<int> accepted_per_step;  // tokens committed per iteration
+  bool hit_eos = false;
+
+  double mean_accepted() const {
+    if (accepted_per_step.empty()) return 0.0;
+    double sum = 0.0;
+    for (const int a : accepted_per_step) sum += a;
+    return sum / static_cast<double>(accepted_per_step.size());
+  }
+};
+
+/// Runs generation for `prompt_ids`.  For encoder-decoder models the
+/// prompt feeds the encoder and generation starts from BOS; for
+/// decoder-only models the prompt ids are fed into the decoder directly.
+class Decoder {
+ public:
+  explicit Decoder(const nn::TransformerModel& model) : model_(model) {}
+
+  DecodeResult ntp(std::span<const int> prompt_ids, const DecodeConfig& cfg,
+                   Rng& rng) const;
+
+  /// MEDUSA-style speculative decoding; cfg.fragment_integrity switches
+  /// between the Medusa baseline (false) and the paper's method (true).
+  DecodeResult speculative(std::span<const int> prompt_ids, const DecodeConfig& cfg,
+                           Rng& rng) const;
+
+  /// Calibration: mean seconds for a single-token decoder step at a given
+  /// context length (used by the speed harness's latency model).
+  double measure_step_seconds(int context_len, int reps = 16) const;
+
+ private:
+  int prime_session(nn::InferSession& sess, std::span<const int> prompt_ids,
+                    nn::Tensor& h_last) const;
+
+  const nn::TransformerModel& model_;
+};
+
+/// Picks a token from logits: argmax when temperature <= 0, else samples.
+int pick_token(std::span<const float> logits, float temperature, Rng& rng);
+
+}  // namespace vsd::spec

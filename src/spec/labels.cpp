@@ -1,0 +1,118 @@
+#include "spec/labels.hpp"
+
+#include "common/error.hpp"
+
+namespace vsd::spec {
+
+LabelSet build_shifted_labels(std::span<const int> ids, int num_heads, int pad_id) {
+  check(num_heads >= 0, "num_heads must be >= 0");
+  LabelSet out;
+  out.base.assign(ids.begin(), ids.end());
+  const int t = static_cast<int>(ids.size());
+  out.heads.resize(static_cast<std::size_t>(num_heads));
+  for (int k = 0; k < num_heads; ++k) {
+    auto& row = out.heads[static_cast<std::size_t>(k)];
+    row.assign(static_cast<std::size_t>(t), pad_id);
+    const int shift = k + 1;
+    for (int s = 0; s + shift < t; ++s) {
+      row[static_cast<std::size_t>(s)] = ids[static_cast<std::size_t>(s + shift)];
+    }
+  }
+  return out;
+}
+
+void apply_ignore_mask_naive(LabelSet& labels, int frag_id, int pad_id,
+                             int ignore_id) {
+  const int n = static_cast<int>(labels.heads.size());
+  const int t = static_cast<int>(labels.base.size());
+  for (int s = 0; s < t; ++s) {
+    // Last head row whose label at column s is [FRAG].
+    int last_frag = 0;  // 0 = none (base row is never masked)
+    for (int i = n; i >= 1; --i) {
+      if (labels.heads[static_cast<std::size_t>(i - 1)][static_cast<std::size_t>(s)] ==
+          frag_id) {
+        last_frag = i;
+        break;
+      }
+    }
+    if (last_frag == 0) continue;  // no [FRAG] among heads: leave untouched
+    for (int i = last_frag + 1; i <= n; ++i) {
+      labels.heads[static_cast<std::size_t>(i - 1)][static_cast<std::size_t>(s)] =
+          ignore_id;
+    }
+  }
+  // [PAD] labels never contribute to the loss.
+  for (auto& row : labels.heads) {
+    for (int& v : row) {
+      if (v == pad_id) v = ignore_id;
+    }
+  }
+}
+
+void apply_ignore_mask_parallel(LabelSet& labels, int frag_id, int pad_id,
+                                int ignore_id) {
+  const int n = static_cast<int>(labels.heads.size());
+  const int t = static_cast<int>(labels.base.size());
+  if (n == 0 || t == 0) return;
+
+  // Step 1: has_frag_mask[s] = any head row holds [FRAG] at column s.
+  std::vector<char> has_frag(static_cast<std::size_t>(t), 0);
+  for (int i = 0; i < n; ++i) {
+    const auto& row = labels.heads[static_cast<std::size_t>(i)];
+    for (int s = 0; s < t; ++s) {
+      if (row[static_cast<std::size_t>(s)] == frag_id) has_frag[static_cast<std::size_t>(s)] = 1;
+    }
+  }
+
+  // Step 2: iterate over heads in reverse; a column stays in the mask while
+  // no [FRAG] has been seen at this row or below.
+  for (int i = n; i >= 1; --i) {
+    auto& row = labels.heads[static_cast<std::size_t>(i - 1)];
+    bool any = false;
+    for (int s = 0; s < t; ++s) {
+      if (!has_frag[static_cast<std::size_t>(s)]) continue;
+      if (row[static_cast<std::size_t>(s)] == frag_id) {
+        has_frag[static_cast<std::size_t>(s)] = 0;  // FRAG reached: stop masking above
+        continue;
+      }
+      row[static_cast<std::size_t>(s)] = ignore_id;
+      any = true;
+    }
+    // Early termination when the mask is empty.
+    if (!any) {
+      bool mask_empty = true;
+      for (int s = 0; s < t; ++s) mask_empty = mask_empty && !has_frag[static_cast<std::size_t>(s)];
+      if (mask_empty) break;
+    }
+  }
+
+  for (auto& r : labels.heads) {
+    for (int& v : r) {
+      if (v == pad_id) v = ignore_id;
+    }
+  }
+}
+
+LabelSet build_syntax_enriched_labels(std::span<const int> ids, int num_heads,
+                                      int frag_id, int pad_id, int ignore_id) {
+  LabelSet labels = build_shifted_labels(ids, num_heads, pad_id);
+  apply_ignore_mask_parallel(labels, frag_id, pad_id, ignore_id);
+  return labels;
+}
+
+std::vector<double> ignore_fraction_per_head(const LabelSet& labels, int ignore_id) {
+  std::vector<double> out;
+  out.reserve(labels.heads.size());
+  for (const auto& row : labels.heads) {
+    if (row.empty()) {
+      out.push_back(0.0);
+      continue;
+    }
+    int count = 0;
+    for (const int v : row) count += v == ignore_id ? 1 : 0;
+    out.push_back(static_cast<double>(count) / static_cast<double>(row.size()));
+  }
+  return out;
+}
+
+}  // namespace vsd::spec

@@ -1,0 +1,51 @@
+// Syntax-enriched label construction (paper Section III-C, Fig. 4).
+//
+// For a token sequence L0 (the [FRAG]-marked code), the label of head i is
+// Li = L0[i:] padded to length with [PAD].  The masking step then finds,
+// for every sequence position, the last [FRAG] along the head dimension
+// and replaces every label beyond it with [IGNORE], so each head is only
+// trained on positions that complete a syntactic fragment.
+//
+// Two implementations are provided: the paper's parallel algorithm
+// (Fig. 4 right panel) and a direct per-column reference used to validate
+// it and to quantify the speedup (ablation bench).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace vsd::spec {
+
+/// Labels for the base model and n heads.  heads[i] has the same length
+/// as base; entries are token ids, pad_id, or ignore_id.
+struct LabelSet {
+  std::vector<int> base;
+  std::vector<std::vector<int>> heads;
+};
+
+/// Builds the unmasked label matrix: base = ids, heads[i] = ids shifted
+/// left by (i+1) with pad_id appended.  (Head i predicts position t+i+2
+/// from position t's hidden state, one beyond the base model's t+1.)
+LabelSet build_shifted_labels(std::span<const int> ids, int num_heads, int pad_id);
+
+/// Fig. 4 parallel masking algorithm: per column, labels of heads after
+/// the last [FRAG] along the head dimension become ignore_id.  Columns
+/// whose head labels contain no [FRAG] are left untouched.  [PAD] labels
+/// are always converted to ignore_id.
+void apply_ignore_mask_parallel(LabelSet& labels, int frag_id, int pad_id,
+                                int ignore_id);
+
+/// Straightforward per-column reference with identical semantics.
+void apply_ignore_mask_naive(LabelSet& labels, int frag_id, int pad_id,
+                             int ignore_id);
+
+/// Convenience: shifted labels + parallel masking.
+LabelSet build_syntax_enriched_labels(std::span<const int> ids, int num_heads,
+                                      int frag_id, int pad_id, int ignore_id);
+
+/// Fraction of head-label entries equal to ignore_id, per head.  The paper
+/// argues this proportion grows with head index, easing later heads'
+/// prediction task; tests assert the monotone trend.
+std::vector<double> ignore_fraction_per_head(const LabelSet& labels, int ignore_id);
+
+}  // namespace vsd::spec

@@ -1,0 +1,182 @@
+#include "spec/trainer.hpp"
+
+#include <chrono>
+
+namespace vsd::spec {
+
+const char* method_name(Method m) {
+  switch (m) {
+    case Method::NTP: return "NTP";
+    case Method::Medusa: return "Medusa";
+    case Method::Ours: return "Ours";
+  }
+  return "?";
+}
+
+namespace {
+
+nn::AdamW make_optimizer(nn::TransformerModel& model, const TrainConfig& cfg) {
+  std::vector<float> mults;
+  mults.reserve(model.params().size());
+  for (const auto& p : model.params()) mults.push_back(model.lr_mult(p));
+  nn::AdamW::Options opts;
+  opts.lr = cfg.lr;
+  return nn::AdamW(model.params(), mults, opts);
+}
+
+}  // namespace
+
+Trainer::Trainer(nn::TransformerModel& model, TrainConfig cfg)
+    : model_(model), cfg_(cfg), optim_(make_optimizer(model, cfg)) {
+  if (cfg_.method != Method::NTP) {
+    check(model.config().n_medusa_heads > 0,
+          "Medusa/Ours training requires a model with medusa heads");
+  }
+}
+
+double Trainer::train_one(const EncodedExample& ex, int step, int total_steps) {
+  const int ignore = text::Tokenizer::kIgnore;
+  const int pad = text::Tokenizer::kPad;
+  const int frag = text::Tokenizer::kFrag;
+  const bool enc_dec = model_.config().encoder_decoder;
+  const int n_heads = cfg_.method == Method::NTP ? 0 : model_.config().n_medusa_heads;
+
+  // Build the decoder token sequence and the index of the first code token.
+  std::vector<int> seq;
+  int code_start = 0;
+  if (enc_dec) {
+    seq.push_back(text::Tokenizer::kBos);
+    seq.insert(seq.end(), ex.code_ids.begin(), ex.code_ids.end());
+    code_start = 1;
+  } else {
+    seq.push_back(text::Tokenizer::kBos);
+    seq.insert(seq.end(), ex.prompt_ids.begin(), ex.prompt_ids.end());
+    code_start = static_cast<int>(seq.size());
+    seq.insert(seq.end(), ex.code_ids.begin(), ex.code_ids.end());
+  }
+
+  // Fig. 4 label matrix over the full sequence.
+  LabelSet labels = build_shifted_labels(seq, n_heads, pad);
+  if (cfg_.method == Method::Ours) {
+    apply_ignore_mask_parallel(labels, frag, pad, ignore);
+  } else {
+    // Baselines: no syntax masking; only padding is excluded from loss.
+    for (auto& row : labels.heads) {
+      for (int& v : row) {
+        if (v == pad) v = ignore;
+      }
+    }
+  }
+
+  // Inputs are seq[:-1]; the target consumed at position t lives in label
+  // column t+1 (base) — heads are already shifted inside the LabelSet.
+  const int t_len = static_cast<int>(seq.size()) - 1;
+  const std::vector<int> inputs(seq.begin(), seq.end() - 1);
+
+  std::vector<int> base_targets(static_cast<std::size_t>(t_len), ignore);
+  for (int t = 0; t < t_len; ++t) {
+    const int target_pos = t + 1;
+    if (target_pos < code_start) continue;  // never train on the prompt
+    base_targets[static_cast<std::size_t>(t)] = labels.base[static_cast<std::size_t>(target_pos)];
+  }
+  std::vector<std::vector<int>> head_targets(static_cast<std::size_t>(n_heads));
+  for (int k = 0; k < n_heads; ++k) {
+    auto& row = head_targets[static_cast<std::size_t>(k)];
+    row.assign(static_cast<std::size_t>(t_len), ignore);
+    for (int t = 0; t < t_len; ++t) {
+      // Head k's label column t+1 already refers to seq position t+k+2.
+      const int absolute_target = t + k + 2;
+      if (absolute_target < code_start) continue;
+      if (t + 1 >= static_cast<int>(seq.size())) continue;
+      row[static_cast<std::size_t>(t)] =
+          labels.heads[static_cast<std::size_t>(k)][static_cast<std::size_t>(t + 1)];
+    }
+  }
+
+  optim_.zero_grad();
+  nn::Var enc;
+  if (enc_dec) {
+    enc = model_.encode_hidden(ex.prompt_ids);
+  }
+  nn::Var hidden = model_.decode_hidden(inputs, enc);
+  nn::Var base_loss = nn::cross_entropy(model_.lm_logits(hidden), base_targets, ignore);
+
+  nn::Var total = base_loss;
+  if (n_heads > 0) {
+    const float lambda = nn::lambda_sine(step, total_steps, cfg_.lambda_max);
+    std::vector<nn::Var> losses = {base_loss};
+    std::vector<float> coeffs = {1.0f};
+    float g = cfg_.gamma;
+    for (int k = 0; k < n_heads; ++k) {
+      int counted = 0;
+      nn::Var head_loss = nn::cross_entropy(
+          model_.head_logits(hidden, k), head_targets[static_cast<std::size_t>(k)],
+          ignore, &counted);
+      if (counted > 0) {
+        losses.push_back(head_loss);
+        coeffs.push_back(lambda * g);
+      }
+      g *= cfg_.gamma;
+    }
+    total = nn::weighted_sum(losses, coeffs);
+  }
+  const double loss_value = total->value.at(0, 0);
+  nn::backward(total);
+  optim_.step(nn::cosine_lr_scale(step, total_steps, cfg_.warmup_steps));
+  return loss_value;
+}
+
+TrainStats Trainer::fit(const std::vector<EncodedExample>& data) {
+  TrainStats stats;
+  const auto start = std::chrono::steady_clock::now();
+  Rng rng(cfg_.seed);
+
+  std::vector<std::size_t> order(data.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  // Pre-count usable examples for the schedule length.
+  int usable = 0;
+  for (const auto& ex : data) {
+    const int total_len = static_cast<int>(ex.prompt_ids.size() + ex.code_ids.size()) + 1;
+    const int dec_len = model_.config().encoder_decoder
+                            ? static_cast<int>(ex.code_ids.size()) + 1
+                            : total_len;
+    const int enc_len = static_cast<int>(ex.prompt_ids.size());
+    if (dec_len <= cfg_.max_seq && enc_len <= model_.config().max_seq) ++usable;
+  }
+  const int total_steps = std::max(1, usable * cfg_.epochs);
+
+  int step = 0;
+  double last_epoch_sum = 0.0;
+  int last_epoch_count = 0;
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    rng.shuffle(order);
+    const bool last_epoch = epoch + 1 == cfg_.epochs;
+    for (const std::size_t i : order) {
+      const EncodedExample& ex = data[i];
+      const int dec_len = model_.config().encoder_decoder
+                              ? static_cast<int>(ex.code_ids.size()) + 1
+                              : static_cast<int>(ex.prompt_ids.size() +
+                                                 ex.code_ids.size()) + 1;
+      if (dec_len > cfg_.max_seq ||
+          static_cast<int>(ex.prompt_ids.size()) > model_.config().max_seq) {
+        if (epoch == 0) ++stats.skipped;
+        continue;
+      }
+      const double loss = train_one(ex, step, total_steps);
+      if (step == 0) stats.first_loss = loss;
+      if (last_epoch) {
+        last_epoch_sum += loss;
+        ++last_epoch_count;
+      }
+      ++step;
+    }
+  }
+  stats.steps = step;
+  stats.final_loss = last_epoch_count > 0 ? last_epoch_sum / last_epoch_count : 0.0;
+  stats.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return stats;
+}
+
+}  // namespace vsd::spec

@@ -1,0 +1,188 @@
+#include "text/bpe.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "vlog/fragment.hpp"
+
+namespace vsd::text {
+
+namespace {
+
+std::uint64_t pair_key(int a, int b) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+         static_cast<std::uint32_t>(b);
+}
+
+}  // namespace
+
+Tokenizer Tokenizer::byte_fallback() {
+  Tokenizer t;
+  t.vocab_.resize(kNumSpecials);
+  t.vocab_[kFrag] = std::string(vlog::kFragMarker);
+  for (int b = 0; b < 256; ++b) {
+    t.vocab_.push_back(std::string(1, static_cast<char>(b)));
+  }
+  return t;
+}
+
+Tokenizer Tokenizer::train(const std::vector<std::string>& corpus, Config config) {
+  Tokenizer t = byte_fallback();
+  check(config.vocab_size >= t.vocab_size(),
+        "vocab_size smaller than specials + bytes");
+
+  // Tokenise the corpus at byte level, splitting out special tokens so
+  // merges never cross a [FRAG] boundary.
+  std::vector<std::vector<int>> seqs;
+  seqs.reserve(corpus.size());
+  for (const std::string& doc : corpus) {
+    seqs.push_back(t.encode(doc));
+  }
+
+  while (t.vocab_size() < config.vocab_size) {
+    // Count adjacent pairs (skipping specials).
+    std::unordered_map<std::uint64_t, int> counts;
+    for (const auto& seq : seqs) {
+      for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
+        if (seq[i] < kNumSpecials || seq[i + 1] < kNumSpecials) continue;
+        ++counts[pair_key(seq[i], seq[i + 1])];
+      }
+    }
+    std::uint64_t best_key = 0;
+    int best_count = 1;  // require frequency >= 2
+    for (const auto& [key, count] : counts) {
+      if (count > best_count ||
+          (count == best_count && best_count > 1 && key < best_key)) {
+        best_key = key;
+        best_count = count;
+      }
+    }
+    if (best_count < 2) break;
+
+    const int left = static_cast<int>(best_key >> 32);
+    const int right = static_cast<int>(best_key & 0xFFFFFFFFu);
+    const int merged = t.vocab_size();
+    t.vocab_.push_back(t.vocab_[static_cast<std::size_t>(left)] +
+                       t.vocab_[static_cast<std::size_t>(right)]);
+    t.merges_[best_key] = merged;
+
+    // Apply the merge in place.
+    for (auto& seq : seqs) {
+      std::size_t w = 0;
+      for (std::size_t r = 0; r < seq.size(); ++r) {
+        if (r + 1 < seq.size() && seq[r] == left && seq[r + 1] == right) {
+          seq[w++] = merged;
+          ++r;
+        } else {
+          seq[w++] = seq[r];
+        }
+      }
+      seq.resize(w);
+    }
+  }
+  return t;
+}
+
+std::vector<int> Tokenizer::encode_bytes(std::string_view piece) const {
+  std::vector<int> ids;
+  ids.reserve(piece.size());
+  for (const char c : piece) {
+    ids.push_back(kNumSpecials + static_cast<unsigned char>(c));
+  }
+  // Apply merges greedily by rank (lowest merged id first), GPT-2 style.
+  while (ids.size() >= 2) {
+    int best_rank = -1;
+    std::size_t best_pos = 0;
+    for (std::size_t i = 0; i + 1 < ids.size(); ++i) {
+      const auto it = merges_.find(pair_key(ids[i], ids[i + 1]));
+      if (it == merges_.end()) continue;
+      if (best_rank < 0 || it->second < best_rank) {
+        best_rank = it->second;
+        best_pos = i;
+      }
+    }
+    if (best_rank < 0) break;
+    ids[best_pos] = best_rank;
+    ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(best_pos) + 1);
+  }
+  return ids;
+}
+
+std::vector<int> Tokenizer::encode(std::string_view text, bool add_bos,
+                                   bool add_eos) const {
+  std::vector<int> out;
+  if (add_bos) out.push_back(kBos);
+  const std::string_view marker = vlog::kFragMarker;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t hit = text.find(marker, pos);
+    const std::size_t end = hit == std::string_view::npos ? text.size() : hit;
+    if (end > pos) {
+      std::vector<int> ids = encode_bytes(text.substr(pos, end - pos));
+      out.insert(out.end(), ids.begin(), ids.end());
+    }
+    if (hit == std::string_view::npos) break;
+    out.push_back(kFrag);
+    pos = hit + marker.size();
+  }
+  if (add_eos) out.push_back(kEos);
+  return out;
+}
+
+std::string Tokenizer::decode(std::span<const int> ids, bool keep_special) const {
+  std::string out;
+  for (const int id : ids) {
+    if (id < 0 || id >= vocab_size()) continue;
+    if (is_special(id)) {
+      if (keep_special && id == kFrag) out += vocab_[kFrag];
+      continue;
+    }
+    out += vocab_[static_cast<std::size_t>(id)];
+  }
+  return out;
+}
+
+const std::string& Tokenizer::token_text(int id) const {
+  check(id >= 0 && id < vocab_size(), "token id out of range");
+  return vocab_[static_cast<std::size_t>(id)];
+}
+
+std::string Tokenizer::serialize() const {
+  std::ostringstream out;
+  out << "vsd-bpe-v1\n" << vocab_.size() << "\n";
+  // Only merges need persisting beyond the fixed prefix; store as triples.
+  std::vector<std::pair<std::uint64_t, int>> merges(merges_.begin(), merges_.end());
+  std::sort(merges.begin(), merges.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  out << merges.size() << "\n";
+  for (const auto& [key, id] : merges) {
+    out << (key >> 32) << " " << (key & 0xFFFFFFFFu) << " " << id << "\n";
+  }
+  return out.str();
+}
+
+Tokenizer Tokenizer::deserialize(std::string_view data) {
+  std::istringstream in{std::string(data)};
+  std::string magic;
+  in >> magic;
+  check(magic == "vsd-bpe-v1", "bad tokenizer serialization");
+  std::size_t vocab_size = 0;
+  std::size_t merge_count = 0;
+  in >> vocab_size >> merge_count;
+  Tokenizer t = byte_fallback();
+  for (std::size_t i = 0; i < merge_count; ++i) {
+    int left = 0;
+    int right = 0;
+    int id = 0;
+    in >> left >> right >> id;
+    check(static_cast<std::size_t>(id) == t.vocab_.size(), "bad merge order");
+    t.vocab_.push_back(t.vocab_[static_cast<std::size_t>(left)] +
+                       t.vocab_[static_cast<std::size_t>(right)]);
+    t.merges_[pair_key(left, right)] = id;
+  }
+  check(t.vocab_.size() == vocab_size, "tokenizer size mismatch");
+  return t;
+}
+
+}  // namespace vsd::text

@@ -1,0 +1,69 @@
+// Trainable byte-level BPE tokenizer with atomic special tokens.
+//
+// This is the reproduction's analogue of the base models' tokenizers.  The
+// [FRAG] marker (vsd::vlog::kFragMarker) is registered as a special token
+// so the syntax-enriched labels of vsd::spec can place fragment boundaries
+// as single vocabulary items, exactly as the paper requires.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace vsd::text {
+
+class Tokenizer {
+ public:
+  struct Config {
+    int vocab_size = 512;  // includes specials and the 256 byte tokens
+  };
+
+  /// Fixed special-token ids.
+  static constexpr int kPad = 0;
+  static constexpr int kBos = 1;
+  static constexpr int kEos = 2;
+  static constexpr int kFrag = 3;
+  static constexpr int kIgnore = 4;  // label-masking id ([IGNORE] in the paper)
+  static constexpr int kNumSpecials = 5;
+
+  /// Trains BPE merges on `corpus` until `config.vocab_size` is reached
+  /// (or no pair occurs at least twice).
+  static Tokenizer train(const std::vector<std::string>& corpus, Config config);
+
+  /// Byte-only tokenizer (no merges); useful for tests.
+  static Tokenizer byte_fallback();
+
+  std::vector<int> encode(std::string_view text, bool add_bos = false,
+                          bool add_eos = false) const;
+
+  /// Inverse of encode.  Special tokens are dropped unless `keep_special`;
+  /// [FRAG] decodes to its literal text when kept.
+  std::string decode(std::span<const int> ids, bool keep_special = false) const;
+
+  int vocab_size() const { return static_cast<int>(vocab_.size()); }
+
+  /// The byte string this id expands to ("" for [PAD]/[BOS]/[EOS]/[IGNORE],
+  /// "[FRAG]" for kFrag).
+  const std::string& token_text(int id) const;
+
+  bool is_special(int id) const { return id < kNumSpecials; }
+
+  /// Serialisation for checkpointing.
+  std::string serialize() const;
+  static Tokenizer deserialize(std::string_view data);
+
+ private:
+  Tokenizer() = default;
+
+  std::vector<int> encode_bytes(std::string_view piece) const;
+
+  // vocab_[id] = byte expansion.  ids: specials, then 256 bytes, then merges.
+  std::vector<std::string> vocab_;
+  // merge ranks: (left id, right id) -> merged id, applied lowest-id first.
+  std::unordered_map<std::uint64_t, int> merges_;
+};
+
+}  // namespace vsd::text

@@ -1,0 +1,431 @@
+// Abstract syntax tree for the Verilog-2001 subset.
+//
+// Nodes are owned through std::unique_ptr; the tree is strictly
+// hierarchical.  Dispatch is by NodeKind + static_cast (the tree is closed,
+// no user extension point is needed).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vsd::vlog {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind : std::uint8_t {
+  Number, String, Ident, Select, Unary, Binary, Ternary, Concat, Repl, Call,
+};
+
+enum class UnaryOp : std::uint8_t {
+  Plus, Minus, LogicNot, BitNot,
+  ReduceAnd, ReduceNand, ReduceOr, ReduceNor, ReduceXor, ReduceXnor,
+};
+
+enum class BinaryOp : std::uint8_t {
+  Add, Sub, Mul, Div, Mod, Pow,
+  Eq, Neq, CaseEq, CaseNeq,
+  Lt, Le, Gt, Ge,
+  LogicAnd, LogicOr,
+  BitAnd, BitOr, BitXor, BitXnor,
+  Shl, Shr, AShl, AShr,
+};
+
+struct Expr {
+  explicit Expr(ExprKind k) : kind(k) {}
+  virtual ~Expr() = default;
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  ExprKind kind;
+  int line = 0;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Integer or real literal.  Based literals are decoded into an msb-first
+/// 4-state digit string over {0,1,x,z}.
+struct NumberExpr final : Expr {
+  NumberExpr() : Expr(ExprKind::Number) {}
+  std::string text;        // exact source spelling, e.g. "4'b10x0"
+  bool is_real = false;
+  double real_value = 0.0;
+  int width = -1;          // -1 when unsized
+  bool is_signed = false;  // 's' flag or plain decimal
+  std::string bits;        // msb-first, chars in {0,1,x,z}; empty for reals
+};
+
+struct StringExpr final : Expr {
+  StringExpr() : Expr(ExprKind::String) {}
+  std::string value;
+};
+
+/// Possibly hierarchical name: "a", "u_dut.q".
+struct IdentExpr final : Expr {
+  IdentExpr() : Expr(ExprKind::Ident) {}
+  std::vector<std::string> path;  // non-empty; >1 element means hierarchical
+
+  std::string full_name() const {
+    std::string s = path.front();
+    for (std::size_t i = 1; i < path.size(); ++i) s += "." + path[i];
+    return s;
+  }
+};
+
+enum class SelectKind : std::uint8_t { Bit, Part, IndexedUp, IndexedDown };
+
+/// base[index], base[msb:lsb], base[idx+:w], base[idx-:w]
+struct SelectExpr final : Expr {
+  SelectExpr() : Expr(ExprKind::Select) {}
+  ExprPtr base;
+  SelectKind select = SelectKind::Bit;
+  ExprPtr index;  // bit index / msb / base index
+  ExprPtr width;  // lsb for Part; width for Indexed*; null for Bit
+};
+
+struct UnaryExpr final : Expr {
+  UnaryExpr() : Expr(ExprKind::Unary) {}
+  UnaryOp op = UnaryOp::Plus;
+  ExprPtr operand;
+};
+
+struct BinaryExpr final : Expr {
+  BinaryExpr() : Expr(ExprKind::Binary) {}
+  BinaryOp op = BinaryOp::Add;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+struct TernaryExpr final : Expr {
+  TernaryExpr() : Expr(ExprKind::Ternary) {}
+  ExprPtr cond;
+  ExprPtr then_expr;
+  ExprPtr else_expr;
+};
+
+struct ConcatExpr final : Expr {
+  ConcatExpr() : Expr(ExprKind::Concat) {}
+  std::vector<ExprPtr> parts;
+};
+
+struct ReplExpr final : Expr {
+  ReplExpr() : Expr(ExprKind::Repl) {}
+  ExprPtr count;
+  ExprPtr body;  // a ConcatExpr
+};
+
+/// Function or system-function call: f(a,b) or $signed(x).
+struct CallExpr final : Expr {
+  CallExpr() : Expr(ExprKind::Call) {}
+  std::string callee;      // includes '$' for system functions
+  bool is_system = false;
+  std::vector<ExprPtr> args;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind : std::uint8_t {
+  Block, Assign, If, Case, For, While, Repeat, Forever, Delay, EventControl,
+  Wait, SysTask, TaskCall, Disable, Trigger, Null,
+};
+
+struct Stmt {
+  explicit Stmt(StmtKind k) : kind(k) {}
+  virtual ~Stmt() = default;
+  Stmt(const Stmt&) = delete;
+  Stmt& operator=(const Stmt&) = delete;
+
+  StmtKind kind;
+  int line = 0;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct BlockStmt final : Stmt {
+  BlockStmt() : Stmt(StmtKind::Block) {}
+  std::string label;  // optional "begin : name"
+  std::vector<StmtPtr> body;
+};
+
+/// Blocking (=) or non-blocking (<=) procedural assignment, with an
+/// optional intra-assignment delay:  q <= #1 d;
+struct AssignStmt final : Stmt {
+  AssignStmt() : Stmt(StmtKind::Assign) {}
+  bool non_blocking = false;
+  ExprPtr lhs;  // IdentExpr, SelectExpr, or ConcatExpr of those
+  ExprPtr rhs;
+  ExprPtr delay;  // nullable
+};
+
+struct IfStmt final : Stmt {
+  IfStmt() : Stmt(StmtKind::If) {}
+  ExprPtr cond;
+  StmtPtr then_stmt;
+  StmtPtr else_stmt;  // nullable
+};
+
+enum class CaseKind : std::uint8_t { Case, Casez, Casex };
+
+struct CaseItem {
+  std::vector<ExprPtr> labels;  // empty => default
+  StmtPtr body;
+};
+
+struct CaseStmt final : Stmt {
+  CaseStmt() : Stmt(StmtKind::Case) {}
+  CaseKind case_kind = CaseKind::Case;
+  ExprPtr subject;
+  std::vector<CaseItem> items;
+};
+
+struct ForStmt final : Stmt {
+  ForStmt() : Stmt(StmtKind::For) {}
+  StmtPtr init;  // AssignStmt
+  ExprPtr cond;
+  StmtPtr step;  // AssignStmt
+  StmtPtr body;
+};
+
+struct WhileStmt final : Stmt {
+  WhileStmt() : Stmt(StmtKind::While) {}
+  ExprPtr cond;
+  StmtPtr body;
+};
+
+struct RepeatStmt final : Stmt {
+  RepeatStmt() : Stmt(StmtKind::Repeat) {}
+  ExprPtr count;
+  StmtPtr body;
+};
+
+struct ForeverStmt final : Stmt {
+  ForeverStmt() : Stmt(StmtKind::Forever) {}
+  StmtPtr body;
+};
+
+/// "#10 stmt" — also used for a bare "#10;" (body is a NullStmt).
+struct DelayStmt final : Stmt {
+  DelayStmt() : Stmt(StmtKind::Delay) {}
+  ExprPtr delay;
+  StmtPtr body;
+};
+
+enum class EdgeKind : std::uint8_t { Any, Posedge, Negedge };
+
+struct EventExpr {
+  EdgeKind edge = EdgeKind::Any;
+  ExprPtr signal;  // null for @(*)
+};
+
+/// "@(posedge clk or negedge rst) stmt" or "@(*) stmt" or "@*"
+struct EventControlStmt final : Stmt {
+  EventControlStmt() : Stmt(StmtKind::EventControl) {}
+  bool star = false;
+  std::vector<EventExpr> events;
+  StmtPtr body;
+};
+
+struct WaitStmt final : Stmt {
+  WaitStmt() : Stmt(StmtKind::Wait) {}
+  ExprPtr cond;
+  StmtPtr body;
+};
+
+/// $display(...), $finish, $stop, $monitor(...), ...
+struct SysTaskStmt final : Stmt {
+  SysTaskStmt() : Stmt(StmtKind::SysTask) {}
+  std::string name;  // includes '$'
+  std::vector<ExprPtr> args;
+};
+
+struct TaskCallStmt final : Stmt {
+  TaskCallStmt() : Stmt(StmtKind::TaskCall) {}
+  std::string name;
+  std::vector<ExprPtr> args;
+};
+
+struct DisableStmt final : Stmt {
+  DisableStmt() : Stmt(StmtKind::Disable) {}
+  std::string target;
+};
+
+struct TriggerStmt final : Stmt {
+  TriggerStmt() : Stmt(StmtKind::Trigger) {}
+  std::string target;
+};
+
+struct NullStmt final : Stmt {
+  NullStmt() : Stmt(StmtKind::Null) {}
+};
+
+// ---------------------------------------------------------------------------
+// Module items
+// ---------------------------------------------------------------------------
+
+enum class ItemKind : std::uint8_t {
+  PortDecl, NetDecl, ParamDecl, ContAssign, Always, Initial, Instance,
+  Function, Task, Genvar, GenerateFor,
+};
+
+struct ModuleItem {
+  explicit ModuleItem(ItemKind k) : kind(k) {}
+  virtual ~ModuleItem() = default;
+  ModuleItem(const ModuleItem&) = delete;
+  ModuleItem& operator=(const ModuleItem&) = delete;
+
+  ItemKind kind;
+  int line = 0;
+};
+
+using ItemPtr = std::unique_ptr<ModuleItem>;
+
+/// "[msb:lsb]" — both bounds are constant expressions.
+struct Range {
+  ExprPtr msb;
+  ExprPtr lsb;
+};
+
+enum class PortDir : std::uint8_t { Input, Output, Inout };
+enum class NetType : std::uint8_t { Wire, Reg, Integer, Genvar, Real, Time, Supply0, Supply1, Tri };
+
+struct PortDeclItem final : ModuleItem {
+  PortDeclItem() : ModuleItem(ItemKind::PortDecl) {}
+  PortDir dir = PortDir::Input;
+  bool is_reg = false;
+  bool is_signed = false;
+  std::optional<Range> range;
+  std::vector<std::string> names;
+};
+
+struct DeclaredNet {
+  std::string name;
+  std::optional<Range> unpacked;  // memory: reg [7:0] m [0:15]
+  ExprPtr init;                   // nullable (wire w = expr)
+};
+
+struct NetDeclItem final : ModuleItem {
+  NetDeclItem() : ModuleItem(ItemKind::NetDecl) {}
+  NetType net = NetType::Wire;
+  bool is_signed = false;
+  std::optional<Range> range;
+  std::vector<DeclaredNet> nets;
+};
+
+struct ParamAssign {
+  std::string name;
+  ExprPtr value;
+};
+
+struct ParamDeclItem final : ModuleItem {
+  ParamDeclItem() : ModuleItem(ItemKind::ParamDecl) {}
+  bool local = false;  // localparam vs parameter
+  bool is_signed = false;
+  std::optional<Range> range;
+  std::vector<ParamAssign> params;
+};
+
+struct ContAssignItem final : ModuleItem {
+  ContAssignItem() : ModuleItem(ItemKind::ContAssign) {}
+  ExprPtr delay;  // nullable
+  std::vector<std::pair<ExprPtr, ExprPtr>> assigns;  // (lhs, rhs)
+};
+
+struct AlwaysItem final : ModuleItem {
+  AlwaysItem() : ModuleItem(ItemKind::Always) {}
+  StmtPtr body;  // usually an EventControlStmt
+};
+
+struct InitialItem final : ModuleItem {
+  InitialItem() : ModuleItem(ItemKind::Initial) {}
+  StmtPtr body;
+};
+
+struct PortConnection {
+  std::string formal;  // empty for ordered connections
+  ExprPtr actual;      // may be null for .name()
+};
+
+struct InstanceItem final : ModuleItem {
+  InstanceItem() : ModuleItem(ItemKind::Instance) {}
+  std::string module_name;
+  std::string instance_name;
+  std::vector<PortConnection> param_overrides;  // #(...) — named or ordered
+  std::vector<PortConnection> connections;
+};
+
+struct FunctionArg {
+  PortDir dir = PortDir::Input;
+  bool is_signed = false;
+  std::optional<Range> range;
+  std::string name;
+  NetType net = NetType::Wire;  // Integer for "input integer i"
+};
+
+struct FunctionItem final : ModuleItem {
+  FunctionItem() : ModuleItem(ItemKind::Function) {}
+  std::string name;
+  bool is_signed = false;
+  std::optional<Range> return_range;
+  std::vector<FunctionArg> args;
+  std::vector<ItemPtr> locals;  // NetDecl / ParamDecl items
+  StmtPtr body;
+};
+
+struct TaskItem final : ModuleItem {
+  TaskItem() : ModuleItem(ItemKind::Task) {}
+  std::string name;
+  std::vector<FunctionArg> args;
+  std::vector<ItemPtr> locals;
+  StmtPtr body;
+};
+
+struct GenvarItem final : ModuleItem {
+  GenvarItem() : ModuleItem(ItemKind::Genvar) {}
+  std::vector<std::string> names;
+};
+
+/// generate for (i = 0; i < N; i = i + 1) begin : label ... end endgenerate
+struct GenerateForItem final : ModuleItem {
+  GenerateForItem() : ModuleItem(ItemKind::GenerateFor) {}
+  std::string genvar;
+  ExprPtr init;
+  ExprPtr cond;
+  ExprPtr step;  // full step expression, e.g. i + 1
+  std::string label;
+  std::vector<ItemPtr> body;
+};
+
+// ---------------------------------------------------------------------------
+// Module / source unit
+// ---------------------------------------------------------------------------
+
+/// An ANSI-style port in the module header, or a plain name for
+/// non-ANSI headers.
+struct ModulePort {
+  std::string name;
+  bool ansi = false;  // true when the header itself declares direction
+  PortDir dir = PortDir::Input;
+  bool is_reg = false;
+  bool is_signed = false;
+  std::optional<Range> range;
+};
+
+struct Module {
+  std::string name;
+  std::vector<ParamAssign> header_params;  // #(parameter W = 8, ...)
+  std::vector<ModulePort> ports;
+  std::vector<ItemPtr> items;
+  int line = 0;
+};
+
+struct SourceUnit {
+  std::vector<std::unique_ptr<Module>> modules;
+};
+
+}  // namespace vsd::vlog

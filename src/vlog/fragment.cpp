@@ -1,0 +1,72 @@
+#include "vlog/fragment.hpp"
+
+#include "vlog/lexer.hpp"
+#include "vlog/parser.hpp"
+#include "vlog/significant.hpp"
+
+namespace vsd::vlog {
+
+std::string insert_frag_markers(std::string_view code,
+                                const std::set<std::string>& significant,
+                                std::string_view marker) {
+  const LexResult lexed = lex(code);
+  if (!lexed.ok) return std::string(code);
+
+  std::string out;
+  out.reserve(code.size() + lexed.tokens.size() * marker.size());
+  std::size_t cursor = 0;
+  for (const Token& tok : lexed.tokens) {
+    if (tok.kind == TokenKind::Eof) break;
+    const bool is_significant = significant.count(tok.text) > 0;
+    if (!is_significant) continue;
+    // Copy the gap, then marker + token text + marker.
+    out.append(code.substr(cursor, tok.begin - cursor));
+    out.append(marker);
+    out.append(code.substr(tok.begin, tok.end - tok.begin));
+    out.append(marker);
+    cursor = tok.end;
+  }
+  out.append(code.substr(cursor));
+  return out;
+}
+
+std::string mark_fragments(std::string_view code, std::string_view marker) {
+  std::set<std::string> sig = significant_tokens(code);
+  if (sig.empty()) {
+    for (const auto& kw : extra_keywords()) sig.insert(kw);
+    for (const auto& op : significant_operators()) sig.insert(op);
+  }
+  return insert_frag_markers(code, sig, marker);
+}
+
+std::string strip_frag_markers(std::string_view text, std::string_view marker) {
+  std::string out;
+  out.reserve(text.size());
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t hit = text.find(marker, pos);
+    if (hit == std::string_view::npos) {
+      out.append(text.substr(pos));
+      break;
+    }
+    out.append(text.substr(pos, hit - pos));
+    pos = hit + marker.size();
+  }
+  return out;
+}
+
+std::vector<std::string> split_fragments(std::string_view marked,
+                                         std::string_view marker) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= marked.size()) {
+    const std::size_t hit = marked.find(marker, pos);
+    const std::size_t end = hit == std::string_view::npos ? marked.size() : hit;
+    if (end > pos) out.emplace_back(marked.substr(pos, end - pos));
+    if (hit == std::string_view::npos) break;
+    pos = hit + marker.size();
+  }
+  return out;
+}
+
+}  // namespace vsd::vlog

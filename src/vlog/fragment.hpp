@@ -1,0 +1,45 @@
+// Fragment segmentation: inserting [FRAG] markers around syntactically
+// significant tokens (paper Fig. 3, "Code with [FRAG]").
+//
+// The marked text is what the tokenizer sees during training; the marker
+// becomes a single vocabulary token and the syntax-enriched labels of
+// vsd::spec are built from its positions.
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vsd::vlog {
+
+/// Default textual marker.  It deliberately contains characters that never
+/// occur in Verilog identifiers so the tokenizer can treat it atomically.
+inline constexpr std::string_view kFragMarker = "[FRAG]";
+
+/// Inserts `marker` immediately before and after every occurrence of a
+/// significant token in `code`.  Markers are not merged: adjacent
+/// significant tokens produce back-to-back markers exactly as in Fig. 3.
+/// Tokens inside comments/strings are untouched (the lexer skips trivia).
+/// If `code` fails to lex, it is returned unchanged.
+std::string insert_frag_markers(std::string_view code,
+                                const std::set<std::string>& significant,
+                                std::string_view marker = kFragMarker);
+
+/// Convenience: parses `code`, derives its significant-token set, and
+/// marks it.  Falls back to extra keywords + operators when the code does
+/// not parse (so the pipeline can still process near-miss samples).
+std::string mark_fragments(std::string_view code,
+                           std::string_view marker = kFragMarker);
+
+/// Removes every occurrence of `marker` from `text` (used on decoded model
+/// output before syntax/function evaluation).
+std::string strip_frag_markers(std::string_view text,
+                               std::string_view marker = kFragMarker);
+
+/// Splits marked text on `marker`, dropping empty pieces; used by tests to
+/// reason about fragment structure.
+std::vector<std::string> split_fragments(std::string_view marked,
+                                         std::string_view marker = kFragMarker);
+
+}  // namespace vsd::vlog

@@ -1,0 +1,552 @@
+#include "vlog/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace vsd::vlog {
+
+namespace {
+
+const std::unordered_map<std::string_view, Keyword>& keyword_table() {
+  static const std::unordered_map<std::string_view, Keyword> table = {
+      {"module", Keyword::Module},
+      {"endmodule", Keyword::Endmodule},
+      {"macromodule", Keyword::Macromodule},
+      {"input", Keyword::Input},
+      {"output", Keyword::Output},
+      {"inout", Keyword::Inout},
+      {"wire", Keyword::Wire},
+      {"reg", Keyword::Reg},
+      {"integer", Keyword::Integer},
+      {"real", Keyword::Real},
+      {"time", Keyword::Time},
+      {"genvar", Keyword::Genvar},
+      {"event", Keyword::Event},
+      {"supply0", Keyword::Supply0},
+      {"supply1", Keyword::Supply1},
+      {"tri", Keyword::Tri},
+      {"tri0", Keyword::Tri0},
+      {"tri1", Keyword::Tri1},
+      {"triand", Keyword::Triand},
+      {"trior", Keyword::Trior},
+      {"trireg", Keyword::Trireg},
+      {"wand", Keyword::Wand},
+      {"wor", Keyword::Wor},
+      {"parameter", Keyword::Parameter},
+      {"localparam", Keyword::Localparam},
+      {"defparam", Keyword::Defparam},
+      {"signed", Keyword::Signed},
+      {"assign", Keyword::Assign},
+      {"deassign", Keyword::Deassign},
+      {"force", Keyword::Force},
+      {"release", Keyword::Release},
+      {"always", Keyword::Always},
+      {"initial", Keyword::Initial},
+      {"begin", Keyword::Begin},
+      {"end", Keyword::End},
+      {"if", Keyword::If},
+      {"else", Keyword::Else},
+      {"case", Keyword::Case},
+      {"casez", Keyword::Casez},
+      {"casex", Keyword::Casex},
+      {"endcase", Keyword::Endcase},
+      {"default", Keyword::Default},
+      {"for", Keyword::For},
+      {"while", Keyword::While},
+      {"repeat", Keyword::Repeat},
+      {"forever", Keyword::Forever},
+      {"wait", Keyword::Wait},
+      {"disable", Keyword::Disable},
+      {"posedge", Keyword::Posedge},
+      {"negedge", Keyword::Negedge},
+      {"edge", Keyword::Edge},
+      {"or", Keyword::Or},
+      {"and", Keyword::And},
+      {"nand", Keyword::Nand},
+      {"nor", Keyword::Nor},
+      {"xor", Keyword::Xor},
+      {"xnor", Keyword::Xnor},
+      {"not", Keyword::Not},
+      {"buf", Keyword::Buf},
+      {"bufif0", Keyword::Bufif0},
+      {"bufif1", Keyword::Bufif1},
+      {"notif0", Keyword::Notif0},
+      {"notif1", Keyword::Notif1},
+      {"function", Keyword::Function},
+      {"endfunction", Keyword::Endfunction},
+      {"task", Keyword::Task},
+      {"endtask", Keyword::Endtask},
+      {"generate", Keyword::Generate},
+      {"endgenerate", Keyword::Endgenerate},
+      {"fork", Keyword::Fork},
+      {"join", Keyword::Join},
+      {"specify", Keyword::Specify},
+      {"endspecify", Keyword::Endspecify},
+      {"primitive", Keyword::Primitive},
+      {"endprimitive", Keyword::Endprimitive},
+      {"table", Keyword::Table},
+      {"endtable", Keyword::Endtable},
+      {"scalared", Keyword::Scalared},
+      {"vectored", Keyword::Vectored},
+      {"small", Keyword::Small},
+      {"medium", Keyword::Medium},
+      {"large", Keyword::Large},
+      {"pulldown", Keyword::Pulldown},
+      {"pullup", Keyword::Pullup},
+  };
+  return table;
+}
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+bool is_base_digit(char c, char base) {
+  switch (base) {
+    case 'b': return c == '0' || c == '1' || c == 'x' || c == 'X' ||
+                     c == 'z' || c == 'Z' || c == '?' || c == '_';
+    case 'o': return (c >= '0' && c <= '7') || c == 'x' || c == 'X' ||
+                     c == 'z' || c == 'Z' || c == '?' || c == '_';
+    case 'd': return std::isdigit(static_cast<unsigned char>(c)) || c == '_' ||
+                     c == 'x' || c == 'X' || c == 'z' || c == 'Z';
+    case 'h': return std::isxdigit(static_cast<unsigned char>(c)) ||
+                     c == 'x' || c == 'X' || c == 'z' || c == 'Z' ||
+                     c == '?' || c == '_';
+    default:  return false;
+  }
+}
+
+class LexerImpl {
+ public:
+  explicit LexerImpl(std::string_view src) : src_(src) {}
+
+  LexResult run() {
+    LexResult out;
+    while (true) {
+      skip_trivia();
+      if (!ok_) {
+        out.ok = false;
+        out.error = error_;
+        out.error_line = error_line_;
+        return out;
+      }
+      if (at_end()) break;
+      const std::size_t begin = pos_;
+      Token tok = next_token();
+      if (!ok_) {
+        out.tokens = std::move(tokens_);
+        out.ok = false;
+        out.error = error_;
+        out.error_line = error_line_;
+        return out;
+      }
+      tok.begin = begin;
+      tok.end = pos_;
+      tokens_.push_back(std::move(tok));
+    }
+    Token eof;
+    eof.kind = TokenKind::Eof;
+    eof.line = line_;
+    eof.col = col_;
+    eof.begin = pos_;
+    eof.end = pos_;
+    tokens_.push_back(std::move(eof));
+    out.tokens = std::move(tokens_);
+    return out;
+  }
+
+ private:
+  bool at_end() const { return pos_ >= src_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  void fail(std::string msg) {
+    if (ok_) {
+      ok_ = false;
+      error_ = std::move(msg);
+      error_line_ = line_;
+    }
+  }
+
+  void skip_trivia() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        advance();
+      } else if (c == '/' && peek(1) == '/') {
+        while (!at_end() && peek() != '\n') advance();
+      } else if (c == '/' && peek(1) == '*') {
+        advance();
+        advance();
+        bool closed = false;
+        while (!at_end()) {
+          if (peek() == '*' && peek(1) == '/') {
+            advance();
+            advance();
+            closed = true;
+            break;
+          }
+          advance();
+        }
+        if (!closed) fail("unterminated block comment");
+        if (!ok_) return;
+      } else if (c == '`') {
+        // Compiler directive: skip to end of line (handles `timescale,
+        // `define, `include, `default_nettype, ...).  Line continuations
+        // in `define bodies are honoured.
+        while (!at_end() && peek() != '\n') {
+          if (peek() == '\\' && peek(1) == '\n') advance();
+          advance();
+        }
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token make(TokenKind kind, std::string text, int line, int col) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    t.col = col;
+    return t;
+  }
+
+  Token next_token() {
+    const int line = line_;
+    const int col = col_;
+    const char c = peek();
+
+    if (is_ident_start(c)) return lex_identifier(line, col);
+    if (std::isdigit(static_cast<unsigned char>(c))) return lex_number(line, col);
+    if (c == '\'') return lex_based_number(line, col, /*prefix=*/"");
+    if (c == '$') return lex_system_identifier(line, col);
+    if (c == '\\') return lex_escaped_identifier(line, col);
+    if (c == '"') return lex_string(line, col);
+    return lex_punct(line, col);
+  }
+
+  Token lex_identifier(int line, int col) {
+    std::string text;
+    while (!at_end() && is_ident_char(peek())) text.push_back(advance());
+    Token t = make(TokenKind::Identifier, std::move(text), line, col);
+    const Keyword kw = lookup_keyword(t.text);
+    if (kw != Keyword::None) {
+      t.kind = TokenKind::Keyword;
+      t.keyword = kw;
+    }
+    return t;
+  }
+
+  Token lex_system_identifier(int line, int col) {
+    std::string text;
+    text.push_back(advance());  // '$'
+    while (!at_end() && is_ident_char(peek())) text.push_back(advance());
+    if (text.size() == 1) {
+      fail("stray '$'");
+      return {};
+    }
+    return make(TokenKind::SystemIdentifier, std::move(text), line, col);
+  }
+
+  Token lex_escaped_identifier(int line, int col) {
+    advance();  // '\\'
+    std::string text;
+    while (!at_end() && !std::isspace(static_cast<unsigned char>(peek()))) {
+      text.push_back(advance());
+    }
+    if (text.empty()) {
+      fail("empty escaped identifier");
+      return {};
+    }
+    return make(TokenKind::Identifier, std::move(text), line, col);
+  }
+
+  Token lex_string(int line, int col) {
+    advance();  // opening quote
+    std::string text;
+    while (!at_end() && peek() != '"') {
+      char c = advance();
+      if (c == '\\' && !at_end()) {
+        const char esc = advance();
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '\\': c = '\\'; break;
+          case '"': c = '"'; break;
+          default: c = esc; break;
+        }
+      }
+      text.push_back(c);
+    }
+    if (at_end()) {
+      fail("unterminated string literal");
+      return {};
+    }
+    advance();  // closing quote
+    return make(TokenKind::String, std::move(text), line, col);
+  }
+
+  // Lexes the optional size part then delegates to lex_based_number when a
+  // base follows; otherwise produces a plain decimal (or real) literal.
+  Token lex_number(int line, int col) {
+    std::string text;
+    while (!at_end() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                         peek() == '_')) {
+      text.push_back(advance());
+    }
+    // Real literal: 3.14, 1e6, 2.5e-3
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      text.push_back(advance());
+      while (!at_end() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                           peek() == '_')) {
+        text.push_back(advance());
+      }
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      const char sign = peek(1);
+      const char digit = (sign == '+' || sign == '-') ? peek(2) : sign;
+      if (std::isdigit(static_cast<unsigned char>(digit))) {
+        text.push_back(advance());
+        if (peek() == '+' || peek() == '-') text.push_back(advance());
+        while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+          text.push_back(advance());
+        }
+        return make(TokenKind::Number, std::move(text), line, col);
+      }
+    }
+    // Sized based literal: 4'b1010
+    skip_spaces_within_number();
+    if (peek() == '\'') return lex_based_number(line, col, text);
+    return make(TokenKind::Number, std::move(text), line, col);
+  }
+
+  void skip_spaces_within_number() {
+    // Verilog allows whitespace between size and base: "4 'b0".
+    std::size_t p = pos_;
+    while (p < src_.size() && (src_[p] == ' ' || src_[p] == '\t')) ++p;
+    if (p < src_.size() && src_[p] == '\'') {
+      while (pos_ < p) advance();
+    }
+  }
+
+  Token lex_based_number(int line, int col, const std::string& prefix) {
+    std::string text = prefix;
+    text.push_back(advance());  // '\''
+    if (peek() == 's' || peek() == 'S') text.push_back(advance());
+    char base = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(peek())));
+    if (base != 'b' && base != 'o' && base != 'd' && base != 'h') {
+      fail("invalid number base");
+      return {};
+    }
+    text.push_back(advance());
+    std::size_t digits = 0;
+    // Whitespace allowed between base and value.
+    while (peek() == ' ' || peek() == '\t') advance();
+    while (!at_end() && is_base_digit(peek(), base)) {
+      text.push_back(advance());
+      ++digits;
+    }
+    if (digits == 0) {
+      fail("based literal has no digits");
+      return {};
+    }
+    return make(TokenKind::Number, std::move(text), line, col);
+  }
+
+  Token lex_punct(int line, int col) {
+    const char c = advance();
+    Punct p = Punct::None;
+    std::string text(1, c);
+    switch (c) {
+      case '(': p = Punct::LParen; break;
+      case ')': p = Punct::RParen; break;
+      case '[': p = Punct::LBracket; break;
+      case ']': p = Punct::RBracket; break;
+      case '{': p = Punct::LBrace; break;
+      case '}': p = Punct::RBrace; break;
+      case ';': p = Punct::Semi; break;
+      case ',': p = Punct::Comma; break;
+      case '.': p = Punct::Dot; break;
+      case '?': p = Punct::Question; break;
+      case '@': p = Punct::At; break;
+      case '#': p = Punct::Hash; break;
+      case ':': p = Punct::Colon; break;
+      case '+':
+        if (peek() == ':') { advance(); text = "+:"; p = Punct::PlusColon; }
+        else p = Punct::Plus;
+        break;
+      case '-':
+        if (peek() == '>') { advance(); text = "->"; p = Punct::Arrow; }
+        else if (peek() == ':') { advance(); text = "-:"; p = Punct::MinusColon; }
+        else p = Punct::Minus;
+        break;
+      case '*':
+        if (peek() == '*') { advance(); text = "**"; p = Punct::StarStar; }
+        else p = Punct::Star;
+        break;
+      case '/': p = Punct::Slash; break;
+      case '%': p = Punct::Percent; break;
+      case '=':
+        if (peek() == '=' && peek(1) == '=') {
+          advance(); advance(); text = "==="; p = Punct::CaseEq;
+        } else if (peek() == '=') {
+          advance(); text = "=="; p = Punct::EqEq;
+        } else {
+          p = Punct::Assign;
+        }
+        break;
+      case '!':
+        if (peek() == '=' && peek(1) == '=') {
+          advance(); advance(); text = "!=="; p = Punct::CaseNeq;
+        } else if (peek() == '=') {
+          advance(); text = "!="; p = Punct::NotEq;
+        } else {
+          p = Punct::Bang;
+        }
+        break;
+      case '<':
+        if (peek() == '<' && peek(1) == '<') {
+          advance(); advance(); text = "<<<"; p = Punct::AShl;
+        } else if (peek() == '<') {
+          advance(); text = "<<"; p = Punct::Shl;
+        } else if (peek() == '=') {
+          advance(); text = "<="; p = Punct::LtEq;
+        } else {
+          p = Punct::Lt;
+        }
+        break;
+      case '>':
+        if (peek() == '>' && peek(1) == '>') {
+          advance(); advance(); text = ">>>"; p = Punct::AShr;
+        } else if (peek() == '>') {
+          advance(); text = ">>"; p = Punct::Shr;
+        } else if (peek() == '=') {
+          advance(); text = ">="; p = Punct::GtEq;
+        } else {
+          p = Punct::Gt;
+        }
+        break;
+      case '&':
+        if (peek() == '&') { advance(); text = "&&"; p = Punct::AndAnd; }
+        else p = Punct::Amp;
+        break;
+      case '|':
+        if (peek() == '|') { advance(); text = "||"; p = Punct::OrOr; }
+        else p = Punct::Pipe;
+        break;
+      case '^':
+        if (peek() == '~') { advance(); text = "^~"; p = Punct::TildeCaret; }
+        else p = Punct::Caret;
+        break;
+      case '~':
+        if (peek() == '&') { advance(); text = "~&"; p = Punct::TildeAmp; }
+        else if (peek() == '|') { advance(); text = "~|"; p = Punct::TildePipe; }
+        else if (peek() == '^') { advance(); text = "~^"; p = Punct::TildeCaret; }
+        else p = Punct::Tilde;
+        break;
+      default:
+        fail(std::string("unexpected character '") + c + "'");
+        return {};
+    }
+    Token t = make(TokenKind::Punct, std::move(text), line, col);
+    t.punct = p;
+    return t;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  std::vector<Token> tokens_;
+  bool ok_ = true;
+  std::string error_;
+  int error_line_ = 0;
+};
+
+}  // namespace
+
+LexResult lex(std::string_view source) { return LexerImpl(source).run(); }
+
+Keyword lookup_keyword(std::string_view text) {
+  const auto& table = keyword_table();
+  const auto it = table.find(text);
+  return it == table.end() ? Keyword::None : it->second;
+}
+
+std::string_view keyword_spelling(Keyword k) {
+  for (const auto& [name, kw] : keyword_table()) {
+    if (kw == k) return name;
+  }
+  return "";
+}
+
+std::string_view punct_spelling(Punct p) {
+  switch (p) {
+    case Punct::None: return "";
+    case Punct::LParen: return "(";
+    case Punct::RParen: return ")";
+    case Punct::LBracket: return "[";
+    case Punct::RBracket: return "]";
+    case Punct::LBrace: return "{";
+    case Punct::RBrace: return "}";
+    case Punct::Semi: return ";";
+    case Punct::Comma: return ",";
+    case Punct::Dot: return ".";
+    case Punct::Colon: return ":";
+    case Punct::Question: return "?";
+    case Punct::At: return "@";
+    case Punct::Hash: return "#";
+    case Punct::Assign: return "=";
+    case Punct::Plus: return "+";
+    case Punct::Minus: return "-";
+    case Punct::Star: return "*";
+    case Punct::Slash: return "/";
+    case Punct::Percent: return "%";
+    case Punct::StarStar: return "**";
+    case Punct::EqEq: return "==";
+    case Punct::NotEq: return "!=";
+    case Punct::CaseEq: return "===";
+    case Punct::CaseNeq: return "!==";
+    case Punct::Lt: return "<";
+    case Punct::LtEq: return "<=";
+    case Punct::Gt: return ">";
+    case Punct::GtEq: return ">=";
+    case Punct::AndAnd: return "&&";
+    case Punct::OrOr: return "||";
+    case Punct::Bang: return "!";
+    case Punct::Amp: return "&";
+    case Punct::Pipe: return "|";
+    case Punct::Caret: return "^";
+    case Punct::Tilde: return "~";
+    case Punct::TildeAmp: return "~&";
+    case Punct::TildePipe: return "~|";
+    case Punct::TildeCaret: return "~^";
+    case Punct::Shl: return "<<";
+    case Punct::Shr: return ">>";
+    case Punct::AShl: return "<<<";
+    case Punct::AShr: return ">>>";
+    case Punct::Arrow: return "->";
+    case Punct::PlusColon: return "+:";
+    case Punct::MinusColon: return "-:";
+  }
+  return "";
+}
+
+}  // namespace vsd::vlog

@@ -1,0 +1,30 @@
+// Lexer for the Verilog-2001 subset.
+//
+// Converts source text into a token stream.  Comments and compiler
+// directives (`timescale, `define, ...) are treated as trivia and skipped.
+// Lexical errors are reported via LexResult rather than exceptions so the
+// data-refinement pipeline can gate arbitrary (possibly malformed)
+// generated code without exception overhead.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "vlog/token.hpp"
+
+namespace vsd::vlog {
+
+/// Result of lexing a whole buffer.
+struct LexResult {
+  std::vector<Token> tokens;  // always terminated by an Eof token on success
+  bool ok = true;
+  std::string error;          // first lexical error, if any
+  int error_line = 0;
+};
+
+/// Lexes `source` completely.  On error, `tokens` holds everything lexed
+/// before the offending character.
+LexResult lex(std::string_view source);
+
+}  // namespace vsd::vlog

@@ -1,0 +1,212 @@
+#include "vlog/number.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+
+namespace vsd::vlog {
+
+namespace {
+
+// Multiplies a little-endian binary digit vector (values 0/1) by 10 and adds
+// `d`; used for arbitrary-precision decimal decoding.
+void mul10_add(std::string& lsb_first_bits, int d) {
+  int carry = d;
+  for (char& c : lsb_first_bits) {
+    const int v = (c - '0') * 10 + carry;
+    c = static_cast<char>('0' + (v & 1));
+    carry = v >> 1;
+  }
+  while (carry != 0) {
+    lsb_first_bits.push_back(static_cast<char>('0' + (carry & 1)));
+    carry >>= 1;
+  }
+}
+
+std::string decode_base_digits(std::string_view digits, int bits_per_digit,
+                               bool& ok) {
+  std::string out;  // msb-first
+  for (const char raw : digits) {
+    if (raw == '_') continue;
+    const char c = static_cast<char>(std::tolower(static_cast<unsigned char>(raw)));
+    if (c == 'x' || c == 'z') {
+      out.append(static_cast<std::size_t>(bits_per_digit), c);
+      continue;
+    }
+    if (c == '?') {
+      out.append(static_cast<std::size_t>(bits_per_digit), 'z');
+      continue;
+    }
+    int v = 0;
+    if (c >= '0' && c <= '9') {
+      v = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      v = c - 'a' + 10;
+    } else {
+      ok = false;
+      return out;
+    }
+    if (v >= (1 << bits_per_digit)) {
+      ok = false;
+      return out;
+    }
+    for (int b = bits_per_digit - 1; b >= 0; --b) {
+      out.push_back(static_cast<char>('0' + ((v >> b) & 1)));
+    }
+  }
+  return out;
+}
+
+std::string decode_decimal_digits(std::string_view digits, bool& ok) {
+  // A decimal based literal may be all-x or all-z ("'dx"); mixed digits are
+  // not legal.
+  bool has_xz = false;
+  bool has_num = false;
+  for (const char c : digits) {
+    if (c == '_') continue;
+    const char lc = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (lc == 'x' || lc == 'z') has_xz = true;
+    else has_num = true;
+  }
+  if (has_xz) {
+    if (has_num) {
+      ok = false;
+      return "";
+    }
+    const char lc = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(digits.front())));
+    return std::string(1, lc);
+  }
+  std::string lsb_first = "0";
+  for (const char c : digits) {
+    if (c == '_') continue;
+    mul10_add(lsb_first, c - '0');
+  }
+  // Strip leading zeros (but keep at least one bit).
+  while (lsb_first.size() > 1 && lsb_first.back() == '0') lsb_first.pop_back();
+  std::reverse(lsb_first.begin(), lsb_first.end());
+  return lsb_first;
+}
+
+/// Resizes an msb-first digit string to exactly `width` digits using
+/// Verilog extension rules (x/z extend with themselves, otherwise zero).
+std::string fit_width(std::string bits, int width) {
+  const auto w = static_cast<std::size_t>(width);
+  if (bits.size() > w) {
+    return bits.substr(bits.size() - w);
+  }
+  if (bits.size() < w) {
+    const char msb = bits.empty() ? '0' : bits.front();
+    const char ext = (msb == 'x' || msb == 'z') ? msb : '0';
+    bits.insert(bits.begin(), w - bits.size(), ext);
+  }
+  return bits;
+}
+
+}  // namespace
+
+DecodedNumber decode_number(std::string_view text) {
+  DecodedNumber out;
+  if (text.empty()) {
+    out.error = "empty literal";
+    return out;
+  }
+  // Real literal?
+  if (text.find('.') != std::string_view::npos ||
+      ((text.find('e') != std::string_view::npos ||
+        text.find('E') != std::string_view::npos) &&
+       text.find('\'') == std::string_view::npos)) {
+    out.ok = true;
+    out.is_real = true;
+    out.real_value = std::stod(std::string(text));
+    return out;
+  }
+
+  const std::size_t tick = text.find('\'');
+  if (tick == std::string_view::npos) {
+    // Plain decimal literal: signed, 32-bit self-determined minimum.
+    bool ok = true;
+    std::string bits = decode_decimal_digits(text, ok);
+    if (!ok) {
+      out.error = "bad decimal literal";
+      return out;
+    }
+    out.ok = true;
+    out.is_signed = true;
+    out.width = std::max<int>(32, static_cast<int>(bits.size()));
+    out.bits = fit_width(std::move(bits), out.width);
+    return out;
+  }
+
+  // Sized or unsized based literal.
+  int width = -1;
+  if (tick > 0) {
+    int w = 0;
+    for (const char c : text.substr(0, tick)) {
+      if (c == '_' || c == ' ' || c == '\t') continue;
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        out.error = "bad size prefix";
+        return out;
+      }
+      w = w * 10 + (c - '0');
+      if (w > 1 << 20) {
+        out.error = "size prefix too large";
+        return out;
+      }
+    }
+    if (w == 0) {
+      out.error = "zero-width literal";
+      return out;
+    }
+    width = w;
+  }
+  std::size_t p = tick + 1;
+  bool is_signed = false;
+  if (p < text.size() && (text[p] == 's' || text[p] == 'S')) {
+    is_signed = true;
+    ++p;
+  }
+  if (p >= text.size()) {
+    out.error = "missing base";
+    return out;
+  }
+  const char base = static_cast<char>(
+      std::tolower(static_cast<unsigned char>(text[p])));
+  ++p;
+  const std::string_view digits = text.substr(p);
+  if (digits.empty()) {
+    out.error = "missing digits";
+    return out;
+  }
+
+  bool ok = true;
+  std::string bits;
+  switch (base) {
+    case 'b': bits = decode_base_digits(digits, 1, ok); break;
+    case 'o': bits = decode_base_digits(digits, 3, ok); break;
+    case 'h': bits = decode_base_digits(digits, 4, ok); break;
+    case 'd': bits = decode_decimal_digits(digits, ok); break;
+    default:
+      out.error = "bad base";
+      return out;
+  }
+  if (!ok || bits.empty()) {
+    out.error = "bad digits for base";
+    return out;
+  }
+  // Unsized x/z decimal expands to full width later; give it one digit now.
+  if (width < 0) {
+    width = std::max<int>(32, static_cast<int>(bits.size()));
+    // A literal like 'bx extends to the full unsized width.
+    if (bits.size() == 1 && (bits[0] == 'x' || bits[0] == 'z')) {
+      bits.assign(static_cast<std::size_t>(width), bits[0]);
+    }
+  }
+  out.ok = true;
+  out.is_signed = is_signed;
+  out.width = width;
+  out.bits = fit_width(std::move(bits), width);
+  return out;
+}
+
+}  // namespace vsd::vlog

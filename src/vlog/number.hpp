@@ -1,0 +1,25 @@
+// Decoding of Verilog numeric literals into 4-state digit strings.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace vsd::vlog {
+
+/// Decoded numeric literal.
+struct DecodedNumber {
+  bool ok = false;
+  bool is_real = false;
+  double real_value = 0.0;
+  int width = -1;          // -1 when the literal is unsized
+  bool is_signed = false;  // 's' flag, or plain decimal literal
+  std::string bits;        // msb-first, chars in {0,1,x,z}
+  std::string error;
+};
+
+/// Decodes a literal as produced by the lexer ("42", "4'b10x0", "8'shFF",
+/// "'d15", "3.14", "1e6").  Unsized literals get their natural bit width
+/// (>= 1); callers apply the 32-bit self-determined width rule if desired.
+DecodedNumber decode_number(std::string_view text);
+
+}  // namespace vsd::vlog

@@ -1,0 +1,1101 @@
+#include "vlog/parser.hpp"
+
+#include <utility>
+
+#include "vlog/number.hpp"
+
+namespace vsd::vlog {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  ParseResult run() {
+    ParseResult out;
+    out.unit = std::make_unique<SourceUnit>();
+    while (ok_ && !at(TokenKind::Eof)) {
+      if (cur().is_kw(Keyword::Module) || cur().is_kw(Keyword::Macromodule)) {
+        auto m = parse_module();
+        if (ok_) out.unit->modules.push_back(std::move(m));
+      } else {
+        fail("expected 'module'");
+      }
+    }
+    out.ok = ok_;
+    out.error = error_;
+    out.error_line = error_line_;
+    return out;
+  }
+
+ private:
+  // --- token cursor -------------------------------------------------------
+  const Token& cur() const { return tokens_[pos_]; }
+  const Token& peek(std::size_t ahead = 1) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool at(TokenKind k) const { return cur().kind == k; }
+  bool at_kw(Keyword k) const { return cur().is_kw(k); }
+  bool at_punct(Punct p) const { return cur().is_punct(p); }
+
+  const Token& advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  bool accept_punct(Punct p) {
+    if (at_punct(p)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  bool accept_kw(Keyword k) {
+    if (at_kw(k)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  void expect_punct(Punct p, std::string_view what) {
+    if (!accept_punct(p)) fail(std::string("expected '") + std::string(punct_spelling(p)) + "' in " + std::string(what));
+  }
+  void expect_kw(Keyword k, std::string_view what) {
+    if (!accept_kw(k)) fail(std::string("expected '") + std::string(keyword_spelling(k)) + "' in " + std::string(what));
+  }
+  std::string expect_ident(std::string_view what) {
+    if (!at(TokenKind::Identifier)) {
+      fail(std::string("expected identifier in ") + std::string(what));
+      return {};
+    }
+    return advance().text;
+  }
+
+  void fail(std::string msg) {
+    if (ok_) {
+      ok_ = false;
+      error_ = std::move(msg);
+      error_line_ = cur().line;
+    }
+  }
+
+  // --- expressions --------------------------------------------------------
+
+  ExprPtr parse_expr() { return parse_ternary(); }
+
+  ExprPtr parse_ternary() {
+    ExprPtr cond = parse_binary(0);
+    if (!ok_) return nullptr;
+    if (accept_punct(Punct::Question)) {
+      auto t = std::make_unique<TernaryExpr>();
+      t->line = cond ? cond->line : cur().line;
+      t->cond = std::move(cond);
+      t->then_expr = parse_ternary();
+      expect_punct(Punct::Colon, "ternary expression");
+      t->else_expr = parse_ternary();
+      return t;
+    }
+    return cond;
+  }
+
+  // Binary operator precedence, lowest first.
+  static int binary_prec(Punct p) {
+    switch (p) {
+      case Punct::OrOr: return 1;
+      case Punct::AndAnd: return 2;
+      case Punct::Pipe: return 3;
+      case Punct::Caret:
+      case Punct::TildeCaret: return 4;
+      case Punct::Amp: return 5;
+      case Punct::EqEq:
+      case Punct::NotEq:
+      case Punct::CaseEq:
+      case Punct::CaseNeq: return 6;
+      case Punct::Lt:
+      case Punct::LtEq:
+      case Punct::Gt:
+      case Punct::GtEq: return 7;
+      case Punct::Shl:
+      case Punct::Shr:
+      case Punct::AShl:
+      case Punct::AShr: return 8;
+      case Punct::Plus:
+      case Punct::Minus: return 9;
+      case Punct::Star:
+      case Punct::Slash:
+      case Punct::Percent: return 10;
+      case Punct::StarStar: return 11;
+      default: return -1;
+    }
+  }
+
+  static BinaryOp binary_op(Punct p) {
+    switch (p) {
+      case Punct::OrOr: return BinaryOp::LogicOr;
+      case Punct::AndAnd: return BinaryOp::LogicAnd;
+      case Punct::Pipe: return BinaryOp::BitOr;
+      case Punct::Caret: return BinaryOp::BitXor;
+      case Punct::TildeCaret: return BinaryOp::BitXnor;
+      case Punct::Amp: return BinaryOp::BitAnd;
+      case Punct::EqEq: return BinaryOp::Eq;
+      case Punct::NotEq: return BinaryOp::Neq;
+      case Punct::CaseEq: return BinaryOp::CaseEq;
+      case Punct::CaseNeq: return BinaryOp::CaseNeq;
+      case Punct::Lt: return BinaryOp::Lt;
+      case Punct::LtEq: return BinaryOp::Le;
+      case Punct::Gt: return BinaryOp::Gt;
+      case Punct::GtEq: return BinaryOp::Ge;
+      case Punct::Shl: return BinaryOp::Shl;
+      case Punct::Shr: return BinaryOp::Shr;
+      case Punct::AShl: return BinaryOp::AShl;
+      case Punct::AShr: return BinaryOp::AShr;
+      case Punct::Plus: return BinaryOp::Add;
+      case Punct::Minus: return BinaryOp::Sub;
+      case Punct::Star: return BinaryOp::Mul;
+      case Punct::Slash: return BinaryOp::Div;
+      case Punct::Percent: return BinaryOp::Mod;
+      case Punct::StarStar: return BinaryOp::Pow;
+      default: return BinaryOp::Add;
+    }
+  }
+
+  ExprPtr parse_binary(int min_prec) {
+    ExprPtr lhs = parse_unary();
+    while (ok_ && at(TokenKind::Punct)) {
+      const int prec = binary_prec(cur().punct);
+      if (prec < 0 || prec < min_prec) break;
+      const Punct p = cur().punct;
+      advance();
+      ExprPtr rhs = parse_binary(prec + 1);
+      if (!ok_) return nullptr;
+      auto b = std::make_unique<BinaryExpr>();
+      b->line = lhs ? lhs->line : cur().line;
+      b->op = binary_op(p);
+      b->lhs = std::move(lhs);
+      b->rhs = std::move(rhs);
+      lhs = std::move(b);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_unary() {
+    if (at(TokenKind::Punct)) {
+      UnaryOp op;
+      bool matched = true;
+      switch (cur().punct) {
+        case Punct::Plus: op = UnaryOp::Plus; break;
+        case Punct::Minus: op = UnaryOp::Minus; break;
+        case Punct::Bang: op = UnaryOp::LogicNot; break;
+        case Punct::Tilde: op = UnaryOp::BitNot; break;
+        case Punct::Amp: op = UnaryOp::ReduceAnd; break;
+        case Punct::TildeAmp: op = UnaryOp::ReduceNand; break;
+        case Punct::Pipe: op = UnaryOp::ReduceOr; break;
+        case Punct::TildePipe: op = UnaryOp::ReduceNor; break;
+        case Punct::Caret: op = UnaryOp::ReduceXor; break;
+        case Punct::TildeCaret: op = UnaryOp::ReduceXnor; break;
+        default: matched = false; op = UnaryOp::Plus; break;
+      }
+      if (matched) {
+        const int line = cur().line;
+        advance();
+        auto u = std::make_unique<UnaryExpr>();
+        u->line = line;
+        u->op = op;
+        u->operand = parse_unary();
+        return u;
+      }
+    }
+    return parse_postfix(parse_primary());
+  }
+
+  ExprPtr parse_postfix(ExprPtr base) {
+    while (ok_ && at_punct(Punct::LBracket)) {
+      advance();
+      auto sel = std::make_unique<SelectExpr>();
+      sel->line = base ? base->line : cur().line;
+      sel->base = std::move(base);
+      sel->index = parse_expr();
+      if (accept_punct(Punct::Colon)) {
+        sel->select = SelectKind::Part;
+        sel->width = parse_expr();
+      } else if (accept_punct(Punct::PlusColon)) {
+        sel->select = SelectKind::IndexedUp;
+        sel->width = parse_expr();
+      } else if (accept_punct(Punct::MinusColon)) {
+        sel->select = SelectKind::IndexedDown;
+        sel->width = parse_expr();
+      } else {
+        sel->select = SelectKind::Bit;
+      }
+      expect_punct(Punct::RBracket, "select");
+      base = std::move(sel);
+    }
+    return base;
+  }
+
+  ExprPtr parse_primary() {
+    const int line = cur().line;
+    if (at(TokenKind::Number)) {
+      auto n = std::make_unique<NumberExpr>();
+      n->line = line;
+      n->text = advance().text;
+      const DecodedNumber d = decode_number(n->text);
+      if (!d.ok) {
+        fail("bad numeric literal: " + d.error);
+        return nullptr;
+      }
+      n->is_real = d.is_real;
+      n->real_value = d.real_value;
+      n->width = d.width;
+      n->is_signed = d.is_signed;
+      n->bits = d.bits;
+      return n;
+    }
+    if (at(TokenKind::String)) {
+      auto s = std::make_unique<StringExpr>();
+      s->line = line;
+      s->value = advance().text;
+      return s;
+    }
+    if (at(TokenKind::SystemIdentifier)) {
+      auto c = std::make_unique<CallExpr>();
+      c->line = line;
+      c->callee = advance().text;
+      c->is_system = true;
+      if (accept_punct(Punct::LParen)) {
+        if (!at_punct(Punct::RParen)) {
+          c->args.push_back(parse_expr());
+          while (ok_ && accept_punct(Punct::Comma)) c->args.push_back(parse_expr());
+        }
+        expect_punct(Punct::RParen, "system function call");
+      }
+      return c;
+    }
+    if (at(TokenKind::Identifier)) {
+      // Function call or (hierarchical) identifier.
+      if (peek().is_punct(Punct::LParen)) {
+        auto c = std::make_unique<CallExpr>();
+        c->line = line;
+        c->callee = advance().text;
+        advance();  // '('
+        if (!at_punct(Punct::RParen)) {
+          c->args.push_back(parse_expr());
+          while (ok_ && accept_punct(Punct::Comma)) c->args.push_back(parse_expr());
+        }
+        expect_punct(Punct::RParen, "function call");
+        return c;
+      }
+      auto id = std::make_unique<IdentExpr>();
+      id->line = line;
+      id->path.push_back(advance().text);
+      while (ok_ && at_punct(Punct::Dot) && peek().is(TokenKind::Identifier)) {
+        advance();
+        id->path.push_back(advance().text);
+      }
+      return id;
+    }
+    if (at_punct(Punct::LParen)) {
+      advance();
+      ExprPtr e = parse_expr();
+      expect_punct(Punct::RParen, "parenthesised expression");
+      return e;
+    }
+    if (at_punct(Punct::LBrace)) {
+      advance();
+      ExprPtr first = parse_expr();
+      if (!ok_) return nullptr;
+      if (at_punct(Punct::LBrace)) {
+        // Replication: {N{...}}
+        advance();
+        auto body = std::make_unique<ConcatExpr>();
+        body->line = line;
+        body->parts.push_back(parse_expr());
+        while (ok_ && accept_punct(Punct::Comma)) body->parts.push_back(parse_expr());
+        expect_punct(Punct::RBrace, "replication body");
+        expect_punct(Punct::RBrace, "replication");
+        auto r = std::make_unique<ReplExpr>();
+        r->line = line;
+        r->count = std::move(first);
+        r->body = std::move(body);
+        return r;
+      }
+      auto c = std::make_unique<ConcatExpr>();
+      c->line = line;
+      c->parts.push_back(std::move(first));
+      while (ok_ && accept_punct(Punct::Comma)) c->parts.push_back(parse_expr());
+      expect_punct(Punct::RBrace, "concatenation");
+      return c;
+    }
+    fail("expected expression");
+    return nullptr;
+  }
+
+  /// LHS of an assignment: identifier with selects, or a concat of LHSs.
+  ExprPtr parse_lvalue() {
+    if (at_punct(Punct::LBrace)) {
+      const int line = cur().line;
+      advance();
+      auto c = std::make_unique<ConcatExpr>();
+      c->line = line;
+      c->parts.push_back(parse_lvalue());
+      while (ok_ && accept_punct(Punct::Comma)) c->parts.push_back(parse_lvalue());
+      expect_punct(Punct::RBrace, "lvalue concatenation");
+      return c;
+    }
+    if (!at(TokenKind::Identifier)) {
+      fail("expected lvalue");
+      return nullptr;
+    }
+    auto id = std::make_unique<IdentExpr>();
+    id->line = cur().line;
+    id->path.push_back(advance().text);
+    while (ok_ && at_punct(Punct::Dot) && peek().is(TokenKind::Identifier)) {
+      advance();
+      id->path.push_back(advance().text);
+    }
+    return parse_postfix(std::move(id));
+  }
+
+  // --- ranges / delays ----------------------------------------------------
+
+  std::optional<Range> maybe_range() {
+    if (!at_punct(Punct::LBracket)) return std::nullopt;
+    advance();
+    Range r;
+    r.msb = parse_expr();
+    expect_punct(Punct::Colon, "range");
+    r.lsb = parse_expr();
+    expect_punct(Punct::RBracket, "range");
+    return r;
+  }
+
+  ExprPtr maybe_delay() {
+    if (!accept_punct(Punct::Hash)) return nullptr;
+    if (accept_punct(Punct::LParen)) {
+      ExprPtr e = parse_expr();
+      // #(min:typ:max) — keep the typ value.
+      if (accept_punct(Punct::Colon)) {
+        ExprPtr typ = parse_expr();
+        expect_punct(Punct::Colon, "min:typ:max delay");
+        parse_expr();
+        e = std::move(typ);
+      }
+      expect_punct(Punct::RParen, "delay");
+      return e;
+    }
+    return parse_primary();
+  }
+
+  // --- statements ---------------------------------------------------------
+
+  StmtPtr parse_stmt() {
+    const int line = cur().line;
+    if (at_kw(Keyword::Begin)) return parse_block();
+    if (accept_punct(Punct::Semi)) {
+      auto s = std::make_unique<NullStmt>();
+      s->line = line;
+      return s;
+    }
+    if (at_kw(Keyword::If)) return parse_if();
+    if (at_kw(Keyword::Case) || at_kw(Keyword::Casez) || at_kw(Keyword::Casex)) {
+      return parse_case();
+    }
+    if (at_kw(Keyword::For)) return parse_for();
+    if (accept_kw(Keyword::While)) {
+      auto s = std::make_unique<WhileStmt>();
+      s->line = line;
+      expect_punct(Punct::LParen, "while");
+      s->cond = parse_expr();
+      expect_punct(Punct::RParen, "while");
+      s->body = parse_stmt();
+      return s;
+    }
+    if (accept_kw(Keyword::Repeat)) {
+      auto s = std::make_unique<RepeatStmt>();
+      s->line = line;
+      expect_punct(Punct::LParen, "repeat");
+      s->count = parse_expr();
+      expect_punct(Punct::RParen, "repeat");
+      s->body = parse_stmt();
+      return s;
+    }
+    if (accept_kw(Keyword::Forever)) {
+      auto s = std::make_unique<ForeverStmt>();
+      s->line = line;
+      s->body = parse_stmt();
+      return s;
+    }
+    if (accept_kw(Keyword::Wait)) {
+      auto s = std::make_unique<WaitStmt>();
+      s->line = line;
+      expect_punct(Punct::LParen, "wait");
+      s->cond = parse_expr();
+      expect_punct(Punct::RParen, "wait");
+      s->body = parse_stmt();
+      return s;
+    }
+    if (accept_kw(Keyword::Disable)) {
+      auto s = std::make_unique<DisableStmt>();
+      s->line = line;
+      s->target = expect_ident("disable");
+      expect_punct(Punct::Semi, "disable");
+      return s;
+    }
+    if (at_punct(Punct::Arrow)) {
+      advance();
+      auto s = std::make_unique<TriggerStmt>();
+      s->line = line;
+      s->target = expect_ident("event trigger");
+      expect_punct(Punct::Semi, "event trigger");
+      return s;
+    }
+    if (at_punct(Punct::Hash)) {
+      auto s = std::make_unique<DelayStmt>();
+      s->line = line;
+      s->delay = maybe_delay();
+      if (accept_punct(Punct::Semi)) {
+        s->body = std::make_unique<NullStmt>();
+      } else {
+        s->body = parse_stmt();
+      }
+      return s;
+    }
+    if (at_punct(Punct::At)) return parse_event_control();
+    if (at(TokenKind::SystemIdentifier)) {
+      auto s = std::make_unique<SysTaskStmt>();
+      s->line = line;
+      s->name = advance().text;
+      if (accept_punct(Punct::LParen)) {
+        if (!at_punct(Punct::RParen)) {
+          s->args.push_back(parse_expr());
+          while (ok_ && accept_punct(Punct::Comma)) s->args.push_back(parse_expr());
+        }
+        expect_punct(Punct::RParen, "system task");
+      }
+      expect_punct(Punct::Semi, "system task");
+      return s;
+    }
+    // Assignment or task call.
+    if (at(TokenKind::Identifier) || at_punct(Punct::LBrace)) {
+      // Task call: ident ; or ident(...) ;
+      if (at(TokenKind::Identifier) &&
+          (peek().is_punct(Punct::Semi) ||
+           (peek().is_punct(Punct::LParen)))) {
+        // Could still be an assignment "x = f(y);" — but an identifier
+        // followed directly by '(' or ';' at statement level is a task call.
+        auto s = std::make_unique<TaskCallStmt>();
+        s->line = line;
+        s->name = advance().text;
+        if (accept_punct(Punct::LParen)) {
+          if (!at_punct(Punct::RParen)) {
+            s->args.push_back(parse_expr());
+            while (ok_ && accept_punct(Punct::Comma)) s->args.push_back(parse_expr());
+          }
+          expect_punct(Punct::RParen, "task call");
+        }
+        expect_punct(Punct::Semi, "task call");
+        return s;
+      }
+      auto s = std::make_unique<AssignStmt>();
+      s->line = line;
+      s->lhs = parse_lvalue();
+      if (accept_punct(Punct::LtEq)) {
+        s->non_blocking = true;
+      } else if (!accept_punct(Punct::Assign)) {
+        fail("expected '=' or '<=' in assignment");
+        return s;
+      }
+      if (at_punct(Punct::Hash)) s->delay = maybe_delay();
+      s->rhs = parse_expr();
+      expect_punct(Punct::Semi, "assignment");
+      return s;
+    }
+    fail("expected statement");
+    return std::make_unique<NullStmt>();
+  }
+
+  StmtPtr parse_block() {
+    auto b = std::make_unique<BlockStmt>();
+    b->line = cur().line;
+    expect_kw(Keyword::Begin, "block");
+    if (accept_punct(Punct::Colon)) b->label = expect_ident("block label");
+    while (ok_ && !at_kw(Keyword::End) && !at(TokenKind::Eof)) {
+      b->body.push_back(parse_stmt());
+    }
+    expect_kw(Keyword::End, "block");
+    return b;
+  }
+
+  StmtPtr parse_if() {
+    auto s = std::make_unique<IfStmt>();
+    s->line = cur().line;
+    expect_kw(Keyword::If, "if");
+    expect_punct(Punct::LParen, "if");
+    s->cond = parse_expr();
+    expect_punct(Punct::RParen, "if");
+    s->then_stmt = parse_stmt();
+    if (accept_kw(Keyword::Else)) s->else_stmt = parse_stmt();
+    return s;
+  }
+
+  StmtPtr parse_case() {
+    auto s = std::make_unique<CaseStmt>();
+    s->line = cur().line;
+    if (accept_kw(Keyword::Casez)) s->case_kind = CaseKind::Casez;
+    else if (accept_kw(Keyword::Casex)) s->case_kind = CaseKind::Casex;
+    else expect_kw(Keyword::Case, "case");
+    expect_punct(Punct::LParen, "case");
+    s->subject = parse_expr();
+    expect_punct(Punct::RParen, "case");
+    while (ok_ && !at_kw(Keyword::Endcase) && !at(TokenKind::Eof)) {
+      CaseItem item;
+      if (accept_kw(Keyword::Default)) {
+        accept_punct(Punct::Colon);
+      } else {
+        item.labels.push_back(parse_expr());
+        while (ok_ && accept_punct(Punct::Comma)) item.labels.push_back(parse_expr());
+        expect_punct(Punct::Colon, "case item");
+      }
+      item.body = parse_stmt();
+      s->items.push_back(std::move(item));
+    }
+    expect_kw(Keyword::Endcase, "case");
+    return s;
+  }
+
+  StmtPtr parse_for() {
+    auto s = std::make_unique<ForStmt>();
+    s->line = cur().line;
+    expect_kw(Keyword::For, "for");
+    expect_punct(Punct::LParen, "for");
+    s->init = parse_for_assign();
+    expect_punct(Punct::Semi, "for");
+    s->cond = parse_expr();
+    expect_punct(Punct::Semi, "for");
+    s->step = parse_for_assign();
+    expect_punct(Punct::RParen, "for");
+    s->body = parse_stmt();
+    return s;
+  }
+
+  StmtPtr parse_for_assign() {
+    auto a = std::make_unique<AssignStmt>();
+    a->line = cur().line;
+    a->lhs = parse_lvalue();
+    if (!accept_punct(Punct::Assign)) fail("expected '=' in for clause");
+    a->rhs = parse_expr();
+    return a;
+  }
+
+  StmtPtr parse_event_control() {
+    auto s = std::make_unique<EventControlStmt>();
+    s->line = cur().line;
+    expect_punct(Punct::At, "event control");
+    if (at_punct(Punct::Star)) {
+      advance();
+      s->star = true;
+    } else if (at(TokenKind::Identifier)) {
+      EventExpr e;
+      auto id = std::make_unique<IdentExpr>();
+      id->line = cur().line;
+      id->path.push_back(advance().text);
+      e.signal = std::move(id);
+      s->events.push_back(std::move(e));
+    } else {
+      expect_punct(Punct::LParen, "event control");
+      if (at_punct(Punct::Star)) {
+        advance();
+        s->star = true;
+      } else {
+        s->events.push_back(parse_event_expr());
+        while (ok_ && (accept_kw(Keyword::Or) || accept_punct(Punct::Comma))) {
+          s->events.push_back(parse_event_expr());
+        }
+      }
+      expect_punct(Punct::RParen, "event control");
+    }
+    if (at_kw(Keyword::Endmodule) || at(TokenKind::Eof)) {
+      fail("event control without statement");
+      return s;
+    }
+    s->body = parse_stmt();
+    return s;
+  }
+
+  EventExpr parse_event_expr() {
+    EventExpr e;
+    if (accept_kw(Keyword::Posedge)) e.edge = EdgeKind::Posedge;
+    else if (accept_kw(Keyword::Negedge)) e.edge = EdgeKind::Negedge;
+    e.signal = parse_expr();
+    return e;
+  }
+
+  // --- module items -------------------------------------------------------
+
+  std::unique_ptr<Module> parse_module() {
+    auto m = std::make_unique<Module>();
+    m->line = cur().line;
+    advance();  // module / macromodule
+    m->name = expect_ident("module header");
+
+    if (accept_punct(Punct::Hash)) {
+      expect_punct(Punct::LParen, "parameter port list");
+      parse_header_params(*m);
+      expect_punct(Punct::RParen, "parameter port list");
+    }
+    if (accept_punct(Punct::LParen)) {
+      if (!at_punct(Punct::RParen)) parse_port_list(*m);
+      expect_punct(Punct::RParen, "port list");
+    }
+    expect_punct(Punct::Semi, "module header");
+
+    while (ok_ && !at_kw(Keyword::Endmodule) && !at(TokenKind::Eof)) {
+      parse_item(m->items);
+    }
+    expect_kw(Keyword::Endmodule, "module");
+    return m;
+  }
+
+  void parse_header_params(Module& m) {
+    accept_kw(Keyword::Parameter);
+    maybe_range();  // parameter [3:0] W = ...
+    while (ok_) {
+      ParamAssign pa;
+      pa.name = expect_ident("parameter");
+      expect_punct(Punct::Assign, "parameter");
+      pa.value = parse_expr();
+      m.header_params.push_back(std::move(pa));
+      if (!accept_punct(Punct::Comma)) break;
+      accept_kw(Keyword::Parameter);
+      maybe_range();
+    }
+  }
+
+  void parse_port_list(Module& m) {
+    // ANSI header if the first port starts with a direction keyword.
+    if (at_kw(Keyword::Input) || at_kw(Keyword::Output) || at_kw(Keyword::Inout)) {
+      PortDir dir = PortDir::Input;
+      bool is_reg = false;
+      bool is_signed = false;
+      std::optional<Range> range;
+      while (ok_) {
+        if (at_kw(Keyword::Input) || at_kw(Keyword::Output) || at_kw(Keyword::Inout)) {
+          if (accept_kw(Keyword::Input)) dir = PortDir::Input;
+          else if (accept_kw(Keyword::Output)) dir = PortDir::Output;
+          else { accept_kw(Keyword::Inout); dir = PortDir::Inout; }
+          is_reg = false;
+          is_signed = false;
+          range.reset();
+          if (accept_kw(Keyword::Wire)) is_reg = false;
+          else if (accept_kw(Keyword::Reg)) is_reg = true;
+          if (accept_kw(Keyword::Signed)) is_signed = true;
+          if (at_punct(Punct::LBracket)) range = maybe_range();
+        }
+        ModulePort p;
+        p.ansi = true;
+        p.dir = dir;
+        p.is_reg = is_reg;
+        p.is_signed = is_signed;
+        if (range) {
+          p.range = Range{clone_expr(range->msb), clone_expr(range->lsb)};
+        }
+        p.name = expect_ident("ANSI port");
+        m.ports.push_back(std::move(p));
+        if (!accept_punct(Punct::Comma)) break;
+      }
+      return;
+    }
+    // Non-ANSI: just names.
+    while (ok_) {
+      ModulePort p;
+      p.ansi = false;
+      p.name = expect_ident("port");
+      m.ports.push_back(std::move(p));
+      if (!accept_punct(Punct::Comma)) break;
+    }
+  }
+
+  // Clones a (constant) expression.  Only the node kinds that can appear in
+  // ranges/delays are supported; anything else throws via fail().
+  ExprPtr clone_expr(const ExprPtr& e) {
+    if (!e) return nullptr;
+    switch (e->kind) {
+      case ExprKind::Number: {
+        const auto& n = static_cast<const NumberExpr&>(*e);
+        auto out = std::make_unique<NumberExpr>();
+        out->line = n.line;
+        out->text = n.text;
+        out->is_real = n.is_real;
+        out->real_value = n.real_value;
+        out->width = n.width;
+        out->is_signed = n.is_signed;
+        out->bits = n.bits;
+        return out;
+      }
+      case ExprKind::Ident: {
+        const auto& i = static_cast<const IdentExpr&>(*e);
+        auto out = std::make_unique<IdentExpr>();
+        out->line = i.line;
+        out->path = i.path;
+        return out;
+      }
+      case ExprKind::Unary: {
+        const auto& u = static_cast<const UnaryExpr&>(*e);
+        auto out = std::make_unique<UnaryExpr>();
+        out->line = u.line;
+        out->op = u.op;
+        out->operand = clone_expr(u.operand);
+        return out;
+      }
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const BinaryExpr&>(*e);
+        auto out = std::make_unique<BinaryExpr>();
+        out->line = b.line;
+        out->op = b.op;
+        out->lhs = clone_expr(b.lhs);
+        out->rhs = clone_expr(b.rhs);
+        return out;
+      }
+      case ExprKind::Ternary: {
+        const auto& t = static_cast<const TernaryExpr&>(*e);
+        auto out = std::make_unique<TernaryExpr>();
+        out->line = t.line;
+        out->cond = clone_expr(t.cond);
+        out->then_expr = clone_expr(t.then_expr);
+        out->else_expr = clone_expr(t.else_expr);
+        return out;
+      }
+      default:
+        fail("unsupported expression in constant context");
+        return nullptr;
+    }
+  }
+
+  void parse_item(std::vector<ItemPtr>& items) {
+    const int line = cur().line;
+    if (at_kw(Keyword::Input) || at_kw(Keyword::Output) || at_kw(Keyword::Inout)) {
+      items.push_back(parse_port_decl());
+      return;
+    }
+    if (at_kw(Keyword::Wire) || at_kw(Keyword::Reg) || at_kw(Keyword::Integer) ||
+        at_kw(Keyword::Real) || at_kw(Keyword::Time) || at_kw(Keyword::Tri) ||
+        at_kw(Keyword::Supply0) || at_kw(Keyword::Supply1)) {
+      items.push_back(parse_net_decl());
+      return;
+    }
+    if (at_kw(Keyword::Genvar)) {
+      advance();
+      auto g = std::make_unique<GenvarItem>();
+      g->line = line;
+      g->names.push_back(expect_ident("genvar"));
+      while (ok_ && accept_punct(Punct::Comma)) g->names.push_back(expect_ident("genvar"));
+      expect_punct(Punct::Semi, "genvar");
+      items.push_back(std::move(g));
+      return;
+    }
+    if (at_kw(Keyword::Parameter) || at_kw(Keyword::Localparam)) {
+      items.push_back(parse_param_decl());
+      return;
+    }
+    if (at_kw(Keyword::Assign)) {
+      items.push_back(parse_cont_assign());
+      return;
+    }
+    if (accept_kw(Keyword::Always)) {
+      auto a = std::make_unique<AlwaysItem>();
+      a->line = line;
+      a->body = parse_stmt();
+      items.push_back(std::move(a));
+      return;
+    }
+    if (accept_kw(Keyword::Initial)) {
+      auto i = std::make_unique<InitialItem>();
+      i->line = line;
+      i->body = parse_stmt();
+      items.push_back(std::move(i));
+      return;
+    }
+    if (at_kw(Keyword::Function)) {
+      items.push_back(parse_function());
+      return;
+    }
+    if (at_kw(Keyword::Task)) {
+      items.push_back(parse_task());
+      return;
+    }
+    if (at_kw(Keyword::Generate)) {
+      parse_generate(items);
+      return;
+    }
+    if (at(TokenKind::Identifier)) {
+      items.push_back(parse_instance());
+      return;
+    }
+    fail("unexpected token in module body");
+  }
+
+  ItemPtr parse_port_decl() {
+    auto p = std::make_unique<PortDeclItem>();
+    p->line = cur().line;
+    if (accept_kw(Keyword::Input)) p->dir = PortDir::Input;
+    else if (accept_kw(Keyword::Output)) p->dir = PortDir::Output;
+    else { expect_kw(Keyword::Inout, "port declaration"); p->dir = PortDir::Inout; }
+    if (accept_kw(Keyword::Wire)) p->is_reg = false;
+    else if (accept_kw(Keyword::Reg)) p->is_reg = true;
+    if (accept_kw(Keyword::Signed)) p->is_signed = true;
+    p->range = maybe_range();
+    p->names.push_back(expect_ident("port declaration"));
+    while (ok_ && accept_punct(Punct::Comma)) p->names.push_back(expect_ident("port declaration"));
+    expect_punct(Punct::Semi, "port declaration");
+    return p;
+  }
+
+  ItemPtr parse_net_decl() {
+    auto d = std::make_unique<NetDeclItem>();
+    d->line = cur().line;
+    if (accept_kw(Keyword::Wire)) d->net = NetType::Wire;
+    else if (accept_kw(Keyword::Reg)) d->net = NetType::Reg;
+    else if (accept_kw(Keyword::Integer)) d->net = NetType::Integer;
+    else if (accept_kw(Keyword::Real)) d->net = NetType::Real;
+    else if (accept_kw(Keyword::Time)) d->net = NetType::Time;
+    else if (accept_kw(Keyword::Tri)) d->net = NetType::Tri;
+    else if (accept_kw(Keyword::Supply0)) d->net = NetType::Supply0;
+    else { expect_kw(Keyword::Supply1, "net declaration"); d->net = NetType::Supply1; }
+    if (accept_kw(Keyword::Signed)) d->is_signed = true;
+    d->range = maybe_range();
+    while (ok_) {
+      DeclaredNet n;
+      n.name = expect_ident("net declaration");
+      if (at_punct(Punct::LBracket)) n.unpacked = maybe_range();
+      if (accept_punct(Punct::Assign)) n.init = parse_expr();
+      d->nets.push_back(std::move(n));
+      if (!accept_punct(Punct::Comma)) break;
+    }
+    expect_punct(Punct::Semi, "net declaration");
+    return d;
+  }
+
+  ItemPtr parse_param_decl() {
+    auto d = std::make_unique<ParamDeclItem>();
+    d->line = cur().line;
+    d->local = accept_kw(Keyword::Localparam);
+    if (!d->local) expect_kw(Keyword::Parameter, "parameter declaration");
+    accept_kw(Keyword::Integer);
+    if (accept_kw(Keyword::Signed)) d->is_signed = true;
+    d->range = maybe_range();
+    while (ok_) {
+      ParamAssign pa;
+      pa.name = expect_ident("parameter declaration");
+      expect_punct(Punct::Assign, "parameter declaration");
+      pa.value = parse_expr();
+      d->params.push_back(std::move(pa));
+      if (!accept_punct(Punct::Comma)) break;
+    }
+    expect_punct(Punct::Semi, "parameter declaration");
+    return d;
+  }
+
+  ItemPtr parse_cont_assign() {
+    auto a = std::make_unique<ContAssignItem>();
+    a->line = cur().line;
+    expect_kw(Keyword::Assign, "continuous assignment");
+    if (at_punct(Punct::Hash)) a->delay = maybe_delay();
+    while (ok_) {
+      ExprPtr lhs = parse_lvalue();
+      expect_punct(Punct::Assign, "continuous assignment");
+      ExprPtr rhs = parse_expr();
+      a->assigns.emplace_back(std::move(lhs), std::move(rhs));
+      if (!accept_punct(Punct::Comma)) break;
+    }
+    expect_punct(Punct::Semi, "continuous assignment");
+    return a;
+  }
+
+  ItemPtr parse_instance() {
+    auto inst = std::make_unique<InstanceItem>();
+    inst->line = cur().line;
+    inst->module_name = expect_ident("instance");
+    if (accept_punct(Punct::Hash)) {
+      expect_punct(Punct::LParen, "parameter override");
+      inst->param_overrides = parse_connection_list();
+      expect_punct(Punct::RParen, "parameter override");
+    }
+    inst->instance_name = expect_ident("instance");
+    expect_punct(Punct::LParen, "instance");
+    if (!at_punct(Punct::RParen)) inst->connections = parse_connection_list();
+    expect_punct(Punct::RParen, "instance");
+    expect_punct(Punct::Semi, "instance");
+    return inst;
+  }
+
+  std::vector<PortConnection> parse_connection_list() {
+    std::vector<PortConnection> conns;
+    while (ok_) {
+      PortConnection c;
+      if (accept_punct(Punct::Dot)) {
+        c.formal = expect_ident("named connection");
+        expect_punct(Punct::LParen, "named connection");
+        if (!at_punct(Punct::RParen)) c.actual = parse_expr();
+        expect_punct(Punct::RParen, "named connection");
+      } else {
+        c.actual = parse_expr();
+      }
+      conns.push_back(std::move(c));
+      if (!accept_punct(Punct::Comma)) break;
+    }
+    return conns;
+  }
+
+  void parse_function_args(std::vector<FunctionArg>& args, bool ansi) {
+    // One direction group: input [range] name {, name}
+    while (ok_) {
+      FunctionArg proto;
+      if (accept_kw(Keyword::Input)) proto.dir = PortDir::Input;
+      else if (accept_kw(Keyword::Output)) proto.dir = PortDir::Output;
+      else if (accept_kw(Keyword::Inout)) proto.dir = PortDir::Inout;
+      else if (!ansi) { fail("expected direction in function/task argument"); return; }
+      if (accept_kw(Keyword::Integer)) proto.net = NetType::Integer;
+      else if (accept_kw(Keyword::Reg)) proto.net = NetType::Reg;
+      if (accept_kw(Keyword::Signed)) proto.is_signed = true;
+      proto.range = maybe_range();
+      while (ok_) {
+        FunctionArg a;
+        a.dir = proto.dir;
+        a.net = proto.net;
+        a.is_signed = proto.is_signed;
+        if (proto.range) {
+          a.range = Range{clone_expr(proto.range->msb), clone_expr(proto.range->lsb)};
+        }
+        a.name = expect_ident("function/task argument");
+        args.push_back(std::move(a));
+        if (ansi) break;
+        if (!accept_punct(Punct::Comma)) { expect_punct(Punct::Semi, "argument declaration"); return; }
+      }
+      if (ansi) {
+        if (!accept_punct(Punct::Comma)) return;
+      }
+    }
+  }
+
+  ItemPtr parse_function() {
+    auto f = std::make_unique<FunctionItem>();
+    f->line = cur().line;
+    expect_kw(Keyword::Function, "function");
+    accept_kw(Keyword::Integer);
+    if (accept_kw(Keyword::Signed)) f->is_signed = true;
+    f->return_range = maybe_range();
+    f->name = expect_ident("function");
+    if (accept_punct(Punct::LParen)) {
+      if (!at_punct(Punct::RParen)) parse_function_args(f->args, /*ansi=*/true);
+      expect_punct(Punct::RParen, "function");
+      expect_punct(Punct::Semi, "function");
+    } else {
+      expect_punct(Punct::Semi, "function");
+      while (ok_ && (at_kw(Keyword::Input) || at_kw(Keyword::Output) || at_kw(Keyword::Inout))) {
+        parse_function_args(f->args, /*ansi=*/false);
+      }
+    }
+    while (ok_ && (at_kw(Keyword::Reg) || at_kw(Keyword::Integer) ||
+                   at_kw(Keyword::Parameter) || at_kw(Keyword::Localparam))) {
+      if (at_kw(Keyword::Parameter) || at_kw(Keyword::Localparam)) {
+        f->locals.push_back(parse_param_decl());
+      } else {
+        f->locals.push_back(parse_net_decl());
+      }
+    }
+    f->body = parse_stmt();
+    expect_kw(Keyword::Endfunction, "function");
+    return f;
+  }
+
+  ItemPtr parse_task() {
+    auto t = std::make_unique<TaskItem>();
+    t->line = cur().line;
+    expect_kw(Keyword::Task, "task");
+    t->name = expect_ident("task");
+    if (accept_punct(Punct::LParen)) {
+      if (!at_punct(Punct::RParen)) parse_function_args(t->args, /*ansi=*/true);
+      expect_punct(Punct::RParen, "task");
+      expect_punct(Punct::Semi, "task");
+    } else {
+      expect_punct(Punct::Semi, "task");
+      while (ok_ && (at_kw(Keyword::Input) || at_kw(Keyword::Output) || at_kw(Keyword::Inout))) {
+        parse_function_args(t->args, /*ansi=*/false);
+      }
+    }
+    while (ok_ && (at_kw(Keyword::Reg) || at_kw(Keyword::Integer))) {
+      t->locals.push_back(parse_net_decl());
+    }
+    t->body = parse_stmt();
+    expect_kw(Keyword::Endtask, "task");
+    return t;
+  }
+
+  void parse_generate(std::vector<ItemPtr>& items) {
+    expect_kw(Keyword::Generate, "generate");
+    while (ok_ && !at_kw(Keyword::Endgenerate) && !at(TokenKind::Eof)) {
+      if (at_kw(Keyword::For)) {
+        items.push_back(parse_generate_for());
+      } else if (at_kw(Keyword::Genvar)) {
+        parse_item(items);
+      } else {
+        parse_item(items);
+      }
+    }
+    expect_kw(Keyword::Endgenerate, "generate");
+  }
+
+  ItemPtr parse_generate_for() {
+    auto g = std::make_unique<GenerateForItem>();
+    g->line = cur().line;
+    expect_kw(Keyword::For, "generate for");
+    expect_punct(Punct::LParen, "generate for");
+    g->genvar = expect_ident("generate for");
+    expect_punct(Punct::Assign, "generate for");
+    g->init = parse_expr();
+    expect_punct(Punct::Semi, "generate for");
+    g->cond = parse_expr();
+    expect_punct(Punct::Semi, "generate for");
+    const std::string step_var = expect_ident("generate for");
+    if (step_var != g->genvar) fail("generate-for step must assign the genvar");
+    expect_punct(Punct::Assign, "generate for");
+    g->step = parse_expr();
+    expect_punct(Punct::RParen, "generate for");
+    expect_kw(Keyword::Begin, "generate for");
+    if (accept_punct(Punct::Colon)) g->label = expect_ident("generate label");
+    while (ok_ && !at_kw(Keyword::End) && !at(TokenKind::Eof)) {
+      parse_item(g->body);
+    }
+    expect_kw(Keyword::End, "generate for");
+    return g;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+  std::string error_;
+  int error_line_ = 0;
+};
+
+}  // namespace
+
+ParseResult parse(std::string_view source) {
+  LexResult lexed = lex(source);
+  if (!lexed.ok) {
+    ParseResult out;
+    out.unit = std::make_unique<SourceUnit>();
+    out.ok = false;
+    out.error = "lex error: " + lexed.error;
+    out.error_line = lexed.error_line;
+    return out;
+  }
+  Parser p(std::move(lexed.tokens));
+  return p.run();
+}
+
+bool syntax_ok(std::string_view source) {
+  const ParseResult r = parse(source);
+  return r.ok && r.unit && !r.unit->modules.empty();
+}
+
+}  // namespace vsd::vlog

@@ -1,0 +1,35 @@
+// Recursive-descent parser for the Verilog-2001 subset.
+//
+// This is the reproduction's stand-in for the Stagira parser used by the
+// paper: it provides (a) the syntax gate in the data-refinement pipeline,
+// (b) ASTs for significant-token extraction, and (c) the front end of the
+// vsd::sim event-driven simulator.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "vlog/ast.hpp"
+#include "vlog/lexer.hpp"
+
+namespace vsd::vlog {
+
+/// Result of parsing a buffer.  `unit` holds all modules parsed before the
+/// first error (if any).
+struct ParseResult {
+  std::unique_ptr<SourceUnit> unit;
+  bool ok = true;
+  std::string error;
+  int error_line = 0;
+};
+
+/// Lexes and parses `source`.
+ParseResult parse(std::string_view source);
+
+/// Returns true iff `source` lexes and parses cleanly and contains at
+/// least one complete module.  This is the "syntax check" used by the
+/// dataset refinement pipeline and the Syntax rows of Table I.
+bool syntax_ok(std::string_view source);
+
+}  // namespace vsd::vlog

@@ -1,0 +1,511 @@
+#include "vlog/printer.hpp"
+
+#include <sstream>
+
+namespace vsd::vlog {
+
+namespace {
+
+std::string ind(int n) { return std::string(static_cast<std::size_t>(n) * 2, ' '); }
+
+std::string_view unary_spelling(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::Plus: return "+";
+    case UnaryOp::Minus: return "-";
+    case UnaryOp::LogicNot: return "!";
+    case UnaryOp::BitNot: return "~";
+    case UnaryOp::ReduceAnd: return "&";
+    case UnaryOp::ReduceNand: return "~&";
+    case UnaryOp::ReduceOr: return "|";
+    case UnaryOp::ReduceNor: return "~|";
+    case UnaryOp::ReduceXor: return "^";
+    case UnaryOp::ReduceXnor: return "~^";
+  }
+  return "?";
+}
+
+std::string_view binary_spelling(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Add: return "+";
+    case BinaryOp::Sub: return "-";
+    case BinaryOp::Mul: return "*";
+    case BinaryOp::Div: return "/";
+    case BinaryOp::Mod: return "%";
+    case BinaryOp::Pow: return "**";
+    case BinaryOp::Eq: return "==";
+    case BinaryOp::Neq: return "!=";
+    case BinaryOp::CaseEq: return "===";
+    case BinaryOp::CaseNeq: return "!==";
+    case BinaryOp::Lt: return "<";
+    case BinaryOp::Le: return "<=";
+    case BinaryOp::Gt: return ">";
+    case BinaryOp::Ge: return ">=";
+    case BinaryOp::LogicAnd: return "&&";
+    case BinaryOp::LogicOr: return "||";
+    case BinaryOp::BitAnd: return "&";
+    case BinaryOp::BitOr: return "|";
+    case BinaryOp::BitXor: return "^";
+    case BinaryOp::BitXnor: return "^~";
+    case BinaryOp::Shl: return "<<";
+    case BinaryOp::Shr: return ">>";
+    case BinaryOp::AShl: return "<<<";
+    case BinaryOp::AShr: return ">>>";
+  }
+  return "?";
+}
+
+std::string escape_string(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default: out.push_back(c); break;
+    }
+  }
+  return out;
+}
+
+std::string print_range(const Range& r) {
+  return "[" + print_expr(*r.msb) + ":" + print_expr(*r.lsb) + "]";
+}
+
+std::string_view dir_spelling(PortDir d) {
+  switch (d) {
+    case PortDir::Input: return "input";
+    case PortDir::Output: return "output";
+    case PortDir::Inout: return "inout";
+  }
+  return "?";
+}
+
+std::string_view net_spelling(NetType n) {
+  switch (n) {
+    case NetType::Wire: return "wire";
+    case NetType::Reg: return "reg";
+    case NetType::Integer: return "integer";
+    case NetType::Genvar: return "genvar";
+    case NetType::Real: return "real";
+    case NetType::Time: return "time";
+    case NetType::Supply0: return "supply0";
+    case NetType::Supply1: return "supply1";
+    case NetType::Tri: return "tri";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string print_expr(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::Number:
+      return static_cast<const NumberExpr&>(e).text;
+    case ExprKind::String:
+      return "\"" + escape_string(static_cast<const StringExpr&>(e).value) + "\"";
+    case ExprKind::Ident:
+      return static_cast<const IdentExpr&>(e).full_name();
+    case ExprKind::Select: {
+      const auto& s = static_cast<const SelectExpr&>(e);
+      std::string out = print_expr(*s.base) + "[" + print_expr(*s.index);
+      switch (s.select) {
+        case SelectKind::Bit: break;
+        case SelectKind::Part: out += ":" + print_expr(*s.width); break;
+        case SelectKind::IndexedUp: out += "+:" + print_expr(*s.width); break;
+        case SelectKind::IndexedDown: out += "-:" + print_expr(*s.width); break;
+      }
+      return out + "]";
+    }
+    case ExprKind::Unary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      return std::string(unary_spelling(u.op)) + "(" + print_expr(*u.operand) + ")";
+    }
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      return "(" + print_expr(*b.lhs) + " " + std::string(binary_spelling(b.op)) +
+             " " + print_expr(*b.rhs) + ")";
+    }
+    case ExprKind::Ternary: {
+      const auto& t = static_cast<const TernaryExpr&>(e);
+      return "(" + print_expr(*t.cond) + " ? " + print_expr(*t.then_expr) +
+             " : " + print_expr(*t.else_expr) + ")";
+    }
+    case ExprKind::Concat: {
+      const auto& c = static_cast<const ConcatExpr&>(e);
+      std::string out = "{";
+      for (std::size_t i = 0; i < c.parts.size(); ++i) {
+        if (i) out += ", ";
+        out += print_expr(*c.parts[i]);
+      }
+      return out + "}";
+    }
+    case ExprKind::Repl: {
+      const auto& r = static_cast<const ReplExpr&>(e);
+      const auto& body = static_cast<const ConcatExpr&>(*r.body);
+      std::string out = "{" + print_expr(*r.count) + "{";
+      for (std::size_t i = 0; i < body.parts.size(); ++i) {
+        if (i) out += ", ";
+        out += print_expr(*body.parts[i]);
+      }
+      return out + "}}";
+    }
+    case ExprKind::Call: {
+      const auto& c = static_cast<const CallExpr&>(e);
+      std::string out = c.callee + "(";
+      for (std::size_t i = 0; i < c.args.size(); ++i) {
+        if (i) out += ", ";
+        out += print_expr(*c.args[i]);
+      }
+      return out + ")";
+    }
+  }
+  return "";
+}
+
+std::string print_stmt(const Stmt& s, int indent) {
+  std::ostringstream out;
+  switch (s.kind) {
+    case StmtKind::Block: {
+      const auto& b = static_cast<const BlockStmt&>(s);
+      out << ind(indent) << "begin";
+      if (!b.label.empty()) out << " : " << b.label;
+      out << "\n";
+      for (const auto& st : b.body) out << print_stmt(*st, indent + 1);
+      out << ind(indent) << "end\n";
+      break;
+    }
+    case StmtKind::Assign: {
+      const auto& a = static_cast<const AssignStmt&>(s);
+      out << ind(indent) << print_expr(*a.lhs) << (a.non_blocking ? " <= " : " = ");
+      if (a.delay) out << "#" << print_expr(*a.delay) << " ";
+      out << print_expr(*a.rhs) << ";\n";
+      break;
+    }
+    case StmtKind::If: {
+      const auto& i = static_cast<const IfStmt&>(s);
+      out << ind(indent) << "if (" << print_expr(*i.cond) << ")\n";
+      out << print_stmt(*i.then_stmt, indent + 1);
+      if (i.else_stmt) {
+        out << ind(indent) << "else\n";
+        out << print_stmt(*i.else_stmt, indent + 1);
+      }
+      break;
+    }
+    case StmtKind::Case: {
+      const auto& c = static_cast<const CaseStmt&>(s);
+      const char* kw = c.case_kind == CaseKind::Case ? "case"
+                       : c.case_kind == CaseKind::Casez ? "casez" : "casex";
+      out << ind(indent) << kw << " (" << print_expr(*c.subject) << ")\n";
+      for (const auto& item : c.items) {
+        if (item.labels.empty()) {
+          out << ind(indent + 1) << "default:\n";
+        } else {
+          out << ind(indent + 1);
+          for (std::size_t i = 0; i < item.labels.size(); ++i) {
+            if (i) out << ", ";
+            out << print_expr(*item.labels[i]);
+          }
+          out << ":\n";
+        }
+        out << print_stmt(*item.body, indent + 2);
+      }
+      out << ind(indent) << "endcase\n";
+      break;
+    }
+    case StmtKind::For: {
+      const auto& f = static_cast<const ForStmt&>(s);
+      const auto& init = static_cast<const AssignStmt&>(*f.init);
+      const auto& step = static_cast<const AssignStmt&>(*f.step);
+      out << ind(indent) << "for (" << print_expr(*init.lhs) << " = "
+          << print_expr(*init.rhs) << "; " << print_expr(*f.cond) << "; "
+          << print_expr(*step.lhs) << " = " << print_expr(*step.rhs) << ")\n";
+      out << print_stmt(*f.body, indent + 1);
+      break;
+    }
+    case StmtKind::While: {
+      const auto& w = static_cast<const WhileStmt&>(s);
+      out << ind(indent) << "while (" << print_expr(*w.cond) << ")\n";
+      out << print_stmt(*w.body, indent + 1);
+      break;
+    }
+    case StmtKind::Repeat: {
+      const auto& r = static_cast<const RepeatStmt&>(s);
+      out << ind(indent) << "repeat (" << print_expr(*r.count) << ")\n";
+      out << print_stmt(*r.body, indent + 1);
+      break;
+    }
+    case StmtKind::Forever: {
+      const auto& f = static_cast<const ForeverStmt&>(s);
+      out << ind(indent) << "forever\n" << print_stmt(*f.body, indent + 1);
+      break;
+    }
+    case StmtKind::Delay: {
+      const auto& d = static_cast<const DelayStmt&>(s);
+      out << ind(indent) << "#" << print_expr(*d.delay);
+      if (d.body->kind == StmtKind::Null) {
+        out << ";\n";
+      } else {
+        out << "\n" << print_stmt(*d.body, indent + 1);
+      }
+      break;
+    }
+    case StmtKind::EventControl: {
+      const auto& e = static_cast<const EventControlStmt&>(s);
+      out << ind(indent) << "@(";
+      if (e.star) {
+        out << "*";
+      } else {
+        for (std::size_t i = 0; i < e.events.size(); ++i) {
+          if (i) out << " or ";
+          if (e.events[i].edge == EdgeKind::Posedge) out << "posedge ";
+          if (e.events[i].edge == EdgeKind::Negedge) out << "negedge ";
+          out << print_expr(*e.events[i].signal);
+        }
+      }
+      out << ")\n" << print_stmt(*e.body, indent + 1);
+      break;
+    }
+    case StmtKind::Wait: {
+      const auto& w = static_cast<const WaitStmt&>(s);
+      out << ind(indent) << "wait (" << print_expr(*w.cond) << ")\n";
+      out << print_stmt(*w.body, indent + 1);
+      break;
+    }
+    case StmtKind::SysTask: {
+      const auto& t = static_cast<const SysTaskStmt&>(s);
+      out << ind(indent) << t.name;
+      if (!t.args.empty()) {
+        out << "(";
+        for (std::size_t i = 0; i < t.args.size(); ++i) {
+          if (i) out << ", ";
+          out << print_expr(*t.args[i]);
+        }
+        out << ")";
+      }
+      out << ";\n";
+      break;
+    }
+    case StmtKind::TaskCall: {
+      const auto& t = static_cast<const TaskCallStmt&>(s);
+      out << ind(indent) << t.name;
+      if (!t.args.empty()) {
+        out << "(";
+        for (std::size_t i = 0; i < t.args.size(); ++i) {
+          if (i) out << ", ";
+          out << print_expr(*t.args[i]);
+        }
+        out << ")";
+      }
+      out << ";\n";
+      break;
+    }
+    case StmtKind::Disable:
+      out << ind(indent) << "disable "
+          << static_cast<const DisableStmt&>(s).target << ";\n";
+      break;
+    case StmtKind::Trigger:
+      out << ind(indent) << "-> " << static_cast<const TriggerStmt&>(s).target
+          << ";\n";
+      break;
+    case StmtKind::Null:
+      out << ind(indent) << ";\n";
+      break;
+  }
+  return out.str();
+}
+
+std::string print_item(const ModuleItem& item, int indent) {
+  std::ostringstream out;
+  switch (item.kind) {
+    case ItemKind::PortDecl: {
+      const auto& p = static_cast<const PortDeclItem&>(item);
+      out << ind(indent) << dir_spelling(p.dir);
+      if (p.is_reg) out << " reg";
+      if (p.is_signed) out << " signed";
+      if (p.range) out << " " << print_range(*p.range);
+      for (std::size_t i = 0; i < p.names.size(); ++i) {
+        out << (i ? ", " : " ") << p.names[i];
+      }
+      out << ";\n";
+      break;
+    }
+    case ItemKind::NetDecl: {
+      const auto& n = static_cast<const NetDeclItem&>(item);
+      out << ind(indent) << net_spelling(n.net);
+      if (n.is_signed) out << " signed";
+      if (n.range) out << " " << print_range(*n.range);
+      for (std::size_t i = 0; i < n.nets.size(); ++i) {
+        out << (i ? ", " : " ") << n.nets[i].name;
+        if (n.nets[i].unpacked) out << " " << print_range(*n.nets[i].unpacked);
+        if (n.nets[i].init) out << " = " << print_expr(*n.nets[i].init);
+      }
+      out << ";\n";
+      break;
+    }
+    case ItemKind::ParamDecl: {
+      const auto& p = static_cast<const ParamDeclItem&>(item);
+      out << ind(indent) << (p.local ? "localparam" : "parameter");
+      if (p.is_signed) out << " signed";
+      if (p.range) out << " " << print_range(*p.range);
+      for (std::size_t i = 0; i < p.params.size(); ++i) {
+        out << (i ? ", " : " ") << p.params[i].name << " = "
+            << print_expr(*p.params[i].value);
+      }
+      out << ";\n";
+      break;
+    }
+    case ItemKind::ContAssign: {
+      const auto& a = static_cast<const ContAssignItem&>(item);
+      out << ind(indent) << "assign ";
+      if (a.delay) out << "#" << print_expr(*a.delay) << " ";
+      for (std::size_t i = 0; i < a.assigns.size(); ++i) {
+        if (i) out << ", ";
+        out << print_expr(*a.assigns[i].first) << " = "
+            << print_expr(*a.assigns[i].second);
+      }
+      out << ";\n";
+      break;
+    }
+    case ItemKind::Always:
+      out << ind(indent) << "always\n"
+          << print_stmt(*static_cast<const AlwaysItem&>(item).body, indent + 1);
+      break;
+    case ItemKind::Initial:
+      out << ind(indent) << "initial\n"
+          << print_stmt(*static_cast<const InitialItem&>(item).body, indent + 1);
+      break;
+    case ItemKind::Instance: {
+      const auto& inst = static_cast<const InstanceItem&>(item);
+      out << ind(indent) << inst.module_name;
+      if (!inst.param_overrides.empty()) {
+        out << " #(";
+        for (std::size_t i = 0; i < inst.param_overrides.size(); ++i) {
+          if (i) out << ", ";
+          const auto& c = inst.param_overrides[i];
+          if (!c.formal.empty()) {
+            out << "." << c.formal << "(" << (c.actual ? print_expr(*c.actual) : "")
+                << ")";
+          } else {
+            out << print_expr(*c.actual);
+          }
+        }
+        out << ")";
+      }
+      out << " " << inst.instance_name << " (";
+      for (std::size_t i = 0; i < inst.connections.size(); ++i) {
+        if (i) out << ", ";
+        const auto& c = inst.connections[i];
+        if (!c.formal.empty()) {
+          out << "." << c.formal << "(" << (c.actual ? print_expr(*c.actual) : "")
+              << ")";
+        } else {
+          out << print_expr(*c.actual);
+        }
+      }
+      out << ");\n";
+      break;
+    }
+    case ItemKind::Function: {
+      const auto& f = static_cast<const FunctionItem&>(item);
+      out << ind(indent) << "function";
+      if (f.is_signed) out << " signed";
+      if (f.return_range) out << " " << print_range(*f.return_range);
+      out << " " << f.name << ";\n";
+      for (const auto& a : f.args) {
+        out << ind(indent + 1) << dir_spelling(a.dir);
+        if (a.net == NetType::Integer) out << " integer";
+        if (a.is_signed) out << " signed";
+        if (a.range) out << " " << print_range(*a.range);
+        out << " " << a.name << ";\n";
+      }
+      for (const auto& l : f.locals) out << print_item(*l, indent + 1);
+      out << print_stmt(*f.body, indent + 1);
+      out << ind(indent) << "endfunction\n";
+      break;
+    }
+    case ItemKind::Task: {
+      const auto& t = static_cast<const TaskItem&>(item);
+      out << ind(indent) << "task " << t.name << ";\n";
+      for (const auto& a : t.args) {
+        out << ind(indent + 1) << dir_spelling(a.dir);
+        if (a.net == NetType::Integer) out << " integer";
+        if (a.is_signed) out << " signed";
+        if (a.range) out << " " << print_range(*a.range);
+        out << " " << a.name << ";\n";
+      }
+      for (const auto& l : t.locals) out << print_item(*l, indent + 1);
+      out << print_stmt(*t.body, indent + 1);
+      out << ind(indent) << "endtask\n";
+      break;
+    }
+    case ItemKind::Genvar: {
+      const auto& g = static_cast<const GenvarItem&>(item);
+      out << ind(indent) << "genvar";
+      for (std::size_t i = 0; i < g.names.size(); ++i) {
+        out << (i ? ", " : " ") << g.names[i];
+      }
+      out << ";\n";
+      break;
+    }
+    case ItemKind::GenerateFor: {
+      const auto& g = static_cast<const GenerateForItem&>(item);
+      out << ind(indent) << "generate\n";
+      out << ind(indent + 1) << "for (" << g.genvar << " = " << print_expr(*g.init)
+          << "; " << print_expr(*g.cond) << "; " << g.genvar << " = "
+          << print_expr(*g.step) << ") begin";
+      if (!g.label.empty()) out << " : " << g.label;
+      out << "\n";
+      for (const auto& it : g.body) out << print_item(*it, indent + 2);
+      out << ind(indent + 1) << "end\n";
+      out << ind(indent) << "endgenerate\n";
+      break;
+    }
+  }
+  return out.str();
+}
+
+std::string print_module(const Module& m) {
+  std::ostringstream out;
+  out << "module " << m.name;
+  if (!m.header_params.empty()) {
+    out << " #(";
+    for (std::size_t i = 0; i < m.header_params.size(); ++i) {
+      if (i) out << ", ";
+      out << "parameter " << m.header_params[i].name << " = "
+          << print_expr(*m.header_params[i].value);
+    }
+    out << ")";
+  }
+  if (!m.ports.empty()) {
+    out << " (";
+    for (std::size_t i = 0; i < m.ports.size(); ++i) {
+      if (i) out << ", ";
+      const ModulePort& p = m.ports[i];
+      if (p.ansi) {
+        out << dir_spelling(p.dir);
+        if (p.is_reg) out << " reg";
+        if (p.is_signed) out << " signed";
+        if (p.range) out << " " << print_range(*p.range);
+        out << " ";
+      }
+      out << p.name;
+    }
+    out << ")";
+  }
+  out << ";\n";
+  for (const auto& item : m.items) out << print_item(*item, 1);
+  out << "endmodule\n";
+  return out.str();
+}
+
+std::string print_source(const SourceUnit& unit) {
+  std::string out;
+  for (const auto& m : unit.modules) {
+    out += print_module(*m);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace vsd::vlog

@@ -1,0 +1,19 @@
+// Pretty-printer: emits canonical Verilog source from an AST.
+//
+// print(parse(print(ast))) is a fixed point; tests rely on this round-trip
+// property to validate the parser over randomly generated modules.
+#pragma once
+
+#include <string>
+
+#include "vlog/ast.hpp"
+
+namespace vsd::vlog {
+
+std::string print_expr(const Expr& e);
+std::string print_stmt(const Stmt& s, int indent = 0);
+std::string print_item(const ModuleItem& item, int indent = 1);
+std::string print_module(const Module& m);
+std::string print_source(const SourceUnit& unit);
+
+}  // namespace vsd::vlog

@@ -1,0 +1,330 @@
+#include "vlog/significant.hpp"
+
+#include "vlog/parser.hpp"
+
+namespace vsd::vlog {
+
+namespace {
+
+class KeywordCollector {
+ public:
+  explicit KeywordCollector(std::set<std::string>& out) : out_(out) {}
+
+  void expr(const Expr* e) {
+    if (e == nullptr) return;
+    switch (e->kind) {
+      case ExprKind::Number: {
+        // Fig. 3 extracts literal leaves ("3" in "[3:0]") but not the
+        // ubiquitous bare "0": it is glue, not structural information.
+        const auto& n = static_cast<const NumberExpr&>(*e);
+        if (n.text != "0") out_.insert(n.text);
+        break;
+      }
+      case ExprKind::String:
+        break;
+      case ExprKind::Ident: {
+        const auto& i = static_cast<const IdentExpr&>(*e);
+        for (const auto& part : i.path) out_.insert(part);
+        break;
+      }
+      case ExprKind::Select: {
+        const auto& s = static_cast<const SelectExpr&>(*e);
+        expr(s.base.get());
+        expr(s.index.get());
+        expr(s.width.get());
+        break;
+      }
+      case ExprKind::Unary:
+        expr(static_cast<const UnaryExpr&>(*e).operand.get());
+        break;
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const BinaryExpr&>(*e);
+        expr(b.lhs.get());
+        expr(b.rhs.get());
+        break;
+      }
+      case ExprKind::Ternary: {
+        const auto& t = static_cast<const TernaryExpr&>(*e);
+        expr(t.cond.get());
+        expr(t.then_expr.get());
+        expr(t.else_expr.get());
+        break;
+      }
+      case ExprKind::Concat:
+        for (const auto& p : static_cast<const ConcatExpr&>(*e).parts) expr(p.get());
+        break;
+      case ExprKind::Repl: {
+        const auto& r = static_cast<const ReplExpr&>(*e);
+        expr(r.count.get());
+        expr(r.body.get());
+        break;
+      }
+      case ExprKind::Call: {
+        const auto& c = static_cast<const CallExpr&>(*e);
+        out_.insert(c.callee);
+        for (const auto& a : c.args) expr(a.get());
+        break;
+      }
+    }
+  }
+
+  void range(const std::optional<Range>& r) {
+    if (!r) return;
+    expr(r->msb.get());
+    expr(r->lsb.get());
+  }
+
+  void stmt(const Stmt* s) {
+    if (s == nullptr) return;
+    switch (s->kind) {
+      case StmtKind::Block: {
+        const auto& b = static_cast<const BlockStmt&>(*s);
+        if (!b.label.empty()) out_.insert(b.label);
+        for (const auto& st : b.body) stmt(st.get());
+        break;
+      }
+      case StmtKind::Assign: {
+        const auto& a = static_cast<const AssignStmt&>(*s);
+        expr(a.lhs.get());
+        expr(a.rhs.get());
+        expr(a.delay.get());
+        break;
+      }
+      case StmtKind::If: {
+        const auto& i = static_cast<const IfStmt&>(*s);
+        expr(i.cond.get());
+        stmt(i.then_stmt.get());
+        stmt(i.else_stmt.get());
+        break;
+      }
+      case StmtKind::Case: {
+        const auto& c = static_cast<const CaseStmt&>(*s);
+        expr(c.subject.get());
+        for (const auto& item : c.items) {
+          for (const auto& l : item.labels) expr(l.get());
+          stmt(item.body.get());
+        }
+        break;
+      }
+      case StmtKind::For: {
+        const auto& f = static_cast<const ForStmt&>(*s);
+        stmt(f.init.get());
+        expr(f.cond.get());
+        stmt(f.step.get());
+        stmt(f.body.get());
+        break;
+      }
+      case StmtKind::While: {
+        const auto& w = static_cast<const WhileStmt&>(*s);
+        expr(w.cond.get());
+        stmt(w.body.get());
+        break;
+      }
+      case StmtKind::Repeat: {
+        const auto& r = static_cast<const RepeatStmt&>(*s);
+        expr(r.count.get());
+        stmt(r.body.get());
+        break;
+      }
+      case StmtKind::Forever:
+        stmt(static_cast<const ForeverStmt&>(*s).body.get());
+        break;
+      case StmtKind::Delay: {
+        const auto& d = static_cast<const DelayStmt&>(*s);
+        expr(d.delay.get());
+        stmt(d.body.get());
+        break;
+      }
+      case StmtKind::EventControl: {
+        const auto& e = static_cast<const EventControlStmt&>(*s);
+        for (const auto& ev : e.events) expr(ev.signal.get());
+        stmt(e.body.get());
+        break;
+      }
+      case StmtKind::Wait: {
+        const auto& w = static_cast<const WaitStmt&>(*s);
+        expr(w.cond.get());
+        stmt(w.body.get());
+        break;
+      }
+      case StmtKind::SysTask: {
+        const auto& t = static_cast<const SysTaskStmt&>(*s);
+        out_.insert(t.name);
+        for (const auto& a : t.args) expr(a.get());
+        break;
+      }
+      case StmtKind::TaskCall: {
+        const auto& t = static_cast<const TaskCallStmt&>(*s);
+        out_.insert(t.name);
+        for (const auto& a : t.args) expr(a.get());
+        break;
+      }
+      case StmtKind::Disable:
+        out_.insert(static_cast<const DisableStmt&>(*s).target);
+        break;
+      case StmtKind::Trigger:
+        out_.insert(static_cast<const TriggerStmt&>(*s).target);
+        break;
+      case StmtKind::Null:
+        break;
+    }
+  }
+
+  void item(const ModuleItem* it) {
+    if (it == nullptr) return;
+    switch (it->kind) {
+      case ItemKind::PortDecl: {
+        const auto& p = static_cast<const PortDeclItem&>(*it);
+        range(p.range);
+        for (const auto& n : p.names) out_.insert(n);
+        break;
+      }
+      case ItemKind::NetDecl: {
+        const auto& n = static_cast<const NetDeclItem&>(*it);
+        range(n.range);
+        for (const auto& d : n.nets) {
+          out_.insert(d.name);
+          range(d.unpacked);
+          expr(d.init.get());
+        }
+        break;
+      }
+      case ItemKind::ParamDecl: {
+        const auto& p = static_cast<const ParamDeclItem&>(*it);
+        range(p.range);
+        for (const auto& pa : p.params) {
+          out_.insert(pa.name);
+          expr(pa.value.get());
+        }
+        break;
+      }
+      case ItemKind::ContAssign: {
+        const auto& a = static_cast<const ContAssignItem&>(*it);
+        expr(a.delay.get());
+        for (const auto& [lhs, rhs] : a.assigns) {
+          expr(lhs.get());
+          expr(rhs.get());
+        }
+        break;
+      }
+      case ItemKind::Always:
+        stmt(static_cast<const AlwaysItem&>(*it).body.get());
+        break;
+      case ItemKind::Initial:
+        stmt(static_cast<const InitialItem&>(*it).body.get());
+        break;
+      case ItemKind::Instance: {
+        const auto& inst = static_cast<const InstanceItem&>(*it);
+        out_.insert(inst.module_name);
+        out_.insert(inst.instance_name);
+        for (const auto& c : inst.param_overrides) {
+          if (!c.formal.empty()) out_.insert(c.formal);
+          expr(c.actual.get());
+        }
+        for (const auto& c : inst.connections) {
+          if (!c.formal.empty()) out_.insert(c.formal);
+          expr(c.actual.get());
+        }
+        break;
+      }
+      case ItemKind::Function: {
+        const auto& f = static_cast<const FunctionItem&>(*it);
+        out_.insert(f.name);
+        range(f.return_range);
+        for (const auto& a : f.args) {
+          out_.insert(a.name);
+          range(a.range);
+        }
+        for (const auto& l : f.locals) item(l.get());
+        stmt(f.body.get());
+        break;
+      }
+      case ItemKind::Task: {
+        const auto& t = static_cast<const TaskItem&>(*it);
+        out_.insert(t.name);
+        for (const auto& a : t.args) {
+          out_.insert(a.name);
+          range(a.range);
+        }
+        for (const auto& l : t.locals) item(l.get());
+        stmt(t.body.get());
+        break;
+      }
+      case ItemKind::Genvar:
+        for (const auto& n : static_cast<const GenvarItem&>(*it).names) out_.insert(n);
+        break;
+      case ItemKind::GenerateFor: {
+        const auto& g = static_cast<const GenerateForItem&>(*it);
+        out_.insert(g.genvar);
+        if (!g.label.empty()) out_.insert(g.label);
+        expr(g.init.get());
+        expr(g.cond.get());
+        expr(g.step.get());
+        for (const auto& b : g.body) item(b.get());
+        break;
+      }
+    }
+  }
+
+ private:
+  std::set<std::string>& out_;
+};
+
+}  // namespace
+
+const std::vector<std::string>& extra_keywords() {
+  static const std::vector<std::string> kw = {
+      "module", "endmodule", "input", "output", "inout",
+      "wire", "reg", "integer", "parameter", "localparam",
+      "assign", "always", "initial", "begin", "end",
+      "if", "else", "case", "casez", "casex", "endcase", "default",
+      "for", "while", "repeat", "forever",
+      "posedge", "negedge", "or",
+      "function", "endfunction", "task", "endtask",
+      "generate", "endgenerate", "genvar", "signed",
+  };
+  return kw;
+}
+
+const std::vector<std::string>& significant_operators() {
+  static const std::vector<std::string> ops = {"(", ")", ";", "=", "<=", "@"};
+  return ops;
+}
+
+std::set<std::string> extract_ast_keywords(const Module& m) {
+  std::set<std::string> out;
+  out.insert(m.name);
+  KeywordCollector collector(out);
+  for (const auto& p : m.ports) {
+    out.insert(p.name);
+    if (p.range) {
+      collector.expr(p.range->msb.get());
+      collector.expr(p.range->lsb.get());
+    }
+  }
+  for (const auto& pa : m.header_params) {
+    out.insert(pa.name);
+    collector.expr(pa.value.get());
+  }
+  for (const auto& item : m.items) collector.item(item.get());
+  return out;
+}
+
+std::set<std::string> significant_tokens(const SourceUnit& unit) {
+  std::set<std::string> out;
+  for (const auto& m : unit.modules) {
+    std::set<std::string> ast_kw = extract_ast_keywords(*m);
+    out.merge(ast_kw);
+  }
+  for (const auto& kw : extra_keywords()) out.insert(kw);
+  for (const auto& op : significant_operators()) out.insert(op);
+  return out;
+}
+
+std::set<std::string> significant_tokens(std::string_view source) {
+  const ParseResult r = parse(source);
+  if (!r.ok || !r.unit) return {};
+  return significant_tokens(*r.unit);
+}
+
+}  // namespace vsd::vlog

@@ -1,0 +1,42 @@
+// Identification of syntactically significant tokens (paper Section III-C,
+// Fig. 3).
+//
+// Significant tokens are the union of:
+//   1. AST keywords — identifiers and literal leaves extracted from the
+//      parsed AST of the code (module/port/net/parameter/instance names,
+//      range bounds, ...),
+//   2. extra keywords — a fixed list of common Verilog constructs such as
+//      `module`, `endmodule`, `posedge`, `case`, ...,
+//   3. structural operators — a small fixed set ( '(' ')' ';' '=' '<=' '@' )
+//      that delimit code fragments.
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "vlog/ast.hpp"
+
+namespace vsd::vlog {
+
+/// The fixed "extra keywords" list from Fig. 3 (supplemented Verilog
+/// constructs such as negedge/endmodule).
+const std::vector<std::string>& extra_keywords();
+
+/// Structural operator lexemes that also count as significant.
+const std::vector<std::string>& significant_operators();
+
+/// Walks a module's AST and collects its AST keywords: every identifier
+/// leaf and every numeric literal spelled in a range/select position.
+std::set<std::string> extract_ast_keywords(const Module& m);
+
+/// Significant tokens of a whole source unit:
+/// AST keywords of every module ∪ extra keywords ∪ structural operators.
+std::set<std::string> significant_tokens(const SourceUnit& unit);
+
+/// Convenience: parses `source` and returns its significant tokens.
+/// Returns an empty set when the source does not parse.
+std::set<std::string> significant_tokens(std::string_view source);
+
+}  // namespace vsd::vlog

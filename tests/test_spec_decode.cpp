@@ -1,0 +1,241 @@
+// Tests for typical acceptance (Eq. 1), the decoders, and the fragment
+// integrity check — using a model overfit on a tiny corpus so speculative
+// behaviour is deterministic.
+#include <gtest/gtest.h>
+
+#include "spec/decode.hpp"
+#include "spec/trainer.hpp"
+
+namespace vsd::spec {
+namespace {
+
+TEST(Acceptance, HighProbTokenAccepted) {
+  TypicalAcceptance acc;
+  std::vector<float> probs = {0.9f, 0.05f, 0.05f};
+  EXPECT_TRUE(acc.accepts(probs, 0));
+  EXPECT_FALSE(acc.accepts(probs, 1));
+}
+
+TEST(Acceptance, UniformDistributionLoosensThreshold) {
+  TypicalAcceptance acc;
+  // High entropy => threshold = delta * exp(-H) gets small; even modest
+  // probabilities pass.
+  std::vector<float> probs(50, 0.02f);
+  EXPECT_TRUE(acc.accepts(probs, 7));  // 0.02 > 0.3*exp(-ln50)=0.006
+}
+
+TEST(Acceptance, PeakedDistributionRejectsTail) {
+  TypicalAcceptance acc;
+  std::vector<float> probs = {0.98f, 0.01f, 0.01f};
+  // Low entropy => threshold ~ min(0.09, 0.3*exp(-0.1)) ~ 0.09.
+  EXPECT_FALSE(acc.accepts(probs, 2));
+}
+
+TEST(Acceptance, EntropyOfUniform) {
+  std::vector<float> probs(8, 0.125f);
+  EXPECT_NEAR(TypicalAcceptance::entropy(probs), std::log(8.0), 1e-5);
+}
+
+TEST(Softmax, NormalisesAndRespectsTemperature) {
+  std::vector<float> logits = {1.0f, 2.0f, 3.0f};
+  const auto p1 = softmax(logits, 1.0f);
+  double sum = 0.0;
+  for (const float p : p1) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+  const auto p_cold = softmax(logits, 0.25f);
+  EXPECT_GT(p_cold[2], p1[2]);  // lower temperature sharpens
+}
+
+TEST(PickToken, GreedyIsArgmax) {
+  Rng rng(1);
+  std::vector<float> logits = {0.1f, 5.0f, 1.0f};
+  EXPECT_EQ(pick_token(logits, 0.0f, rng), 1);
+}
+
+TEST(PickToken, SamplingCoversSupport) {
+  Rng rng(2);
+  std::vector<float> logits = {2.0f, 2.0f};
+  int counts[2] = {0, 0};
+  for (int i = 0; i < 200; ++i) ++counts[pick_token(logits, 1.0f, rng)];
+  EXPECT_GT(counts[0], 40);
+  EXPECT_GT(counts[1], 40);
+}
+
+// --- end-to-end decoding on an overfit model -------------------------------
+
+struct Fixture {
+  nn::ModelConfig cfg;
+  std::unique_ptr<nn::TransformerModel> model;
+  std::vector<int> prompt;
+  std::vector<int> code;
+
+  explicit Fixture(Method method) {
+    cfg.vocab = 48;
+    cfg.d_model = 32;
+    cfg.n_layers = 2;
+    cfg.n_heads = 2;
+    cfg.d_ff = 64;
+    cfg.max_seq = 96;
+    cfg.n_medusa_heads = method == Method::NTP ? 0 : 6;
+    model = std::make_unique<nn::TransformerModel>(cfg, 11);
+
+    // A synthetic "marked" token sequence: fragments of 2-3 tokens each
+    // terminated by kFrag, ending in EOS.
+    const int F = text::Tokenizer::kFrag;
+    prompt = {10, 11, 12};
+    code = {20, 21, F, 22, F, 23, 24, 25, F, 26, 27, F, text::Tokenizer::kEos};
+
+    TrainConfig tc;
+    tc.method = method;
+    tc.epochs = 60;
+    tc.lr = 3e-3f;
+    tc.warmup_steps = 5;
+    tc.max_seq = 96;
+    Trainer trainer(*model, tc);
+    EncodedExample ex;
+    ex.prompt_ids = prompt;
+    ex.code_ids = code;
+    trainer.fit({ex});
+  }
+
+  std::vector<int> full_prompt() const {
+    std::vector<int> ids = {text::Tokenizer::kBos};
+    ids.insert(ids.end(), prompt.begin(), prompt.end());
+    return ids;
+  }
+};
+
+TEST(DecodeE2E, NtpReproducesMemorisedCode) {
+  Fixture f(Method::NTP);
+  Decoder dec(*f.model);
+  DecodeConfig cfg;
+  cfg.max_new_tokens = 32;
+  Rng rng(3);
+  const DecodeResult r = dec.ntp(f.full_prompt(), cfg, rng);
+  EXPECT_TRUE(r.hit_eos);
+  const std::vector<int> expected(f.code.begin(), f.code.end() - 1);
+  EXPECT_EQ(r.ids, expected);
+  EXPECT_EQ(r.steps, static_cast<int>(f.code.size()));  // one step per token
+}
+
+TEST(DecodeE2E, SpeculativeMatchesNtpOutputWithFewerSteps) {
+  Fixture f(Method::Ours);
+  Decoder dec(*f.model);
+  DecodeConfig cfg;
+  cfg.max_new_tokens = 32;
+  cfg.num_heads = 6;
+  Rng rng(4);
+  const DecodeResult ntp_like = dec.ntp(f.full_prompt(), cfg, rng);
+  const DecodeResult spec = dec.speculative(f.full_prompt(), cfg, rng);
+  EXPECT_EQ(spec.ids, ntp_like.ids);  // greedy speculative decoding is lossless
+  EXPECT_LT(spec.steps, ntp_like.steps);
+  EXPECT_GT(spec.mean_accepted(), 1.0);
+}
+
+TEST(DecodeE2E, FragmentIntegrityEndsStepsAtBoundaries) {
+  Fixture f(Method::Ours);
+  Decoder dec(*f.model);
+  DecodeConfig cfg;
+  cfg.max_new_tokens = 32;
+  cfg.num_heads = 6;
+  cfg.fragment_integrity = true;
+  Rng rng(5);
+  const DecodeResult r = dec.speculative(f.full_prompt(), cfg, rng);
+  // Every committed burst of >= 2 tokens must end on [FRAG] or EOS.
+  std::size_t pos = 0;
+  for (const int accepted : r.accepted_per_step) {
+    pos += static_cast<std::size_t>(accepted);
+    if (accepted >= 2 && pos <= r.ids.size() && pos >= 1) {
+      const int last = r.ids[pos - 1];
+      // The final step may have been cut by EOS (not present in ids).
+      if (pos < r.ids.size()) {
+        EXPECT_EQ(last, text::Tokenizer::kFrag)
+            << "burst of " << accepted << " not fragment-aligned";
+      }
+    }
+  }
+  // Output should still match the memorised sequence.
+  const std::vector<int> expected(f.code.begin(), f.code.end() - 1);
+  EXPECT_EQ(r.ids, expected);
+}
+
+TEST(DecodeE2E, StepAccountingConsistent) {
+  Fixture f(Method::Medusa);
+  Decoder dec(*f.model);
+  DecodeConfig cfg;
+  cfg.max_new_tokens = 32;
+  cfg.num_heads = 6;
+  Rng rng(6);
+  const DecodeResult r = dec.speculative(f.full_prompt(), cfg, rng);
+  EXPECT_EQ(r.accepted_per_step.size(), static_cast<std::size_t>(r.steps));
+  long sum = 0;
+  for (const int a : r.accepted_per_step) sum += a;
+  // Committed tokens == generated ids (+1 for the consumed EOS).
+  EXPECT_GE(sum, static_cast<long>(r.ids.size()));
+  EXPECT_GT(r.positions, 0);
+}
+
+TEST(DecodeE2E, MultipleCandidatesStillCorrect) {
+  Fixture f(Method::Ours);
+  Decoder dec(*f.model);
+  DecodeConfig cfg;
+  cfg.max_new_tokens = 32;
+  cfg.num_heads = 6;
+  cfg.num_candidates = 3;
+  Rng rng(8);
+  const DecodeResult r = dec.speculative(f.full_prompt(), cfg, rng);
+  const std::vector<int> expected(f.code.begin(), f.code.end() - 1);
+  EXPECT_EQ(r.ids, expected);
+}
+
+TEST(DecodeE2E, MeasureStepSecondsPositive) {
+  Fixture f(Method::NTP);
+  Decoder dec(*f.model);
+  EXPECT_GT(dec.measure_step_seconds(16, 4), 0.0);
+}
+
+TEST(Trainer, LossDecreases) {
+  Fixture f(Method::Ours);  // Fixture already trains; retrain and inspect
+  nn::ModelConfig cfg = f.cfg;
+  nn::TransformerModel fresh(cfg, 21);
+  TrainConfig tc;
+  tc.method = Method::Ours;
+  tc.epochs = 20;
+  tc.lr = 3e-3f;
+  tc.warmup_steps = 3;
+  Trainer trainer(fresh, tc);
+  EncodedExample ex;
+  ex.prompt_ids = f.prompt;
+  ex.code_ids = f.code;
+  const TrainStats stats = trainer.fit({ex});
+  EXPECT_LT(stats.final_loss, stats.first_loss);
+  EXPECT_EQ(stats.steps, 20);
+}
+
+TEST(Trainer, SkipsOverlongExamples) {
+  nn::ModelConfig cfg;
+  cfg.vocab = 16;
+  cfg.d_model = 8;
+  cfg.n_layers = 1;
+  cfg.n_heads = 1;
+  cfg.d_ff = 16;
+  cfg.max_seq = 32;
+  nn::TransformerModel m(cfg, 1);
+  TrainConfig tc;
+  tc.method = Method::NTP;
+  tc.epochs = 1;
+  tc.max_seq = 16;
+  Trainer trainer(m, tc);
+  EncodedExample ok;
+  ok.prompt_ids = {5, 6};
+  ok.code_ids = {7, 8, text::Tokenizer::kEos};
+  EncodedExample huge;
+  huge.prompt_ids.assign(30, 5);
+  huge.code_ids.assign(30, 6);
+  const TrainStats stats = trainer.fit({ok, huge});
+  EXPECT_EQ(stats.steps, 1);
+  EXPECT_EQ(stats.skipped, 1);
+}
+
+}  // namespace
+}  // namespace vsd::spec

@@ -1,0 +1,121 @@
+// Tests for syntax-enriched label construction (Fig. 4), including the
+// equivalence of the parallel algorithm and the naive reference.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "spec/labels.hpp"
+#include "text/bpe.hpp"
+
+namespace vsd::spec {
+namespace {
+
+constexpr int kFrag = text::Tokenizer::kFrag;     // 3
+constexpr int kPad = text::Tokenizer::kPad;       // 0
+constexpr int kIgnore = text::Tokenizer::kIgnore; // 4
+
+TEST(Labels, ShiftedLabelsLayout) {
+  const std::vector<int> ids = {10, 11, 12, 13, 14};
+  const LabelSet l = build_shifted_labels(ids, 3, kPad);
+  EXPECT_EQ(l.base, ids);
+  ASSERT_EQ(l.heads.size(), 3u);
+  EXPECT_EQ(l.heads[0], (std::vector<int>{11, 12, 13, 14, kPad}));
+  EXPECT_EQ(l.heads[1], (std::vector<int>{12, 13, 14, kPad, kPad}));
+  EXPECT_EQ(l.heads[2], (std::vector<int>{13, 14, kPad, kPad, kPad}));
+}
+
+TEST(Labels, MaskIgnoresBeyondLastFrag) {
+  // Sequence: tok F tok tok F tok   (F = frag)
+  const std::vector<int> ids = {10, kFrag, 11, 12, kFrag, 13};
+  LabelSet l = build_shifted_labels(ids, 4, kPad);
+  apply_ignore_mask_naive(l, kFrag, kPad, kIgnore);
+  // Column 0: heads hold ids[1..4] = F,11,12,F -> last frag at head 4 =>
+  // nothing below to ignore (only 4 heads).
+  EXPECT_EQ(l.heads[0][0], kFrag);
+  EXPECT_EQ(l.heads[3][0], kFrag);
+  // Column 1: heads hold ids[2..5] = 11,12,F,13 -> last frag head 3 =>
+  // head 4 ignored.
+  EXPECT_EQ(l.heads[2][1], kFrag);
+  EXPECT_EQ(l.heads[3][1], kIgnore);
+}
+
+TEST(Labels, ColumnsWithoutFragKeptUnmasked) {
+  const std::vector<int> ids = {10, 11, 12, 13, 14, 15};
+  LabelSet l = build_shifted_labels(ids, 2, kPad);
+  apply_ignore_mask_parallel(l, kFrag, kPad, kIgnore);
+  // No frag anywhere: only the PAD cells become IGNORE.
+  EXPECT_EQ(l.heads[0][0], 11);  // ids[1]
+  EXPECT_EQ(l.heads[1][0], 12);  // ids[2]
+  EXPECT_EQ(l.heads[1][4], kIgnore);  // was PAD
+}
+
+TEST(Labels, PadAlwaysBecomesIgnore) {
+  const std::vector<int> ids = {10, kFrag};
+  LabelSet l = build_syntax_enriched_labels(ids, 3, kFrag, kPad, kIgnore);
+  for (const auto& row : l.heads) {
+    for (const int v : row) EXPECT_NE(v, kPad);
+  }
+}
+
+// Property: parallel algorithm == naive reference on random sequences.
+class MaskEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaskEquivalence, ParallelMatchesNaive) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 50; ++trial) {
+    const int len = 1 + static_cast<int>(rng.next_below(40));
+    const int heads = 1 + static_cast<int>(rng.next_below(12));
+    std::vector<int> ids(static_cast<std::size_t>(len));
+    for (int& v : ids) {
+      v = rng.next_bool(0.25) ? kFrag
+                              : 10 + static_cast<int>(rng.next_below(50));
+    }
+    LabelSet a = build_shifted_labels(ids, heads, kPad);
+    LabelSet b = a;
+    // Deep-copy heads (LabelSet copy is fine: vectors copy by value).
+    apply_ignore_mask_parallel(a, kFrag, kPad, kIgnore);
+    apply_ignore_mask_naive(b, kFrag, kPad, kIgnore);
+    ASSERT_EQ(a.base, b.base);
+    for (std::size_t h = 0; h < a.heads.size(); ++h) {
+      ASSERT_EQ(a.heads[h], b.heads[h]) << "seed " << GetParam() << " trial "
+                                        << trial << " head " << h;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaskEquivalence, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Labels, IgnoreFractionGrowsWithHeadIndex) {
+  // The paper argues later heads see progressively more [IGNORE]; verify
+  // the monotone trend on a realistic marked sequence.
+  Rng rng(17);
+  std::vector<int> ids;
+  for (int i = 0; i < 400; ++i) {
+    // Fragments of random length 1..6 separated by FRAG markers.
+    const int frag_len = 1 + static_cast<int>(rng.next_below(6));
+    for (int j = 0; j < frag_len; ++j) {
+      ids.push_back(10 + static_cast<int>(rng.next_below(30)));
+    }
+    ids.push_back(kFrag);
+  }
+  const LabelSet l = build_syntax_enriched_labels(ids, 10, kFrag, kPad, kIgnore);
+  const std::vector<double> frac = ignore_fraction_per_head(l, kIgnore);
+  ASSERT_EQ(frac.size(), 10u);
+  // Overall trend: last head sees far more IGNORE than the first.
+  EXPECT_GT(frac[9], frac[0]);
+  // Monotone non-decreasing (allowing tiny numerical slack).
+  for (std::size_t h = 1; h < frac.size(); ++h) {
+    EXPECT_GE(frac[h] + 1e-9, frac[h - 1]) << "head " << h;
+  }
+}
+
+TEST(Labels, EmptyAndDegenerateInputs) {
+  const std::vector<int> empty;
+  LabelSet l = build_shifted_labels(empty, 3, kPad);
+  EXPECT_TRUE(l.base.empty());
+  apply_ignore_mask_parallel(l, kFrag, kPad, kIgnore);  // must not crash
+  LabelSet l0 = build_shifted_labels(std::vector<int>{5}, 0, kPad);
+  EXPECT_TRUE(l0.heads.empty());
+}
+
+}  // namespace
+}  // namespace vsd::spec

@@ -1,0 +1,112 @@
+// Tests for the byte-level BPE tokenizer.
+#include <gtest/gtest.h>
+
+#include "text/bpe.hpp"
+#include "vlog/fragment.hpp"
+
+namespace vsd::text {
+namespace {
+
+std::vector<std::string> verilog_corpus() {
+  return {
+      "module data_register (input clk, input [3:0] data_in, output reg [3:0] data_out);",
+      "always @(posedge clk) begin data_out <= data_in; end endmodule",
+      "module mux2to1(input [3:0] a, input [3:0] b, input sel, output [3:0] y);",
+      "assign y = sel ? b : a; endmodule",
+      "module counter(input clk, input rst, output reg [7:0] q);",
+      "always @(posedge clk or posedge rst) if (rst) q <= 0; else q <= q + 1;",
+  };
+}
+
+TEST(Bpe, ByteFallbackRoundTrip) {
+  const Tokenizer t = Tokenizer::byte_fallback();
+  const std::string text = "module m; endmodule\n";
+  const auto ids = t.encode(text);
+  EXPECT_EQ(ids.size(), text.size());
+  EXPECT_EQ(t.decode(ids), text);
+}
+
+TEST(Bpe, TrainGrowsVocabulary) {
+  Tokenizer::Config cfg;
+  cfg.vocab_size = 300;
+  const Tokenizer t = Tokenizer::train(verilog_corpus(), cfg);
+  EXPECT_GT(t.vocab_size(), Tokenizer::kNumSpecials + 256);
+  EXPECT_LE(t.vocab_size(), 300);
+}
+
+TEST(Bpe, TrainedEncodeIsShorterThanBytes) {
+  Tokenizer::Config cfg;
+  cfg.vocab_size = 400;
+  const Tokenizer t = Tokenizer::train(verilog_corpus(), cfg);
+  const std::string text = "always @(posedge clk) begin data_out <= data_in; end";
+  EXPECT_LT(t.encode(text).size(), text.size());
+}
+
+TEST(Bpe, RoundTripAfterTraining) {
+  Tokenizer::Config cfg;
+  cfg.vocab_size = 350;
+  const Tokenizer t = Tokenizer::train(verilog_corpus(), cfg);
+  for (const std::string& doc : verilog_corpus()) {
+    EXPECT_EQ(t.decode(t.encode(doc)), doc);
+  }
+  // Unseen text still round-trips via byte fallback.
+  const std::string unseen = "module weird_name_xyz(input zq); endmodule";
+  EXPECT_EQ(t.decode(t.encode(unseen)), unseen);
+}
+
+TEST(Bpe, FragMarkerIsAtomic) {
+  const Tokenizer t = Tokenizer::byte_fallback();
+  const std::string marked = "[FRAG]module[FRAG] m;";
+  const auto ids = t.encode(marked);
+  EXPECT_EQ(ids[0], Tokenizer::kFrag);
+  int frag_count = 0;
+  for (const int id : ids) frag_count += id == Tokenizer::kFrag ? 1 : 0;
+  EXPECT_EQ(frag_count, 2);
+  // Decode drops markers by default, keeps them when asked.
+  EXPECT_EQ(t.decode(ids), "module m;");
+  EXPECT_EQ(t.decode(ids, /*keep_special=*/true), marked);
+}
+
+TEST(Bpe, MergesNeverCrossFragBoundary) {
+  // Train on heavily marked text; [FRAG] must stay a single special id.
+  std::vector<std::string> corpus;
+  for (const std::string& doc : verilog_corpus()) {
+    corpus.push_back(vlog::mark_fragments(doc));
+  }
+  Tokenizer::Config cfg;
+  cfg.vocab_size = 400;
+  const Tokenizer t = Tokenizer::train(corpus, cfg);
+  const auto ids = t.encode("[FRAG]assign[FRAG] y = a;");
+  EXPECT_EQ(ids[0], Tokenizer::kFrag);
+  EXPECT_EQ(t.decode(ids), "assign y = a;");
+}
+
+TEST(Bpe, BosEosIgnorePad) {
+  const Tokenizer t = Tokenizer::byte_fallback();
+  const auto ids = t.encode("a", true, true);
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids.front(), Tokenizer::kBos);
+  EXPECT_EQ(ids.back(), Tokenizer::kEos);
+  EXPECT_EQ(t.decode(ids), "a");
+  EXPECT_TRUE(t.is_special(Tokenizer::kPad));
+  EXPECT_TRUE(t.is_special(Tokenizer::kIgnore));
+}
+
+TEST(Bpe, SerializeRoundTrip) {
+  Tokenizer::Config cfg;
+  cfg.vocab_size = 350;
+  const Tokenizer t = Tokenizer::train(verilog_corpus(), cfg);
+  const Tokenizer t2 = Tokenizer::deserialize(t.serialize());
+  EXPECT_EQ(t2.vocab_size(), t.vocab_size());
+  const std::string text = "always @(posedge clk) q <= q + 1;";
+  EXPECT_EQ(t.encode(text), t2.encode(text));
+}
+
+TEST(Bpe, EmptyInput) {
+  const Tokenizer t = Tokenizer::byte_fallback();
+  EXPECT_TRUE(t.encode("").empty());
+  EXPECT_EQ(t.decode(std::vector<int>{}), "");
+}
+
+}  // namespace
+}  // namespace vsd::text

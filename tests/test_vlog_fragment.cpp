@@ -1,0 +1,213 @@
+// Tests for number decoding, significant-token extraction (Fig. 3) and
+// [FRAG] marker insertion.
+#include <gtest/gtest.h>
+
+#include "vlog/fragment.hpp"
+#include "vlog/number.hpp"
+#include "vlog/parser.hpp"
+#include "vlog/significant.hpp"
+
+namespace vsd::vlog {
+namespace {
+
+// --- number decoding -------------------------------------------------------
+
+TEST(Number, PlainDecimal) {
+  const DecodedNumber d = decode_number("42");
+  ASSERT_TRUE(d.ok);
+  EXPECT_FALSE(d.is_real);
+  EXPECT_TRUE(d.is_signed);
+  EXPECT_EQ(d.width, 32);
+  EXPECT_EQ(d.bits.substr(d.bits.size() - 6), "101010");
+}
+
+TEST(Number, SizedBinary) {
+  const DecodedNumber d = decode_number("4'b10x0");
+  ASSERT_TRUE(d.ok);
+  EXPECT_EQ(d.width, 4);
+  EXPECT_EQ(d.bits, "10x0");
+}
+
+TEST(Number, SizedHex) {
+  const DecodedNumber d = decode_number("8'hA5");
+  ASSERT_TRUE(d.ok);
+  EXPECT_EQ(d.bits, "10100101");
+}
+
+TEST(Number, SizedOctal) {
+  const DecodedNumber d = decode_number("6'o52");
+  ASSERT_TRUE(d.ok);
+  EXPECT_EQ(d.bits, "101010");
+}
+
+TEST(Number, SignedFlag) {
+  const DecodedNumber d = decode_number("8'shFF");
+  ASSERT_TRUE(d.ok);
+  EXPECT_TRUE(d.is_signed);
+  EXPECT_EQ(d.bits, "11111111");
+}
+
+TEST(Number, TruncatesWhenTooWide) {
+  const DecodedNumber d = decode_number("4'hFF");
+  ASSERT_TRUE(d.ok);
+  EXPECT_EQ(d.bits, "1111");
+}
+
+TEST(Number, ZeroExtendsWhenNarrow) {
+  const DecodedNumber d = decode_number("8'b11");
+  ASSERT_TRUE(d.ok);
+  EXPECT_EQ(d.bits, "00000011");
+}
+
+TEST(Number, XExtension) {
+  const DecodedNumber d = decode_number("8'bx1");
+  ASSERT_TRUE(d.ok);
+  EXPECT_EQ(d.bits, "xxxxxxx1");
+}
+
+TEST(Number, AllXDecimal) {
+  const DecodedNumber d = decode_number("8'dx");
+  ASSERT_TRUE(d.ok);
+  EXPECT_EQ(d.bits, "xxxxxxxx");
+}
+
+TEST(Number, UnsizedBased) {
+  const DecodedNumber d = decode_number("'d255");
+  ASSERT_TRUE(d.ok);
+  EXPECT_EQ(d.width, 32);
+  EXPECT_FALSE(d.is_signed);
+}
+
+TEST(Number, BigDecimal) {
+  const DecodedNumber d = decode_number("4294967295");  // 2^32 - 1
+  ASSERT_TRUE(d.ok);
+  EXPECT_EQ(d.bits, std::string(32, '1'));
+}
+
+TEST(Number, Reals) {
+  const DecodedNumber d = decode_number("2.5e-3");
+  ASSERT_TRUE(d.ok);
+  EXPECT_TRUE(d.is_real);
+  EXPECT_DOUBLE_EQ(d.real_value, 0.0025);
+}
+
+TEST(Number, Underscores) {
+  const DecodedNumber d = decode_number("8'b1010_1010");
+  ASSERT_TRUE(d.ok);
+  EXPECT_EQ(d.bits, "10101010");
+}
+
+TEST(Number, Rejects) {
+  EXPECT_FALSE(decode_number("").ok);
+  EXPECT_FALSE(decode_number("8'q0").ok);
+  EXPECT_FALSE(decode_number("0'b0").ok);
+}
+
+// --- significant tokens (Fig. 3) -------------------------------------------
+
+constexpr const char* kDataRegister = R"(
+module data_register (
+    input clk,
+    input [3:0] data_in,
+    output reg [3:0] data_out
+);
+    always @(posedge clk) begin
+        data_out <= data_in;
+    end
+endmodule
+)";
+
+TEST(Significant, AstKeywordsMatchFig3) {
+  auto r = parse(kDataRegister);
+  ASSERT_TRUE(r.ok) << r.error;
+  const auto kw = extract_ast_keywords(*r.unit->modules[0]);
+  // The paper's Fig. 3 lists: data_register, reg?, clk, 3, data_in, data_out.
+  EXPECT_TRUE(kw.count("data_register"));
+  EXPECT_TRUE(kw.count("clk"));
+  EXPECT_TRUE(kw.count("data_in"));
+  EXPECT_TRUE(kw.count("data_out"));
+  EXPECT_TRUE(kw.count("3"));
+}
+
+TEST(Significant, IncludesExtraKeywordsAndOperators) {
+  const auto sig = significant_tokens(std::string_view(kDataRegister));
+  EXPECT_TRUE(sig.count("module"));
+  EXPECT_TRUE(sig.count("endmodule"));
+  EXPECT_TRUE(sig.count("posedge"));
+  EXPECT_TRUE(sig.count("("));
+  EXPECT_TRUE(sig.count(";"));
+  EXPECT_TRUE(sig.count("<="));
+}
+
+TEST(Significant, UnparsableSourceGivesEmptySet) {
+  EXPECT_TRUE(significant_tokens(std::string_view("not verilog at all (")).empty());
+}
+
+// --- fragment markers -------------------------------------------------------
+
+TEST(Fragment, MarksSignificantTokens) {
+  const std::string marked = mark_fragments(kDataRegister);
+  EXPECT_NE(marked.find("[FRAG]module[FRAG]"), std::string::npos);
+  EXPECT_NE(marked.find("[FRAG]data_register[FRAG]"), std::string::npos);
+  EXPECT_NE(marked.find("[FRAG]<=[FRAG]"), std::string::npos);
+  EXPECT_NE(marked.find("[FRAG]endmodule[FRAG]"), std::string::npos);
+}
+
+TEST(Fragment, InsignificantGlueIsUnmarked) {
+  // '[' and ':' and ',' are not significant; "[3:0]" keeps its brackets bare.
+  const std::string marked = mark_fragments(kDataRegister);
+  EXPECT_NE(marked.find("[[FRAG]3[FRAG]:0]"), std::string::npos);
+}
+
+TEST(Fragment, StripInvertsMark) {
+  const std::string marked = mark_fragments(kDataRegister);
+  EXPECT_EQ(strip_frag_markers(marked), kDataRegister);
+}
+
+TEST(Fragment, StripOnUnmarkedIsIdentity) {
+  EXPECT_EQ(strip_frag_markers("module m; endmodule"), "module m; endmodule");
+}
+
+TEST(Fragment, MarkedSourceStillParsesAfterStrip) {
+  const std::string marked = mark_fragments(kDataRegister);
+  EXPECT_TRUE(syntax_ok(strip_frag_markers(marked)));
+}
+
+TEST(Fragment, SplitFragments) {
+  const auto pieces = split_fragments("[FRAG]a[FRAG] [FRAG]b[FRAG]");
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], " ");
+  EXPECT_EQ(pieces[2], "b");
+}
+
+TEST(Fragment, CommentsNeverMarked) {
+  const std::string code =
+      "module m; // module comment mentioning module\nendmodule\n";
+  const std::string marked = mark_fragments(code);
+  EXPECT_NE(marked.find("// module comment mentioning module"), std::string::npos);
+}
+
+TEST(Fragment, UnlexableCodeReturnedVerbatim) {
+  const std::string junk = "module \x01 nope";
+  EXPECT_EQ(insert_frag_markers(junk, {"module"}), junk);
+}
+
+// Property: strip(mark(x)) == x over a corpus of modules.
+class MarkRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MarkRoundTrip, StripUndoesMark) {
+  const std::string code = GetParam();
+  EXPECT_EQ(strip_frag_markers(mark_fragments(code)), code);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, MarkRoundTrip,
+    ::testing::Values(
+        "module m; endmodule",
+        "module add(input [3:0] a, b, output [4:0] s); assign s = a + b; endmodule",
+        "module q(input clk, d, output reg o); always @(posedge clk) o <= d; endmodule",
+        "module c; reg [1:0] s; always @(*) case (s) 2'd0: x = 1; default: x = 0; endcase endmodule"));
+
+}  // namespace
+}  // namespace vsd::vlog

@@ -1,0 +1,166 @@
+// Unit tests for the Verilog lexer.
+#include <gtest/gtest.h>
+
+#include "vlog/lexer.hpp"
+
+namespace vsd::vlog {
+namespace {
+
+std::vector<Token> lex_ok(std::string_view src) {
+  LexResult r = lex(src);
+  EXPECT_TRUE(r.ok) << r.error;
+  return r.tokens;
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  const auto toks = lex_ok("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokenKind::Eof);
+}
+
+TEST(Lexer, Identifiers) {
+  const auto toks = lex_ok("foo _bar baz_123 a$b");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[0].text, "foo");
+  EXPECT_EQ(toks[1].text, "_bar");
+  EXPECT_EQ(toks[2].text, "baz_123");
+  EXPECT_EQ(toks[3].text, "a$b");
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(toks[i].kind, TokenKind::Identifier);
+}
+
+TEST(Lexer, EscapedIdentifier) {
+  const auto toks = lex_ok("\\my+weird!name rest");
+  EXPECT_EQ(toks[0].kind, TokenKind::Identifier);
+  EXPECT_EQ(toks[0].text, "my+weird!name");
+  EXPECT_EQ(toks[1].text, "rest");
+}
+
+TEST(Lexer, KeywordsAreClassified) {
+  const auto toks = lex_ok("module endmodule always posedge");
+  EXPECT_TRUE(toks[0].is_kw(Keyword::Module));
+  EXPECT_TRUE(toks[1].is_kw(Keyword::Endmodule));
+  EXPECT_TRUE(toks[2].is_kw(Keyword::Always));
+  EXPECT_TRUE(toks[3].is_kw(Keyword::Posedge));
+}
+
+TEST(Lexer, SystemIdentifiers) {
+  const auto toks = lex_ok("$display $finish $signed");
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(toks[i].kind, TokenKind::SystemIdentifier);
+  }
+  EXPECT_EQ(toks[0].text, "$display");
+}
+
+TEST(Lexer, DecimalNumbers) {
+  const auto toks = lex_ok("0 42 1_000");
+  EXPECT_EQ(toks[0].text, "0");
+  EXPECT_EQ(toks[1].text, "42");
+  EXPECT_EQ(toks[2].text, "1_000");
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(toks[i].kind, TokenKind::Number);
+}
+
+TEST(Lexer, BasedNumbers) {
+  const auto toks = lex_ok("4'b10x0 8'hFF 'd15 12'o777 8'shA5");
+  EXPECT_EQ(toks[0].text, "4'b10x0");
+  EXPECT_EQ(toks[1].text, "8'hFF");
+  EXPECT_EQ(toks[2].text, "'d15");
+  EXPECT_EQ(toks[3].text, "12'o777");
+  EXPECT_EQ(toks[4].text, "8'shA5");
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(toks[i].kind, TokenKind::Number);
+}
+
+TEST(Lexer, SizeWithSpaceBeforeBase) {
+  const auto toks = lex_ok("4 'b1010");
+  ASSERT_GE(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, TokenKind::Number);
+  EXPECT_EQ(toks[0].text, "4'b1010");
+}
+
+TEST(Lexer, RealNumbers) {
+  const auto toks = lex_ok("3.14 1e6 2.5e-3");
+  EXPECT_EQ(toks[0].text, "3.14");
+  EXPECT_EQ(toks[1].text, "1e6");
+  EXPECT_EQ(toks[2].text, "2.5e-3");
+}
+
+TEST(Lexer, StringsWithEscapes) {
+  const auto toks = lex_ok(R"("hello" "a\nb" "q\"q")");
+  EXPECT_EQ(toks[0].text, "hello");
+  EXPECT_EQ(toks[1].text, "a\nb");
+  EXPECT_EQ(toks[2].text, "q\"q");
+}
+
+TEST(Lexer, LineCommentsAreSkipped) {
+  const auto toks = lex_ok("a // comment\nb");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(Lexer, BlockCommentsAreSkipped) {
+  const auto toks = lex_ok("a /* multi\nline */ b");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(Lexer, UnterminatedBlockCommentFails) {
+  const LexResult r = lex("a /* oops");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Lexer, DirectivesAreSkipped) {
+  const auto toks = lex_ok("`timescale 1ns/1ps\nmodule\n`define FOO 1\nendmodule");
+  EXPECT_TRUE(toks[0].is_kw(Keyword::Module));
+  EXPECT_TRUE(toks[1].is_kw(Keyword::Endmodule));
+}
+
+TEST(Lexer, MultiCharOperators) {
+  const auto toks = lex_ok("== != === !== <= >= << >> <<< >>> && || ** ~& ~| ~^ ^~ -> +: -:");
+  const Punct expected[] = {
+      Punct::EqEq, Punct::NotEq, Punct::CaseEq, Punct::CaseNeq,
+      Punct::LtEq, Punct::GtEq, Punct::Shl, Punct::Shr,
+      Punct::AShl, Punct::AShr, Punct::AndAnd, Punct::OrOr,
+      Punct::StarStar, Punct::TildeAmp, Punct::TildePipe, Punct::TildeCaret,
+      Punct::TildeCaret, Punct::Arrow, Punct::PlusColon, Punct::MinusColon,
+  };
+  for (std::size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_TRUE(toks[i].is_punct(expected[i])) << "index " << i << " text " << toks[i].text;
+  }
+}
+
+TEST(Lexer, SingleCharOperators) {
+  const auto toks = lex_ok("( ) [ ] { } ; , . ? @ # = + - * / % < > ! & | ^ ~ :");
+  EXPECT_TRUE(toks[0].is_punct(Punct::LParen));
+  EXPECT_TRUE(toks[12].is_punct(Punct::Assign));
+  EXPECT_TRUE(toks.back().is(TokenKind::Eof) || !toks.empty());
+}
+
+TEST(Lexer, TokenOffsetsMatchSource) {
+  const std::string src = "module foo;";
+  const auto toks = lex_ok(src);
+  for (const Token& t : toks) {
+    if (t.kind == TokenKind::Eof) continue;
+    EXPECT_EQ(src.substr(t.begin, t.end - t.begin), t.text);
+  }
+}
+
+TEST(Lexer, LineNumbersTracked) {
+  const auto toks = lex_ok("a\nb\n  c");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[2].line, 3);
+  EXPECT_EQ(toks[2].col, 3);
+}
+
+TEST(Lexer, StrayCharacterFails) {
+  const LexResult r = lex("module \x01");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Lexer, BasedLiteralWithoutDigitsFails) {
+  EXPECT_FALSE(lex("4'b").ok);
+  EXPECT_FALSE(lex("'q0").ok);
+}
+
+}  // namespace
+}  // namespace vsd::vlog

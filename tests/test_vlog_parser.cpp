@@ -1,0 +1,384 @@
+// Unit tests for the Verilog parser: module structure, declarations,
+// statements, expressions, and the print→parse round-trip property.
+#include <gtest/gtest.h>
+
+#include "vlog/parser.hpp"
+#include "vlog/printer.hpp"
+
+namespace vsd::vlog {
+namespace {
+
+std::unique_ptr<SourceUnit> parse_ok(std::string_view src) {
+  ParseResult r = parse(src);
+  EXPECT_TRUE(r.ok) << r.error << " at line " << r.error_line;
+  EXPECT_TRUE(r.unit != nullptr);
+  return std::move(r.unit);
+}
+
+const Module& only_module(const SourceUnit& u) {
+  EXPECT_EQ(u.modules.size(), 1u);
+  return *u.modules.front();
+}
+
+TEST(Parser, EmptyModule) {
+  auto u = parse_ok("module m; endmodule");
+  EXPECT_EQ(only_module(*u).name, "m");
+}
+
+TEST(Parser, AnsiPorts) {
+  auto u = parse_ok(R"(
+    module mux2to1(input [3:0] a, input [3:0] b, input sel, output [3:0] y);
+      assign y = sel ? b : a;
+    endmodule)");
+  const Module& m = only_module(*u);
+  ASSERT_EQ(m.ports.size(), 4u);
+  EXPECT_EQ(m.ports[0].name, "a");
+  EXPECT_EQ(m.ports[0].dir, PortDir::Input);
+  EXPECT_TRUE(m.ports[0].range.has_value());
+  EXPECT_EQ(m.ports[2].name, "sel");
+  EXPECT_FALSE(m.ports[2].range.has_value());
+  EXPECT_EQ(m.ports[3].dir, PortDir::Output);
+}
+
+TEST(Parser, AnsiPortsInheritDirection) {
+  auto u = parse_ok("module m(input a, b, output y); endmodule");
+  const Module& m = only_module(*u);
+  ASSERT_EQ(m.ports.size(), 3u);
+  EXPECT_EQ(m.ports[1].dir, PortDir::Input);
+  EXPECT_EQ(m.ports[2].dir, PortDir::Output);
+}
+
+TEST(Parser, NonAnsiPorts) {
+  auto u = parse_ok(R"(
+    module m(a, y);
+      input a;
+      output reg y;
+      always @(*) y = a;
+    endmodule)");
+  const Module& m = only_module(*u);
+  ASSERT_EQ(m.ports.size(), 2u);
+  EXPECT_FALSE(m.ports[0].ansi);
+}
+
+TEST(Parser, HeaderParameters) {
+  auto u = parse_ok(R"(
+    module m #(parameter W = 8, parameter D = 16) (input [W-1:0] x);
+    endmodule)");
+  const Module& m = only_module(*u);
+  ASSERT_EQ(m.header_params.size(), 2u);
+  EXPECT_EQ(m.header_params[0].name, "W");
+  EXPECT_EQ(m.header_params[1].name, "D");
+}
+
+TEST(Parser, OutputRegPort) {
+  auto u = parse_ok("module m(output reg [7:0] q); endmodule");
+  const Module& m = only_module(*u);
+  EXPECT_TRUE(m.ports[0].is_reg);
+}
+
+TEST(Parser, NetDeclarations) {
+  auto u = parse_ok(R"(
+    module m;
+      wire w1, w2;
+      reg [3:0] r = 4'b0;
+      integer i;
+      reg [7:0] mem [0:255];
+      wire signed [15:0] s;
+    endmodule)");
+  const Module& m = only_module(*u);
+  ASSERT_EQ(m.items.size(), 5u);
+  const auto& mem = static_cast<const NetDeclItem&>(*m.items[3]);
+  EXPECT_TRUE(mem.nets[0].unpacked.has_value());
+  const auto& s = static_cast<const NetDeclItem&>(*m.items[4]);
+  EXPECT_TRUE(s.is_signed);
+}
+
+TEST(Parser, ParameterAndLocalparam) {
+  auto u = parse_ok(R"(
+    module m;
+      parameter WIDTH = 8;
+      localparam DEPTH = 1 << WIDTH;
+    endmodule)");
+  const Module& m = only_module(*u);
+  const auto& p0 = static_cast<const ParamDeclItem&>(*m.items[0]);
+  const auto& p1 = static_cast<const ParamDeclItem&>(*m.items[1]);
+  EXPECT_FALSE(p0.local);
+  EXPECT_TRUE(p1.local);
+}
+
+TEST(Parser, ContinuousAssignMultiple) {
+  auto u = parse_ok("module m; assign a = b, c = d; endmodule");
+  const auto& a = static_cast<const ContAssignItem&>(*only_module(*u).items[0]);
+  EXPECT_EQ(a.assigns.size(), 2u);
+}
+
+TEST(Parser, AlwaysPosedgeWithReset) {
+  auto u = parse_ok(R"(
+    module m(input clk, input rst_n, input d, output reg q);
+      always @(posedge clk or negedge rst_n)
+        if (!rst_n) q <= 1'b0;
+        else q <= d;
+    endmodule)");
+  const auto& a = static_cast<const AlwaysItem&>(*only_module(*u).items[0]);
+  const auto& ec = static_cast<const EventControlStmt&>(*a.body);
+  ASSERT_EQ(ec.events.size(), 2u);
+  EXPECT_EQ(ec.events[0].edge, EdgeKind::Posedge);
+  EXPECT_EQ(ec.events[1].edge, EdgeKind::Negedge);
+}
+
+TEST(Parser, AlwaysStarForms) {
+  parse_ok("module m; always @(*) x = y; endmodule");
+  parse_ok("module m; always @* x = y; endmodule");
+}
+
+TEST(Parser, CaseStatement) {
+  auto u = parse_ok(R"(
+    module m(input [1:0] s, output reg [3:0] y);
+      always @(*)
+        case (s)
+          2'b00: y = 4'd1;
+          2'b01, 2'b10: y = 4'd2;
+          default: y = 4'd0;
+        endcase
+    endmodule)");
+  const auto& a = static_cast<const AlwaysItem&>(*only_module(*u).items[0]);
+  const auto& ec = static_cast<const EventControlStmt&>(*a.body);
+  const auto& cs = static_cast<const CaseStmt&>(*ec.body);
+  ASSERT_EQ(cs.items.size(), 3u);
+  EXPECT_EQ(cs.items[1].labels.size(), 2u);
+  EXPECT_TRUE(cs.items[2].labels.empty());
+}
+
+TEST(Parser, CasezCasex) {
+  parse_ok("module m; always @(*) casez (x) 2'b1?: y = 1; endcase endmodule");
+  parse_ok("module m; always @(*) casex (x) 2'b1x: y = 1; endcase endmodule");
+}
+
+TEST(Parser, ForLoop) {
+  auto u = parse_ok(R"(
+    module m;
+      integer i;
+      reg [7:0] acc;
+      always @(*) begin
+        acc = 0;
+        for (i = 0; i < 8; i = i + 1)
+          acc = acc + i;
+      end
+    endmodule)");
+  EXPECT_EQ(only_module(*u).items.size(), 3u);
+}
+
+TEST(Parser, WhileRepeatForever) {
+  parse_ok("module m; initial begin while (x < 4) x = x + 1; end endmodule");
+  parse_ok("module m; initial repeat (3) x = x + 1; endmodule");
+  parse_ok("module m; initial forever #5 clk = ~clk; endmodule");
+}
+
+TEST(Parser, DelaysAndEventControls) {
+  parse_ok("module m; initial begin #10; #5 x = 1; @(posedge clk) y = 1; end endmodule");
+}
+
+TEST(Parser, IntraAssignmentDelay) {
+  auto u = parse_ok("module m; initial q <= #1 d; endmodule");
+  const auto& i = static_cast<const InitialItem&>(*only_module(*u).items[0]);
+  const auto& a = static_cast<const AssignStmt&>(*i.body);
+  EXPECT_TRUE(a.non_blocking);
+  EXPECT_TRUE(a.delay != nullptr);
+}
+
+TEST(Parser, SystemTasks) {
+  parse_ok(R"(
+    module m;
+      initial begin
+        $display("x=%d", x);
+        $monitor("t=%0t", $time);
+        $finish;
+      end
+    endmodule)");
+}
+
+TEST(Parser, Instances) {
+  auto u = parse_ok(R"(
+    module top(input clk, output [3:0] q);
+      counter #(.W(4)) u0 (.clk(clk), .q(q));
+      counter u1 (clk, q);
+      counter u2 (.clk(clk), .q());
+    endmodule)");
+  const Module& m = only_module(*u);
+  const auto& u0 = static_cast<const InstanceItem&>(*m.items[0]);
+  EXPECT_EQ(u0.module_name, "counter");
+  EXPECT_EQ(u0.param_overrides.size(), 1u);
+  EXPECT_EQ(u0.param_overrides[0].formal, "W");
+  const auto& u1 = static_cast<const InstanceItem&>(*m.items[1]);
+  EXPECT_TRUE(u1.connections[0].formal.empty());
+  const auto& u2 = static_cast<const InstanceItem&>(*m.items[2]);
+  EXPECT_TRUE(u2.connections[1].actual == nullptr);
+}
+
+TEST(Parser, ExpressionsFullPrecedence) {
+  auto u = parse_ok("module m; assign y = a + b * c - d % e; endmodule");
+  const auto& a = static_cast<const ContAssignItem&>(*only_module(*u).items[0]);
+  // a + (b*c) - (d%e), left-assoc:  (a + (b*c)) - (d%e)
+  const auto& top = static_cast<const BinaryExpr&>(*a.assigns[0].second);
+  EXPECT_EQ(top.op, BinaryOp::Sub);
+  const auto& lhs = static_cast<const BinaryExpr&>(*top.lhs);
+  EXPECT_EQ(lhs.op, BinaryOp::Add);
+}
+
+TEST(Parser, TernaryRightAssociative) {
+  auto u = parse_ok("module m; assign y = a ? b : c ? d : e; endmodule");
+  const auto& item = static_cast<const ContAssignItem&>(*only_module(*u).items[0]);
+  const auto& t = static_cast<const TernaryExpr&>(*item.assigns[0].second);
+  EXPECT_EQ(t.else_expr->kind, ExprKind::Ternary);
+}
+
+TEST(Parser, ConcatAndReplication) {
+  auto u = parse_ok("module m; assign y = {a, b, {4{c}}}; endmodule");
+  const auto& item = static_cast<const ContAssignItem&>(*only_module(*u).items[0]);
+  const auto& c = static_cast<const ConcatExpr&>(*item.assigns[0].second);
+  ASSERT_EQ(c.parts.size(), 3u);
+  EXPECT_EQ(c.parts[2]->kind, ExprKind::Repl);
+}
+
+TEST(Parser, BitAndPartSelects) {
+  parse_ok("module m; assign y = x[3]; endmodule");
+  parse_ok("module m; assign y = x[7:4]; endmodule");
+  parse_ok("module m; assign y = x[i+:4]; endmodule");
+  parse_ok("module m; assign y = x[i-:4]; endmodule");
+}
+
+TEST(Parser, UnaryReductionOperators) {
+  parse_ok("module m; assign y = &x | ^z & ~|w; endmodule");
+}
+
+TEST(Parser, FunctionDeclarationAndCall) {
+  auto u = parse_ok(R"(
+    module m(input [7:0] a, output [7:0] y);
+      function [7:0] double;
+        input [7:0] v;
+        double = v << 1;
+      endfunction
+      assign y = double(a);
+    endmodule)");
+  const Module& m = only_module(*u);
+  EXPECT_EQ(m.items[0]->kind, ItemKind::Function);
+  const auto& f = static_cast<const FunctionItem&>(*m.items[0]);
+  EXPECT_EQ(f.name, "double");
+  ASSERT_EQ(f.args.size(), 1u);
+}
+
+TEST(Parser, TaskDeclaration) {
+  parse_ok(R"(
+    module m;
+      task show;
+        input [7:0] v;
+        $display("%d", v);
+      endtask
+      initial show(8'd3);
+    endmodule)");
+}
+
+TEST(Parser, GenerateFor) {
+  auto u = parse_ok(R"(
+    module m(input [3:0] a, output [3:0] y);
+      genvar i;
+      generate
+        for (i = 0; i < 4; i = i + 1) begin : g
+          assign y[i] = ~a[i];
+        end
+      endgenerate
+    endmodule)");
+  const Module& m = only_module(*u);
+  EXPECT_EQ(m.items[1]->kind, ItemKind::GenerateFor);
+  const auto& g = static_cast<const GenerateForItem&>(*m.items[1]);
+  EXPECT_EQ(g.genvar, "i");
+  EXPECT_EQ(g.label, "g");
+  EXPECT_EQ(g.body.size(), 1u);
+}
+
+TEST(Parser, NamedBlocks) {
+  parse_ok("module m; initial begin : blk x = 1; end endmodule");
+}
+
+TEST(Parser, HierarchicalNames) {
+  auto u = parse_ok("module m; assign y = u0.q; endmodule");
+  const auto& item = static_cast<const ContAssignItem&>(*only_module(*u).items[0]);
+  const auto& id = static_cast<const IdentExpr&>(*item.assigns[0].second);
+  EXPECT_EQ(id.full_name(), "u0.q");
+}
+
+TEST(Parser, MultipleModules) {
+  auto u = parse_ok("module a; endmodule module b; endmodule");
+  EXPECT_EQ(u->modules.size(), 2u);
+}
+
+// --- error cases ---------------------------------------------------------
+
+TEST(ParserErrors, MissingEndmodule) {
+  EXPECT_FALSE(parse("module m; assign a = b;").ok);
+}
+
+TEST(ParserErrors, MissingSemicolon) {
+  EXPECT_FALSE(parse("module m; assign a = b endmodule").ok);
+}
+
+TEST(ParserErrors, GarbageAtTopLevel) {
+  EXPECT_FALSE(parse("assign a = b;").ok);
+}
+
+TEST(ParserErrors, UnbalancedParens) {
+  EXPECT_FALSE(parse("module m; assign y = (a + b; endmodule").ok);
+}
+
+TEST(ParserErrors, IncompleteAlways) {
+  EXPECT_FALSE(parse("module m; always @(posedge clk) endmodule").ok);
+}
+
+TEST(ParserErrors, EmptySourceIsNotSyntaxOk) {
+  EXPECT_FALSE(syntax_ok(""));
+  EXPECT_FALSE(syntax_ok("// just a comment"));
+}
+
+TEST(ParserErrors, SyntaxOkAcceptsValid) {
+  EXPECT_TRUE(syntax_ok("module m(input a, output y); assign y = ~a; endmodule"));
+}
+
+// --- round-trip property ---------------------------------------------------
+
+class RoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTrip, PrintParsePrintIsStable) {
+  ParseResult first = parse(GetParam());
+  ASSERT_TRUE(first.ok) << first.error;
+  const std::string printed = print_source(*first.unit);
+  ParseResult second = parse(printed);
+  ASSERT_TRUE(second.ok) << second.error << "\nprinted:\n" << printed;
+  EXPECT_EQ(printed, print_source(*second.unit));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, RoundTrip,
+    ::testing::Values(
+        "module m; endmodule",
+        "module m(input clk, input [3:0] d, output reg [3:0] q);\n"
+        "  always @(posedge clk) q <= d;\nendmodule",
+        "module alu(input [7:0] a, input [7:0] b, input [1:0] op, output reg [7:0] y);\n"
+        "  always @(*) case (op) 2'b00: y = a + b; 2'b01: y = a - b;\n"
+        "  2'b10: y = a & b; default: y = a | b; endcase\nendmodule",
+        "module c #(parameter W = 4) (input clk, input rst, output reg [W-1:0] q);\n"
+        "  always @(posedge clk or posedge rst)\n"
+        "    if (rst) q <= 0; else q <= q + 1;\nendmodule",
+        "module t; wire [7:0] w; assign w = {4{2'b01}}; endmodule",
+        "module s; reg [7:0] m [0:15]; integer i;\n"
+        "  initial for (i = 0; i < 16; i = i + 1) m[i] = i; endmodule",
+        "module f(input [7:0] a, output [7:0] y);\n"
+        "  function [7:0] inc; input [7:0] v; inc = v + 1; endfunction\n"
+        "  assign y = inc(a);\nendmodule",
+        "module g(input [3:0] a, output [3:0] y); genvar i;\n"
+        "  generate for (i = 0; i < 4; i = i + 1) begin : b\n"
+        "  assign y[i] = a[i]; end endgenerate endmodule",
+        "module tb; reg clk; initial begin clk = 0; forever #5 clk = ~clk; end\n"
+        "  initial begin #100; $display(\"done %d\", 3); $finish; end endmodule"));
+
+}  // namespace
+}  // namespace vsd::vlog
