@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Builds the tree and runs the Table-II speed bench, writing the parsed
+# result to BENCH_table2.json (and the raw log next to it) so the perf
+# trajectory is tracked across PRs.
+#
+# Scale knobs pass through to the bench (see bench/bench_common.hpp):
+#   VSD_ITEMS=32 VSD_EPOCHS=8 scripts/bench.sh
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="$repo/build"
+out_json="$repo/BENCH_table2.json"
+out_log="$repo/BENCH_table2.txt"
+
+cmake -B "$build" -S "$repo" >/dev/null
+cmake --build "$build" -j --target bench_table2_speed >/dev/null
+
+"$build/bench/bench_table2_speed" | tee "$out_log"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+  /^# scale:/   { scale = substr($0, 10); gsub(/^ +| +$/, "", scale) }
+  /^== /        { arch = $0; sub(/^== /, "", arch); sub(/ ==$/, "", arch) }
+  /^(Ours|Medusa|NTP) / {
+    speedup = $3; sub(/x$/, "", speedup)
+    rows[n++] = sprintf("    {\"arch\": \"%s\", \"method\": \"%s\", \"tok_per_s_model\": %s, \"speedup\": %s, \"tok_per_step\": %s, \"tok_per_s_wall\": %s}",
+                        arch, $1, $2, speedup, $4, $5)
+  }
+  END {
+    printf "{\n  \"bench\": \"bench_table2_speed\",\n"
+    printf "  \"generated_utc\": \"%s\",\n", date
+    printf "  \"scale\": \"%s\",\n", scale
+    printf "  \"rows\": [\n"
+    for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")
+    printf "  ]\n}\n"
+  }
+' "$out_log" > "$out_json"
+
+echo
+echo "wrote $out_json ($(grep -c '"method"' "$out_json") rows)"

@@ -1,0 +1,97 @@
+#include "cli/args.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace vsd::cli {
+
+namespace {
+
+const OptionSpec* find(std::span<const OptionSpec> spec, const std::string& name) {
+  for (const OptionSpec& o : spec) {
+    if (name == o.name) return &o;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Args Args::parse(int argc, const char* const* argv, std::span<const OptionSpec> spec) {
+  Args a;
+  for (int i = 0; i < argc; ++i) {
+    std::string tok = argv[i];
+    if (tok.rfind("--", 0) != 0) {
+      a.positional_.push_back(std::move(tok));
+      continue;
+    }
+    std::string name = tok.substr(2);
+    std::string value;
+    bool inline_value = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      inline_value = true;
+    }
+    const OptionSpec* o = find(spec, name);
+    if (o == nullptr) {
+      a.error_ = "unknown option --" + name;
+      return a;
+    }
+    if (!o->takes_value && inline_value) {
+      a.error_ = "option --" + name + " does not take a value";
+      return a;
+    }
+    if (o->takes_value && !inline_value) {
+      if (i + 1 >= argc) {
+        a.error_ = "option --" + name + " expects a value";
+        return a;
+      }
+      value = argv[++i];
+    }
+    a.values_[name] = value;
+  }
+  return a;
+}
+
+std::string Args::get(const std::string& name, const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int Args::get_int(const std::string& name, int fallback) {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0' || errno == ERANGE ||
+      v < std::numeric_limits<int>::min() || v > std::numeric_limits<int>::max()) {
+    if (error_.empty()) error_ = "option --" + name + " expects an integer, got '" + it->second + "'";
+    return fallback;
+  }
+  return static_cast<int>(v);
+}
+
+double Args::get_double(const std::string& name, double fallback) {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    if (error_.empty()) error_ = "option --" + name + " expects a number, got '" + it->second + "'";
+    return fallback;
+  }
+  return v;
+}
+
+void print_options(std::span<const OptionSpec> spec) {
+  for (const OptionSpec& o : spec) {
+    std::string left = "--" + std::string(o.name);
+    if (o.takes_value) left += " <" + std::string(o.value_name) + ">";
+    std::printf("  %-24s %s\n", left.c_str(), o.help);
+  }
+}
+
+}  // namespace vsd::cli

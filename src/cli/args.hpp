@@ -1,0 +1,46 @@
+// Minimal command-line parsing for the `vsd` driver: positionals plus
+// `--name value` / `--name=value` options declared per subcommand.
+#pragma once
+
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace vsd::cli {
+
+struct OptionSpec {
+  const char* name;         // without the leading "--"
+  bool takes_value = true;  // false => presence-only flag
+  const char* help = "";
+  const char* value_name = "N";
+};
+
+class Args {
+ public:
+  /// Parses `argv[0..argc)` (the tokens after the subcommand) against
+  /// `spec`.  Unknown options and missing values are recorded in error().
+  static Args parse(int argc, const char* const* argv, std::span<const OptionSpec> spec);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  bool has(const std::string& name) const { return values_.count(name) != 0; }
+
+  std::string get(const std::string& name, const std::string& fallback) const;
+  int get_int(const std::string& name, int fallback);
+  double get_double(const std::string& name, double fallback);
+
+  /// First parse/convert failure, empty when everything was well-formed.
+  /// Conversion errors surface after the corresponding get_* call, so
+  /// check once after reading all options.
+  const std::string& error() const { return error_; }
+
+ private:
+  std::vector<std::string> positional_;
+  std::unordered_map<std::string, std::string> values_;
+  std::string error_;
+};
+
+/// Prints a usage block for `spec` to stdout (shared by help and errors).
+void print_options(std::span<const OptionSpec> spec);
+
+}  // namespace vsd::cli

@@ -1,0 +1,122 @@
+// `vsd decode` — the full paper pipeline as one command: build the
+// synthetic corpus, train a tokenizer and a miniature model with the
+// chosen method, generate a module with (speculative) decoding, and check
+// the result with the parser and simulator.
+#include <cstdio>
+#include <string>
+
+#include "cli/args.hpp"
+#include "cli/commands.hpp"
+#include "data/dataset.hpp"
+#include "eval/harness.hpp"
+#include "sim/check.hpp"
+#include "vlog/parser.hpp"
+
+namespace vsd::cli {
+
+namespace {
+
+constexpr OptionSpec kOptions[] = {
+    {"prompt", true, "instruction to generate from (default: a 2-to-1 mux spec)", "TEXT"},
+    {"method", true, "ours | medusa | ntp (default ours)", "NAME"},
+    {"items", true, "corpus size (default 48)"},
+    {"epochs", true, "training epochs (default 3)"},
+    {"seed", true, "global seed (default 7)"},
+    {"max-tokens", true, "generation budget (default 220)"},
+    {"temperature", true, "sampling temperature, 0 = greedy (default 0)", "T"},
+    {"enc-dec", false, "use the encoder-decoder (CodeT5p-like) architecture"},
+    {"strict", false, "exit nonzero when the generated code fails the checks"},
+    {"help", false, "show this help"},
+};
+
+constexpr const char* kDefaultInstruction =
+    "Write a simple Verilog code for a 2-to-1 multiplexer of 4-bit inputs "
+    "`a` and `b`; output `y` equals `b` when `sel` is 1.";
+
+bool parse_method(const std::string& name, spec::Method& out) {
+  if (name == "ours") out = spec::Method::Ours;
+  else if (name == "medusa") out = spec::Method::Medusa;
+  else if (name == "ntp") out = spec::Method::NTP;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+void print_decode_help() {
+  std::printf("usage: vsd decode [options]\n\n"
+              "Trains a miniature system on the synthetic corpus and generates\n"
+              "one module with the chosen decoding method, then syntax- and\n"
+              "compile-checks the result.  Exit code: 0 once the pipeline ran\n"
+              "(with --strict, %d if the generated code fails a check).\n\noptions:\n",
+              kExitSyntax);
+  print_options(kOptions);
+}
+
+int cmd_decode(int argc, const char* const* argv) {
+  Args args = Args::parse(argc, argv, kOptions);
+  if (args.has("help")) {
+    print_decode_help();
+    return kExitOk;
+  }
+
+  spec::Method method = spec::Method::Ours;
+  if (!parse_method(args.get("method", "ours"), method)) {
+    std::fprintf(stderr, "vsd decode: unknown method '%s' (ours|medusa|ntp)\n",
+                 args.get("method", "").c_str());
+    return kExitUsage;
+  }
+  eval::SystemConfig cfg;
+  cfg.method = method;
+  cfg.encoder_decoder = args.has("enc-dec");
+  cfg.epochs = args.get_int("epochs", 3);
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  data::DatasetConfig dcfg;
+  dcfg.target_items = args.get_int("items", 48);
+  dcfg.seed = cfg.seed;
+  spec::DecodeConfig dc;
+  dc.max_new_tokens = args.get_int("max-tokens", 220);
+  dc.temperature = static_cast<float>(args.get_double("temperature", 0.0));
+  if (!args.error().empty() || !args.positional().empty()) {
+    std::fprintf(stderr, "vsd decode: %s\n",
+                 args.error().empty() ? "unexpected positional argument"
+                                      : args.error().c_str());
+    return kExitUsage;
+  }
+
+  const data::Dataset dataset = data::build_dataset(dcfg);
+  std::printf("dataset: %zu cleaned (module,description) pairs\n",
+              dataset.items.size());
+  const text::Tokenizer tokenizer =
+      text::Tokenizer::train(data::tokenizer_corpus(dataset), {.vocab_size = 384});
+  std::printf("tokenizer: vocab=%d\n", tokenizer.vocab_size());
+
+  std::printf("training %s (%s) ...\n", spec::method_name(method),
+              cfg.encoder_decoder ? "enc-dec" : "dec-only");
+  std::fflush(stdout);
+  const eval::TrainedSystem sys = eval::train_system(cfg, dataset, tokenizer);
+  std::printf("trained: %d steps, loss %.3f -> %.3f\n", sys.train_stats.steps,
+              sys.train_stats.first_loss, sys.train_stats.final_loss);
+
+  const std::string prompt =
+      data::alpaca_prompt(args.get("prompt", kDefaultInstruction));
+  Rng rng(cfg.seed ^ 0x5eedu);
+  const spec::DecodeResult result = eval::generate(sys, prompt, dc, rng);
+  const std::string code = sys.tokenizer.decode(result.ids);
+  std::printf("\ngenerated in %d decode steps (%.2f tokens/step):\n%s\n",
+              result.steps, result.mean_accepted(), code.c_str());
+
+  const bool syntax = vlog::syntax_ok(code);
+  std::printf("syntax check: %s\n", syntax ? "PASS" : "FAIL");
+  bool compiles = false;
+  if (syntax) {
+    const sim::CompileCheck cc = sim::check_compiles(code);
+    compiles = cc.ok;
+    if (cc.ok) std::printf("elaboration: PASS\n");
+    else std::printf("elaboration: FAIL — %s\n", cc.error.c_str());
+  }
+  if (args.has("strict") && !(syntax && compiles)) return kExitSyntax;
+  return kExitOk;
+}
+
+}  // namespace vsd::cli

@@ -1,0 +1,139 @@
+// `vsd eval` — a compact method comparison: trains Ours / Medusa / NTP on
+// the same corpus and reports quality (pass@1, pass rate) and speed
+// (latency-model tokens/s, Eq. 3/4) side by side.  This is the benches'
+// protocol at CLI-friendly scale; use the bench_* binaries for the full
+// tables.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cli/args.hpp"
+#include "cli/commands.hpp"
+#include "eval/harness.hpp"
+
+namespace vsd::cli {
+
+namespace {
+
+constexpr OptionSpec kOptions[] = {
+    {"items", true, "corpus size (default 32)"},
+    {"epochs", true, "training epochs (default 2)"},
+    {"problems", true, "quality problems per benchmark style (default 2)"},
+    {"samples", true, "samples per problem, n in pass@k (default 2)"},
+    {"prompts", true, "speed-eval prompts (default 4)"},
+    {"max-tokens", true, "generation budget (default 200)"},
+    {"seed", true, "global seed (default 1)"},
+    {"enc-dec", false, "use the encoder-decoder (CodeT5p-like) architecture"},
+    {"no-quality", false, "skip the quality evaluation"},
+    {"no-speed", false, "skip the speed evaluation"},
+    {"help", false, "show this help"},
+};
+
+}  // namespace
+
+void print_eval_help() {
+  std::printf("usage: vsd eval [options]\n\n"
+              "Trains the three methods (Ours, Medusa, NTP) on one corpus and\n"
+              "prints a side-by-side quality and speed comparison (the paper's\n"
+              "Table I / Table II protocol at small scale).\n\noptions:\n");
+  print_options(kOptions);
+}
+
+int cmd_eval(int argc, const char* const* argv) {
+  Args args = Args::parse(argc, argv, kOptions);
+  if (args.has("help")) {
+    print_eval_help();
+    return kExitOk;
+  }
+
+  const int items = args.get_int("items", 32);
+  const int epochs = args.get_int("epochs", 2);
+  const int problems = args.get_int("problems", 2);
+  const int samples = args.get_int("samples", 2);
+  const int prompts = args.get_int("prompts", 4);
+  const int max_tokens = args.get_int("max-tokens", 200);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const bool enc_dec = args.has("enc-dec");
+  const bool run_quality = !args.has("no-quality");
+  const bool run_speed = !args.has("no-speed");
+  if (!args.error().empty() || !args.positional().empty()) {
+    std::fprintf(stderr, "vsd eval: %s\n",
+                 args.error().empty() ? "unexpected positional argument"
+                                      : args.error().c_str());
+    return kExitUsage;
+  }
+
+  data::DatasetConfig dcfg;
+  dcfg.target_items = items;
+  dcfg.seed = seed;
+  const data::Dataset dataset = data::build_dataset(dcfg);
+  const text::Tokenizer tokenizer =
+      text::Tokenizer::train(data::tokenizer_corpus(dataset), {.vocab_size = 384});
+  std::printf("dataset: %zu items; arch: %s; epochs: %d\n", dataset.items.size(),
+              enc_dec ? "enc-dec" : "dec-only", epochs);
+
+  const auto quality_problems = eval::make_from_dataset(
+      dataset, problems, eval::BenchStyle::RtllmLike, seed + 101);
+  eval::QualityOptions qopts;
+  qopts.n_samples = samples;
+  qopts.temperatures = {0.4f};
+  qopts.max_new_tokens = max_tokens;
+  qopts.ks = {1};
+  qopts.seed = seed + 5;
+
+  const auto speed_prompts = eval::make_speed_prompts(prompts, seed + 17);
+  eval::SpeedOptions sopts;
+  sopts.n_prompts = prompts;
+  sopts.max_new_tokens = max_tokens;
+  sopts.seed = seed + 7;
+
+  const spec::Method methods[3] = {spec::Method::Ours, spec::Method::Medusa,
+                                   spec::Method::NTP};
+  eval::BenchScores quality[3];
+  eval::SpeedRow speed[3];
+  double t_step = 0.0;
+  for (int m = 0; m < 3; ++m) {
+    eval::SystemConfig cfg;
+    cfg.method = methods[m];
+    cfg.encoder_decoder = enc_dec;
+    cfg.epochs = epochs;
+    cfg.seed = seed;
+    std::printf("training %-6s ...\n", spec::method_name(methods[m]));
+    std::fflush(stdout);
+    const eval::TrainedSystem sys = eval::train_system(cfg, dataset, tokenizer);
+    if (run_quality) quality[m] = eval::evaluate_quality(sys, quality_problems, qopts);
+    if (run_speed) {
+      const spec::Decoder dec(*sys.model);
+      if (t_step == 0.0) t_step = dec.measure_step_seconds(64);
+      speed[m] = eval::evaluate_speed(sys, speed_prompts, sopts, t_step);
+    }
+  }
+
+  if (run_quality) {
+    std::printf("\n-- quality (%d problems x %d samples, RTLLM-like) --\n",
+                problems, samples);
+    std::printf("%-8s %10s %10s %10s %10s\n", "Method", "func@1", "funcRate",
+                "syn@1", "synRate");
+    for (int m = 0; m < 3; ++m) {
+      const eval::BenchScores& s = quality[m];
+      std::printf("%-8s %9.2f%% %9.2f%% %9.2f%% %9.2f%%\n",
+                  spec::method_name(methods[m]), 100.0 * s.func_pass_at_k[0],
+                  100.0 * s.func_rate, 100.0 * s.syn_pass_at_k[0],
+                  100.0 * s.syn_rate);
+    }
+  }
+  if (run_speed) {
+    std::printf("\n-- speed (%d prompts, latency model; Eq. 3/4) --\n", prompts);
+    std::printf("%-8s %14s %9s %10s %12s\n", "Method", "tok/s (model)", "speedup",
+                "tok/step", "wall tok/s");
+    for (int m = 0; m < 3; ++m) {
+      std::printf("%-8s %14.2f %8.2fx %10.2f %12.2f\n",
+                  spec::method_name(methods[m]), speed[m].tokens_per_sec_model,
+                  eval::speedup(speed[m], speed[2]), speed[m].mean_accepted,
+                  speed[m].tokens_per_sec_wall);
+    }
+  }
+  return kExitOk;
+}
+
+}  // namespace vsd::cli

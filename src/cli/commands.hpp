@@ -1,0 +1,27 @@
+// The four `vsd` subcommands.  Each takes the argv slice after its own
+// name and returns a process exit code:
+//   0 — success
+//   1 — usage or I/O error
+//   2 — input failed a syntax / compile check
+//   3 — simulation or differential check failed
+#pragma once
+
+namespace vsd::cli {
+
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitUsage = 1;
+inline constexpr int kExitSyntax = 2;
+inline constexpr int kExitCheckFailed = 3;
+
+int cmd_lint(int argc, const char* const* argv);
+int cmd_simulate(int argc, const char* const* argv);
+int cmd_decode(int argc, const char* const* argv);
+int cmd_eval(int argc, const char* const* argv);
+
+/// `vsd <cmd> --help` support: prints usage for one subcommand.
+void print_lint_help();
+void print_simulate_help();
+void print_decode_help();
+void print_eval_help();
+
+}  // namespace vsd::cli

@@ -1,0 +1,22 @@
+// Shared file slurping for the subcommands.
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace vsd::cli {
+
+/// Reads a whole file into `out`; returns false (out untouched) on failure.
+/// Callers print their own diagnostic so the subcommand name is in it.
+inline bool read_file(const std::filesystem::path& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+}  // namespace vsd::cli

@@ -1,0 +1,51 @@
+// `vsd` — unified driver for the syntax-aligned speculative-decoding
+// library: lint Verilog, run the simulator, generate code, and compare the
+// decoding methods, all from one binary.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "cli/commands.hpp"
+#include "common/version.hpp"
+
+namespace {
+
+void print_usage() {
+  std::printf(
+      "usage: vsd <command> [options]\n\n"
+      "commands:\n"
+      "  lint      parse Verilog files and report syntax errors\n"
+      "  simulate  run a self-checking testbench or a differential check\n"
+      "  decode    train a miniature model and generate a module\n"
+      "  eval      compare Ours / Medusa / NTP on quality and speed\n\n"
+      "  vsd <command> --help shows per-command options.\n"
+      "  vsd --version prints build information.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vsd::cli;
+
+  if (argc < 2 || std::strcmp(argv[1], "help") == 0 ||
+      std::strcmp(argv[1], "--help") == 0 || std::strcmp(argv[1], "-h") == 0) {
+    print_usage();
+    return argc < 2 ? kExitUsage : kExitOk;
+  }
+  if (std::strcmp(argv[1], "--version") == 0) {
+    std::printf("%s\n", vsd::build_info());
+    return kExitOk;
+  }
+
+  const std::string cmd = argv[1];
+  const int sub_argc = argc - 2;
+  const char* const* sub_argv = argv + 2;
+  if (cmd == "lint") return cmd_lint(sub_argc, sub_argv);
+  if (cmd == "simulate") return cmd_simulate(sub_argc, sub_argv);
+  if (cmd == "decode") return cmd_decode(sub_argc, sub_argv);
+  if (cmd == "eval") return cmd_eval(sub_argc, sub_argv);
+
+  std::fprintf(stderr, "vsd: unknown command '%s'\n\n", cmd.c_str());
+  print_usage();
+  return kExitUsage;
+}

@@ -1,0 +1,26 @@
+#include "common/version.hpp"
+
+namespace vsd {
+
+#ifndef VSD_VERSION_STRING
+#define VSD_VERSION_STRING "0.0.0"
+#endif
+#ifndef VSD_BUILD_TYPE
+#define VSD_BUILD_TYPE "unknown"
+#endif
+
+const char* version() { return VSD_VERSION_STRING; }
+
+const char* build_info() {
+  return "vsd " VSD_VERSION_STRING " (" VSD_BUILD_TYPE ", "
+#if defined(__clang__)
+         "clang " __clang_version__
+#elif defined(__GNUC__)
+         "gcc " __VERSION__
+#else
+         "unknown compiler"
+#endif
+         ")";
+}
+
+}  // namespace vsd

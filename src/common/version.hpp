@@ -1,0 +1,12 @@
+// Build identification for the vsd tools (`vsd --version`, bench headers).
+#pragma once
+
+namespace vsd {
+
+/// Semantic version of the library, e.g. "0.1.0".
+const char* version();
+
+/// One-line build description: version, build type, and compiler.
+const char* build_info();
+
+}  // namespace vsd

@@ -55,7 +55,7 @@ struct Ctx {
 
 using FamilyFn = std::function<RtlSample(Ctx&)>;
 
-RtlSample make(Ctx& ctx, const std::string& family, const std::string& base_name,
+RtlSample make(const std::string& family, const std::string& base_name,
                const std::string& description, const std::string& header,
                const std::string& body) {
   RtlSample s;
@@ -103,7 +103,7 @@ RtlSample fam_register(Ctx& c) {
   if (has_rst) desc += ", with a synchronous-style clear to zero when `rst` is high";
   if (has_en) desc += ", updating only while `en` is asserted";
   desc += ".";
-  return make(c, "register", name, desc, header, body);
+  return make("register", name, desc, header, body);
 }
 
 RtlSample fam_mux2(Ctx& c) {
@@ -117,7 +117,7 @@ RtlSample fam_mux2(Ctx& c) {
       "Create a " + W(c.width) + "-bit 2-to-1 mux called \"" + name +
           "\": `y` selects between `a` (sel=0) and `b` (sel=1).",
   });
-  return make(c, "mux2", name, desc, header, body);
+  return make("mux2", name, desc, header, body);
 }
 
 RtlSample fam_mux4(Ctx& c) {
@@ -139,7 +139,7 @@ RtlSample fam_mux4(Ctx& c) {
       "Implement a 4-to-1 multiplexer named \"" + name + "\" with four " + W(c.width) +
       "-bit inputs `d0`..`d3` and a 2-bit select `sel`; output `y` is registered "
       "combinationally through a case statement.";
-  return make(c, "mux4", name, desc, header, body);
+  return make("mux4", name, desc, header, body);
 }
 
 RtlSample fam_counter(Ctx& c) {
@@ -167,7 +167,7 @@ RtlSample fam_counter(Ctx& c) {
                      "\" with asynchronous active-high reset `rst`";
   if (has_en) desc += " and count-enable `en`";
   desc += "; the count updates on the rising edge of `clk`.";
-  return make(c, "counter", name, desc, header, body);
+  return make("counter", name, desc, header, body);
 }
 
 RtlSample fam_adder(Ctx& c) {
@@ -193,7 +193,7 @@ RtlSample fam_adder(Ctx& c) {
       "Create module \"" + name + "\": a " + W(c.width) + "-bit adder" +
           (carry ? " with separate carry output `cout`." : " with full-width sum output."),
   });
-  return make(c, "adder", name, desc, header, body);
+  return make("adder", name, desc, header, body);
 }
 
 RtlSample fam_logic_unit(Ctx& c) {
@@ -214,7 +214,7 @@ RtlSample fam_logic_unit(Ctx& c) {
       "Implement a " + W(c.width) + "-bit bitwise logic unit named \"" + name +
       "\" computing AND, OR, XOR, or NOR of `a` and `b` according to the 2-bit "
       "opcode `op` (00, 01, 10, 11 respectively).";
-  return make(c, "logic_unit", name, desc, header, body);
+  return make("logic_unit", name, desc, header, body);
 }
 
 RtlSample fam_alu(Ctx& c) {
@@ -240,7 +240,7 @@ RtlSample fam_alu(Ctx& c) {
       "Design a simple " + W(c.width) + "-bit ALU named \"" + name +
       "\" supporting add, subtract, AND, OR, XOR, NOT, shift-left and shift-right "
       "selected by the 3-bit opcode `op`.";
-  return make(c, "alu", name, desc, header, body);
+  return make("alu", name, desc, header, body);
 }
 
 RtlSample fam_comparator(Ctx& c) {
@@ -254,7 +254,7 @@ RtlSample fam_comparator(Ctx& c) {
   const std::string desc =
       "Write a " + W(c.width) + "-bit unsigned comparator module named \"" + name +
       "\" with outputs `eq`, `lt`, `gt` indicating a == b, a < b and a > b.";
-  return make(c, "comparator", name, desc, header, body);
+  return make("comparator", name, desc, header, body);
 }
 
 RtlSample fam_shifter(Ctx& c) {
@@ -267,7 +267,7 @@ RtlSample fam_shifter(Ctx& c) {
       "Create a " + W(c.width) + "-bit shifter named \"" + name + "\": output `" + c.dout +
       "` is `" + c.din + "` shifted left by one when `dir` is 0 and right by one when "
       "`dir` is 1.";
-  return make(c, "shifter", name, desc, header, body);
+  return make("shifter", name, desc, header, body);
 }
 
 RtlSample fam_parity(Ctx& c) {
@@ -283,7 +283,7 @@ RtlSample fam_parity(Ctx& c) {
       (odd ? std::string("odd") : std::string("even")) + " parity bit `p` of the " +
       W(c.width) + "-bit input `" + c.din + "` (XOR reduction" +
       (odd ? ", inverted)." : ").");
-  return make(c, "parity", name, desc, header, body);
+  return make("parity", name, desc, header, body);
 }
 
 RtlSample fam_decoder(Ctx& c) {
@@ -299,7 +299,7 @@ RtlSample fam_decoder(Ctx& c) {
       "Write a " + W(n) + "-to-" + W(outs) + " one-hot decoder named \"" + name +
       "\" with enable `en`; exactly the bit of `y` indexed by `sel` is high when "
       "enabled, otherwise `y` is zero.";
-  return make(c, "decoder", name, desc, header, body);
+  return make("decoder", name, desc, header, body);
 }
 
 RtlSample fam_gray(Ctx& c) {
@@ -310,7 +310,7 @@ RtlSample fam_gray(Ctx& c) {
   const std::string desc =
       "Create a " + W(c.width) + "-bit binary-to-Gray-code converter named \"" + name +
       "\": `gray` equals `bin` XORed with `bin` shifted right by one.";
-  return make(c, "gray", name, desc, header, body);
+  return make("gray", name, desc, header, body);
 }
 
 RtlSample fam_edge_detector(Ctx& c) {
@@ -330,7 +330,7 @@ RtlSample fam_edge_detector(Ctx& c) {
       std::string("Design module \"") + name + "\" that emits a one-cycle `pulse` on every " +
       (falling ? "falling" : "rising") +
       " edge of `sig`, using a register `prev` clocked by `clk` with async reset `rst`.";
-  return make(c, "edge_detector", name, desc, header, body);
+  return make("edge_detector", name, desc, header, body);
 }
 
 RtlSample fam_shift_register(Ctx& c) {
@@ -346,7 +346,7 @@ RtlSample fam_shift_register(Ctx& c) {
   const std::string desc =
       "Implement a " + W(c.width) + "-bit serial-in shift register named \"" + name +
       "\" shifting `sin` into the LSB of `q` each rising clock edge, with async reset.";
-  return make(c, "shift_register", name, desc, header, body);
+  return make("shift_register", name, desc, header, body);
 }
 
 RtlSample fam_min_max(Ctx& c) {
@@ -361,7 +361,7 @@ RtlSample fam_min_max(Ctx& c) {
       "Write module \"" + name + "\" outputting the " +
       (is_max ? std::string("maximum") : std::string("minimum")) + " of the two " +
       W(c.width) + "-bit unsigned inputs `a` and `b` on `y`.";
-  return make(c, "min_max", name, desc, header, body);
+  return make("min_max", name, desc, header, body);
 }
 
 RtlSample fam_seq_detector(Ctx& c) {
@@ -414,7 +414,7 @@ RtlSample fam_seq_detector(Ctx& c) {
       "\" that raises `found` for one cycle whenever the serial input `din` has produced "
       "the bit pattern " + (pat101 ? "101" : "110") +
       " (overlapping detection), with async reset `rst`.";
-  return make(c, "seq_detector", name, desc, header, body);
+  return make("seq_detector", name, desc, header, body);
 }
 
 const std::unordered_map<std::string, FamilyFn>& family_table() {

@@ -1,0 +1,24 @@
+// Smoke-test fixture: counter with a self-checking testbench.
+module counter(input clk, input rst, output reg [3:0] q);
+  always @(posedge clk or posedge rst)
+    if (rst) q <= 4'd0;
+    else q <= q + 4'd1;
+endmodule
+
+module tb;
+  reg clk, rst;
+  wire [3:0] q;
+  counter dut (.clk(clk), .rst(rst), .q(q));
+  initial begin
+    clk = 0;
+    forever #5 clk = ~clk;
+  end
+  initial begin
+    rst = 1;
+    #12 rst = 0;
+    #100;
+    if (q === 4'd10) $display("TEST PASSED");
+    else $display("TEST FAILED: expected 10, got %d", q);
+    $finish;
+  end
+endmodule

@@ -1,0 +1,4 @@
+// Smoke-test fixture: 2-to-1 mux, 4-bit.
+module mux2(input [3:0] a, input [3:0] b, input sel, output [3:0] y);
+  assign y = sel ? b : a;
+endmodule
