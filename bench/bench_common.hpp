@@ -8,9 +8,15 @@
 //   VSD_SAMPLES   samples per prompt (n in pass@k) (default 6)
 //   VSD_PROMPTS   speed-eval prompts               (default 16)
 //   VSD_SEED      global seed                      (default 1)
+// Machine-readable output: pass `--json out.json` (or set VSD_JSON=PATH)
+// and the bench writes its result table as JSON itself — scripts/bench.sh
+// consumes that instead of scraping stdout.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
 #include <string>
 #include <vector>
 
@@ -44,7 +50,52 @@ struct Scale {
                 static_cast<unsigned long long>(seed));
     std::printf("# (set VSD_ITEMS/VSD_EPOCHS/... to rescale; see bench_common.hpp)\n\n");
   }
+
+  std::string json() const {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"items\":%d,\"epochs\":%d,\"problems\":%d,\"samples\":%d,"
+                  "\"prompts\":%d,\"seed\":%llu}",
+                  items, epochs, problems, samples, prompts,
+                  static_cast<unsigned long long>(seed));
+    return buf;
+  }
 };
+
+/// Path given via `--json PATH` / `--json=PATH` / VSD_JSON=PATH, else null.
+inline const char* json_out_path(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) return argv[i + 1];
+    if (std::strncmp(argv[i], "--json=", 7) == 0) return argv[i] + 7;
+  }
+  return std::getenv("VSD_JSON");
+}
+
+/// UTC timestamp for the perf ledger (dates each BENCH_*.json entry).
+inline std::string utc_now() {
+  const std::time_t t = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&t, &tm_utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
+}
+
+/// Opens the --json output file and writes the shared header fields
+/// (bench name, timestamp, scale); the caller continues the object.
+inline std::FILE* open_json(const char* path, const char* bench_name,
+                            const Scale& scale) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write JSON output to %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"%s\",\n  \"generated_utc\": \"%s\",\n"
+               "  \"scale\": %s,\n",
+               bench_name, utc_now().c_str(), scale.json().c_str());
+  return f;
+}
 
 struct Workbench {
   data::Dataset dataset;

@@ -13,7 +13,15 @@ using namespace vsd::bench;
 
 namespace {
 
-void run_arch(const Workbench& wb, const Scale& scale, bool enc_dec) {
+struct JsonRow {
+  const char* arch;
+  const char* method;
+  eval::SpeedRow row;
+  double speedup;
+};
+
+void run_arch(const Workbench& wb, const Scale& scale, bool enc_dec,
+              std::vector<JsonRow>& json_rows) {
   const char* arch = enc_dec ? "CodeT5p-like (enc-dec)" : "CodeLlama-like (dec-only)";
   std::printf("\n== %s ==\n", arch);
 
@@ -35,9 +43,11 @@ void run_arch(const Workbench& wb, const Scale& scale, bool enc_dec) {
   std::printf("\n%-8s %18s %10s %14s %14s\n", "Method", "Speed (tok/s)", "Speedup",
               "tok/step", "wall tok/s");
   for (int m = 0; m < 3; ++m) {
+    const double sp = eval::speedup(rows[m], rows[2]);
     std::printf("%-8s %18.2f %9.2fx %14.2f %14.2f\n", spec::method_name(methods[m]),
-                rows[m].tokens_per_sec_model, eval::speedup(rows[m], rows[2]),
-                rows[m].mean_accepted, rows[m].tokens_per_sec_wall);
+                rows[m].tokens_per_sec_model, sp, rows[m].mean_accepted,
+                rows[m].tokens_per_sec_wall);
+    json_rows.push_back({arch, spec::method_name(methods[m]), rows[m], sp});
   }
   std::printf("# paper (%s): Ours %s, Medusa %s, NTP 1x\n",
               enc_dec ? "CodeT5p" : "CodeLlama",
@@ -46,11 +56,30 @@ void run_arch(const Workbench& wb, const Scale& scale, bool enc_dec) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const Scale scale = Scale::from_env();
   scale.print("Table II — speed of generating Verilog code");
   const Workbench wb = Workbench::build(scale);
-  run_arch(wb, scale, /*enc_dec=*/false);
-  run_arch(wb, scale, /*enc_dec=*/true);
+  std::vector<JsonRow> json_rows;
+  run_arch(wb, scale, /*enc_dec=*/false, json_rows);
+  run_arch(wb, scale, /*enc_dec=*/true, json_rows);
+
+  if (const char* path = json_out_path(argc, argv)) {
+    std::FILE* f = open_json(path, "bench_table2_speed", scale);
+    std::fprintf(f, "  \"rows\": [\n");
+    for (std::size_t i = 0; i < json_rows.size(); ++i) {
+      const JsonRow& r = json_rows[i];
+      std::fprintf(f,
+                   "    {\"arch\": \"%s\", \"method\": \"%s\", "
+                   "\"tok_per_s_model\": %.2f, \"speedup\": %.2f, "
+                   "\"tok_per_step\": %.2f, \"tok_per_s_wall\": %.2f}%s\n",
+                   r.arch, r.method, r.row.tokens_per_sec_model, r.speedup,
+                   r.row.mean_accepted, r.row.tokens_per_sec_wall,
+                   i + 1 < json_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\n# wrote %s (%zu rows)\n", path, json_rows.size());
+  }
   return 0;
 }

@@ -1,39 +1,40 @@
 #!/usr/bin/env bash
-# Builds the tree and runs the Table-II speed bench, writing the parsed
-# result to BENCH_table2.json (and the raw log next to it) so the perf
-# trajectory is tracked across PRs.
+# Builds the tree and runs the perf-ledger benches.  Each bench writes its
+# own machine-readable JSON via --json (no stdout scraping):
+#   BENCH_table2.json — Table-II speed grid (Ours / Medusa / NTP)
+#   BENCH_serve.json  — serial loop vs continuous-batching serving
+#                       throughput (requests/sec, wall + latency model)
+# Raw logs land next to the JSON as BENCH_*.txt.
 #
-# Scale knobs pass through to the bench (see bench/bench_common.hpp):
-#   VSD_ITEMS=32 VSD_EPOCHS=8 scripts/bench.sh
+# Scale knobs pass through to the benches (see bench/bench_common.hpp):
+#   VSD_ITEMS=32 VSD_EPOCHS=8 VSD_WORKERS=4 VSD_BATCH=4 scripts/bench.sh
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="$repo/build"
-out_json="$repo/BENCH_table2.json"
-out_log="$repo/BENCH_table2.txt"
 
 cmake -B "$build" -S "$repo" >/dev/null
-cmake --build "$build" -j --target bench_table2_speed >/dev/null
+cmake --build "$build" -j --target bench_table2_speed bench_serve_throughput >/dev/null
 
-"$build/bench/bench_table2_speed" | tee "$out_log"
+# Runs one bench and insists on its JSON artifact: a missing binary or an
+# empty result is a hard failure, never a silently partial ledger entry.
+run_bench() {
+  local name="$1" json="$2" log="$3"
+  local bin="$build/bench/$name"
+  if [[ ! -x "$bin" ]]; then
+    echo "bench.sh: error: $bin is missing or not executable (build failed?)" >&2
+    exit 1
+  fi
+  "$bin" --json "$json" | tee "$log"
+  if [[ ! -s "$json" ]]; then
+    echo "bench.sh: error: $name wrote no JSON to $json" >&2
+    exit 1
+  fi
+}
 
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
-  /^# scale:/   { scale = substr($0, 10); gsub(/^ +| +$/, "", scale) }
-  /^== /        { arch = $0; sub(/^== /, "", arch); sub(/ ==$/, "", arch) }
-  /^(Ours|Medusa|NTP) / {
-    speedup = $3; sub(/x$/, "", speedup)
-    rows[n++] = sprintf("    {\"arch\": \"%s\", \"method\": \"%s\", \"tok_per_s_model\": %s, \"speedup\": %s, \"tok_per_step\": %s, \"tok_per_s_wall\": %s}",
-                        arch, $1, $2, speedup, $4, $5)
-  }
-  END {
-    printf "{\n  \"bench\": \"bench_table2_speed\",\n"
-    printf "  \"generated_utc\": \"%s\",\n", date
-    printf "  \"scale\": \"%s\",\n", scale
-    printf "  \"rows\": [\n"
-    for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")
-    printf "  ]\n}\n"
-  }
-' "$out_log" > "$out_json"
+run_bench bench_table2_speed "$repo/BENCH_table2.json" "$repo/BENCH_table2.txt"
+echo
+run_bench bench_serve_throughput "$repo/BENCH_serve.json" "$repo/BENCH_serve.txt"
 
 echo
-echo "wrote $out_json ($(grep -c '"method"' "$out_json") rows)"
+echo "wrote $repo/BENCH_table2.json and $repo/BENCH_serve.json"

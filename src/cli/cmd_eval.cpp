@@ -21,6 +21,8 @@ constexpr OptionSpec kOptions[] = {
     {"problems", true, "quality problems per benchmark style (default 2)"},
     {"samples", true, "samples per problem, n in pass@k (default 2)"},
     {"prompts", true, "speed-eval prompts (default 4)"},
+    {"workers", true, "quality-eval worker threads (default 1; scores are\n"
+                      "                   identical for any worker count)"},
     {"max-tokens", true, "generation budget (default 200)"},
     {"seed", true, "global seed (default 1)"},
     {"enc-dec", false, "use the encoder-decoder (CodeT5p-like) architecture"},
@@ -51,6 +53,7 @@ int cmd_eval(int argc, const char* const* argv) {
   const int problems = args.get_int("problems", 2);
   const int samples = args.get_int("samples", 2);
   const int prompts = args.get_int("prompts", 4);
+  const int workers = args.get_int("workers", 1);
   const int max_tokens = args.get_int("max-tokens", 200);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const bool enc_dec = args.has("enc-dec");
@@ -80,6 +83,7 @@ int cmd_eval(int argc, const char* const* argv) {
   qopts.max_new_tokens = max_tokens;
   qopts.ks = {1};
   qopts.seed = seed + 5;
+  qopts.workers = workers;
 
   const auto speed_prompts = eval::make_speed_prompts(prompts, seed + 17);
   eval::SpeedOptions sopts;

@@ -1,0 +1,211 @@
+// `vsd serve` — concurrent batched decoding service.  Trains a miniature
+// system (like `vsd decode`), then streams line-delimited prompts from
+// stdin or --input through the serve::Scheduler: up to --batch requests
+// decode concurrently (continuous batching, steps spread over --workers
+// threads), each finishing independently.  Results are JSON objects, one
+// per line on stdout, completion order; a final {"summary":...} line
+// carries the throughput numbers.  All diagnostics go to stderr so stdout
+// stays machine-readable.
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "cli/args.hpp"
+#include "cli/commands.hpp"
+#include "data/dataset.hpp"
+#include "eval/harness.hpp"
+#include "serve/json.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/scheduler.hpp"
+
+namespace vsd::cli {
+
+namespace {
+
+constexpr OptionSpec kOptions[] = {
+    {"input", true, "file of prompts, one per line (default: stdin)", "FILE"},
+    {"workers", true, "decode worker threads (default 1)"},
+    {"batch", true, "max in-flight requests (default = workers)"},
+    {"queue", true, "admission queue capacity (default 2*batch)"},
+    {"method", true, "ours | medusa (default ours)", "NAME"},
+    {"items", true, "corpus size (default 48)"},
+    {"epochs", true, "training epochs (default 3)"},
+    {"seed", true, "global seed (default 7)"},
+    {"max-tokens", true, "generation budget per request (default 220)"},
+    {"temperature", true, "sampling temperature, 0 = greedy (default 0)", "T"},
+    {"enc-dec", false, "use the encoder-decoder (CodeT5p-like) architecture"},
+    {"no-code", false, "omit the generated code from the JSON results"},
+    {"help", false, "show this help"},
+};
+
+bool blank(const std::string& line) {
+  for (const char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c)) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void print_serve_help() {
+  std::printf(
+      "usage: vsd serve [options] < prompts.txt\n\n"
+      "Trains a miniature system, then serves line-delimited prompts with\n"
+      "continuous batched speculative decoding: --batch requests in flight,\n"
+      "each advanced one speculative step per scheduler tick across\n"
+      "--workers threads, admitted and completed independently.  Results\n"
+      "are JSON-lines on stdout (diagnostics on stderr), ending with a\n"
+      "{\"summary\":...} line (requests/sec, ticks, worker/batch shape).\n\n"
+      "options:\n");
+  print_options(kOptions);
+}
+
+int cmd_serve(int argc, const char* const* argv) {
+  Args args = Args::parse(argc, argv, kOptions);
+  if (args.has("help")) {
+    print_serve_help();
+    return kExitOk;
+  }
+
+  spec::Method method = spec::Method::Ours;
+  const std::string method_name = args.get("method", "ours");
+  if (method_name == "medusa") {
+    method = spec::Method::Medusa;
+  } else if (method_name != "ours") {
+    std::fprintf(stderr,
+                 "vsd serve: method must be ours|medusa (speculative decoding "
+                 "is the service path; got '%s')\n",
+                 method_name.c_str());
+    return kExitUsage;
+  }
+
+  const int workers = args.get_int("workers", 1);
+  const int batch = args.get_int("batch", workers);
+  const int queue_cap = args.get_int("queue", 2 * std::max(1, batch));
+  eval::SystemConfig cfg;
+  cfg.method = method;
+  cfg.encoder_decoder = args.has("enc-dec");
+  cfg.epochs = args.get_int("epochs", 3);
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  data::DatasetConfig dcfg;
+  dcfg.target_items = args.get_int("items", 48);
+  dcfg.seed = cfg.seed;
+  spec::DecodeConfig base_cfg;
+  base_cfg.max_new_tokens = args.get_int("max-tokens", 220);
+  base_cfg.temperature = static_cast<float>(args.get_double("temperature", 0.0));
+  const bool emit_code = !args.has("no-code");
+  if (!args.error().empty() || !args.positional().empty() || workers < 1 ||
+      batch < 1 || queue_cap < 1) {
+    std::fprintf(stderr, "vsd serve: %s\n",
+                 !args.error().empty() ? args.error().c_str()
+                 : !args.positional().empty()
+                     ? "unexpected positional argument"
+                     : "--workers/--batch/--queue must be >= 1");
+    return kExitUsage;
+  }
+
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  const std::string input = args.get("input", "");
+  if (!input.empty()) {
+    file.open(input);
+    if (!file) {
+      std::fprintf(stderr, "vsd serve: cannot read %s\n", input.c_str());
+      return kExitUsage;
+    }
+    in = &file;
+  }
+
+  // --- train the system that backs the service ---------------------------
+  const data::Dataset dataset = data::build_dataset(dcfg);
+  const text::Tokenizer tokenizer =
+      text::Tokenizer::train(data::tokenizer_corpus(dataset), {.vocab_size = 384});
+  std::fprintf(stderr, "serve: dataset %zu items; training %s (%s) ...\n",
+               dataset.items.size(), spec::method_name(method),
+               cfg.encoder_decoder ? "enc-dec" : "dec-only");
+  const eval::TrainedSystem sys = eval::train_system(cfg, dataset, tokenizer);
+  std::fprintf(stderr, "serve: trained, loss %.3f -> %.3f; workers=%d batch=%d queue=%d\n",
+               sys.train_stats.first_loss, sys.train_stats.final_loss, workers,
+               batch, queue_cap);
+
+  // --- stream prompts into the scheduler ---------------------------------
+  serve::RequestQueue queue(static_cast<std::size_t>(queue_cap));
+  std::uint64_t admitted = 0;
+  std::thread producer([&] {
+    std::string line;
+    while (std::getline(*in, line)) {
+      if (blank(line)) continue;
+      eval::PreparedRequest prep =
+          eval::prepare_request(sys, data::alpaca_prompt(line), base_cfg);
+      serve::Request req;
+      req.id = admitted;
+      req.prompt = line;
+      req.prompt_ids = std::move(prep.prompt_ids);
+      req.config = prep.config;
+      req.seed = cfg.seed ^ (0x5eedull + admitted * 0x9E3779B97F4A7C15ull);
+      if (!queue.push(std::move(req))) break;  // queue closed underneath us
+      ++admitted;
+    }
+    queue.close();
+  });
+
+  long total_tokens = 0;
+  long total_steps = 0;
+  serve::Scheduler scheduler(*sys.model, queue,
+                             {.workers = workers, .batch = batch});
+  int exit_code = kExitOk;
+  serve::ServeStats stats;
+  try {
+    stats = scheduler.run([&](const serve::Request& req, spec::DecodeResult r) {
+      total_tokens += static_cast<long>(r.ids.size());
+      total_steps += r.steps;
+      std::string line = "{\"id\":" + std::to_string(req.id) +
+                         ",\"prompt\":\"" + serve::json_escape(req.prompt) +
+                         "\",\"tokens\":" + std::to_string(r.ids.size()) +
+                         ",\"steps\":" + std::to_string(r.steps);
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), ",\"tok_per_step\":%.3f,\"wall_s\":%.4f",
+                    r.mean_accepted(), r.wall_seconds);
+      line += buf;
+      line += r.hit_eos ? ",\"eos\":true" : ",\"eos\":false";
+      if (emit_code) {
+        line += ",\"code\":\"" +
+                serve::json_escape(sys.tokenizer.decode(r.ids)) + "\"";
+      }
+      line += "}";
+      std::printf("%s\n", line.c_str());
+      std::fflush(stdout);
+    });
+  } catch (const Error& e) {
+    std::fprintf(stderr, "vsd serve: decode error: %s\n", e.what());
+    queue.close();
+    exit_code = kExitCheckFailed;
+  }
+  if (exit_code != kExitOk) {
+    // The producer may be blocked in getline() on an interactive stdin,
+    // which close() cannot interrupt — joining would wedge the process.
+    // This is a fatal service error: flush what we have and leave without
+    // running destructors the blocked thread could still be touching.
+    std::fflush(stdout);
+    std::fflush(stderr);
+    std::_Exit(exit_code);
+  }
+  producer.join();
+
+  const double wall = stats.wall_seconds > 0.0 ? stats.wall_seconds : 1e-12;
+  std::printf(
+      "{\"summary\":{\"requests\":%d,\"workers\":%d,\"batch\":%d,"
+      "\"max_in_flight\":%d,\"ticks\":%ld,\"total_tokens\":%ld,"
+      "\"total_steps\":%ld,\"wall_s\":%.4f,\"requests_per_sec\":%.3f,"
+      "\"tokens_per_sec\":%.2f}}\n",
+      stats.completed, workers, batch, stats.max_in_flight, stats.ticks,
+      total_tokens, total_steps, stats.wall_seconds,
+      stats.completed / wall, total_tokens / wall);
+  return kExitOk;
+}
+
+}  // namespace vsd::cli

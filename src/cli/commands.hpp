@@ -17,11 +17,13 @@ int cmd_lint(int argc, const char* const* argv);
 int cmd_simulate(int argc, const char* const* argv);
 int cmd_decode(int argc, const char* const* argv);
 int cmd_eval(int argc, const char* const* argv);
+int cmd_serve(int argc, const char* const* argv);
 
 /// `vsd <cmd> --help` support: prints usage for one subcommand.
 void print_lint_help();
 void print_simulate_help();
 void print_decode_help();
 void print_eval_help();
+void print_serve_help();
 
 }  // namespace vsd::cli

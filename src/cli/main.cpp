@@ -17,7 +17,8 @@ void print_usage() {
       "  lint      parse Verilog files and report syntax errors\n"
       "  simulate  run a self-checking testbench or a differential check\n"
       "  decode    train a miniature model and generate a module\n"
-      "  eval      compare Ours / Medusa / NTP on quality and speed\n\n"
+      "  eval      compare Ours / Medusa / NTP on quality and speed\n"
+      "  serve     batched decoding service: prompts in, JSON results out\n\n"
       "  vsd <command> --help shows per-command options.\n"
       "  vsd --version prints build information.\n");
 }
@@ -44,6 +45,7 @@ int main(int argc, char** argv) {
   if (cmd == "simulate") return cmd_simulate(sub_argc, sub_argv);
   if (cmd == "decode") return cmd_decode(sub_argc, sub_argv);
   if (cmd == "eval") return cmd_eval(sub_argc, sub_argv);
+  if (cmd == "serve") return cmd_serve(sub_argc, sub_argv);
 
   std::fprintf(stderr, "vsd: unknown command '%s'\n\n", cmd.c_str());
   print_usage();

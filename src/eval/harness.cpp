@@ -1,7 +1,9 @@
 #include "eval/harness.hpp"
 
 #include <cstdlib>
+#include <future>
 
+#include "serve/thread_pool.hpp"
 #include "sim/check.hpp"
 #include "vlog/parser.hpp"
 
@@ -41,70 +43,121 @@ TrainedSystem train_system(const SystemConfig& cfg, const data::Dataset& full,
   return sys;
 }
 
-spec::DecodeResult generate(const TrainedSystem& sys, const std::string& prompt,
-                            const spec::DecodeConfig& dcfg, Rng& rng) {
-  const spec::Decoder decoder(*sys.model);
-  std::vector<int> prompt_ids;
+PreparedRequest prepare_request(const TrainedSystem& sys, const std::string& prompt,
+                                const spec::DecodeConfig& dcfg) {
+  PreparedRequest req;
   if (sys.config.encoder_decoder) {
-    prompt_ids = sys.tokenizer.encode(prompt);
+    req.prompt_ids = sys.tokenizer.encode(prompt);
   } else {
-    prompt_ids = sys.tokenizer.encode(prompt, /*add_bos=*/true);
+    req.prompt_ids = sys.tokenizer.encode(prompt, /*add_bos=*/true);
   }
-  spec::DecodeConfig cfg = dcfg;
+  req.config = dcfg;
+  req.config.fragment_integrity = sys.config.method == spec::Method::Ours;
   if (sys.config.method == spec::Method::Ours) {
     // Ours emits [FRAG]-marked sequences, ~1.5x longer in tokens for the
     // same code; give it budget so modules are not truncated mid-body
     // (markers are stripped before evaluation and don't count as output).
-    cfg.max_new_tokens = cfg.max_new_tokens + cfg.max_new_tokens / 2;
+    req.config.max_new_tokens =
+        req.config.max_new_tokens + req.config.max_new_tokens / 2;
   }
   // Clamp the prompt to leave room for generation.
-  const int max_prompt = sys.config.max_seq - cfg.max_new_tokens - 16;
-  if (static_cast<int>(prompt_ids.size()) > max_prompt && max_prompt > 0) {
-    prompt_ids.resize(static_cast<std::size_t>(max_prompt));
+  const int max_prompt = sys.config.max_seq - req.config.max_new_tokens - 16;
+  if (static_cast<int>(req.prompt_ids.size()) > max_prompt && max_prompt > 0) {
+    req.prompt_ids.resize(static_cast<std::size_t>(max_prompt));
   }
+  return req;
+}
+
+spec::DecodeResult generate(const TrainedSystem& sys, const std::string& prompt,
+                            const spec::DecodeConfig& dcfg, Rng& rng) {
+  const spec::Decoder decoder(*sys.model);
+  const PreparedRequest req = prepare_request(sys, prompt, dcfg);
   if (sys.config.method == spec::Method::NTP) {
-    return decoder.ntp(prompt_ids, cfg, rng);
+    return decoder.ntp(req.prompt_ids, req.config, rng);
   }
-  cfg.fragment_integrity = sys.config.method == spec::Method::Ours;
-  return decoder.speculative(prompt_ids, cfg, rng);
+  return decoder.speculative(req.prompt_ids, req.config, rng);
 }
 
 BenchScores evaluate_quality(const TrainedSystem& sys,
                              const std::vector<BenchProblem>& problems,
                              const QualityOptions& opts) {
   BenchScores scores;
+
+  // One task per (problem, temperature, sample) cell.  RNG streams are
+  // pre-split serially in grid order, so a sample's draws do not depend on
+  // when (or on which worker) it runs — scores are bit-identical for any
+  // opts.workers.
+  struct SampleTask {
+    int problem;
+    float temperature;
+    int sample;
+    Rng rng;
+  };
+  std::vector<SampleTask> tasks;
+  tasks.reserve(problems.size() * opts.temperatures.size() *
+                static_cast<std::size_t>(opts.n_samples));
+  Rng base(opts.seed);
+  for (int p = 0; p < static_cast<int>(problems.size()); ++p) {
+    for (const float temp : opts.temperatures) {
+      for (int s = 0; s < opts.n_samples; ++s) {
+        tasks.push_back({p, temp, s, base.split()});
+      }
+    }
+  }
+
+  std::vector<std::uint8_t> syn_ok(tasks.size(), 0);
+  std::vector<std::uint8_t> func_ok(tasks.size(), 0);
+  const auto run_sample = [&](std::size_t i) {
+    const SampleTask& tk = tasks[i];
+    const BenchProblem& p = problems[static_cast<std::size_t>(tk.problem)];
+    spec::DecodeConfig dcfg;
+    dcfg.temperature = tk.temperature;
+    dcfg.max_new_tokens = opts.max_new_tokens;
+    Rng rng = tk.rng;
+    const spec::DecodeResult r = generate(sys, problem_prompt(p), dcfg, rng);
+    const std::string text = sys.tokenizer.decode(r.ids);
+    const std::string candidate = assemble_candidate(p, text);
+    const bool syntax = vlog::syntax_ok(candidate) &&
+                        sim::check_compiles(candidate, p.module_name).ok;
+    bool functional = false;
+    if (syntax) {
+      sim::DiffOptions dopts;
+      dopts.cycles = 48;
+      dopts.vectors = 48;
+      dopts.seed = opts.seed ^ (static_cast<std::uint64_t>(tk.sample) << 8);
+      const sim::DiffResult d =
+          sim::diff_check(p.golden_code, candidate, p.module_name, dopts);
+      functional = d.equivalent;
+    }
+    syn_ok[i] = syntax ? 1 : 0;
+    func_ok[i] = functional ? 1 : 0;
+  };
+
+  if (opts.workers <= 1) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) run_sample(i);
+  } else {
+    serve::ThreadPool pool(opts.workers);
+    std::vector<std::future<void>> done;
+    done.reserve(tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      done.push_back(pool.submit([&run_sample, i] { run_sample(i); }));
+    }
+    for (std::future<void>& f : done) f.get();
+  }
+
+  // Reduce: per problem, the best temperature's pass counts (as before).
   std::vector<std::pair<int, int>> func_nc;
   std::vector<std::pair<int, int>> syn_nc;
-  Rng rng(opts.seed);
-
-  for (const BenchProblem& p : problems) {
-    const std::string prompt = problem_prompt(p);
+  std::size_t cursor = 0;
+  for (std::size_t p = 0; p < problems.size(); ++p) {
     int best_func = -1;
     int best_syn = -1;
-    for (const float temp : opts.temperatures) {
+    for (std::size_t t = 0; t < opts.temperatures.size(); ++t) {
       int c_func = 0;
       int c_syn = 0;
-      for (int s = 0; s < opts.n_samples; ++s) {
-        spec::DecodeConfig dcfg;
-        dcfg.temperature = temp;
-        dcfg.max_new_tokens = opts.max_new_tokens;
-        spec::DecodeResult r = generate(sys, prompt, dcfg, rng);
-        const std::string text = sys.tokenizer.decode(r.ids);
-        const std::string candidate = assemble_candidate(p, text);
-        const bool syntax = vlog::syntax_ok(candidate) &&
-                            sim::check_compiles(candidate, p.module_name).ok;
-        bool functional = false;
-        if (syntax) {
-          sim::DiffOptions dopts;
-          dopts.cycles = 48;
-          dopts.vectors = 48;
-          dopts.seed = opts.seed ^ (static_cast<std::uint64_t>(s) << 8);
-          const sim::DiffResult d =
-              sim::diff_check(p.golden_code, candidate, p.module_name, dopts);
-          functional = d.equivalent;
-        }
-        c_syn += syntax ? 1 : 0;
-        c_func += functional ? 1 : 0;
+      for (int s = 0; s < opts.n_samples; ++s, ++cursor) {
+        c_syn += syn_ok[cursor];
+        c_func += func_ok[cursor];
       }
       best_func = std::max(best_func, c_func);
       best_syn = std::max(best_syn, c_syn);

@@ -61,6 +61,17 @@ TrainedSystem train_system(const SystemConfig& cfg, const data::Dataset& full,
 spec::DecodeResult generate(const TrainedSystem& sys, const std::string& prompt,
                             const spec::DecodeConfig& dcfg, Rng& rng);
 
+/// Tokenizes and clamps `prompt` exactly as generate() does and returns
+/// the decode-ready ids plus the per-request config (fragment integrity
+/// and the "Ours" marker-token budget applied).  This is the admission
+/// path the serving layer uses to build serve::Requests.
+struct PreparedRequest {
+  std::vector<int> prompt_ids;
+  spec::DecodeConfig config;
+};
+PreparedRequest prepare_request(const TrainedSystem& sys, const std::string& prompt,
+                                const spec::DecodeConfig& dcfg);
+
 // --- quality (Table I, Fig. 6) ---------------------------------------------
 
 struct QualityOptions {
@@ -69,6 +80,11 @@ struct QualityOptions {
   int max_new_tokens = 300;
   std::vector<int> ks = {1, 5, 10};
   std::uint64_t seed = 99;
+  // Worker threads for the samples x problems grid (serve::ThreadPool).
+  // Every sample draws from its own pre-split RNG stream, so scores are
+  // bit-identical for ANY worker count, including the workers=1 serial
+  // path.
+  int workers = 1;
 };
 
 struct BenchScores {

@@ -449,6 +449,11 @@ void InferSession::truncate(int new_len) {
   len_ = new_len;  // cache rows beyond new_len are simply overwritten later
 }
 
+void InferSession::reset() {
+  len_ = 0;
+  enc_out_ = Tensor();  // stale cache rows are overwritten by the next feed
+}
+
 Tensor InferSession::lm_logits(const Tensor& hidden) const {
   return apply_linear(hidden, weight("lm"), nullptr);
 }

@@ -96,6 +96,10 @@ class InferSession {
   /// Rolls the cache back to `new_len` positions (rejected speculation).
   void truncate(int new_len);
 
+  /// Clears the sequence (and any encoder context) so the KV-cache
+  /// allocations can be reused for a new request (serving session reuse).
+  void reset();
+
   int len() const { return len_; }
 
   /// Base-model logits for hidden rows [n, V].

@@ -1,0 +1,80 @@
+// Minimal JSON emission helpers shared by `vsd serve` and the benches'
+// --json output.  Writing only — the repo has no JSON consumer in-tree;
+// files land in the perf ledger (BENCH_*.json) or downstream tooling.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace vsd::serve {
+
+namespace detail {
+
+/// Length of the valid UTF-8 sequence starting at s[i], or 0 if s[i] does
+/// not begin one.  Rejects lone continuations, truncation, overlong
+/// encodings (0xC0/0xC1, 0xE0 0x80-0x9F, 0xF0 0x80-0x8F), UTF-16
+/// surrogates (0xED 0xA0-0xBF), and code points above U+10FFFF.
+inline std::size_t utf8_len(std::string_view s, std::size_t i) {
+  const auto byte = [&](std::size_t k) {
+    return static_cast<unsigned char>(s[k]);
+  };
+  const unsigned char b0 = byte(i);
+  std::size_t need = 0;
+  if ((b0 & 0xE0) == 0xC0) need = 1;
+  else if ((b0 & 0xF0) == 0xE0) need = 2;
+  else if ((b0 & 0xF8) == 0xF0) need = 3;
+  else return 0;
+  if (b0 == 0xC0 || b0 == 0xC1 || b0 > 0xF4) return 0;
+  if (i + need >= s.size()) return 0;  // truncated at end of string
+  for (std::size_t k = 1; k <= need; ++k) {
+    if ((byte(i + k) & 0xC0) != 0x80) return 0;
+  }
+  const unsigned char b1 = byte(i + 1);
+  if (b0 == 0xE0 && b1 < 0xA0) return 0;
+  if (b0 == 0xED && b1 >= 0xA0) return 0;
+  if (b0 == 0xF0 && b1 < 0x90) return 0;
+  if (b0 == 0xF4 && b1 > 0x8F) return 0;
+  return need + 1;
+}
+
+}  // namespace detail
+
+/// Escapes `s` for use inside a double-quoted JSON string.  Valid UTF-8
+/// sequences pass through untouched; lone high bytes (the byte-level
+/// tokenizer can emit them as single-byte tokens) are escaped as \u00XX
+/// so the output line stays valid JSON.
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: {
+        const unsigned char u = static_cast<unsigned char>(c);
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          out += buf;
+        } else if (u < 0x80) {
+          out += c;
+        } else if (const std::size_t n = detail::utf8_len(s, i); n > 0) {
+          out.append(s.substr(i, n));
+          i += n - 1;
+        } else {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          out += buf;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace vsd::serve

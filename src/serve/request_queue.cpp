@@ -1,0 +1,73 @@
+#include "serve/request_queue.hpp"
+
+#include "common/error.hpp"
+
+namespace vsd::serve {
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
+  check(capacity >= 1, "RequestQueue capacity must be >= 1");
+}
+
+bool RequestQueue::push(Request r) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
+  if (closed_) return false;
+  items_.push_back(std::move(r));
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+bool RequestQueue::try_push(Request& r) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(r));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+std::optional<Request> RequestQueue::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return std::nullopt;  // closed and drained
+  Request r = std::move(items_.front());
+  items_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return r;
+}
+
+std::optional<Request> RequestQueue::try_pop() {
+  std::optional<Request> r;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    r = std::move(items_.front());
+    items_.pop_front();
+  }
+  not_full_.notify_one();
+  return r;
+}
+
+void RequestQueue::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t RequestQueue::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+}  // namespace vsd::serve

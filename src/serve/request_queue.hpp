@@ -1,0 +1,60 @@
+// serve::RequestQueue — a bounded MPMC queue of decode requests, the
+// admission edge of the serving subsystem.  Producers feel backpressure
+// (push blocks while the queue is full); close() lets consumers drain the
+// remaining items and then observe end-of-stream as an empty pop.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spec/decode.hpp"
+
+namespace vsd::serve {
+
+/// One decode request as accepted by the service: tokenized prompt plus
+/// the per-request decoding configuration and RNG stream.
+struct Request {
+  std::uint64_t id = 0;
+  std::string prompt;           // original text, echoed in service output
+  std::vector<int> prompt_ids;  // tokens fed to the decoder
+  spec::DecodeConfig config;
+  std::uint64_t seed = 0;       // per-request RNG stream (sampling only)
+};
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity);
+
+  /// Blocks while the queue is full; returns false (request dropped) once
+  /// the queue is closed.
+  bool push(Request r);
+  /// Non-blocking push; `r` is left untouched when the queue is full.
+  bool try_push(Request& r);
+
+  /// Blocks while the queue is open and empty; returns nullopt only after
+  /// close() once every queued request has been drained.
+  std::optional<Request> pop();
+  /// Non-blocking pop; nullopt when nothing is queued right now.
+  std::optional<Request> try_pop();
+
+  /// Ends admission: subsequent pushes fail, consumers drain then stop.
+  void close();
+  bool closed() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<Request> items_;
+  bool closed_ = false;
+};
+
+}  // namespace vsd::serve

@@ -1,0 +1,81 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "serve/thread_pool.hpp"
+
+namespace vsd::serve {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}
+
+Scheduler::Scheduler(const nn::TransformerModel& model, RequestQueue& queue,
+                     SchedulerOptions opts)
+    : model_(model), queue_(queue), opts_(opts) {}
+
+ServeStats Scheduler::run(const Completion& on_complete) {
+  const int batch = std::max(1, opts_.batch);
+
+  struct Slot {
+    std::unique_ptr<nn::InferSession> sess;  // KV allocations, reused
+    std::unique_ptr<spec::DecodeSession> dec;
+    Request req;
+  };
+  // Declared before the pool: if a decode error unwinds this frame, the
+  // pool must join its workers (which may still be mid-step on other
+  // slots' sessions) before the slots are destroyed.
+  std::vector<Slot> slots(static_cast<std::size_t>(batch));
+  ThreadPool pool(std::max(1, opts_.workers));
+
+  ServeStats stats;
+  const auto start = Clock::now();
+  int live = 0;
+  for (;;) {
+    // --- admit: fill free slots from the queue ---------------------------
+    // Only block when nothing is in flight; otherwise keep decoding and
+    // take whatever is immediately available.
+    for (Slot& slot : slots) {
+      if (slot.dec) continue;
+      std::optional<Request> r = live == 0 ? queue_.pop() : queue_.try_pop();
+      if (!r) break;
+      if (!slot.sess) slot.sess = std::make_unique<nn::InferSession>(model_);
+      slot.req = std::move(*r);
+      slot.dec = std::make_unique<spec::DecodeSession>(
+          model_, *slot.sess, slot.req.prompt_ids, slot.req.config,
+          Rng(slot.req.seed));
+      ++live;
+    }
+    if (live == 0) break;  // queue closed and drained
+
+    // --- tick: advance every live session one speculative step -----------
+    std::vector<std::pair<Slot*, std::future<bool>>> inflight;
+    inflight.reserve(static_cast<std::size_t>(live));
+    for (Slot& slot : slots) {
+      if (!slot.dec) continue;
+      spec::DecodeSession* dec = slot.dec.get();
+      inflight.emplace_back(&slot, pool.submit([dec] { return dec->step(); }));
+    }
+    ++stats.ticks;
+    stats.max_in_flight = std::max(stats.max_in_flight,
+                                   static_cast<int>(inflight.size()));
+
+    // --- complete: requests finish independently, slots free immediately -
+    for (auto& [slot, fut] : inflight) {
+      if (fut.get()) continue;  // get() rethrows decode errors
+      on_complete(slot->req, slot->dec->take_result());
+      slot->dec.reset();
+      --live;
+      ++stats.completed;
+    }
+  }
+  stats.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return stats;
+}
+
+}  // namespace vsd::serve

@@ -1,0 +1,54 @@
+// serve::Scheduler — continuous batched decoding (the vLLM-style serving
+// loop, scaled to this codebase).  The scheduler keeps up to `batch`
+// spec::DecodeSessions in flight; every tick it advances each live session
+// one speculative step (the steps fan out across a ThreadPool), admits
+// queued requests the moment a slot frees up, and completes each request
+// independently — there is no barrier on the slowest prompt.  Each slot
+// owns one nn::InferSession whose KV-cache allocations are reset and
+// reused across the requests it hosts.
+#pragma once
+
+#include <functional>
+
+#include "nn/model.hpp"
+#include "serve/request_queue.hpp"
+#include "spec/decode.hpp"
+
+namespace vsd::serve {
+
+struct SchedulerOptions {
+  int workers = 1;  // threads advancing sessions each tick
+  int batch = 1;    // max in-flight sessions (continuous-batch width)
+};
+
+/// Serving accounting.  `ticks` counts scheduler iterations: under the
+/// repo's serving-latency model (see eval/harness.hpp) one tick costs one
+/// shared batched base-model forward, which is what the paper's
+/// memory-bandwidth-bound GPU regime measures.
+struct ServeStats {
+  long ticks = 0;
+  int completed = 0;
+  int max_in_flight = 0;
+  double wall_seconds = 0.0;
+};
+
+class Scheduler {
+ public:
+  /// Called on the scheduler thread for each finished request, in
+  /// completion order (not admission order).
+  using Completion = std::function<void(const Request&, spec::DecodeResult)>;
+
+  Scheduler(const nn::TransformerModel& model, RequestQueue& queue,
+            SchedulerOptions opts);
+
+  /// Runs until the queue is closed and fully drained.  A decode error in
+  /// any request propagates out as vsd::Error.
+  ServeStats run(const Completion& on_complete);
+
+ private:
+  const nn::TransformerModel& model_;
+  RequestQueue& queue_;
+  SchedulerOptions opts_;
+};
+
+}  // namespace vsd::serve

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <memory>
 
 namespace vsd::spec {
 
@@ -66,9 +67,14 @@ int pick_token(std::span<const float> logits, float temperature, Rng& rng) {
   return static_cast<int>(probs.size()) - 1;
 }
 
-int Decoder::prime_session(nn::InferSession& sess, std::span<const int> prompt_ids,
-                           nn::Tensor& h_last) const {
-  if (model_.config().encoder_decoder) {
+namespace {
+
+/// Feeds the prompt (encoder side for enc-dec models) and returns the
+/// number of decoder positions consumed; `h_last` gets the hidden rows of
+/// the fed tokens.
+int prime_session(const nn::TransformerModel& model, nn::InferSession& sess,
+                  std::span<const int> prompt_ids, nn::Tensor& h_last) {
+  if (model.config().encoder_decoder) {
     sess.set_encoder(prompt_ids);
     const int bos = text::Tokenizer::kBos;
     h_last = sess.feed(std::span<const int>(&bos, 1));
@@ -78,13 +84,15 @@ int Decoder::prime_session(nn::InferSession& sess, std::span<const int> prompt_i
   return static_cast<int>(prompt_ids.size());
 }
 
+}  // namespace
+
 DecodeResult Decoder::ntp(std::span<const int> prompt_ids, const DecodeConfig& cfg,
                           Rng& rng) const {
   DecodeResult out;
   const auto start = Clock::now();
   nn::InferSession sess(model_);
   nn::Tensor h;
-  out.positions += prime_session(sess, prompt_ids, h);
+  out.positions += prime_session(model_, sess, prompt_ids, h);
 
   const int budget = std::min(cfg.max_new_tokens,
                               model_.config().max_seq - sess.len() - 1);
@@ -106,163 +114,237 @@ DecodeResult Decoder::ntp(std::span<const int> prompt_ids, const DecodeConfig& c
   return out;
 }
 
+DecodeSession::DecodeSession(const nn::TransformerModel& model,
+                             nn::InferSession& sess, std::vector<int> prompt_ids,
+                             const DecodeConfig& cfg, Rng rng)
+    : model_(model),
+      sess_(sess),
+      prompt_ids_(std::move(prompt_ids)),
+      cfg_(cfg),
+      rng_(rng) {
+  n_heads_ = std::min(cfg_.num_heads, model_.config().n_medusa_heads);
+  check(n_heads_ >= 1, "speculative decoding needs at least one draft head");
+  sess_.reset();
+}
+
+void DecodeSession::prime() {
+  out_.positions += prime_session(model_, sess_, prompt_ids_, h_);
+  primed_ = true;
+}
+
+bool DecodeSession::step() {
+  if (done_) return false;
+  const auto start = Clock::now();
+  if (!primed_) prime();
+  if (generated_ >= cfg_.max_new_tokens ||
+      sess_.len() + n_heads_ + 2 >= model_.config().max_seq) {
+    done_ = true;
+    out_.wall_seconds += seconds_since(start);
+    return false;
+  }
+
+  // --- draft: base top-k candidates + one chain from the heads ----------
+  const nn::Tensor base_logits_t = sess_.lm_logits(h_);
+  const std::vector<float> base_logits = row_of(base_logits_t, base_logits_t.rows() - 1);
+
+  std::vector<int> first_tokens;
+  if (cfg_.temperature > 0.0f) {
+    first_tokens.push_back(pick_token(base_logits, cfg_.temperature, rng_));
+    for (const int t : top_k_indices(base_logits, cfg_.num_candidates)) {
+      if (static_cast<int>(first_tokens.size()) >= cfg_.num_candidates) break;
+      if (t != first_tokens[0]) first_tokens.push_back(t);
+    }
+  } else {
+    first_tokens = top_k_indices(base_logits, cfg_.num_candidates);
+  }
+
+  std::vector<int> head_tokens(static_cast<std::size_t>(n_heads_));
+  for (int k = 0; k < n_heads_; ++k) {
+    const nn::Tensor hl = sess_.head_logits(h_, k);
+    const std::vector<float> row = row_of(hl, hl.rows() - 1);
+    head_tokens[static_cast<std::size_t>(k)] =
+        pick_token(row, /*temperature=*/0.0f, rng_);
+  }
+
+  // --- verify each candidate chain, keep the longest accepted prefix ----
+  const int base_len = sess_.len();
+  const float prob_temp = cfg_.temperature > 0.0f ? cfg_.temperature : 1.0f;
+  int best_accepted = 0;
+  std::vector<int> best_chain;
+  nn::Tensor best_hidden;
+  std::size_t best_c = 0;
+  std::size_t last_fed = static_cast<std::size_t>(-1);
+  // Base-distribution probabilities for first-token acceptance, shared by
+  // every alternative candidate this step (computed at most once).
+  std::vector<float> base_probs;
+
+  for (std::size_t c = 0; c < first_tokens.size(); ++c) {
+    std::vector<int> chain;
+    chain.push_back(first_tokens[c]);
+    chain.insert(chain.end(), head_tokens.begin(), head_tokens.end());
+
+    // The primary candidate's first token came from the base model
+    // itself (argmax / sample) and is always accepted; alternative
+    // candidates must pass the acceptance rule for their first token.
+    if (c > 0) {
+      if (cfg_.temperature <= 0.0f) {
+        continue;  // greedy: only the argmax first token is lossless
+      }
+      if (base_probs.empty()) base_probs = softmax(base_logits, prob_temp);
+      if (!cfg_.acceptance.accepts(base_probs, chain[0])) continue;
+    }
+    if (sess_.len() > base_len) sess_.truncate(base_len);
+    const nn::Tensor hs = sess_.feed(chain);
+    last_fed = c;
+    out_.positions += static_cast<long>(chain.size());
+    int accepted = 1;  // the base-model token is always accepted
+    if (chain[0] != cfg_.eos_id) {
+      const nn::Tensor lj = sess_.lm_logits(hs);  // logits for every row
+      for (int j = 1; j < static_cast<int>(chain.size()); ++j) {
+        const std::vector<float> logits_row = row_of(lj, j - 1);
+        const int tok = chain[static_cast<std::size_t>(j)];
+        bool ok = false;
+        if (cfg_.temperature <= 0.0f) {
+          // Greedy decoding: lossless — accept only the base argmax
+          // (MEDUSA's greedy verification).
+          int best = 0;
+          for (std::size_t v = 1; v < logits_row.size(); ++v) {
+            if (logits_row[v] > logits_row[static_cast<std::size_t>(best)]) {
+              best = static_cast<int>(v);
+            }
+          }
+          ok = tok == best;
+        } else {
+          // Sampling: typical acceptance (Eq. 1).
+          const std::vector<float> probs = softmax(logits_row, prob_temp);
+          ok = cfg_.acceptance.accepts(probs, tok);
+        }
+        if (!ok) break;
+        ++accepted;
+        if (tok == cfg_.eos_id) break;
+      }
+    }
+    // Fragment-integrity check (the paper's addition): the committed
+    // burst must end on a complete syntactic fragment, i.e. at the last
+    // [FRAG] boundary inside the accepted span.  EOS also closes a
+    // fragment.
+    if (cfg_.fragment_integrity && accepted > 1) {
+      int last_ok = 0;  // index of last fragment-closing token, -1 none
+      bool found = false;
+      for (int j = accepted - 1; j >= 0; --j) {
+        const int tok = chain[static_cast<std::size_t>(j)];
+        if (tok == cfg_.frag_id || tok == cfg_.eos_id) {
+          last_ok = j;
+          found = true;
+          break;
+        }
+      }
+      accepted = found ? last_ok + 1 : 1;
+    }
+    if (accepted > best_accepted) {
+      best_accepted = accepted;
+      best_chain = chain;
+      best_hidden = hs;
+      best_c = c;
+    }
+  }
+  check(best_accepted >= 1, "speculative step accepted nothing");
+
+  // --- commit ------------------------------------------------------------
+  std::vector<int> committed(best_chain.begin(),
+                             best_chain.begin() + best_accepted);
+  if (best_c == last_fed) {
+    // The winner was the last candidate fed: its KV rows are still in
+    // the cache; just roll back the rejected tail.
+    sess_.truncate(base_len + best_accepted);
+    // h := hidden row of the last committed token.
+    nn::Tensor h_new(1, best_hidden.cols());
+    std::copy(best_hidden.row(best_accepted - 1),
+              best_hidden.row(best_accepted - 1) + best_hidden.cols(),
+              h_new.row(0));
+    h_ = std::move(h_new);
+  } else {
+    sess_.truncate(base_len);
+    h_ = sess_.feed(committed);
+    out_.positions += static_cast<long>(committed.size());
+    nn::Tensor h_new(1, h_.cols());
+    std::copy(h_.row(h_.rows() - 1), h_.row(h_.rows() - 1) + h_.cols(), h_new.row(0));
+    h_ = std::move(h_new);
+  }
+
+  ++out_.steps;
+  int emitted = 0;
+  for (const int tok : committed) {
+    if (tok == cfg_.eos_id) {
+      out_.hit_eos = true;
+      done_ = true;
+      break;
+    }
+    out_.ids.push_back(tok);
+    ++emitted;
+    ++generated_;
+  }
+  out_.accepted_per_step.push_back(emitted > 0 ? emitted : 1);
+  out_.wall_seconds += seconds_since(start);
+  return !done_;
+}
+
 DecodeResult Decoder::speculative(std::span<const int> prompt_ids,
                                   const DecodeConfig& cfg, Rng& rng) const {
-  DecodeResult out;
-  const auto start = Clock::now();
-  const int n_heads = std::min(cfg.num_heads, model_.config().n_medusa_heads);
-  check(n_heads >= 1, "speculative decoding needs at least one draft head");
-
   nn::InferSession sess(model_);
-  nn::Tensor h;
-  out.positions += prime_session(sess, prompt_ids, h);
-
-  int generated = 0;
-  bool done = false;
-  while (!done && generated < cfg.max_new_tokens &&
-         sess.len() + n_heads + 2 < model_.config().max_seq) {
-    // --- draft: base top-k candidates + one chain from the heads ----------
-    const nn::Tensor base_logits_t = sess.lm_logits(h);
-    const std::vector<float> base_logits = row_of(base_logits_t, base_logits_t.rows() - 1);
-
-    std::vector<int> first_tokens;
-    if (cfg.temperature > 0.0f) {
-      first_tokens.push_back(pick_token(base_logits, cfg.temperature, rng));
-      for (const int t : top_k_indices(base_logits, cfg.num_candidates)) {
-        if (static_cast<int>(first_tokens.size()) >= cfg.num_candidates) break;
-        if (t != first_tokens[0]) first_tokens.push_back(t);
-      }
-    } else {
-      first_tokens = top_k_indices(base_logits, cfg.num_candidates);
-    }
-
-    std::vector<int> head_tokens(static_cast<std::size_t>(n_heads));
-    for (int k = 0; k < n_heads; ++k) {
-      const nn::Tensor hl = sess.head_logits(h, k);
-      const std::vector<float> row = row_of(hl, hl.rows() - 1);
-      head_tokens[static_cast<std::size_t>(k)] =
-          pick_token(row, /*temperature=*/0.0f, rng);
-    }
-
-    // --- verify each candidate chain, keep the longest accepted prefix ----
-    const int base_len = sess.len();
-    const float prob_temp = cfg.temperature > 0.0f ? cfg.temperature : 1.0f;
-    int best_accepted = 0;
-    std::vector<int> best_chain;
-    nn::Tensor best_hidden;
-    std::size_t best_c = 0;
-    std::size_t last_fed = static_cast<std::size_t>(-1);
-
-    for (std::size_t c = 0; c < first_tokens.size(); ++c) {
-      std::vector<int> chain;
-      chain.push_back(first_tokens[c]);
-      chain.insert(chain.end(), head_tokens.begin(), head_tokens.end());
-
-      // The primary candidate's first token came from the base model
-      // itself (argmax / sample) and is always accepted; alternative
-      // candidates must pass the acceptance rule for their first token.
-      if (c > 0) {
-        if (cfg.temperature <= 0.0f) {
-          continue;  // greedy: only the argmax first token is lossless
-        }
-        const std::vector<float> probs = softmax(base_logits, prob_temp);
-        if (!cfg.acceptance.accepts(probs, chain[0])) continue;
-      }
-      if (sess.len() > base_len) sess.truncate(base_len);
-      const nn::Tensor hs = sess.feed(chain);
-      last_fed = c;
-      out.positions += static_cast<long>(chain.size());
-      int accepted = 1;  // the base-model token is always accepted
-      if (chain[0] != cfg.eos_id) {
-        const nn::Tensor lj = sess.lm_logits(hs);  // logits for every row
-        for (int j = 1; j < static_cast<int>(chain.size()); ++j) {
-          const std::vector<float> logits_row = row_of(lj, j - 1);
-          const int tok = chain[static_cast<std::size_t>(j)];
-          bool ok = false;
-          if (cfg.temperature <= 0.0f) {
-            // Greedy decoding: lossless — accept only the base argmax
-            // (MEDUSA's greedy verification).
-            int best = 0;
-            for (std::size_t v = 1; v < logits_row.size(); ++v) {
-              if (logits_row[v] > logits_row[static_cast<std::size_t>(best)]) {
-                best = static_cast<int>(v);
-              }
-            }
-            ok = tok == best;
-          } else {
-            // Sampling: typical acceptance (Eq. 1).
-            const std::vector<float> probs = softmax(logits_row, prob_temp);
-            ok = cfg.acceptance.accepts(probs, tok);
-          }
-          if (!ok) break;
-          ++accepted;
-          if (tok == cfg.eos_id) break;
-        }
-      }
-      // Fragment-integrity check (the paper's addition): the committed
-      // burst must end on a complete syntactic fragment, i.e. at the last
-      // [FRAG] boundary inside the accepted span.  EOS also closes a
-      // fragment.
-      if (cfg.fragment_integrity && accepted > 1) {
-        int last_ok = 0;  // index of last fragment-closing token, -1 none
-        bool found = false;
-        for (int j = accepted - 1; j >= 0; --j) {
-          const int tok = chain[static_cast<std::size_t>(j)];
-          if (tok == cfg.frag_id || tok == cfg.eos_id) {
-            last_ok = j;
-            found = true;
-            break;
-          }
-        }
-        accepted = found ? last_ok + 1 : 1;
-      }
-      if (accepted > best_accepted) {
-        best_accepted = accepted;
-        best_chain = chain;
-        best_hidden = hs;
-        best_c = c;
-      }
-    }
-    check(best_accepted >= 1, "speculative step accepted nothing");
-
-    // --- commit ------------------------------------------------------------
-    std::vector<int> committed(best_chain.begin(),
-                               best_chain.begin() + best_accepted);
-    if (best_c == last_fed) {
-      // The winner was the last candidate fed: its KV rows are still in
-      // the cache; just roll back the rejected tail.
-      sess.truncate(base_len + best_accepted);
-      // h := hidden row of the last committed token.
-      nn::Tensor h_new(1, best_hidden.cols());
-      std::copy(best_hidden.row(best_accepted - 1),
-                best_hidden.row(best_accepted - 1) + best_hidden.cols(),
-                h_new.row(0));
-      h = std::move(h_new);
-    } else {
-      sess.truncate(base_len);
-      h = sess.feed(committed);
-      out.positions += static_cast<long>(committed.size());
-      nn::Tensor h_new(1, h.cols());
-      std::copy(h.row(h.rows() - 1), h.row(h.rows() - 1) + h.cols(), h_new.row(0));
-      h = std::move(h_new);
-    }
-
-    ++out.steps;
-    int emitted = 0;
-    for (const int tok : committed) {
-      if (tok == cfg.eos_id) {
-        out.hit_eos = true;
-        done = true;
-        break;
-      }
-      out.ids.push_back(tok);
-      ++emitted;
-      ++generated;
-    }
-    out.accepted_per_step.push_back(emitted > 0 ? emitted : 1);
+  DecodeSession session(model_, sess,
+                        std::vector<int>(prompt_ids.begin(), prompt_ids.end()),
+                        cfg, rng);
+  while (session.step()) {
   }
-  out.wall_seconds = seconds_since(start);
-  return out;
+  rng = session.rng();  // hand the consumed randomness back to the caller
+  return session.take_result();
+}
+
+std::vector<DecodeResult> Decoder::speculative_batch(
+    std::span<const BatchRequest> requests, int batch_slots,
+    BatchStats* stats) const {
+  const int n = static_cast<int>(requests.size());
+  std::vector<DecodeResult> results(static_cast<std::size_t>(n));
+  if (n == 0) return results;
+  const int slots = batch_slots > 0 ? std::min(batch_slots, n) : n;
+
+  // One InferSession per slot, reset between the requests it hosts so the
+  // KV-cache allocations are reused for the whole batch.
+  std::vector<std::unique_ptr<nn::InferSession>> sessions(
+      static_cast<std::size_t>(slots));
+  std::vector<std::unique_ptr<DecodeSession>> live(static_cast<std::size_t>(slots));
+  std::vector<int> req_of_slot(static_cast<std::size_t>(slots), -1);
+
+  int next = 0;
+  int completed = 0;
+  while (completed < n) {
+    int in_flight = 0;
+    for (int s = 0; s < slots; ++s) {
+      auto& slot = live[static_cast<std::size_t>(s)];
+      if (!slot && next < n) {
+        const BatchRequest& req = requests[static_cast<std::size_t>(next)];
+        auto& sess = sessions[static_cast<std::size_t>(s)];
+        if (!sess) sess = std::make_unique<nn::InferSession>(model_);
+        slot = std::make_unique<DecodeSession>(model_, *sess, req.prompt_ids,
+                                               req.config, Rng(req.seed));
+        req_of_slot[static_cast<std::size_t>(s)] = next++;
+      }
+      if (!slot) continue;
+      ++in_flight;
+      if (!slot->step()) {
+        results[static_cast<std::size_t>(req_of_slot[static_cast<std::size_t>(s)])] =
+            slot->take_result();
+        slot.reset();
+        ++completed;
+      }
+    }
+    if (stats != nullptr) {
+      ++stats->ticks;
+      stats->max_in_flight = std::max(stats->max_in_flight, in_flight);
+    }
+  }
+  return results;
 }
 
 double Decoder::measure_step_seconds(int context_len, int reps) const {

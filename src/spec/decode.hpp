@@ -41,6 +41,63 @@ struct DecodeResult {
   }
 };
 
+/// One in-flight speculative decode: the per-request state behind
+/// Decoder::speculative (KV session, last hidden row, remaining budget),
+/// factored out so a batching scheduler can interleave many requests and
+/// advance each one speculative iteration at a time.
+///
+/// The referenced InferSession is reset() on construction and must outlive
+/// this object; reusing one InferSession across consecutive requests keeps
+/// its KV-cache allocations warm.  The prompt is fed lazily on the first
+/// step() call so a thread pool can absorb the prefill cost too.
+class DecodeSession {
+ public:
+  DecodeSession(const nn::TransformerModel& model, nn::InferSession& sess,
+                std::vector<int> prompt_ids, const DecodeConfig& cfg, Rng rng);
+
+  /// Advances decoding by one speculative iteration (the first call also
+  /// primes the KV cache with the prompt).  Returns true while the request
+  /// has more steps to run.
+  bool step();
+
+  bool done() const { return done_; }
+  const DecodeResult& result() const { return out_; }
+  DecodeResult take_result() { return std::move(out_); }
+  /// RNG state after the draws consumed so far (lets single-prompt callers
+  /// keep threading one generator through consecutive calls).
+  const Rng& rng() const { return rng_; }
+
+ private:
+  void prime();
+
+  const nn::TransformerModel& model_;
+  nn::InferSession& sess_;
+  std::vector<int> prompt_ids_;
+  DecodeConfig cfg_;
+  Rng rng_;
+  DecodeResult out_;
+  nn::Tensor h_;
+  int n_heads_ = 0;
+  int generated_ = 0;
+  bool primed_ = false;
+  bool done_ = false;
+};
+
+/// One prompt of a batched decode (Decoder::speculative_batch).
+struct BatchRequest {
+  std::vector<int> prompt_ids;
+  DecodeConfig config;
+  std::uint64_t seed = 0;  // per-request RNG stream (unused at temperature 0)
+};
+
+/// Accounting for a batched decode under the serving-latency model: each
+/// tick advances every in-flight session one speculative step, i.e. one
+/// shared batched base-model forward in the regime the paper measures.
+struct BatchStats {
+  long ticks = 0;
+  int max_in_flight = 0;
+};
+
 /// Runs generation for `prompt_ids`.  For encoder-decoder models the
 /// prompt feeds the encoder and generation starts from BOS; for
 /// decoder-only models the prompt ids are fed into the decoder directly.
@@ -56,14 +113,21 @@ class Decoder {
   DecodeResult speculative(std::span<const int> prompt_ids, const DecodeConfig& cfg,
                            Rng& rng) const;
 
+  /// Batched speculative decoding with continuous admission: keeps up to
+  /// `batch_slots` requests in flight (0 => all at once), advances every
+  /// live request one speculative step per tick, and refills a slot the
+  /// moment its request completes — no barrier on the slowest prompt.
+  /// Results are token-identical to per-request speculative() calls
+  /// seeded with the same BatchRequest::seed.
+  std::vector<DecodeResult> speculative_batch(std::span<const BatchRequest> requests,
+                                              int batch_slots = 0,
+                                              BatchStats* stats = nullptr) const;
+
   /// Calibration: mean seconds for a single-token decoder step at a given
   /// context length (used by the speed harness's latency model).
   double measure_step_seconds(int context_len, int reps = 16) const;
 
  private:
-  int prime_session(nn::InferSession& sess, std::span<const int> prompt_ids,
-                    nn::Tensor& h_last) const;
-
   const nn::TransformerModel& model_;
 };
 

@@ -140,6 +140,39 @@ TEST(Harness, TrainGenerateEvaluateSmoke) {
   EXPECT_GE(scores.syn_rate, scores.func_rate - 1e-9);  // syntax is easier
 }
 
+TEST(Harness, QualityScoresBitIdenticalForAnyWorkerCount) {
+  data::DatasetConfig dcfg;
+  dcfg.target_items = 24;
+  dcfg.seed = 5;
+  const data::Dataset full = data::build_dataset(dcfg);
+  const text::Tokenizer tok =
+      text::Tokenizer::train(data::tokenizer_corpus(full), {.vocab_size = 320});
+  SystemConfig cfg;
+  cfg.method = spec::Method::Ours;
+  cfg.epochs = 1;
+  cfg.d_model = 32;
+  cfg.n_layers = 1;
+  cfg.d_ff = 64;
+  cfg.medusa_heads = 4;
+  const TrainedSystem sys = train_system(cfg, full, tok);
+
+  QualityOptions qopts;
+  qopts.n_samples = 3;
+  qopts.temperatures = {0.4f, 0.8f};
+  qopts.max_new_tokens = 48;
+  const auto problems = make_vgen_like(2, 17);
+
+  qopts.workers = 1;  // the serial path
+  const BenchScores serial = evaluate_quality(sys, problems, qopts);
+  qopts.workers = 3;  // pooled path must not perturb a single bit
+  const BenchScores pooled = evaluate_quality(sys, problems, qopts);
+
+  EXPECT_EQ(serial.func_pass_at_k, pooled.func_pass_at_k);
+  EXPECT_EQ(serial.syn_pass_at_k, pooled.syn_pass_at_k);
+  EXPECT_DOUBLE_EQ(serial.func_rate, pooled.func_rate);
+  EXPECT_DOUBLE_EQ(serial.syn_rate, pooled.syn_rate);
+}
+
 TEST(Harness, SpeedEvaluationProducesPositiveRates) {
   data::DatasetConfig dcfg;
   dcfg.target_items = 12;

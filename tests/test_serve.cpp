@@ -1,0 +1,341 @@
+// Tests for the serving subsystem: ThreadPool (ordering, exception
+// propagation, shutdown draining), RequestQueue (FIFO, backpressure,
+// close semantics), batched decoding parity with the serial path at
+// temperature 0, and the continuous-batching Scheduler end to end.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <thread>
+
+#include "serve/json.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/thread_pool.hpp"
+#include "spec/trainer.hpp"
+
+namespace vsd::serve {
+namespace {
+
+// --- JSON escaping -----------------------------------------------------------
+
+TEST(JsonEscape, PassesAsciiAndEscapesSpecials) {
+  EXPECT_EQ(json_escape("abc"), "abc");
+  EXPECT_EQ(json_escape("a\"b\\c\nd\te\r"), "a\\\"b\\\\c\\nd\\te\\r");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonEscape, ValidUtf8PassesThroughRaw) {
+  EXPECT_EQ(json_escape("\xC2\xB5"), "\xC2\xB5");                  // µ
+  EXPECT_EQ(json_escape("\xE2\x82\xAC"), "\xE2\x82\xAC");          // €
+  EXPECT_EQ(json_escape("\xF0\x9F\x98\x80"), "\xF0\x9F\x98\x80");  // emoji
+}
+
+TEST(JsonEscape, IllegalBytesAreEscapedToKeepJsonValid) {
+  // Lone high bytes (byte-level tokenizer fallback), truncated leads,
+  // overlong encodings, and UTF-16 surrogates must not reach stdout raw.
+  EXPECT_EQ(json_escape("\x80"), "\\u0080");
+  EXPECT_EQ(json_escape("\xC2"), "\\u00c2");
+  EXPECT_EQ(json_escape("\xC0\x80"), "\\u00c0\\u0080");
+  EXPECT_EQ(json_escape("\xED\xA0\x80"), "\\u00ed\\u00a0\\u0080");
+  EXPECT_EQ(json_escape("\xF5\x80\x80\x80"), "\\u00f5\\u0080\\u0080\\u0080");
+}
+
+// --- ThreadPool --------------------------------------------------------------
+
+TEST(ThreadPool, ResultsMatchSubmissionOrder) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futs;
+  for (int i = 0; i < 64; ++i) {
+    futs.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(futs[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] { return 7; });
+  auto bad = pool.submit([]() -> int { throw Error("task failed"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(bad.get(), Error);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++ran;
+      });
+    }
+  }  // destructor must run every queued task before joining
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, SingleWorkerIsSequential) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 16; ++i) {
+    futs.push_back(pool.submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : futs) f.get();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+// --- RequestQueue ------------------------------------------------------------
+
+Request make_request(std::uint64_t id) {
+  Request r;
+  r.id = id;
+  return r;
+}
+
+TEST(RequestQueue, FifoOrder) {
+  RequestQueue q(4);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_TRUE(q.push(make_request(i)));
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const auto r = q.try_pop();
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->id, i);
+  }
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(RequestQueue, TryPushRespectsCapacity) {
+  RequestQueue q(2);
+  Request a = make_request(0);
+  Request b = make_request(1);
+  Request c = make_request(2);
+  EXPECT_TRUE(q.try_push(a));
+  EXPECT_TRUE(q.try_push(b));
+  EXPECT_FALSE(q.try_push(c));  // full: request stays with the caller
+  EXPECT_EQ(c.id, 2u);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(RequestQueue, BackpressureBoundsProducer) {
+  RequestQueue q(2);
+  std::thread producer([&q] {
+    for (std::uint64_t i = 0; i < 8; ++i) q.push(make_request(i));
+    q.close();
+  });
+  std::vector<std::uint64_t> got;
+  for (;;) {
+    EXPECT_LE(q.size(), 2u);  // blocking push never overfills the queue
+    const auto r = q.pop();
+    if (!r.has_value()) break;
+    got.push_back(r->id);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  producer.join();
+  ASSERT_EQ(got.size(), 8u);
+  for (std::uint64_t i = 0; i < 8; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST(RequestQueue, CloseUnblocksConsumerAndRejectsProducers) {
+  RequestQueue q(2);
+  std::thread consumer([&q] {
+    const auto r = q.pop();  // blocks until close
+    EXPECT_FALSE(r.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.push(make_request(9)));
+}
+
+TEST(RequestQueue, DrainsRemainingItemsAfterClose) {
+  RequestQueue q(4);
+  EXPECT_TRUE(q.push(make_request(0)));
+  EXPECT_TRUE(q.push(make_request(1)));
+  q.close();
+  EXPECT_TRUE(q.pop().has_value());
+  EXPECT_TRUE(q.pop().has_value());
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+// --- batched decoding on an overfit model ------------------------------------
+
+struct Fixture {
+  nn::ModelConfig cfg;
+  std::unique_ptr<nn::TransformerModel> model;
+
+  Fixture() {
+    cfg.vocab = 48;
+    cfg.d_model = 32;
+    cfg.n_layers = 2;
+    cfg.n_heads = 2;
+    cfg.d_ff = 64;
+    cfg.max_seq = 96;
+    cfg.n_medusa_heads = 6;
+    model = std::make_unique<nn::TransformerModel>(cfg, 11);
+
+    const int F = text::Tokenizer::kFrag;
+    spec::TrainConfig tc;
+    tc.method = spec::Method::Ours;
+    tc.epochs = 60;
+    tc.lr = 3e-3f;
+    tc.warmup_steps = 5;
+    tc.max_seq = 96;
+    spec::Trainer trainer(*model, tc);
+    spec::EncodedExample ex;
+    ex.prompt_ids = {10, 11, 12};
+    ex.code_ids = {20, 21, F, 22, F, 23, 24, 25, F, 26, 27, F,
+                   text::Tokenizer::kEos};
+    trainer.fit({ex});
+  }
+
+  /// Distinct prompts (same in-vocab alphabet) to serve as a batch.
+  std::vector<std::vector<int>> prompts(int n) const {
+    std::vector<std::vector<int>> out;
+    for (int i = 0; i < n; ++i) {
+      out.push_back({text::Tokenizer::kBos, 10 + (i % 3), 11, 12 + (i % 2)});
+    }
+    return out;
+  }
+};
+
+spec::DecodeConfig greedy_config() {
+  spec::DecodeConfig cfg;
+  cfg.max_new_tokens = 32;
+  cfg.num_heads = 6;
+  return cfg;
+}
+
+TEST(BatchDecode, TokenIdenticalToSerialAtTemperatureZero) {
+  const Fixture f;
+  const spec::Decoder dec(*f.model);
+  const spec::DecodeConfig cfg = greedy_config();
+
+  const auto prompts = f.prompts(5);
+  std::vector<spec::BatchRequest> reqs;
+  std::vector<spec::DecodeResult> serial;
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    reqs.push_back({prompts[i], cfg, /*seed=*/100 + i});
+    Rng rng(100 + i);
+    serial.push_back(dec.speculative(prompts[i], cfg, rng));
+  }
+
+  spec::BatchStats stats;
+  const auto batched = dec.speculative_batch(reqs, /*batch_slots=*/0, &stats);
+  ASSERT_EQ(batched.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(batched[i].ids, serial[i].ids) << "request " << i;
+    EXPECT_EQ(batched[i].steps, serial[i].steps) << "request " << i;
+    EXPECT_EQ(batched[i].accepted_per_step, serial[i].accepted_per_step);
+    EXPECT_EQ(batched[i].hit_eos, serial[i].hit_eos);
+  }
+  EXPECT_EQ(stats.max_in_flight, 5);
+  // Continuous batching: the tick count is bounded by the longest request,
+  // not the sum of all requests.
+  long max_steps = 0;
+  long sum_steps = 0;
+  for (const auto& r : serial) {
+    max_steps = std::max<long>(max_steps, r.steps);
+    sum_steps += r.steps;
+  }
+  EXPECT_GE(stats.ticks, max_steps);
+  EXPECT_LT(stats.ticks, sum_steps);
+}
+
+TEST(BatchDecode, SlotReuseAcrossAdmissionsKeepsParity) {
+  const Fixture f;
+  const spec::Decoder dec(*f.model);
+  const spec::DecodeConfig cfg = greedy_config();
+
+  const auto prompts = f.prompts(5);
+  std::vector<spec::BatchRequest> reqs;
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    reqs.push_back({prompts[i], cfg, /*seed=*/7 + i});
+  }
+  // Two slots host five requests, so sessions are reset and reused.
+  spec::BatchStats stats;
+  const auto narrow = dec.speculative_batch(reqs, /*batch_slots=*/2, &stats);
+  const auto wide = dec.speculative_batch(reqs, /*batch_slots=*/0, nullptr);
+  ASSERT_EQ(narrow.size(), wide.size());
+  for (std::size_t i = 0; i < narrow.size(); ++i) {
+    EXPECT_EQ(narrow[i].ids, wide[i].ids) << "request " << i;
+  }
+  EXPECT_EQ(stats.max_in_flight, 2);
+}
+
+// --- Scheduler ---------------------------------------------------------------
+
+TEST(Scheduler, ServesAllRequestsIndependently) {
+  const Fixture f;
+  const spec::Decoder dec(*f.model);
+  const spec::DecodeConfig cfg = greedy_config();
+  const auto prompts = f.prompts(6);
+
+  std::vector<spec::DecodeResult> expected;
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    Rng rng(40 + i);
+    expected.push_back(dec.speculative(prompts[i], cfg, rng));
+  }
+
+  RequestQueue queue(2);  // smaller than the request count: backpressure
+  std::thread producer([&] {
+    for (std::size_t i = 0; i < prompts.size(); ++i) {
+      Request r;
+      r.id = i;
+      r.prompt_ids = prompts[i];
+      r.config = cfg;
+      r.seed = 40 + i;
+      queue.push(std::move(r));
+    }
+    queue.close();
+  });
+
+  std::map<std::uint64_t, spec::DecodeResult> got;
+  Scheduler sched(*f.model, queue, {.workers = 2, .batch = 2});
+  const ServeStats stats = sched.run(
+      [&](const Request& req, spec::DecodeResult r) { got[req.id] = std::move(r); });
+  producer.join();
+
+  EXPECT_EQ(stats.completed, 6);
+  EXPECT_EQ(stats.max_in_flight, 2);
+  EXPECT_GT(stats.ticks, 0);
+  ASSERT_EQ(got.size(), 6u);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(got[i].ids, expected[i].ids) << "request " << i;
+  }
+}
+
+TEST(Scheduler, WorkerCountDoesNotChangeResults) {
+  const Fixture f;
+  const spec::DecodeConfig cfg = greedy_config();
+  const auto prompts = f.prompts(4);
+
+  const auto serve_with = [&](int workers, int batch) {
+    RequestQueue queue(4);
+    for (std::size_t i = 0; i < prompts.size(); ++i) {
+      Request r;
+      r.id = i;
+      r.prompt_ids = prompts[i];
+      r.config = cfg;
+      r.seed = i;
+      queue.push(std::move(r));
+    }
+    queue.close();
+    std::map<std::uint64_t, std::vector<int>> ids;
+    Scheduler sched(*f.model, queue, {.workers = workers, .batch = batch});
+    sched.run([&](const Request& req, spec::DecodeResult r) {
+      ids[req.id] = std::move(r.ids);
+    });
+    return ids;
+  };
+
+  const auto one = serve_with(1, 4);
+  const auto four = serve_with(4, 4);
+  EXPECT_EQ(one, four);
+}
+
+}  // namespace
+}  // namespace vsd::serve
