@@ -23,6 +23,7 @@ constexpr OptionSpec kOptions[] = {
     {"epochs", true, "training epochs (default 3)"},
     {"seed", true, "global seed (default 7)"},
     {"max-tokens", true, "generation budget (default 220)"},
+    {"candidates", true, "top-k base candidates per speculative step (default 1)", "K"},
     {"temperature", true, "sampling temperature, 0 = greedy (default 0)", "T"},
     {"enc-dec", false, "use the encoder-decoder (CodeT5p-like) architecture"},
     {"strict", false, "exit nonzero when the generated code fails the checks"},
@@ -76,11 +77,17 @@ int cmd_decode(int argc, const char* const* argv) {
   dcfg.seed = cfg.seed;
   spec::DecodeConfig dc;
   dc.max_new_tokens = args.get_int("max-tokens", 220);
+  dc.num_candidates = args.get_int("candidates", 1);
   dc.temperature = static_cast<float>(args.get_double("temperature", 0.0));
-  if (!args.error().empty() || !args.positional().empty()) {
-    std::fprintf(stderr, "vsd decode: %s\n",
-                 args.error().empty() ? "unexpected positional argument"
-                                      : args.error().c_str());
+  // Reject degenerate configs before any training, with the flag named —
+  // not mid-decode by an opaque check().
+  const char* bad_arg = nullptr;
+  if (!args.error().empty()) bad_arg = args.error().c_str();
+  else if (!args.positional().empty()) bad_arg = "unexpected positional argument";
+  else if (dc.max_new_tokens < 0) bad_arg = "--max-tokens must be >= 0";
+  else if (dc.num_candidates < 1) bad_arg = "--candidates must be >= 1";
+  if (bad_arg != nullptr) {
+    std::fprintf(stderr, "vsd decode: %s\n", bad_arg);
     return kExitUsage;
   }
 

@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -21,6 +22,7 @@
 #include "serve/json.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/scheduler.hpp"
+#include "serve/session_cache.hpp"
 
 namespace vsd::cli {
 
@@ -31,11 +33,14 @@ constexpr OptionSpec kOptions[] = {
     {"workers", true, "decode worker threads (default 1)"},
     {"batch", true, "max in-flight requests (default = workers)"},
     {"queue", true, "admission queue capacity (default 2*batch)"},
+    {"cache", true, "prompt-prefix KV cache capacity, warm entries (default 16)"},
+    {"no-cache", false, "disable the prompt-prefix KV cache"},
     {"method", true, "ours | medusa (default ours)", "NAME"},
     {"items", true, "corpus size (default 48)"},
     {"epochs", true, "training epochs (default 3)"},
     {"seed", true, "global seed (default 7)"},
     {"max-tokens", true, "generation budget per request (default 220)"},
+    {"candidates", true, "top-k base candidates per speculative step (default 1)", "K"},
     {"temperature", true, "sampling temperature, 0 = greedy (default 0)", "T"},
     {"enc-dec", false, "use the encoder-decoder (CodeT5p-like) architecture"},
     {"no-code", false, "omit the generated code from the JSON results"},
@@ -59,7 +64,11 @@ void print_serve_help() {
       "each advanced one speculative step per scheduler tick across\n"
       "--workers threads, admitted and completed independently.  Results\n"
       "are JSON-lines on stdout (diagnostics on stderr), ending with a\n"
-      "{\"summary\":...} line (requests/sec, ticks, worker/batch shape).\n\n"
+      "{\"summary\":...} line (requests/sec, ticks, worker/batch shape).\n"
+      "A prompt-prefix KV cache (LRU of warm sessions) skips the shared\n"
+      "part of the prefill for overlapping prompts; size it with --cache N\n"
+      "or turn it off with --no-cache (results are identical either way\n"
+      "at temperature 0).\n\n"
       "options:\n");
   print_options(kOptions);
 }
@@ -86,6 +95,8 @@ int cmd_serve(int argc, const char* const* argv) {
   const int workers = args.get_int("workers", 1);
   const int batch = args.get_int("batch", workers);
   const int queue_cap = args.get_int("queue", 2 * std::max(1, batch));
+  const bool use_cache = !args.has("no-cache");
+  const int cache_cap = args.get_int("cache", 16);
   eval::SystemConfig cfg;
   cfg.method = method;
   cfg.encoder_decoder = args.has("enc-dec");
@@ -96,15 +107,22 @@ int cmd_serve(int argc, const char* const* argv) {
   dcfg.seed = cfg.seed;
   spec::DecodeConfig base_cfg;
   base_cfg.max_new_tokens = args.get_int("max-tokens", 220);
+  base_cfg.num_candidates = args.get_int("candidates", 1);
   base_cfg.temperature = static_cast<float>(args.get_double("temperature", 0.0));
   const bool emit_code = !args.has("no-code");
-  if (!args.error().empty() || !args.positional().empty() || workers < 1 ||
-      batch < 1 || queue_cap < 1) {
-    std::fprintf(stderr, "vsd serve: %s\n",
-                 !args.error().empty() ? args.error().c_str()
-                 : !args.positional().empty()
-                     ? "unexpected positional argument"
-                     : "--workers/--batch/--queue must be >= 1");
+  // Degenerate decode configs are rejected here, before any training, with
+  // a message naming the flag — not mid-decode by an opaque check().
+  const char* bad_arg = nullptr;
+  if (!args.error().empty()) bad_arg = args.error().c_str();
+  else if (!args.positional().empty()) bad_arg = "unexpected positional argument";
+  else if (workers < 1 || batch < 1 || queue_cap < 1)
+    bad_arg = "--workers/--batch/--queue must be >= 1";
+  else if (base_cfg.max_new_tokens < 0) bad_arg = "--max-tokens must be >= 0";
+  else if (base_cfg.num_candidates < 1) bad_arg = "--candidates must be >= 1";
+  else if (use_cache && cache_cap < 1)
+    bad_arg = "--cache must be >= 1 (use --no-cache to disable)";
+  if (bad_arg != nullptr) {
+    std::fprintf(stderr, "vsd serve: %s\n", bad_arg);
     return kExitUsage;
   }
 
@@ -155,8 +173,20 @@ int cmd_serve(int argc, const char* const* argv) {
 
   long total_tokens = 0;
   long total_steps = 0;
-  serve::Scheduler scheduler(*sys.model, queue,
-                             {.workers = workers, .batch = batch});
+  std::unique_ptr<serve::SessionCache> cache;
+  if (use_cache && cfg.encoder_decoder) {
+    // Enc-dec prompts feed the encoder, not the KV rows the snapshots
+    // capture; say so instead of printing a cache that can only miss.
+    std::fprintf(stderr,
+                 "serve: prompt-prefix cache is decoder-only; disabled for "
+                 "--enc-dec\n");
+  } else if (use_cache) {
+    cache = std::make_unique<serve::SessionCache>(serve::SessionCacheOptions{
+        .capacity = static_cast<std::size_t>(cache_cap)});
+  }
+  serve::Scheduler scheduler(
+      *sys.model, queue,
+      {.workers = workers, .batch = batch, .cache = cache.get()});
   int exit_code = kExitOk;
   serve::ServeStats stats;
   try {
@@ -201,10 +231,20 @@ int cmd_serve(int argc, const char* const* argv) {
       "{\"summary\":{\"requests\":%d,\"workers\":%d,\"batch\":%d,"
       "\"max_in_flight\":%d,\"ticks\":%ld,\"total_tokens\":%ld,"
       "\"total_steps\":%ld,\"wall_s\":%.4f,\"requests_per_sec\":%.3f,"
-      "\"tokens_per_sec\":%.2f}}\n",
+      "\"tokens_per_sec\":%.2f,\"prefill_positions\":%ld,"
+      "\"cached_positions\":%ld",
       stats.completed, workers, batch, stats.max_in_flight, stats.ticks,
       total_tokens, total_steps, stats.wall_seconds,
-      stats.completed / wall, total_tokens / wall);
+      stats.completed / wall, total_tokens / wall, stats.prefill_positions,
+      stats.cached_positions);
+  if (cache) {
+    const serve::SessionCacheStats cs = cache->stats();
+    std::printf(
+        ",\"cache\":{\"capacity\":%d,\"entries\":%zu,\"bytes\":%zu,"
+        "\"hits\":%ld,\"misses\":%ld,\"evictions\":%ld}",
+        cache_cap, cs.entries, cs.bytes, cs.hits, cs.misses, cs.evictions);
+  }
+  std::printf("}}\n");
   return kExitOk;
 }
 

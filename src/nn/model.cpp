@@ -206,6 +206,14 @@ std::unique_ptr<TransformerModel> TransformerModel::deserialize(std::string_view
 
 // --- inference ------------------------------------------------------------------
 
+std::size_t KvSnapshot::byte_size() const {
+  std::size_t n = 0;
+  for (const Tensor& t : k_rows) n += t.size() * sizeof(float);
+  for (const Tensor& t : v_rows) n += t.size() * sizeof(float);
+  n += enc_out.size() * sizeof(float);
+  return n;
+}
+
 InferSession::InferSession(const TransformerModel& m) : m_(m) {
   const ModelConfig& cfg = m.config();
   k_cache_.reserve(static_cast<std::size_t>(cfg.n_layers));
@@ -452,6 +460,47 @@ void InferSession::truncate(int new_len) {
 void InferSession::reset() {
   len_ = 0;
   enc_out_ = Tensor();  // stale cache rows are overwritten by the next feed
+}
+
+KvSnapshot InferSession::snapshot(int upto_len) const {
+  check(upto_len >= 1 && upto_len <= len_, "snapshot: bad length");
+  const int d = m_.config().d_model;
+  const std::size_t row_bytes =
+      sizeof(float) * static_cast<std::size_t>(upto_len) * static_cast<std::size_t>(d);
+  KvSnapshot snap;
+  snap.len = upto_len;
+  snap.k_rows.reserve(k_cache_.size());
+  snap.v_rows.reserve(v_cache_.size());
+  for (std::size_t l = 0; l < k_cache_.size(); ++l) {
+    Tensor k(upto_len, d);
+    Tensor v(upto_len, d);
+    std::memcpy(k.data(), k_cache_[l].data(), row_bytes);
+    std::memcpy(v.data(), v_cache_[l].data(), row_bytes);
+    snap.k_rows.push_back(std::move(k));
+    snap.v_rows.push_back(std::move(v));
+  }
+  snap.enc_out = enc_out_;
+  return snap;
+}
+
+void InferSession::restore(const KvSnapshot& snap, int upto_len) {
+  const int n = upto_len < 0 ? snap.len : upto_len;
+  check(n >= 1 && n <= snap.len, "restore: bad length");
+  check(n <= m_.config().max_seq, "restore: snapshot exceeds max_seq");
+  check(snap.k_rows.size() == k_cache_.size() &&
+            snap.v_rows.size() == v_cache_.size(),
+        "restore: layer count mismatch");
+  check(!snap.k_rows.empty() && snap.k_rows[0].cols() == m_.config().d_model,
+        "restore: width mismatch");
+  const std::size_t row_bytes =
+      sizeof(float) * static_cast<std::size_t>(n) *
+      static_cast<std::size_t>(m_.config().d_model);
+  for (std::size_t l = 0; l < k_cache_.size(); ++l) {
+    std::memcpy(k_cache_[l].data(), snap.k_rows[l].data(), row_bytes);
+    std::memcpy(v_cache_[l].data(), snap.v_rows[l].data(), row_bytes);
+  }
+  enc_out_ = snap.enc_out;
+  len_ = n;
 }
 
 Tensor InferSession::lm_logits(const Tensor& hidden) const {

@@ -80,6 +80,19 @@ class TransformerModel {
   std::unordered_map<std::string, Var> by_name_;
 };
 
+/// Detachable copy of the first `len` positions of an InferSession's KV
+/// cache (plus any encoder context): the unit of reuse behind the serving
+/// layer's prompt-prefix cache.  A snapshot outlives the session it was
+/// taken from and can be restored into any session of a same-shaped model.
+struct KvSnapshot {
+  int len = 0;                  // cached positions
+  std::vector<Tensor> k_rows;   // per decoder layer: [len, D]
+  std::vector<Tensor> v_rows;
+  Tensor enc_out;               // [S, D] encoder output (enc-dec only)
+
+  std::size_t byte_size() const;
+};
+
 /// KV-cached inference over a TransformerModel (no gradients).
 class InferSession {
  public:
@@ -99,6 +112,16 @@ class InferSession {
   /// Clears the sequence (and any encoder context) so the KV-cache
   /// allocations can be reused for a new request (serving session reuse).
   void reset();
+
+  /// Copies the first `upto_len` cached positions (1 <= upto_len <= len())
+  /// into a detachable snapshot, so a prompt prefill can be captured once
+  /// and replayed into other sessions.
+  KvSnapshot snapshot(int upto_len) const;
+
+  /// Replaces this session's state with the first `upto_len` positions of
+  /// `snap` (-1 => all of it) — a restored prefill, ready to feed suffix
+  /// tokens.  The snapshot must come from a same-shaped model.
+  void restore(const KvSnapshot& snap, int upto_len = -1);
 
   int len() const { return len_; }
 

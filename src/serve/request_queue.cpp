@@ -18,7 +18,7 @@ bool RequestQueue::push(Request r) {
   return true;
 }
 
-bool RequestQueue::try_push(Request& r) {
+bool RequestQueue::try_push(Request&& r) {
   {
     const std::lock_guard<std::mutex> lock(mu_);
     if (closed_ || items_.size() >= capacity_) return false;

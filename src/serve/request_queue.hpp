@@ -33,8 +33,9 @@ class RequestQueue {
   /// Blocks while the queue is full; returns false (request dropped) once
   /// the queue is closed.
   bool push(Request r);
-  /// Non-blocking push; `r` is left untouched when the queue is full.
-  bool try_push(Request& r);
+  /// Non-blocking push; on failure (full or closed) `r` is NOT moved from,
+  /// so the caller keeps the intact request — no half-moved state.
+  bool try_push(Request&& r);
 
   /// Blocks while the queue is open and empty; returns nullopt only after
   /// close() once every queued request has been drained.

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "serve/session_cache.hpp"
 #include "serve/thread_pool.hpp"
 
 namespace vsd::serve {
@@ -25,7 +26,12 @@ ServeStats Scheduler::run(const Completion& on_complete) {
     std::unique_ptr<nn::InferSession> sess;  // KV allocations, reused
     std::unique_ptr<spec::DecodeSession> dec;
     Request req;
+    bool capture_pending = false;  // snapshot the prompt prefill after step 1
   };
+  // The cache only helps decoder-only models: enc-dec prompts feed the
+  // encoder, not the KV cache the snapshots capture.
+  SessionCache* const cache =
+      model_.config().encoder_decoder ? nullptr : opts_.cache;
   // Declared before the pool: if a decode error unwinds this frame, the
   // pool must join its workers (which may still be mid-step on other
   // slots' sessions) before the slots are destroyed.
@@ -45,9 +51,24 @@ ServeStats Scheduler::run(const Completion& on_complete) {
       if (!r) break;
       if (!slot.sess) slot.sess = std::make_unique<nn::InferSession>(model_);
       slot.req = std::move(*r);
+      const bool cacheable = cache != nullptr && !slot.req.prompt_ids.empty();
+      int prefix = 0;
+      bool covered = false;
+      if (cacheable) {
+        const SessionCache::Match m = cache->lookup(slot.req.prompt_ids);
+        covered = m.covered;
+        if (m.len > 0) {
+          slot.sess->restore(*m.snap, m.len);
+          prefix = m.len;
+        }
+      }
+      stats.cached_positions += prefix;
+      // Re-capturing a prompt the cache already spans (repeat traffic)
+      // would copy KV rows for zero new coverage — skip it.
+      slot.capture_pending = cacheable && !covered;
       slot.dec = std::make_unique<spec::DecodeSession>(
           model_, *slot.sess, slot.req.prompt_ids, slot.req.config,
-          Rng(slot.req.seed));
+          Rng(slot.req.seed), prefix);
       ++live;
     }
     if (live == 0) break;  // queue closed and drained
@@ -58,7 +79,24 @@ ServeStats Scheduler::run(const Completion& on_complete) {
     for (Slot& slot : slots) {
       if (!slot.dec) continue;
       spec::DecodeSession* dec = slot.dec.get();
-      inflight.emplace_back(&slot, pool.submit([dec] { return dec->step(); }));
+      if (slot.capture_pending) {
+        // First step of a cacheable request: capture its prompt prefill on
+        // the worker, sequenced right after the step (the prompt rows are
+        // final once primed, and nothing else touches this slot's session
+        // until the next tick) — the copy runs in parallel across slots
+        // instead of stalling the scheduler thread between ticks.
+        slot.capture_pending = false;
+        nn::InferSession* sess = slot.sess.get();
+        inflight.emplace_back(
+            &slot, pool.submit([dec, sess, cache,
+                                ids = slot.req.prompt_ids] {
+              const bool more = dec->step();
+              cache->insert(ids, sess->snapshot(static_cast<int>(ids.size())));
+              return more;
+            }));
+      } else {
+        inflight.emplace_back(&slot, pool.submit([dec] { return dec->step(); }));
+      }
     }
     ++stats.ticks;
     stats.max_in_flight = std::max(stats.max_in_flight,
@@ -67,6 +105,7 @@ ServeStats Scheduler::run(const Completion& on_complete) {
     // --- complete: requests finish independently, slots free immediately -
     for (auto& [slot, fut] : inflight) {
       if (fut.get()) continue;  // get() rethrows decode errors
+      stats.prefill_positions += slot->dec->result().prefill_positions;
       on_complete(slot->req, slot->dec->take_result());
       slot->dec.reset();
       --live;

@@ -16,9 +16,17 @@
 
 namespace vsd::serve {
 
+class SessionCache;
+
 struct SchedulerOptions {
   int workers = 1;  // threads advancing sessions each tick
   int batch = 1;    // max in-flight sessions (continuous-batch width)
+  // Optional prompt-prefix KV cache (see serve/session_cache.hpp): slot
+  // admission restores the longest cached prefix of each prompt so the
+  // prefill feeds only the suffix, and each prompt's own prefill is
+  // captured after its first step.  Decoder-only models; results stay
+  // token-identical to the uncached path.  nullptr disables reuse.
+  SessionCache* cache = nullptr;
 };
 
 /// Serving accounting.  `ticks` counts scheduler iterations: under the
@@ -30,6 +38,8 @@ struct ServeStats {
   int completed = 0;
   int max_in_flight = 0;
   double wall_seconds = 0.0;
+  long prefill_positions = 0;  // decoder positions spent priming prompts
+  long cached_positions = 0;   // prompt positions restored from the cache
 };
 
 class Scheduler {

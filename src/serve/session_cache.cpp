@@ -1,0 +1,99 @@
+#include "serve/session_cache.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace vsd::serve {
+
+namespace {
+
+int common_prefix_len(std::span<const int> a, std::span<const int> b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  std::size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return static_cast<int>(i);
+}
+
+}  // namespace
+
+SessionCache::SessionCache(SessionCacheOptions opts) : opts_(opts) {
+  check(opts_.capacity >= 1, "SessionCache capacity must be >= 1");
+  check(opts_.min_prefix >= 1, "SessionCache min_prefix must be >= 1");
+}
+
+SessionCache::Match SessionCache::lookup(std::span<const int> prompt_ids) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  // A full-prompt match is clamped one token short: the decoder must feed
+  // at least one position to produce the next-token hidden state.
+  const int usable = static_cast<int>(prompt_ids.size()) - 1;
+  auto best = lru_.end();
+  int best_len = 0;
+  bool covered = false;
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    const int common = common_prefix_len(it->key, prompt_ids);
+    covered = covered || common == static_cast<int>(prompt_ids.size());
+    const int len = std::min({common, usable, it->snap->len});
+    if (len > best_len) {
+      best_len = len;
+      best = it;
+    }
+  }
+  if (best == lru_.end() || best_len < opts_.min_prefix) {
+    ++stats_.misses;
+    return {.len = 0, .covered = covered, .snap = nullptr};
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, best);  // bump to most-recently-used
+  return {.len = best_len, .covered = covered, .snap = best->snap};
+}
+
+void SessionCache::insert(std::span<const int> prefix_ids, nn::KvSnapshot snap) {
+  check(snap.len == static_cast<int>(prefix_ids.size()),
+        "SessionCache: snapshot length does not match the key prefix");
+  if (snap.len < opts_.min_prefix) return;  // too short to ever match
+  Entry e;
+  e.key.assign(prefix_ids.begin(), prefix_ids.end());
+  e.bytes = snap.byte_size() + e.key.size() * sizeof(int);
+  e.snap = std::make_shared<const nn::KvSnapshot>(std::move(snap));
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    if (it->key == e.key) {  // refresh: newest snapshot wins, no eviction
+      stats_.bytes -= it->bytes;
+      lru_.erase(it);
+      break;
+    }
+  }
+  stats_.bytes += e.bytes;
+  lru_.push_front(std::move(e));
+  ++stats_.insertions;
+  evict_to_budget_locked();
+}
+
+void SessionCache::evict_to_budget_locked() {
+  // An entry bigger than the whole byte budget evicts everything including
+  // itself — the cache never holds more than max_bytes.
+  while (!lru_.empty() &&
+         (lru_.size() > opts_.capacity || stats_.bytes > opts_.max_bytes)) {
+    stats_.bytes -= lru_.back().bytes;
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+SessionCacheStats SessionCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  SessionCacheStats out = stats_;
+  out.entries = lru_.size();
+  return out;
+}
+
+void SessionCache::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  stats_.evictions += static_cast<long>(lru_.size());
+  lru_.clear();
+  stats_.bytes = 0;
+}
+
+}  // namespace vsd::serve

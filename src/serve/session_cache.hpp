@@ -1,0 +1,91 @@
+// serve::SessionCache — the prompt-prefix KV cache behind the scheduler:
+// an LRU of warm sessions, each entry mapping a token prefix (a previously
+// prefilled prompt) to a detachable nn::KvSnapshot of its KV rows.
+//
+// Admission looks up the longest cached prefix of an incoming prompt and
+// restores it into the slot's InferSession, so the prefill feeds only the
+// suffix; after a request's first step the scheduler captures its prompt
+// prefill and inserts it for future requests.  Speed-bench prompts all
+// share the Alpaca preamble, which is exactly the repeated structure this
+// dedups — the same shared-prefix compression idea the ACAS-Xu BDD tables
+// use, applied to KV rows.
+//
+// Bounded by an entry capacity and a byte budget (least-recently-used
+// entries evict first); hit/miss/insertion/eviction counters feed the
+// serve summary.  All operations are thread-safe; lookup hands out a
+// shared_ptr so a restore can proceed even if the entry is evicted
+// concurrently.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "nn/model.hpp"
+
+namespace vsd::serve {
+
+struct SessionCacheOptions {
+  std::size_t capacity = 16;             // max warm entries
+  std::size_t max_bytes = 64ull << 20;   // KV byte budget across entries
+  int min_prefix = 4;                    // shortest prefix worth reusing
+};
+
+struct SessionCacheStats {
+  long hits = 0;
+  long misses = 0;
+  long insertions = 0;
+  long evictions = 0;
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+};
+
+class SessionCache {
+ public:
+  /// A lookup result: `len` prompt tokens are covered by `snap` (restore
+  /// with `sess.restore(*snap, len)`).  len == 0 means a miss.  `covered`
+  /// reports that some entry already spans the entire prompt, so
+  /// re-capturing this prompt's prefill would add no coverage.
+  struct Match {
+    int len = 0;
+    bool covered = false;
+    std::shared_ptr<const nn::KvSnapshot> snap;
+  };
+
+  explicit SessionCache(SessionCacheOptions opts = {});
+
+  /// Longest cached token prefix of `prompt_ids`, clamped one short of the
+  /// full prompt (the decoder still needs a non-empty suffix to compute
+  /// the next-token hidden state).  Matches shorter than min_prefix count
+  /// as misses; a hit bumps the entry to most-recently-used.
+  Match lookup(std::span<const int> prompt_ids);
+
+  /// Stores `snap` (the prefill of exactly `prefix_ids`) keyed by those
+  /// tokens.  An exact-key entry is refreshed in place; least-recently-used
+  /// entries evict until capacity and the byte budget hold.  Prefixes
+  /// shorter than min_prefix are not worth a slot and are dropped.
+  void insert(std::span<const int> prefix_ids, nn::KvSnapshot snap);
+
+  SessionCacheStats stats() const;
+  void clear();
+  const SessionCacheOptions& options() const { return opts_; }
+
+ private:
+  struct Entry {
+    std::vector<int> key;
+    std::shared_ptr<const nn::KvSnapshot> snap;
+    std::size_t bytes = 0;
+  };
+
+  void evict_to_budget_locked();
+
+  const SessionCacheOptions opts_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // most-recently-used first
+  SessionCacheStats stats_;
+};
+
+}  // namespace vsd::serve

@@ -36,6 +36,7 @@ std::vector<int> top_k_indices(std::span<const float> logits, int k) {
 }  // namespace
 
 std::vector<float> softmax(std::span<const float> logits, float temperature) {
+  check(!logits.empty(), "softmax: empty logits");
   const float t = temperature > 0.0f ? temperature : 1.0f;
   std::vector<float> out(logits.size());
   float maxv = logits[0];
@@ -51,6 +52,7 @@ std::vector<float> softmax(std::span<const float> logits, float temperature) {
 }
 
 int pick_token(std::span<const float> logits, float temperature, Rng& rng) {
+  check(!logits.empty(), "pick_token: empty logits");
   if (temperature <= 0.0f) {
     int best = 0;
     for (std::size_t i = 1; i < logits.size(); ++i) {
@@ -89,10 +91,12 @@ int prime_session(const nn::TransformerModel& model, nn::InferSession& sess,
 DecodeResult Decoder::ntp(std::span<const int> prompt_ids, const DecodeConfig& cfg,
                           Rng& rng) const {
   DecodeResult out;
+  if (prompt_ids.empty()) return out;  // nothing to condition on
   const auto start = Clock::now();
   nn::InferSession sess(model_);
   nn::Tensor h;
-  out.positions += prime_session(model_, sess, prompt_ids, h);
+  out.prefill_positions = prime_session(model_, sess, prompt_ids, h);
+  out.positions += out.prefill_positions;
 
   const int budget = std::min(cfg.max_new_tokens,
                               model_.config().max_seq - sess.len() - 1);
@@ -116,19 +120,37 @@ DecodeResult Decoder::ntp(std::span<const int> prompt_ids, const DecodeConfig& c
 
 DecodeSession::DecodeSession(const nn::TransformerModel& model,
                              nn::InferSession& sess, std::vector<int> prompt_ids,
-                             const DecodeConfig& cfg, Rng rng)
+                             const DecodeConfig& cfg, Rng rng, int primed_prefix)
     : model_(model),
       sess_(sess),
       prompt_ids_(std::move(prompt_ids)),
       cfg_(cfg),
       rng_(rng) {
+  check(cfg_.num_candidates >= 1, "DecodeConfig: num_candidates must be >= 1");
+  check(cfg_.max_new_tokens >= 0, "DecodeConfig: max_new_tokens must be >= 0");
   n_heads_ = std::min(cfg_.num_heads, model_.config().n_medusa_heads);
   check(n_heads_ >= 1, "speculative decoding needs at least one draft head");
-  sess_.reset();
+  if (primed_prefix > 0) {
+    check(!model_.config().encoder_decoder,
+          "primed prefix requires a decoder-only model");
+    check(primed_prefix < static_cast<int>(prompt_ids_.size()),
+          "primed prefix must leave a non-empty prompt suffix");
+    check(sess_.len() == primed_prefix,
+          "InferSession length does not match the primed prefix");
+    prefix_len_ = primed_prefix;
+  } else {
+    check(primed_prefix == 0, "primed prefix must be >= 0");
+    sess_.reset();
+  }
+  if (prompt_ids_.empty()) done_ = true;  // empty prompt => clean empty result
 }
 
 void DecodeSession::prime() {
-  out_.positions += prime_session(model_, sess_, prompt_ids_, h_);
+  const std::span<const int> suffix(prompt_ids_.data() + prefix_len_,
+                                    prompt_ids_.size() -
+                                        static_cast<std::size_t>(prefix_len_));
+  out_.prefill_positions = prime_session(model_, sess_, suffix, h_);
+  out_.positions += out_.prefill_positions;
   primed_ = true;
 }
 

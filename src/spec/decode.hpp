@@ -29,6 +29,7 @@ struct DecodeResult {
   std::vector<int> ids;                // generated token ids (no prompt/EOS)
   int steps = 0;                       // decoding iterations (Fig. 5 metric)
   long positions = 0;                  // decoder positions fed in total
+  long prefill_positions = 0;          // positions fed while priming the prompt
   double wall_seconds = 0.0;
   std::vector<int> accepted_per_step;  // tokens committed per iteration
   bool hit_eos = false;
@@ -50,10 +51,22 @@ struct DecodeResult {
 /// this object; reusing one InferSession across consecutive requests keeps
 /// its KV-cache allocations warm.  The prompt is fed lazily on the first
 /// step() call so a thread pool can absorb the prefill cost too.
+///
+/// `primed_prefix` > 0 declares that the first `primed_prefix` prompt
+/// tokens are already in the KV cache (restored from an nn::KvSnapshot by
+/// the serving layer's prompt-prefix cache): the session is NOT reset and
+/// prime() feeds only the remaining suffix, which must be non-empty so the
+/// next-token hidden state is computed.  Results are token-identical to
+/// the unprimed path (feeds are row-local, so splitting the prompt at any
+/// boundary is bit-exact).  Decoder-only models only; degenerate configs
+/// (num_candidates < 1, max_new_tokens < 0, no draft heads) are rejected
+/// here, up front.  An empty prompt yields an immediately-done empty
+/// result instead of crashing in the prefill.
 class DecodeSession {
  public:
   DecodeSession(const nn::TransformerModel& model, nn::InferSession& sess,
-                std::vector<int> prompt_ids, const DecodeConfig& cfg, Rng rng);
+                std::vector<int> prompt_ids, const DecodeConfig& cfg, Rng rng,
+                int primed_prefix = 0);
 
   /// Advances decoding by one speculative iteration (the first call also
   /// primes the KV cache with the prompt).  Returns true while the request
@@ -79,6 +92,7 @@ class DecodeSession {
   nn::Tensor h_;
   int n_heads_ = 0;
   int generated_ = 0;
+  int prefix_len_ = 0;  // prompt tokens already in the KV cache
   bool primed_ = false;
   bool done_ = false;
 };

@@ -250,6 +250,77 @@ TEST(Model, TruncateRollsBackCache) {
   }
 }
 
+TEST(Model, SnapshotRestoreReplaysPrefillBitExactly) {
+  TransformerModel m(tiny_config(), 5);
+  const std::vector<int> prompt = {1, 5, 9, 3, 20, 7, 2};
+  const int split = 4;
+
+  // Uncached reference: feed the whole prompt in one call.
+  InferSession full(m);
+  const Tensor h_full = full.feed(prompt);
+
+  // Capture the prefix once, restore into a fresh session, feed the
+  // suffix.  Feeds are row-local, so the suffix rows must be bit-identical
+  // to the same rows of the single-shot feed — the property the serving
+  // prefix cache relies on for temp-0 parity.
+  InferSession src(m);
+  src.feed(std::span<const int>(prompt.data(), split));
+  const KvSnapshot snap = src.snapshot(split);
+  src.reset();  // the snapshot is detached: source session state is irrelevant
+
+  InferSession restored(m);
+  const std::vector<int> stale = {30, 31};
+  restored.feed(stale);  // stale content that restore must replace
+  restored.restore(snap);
+  EXPECT_EQ(restored.len(), split);
+  const Tensor h_suffix = restored.feed(
+      std::span<const int>(prompt.data() + split, prompt.size() - split));
+  ASSERT_EQ(h_suffix.rows(), static_cast<int>(prompt.size()) - split);
+  for (int i = 0; i < h_suffix.rows(); ++i) {
+    for (int c = 0; c < h_suffix.cols(); ++c) {
+      EXPECT_EQ(h_suffix.at(i, c), h_full.at(split + i, c))
+          << "row " << i << " col " << c;
+    }
+  }
+}
+
+TEST(Model, PartialRestoreUsesPrefixOfSnapshot) {
+  TransformerModel m(tiny_config(), 5);
+  const std::vector<int> prompt = {1, 5, 9, 3, 20};
+
+  InferSession src(m);
+  src.feed(prompt);
+  const KvSnapshot snap = src.snapshot(static_cast<int>(prompt.size()));
+  EXPECT_GT(snap.byte_size(), 0u);
+
+  // Restore only the first 3 positions, then re-feed the rest: identical
+  // to the full session (the cache lookup clamps matches this way).
+  InferSession part(m);
+  part.restore(snap, 3);
+  EXPECT_EQ(part.len(), 3);
+  const Tensor h = part.feed(std::span<const int>(prompt.data() + 3, 2));
+  InferSession full(m);
+  const Tensor h_full = full.feed(prompt);
+  for (int i = 0; i < h.rows(); ++i) {
+    for (int c = 0; c < h.cols(); ++c) {
+      EXPECT_EQ(h.at(i, c), h_full.at(3 + i, c));
+    }
+  }
+}
+
+TEST(Model, SnapshotRestoreRejectsBadLengths) {
+  TransformerModel m(tiny_config(), 5);
+  InferSession sess(m);
+  EXPECT_THROW(sess.snapshot(1), Error);  // nothing fed yet
+  const std::vector<int> ids = {1, 2, 3};
+  sess.feed(ids);
+  EXPECT_THROW(sess.snapshot(0), Error);
+  EXPECT_THROW(sess.snapshot(4), Error);
+  const KvSnapshot snap = sess.snapshot(3);
+  EXPECT_THROW(sess.restore(snap, 0), Error);
+  EXPECT_THROW(sess.restore(snap, 4), Error);
+}
+
 TEST(Model, TrainAndInferPathsAgreeEncoderDecoder) {
   TransformerModel m(tiny_config(true), 6);
   const std::vector<int> src = {2, 4, 6, 8};

@@ -109,14 +109,32 @@ TEST(RequestQueue, FifoOrder) {
 
 TEST(RequestQueue, TryPushRespectsCapacity) {
   RequestQueue q(2);
-  Request a = make_request(0);
-  Request b = make_request(1);
   Request c = make_request(2);
-  EXPECT_TRUE(q.try_push(a));
-  EXPECT_TRUE(q.try_push(b));
-  EXPECT_FALSE(q.try_push(c));  // full: request stays with the caller
+  c.prompt = "kept";
+  EXPECT_TRUE(q.try_push(make_request(0)));
+  EXPECT_TRUE(q.try_push(make_request(1)));
+  // Full: try_push fails WITHOUT moving from the argument, so the caller
+  // never observes a half-moved request.
+  EXPECT_FALSE(q.try_push(std::move(c)));
   EXPECT_EQ(c.id, 2u);
+  EXPECT_EQ(c.prompt, "kept");
   EXPECT_EQ(q.size(), 2u);
+  // A slot freed up: the same request object goes through intact.
+  EXPECT_TRUE(q.try_pop().has_value());
+  EXPECT_TRUE(q.try_push(std::move(c)));
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(RequestQueue, PushAfterCloseFailsWithoutConsumingRequest) {
+  RequestQueue q(2);
+  q.close();
+  Request r = make_request(5);
+  r.prompt = "kept";
+  EXPECT_FALSE(q.push(make_request(4)));
+  EXPECT_FALSE(q.try_push(std::move(r)));  // closed: not moved from
+  EXPECT_EQ(r.id, 5u);
+  EXPECT_EQ(r.prompt, "kept");
+  EXPECT_EQ(q.size(), 0u);
 }
 
 TEST(RequestQueue, BackpressureBoundsProducer) {

@@ -1,0 +1,315 @@
+// Tests for the prompt-prefix KV cache: longest-prefix matching with the
+// full-prompt clamp, LRU/byte-budget eviction and counter accounting, and
+// the scheduler integration — temperature-0 token parity cached vs
+// uncached across worker/batch shapes, with rollback-heavy speculative
+// decoding on top of restored prefixes.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/request_queue.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/session_cache.hpp"
+#include "spec/trainer.hpp"
+
+namespace vsd::serve {
+namespace {
+
+// --- snapshot plumbing on an untrained tiny model ---------------------------
+
+struct CacheFixture {
+  nn::ModelConfig cfg;
+  std::unique_ptr<nn::TransformerModel> model;
+
+  CacheFixture() {
+    cfg.vocab = 48;
+    cfg.d_model = 16;
+    cfg.n_layers = 2;
+    cfg.n_heads = 2;
+    cfg.d_ff = 32;
+    cfg.max_seq = 64;
+    model = std::make_unique<nn::TransformerModel>(cfg, 3);
+  }
+
+  /// Prefill `ids` into a scratch session and snapshot all of it.
+  nn::KvSnapshot prefill(const std::vector<int>& ids) const {
+    nn::InferSession sess(*model);
+    sess.feed(ids);
+    return sess.snapshot(static_cast<int>(ids.size()));
+  }
+};
+
+std::vector<int> iota_ids(int base, int n) {
+  std::vector<int> out;
+  for (int i = 0; i < n; ++i) out.push_back((base + i) % 40);
+  return out;
+}
+
+TEST(SessionCache, MissThenHitWithCounters) {
+  const CacheFixture f;
+  SessionCache cache({.capacity = 4, .min_prefix = 4});
+  const std::vector<int> prompt = iota_ids(1, 10);
+
+  EXPECT_EQ(cache.lookup(prompt).len, 0);
+  cache.insert(prompt, f.prefill(prompt));
+
+  // Same prompt again: hit, clamped one short of the full prompt so a
+  // non-empty suffix remains to feed.
+  const SessionCache::Match m = cache.lookup(prompt);
+  EXPECT_EQ(m.len, static_cast<int>(prompt.size()) - 1);
+  ASSERT_TRUE(m.snap != nullptr);
+  EXPECT_EQ(m.snap->len, static_cast<int>(prompt.size()));
+
+  // A longer prompt sharing the whole entry: full entry length usable.
+  std::vector<int> longer = prompt;
+  longer.push_back(45);
+  longer.push_back(46);
+  EXPECT_EQ(cache.lookup(longer).len, static_cast<int>(prompt.size()));
+
+  // Disjoint prompt: miss.
+  EXPECT_EQ(cache.lookup(iota_ids(20, 10)).len, 0);
+
+  const SessionCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 2);
+  EXPECT_EQ(s.misses, 2);
+  EXPECT_EQ(s.insertions, 1);
+  EXPECT_EQ(s.evictions, 0);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_GT(s.bytes, 0u);
+}
+
+TEST(SessionCache, LongestMatchingPrefixWins) {
+  const CacheFixture f;
+  SessionCache cache({.capacity = 4, .min_prefix = 2});
+  const std::vector<int> shared = iota_ids(1, 6);
+  std::vector<int> deep = shared;
+  for (const int t : {30, 31, 32}) deep.push_back(t);
+
+  cache.insert(shared, f.prefill(shared));
+  cache.insert(deep, f.prefill(deep));
+
+  std::vector<int> query = deep;
+  query.push_back(39);
+  EXPECT_EQ(cache.lookup(query).len, static_cast<int>(deep.size()));
+
+  std::vector<int> shallow = shared;
+  shallow.push_back(38);
+  EXPECT_EQ(cache.lookup(shallow).len, static_cast<int>(shared.size()));
+}
+
+TEST(SessionCache, MinPrefixGatesShortMatches) {
+  const CacheFixture f;
+  SessionCache cache({.capacity = 4, .min_prefix = 5});
+  const std::vector<int> entry = iota_ids(1, 8);
+  cache.insert(entry, f.prefill(entry));
+
+  // Shares only 3 tokens with the entry: under min_prefix, a miss.
+  std::vector<int> query = iota_ids(1, 3);
+  for (const int t : {33, 34, 35, 36}) query.push_back(t);
+  EXPECT_EQ(cache.lookup(query).len, 0);
+  EXPECT_EQ(cache.stats().misses, 1);
+
+  // Short prefixes are not worth a slot either: insert is a no-op.
+  cache.insert(iota_ids(9, 4), f.prefill(iota_ids(9, 4)));
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().insertions, 1);
+}
+
+TEST(SessionCache, CapacityEvictsLeastRecentlyUsed) {
+  const CacheFixture f;
+  SessionCache cache({.capacity = 2, .min_prefix = 2});
+  const std::vector<int> a = iota_ids(0, 6);
+  const std::vector<int> b = iota_ids(10, 6);
+  const std::vector<int> c = iota_ids(20, 6);
+
+  cache.insert(a, f.prefill(a));
+  cache.insert(b, f.prefill(b));
+  EXPECT_GT(cache.lookup(a).len, 0);  // bump a: b is now least recent
+  cache.insert(c, f.prefill(c));      // evicts b
+
+  EXPECT_GT(cache.lookup(a).len, 0);
+  EXPECT_EQ(cache.lookup(b).len, 0);
+  EXPECT_GT(cache.lookup(c).len, 0);
+  const SessionCacheStats s = cache.stats();
+  EXPECT_EQ(s.evictions, 1);
+  EXPECT_EQ(s.entries, 2u);
+}
+
+TEST(SessionCache, ByteBudgetBoundsTotalSize) {
+  const CacheFixture f;
+  const std::vector<int> a = iota_ids(0, 8);
+  const std::size_t one_entry =
+      f.prefill(a).byte_size() + a.size() * sizeof(int);
+
+  // Budget for two entries: the third insert evicts the least recent.
+  SessionCache cache(
+      {.capacity = 100, .max_bytes = 2 * one_entry + 16, .min_prefix = 2});
+  cache.insert(a, f.prefill(a));
+  cache.insert(iota_ids(10, 8), f.prefill(iota_ids(10, 8)));
+  cache.insert(iota_ids(20, 8), f.prefill(iota_ids(20, 8)));
+  const SessionCacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.evictions, 1);
+  EXPECT_LE(s.bytes, 2 * one_entry + 16);
+  EXPECT_EQ(cache.lookup(a).len, 0);  // the oldest entry was the one dropped
+
+  // Exact-key refresh replaces in place instead of stacking duplicates.
+  cache.insert(iota_ids(10, 8), f.prefill(iota_ids(10, 8)));
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(SessionCache, ClearDropsEverything) {
+  const CacheFixture f;
+  SessionCache cache({.capacity = 4, .min_prefix = 2});
+  const std::vector<int> a = iota_ids(0, 6);
+  cache.insert(a, f.prefill(a));
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  EXPECT_EQ(cache.lookup(a).len, 0);
+}
+
+// --- scheduler integration on an overfit model ------------------------------
+
+struct ServeFixture {
+  nn::ModelConfig cfg;
+  std::unique_ptr<nn::TransformerModel> model;
+
+  ServeFixture() {
+    cfg.vocab = 48;
+    cfg.d_model = 32;
+    cfg.n_layers = 2;
+    cfg.n_heads = 2;
+    cfg.d_ff = 64;
+    cfg.max_seq = 96;
+    cfg.n_medusa_heads = 6;
+    model = std::make_unique<nn::TransformerModel>(cfg, 11);
+
+    const int F = text::Tokenizer::kFrag;
+    spec::TrainConfig tc;
+    tc.method = spec::Method::Ours;
+    tc.epochs = 60;
+    tc.lr = 3e-3f;
+    tc.warmup_steps = 5;
+    tc.max_seq = 96;
+    spec::Trainer trainer(*model, tc);
+    spec::EncodedExample ex;
+    ex.prompt_ids = {10, 11, 12};
+    ex.code_ids = {20, 21, F, 22, F, 23, 24, 25, F, 26, 27, F,
+                   text::Tokenizer::kEos};
+    trainer.fit({ex});
+  }
+
+  /// Prompts sharing an 8-token preamble (the Alpaca-preamble shape the
+  /// cache exists for) with distinct per-request tails.
+  std::vector<std::vector<int>> shared_preamble_prompts(int n) const {
+    std::vector<std::vector<int>> out;
+    for (int i = 0; i < n; ++i) {
+      std::vector<int> p = {text::Tokenizer::kBos, 10, 11, 12, 20, 21, 22, 23};
+      p.push_back(30 + (i % 5));
+      p.push_back(11 + (i % 3));
+      out.push_back(std::move(p));
+    }
+    return out;
+  }
+};
+
+spec::DecodeConfig greedy_config() {
+  spec::DecodeConfig cfg;
+  cfg.max_new_tokens = 32;
+  cfg.num_heads = 6;
+  return cfg;
+}
+
+std::map<std::uint64_t, std::vector<int>> serve_ids(
+    const ServeFixture& f, const std::vector<std::vector<int>>& prompts,
+    int workers, int batch, SessionCache* cache, ServeStats* stats_out) {
+  RequestQueue queue(prompts.size());
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    Request r;
+    r.id = i;
+    r.prompt_ids = prompts[i];
+    r.config = greedy_config();
+    r.seed = 40 + i;
+    queue.push(std::move(r));
+  }
+  queue.close();
+  std::map<std::uint64_t, std::vector<int>> ids;
+  Scheduler sched(*f.model, queue,
+                  {.workers = workers, .batch = batch, .cache = cache});
+  const ServeStats stats = sched.run(
+      [&](const Request& req, spec::DecodeResult r) { ids[req.id] = std::move(r.ids); });
+  if (stats_out != nullptr) *stats_out = stats;
+  return ids;
+}
+
+TEST(SchedulerCache, Temp0ParityAcrossWorkerBatchShapes) {
+  const ServeFixture f;
+  const spec::Decoder dec(*f.model);
+  const auto prompts = f.shared_preamble_prompts(6);
+
+  std::map<std::uint64_t, std::vector<int>> expected;
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    Rng rng(40 + i);
+    expected[i] = dec.speculative(prompts[i], greedy_config(), rng).ids;
+  }
+
+  for (const auto& [workers, batch] :
+       {std::pair{1, 1}, std::pair{2, 2}, std::pair{4, 3}}) {
+    SessionCache cache({.capacity = 8});
+    ServeStats stats;
+    const auto got = serve_ids(f, prompts, workers, batch, &cache, &stats);
+    EXPECT_EQ(got, expected) << "workers=" << workers << " batch=" << batch;
+    EXPECT_EQ(stats.completed, 6);
+    // Requests after the first share the preamble with a cached prefill.
+    EXPECT_GT(stats.cached_positions, 0) << "workers=" << workers;
+    EXPECT_GT(cache.stats().hits, 0);
+  }
+}
+
+TEST(SchedulerCache, SequentialAdmissionHitsOnEveryLaterRequest) {
+  const ServeFixture f;
+  const auto prompts = f.shared_preamble_prompts(5);
+  SessionCache cache({.capacity = 8});
+  ServeStats cached_stats;
+  const auto cached = serve_ids(f, prompts, 1, 1, &cache, &cached_stats);
+
+  ServeStats plain_stats;
+  const auto plain = serve_ids(f, prompts, 1, 1, nullptr, &plain_stats);
+  EXPECT_EQ(cached, plain);
+
+  // batch=1 admits strictly after the previous request's first step, so
+  // every later request finds at least the 8-token preamble warm.
+  const SessionCacheStats cs = cache.stats();
+  EXPECT_EQ(cs.hits, 4);
+  EXPECT_EQ(cs.misses, 1);
+  EXPECT_EQ(cs.insertions, 5);
+  EXPECT_GE(cached_stats.cached_positions, 4 * 8);
+  // The saved positions show up as a prefill reduction, never as output drift.
+  EXPECT_EQ(cached_stats.prefill_positions + cached_stats.cached_positions,
+            plain_stats.prefill_positions);
+}
+
+TEST(SchedulerCache, IdenticalPromptsReuseAllButOneToken) {
+  const ServeFixture f;
+  std::vector<std::vector<int>> prompts(
+      4, std::vector<int>{text::Tokenizer::kBos, 10, 11, 12, 20, 21, 22, 23});
+  SessionCache cache({.capacity = 8});
+  ServeStats stats;
+  const auto cached = serve_ids(f, prompts, 1, 1, &cache, &stats);
+  const auto plain = serve_ids(f, prompts, 1, 1, nullptr, nullptr);
+  EXPECT_EQ(cached, plain);
+  // Each repeat restores all but the forced last prompt token.
+  const long plen = static_cast<long>(prompts[0].size());
+  EXPECT_EQ(stats.cached_positions, 3 * (plen - 1));
+  EXPECT_EQ(stats.prefill_positions, plen + 3);
+  // Repeats are already covered by the first entry: no re-capture churn.
+  EXPECT_EQ(cache.stats().insertions, 1);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+}  // namespace
+}  // namespace vsd::serve

@@ -46,6 +46,24 @@ TEST(Softmax, NormalisesAndRespectsTemperature) {
   EXPECT_GT(p_cold[2], p1[2]);  // lower temperature sharpens
 }
 
+TEST(Softmax, EmptyLogitsRejectedAndSingletonIsOne) {
+  // Empty spans used to read logits[0] — UB; now a contract error.
+  EXPECT_THROW(softmax(std::span<const float>(), 1.0f), Error);
+  const std::vector<float> one = {2.5f};
+  const auto p = softmax(one, 0.7f);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_FLOAT_EQ(p[0], 1.0f);
+}
+
+TEST(PickToken, EmptyLogitsRejectedAndSingletonPicked) {
+  Rng rng(5);
+  EXPECT_THROW(pick_token(std::span<const float>(), 0.0f, rng), Error);
+  EXPECT_THROW(pick_token(std::span<const float>(), 1.0f, rng), Error);
+  const std::vector<float> one = {-3.0f};
+  EXPECT_EQ(pick_token(one, 0.0f, rng), 0);  // greedy
+  EXPECT_EQ(pick_token(one, 1.0f, rng), 0);  // sampling
+}
+
 TEST(PickToken, GreedyIsArgmax) {
   Rng rng(1);
   std::vector<float> logits = {0.1f, 5.0f, 1.0f};
@@ -186,6 +204,99 @@ TEST(DecodeE2E, MultipleCandidatesStillCorrect) {
   const DecodeResult r = dec.speculative(f.full_prompt(), cfg, rng);
   const std::vector<int> expected(f.code.begin(), f.code.end() - 1);
   EXPECT_EQ(r.ids, expected);
+}
+
+TEST(DecodeE2E, EmptyPromptYieldsEmptyResultNotACrash) {
+  // A decoder-only session with no prompt tokens used to die inside
+  // InferSession::feed ("feed: empty input"); it now degrades to a clean
+  // empty result for both decoders.
+  Fixture f(Method::Ours);
+  Decoder dec(*f.model);
+  DecodeConfig cfg;
+  cfg.max_new_tokens = 32;
+  cfg.num_heads = 6;
+  Rng rng(9);
+  const DecodeResult spec = dec.speculative(std::span<const int>(), cfg, rng);
+  EXPECT_TRUE(spec.ids.empty());
+  EXPECT_EQ(spec.steps, 0);
+  EXPECT_EQ(spec.positions, 0);
+  EXPECT_FALSE(spec.hit_eos);
+  const DecodeResult ntp = dec.ntp(std::span<const int>(), cfg, rng);
+  EXPECT_TRUE(ntp.ids.empty());
+  EXPECT_EQ(ntp.steps, 0);
+}
+
+TEST(DecodeE2E, DegenerateConfigsRejectedAtConstruction) {
+  // Bad configs used to survive until the opaque "speculative step
+  // accepted nothing" check fired mid-step; now the ctor names the field.
+  Fixture f(Method::Ours);
+  Decoder dec(*f.model);
+  Rng rng(10);
+  DecodeConfig bad_candidates;
+  bad_candidates.num_candidates = 0;
+  EXPECT_THROW(dec.speculative(f.full_prompt(), bad_candidates, rng), Error);
+  DecodeConfig bad_budget;
+  bad_budget.max_new_tokens = -1;
+  EXPECT_THROW(dec.speculative(f.full_prompt(), bad_budget, rng), Error);
+  DecodeConfig zero_budget;  // zero is a valid no-op budget, not an error
+  zero_budget.max_new_tokens = 0;
+  zero_budget.num_heads = 6;
+  const DecodeResult r = dec.speculative(f.full_prompt(), zero_budget, rng);
+  EXPECT_TRUE(r.ids.empty());
+}
+
+TEST(DecodeE2E, PrimedPrefixSessionMatchesUncachedDecode) {
+  // The serving prefix-cache path: capture a prompt's prefill, restore it
+  // into a fresh session, and decode with only the suffix fed.  Results
+  // must be token-identical, and the speculative steps (feed + truncate
+  // rollbacks on top of restored rows) must behave exactly as uncached.
+  Fixture f(Method::Ours);
+  Decoder dec(*f.model);
+  DecodeConfig cfg;
+  cfg.max_new_tokens = 32;
+  cfg.num_heads = 6;
+  const std::vector<int> prompt = f.full_prompt();
+  Rng rng(11);
+  const DecodeResult uncached = dec.speculative(prompt, cfg, rng);
+  ASSERT_FALSE(uncached.ids.empty());
+
+  const int prefix = static_cast<int>(prompt.size()) - 1;
+  nn::InferSession prefill(*f.model);
+  prefill.feed(std::span<const int>(prompt.data(), prefix));
+  const nn::KvSnapshot snap = prefill.snapshot(prefix);
+
+  nn::InferSession sess(*f.model);
+  sess.restore(snap);
+  DecodeSession cached(*f.model, sess, prompt, cfg, Rng(11), prefix);
+  while (cached.step()) {
+  }
+  const DecodeResult r = cached.take_result();
+  EXPECT_EQ(r.ids, uncached.ids);
+  EXPECT_EQ(r.steps, uncached.steps);
+  EXPECT_EQ(r.accepted_per_step, uncached.accepted_per_step);
+  EXPECT_EQ(r.hit_eos, uncached.hit_eos);
+  // Only the one-token suffix was fed at prime time.
+  EXPECT_EQ(r.prefill_positions, 1);
+  EXPECT_EQ(uncached.prefill_positions, static_cast<long>(prompt.size()));
+  EXPECT_EQ(r.positions, uncached.positions - prefix);
+}
+
+TEST(DecodeE2E, PrimedPrefixValidatesSessionState) {
+  Fixture f(Method::Ours);
+  DecodeConfig cfg;
+  cfg.num_heads = 6;
+  const std::vector<int> prompt = f.full_prompt();
+  nn::InferSession sess(*f.model);
+  // Session length must equal the declared prefix...
+  EXPECT_THROW(
+      DecodeSession(*f.model, sess, prompt, cfg, Rng(1), /*primed_prefix=*/2),
+      Error);
+  // ...and the prefix must leave a non-empty suffix to feed.
+  sess.reset();
+  sess.feed(prompt);
+  EXPECT_THROW(DecodeSession(*f.model, sess, prompt, cfg, Rng(1),
+                             static_cast<int>(prompt.size())),
+               Error);
 }
 
 TEST(DecodeE2E, MeasureStepSecondsPositive) {
