@@ -19,6 +19,13 @@
 // AND bit-identical temperature-0 outputs — caching trades memory for
 // prefill compute, never correctness.
 //
+// A final pair isolates the fused batched forward: the same scheduler at
+// ONE worker with and without fusion (one stacked [B, D] x [D, V] scoring
+// pass per tick vs per-session matmuls).  At batch >= 4 the fused side
+// must win raw single-thread wall clock (>1x) with token-identical
+// outputs — the claim that batching amortizes the weight streaming, not
+// just the latency model.
+//
 // Knobs: VSD_PROMPTS (>= 8 enforced), VSD_WORKERS (4), VSD_BATCH (4),
 // VSD_CACHE (16 warm entries), plus the usual training-scale knobs;
 // `--json out.json` writes the ledger row.
@@ -95,7 +102,8 @@ int main(int argc, char** argv) {
   const double serial_wall = since(t_serial);
 
   // --- batched: the serving stack (queue + scheduler + pool) -------------
-  const auto run_serving = [&](serve::SessionCache* cache,
+  const auto run_serving = [&](int run_workers, bool fuse,
+                               serve::SessionCache* cache,
                                std::vector<spec::DecodeResult>& out) {
     serve::RequestQueue queue(static_cast<std::size_t>(std::max(1, batch)));
     std::thread producer([&] {
@@ -105,9 +113,11 @@ int main(int argc, char** argv) {
       }
       queue.close();
     });
-    serve::Scheduler scheduler(
-        *sys.model, queue,
-        {.workers = workers, .batch = batch, .cache = cache});
+    serve::Scheduler scheduler(*sys.model, queue,
+                               {.workers = run_workers,
+                                .batch = batch,
+                                .fuse = fuse,
+                                .cache = cache});
     const serve::ServeStats stats =
         scheduler.run([&](const serve::Request& req, spec::DecodeResult r) {
           out[req.id] = std::move(r);
@@ -116,22 +126,46 @@ int main(int argc, char** argv) {
     return stats;
   };
   std::vector<spec::DecodeResult> batched(static_cast<std::size_t>(n));
-  const serve::ServeStats stats = run_serving(nullptr, batched);
+  const serve::ServeStats stats = run_serving(workers, true, nullptr, batched);
 
   // --- cached: same stack behind the prompt-prefix KV cache --------------
   serve::SessionCache cache(
       {.capacity = static_cast<std::size_t>(std::max(1, cache_cap))});
   std::vector<spec::DecodeResult> cached(static_cast<std::size_t>(n));
-  const serve::ServeStats cstats = run_serving(&cache, cached);
+  const serve::ServeStats cstats = run_serving(workers, true, &cache, cached);
   const serve::SessionCacheStats cache_stats = cache.stats();
+
+  // --- fused vs unfused at ONE worker: the single-core wall-clock claim --
+  // The latency model already credits a tick as one shared pass; this pair
+  // isolates what fusing the logits matmuls buys in raw single-thread wall
+  // clock, with the thread pool held at one worker on both sides so only
+  // the batching of the [B, D] x [D, V] scoring differs.  Best of two runs
+  // per side to shed scheduler noise.
+  std::vector<spec::DecodeResult> unfused_1t(static_cast<std::size_t>(n));
+  std::vector<spec::DecodeResult> fused_1t(static_cast<std::size_t>(n));
+  serve::ServeStats ustats = run_serving(1, false, nullptr, unfused_1t);
+  serve::ServeStats fstats = run_serving(1, true, nullptr, fused_1t);
+  {
+    std::vector<spec::DecodeResult> scratch(static_cast<std::size_t>(n));
+    const serve::ServeStats u2 = run_serving(1, false, nullptr, scratch);
+    if (u2.wall_seconds < ustats.wall_seconds) ustats = u2;
+    const serve::ServeStats f2 = run_serving(1, true, nullptr, scratch);
+    if (f2.wall_seconds < fstats.wall_seconds) fstats = f2;
+  }
 
   bool parity = true;
   bool cached_parity = true;
+  bool fused_parity = true;
   for (int i = 0; i < n; ++i) {
     parity = parity && batched[static_cast<std::size_t>(i)].ids ==
                            serial[static_cast<std::size_t>(i)].ids;
     cached_parity = cached_parity && cached[static_cast<std::size_t>(i)].ids ==
                                          serial[static_cast<std::size_t>(i)].ids;
+    fused_parity = fused_parity &&
+                   fused_1t[static_cast<std::size_t>(i)].ids ==
+                       serial[static_cast<std::size_t>(i)].ids &&
+                   unfused_1t[static_cast<std::size_t>(i)].ids ==
+                       serial[static_cast<std::size_t>(i)].ids;
   }
 
   const double serial_model_s = static_cast<double>(serial_steps) * t_step;
@@ -154,6 +188,14 @@ int main(int argc, char** argv) {
   std::printf("%-8s %10ld %12.3f %14.2f %14.2f %10ld\n", "cached", cstats.ticks,
               cstats.wall_seconds, cached_rps_model, cached_rps_wall,
               cstats.prefill_positions);
+  std::printf("%-8s %10ld %12.3f %14s %14.2f %10ld\n", "1t-raw", ustats.ticks,
+              ustats.wall_seconds, "-",
+              n / std::max(ustats.wall_seconds, 1e-12),
+              ustats.prefill_positions);
+  std::printf("%-8s %10ld %12.3f %14s %14.2f %10ld\n", "1t-fuse", fstats.ticks,
+              fstats.wall_seconds, "-",
+              n / std::max(fstats.wall_seconds, 1e-12),
+              fstats.prefill_positions);
   // The acceptance floor this bench exists to guard: at the advertised
   // shape (batch >= 4) continuous batching must deliver >= 2x requests/sec
   // under the latency model.  Narrower batches (a user knob) note a missed
@@ -174,9 +216,21 @@ int main(int argc, char** argv) {
           ? 1.0 - static_cast<double>(cstats.prefill_positions) /
                       static_cast<double>(stats.prefill_positions)
           : 0.0;
+  // The fused forward's acceptance floor: at the advertised batch the
+  // stacked [B, D] x [D, V] pass must beat per-session matmuls in raw
+  // single-thread wall clock (>1x), with token-identical outputs.
+  const double fused_speedup_wall =
+      ustats.wall_seconds / std::max(fstats.wall_seconds, 1e-12);
+  const bool fused_ok = batch < 4 || fused_speedup_wall > 1.0;
   std::printf("\nspeedup: %.2fx (model), %.2fx (wall); parity at T=0: %s%s\n",
               speedup_model, batched_rps_wall / serial_rps_wall,
               parity ? "PASS" : "FAIL", speedup_note);
+  std::printf(
+      "fused forward: %.3fs -> %.3fs single-thread wall (%.2fx, %ld rows in "
+      "%ld passes); fused parity at T=0: %s%s\n",
+      ustats.wall_seconds, fstats.wall_seconds, fused_speedup_wall,
+      fstats.fused_rows, fstats.fused_passes, fused_parity ? "PASS" : "FAIL",
+      fused_ok ? "" : "; fused SPEEDUP FLOOR (>1x at batch>=4) FAILED");
   std::printf(
       "prefix cache: %ld -> %ld prefill positions (%.1f%% saved), "
       "%ld hits / %ld misses / %ld evictions; cached parity at T=0: %s%s\n",
@@ -203,9 +257,14 @@ int main(int argc, char** argv) {
         "\"prefill_positions\": %ld, \"cached_positions\": %ld, "
         "\"cache_hits\": %ld, \"cache_misses\": %ld, \"cache_evictions\": %ld, "
         "\"cache_entries\": %zu, \"cache_bytes\": %zu},\n"
+        "  \"unfused_1t\": {\"ticks\": %ld, \"wall_s\": %.4f},\n"
+        "  \"fused_1t\": {\"ticks\": %ld, \"wall_s\": %.4f, "
+        "\"fused_rows\": %ld, \"fused_passes\": %ld},\n"
+        "  \"fused_speedup_wall_1t\": %.3f,\n"
         "  \"speedup_model\": %.3f,\n  \"speedup_wall\": %.3f,\n"
         "  \"prefill_saved_frac\": %.4f,\n"
-        "  \"parity_temp0\": %s,\n  \"cached_parity_temp0\": %s\n}\n",
+        "  \"parity_temp0\": %s,\n  \"cached_parity_temp0\": %s,\n"
+        "  \"fused_parity_temp0\": %s\n}\n",
         n, workers, batch, cache_cap, t_step, serial_steps, serial_wall,
         serial_rps_model, serial_rps_wall, serial_prefill, stats.ticks,
         stats.max_in_flight, stats.wall_seconds, batched_rps_model,
@@ -213,11 +272,17 @@ int main(int argc, char** argv) {
         cstats.max_in_flight, cstats.wall_seconds, cached_rps_model,
         cached_rps_wall, cstats.prefill_positions, cstats.cached_positions,
         cache_stats.hits, cache_stats.misses, cache_stats.evictions,
-        cache_stats.entries, cache_stats.bytes, speedup_model,
-        batched_rps_wall / serial_rps_wall, prefill_saved_frac,
-        parity ? "true" : "false", cached_parity ? "true" : "false");
+        cache_stats.entries, cache_stats.bytes, ustats.ticks,
+        ustats.wall_seconds, fstats.ticks, fstats.wall_seconds,
+        fstats.fused_rows, fstats.fused_passes, fused_speedup_wall,
+        speedup_model, batched_rps_wall / serial_rps_wall, prefill_saved_frac,
+        parity ? "true" : "false", cached_parity ? "true" : "false",
+        fused_parity ? "true" : "false");
     std::fclose(f);
     std::printf("# wrote %s\n", path);
   }
-  return parity && cached_parity && speedup_ok && prefill_reduced ? 0 : 1;
+  return parity && cached_parity && fused_parity && speedup_ok &&
+                 prefill_reduced && fused_ok
+             ? 0
+             : 1;
 }

@@ -2,6 +2,7 @@
 // synthetic corpus, train a tokenizer and a miniature model with the
 // chosen method, generate a module with (speculative) decoding, and check
 // the result with the parser and simulator.
+#include <cmath>
 #include <cstdio>
 #include <string>
 
@@ -86,6 +87,8 @@ int cmd_decode(int argc, const char* const* argv) {
   else if (!args.positional().empty()) bad_arg = "unexpected positional argument";
   else if (dc.max_new_tokens < 0) bad_arg = "--max-tokens must be >= 0";
   else if (dc.num_candidates < 1) bad_arg = "--candidates must be >= 1";
+  else if (!(std::isfinite(dc.temperature) && dc.temperature >= 0.0f))
+    bad_arg = "--temperature must be finite and >= 0 (0 = greedy)";
   if (bad_arg != nullptr) {
     std::fprintf(stderr, "vsd decode: %s\n", bad_arg);
     return kExitUsage;

@@ -7,6 +7,7 @@
 // carries the throughput numbers.  All diagnostics go to stderr so stdout
 // stays machine-readable.
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -35,6 +36,7 @@ constexpr OptionSpec kOptions[] = {
     {"queue", true, "admission queue capacity (default 2*batch)"},
     {"cache", true, "prompt-prefix KV cache capacity, warm entries (default 16)"},
     {"no-cache", false, "disable the prompt-prefix KV cache"},
+    {"no-fuse", false, "disable the fused batched forward (per-session matmuls)"},
     {"method", true, "ours | medusa (default ours)", "NAME"},
     {"items", true, "corpus size (default 48)"},
     {"epochs", true, "training epochs (default 3)"},
@@ -68,7 +70,10 @@ void print_serve_help() {
       "A prompt-prefix KV cache (LRU of warm sessions) skips the shared\n"
       "part of the prefill for overlapping prompts; size it with --cache N\n"
       "or turn it off with --no-cache (results are identical either way\n"
-      "at temperature 0).\n\n"
+      "at temperature 0).  Each tick fuses the per-session logits matmuls\n"
+      "into one [batch, D] x [D, V] pass (the batched-forward win);\n"
+      "--no-fuse falls back to fully per-session steps, again with\n"
+      "identical results.\n\n"
       "options:\n");
   print_options(kOptions);
 }
@@ -96,6 +101,7 @@ int cmd_serve(int argc, const char* const* argv) {
   const int batch = args.get_int("batch", workers);
   const int queue_cap = args.get_int("queue", 2 * std::max(1, batch));
   const bool use_cache = !args.has("no-cache");
+  const bool fuse = !args.has("no-fuse");
   const int cache_cap = args.get_int("cache", 16);
   eval::SystemConfig cfg;
   cfg.method = method;
@@ -119,6 +125,8 @@ int cmd_serve(int argc, const char* const* argv) {
     bad_arg = "--workers/--batch/--queue must be >= 1";
   else if (base_cfg.max_new_tokens < 0) bad_arg = "--max-tokens must be >= 0";
   else if (base_cfg.num_candidates < 1) bad_arg = "--candidates must be >= 1";
+  else if (!(std::isfinite(base_cfg.temperature) && base_cfg.temperature >= 0.0f))
+    bad_arg = "--temperature must be finite and >= 0 (0 = greedy)";
   else if (use_cache && cache_cap < 1)
     bad_arg = "--cache must be >= 1 (use --no-cache to disable)";
   if (bad_arg != nullptr) {
@@ -186,7 +194,7 @@ int cmd_serve(int argc, const char* const* argv) {
   }
   serve::Scheduler scheduler(
       *sys.model, queue,
-      {.workers = workers, .batch = batch, .cache = cache.get()});
+      {.workers = workers, .batch = batch, .fuse = fuse, .cache = cache.get()});
   int exit_code = kExitOk;
   serve::ServeStats stats;
   try {
@@ -232,11 +240,13 @@ int cmd_serve(int argc, const char* const* argv) {
       "\"max_in_flight\":%d,\"ticks\":%ld,\"total_tokens\":%ld,"
       "\"total_steps\":%ld,\"wall_s\":%.4f,\"requests_per_sec\":%.3f,"
       "\"tokens_per_sec\":%.2f,\"prefill_positions\":%ld,"
-      "\"cached_positions\":%ld",
+      "\"cached_positions\":%ld,\"fused\":%s,\"fused_rows\":%ld,"
+      "\"fused_passes\":%ld",
       stats.completed, workers, batch, stats.max_in_flight, stats.ticks,
       total_tokens, total_steps, stats.wall_seconds,
       stats.completed / wall, total_tokens / wall, stats.prefill_positions,
-      stats.cached_positions);
+      stats.cached_positions, fuse ? "true" : "false", stats.fused_rows,
+      stats.fused_passes);
   if (cache) {
     const serve::SessionCacheStats cs = cache->stats();
     std::printf(

@@ -230,10 +230,16 @@ const Tensor& InferSession::weight(const std::string& name) const {
 
 namespace {
 
-// y[TxE] = x[TxD] W[DxE] (+ b).
+// y[TxE] = x[TxD] W[DxE] (+ b).  Multi-row inputs (speculative chains,
+// fused batched scoring) take the k-outer kernel, which streams the weight
+// matrix once for the whole row block; both kernels are bit-identical.
 Tensor apply_linear(const Tensor& x, const Tensor& w, const Tensor* b) {
   Tensor out(x.rows(), w.cols());
-  matmul_acc(x.data(), w.data(), out.data(), x.rows(), x.cols(), w.cols());
+  if (x.rows() > 1) {
+    matmul_acc_kouter(x.data(), w.data(), out.data(), x.rows(), x.cols(), w.cols());
+  } else {
+    matmul_acc(x.data(), w.data(), out.data(), x.rows(), x.cols(), w.cols());
+  }
   if (b != nullptr) {
     for (int i = 0; i < out.rows(); ++i) {
       float* row = out.row(i);
@@ -484,6 +490,9 @@ KvSnapshot InferSession::snapshot(int upto_len) const {
 }
 
 void InferSession::restore(const KvSnapshot& snap, int upto_len) {
+  // Only the documented -1 sentinel means "all of it"; any other negative
+  // value is caller arithmetic gone wrong, not a request for everything.
+  check(upto_len == -1 || upto_len >= 1, "restore: bad length");
   const int n = upto_len < 0 ? snap.len : upto_len;
   check(n >= 1 && n <= snap.len, "restore: bad length");
   check(n <= m_.config().max_seq, "restore: snapshot exceeds max_seq");
@@ -503,16 +512,27 @@ void InferSession::restore(const KvSnapshot& snap, int upto_len) {
   len_ = n;
 }
 
+Tensor TransformerModel::infer_lm_logits(const Tensor& hidden) const {
+  check(hidden.cols() == cfg_.d_model, "infer_lm_logits: width mismatch");
+  return apply_linear(hidden, param("lm")->value, nullptr);
+}
+
+Tensor TransformerModel::infer_head_logits(const Tensor& hidden, int k) const {
+  check(k >= 0 && k < cfg_.n_medusa_heads, "medusa head index out of range");
+  check(hidden.cols() == cfg_.d_model, "infer_head_logits: width mismatch");
+  const std::string p = "mh" + std::to_string(k) + ".";
+  Tensor mid = apply_linear(hidden, param(p + "w1")->value, &param(p + "b1")->value);
+  apply_silu_inplace(mid);
+  for (std::size_t i = 0; i < mid.size(); ++i) mid.data()[i] += hidden.data()[i];
+  return apply_linear(mid, param(p + "lm")->value, nullptr);
+}
+
 Tensor InferSession::lm_logits(const Tensor& hidden) const {
-  return apply_linear(hidden, weight("lm"), nullptr);
+  return m_.infer_lm_logits(hidden);
 }
 
 Tensor InferSession::head_logits(const Tensor& hidden, int k) const {
-  const std::string p = "mh" + std::to_string(k) + ".";
-  Tensor mid = apply_linear(hidden, weight(p + "w1"), &weight(p + "b1"));
-  apply_silu_inplace(mid);
-  for (std::size_t i = 0; i < mid.size(); ++i) mid.data()[i] += hidden.data()[i];
-  return apply_linear(mid, weight(p + "lm"), nullptr);
+  return m_.infer_head_logits(hidden, k);
 }
 
 }  // namespace vsd::nn

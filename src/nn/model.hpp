@@ -64,6 +64,17 @@ class TransformerModel {
   float lr_mult(const Var& p) const;
   std::size_t param_count() const;
 
+  // --- inference-path scoring (no autograd) ----------------------------------
+  /// Base-LM logits for hidden rows [n, D] -> [n, V].  Thread-safe (reads
+  /// weights only) and row-independent: scoring a [B, D] stack of rows
+  /// gathered from many sessions is bit-identical to B separate [1, D]
+  /// calls, which is what lets the serving scheduler fuse the per-session
+  /// logits matmuls into one [B, D] x [D, V] pass per tick.
+  Tensor infer_lm_logits(const Tensor& hidden) const;
+  /// MEDUSA-head logits [n, D] -> [n, V] for head k; same row-independent
+  /// batching contract as infer_lm_logits.
+  Tensor infer_head_logits(const Tensor& hidden, int k) const;
+
   /// Simple binary checkpoint (config + named tensors).
   std::string serialize() const;
   static std::unique_ptr<TransformerModel> deserialize(std::string_view data);

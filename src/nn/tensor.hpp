@@ -76,6 +76,26 @@ inline void matmul_acc(const float* a, const float* b, float* c, int m, int k, i
   }
 }
 
+/// C[MxN] += A[MxK] * B[KxN], k-outer loop order: streams the B matrix
+/// exactly once and keeps the whole [MxN] accumulator hot, instead of
+/// re-streaming all of B for every row of A as matmul_acc does.  This is
+/// the kernel behind the fused batched forward: when M is a small batch of
+/// gathered rows (so C fits in cache) and B is a weight matrix shared by
+/// the batch, the weight traffic drops from M passes to one.  Each output
+/// element accumulates over p in the same ascending order as matmul_acc,
+/// so the results are bit-identical — batching never changes tokens.
+inline void matmul_acc_kouter(const float* a, const float* b, float* c, int m, int k, int n) {
+  for (int p = 0; p < k; ++p) {
+    const float* brow = b + static_cast<std::size_t>(p) * n;
+    for (int i = 0; i < m; ++i) {
+      const float av = a[static_cast<std::size_t>(i) * k + p];
+      if (av == 0.0f) continue;
+      float* crow = c + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
 /// C[MxN] += A[MxK] * B^T where B is [NxK].
 inline void matmul_bt_acc(const float* a, const float* b, float* c, int m, int k, int n) {
   for (int i = 0; i < m; ++i) {

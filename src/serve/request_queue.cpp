@@ -39,6 +39,35 @@ std::optional<Request> RequestQueue::pop() {
   return r;
 }
 
+std::vector<Request> RequestQueue::pop_burst(std::size_t max_n) {
+  std::vector<Request> out;
+  if (max_n == 0) return out;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    while (out.size() < max_n && !items_.empty()) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+  }
+  if (!out.empty()) not_full_.notify_all();
+  return out;
+}
+
+std::vector<Request> RequestQueue::try_pop_burst(std::size_t max_n) {
+  std::vector<Request> out;
+  if (max_n == 0) return out;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    while (out.size() < max_n && !items_.empty()) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+  }
+  if (!out.empty()) not_full_.notify_all();
+  return out;
+}
+
 std::optional<Request> RequestQueue::try_pop() {
   std::optional<Request> r;
   {

@@ -43,6 +43,15 @@ class RequestQueue {
   /// Non-blocking pop; nullopt when nothing is queued right now.
   std::optional<Request> try_pop();
 
+  /// Blocking burst pop: waits like pop(), then drains up to `max_n`
+  /// requests under one lock — a burst that accumulated while the consumer
+  /// slept is handed over atomically, so an idle scheduler admits it into
+  /// one tick instead of trickling it in.  Empty only after close() once
+  /// everything has been drained (or when max_n == 0).
+  std::vector<Request> pop_burst(std::size_t max_n);
+  /// Non-blocking burst pop: up to `max_n` immediately-available requests.
+  std::vector<Request> try_pop_burst(std::size_t max_n);
+
   /// Ends admission: subsequent pushes fail, consumers drain then stop.
   void close();
   bool closed() const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -12,8 +13,18 @@
 namespace vsd::serve {
 
 namespace {
+
 using Clock = std::chrono::steady_clock;
+
+/// Detachable copy of rows [off, off+n) of `t` — the scatter half of the
+/// fused scoring pass.
+nn::Tensor copy_rows(const nn::Tensor& t, int off, int n) {
+  nn::Tensor out(n, t.cols());
+  std::memcpy(out.data(), t.row(off), sizeof(float) * out.size());
+  return out;
 }
+
+}  // namespace
 
 Scheduler::Scheduler(const nn::TransformerModel& model, RequestQueue& queue,
                      SchedulerOptions opts)
@@ -41,39 +52,41 @@ ServeStats Scheduler::run(const Completion& on_complete) {
   ServeStats stats;
   const auto start = Clock::now();
   int live = 0;
-  for (;;) {
-    // --- admit: fill free slots from the queue ---------------------------
-    // Only block when nothing is in flight; otherwise keep decoding and
-    // take whatever is immediately available.
-    for (Slot& slot : slots) {
-      if (slot.dec) continue;
-      std::optional<Request> r = live == 0 ? queue_.pop() : queue_.try_pop();
-      if (!r) break;
-      if (!slot.sess) slot.sess = std::make_unique<nn::InferSession>(model_);
-      slot.req = std::move(*r);
-      const bool cacheable = cache != nullptr && !slot.req.prompt_ids.empty();
-      int prefix = 0;
-      bool covered = false;
-      if (cacheable) {
-        const SessionCache::Match m = cache->lookup(slot.req.prompt_ids);
-        covered = m.covered;
-        if (m.len > 0) {
-          slot.sess->restore(*m.snap, m.len);
-          prefix = m.len;
-        }
-      }
-      stats.cached_positions += prefix;
-      // Re-capturing a prompt the cache already spans (repeat traffic)
-      // would copy KV rows for zero new coverage — skip it.
-      slot.capture_pending = cacheable && !covered;
-      slot.dec = std::make_unique<spec::DecodeSession>(
-          model_, *slot.sess, slot.req.prompt_ids, slot.req.config,
-          Rng(slot.req.seed), prefix);
-      ++live;
-    }
-    if (live == 0) break;  // queue closed and drained
 
-    // --- tick: advance every live session one speculative step -----------
+  const auto admit = [&](Slot& slot, Request&& r) {
+    if (!slot.sess) slot.sess = std::make_unique<nn::InferSession>(model_);
+    slot.req = std::move(r);
+    const bool cacheable = cache != nullptr && !slot.req.prompt_ids.empty();
+    int prefix = 0;
+    bool covered = false;
+    if (cacheable) {
+      const SessionCache::Match m = cache->lookup(slot.req.prompt_ids);
+      covered = m.covered;
+      if (m.len > 0) {
+        slot.sess->restore(*m.snap, m.len);
+        prefix = m.len;
+      }
+    }
+    stats.cached_positions += prefix;
+    // Re-capturing a prompt the cache already spans (repeat traffic)
+    // would copy KV rows for zero new coverage — skip it.
+    slot.capture_pending = cacheable && !covered;
+    slot.dec = std::make_unique<spec::DecodeSession>(
+        model_, *slot.sess, slot.req.prompt_ids, slot.req.config,
+        Rng(slot.req.seed), prefix);
+    ++live;
+  };
+
+  const auto complete_slot = [&](Slot& slot) {
+    stats.prefill_positions += slot.dec->result().prefill_positions;
+    on_complete(slot.req, slot.dec->take_result());
+    slot.dec.reset();
+    --live;
+    ++stats.completed;
+  };
+
+  // --- serial tick: every live session runs a whole step on the pool ----
+  const auto tick_serial = [&] {
     std::vector<std::pair<Slot*, std::future<bool>>> inflight;
     inflight.reserve(static_cast<std::size_t>(live));
     for (Slot& slot : slots) {
@@ -98,18 +111,210 @@ ServeStats Scheduler::run(const Completion& on_complete) {
         inflight.emplace_back(&slot, pool.submit([dec] { return dec->step(); }));
       }
     }
-    ++stats.ticks;
-    stats.max_in_flight = std::max(stats.max_in_flight,
-                                   static_cast<int>(inflight.size()));
-
-    // --- complete: requests finish independently, slots free immediately -
+    // Requests finish independently, slots free immediately.
     for (auto& [slot, fut] : inflight) {
       if (fut.get()) continue;  // get() rethrows decode errors
-      stats.prefill_positions += slot->dec->result().prefill_positions;
-      on_complete(slot->req, slot->dec->take_result());
-      slot->dec.reset();
-      --live;
-      ++stats.completed;
+      complete_slot(*slot);
+    }
+  };
+
+  // --- fused tick: per-session propose stages on the pool, one stacked
+  // [B, D] x [D, V] scoring pass per round on this thread ----------------
+  // With a single worker there is no concurrency to buy, so the fused
+  // rounds run their per-session stages inline instead of bouncing each
+  // one through the pool (several hand-offs per tick, vs one for the
+  // serial tick).
+  const bool inline_stages = std::max(1, opts_.workers) == 1;
+
+  // Runs one propose/resume stage per (slot, callable) pair — inline at
+  // one worker, fanned across the pool otherwise — and partitions the
+  // slots by whether they paused on a ScoreRequest or hit a step boundary.
+  const auto run_stage = [&](auto& tasks, std::vector<Slot*>& pending,
+                             std::vector<std::pair<Slot*, spec::StepState>>& finals) {
+    if (inline_stages) {
+      for (auto& [slot, fn] : tasks) {
+        const spec::StepState st = fn();
+        if (st == spec::StepState::NeedScores) pending.push_back(slot);
+        else finals.emplace_back(slot, st);
+      }
+      return;
+    }
+    std::vector<std::pair<Slot*, std::future<spec::StepState>>> inflight;
+    inflight.reserve(tasks.size());
+    for (auto& [slot, fn] : tasks) {
+      inflight.emplace_back(slot, pool.submit(std::move(fn)));
+    }
+    for (auto& [slot, fut] : inflight) {
+      const spec::StepState st = fut.get();  // rethrows decode errors
+      if (st == spec::StepState::NeedScores) pending.push_back(slot);
+      else finals.emplace_back(slot, st);
+    }
+  };
+
+  const auto tick_fused = [&] {
+    // Phase A: advance every live session to its first scoring point
+    // (prompt prefills, candidate feeds) across the workers.
+    std::vector<Slot*> pending;  // paused on a ScoreRequest
+    std::vector<std::pair<Slot*, spec::StepState>> finals;
+    {
+      std::vector<std::pair<Slot*, std::function<spec::StepState()>>> tasks;
+      tasks.reserve(static_cast<std::size_t>(live));
+      for (Slot& slot : slots) {
+        if (!slot.dec) continue;
+        spec::DecodeSession* dec = slot.dec.get();
+        tasks.emplace_back(&slot, [dec] { return dec->advance(); });
+      }
+      run_stage(tasks, pending, finals);
+    }
+
+    // Score rounds: gather every pending request's hidden rows, run ONE
+    // base-LM matmul over the stack (plus one per draft head), scatter the
+    // logits rows back, and resume the sessions on the pool; repeat until
+    // every session reaches its step boundary.  The futures order the
+    // handoff (rows are read here after get(); scattered logits are read
+    // by workers only after submit()), so the exchange is race-free.
+    while (!pending.empty()) {
+      const auto score_start = Clock::now();
+      int total_rows = 0;
+      int max_heads = 0;
+      for (const Slot* s : pending) {
+        total_rows += s->dec->request().hidden.rows();
+        max_heads = std::max(max_heads, s->dec->request().n_heads);
+      }
+      nn::Tensor all_rows(total_rows, model_.config().d_model);
+      {
+        int off = 0;
+        for (const Slot* s : pending) {
+          const nn::Tensor& h = s->dec->request().hidden;
+          std::memcpy(all_rows.row(off), h.data(), sizeof(float) * h.size());
+          off += h.rows();
+        }
+      }
+      const nn::Tensor lm_all = model_.infer_lm_logits(all_rows);
+      ++stats.fused_passes;
+      stats.fused_rows += total_rows;
+
+      std::vector<spec::Scores> scores(pending.size());
+      {
+        int off = 0;
+        for (std::size_t i = 0; i < pending.size(); ++i) {
+          const spec::ScoreRequest& req = pending[i]->dec->request();
+          scores[i].lm = copy_rows(lm_all, off, req.hidden.rows());
+          scores[i].heads.resize(static_cast<std::size_t>(req.n_heads));
+          off += req.hidden.rows();
+        }
+      }
+      // Draft heads: requests can want different head counts (chain
+      // verification wants none), so head k fuses the subset that has it.
+      // Membership is monotone in k (a request wanting head k wants every
+      // lower head), so the gathered stack is rebuilt only when it shrinks.
+      nn::Tensor hk;
+      for (int k = 0; k < max_heads; ++k) {
+        int rows_k = 0;
+        for (const Slot* s : pending) {
+          const spec::ScoreRequest& req = s->dec->request();
+          if (req.n_heads > k) rows_k += req.hidden.rows();
+        }
+        if (hk.rows() != rows_k) {
+          hk = nn::Tensor(rows_k, model_.config().d_model);
+          int off = 0;
+          for (const Slot* s : pending) {
+            const spec::ScoreRequest& req = s->dec->request();
+            if (req.n_heads <= k) continue;
+            std::memcpy(hk.row(off), req.hidden.data(),
+                        sizeof(float) * req.hidden.size());
+            off += req.hidden.rows();
+          }
+        }
+        const nn::Tensor hl = model_.infer_head_logits(hk, k);
+        ++stats.fused_passes;
+        stats.fused_rows += rows_k;
+        int off = 0;
+        for (std::size_t i = 0; i < pending.size(); ++i) {
+          const spec::ScoreRequest& req = pending[i]->dec->request();
+          if (req.n_heads <= k) continue;
+          scores[i].heads[static_cast<std::size_t>(k)] =
+              copy_rows(hl, off, req.hidden.rows());
+          off += req.hidden.rows();
+        }
+      }
+
+      // Attribute the shared scoring pass back to the requests it served
+      // (by row-pass share), so per-request wall_seconds stays comparable
+      // with the serial path, which times its local scoring.
+      {
+        const double elapsed =
+            std::chrono::duration<double>(Clock::now() - score_start).count();
+        double total_weight = 0.0;
+        for (const Slot* s : pending) {
+          const spec::ScoreRequest& req = s->dec->request();
+          total_weight += static_cast<double>(req.hidden.rows()) * (1 + req.n_heads);
+        }
+        for (Slot* s : pending) {
+          const spec::ScoreRequest& req = s->dec->request();
+          const double weight =
+              static_cast<double>(req.hidden.rows()) * (1 + req.n_heads);
+          s->dec->credit_wall(elapsed * weight / std::max(total_weight, 1.0));
+        }
+      }
+
+      std::vector<std::pair<Slot*, std::function<spec::StepState()>>> tasks;
+      tasks.reserve(pending.size());
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        spec::DecodeSession* dec = pending[i]->dec.get();
+        auto sc = std::make_shared<spec::Scores>(std::move(scores[i]));
+        tasks.emplace_back(pending[i], [dec, sc] {
+          dec->supply(std::move(*sc));
+          return dec->advance();
+        });
+      }
+      pending.clear();
+      run_stage(tasks, pending, finals);
+    }
+
+    // Capture prompt prefills for the cache once the tick's feeds are done
+    // (the prompt rows are final from priming on), in parallel across
+    // slots.
+    std::vector<std::future<void>> captures;
+    for (auto& [slot, st] : finals) {
+      if (!slot->capture_pending) continue;
+      slot->capture_pending = false;
+      nn::InferSession* sess = slot->sess.get();
+      captures.push_back(pool.submit([sess, cache, ids = slot->req.prompt_ids] {
+        cache->insert(ids, sess->snapshot(static_cast<int>(ids.size())));
+      }));
+    }
+    for (auto& f : captures) f.get();
+
+    for (auto& [slot, st] : finals) {
+      if (st == spec::StepState::Finished) complete_slot(*slot);
+    }
+  };
+
+  for (;;) {
+    // --- admit: drain the queue into every free slot ---------------------
+    // Block only when nothing is in flight; the burst pop drains the queue
+    // under one lock, so requests that piled up while the scheduler was
+    // idle are all batched into the same first tick instead of trickling
+    // in one per tick.
+    const std::size_t free_slots = static_cast<std::size_t>(batch - live);
+    std::vector<Request> burst = live == 0 ? queue_.pop_burst(free_slots)
+                                           : queue_.try_pop_burst(free_slots);
+    std::size_t next = 0;
+    for (Slot& slot : slots) {
+      if (next >= burst.size()) break;
+      if (slot.dec) continue;
+      admit(slot, std::move(burst[next++]));
+    }
+    if (live == 0) break;  // queue closed and drained
+
+    // --- tick: advance every live session one speculative step -----------
+    ++stats.ticks;
+    stats.max_in_flight = std::max(stats.max_in_flight, live);
+    if (opts_.fuse) {
+      tick_fused();
+    } else {
+      tick_serial();
     }
   }
   stats.wall_seconds =

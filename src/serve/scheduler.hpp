@@ -21,6 +21,16 @@ class SessionCache;
 struct SchedulerOptions {
   int workers = 1;  // threads advancing sessions each tick
   int batch = 1;    // max in-flight sessions (continuous-batch width)
+  // Fused batched forward (on by default): each tick, the per-session
+  // propose stages run on the pool, then the scheduler gathers every
+  // pending ScoreRequest's hidden rows and runs ONE stacked
+  // [B, D] x [D, V] base-LM pass (plus one per draft head) instead of B
+  // per-session matmuls, scattering the logits rows back before
+  // acceptance.  The scoring matmuls are row-independent, so results are
+  // token-identical to the serial path; fusing just amortises the weight
+  // streaming across the batch for a single-core wall-clock win.  false
+  // falls back to fully per-session steps (`vsd serve --no-fuse`).
+  bool fuse = true;
   // Optional prompt-prefix KV cache (see serve/session_cache.hpp): slot
   // admission restores the longest cached prefix of each prompt so the
   // prefill feeds only the suffix, and each prompt's own prefill is
@@ -40,6 +50,8 @@ struct ServeStats {
   double wall_seconds = 0.0;
   long prefill_positions = 0;  // decoder positions spent priming prompts
   long cached_positions = 0;   // prompt positions restored from the cache
+  long fused_rows = 0;         // hidden rows scored through the fused pass
+  long fused_passes = 0;       // stacked score passes run (0 when unfused)
 };
 
 class Scheduler {

@@ -128,6 +128,11 @@ DecodeSession::DecodeSession(const nn::TransformerModel& model,
       rng_(rng) {
   check(cfg_.num_candidates >= 1, "DecodeConfig: num_candidates must be >= 1");
   check(cfg_.max_new_tokens >= 0, "DecodeConfig: max_new_tokens must be >= 0");
+  // softmax divides by the temperature, so a negative or non-finite value
+  // outside the exact greedy branch would silently decode garbage — reject
+  // it here with the field named rather than downstream.
+  check(std::isfinite(cfg_.temperature) && cfg_.temperature >= 0.0f,
+        "DecodeConfig: temperature must be finite and >= 0 (0 = greedy)");
   n_heads_ = std::min(cfg_.num_heads, model_.config().n_medusa_heads);
   check(n_heads_ >= 1, "speculative decoding needs at least one draft head");
   if (primed_prefix > 0) {
@@ -151,146 +156,261 @@ void DecodeSession::prime() {
                                         static_cast<std::size_t>(prefix_len_));
   out_.prefill_positions = prime_session(model_, sess_, suffix, h_);
   out_.positions += out_.prefill_positions;
+  // Only the final prompt row seeds the first draft (base and head logits
+  // were always read at rows()-1); dropping the rest keeps the draft
+  // scoring request at one row per session instead of the whole prompt.
+  if (h_.rows() > 1) {
+    nn::Tensor last(1, h_.cols());
+    std::copy(h_.row(h_.rows() - 1), h_.row(h_.rows() - 1) + h_.cols(), last.row(0));
+    h_ = std::move(last);
+  }
   primed_ = true;
 }
 
 bool DecodeSession::step() {
-  if (done_) return false;
+  for (;;) {
+    const StepState st = advance();
+    if (st == StepState::NeedScores) {
+      score_local();
+      continue;
+    }
+    return st == StepState::StepDone;
+  }
+}
+
+StepState DecodeSession::advance() {
   const auto start = Clock::now();
+  StepState st = StepState::Finished;
+  switch (phase_) {
+    case Phase::Idle:
+      st = begin_step();
+      break;
+    case Phase::AwaitDraft:
+      check(scores_ready_, "advance: draft scores not supplied");
+      st = consume_draft();
+      break;
+    case Phase::AwaitChain:
+      check(scores_ready_, "advance: chain scores not supplied");
+      consume_chain();
+      st = run_candidates();
+      break;
+  }
+  out_.wall_seconds += seconds_since(start);
+  return st;
+}
+
+const ScoreRequest& DecodeSession::request() const {
+  check(phase_ != Phase::Idle, "request: no pending score request");
+  return req_;
+}
+
+void DecodeSession::supply(Scores scores) {
+  check(phase_ != Phase::Idle, "supply: no pending score request");
+  check(!scores_ready_, "supply: scores already supplied");
+  check(scores.lm.rows() == req_.hidden.rows() &&
+            scores.lm.cols() == model_.config().vocab,
+        "supply: lm logits shape mismatch");
+  check(static_cast<int>(scores.heads.size()) == req_.n_heads,
+        "supply: draft head count mismatch");
+  for (const nn::Tensor& ht : scores.heads) {
+    check(ht.rows() == req_.hidden.rows() && ht.cols() == model_.config().vocab,
+          "supply: head logits shape mismatch");
+  }
+  scores_ = std::move(scores);
+  scores_ready_ = true;
+}
+
+void DecodeSession::score_local() {
+  const auto start = Clock::now();
+  Scores s;
+  s.lm = model_.infer_lm_logits(req_.hidden);
+  s.heads.reserve(static_cast<std::size_t>(req_.n_heads));
+  for (int k = 0; k < req_.n_heads; ++k) {
+    s.heads.push_back(model_.infer_head_logits(req_.hidden, k));
+  }
+  out_.wall_seconds += seconds_since(start);
+  supply(std::move(s));
+}
+
+StepState DecodeSession::begin_step() {
+  if (done_) return StepState::Finished;
   if (!primed_) prime();
   if (generated_ >= cfg_.max_new_tokens ||
       sess_.len() + n_heads_ + 2 >= model_.config().max_seq) {
     done_ = true;
-    out_.wall_seconds += seconds_since(start);
-    return false;
+    return StepState::Finished;
   }
+  // --- draft: pause for base + head logits of the current row -----------
+  req_.hidden = h_;
+  req_.n_heads = n_heads_;
+  scores_ready_ = false;
+  phase_ = Phase::AwaitDraft;
+  return StepState::NeedScores;
+}
 
-  // --- draft: base top-k candidates + one chain from the heads ----------
-  const nn::Tensor base_logits_t = sess_.lm_logits(h_);
-  const std::vector<float> base_logits = row_of(base_logits_t, base_logits_t.rows() - 1);
+StepState DecodeSession::consume_draft() {
+  scores_ready_ = false;
+  base_logits_ = row_of(scores_.lm, 0);
 
-  std::vector<int> first_tokens;
+  first_tokens_.clear();
   if (cfg_.temperature > 0.0f) {
-    first_tokens.push_back(pick_token(base_logits, cfg_.temperature, rng_));
-    for (const int t : top_k_indices(base_logits, cfg_.num_candidates)) {
-      if (static_cast<int>(first_tokens.size()) >= cfg_.num_candidates) break;
-      if (t != first_tokens[0]) first_tokens.push_back(t);
+    first_tokens_.push_back(pick_token(base_logits_, cfg_.temperature, rng_));
+    for (const int t : top_k_indices(base_logits_, cfg_.num_candidates)) {
+      if (static_cast<int>(first_tokens_.size()) >= cfg_.num_candidates) break;
+      if (t != first_tokens_[0]) first_tokens_.push_back(t);
     }
   } else {
-    first_tokens = top_k_indices(base_logits, cfg_.num_candidates);
+    first_tokens_ = top_k_indices(base_logits_, cfg_.num_candidates);
   }
 
-  std::vector<int> head_tokens(static_cast<std::size_t>(n_heads_));
+  head_tokens_.assign(static_cast<std::size_t>(n_heads_), 0);
   for (int k = 0; k < n_heads_; ++k) {
-    const nn::Tensor hl = sess_.head_logits(h_, k);
-    const std::vector<float> row = row_of(hl, hl.rows() - 1);
-    head_tokens[static_cast<std::size_t>(k)] =
+    const std::vector<float> row = row_of(scores_.heads[static_cast<std::size_t>(k)], 0);
+    head_tokens_[static_cast<std::size_t>(k)] =
         pick_token(row, /*temperature=*/0.0f, rng_);
   }
+  scores_ = Scores();  // vocab-wide logits are dead scratch past this point
 
   // --- verify each candidate chain, keep the longest accepted prefix ----
-  const int base_len = sess_.len();
-  const float prob_temp = cfg_.temperature > 0.0f ? cfg_.temperature : 1.0f;
-  int best_accepted = 0;
-  std::vector<int> best_chain;
-  nn::Tensor best_hidden;
-  std::size_t best_c = 0;
-  std::size_t last_fed = static_cast<std::size_t>(-1);
+  base_len_ = sess_.len();
+  prob_temp_ = cfg_.temperature > 0.0f ? cfg_.temperature : 1.0f;
+  best_accepted_ = 0;
+  best_chain_.clear();
+  best_hidden_ = nn::Tensor();
+  best_c_ = 0;
+  last_fed_ = static_cast<std::size_t>(-1);
   // Base-distribution probabilities for first-token acceptance, shared by
   // every alternative candidate this step (computed at most once).
-  std::vector<float> base_probs;
+  base_probs_.clear();
+  cand_ = 0;
+  return run_candidates();
+}
 
-  for (std::size_t c = 0; c < first_tokens.size(); ++c) {
-    std::vector<int> chain;
-    chain.push_back(first_tokens[c]);
-    chain.insert(chain.end(), head_tokens.begin(), head_tokens.end());
+StepState DecodeSession::run_candidates() {
+  while (cand_ < first_tokens_.size()) {
+    const std::size_t c = cand_;
+    chain_.clear();
+    chain_.push_back(first_tokens_[c]);
+    chain_.insert(chain_.end(), head_tokens_.begin(), head_tokens_.end());
 
     // The primary candidate's first token came from the base model
     // itself (argmax / sample) and is always accepted; alternative
     // candidates must pass the acceptance rule for their first token.
     if (c > 0) {
       if (cfg_.temperature <= 0.0f) {
+        ++cand_;
         continue;  // greedy: only the argmax first token is lossless
       }
-      if (base_probs.empty()) base_probs = softmax(base_logits, prob_temp);
-      if (!cfg_.acceptance.accepts(base_probs, chain[0])) continue;
-    }
-    if (sess_.len() > base_len) sess_.truncate(base_len);
-    const nn::Tensor hs = sess_.feed(chain);
-    last_fed = c;
-    out_.positions += static_cast<long>(chain.size());
-    int accepted = 1;  // the base-model token is always accepted
-    if (chain[0] != cfg_.eos_id) {
-      const nn::Tensor lj = sess_.lm_logits(hs);  // logits for every row
-      for (int j = 1; j < static_cast<int>(chain.size()); ++j) {
-        const std::vector<float> logits_row = row_of(lj, j - 1);
-        const int tok = chain[static_cast<std::size_t>(j)];
-        bool ok = false;
-        if (cfg_.temperature <= 0.0f) {
-          // Greedy decoding: lossless — accept only the base argmax
-          // (MEDUSA's greedy verification).
-          int best = 0;
-          for (std::size_t v = 1; v < logits_row.size(); ++v) {
-            if (logits_row[v] > logits_row[static_cast<std::size_t>(best)]) {
-              best = static_cast<int>(v);
-            }
-          }
-          ok = tok == best;
-        } else {
-          // Sampling: typical acceptance (Eq. 1).
-          const std::vector<float> probs = softmax(logits_row, prob_temp);
-          ok = cfg_.acceptance.accepts(probs, tok);
-        }
-        if (!ok) break;
-        ++accepted;
-        if (tok == cfg_.eos_id) break;
+      if (base_probs_.empty()) base_probs_ = softmax(base_logits_, prob_temp_);
+      if (!cfg_.acceptance.accepts(base_probs_, chain_[0])) {
+        ++cand_;
+        continue;
       }
     }
-    // Fragment-integrity check (the paper's addition): the committed
-    // burst must end on a complete syntactic fragment, i.e. at the last
-    // [FRAG] boundary inside the accepted span.  EOS also closes a
-    // fragment.
-    if (cfg_.fragment_integrity && accepted > 1) {
-      int last_ok = 0;  // index of last fragment-closing token, -1 none
-      bool found = false;
-      for (int j = accepted - 1; j >= 0; --j) {
-        const int tok = chain[static_cast<std::size_t>(j)];
-        if (tok == cfg_.frag_id || tok == cfg_.eos_id) {
-          last_ok = j;
-          found = true;
-          break;
-        }
-      }
-      accepted = found ? last_ok + 1 : 1;
+    if (sess_.len() > base_len_) sess_.truncate(base_len_);
+    hs_ = sess_.feed(chain_);
+    last_fed_ = c;
+    out_.positions += static_cast<long>(chain_.size());
+    if (chain_[0] != cfg_.eos_id) {
+      // Pause for verification logits: the fed rows that have a drafted
+      // successor (the final row only predicts past the chain).
+      const int need = static_cast<int>(chain_.size()) - 1;
+      nn::Tensor rows(need, hs_.cols());
+      std::copy(hs_.data(),
+                hs_.data() + static_cast<std::size_t>(need) *
+                                 static_cast<std::size_t>(hs_.cols()),
+                rows.data());
+      req_.hidden = std::move(rows);
+      req_.n_heads = 0;
+      scores_ready_ = false;
+      phase_ = Phase::AwaitChain;
+      return StepState::NeedScores;
     }
-    if (accepted > best_accepted) {
-      best_accepted = accepted;
-      best_chain = chain;
-      best_hidden = hs;
-      best_c = c;
-    }
+    // First token is EOS: nothing to verify, the chain commits one token.
+    track_candidate(1);
+    ++cand_;
   }
-  check(best_accepted >= 1, "speculative step accepted nothing");
+  return commit();
+}
 
-  // --- commit ------------------------------------------------------------
-  std::vector<int> committed(best_chain.begin(),
-                             best_chain.begin() + best_accepted);
-  if (best_c == last_fed) {
+void DecodeSession::consume_chain() {
+  scores_ready_ = false;
+  int accepted = 1;  // the base-model token is always accepted
+  for (int j = 1; j < static_cast<int>(chain_.size()); ++j) {
+    const std::vector<float> logits_row = row_of(scores_.lm, j - 1);
+    const int tok = chain_[static_cast<std::size_t>(j)];
+    bool ok = false;
+    if (cfg_.temperature <= 0.0f) {
+      // Greedy decoding: lossless — accept only the base argmax
+      // (MEDUSA's greedy verification).
+      int best = 0;
+      for (std::size_t v = 1; v < logits_row.size(); ++v) {
+        if (logits_row[v] > logits_row[static_cast<std::size_t>(best)]) {
+          best = static_cast<int>(v);
+        }
+      }
+      ok = tok == best;
+    } else {
+      // Sampling: typical acceptance (Eq. 1).
+      const std::vector<float> probs = softmax(logits_row, prob_temp_);
+      ok = cfg_.acceptance.accepts(probs, tok);
+    }
+    if (!ok) break;
+    ++accepted;
+    if (tok == cfg_.eos_id) break;
+  }
+  scores_ = Scores();  // vocab-wide logits are dead scratch past this point
+  track_candidate(accepted);
+  ++cand_;
+}
+
+void DecodeSession::track_candidate(int accepted) {
+  // Fragment-integrity check (the paper's addition): the committed
+  // burst must end on a complete syntactic fragment, i.e. at the last
+  // [FRAG] boundary inside the accepted span.  EOS also closes a
+  // fragment.
+  if (cfg_.fragment_integrity && accepted > 1) {
+    int last_ok = 0;  // index of last fragment-closing token
+    bool found = false;
+    for (int j = accepted - 1; j >= 0; --j) {
+      const int tok = chain_[static_cast<std::size_t>(j)];
+      if (tok == cfg_.frag_id || tok == cfg_.eos_id) {
+        last_ok = j;
+        found = true;
+        break;
+      }
+    }
+    accepted = found ? last_ok + 1 : 1;
+  }
+  if (accepted > best_accepted_) {
+    best_accepted_ = accepted;
+    best_chain_ = chain_;
+    best_hidden_ = hs_;
+    best_c_ = cand_;
+  }
+}
+
+StepState DecodeSession::commit() {
+  check(best_accepted_ >= 1, "speculative step accepted nothing");
+  std::vector<int> committed(best_chain_.begin(),
+                             best_chain_.begin() + best_accepted_);
+  if (best_c_ == last_fed_) {
     // The winner was the last candidate fed: its KV rows are still in
     // the cache; just roll back the rejected tail.
-    sess_.truncate(base_len + best_accepted);
+    sess_.truncate(base_len_ + best_accepted_);
     // h := hidden row of the last committed token.
-    nn::Tensor h_new(1, best_hidden.cols());
-    std::copy(best_hidden.row(best_accepted - 1),
-              best_hidden.row(best_accepted - 1) + best_hidden.cols(),
+    nn::Tensor h_new(1, best_hidden_.cols());
+    std::copy(best_hidden_.row(best_accepted_ - 1),
+              best_hidden_.row(best_accepted_ - 1) + best_hidden_.cols(),
               h_new.row(0));
     h_ = std::move(h_new);
   } else {
-    sess_.truncate(base_len);
-    h_ = sess_.feed(committed);
+    sess_.truncate(base_len_);
+    const nn::Tensor hc = sess_.feed(committed);
     out_.positions += static_cast<long>(committed.size());
-    nn::Tensor h_new(1, h_.cols());
-    std::copy(h_.row(h_.rows() - 1), h_.row(h_.rows() - 1) + h_.cols(), h_new.row(0));
+    nn::Tensor h_new(1, hc.cols());
+    std::copy(hc.row(hc.rows() - 1), hc.row(hc.rows() - 1) + hc.cols(),
+              h_new.row(0));
     h_ = std::move(h_new);
   }
 
@@ -307,8 +427,8 @@ bool DecodeSession::step() {
     ++generated_;
   }
   out_.accepted_per_step.push_back(emitted > 0 ? emitted : 1);
-  out_.wall_seconds += seconds_since(start);
-  return !done_;
+  phase_ = Phase::Idle;
+  return done_ ? StepState::Finished : StepState::StepDone;
 }
 
 DecodeResult Decoder::speculative(std::span<const int> prompt_ids,

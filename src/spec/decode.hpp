@@ -16,13 +16,39 @@ namespace vsd::spec {
 
 struct DecodeConfig {
   int max_new_tokens = 200;
-  float temperature = 0.0f;  // 0 => greedy
+  float temperature = 0.0f;  // 0 => greedy; must be finite and >= 0
   int num_heads = 10;        // draft heads used per step (<= model heads)
   int num_candidates = 1;    // top-k base candidates kept per step
   TypicalAcceptance acceptance;
   bool fragment_integrity = false;  // true => "Ours"
   int frag_id = text::Tokenizer::kFrag;
   int eos_id = text::Tokenizer::kEos;
+};
+
+/// One forward request emitted by the fused-forward protocol (see
+/// DecodeSession::advance): `hidden` rows need base-LM logits and, when
+/// `n_heads > 0`, logits from draft heads 0..n_heads-1 over the same rows.
+/// Requests from many sessions can be stacked into one [B, D] pass — the
+/// scoring matmuls are row-independent, so fused and per-session logits
+/// are bit-identical.
+struct ScoreRequest {
+  nn::Tensor hidden;  // [n, D] rows to score
+  int n_heads = 0;    // draft heads wanted (0 => base LM only)
+};
+
+/// Logits answering a ScoreRequest, produced either locally (the serial
+/// path scores with the session's own model) or scattered back out of the
+/// scheduler's fused batch.
+struct Scores {
+  nn::Tensor lm;                  // [n, V]
+  std::vector<nn::Tensor> heads;  // n_heads tensors, each [n, V]
+};
+
+/// Where a DecodeSession stopped when advance() returned.
+enum class StepState {
+  NeedScores,  // request() awaits logits; hand them back via supply()
+  StepDone,    // one speculative iteration committed; more steps remain
+  Finished,    // the request is complete (EOS, budget, or empty prompt)
 };
 
 struct DecodeResult {
@@ -70,8 +96,28 @@ class DecodeSession {
 
   /// Advances decoding by one speculative iteration (the first call also
   /// primes the KV cache with the prompt).  Returns true while the request
-  /// has more steps to run.
+  /// has more steps to run.  Equivalent to driving the fused-forward
+  /// protocol below with local scoring.
   bool step();
+
+  /// Fused-forward protocol: one speculative step, split into a propose
+  /// stage (per-session work: priming, candidate feeds, acceptance) and
+  /// external score stages (the logits matmuls).  advance() runs the
+  /// session to its next scoring point; on NeedScores the caller scores
+  /// request() — locally, or fused with other sessions' requests into one
+  /// [B, D] x [D, V] pass — hands the logits back via supply(), and calls
+  /// advance() again.  StepDone/Finished mark the step boundary exactly
+  /// where step() would have returned.  Results are token-identical to
+  /// step() however the scoring is batched.
+  StepState advance();
+  /// The pending request; valid only after advance() returned NeedScores.
+  const ScoreRequest& request() const;
+  /// Fulfills the pending request; the next advance() resumes the step.
+  void supply(Scores scores);
+  /// Attributes a share of an externally-run (fused) scoring pass to this
+  /// request's wall_seconds, keeping per-request timings comparable with
+  /// the serial path, where step() times the scoring locally.
+  void credit_wall(double seconds) { out_.wall_seconds += seconds; }
 
   bool done() const { return done_; }
   const DecodeResult& result() const { return out_; }
@@ -81,7 +127,16 @@ class DecodeSession {
   const Rng& rng() const { return rng_; }
 
  private:
+  enum class Phase { Idle, AwaitDraft, AwaitChain };
+
   void prime();
+  StepState begin_step();
+  StepState consume_draft();
+  StepState run_candidates();
+  void consume_chain();
+  void track_candidate(int accepted);
+  StepState commit();
+  void score_local();
 
   const nn::TransformerModel& model_;
   nn::InferSession& sess_;
@@ -95,6 +150,28 @@ class DecodeSession {
   int prefix_len_ = 0;  // prompt tokens already in the KV cache
   bool primed_ = false;
   bool done_ = false;
+
+  // Fused-forward protocol state: where the in-progress step paused, the
+  // request it paused on, and the candidate-verification loop locals that
+  // must survive across the pause.
+  Phase phase_ = Phase::Idle;
+  ScoreRequest req_;
+  Scores scores_;
+  bool scores_ready_ = false;
+  std::vector<float> base_logits_;
+  std::vector<float> base_probs_;
+  std::vector<int> first_tokens_;
+  std::vector<int> head_tokens_;
+  std::vector<int> chain_;  // candidate currently being verified
+  nn::Tensor hs_;           // hidden rows of the fed chain
+  std::size_t cand_ = 0;
+  int base_len_ = 0;
+  float prob_temp_ = 1.0f;
+  int best_accepted_ = 0;
+  std::vector<int> best_chain_;
+  nn::Tensor best_hidden_;
+  std::size_t best_c_ = 0;
+  std::size_t last_fed_ = static_cast<std::size_t>(-1);
 };
 
 /// One prompt of a batched decode (Decoder::speculative_batch).

@@ -319,6 +319,11 @@ TEST(Model, SnapshotRestoreRejectsBadLengths) {
   const KvSnapshot snap = sess.snapshot(3);
   EXPECT_THROW(sess.restore(snap, 0), Error);
   EXPECT_THROW(sess.restore(snap, 4), Error);
+  // Only -1 means "restore everything"; other negatives are caller
+  // arithmetic gone wrong and must not silently restore the full snapshot.
+  EXPECT_THROW(sess.restore(snap, -5), Error);
+  sess.restore(snap, -1);
+  EXPECT_EQ(sess.len(), 3);
 }
 
 TEST(Model, TrainAndInferPathsAgreeEncoderDecoder) {
@@ -381,6 +386,72 @@ TEST(Model, HeadLrMultiplierIsFour) {
 }
 
 // --- optimizer / schedule ---------------------------------------------------
+
+TEST(Tensor, KOuterMatmulBitIdenticalToRowMajor) {
+  // The fused serving forward relies on matmul_acc_kouter producing
+  // exactly the floats matmul_acc would: same ascending-k accumulation
+  // per output element, just a different streaming order.
+  Rng rng(17);
+  const int m = 5;
+  const int k = 7;
+  const int n = 11;
+  const Tensor a = Tensor::randn(m, k, 1.0f, rng);
+  const Tensor b = Tensor::randn(k, n, 1.0f, rng);
+  Tensor c_ref(m, n);
+  Tensor c_fused(m, n);
+  matmul_acc(a.data(), b.data(), c_ref.data(), m, k, n);
+  matmul_acc_kouter(a.data(), b.data(), c_fused.data(), m, k, n);
+  for (std::size_t i = 0; i < c_ref.size(); ++i) {
+    EXPECT_EQ(c_ref.data()[i], c_fused.data()[i]) << "element " << i;
+  }
+}
+
+TEST(Model, BatchedScoringBitIdenticalToPerRowCalls) {
+  // infer_lm_logits / infer_head_logits are row-independent: scoring a
+  // [B, D] stack gathered from many sessions must be bit-identical to B
+  // separate [1, D] calls.  This is the contract the scheduler's fused
+  // batched forward stands on.
+  ModelConfig cfg;
+  cfg.vocab = 32;
+  cfg.d_model = 16;
+  cfg.n_layers = 1;
+  cfg.n_heads = 2;
+  cfg.d_ff = 32;
+  cfg.max_seq = 32;
+  cfg.n_medusa_heads = 3;
+  TransformerModel m(cfg, 5);
+  Rng rng(9);
+  const int batch = 6;
+  const Tensor stacked = Tensor::randn(batch, cfg.d_model, 1.0f, rng);
+
+  const Tensor lm_batched = m.infer_lm_logits(stacked);
+  ASSERT_EQ(lm_batched.rows(), batch);
+  ASSERT_EQ(lm_batched.cols(), cfg.vocab);
+  for (int r = 0; r < batch; ++r) {
+    Tensor row(1, cfg.d_model);
+    std::copy(stacked.row(r), stacked.row(r) + cfg.d_model, row.row(0));
+    const Tensor lm_single = m.infer_lm_logits(row);
+    for (int j = 0; j < cfg.vocab; ++j) {
+      EXPECT_EQ(lm_batched.at(r, j), lm_single.at(0, j))
+          << "lm row " << r << " col " << j;
+    }
+    for (int k = 0; k < cfg.n_medusa_heads; ++k) {
+      const Tensor hk_batched = m.infer_head_logits(stacked, k);
+      const Tensor hk_single = m.infer_head_logits(row, k);
+      for (int j = 0; j < cfg.vocab; ++j) {
+        EXPECT_EQ(hk_batched.at(r, j), hk_single.at(0, j))
+            << "head " << k << " row " << r << " col " << j;
+      }
+    }
+  }
+  // The InferSession methods are thin delegates of the same scorers.
+  InferSession sess(m);
+  const Tensor via_session = sess.lm_logits(stacked);
+  for (std::size_t i = 0; i < via_session.size(); ++i) {
+    EXPECT_EQ(via_session.data()[i], lm_batched.data()[i]);
+  }
+  EXPECT_THROW(m.infer_head_logits(stacked, cfg.n_medusa_heads), Error);
+}
 
 TEST(Optim, AdamWReducesQuadraticLoss) {
   // Minimise ||w - target||^2 via autograd on a 1x4 parameter.

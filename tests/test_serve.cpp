@@ -12,6 +12,7 @@
 #include "serve/json.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/scheduler.hpp"
+#include "serve/session_cache.hpp"
 #include "serve/thread_pool.hpp"
 #include "spec/trainer.hpp"
 
@@ -177,6 +178,50 @@ TEST(RequestQueue, DrainsRemainingItemsAfterClose) {
   EXPECT_TRUE(q.pop().has_value());
   EXPECT_TRUE(q.pop().has_value());
   EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(RequestQueue, PopBurstDrainsAtomicallyInFifoOrder) {
+  RequestQueue q(8);
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_TRUE(q.push(make_request(i)));
+  const std::vector<Request> first = q.pop_burst(3);
+  ASSERT_EQ(first.size(), 3u);
+  for (std::uint64_t i = 0; i < 3; ++i) EXPECT_EQ(first[i].id, i);
+  // Asking for more than is queued hands over what exists, no blocking.
+  const std::vector<Request> rest = q.pop_burst(10);
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[0].id, 3u);
+  EXPECT_EQ(rest[1].id, 4u);
+  // max_n == 0 never blocks, even on an empty open queue.
+  EXPECT_TRUE(q.pop_burst(0).empty());
+  q.close();
+  EXPECT_TRUE(q.pop_burst(4).empty());  // closed and drained
+}
+
+TEST(RequestQueue, TryPopBurstIsNonBlocking) {
+  RequestQueue q(4);
+  EXPECT_TRUE(q.try_pop_burst(4).empty());
+  EXPECT_TRUE(q.push(make_request(7)));
+  EXPECT_TRUE(q.push(make_request(8)));
+  const std::vector<Request> got = q.try_pop_burst(4);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].id, 7u);
+  EXPECT_EQ(got[1].id, 8u);
+}
+
+TEST(RequestQueue, PopBurstWakesOnCloseAndFreesProducers) {
+  RequestQueue q(2);
+  std::thread consumer([&q] { EXPECT_TRUE(q.pop_burst(4).empty()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  q.close();
+  consumer.join();
+  // Draining a full queue via burst pop unblocks a waiting push.
+  RequestQueue q2(1);
+  EXPECT_TRUE(q2.push(make_request(0)));
+  std::thread producer([&q2] { EXPECT_TRUE(q2.push(make_request(1))); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(q2.pop_burst(1).size(), 1u);
+  producer.join();
+  EXPECT_EQ(q2.size(), 1u);
 }
 
 // --- batched decoding on an overfit model ------------------------------------
@@ -353,6 +398,109 @@ TEST(Scheduler, WorkerCountDoesNotChangeResults) {
   const auto one = serve_with(1, 4);
   const auto four = serve_with(4, 4);
   EXPECT_EQ(one, four);
+}
+
+// --- fused batched forward ---------------------------------------------------
+
+// Runs `n` fixture prompts through a scheduler with the given shape and
+// returns the per-request token ids plus the run's stats.
+std::map<std::uint64_t, std::vector<int>> serve_ids(
+    const Fixture& f, int n, SchedulerOptions opts, ServeStats* stats_out,
+    SessionCache* cache = nullptr) {
+  const spec::DecodeConfig cfg = greedy_config();
+  const auto prompts = f.prompts(n);
+  RequestQueue queue(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    Request r;
+    r.id = i;
+    r.prompt_ids = prompts[i];
+    r.config = cfg;
+    r.seed = 90 + i;
+    queue.push(std::move(r));
+  }
+  queue.close();
+  opts.cache = cache;
+  std::map<std::uint64_t, std::vector<int>> ids;
+  Scheduler sched(*f.model, queue, opts);
+  const ServeStats stats = sched.run([&](const Request& req, spec::DecodeResult r) {
+    ids[req.id] = std::move(r.ids);
+  });
+  if (stats_out != nullptr) *stats_out = stats;
+  return ids;
+}
+
+TEST(Scheduler, FusedForwardTokenIdenticalToSerialAcrossShapes) {
+  // The tentpole contract: the fused [B, D] x [D, V] scoring pass changes
+  // how the logits matmuls are batched, never the tokens.  Check fused
+  // vs per-request serial decodes across worker/batch shapes, with and
+  // without the prompt-prefix cache.
+  const Fixture f;
+  const spec::Decoder dec(*f.model);
+  const spec::DecodeConfig cfg = greedy_config();
+  const int n = 6;
+  const auto prompts = f.prompts(n);
+  std::map<std::uint64_t, std::vector<int>> expected;
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    Rng rng(90 + i);
+    expected[i] = dec.speculative(prompts[i], cfg, rng).ids;
+  }
+
+  for (const auto& [workers, batch] : std::vector<std::pair<int, int>>{
+           {1, 1}, {1, 4}, {2, 3}, {4, 6}}) {
+    ServeStats stats;
+    const auto fused = serve_ids(
+        f, n, {.workers = workers, .batch = batch, .fuse = true}, &stats);
+    EXPECT_EQ(fused, expected) << "workers=" << workers << " batch=" << batch;
+    EXPECT_GT(stats.fused_rows, 0) << "fused pass did not engage";
+    EXPECT_GT(stats.fused_passes, 0);
+  }
+  // And through the prompt-prefix cache (restored prefixes + fused ticks).
+  SessionCache cache({.capacity = 8, .min_prefix = 2});
+  ServeStats cstats;
+  const auto cached = serve_ids(
+      f, n, {.workers = 2, .batch = 3, .fuse = true}, &cstats, &cache);
+  EXPECT_EQ(cached, expected);
+  EXPECT_GT(cstats.cached_positions, 0) << "cache never hit";
+}
+
+TEST(Scheduler, NoFuseEscapeHatchMatchesFusedAndSkipsFusedPasses) {
+  const Fixture f;
+  ServeStats fused_stats;
+  ServeStats serial_stats;
+  const auto fused = serve_ids(
+      f, 5, {.workers = 2, .batch = 4, .fuse = true}, &fused_stats);
+  const auto serial = serve_ids(
+      f, 5, {.workers = 2, .batch = 4, .fuse = false}, &serial_stats);
+  EXPECT_EQ(fused, serial);
+  EXPECT_EQ(fused_stats.ticks, serial_stats.ticks);
+  EXPECT_GT(fused_stats.fused_rows, 0);
+  EXPECT_EQ(serial_stats.fused_rows, 0);
+  EXPECT_EQ(serial_stats.fused_passes, 0);
+}
+
+TEST(Scheduler, IdleBurstIsBatchedIntoTheFirstTick) {
+  // A burst that is already queued when the scheduler wakes must fill
+  // every free slot before the first tick (burst admission drains the
+  // queue under one lock), so the tick count collapses to the longest
+  // request instead of restarting per request.
+  const Fixture f;
+  const spec::Decoder dec(*f.model);
+  const spec::DecodeConfig cfg = greedy_config();
+  const int n = 4;
+  const auto prompts = f.prompts(n);
+  long expected_ticks = 0;
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    Rng rng(90 + i);
+    const spec::DecodeResult r = dec.speculative(prompts[i], cfg, rng);
+    // A request occupies `steps` ticks, plus a final budget-check tick
+    // when it never hit EOS.
+    expected_ticks = std::max(expected_ticks,
+                              static_cast<long>(r.steps) + (r.hit_eos ? 0 : 1));
+  }
+  ServeStats stats;
+  serve_ids(f, n, {.workers = 2, .batch = n, .fuse = true}, &stats);
+  EXPECT_EQ(stats.max_in_flight, n);
+  EXPECT_EQ(stats.ticks, expected_ticks);
 }
 
 }  // namespace

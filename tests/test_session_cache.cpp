@@ -161,6 +161,78 @@ TEST(SessionCache, ByteBudgetBoundsTotalSize) {
   EXPECT_EQ(cache.stats().entries, 2u);
 }
 
+TEST(SessionCache, ConcurrentSameKeyInsertsKeepAccountingExact) {
+  // Two workers racing to capture the same prompt prefill (the scheduler
+  // does exactly this when a shared-preamble burst lands on an empty
+  // cache) must collapse to ONE surviving entry with exact byte
+  // accounting — no duplicate LRU entries, no leaked bytes.
+  const CacheFixture f;
+  SessionCache cache({.capacity = 8, .max_bytes = 1ull << 30, .min_prefix = 2});
+  const std::vector<int> shared = iota_ids(1, 10);
+  const nn::KvSnapshot proto = f.prefill(shared);
+  const std::size_t entry_bytes =
+      proto.byte_size() + shared.size() * sizeof(int);
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 25;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&f, &cache, &shared] {
+      for (int i = 0; i < kIters; ++i) {
+        cache.insert(shared, f.prefill(shared));
+        (void)cache.lookup(shared);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  const SessionCacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 1u);  // every insert refreshed the same key
+  EXPECT_EQ(s.bytes, entry_bytes);
+  EXPECT_EQ(s.insertions, static_cast<long>(kThreads) * kIters);
+  EXPECT_EQ(s.evictions, 0);
+  EXPECT_EQ(s.hits + s.misses, static_cast<long>(kThreads) * kIters);
+  const SessionCache::Match m = cache.lookup(shared);
+  EXPECT_EQ(m.len, static_cast<int>(shared.size()) - 1);
+}
+
+TEST(SessionCache, ConcurrentMixedKeyInsertsStayWithinBudget) {
+  // Same race, but each worker also inserts its own disjoint prefix: the
+  // shared key still dedups to one entry, per-worker keys each keep one,
+  // and total bytes equal the sum over surviving entries exactly.
+  const CacheFixture f;
+  SessionCache cache({.capacity = 16, .max_bytes = 1ull << 30, .min_prefix = 2});
+  const std::vector<int> shared = iota_ids(1, 8);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 10;
+  std::vector<std::vector<int>> own(kThreads);
+  for (int t = 0; t < kThreads; ++t) own[t] = iota_ids(10 + 7 * t, 6);
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&f, &cache, &shared, &own, t] {
+      for (int i = 0; i < kIters; ++i) {
+        cache.insert(shared, f.prefill(shared));
+        cache.insert(own[static_cast<std::size_t>(t)],
+                     f.prefill(own[static_cast<std::size_t>(t)]));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  std::size_t expected_bytes =
+      f.prefill(shared).byte_size() + shared.size() * sizeof(int);
+  for (int t = 0; t < kThreads; ++t) {
+    expected_bytes += f.prefill(own[static_cast<std::size_t>(t)]).byte_size() +
+                      own[static_cast<std::size_t>(t)].size() * sizeof(int);
+  }
+  const SessionCacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, static_cast<std::size_t>(kThreads) + 1);
+  EXPECT_EQ(s.bytes, expected_bytes);
+  EXPECT_EQ(s.insertions, static_cast<long>(kThreads) * kIters * 2);
+  EXPECT_EQ(s.evictions, 0);
+}
+
 TEST(SessionCache, ClearDropsEverything) {
   const CacheFixture f;
   SessionCache cache({.capacity = 4, .min_prefix = 2});

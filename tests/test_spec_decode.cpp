@@ -3,6 +3,9 @@
 // behaviour is deterministic.
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <memory>
+
 #include "spec/decode.hpp"
 #include "spec/trainer.hpp"
 
@@ -297,6 +300,180 @@ TEST(DecodeE2E, PrimedPrefixValidatesSessionState) {
   EXPECT_THROW(DecodeSession(*f.model, sess, prompt, cfg, Rng(1),
                              static_cast<int>(prompt.size())),
                Error);
+}
+
+TEST(DecodeE2E, TemperatureValidatedAtConstruction) {
+  // softmax divides logits by the temperature; a negative or non-finite
+  // value would silently fall into the greedy branch (or worse) instead of
+  // sampling.  The session ctor now rejects it with the field named.
+  Fixture f(Method::Ours);
+  Decoder dec(*f.model);
+  Rng rng(12);
+  DecodeConfig negative;
+  negative.num_heads = 6;
+  negative.temperature = -0.5f;
+  EXPECT_THROW(dec.speculative(f.full_prompt(), negative, rng), Error);
+  DecodeConfig nan_temp;
+  nan_temp.num_heads = 6;
+  nan_temp.temperature = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_THROW(dec.speculative(f.full_prompt(), nan_temp, rng), Error);
+  DecodeConfig sampled;  // a genuine sampling temperature still works
+  sampled.num_heads = 6;
+  sampled.max_new_tokens = 16;
+  sampled.temperature = 0.8f;
+  const DecodeResult r = dec.speculative(f.full_prompt(), sampled, rng);
+  EXPECT_GT(r.steps, 0);
+}
+
+// Scores a session's pending request with the model's batched scorers —
+// what DecodeSession::step does internally, written out the way an
+// external (fused) scorer would.
+Scores score_request(const nn::TransformerModel& model, const ScoreRequest& req) {
+  Scores s;
+  s.lm = model.infer_lm_logits(req.hidden);
+  for (int k = 0; k < req.n_heads; ++k) {
+    s.heads.push_back(model.infer_head_logits(req.hidden, k));
+  }
+  return s;
+}
+
+TEST(DecodeE2E, ProposeScoreProtocolMatchesStep) {
+  // Driving the session through advance()/request()/supply() with external
+  // scoring must reproduce step()'s results exactly — the protocol is the
+  // same step, merely paused at its scoring points.
+  Fixture f(Method::Ours);
+  Decoder dec(*f.model);
+  DecodeConfig cfg;
+  cfg.max_new_tokens = 32;
+  cfg.num_heads = 6;
+  cfg.fragment_integrity = true;
+  Rng rng(13);
+  const DecodeResult serial = dec.speculative(f.full_prompt(), cfg, rng);
+
+  nn::InferSession sess(*f.model);
+  DecodeSession driven(*f.model, sess, f.full_prompt(), cfg, Rng(13));
+  int steps_seen = 0;
+  for (;;) {
+    const StepState st = driven.advance();
+    if (st == StepState::NeedScores) {
+      driven.supply(score_request(*f.model, driven.request()));
+      continue;
+    }
+    if (st == StepState::StepDone) {
+      ++steps_seen;
+      continue;
+    }
+    break;  // Finished
+  }
+  const DecodeResult r = driven.take_result();
+  EXPECT_EQ(r.ids, serial.ids);
+  EXPECT_EQ(r.steps, serial.steps);
+  EXPECT_EQ(r.accepted_per_step, serial.accepted_per_step);
+  EXPECT_EQ(r.hit_eos, serial.hit_eos);
+  EXPECT_EQ(r.positions, serial.positions);
+  // StepDone fires once per committed iteration short of the final one.
+  EXPECT_EQ(steps_seen, serial.steps - 1);
+}
+
+TEST(DecodeE2E, FusedScoringAcrossSessionsIsTokenIdentical) {
+  // Two sessions interleaved tick by tick, their pending rows stacked into
+  // ONE [B, D] scoring pass per round: outputs must match per-request
+  // serial decodes bit for bit (the scoring matmuls are row-independent).
+  Fixture f(Method::Ours);
+  Decoder dec(*f.model);
+  DecodeConfig cfg;
+  cfg.max_new_tokens = 32;
+  cfg.num_heads = 6;
+  const std::vector<std::vector<int>> prompts = {
+      f.full_prompt(), {text::Tokenizer::kBos, 11, 12}};
+  std::vector<DecodeResult> serial;
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    Rng rng(50 + i);
+    serial.push_back(dec.speculative(prompts[i], cfg, rng));
+  }
+
+  std::vector<nn::InferSession> sessions;
+  sessions.emplace_back(*f.model);
+  sessions.emplace_back(*f.model);
+  std::vector<std::unique_ptr<DecodeSession>> live;
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    live.push_back(std::make_unique<DecodeSession>(*f.model, sessions[i],
+                                                   prompts[i], cfg, Rng(50 + i)));
+  }
+  while (live[0]->done() == false || live[1]->done() == false) {
+    // One "tick": every live session advances one full speculative step.
+    std::vector<DecodeSession*> pending;
+    for (auto& s : live) {
+      if (s->done()) continue;
+      if (s->advance() == StepState::NeedScores) pending.push_back(s.get());
+    }
+    while (!pending.empty()) {
+      // Gather: one stacked base-LM pass over every pending row.
+      int rows = 0;
+      for (DecodeSession* s : pending) rows += s->request().hidden.rows();
+      nn::Tensor all(rows, f.cfg.d_model);
+      int off = 0;
+      for (DecodeSession* s : pending) {
+        const nn::Tensor& h = s->request().hidden;
+        std::copy(h.data(), h.data() + h.size(), all.row(off));
+        off += h.rows();
+      }
+      const nn::Tensor lm = f.model->infer_lm_logits(all);
+      // Scatter + per-head fused passes over the subset that wants them.
+      off = 0;
+      std::vector<Scores> scores(pending.size());
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        const ScoreRequest& req = pending[i]->request();
+        scores[i].lm = nn::Tensor(req.hidden.rows(), f.cfg.vocab);
+        std::copy(lm.row(off), lm.row(off + req.hidden.rows() - 1) + lm.cols(),
+                  scores[i].lm.data());
+        off += req.hidden.rows();
+      }
+      for (int k = 0; k < cfg.num_heads; ++k) {
+        for (std::size_t i = 0; i < pending.size(); ++i) {
+          const ScoreRequest& req = pending[i]->request();
+          if (req.n_heads > k) {
+            scores[i].heads.push_back(f.model->infer_head_logits(req.hidden, k));
+          }
+        }
+      }
+      std::vector<DecodeSession*> next;
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        pending[i]->supply(std::move(scores[i]));
+        if (pending[i]->advance() == StepState::NeedScores) {
+          next.push_back(pending[i]);
+        }
+      }
+      pending = std::move(next);
+    }
+  }
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    const DecodeResult r = live[i]->take_result();
+    EXPECT_EQ(r.ids, serial[i].ids) << "request " << i;
+    EXPECT_EQ(r.steps, serial[i].steps) << "request " << i;
+    EXPECT_EQ(r.accepted_per_step, serial[i].accepted_per_step);
+    EXPECT_EQ(r.hit_eos, serial[i].hit_eos);
+  }
+}
+
+TEST(DecodeE2E, ProtocolMisuseIsRejected) {
+  Fixture f(Method::Ours);
+  DecodeConfig cfg;
+  cfg.num_heads = 6;
+  nn::InferSession sess(*f.model);
+  DecodeSession session(*f.model, sess, f.full_prompt(), cfg, Rng(1));
+  // No pending request yet: request()/supply() are contract errors.
+  EXPECT_THROW(session.request(), Error);
+  EXPECT_THROW(session.supply(Scores{}), Error);
+  ASSERT_EQ(session.advance(), StepState::NeedScores);
+  // advance() without scores, double-supply, and shape mismatches.
+  EXPECT_THROW(session.advance(), Error);
+  Scores wrong_shape;
+  wrong_shape.lm = nn::Tensor(1, 3);  // vocab is 48
+  EXPECT_THROW(session.supply(std::move(wrong_shape)), Error);
+  Scores missing_heads;
+  missing_heads.lm = nn::Tensor(1, f.cfg.vocab);
+  EXPECT_THROW(session.supply(std::move(missing_heads)), Error);
 }
 
 TEST(DecodeE2E, MeasureStepSecondsPositive) {
