@@ -1,0 +1,233 @@
+// GEMM kernel micro-bench (google-benchmark): the naive reference loops of
+// tensor.hpp vs the cache-blocked kernels of kernels.hpp vs the parallel
+// drivers of parallel.hpp, across the two shapes the model actually runs:
+//   * QKV / attention projections  [T, D] x [D, D]   (T = a drafted chain)
+//   * logit GEMMs                  [B, D] x [D, V]   (B = fused batch rows)
+//
+// Beyond the google-benchmark tables, the binary times a fixed
+// naive-vs-blocked-vs-parallel comparison itself (best-of rounds) and
+// emits the ledger row for scripts/bench.sh (`--json out.json` /
+// VSD_JSON=PATH, like every other bench).  The acceptance floor this bench
+// guards: on the logit shape the blocked parallel driver must beat naive
+// matmul_acc.  Every kernel is bit-identical to its reference — the bench
+// asserts that too, so a "fast but wrong" kernel can never post a number.
+//
+// Knobs: VSD_KERNEL_ROWS (fused batch rows B, default 16), VSD_KERNEL_REPS
+// (timing repetitions, default auto), VSD_COMPUTE_THREADS (parallel-driver
+// width, default hardware).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "nn/kernels.hpp"
+#include "nn/parallel.hpp"
+
+namespace {
+
+using namespace vsd;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kD = 64;     // d_model of the reproduction's models
+constexpr int kV = 384;    // trained tokenizer vocab
+constexpr int kChain = 11; // drafted chain rows fed per verification
+
+// --- google-benchmark registrations -----------------------------------------
+
+template <void (*Kernel)(const float*, const float*, float*, int, int, int)>
+void BM_Gemm(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  const int n = static_cast<int>(state.range(2));
+  Rng rng(5);
+  const nn::Tensor a = nn::Tensor::randn(m, k, 1.0f, rng);
+  const nn::Tensor b = nn::Tensor::randn(k, n, 1.0f, rng);
+  nn::Tensor c(m, n);
+  for (auto _ : state) {
+    c.fill(0.0f);
+    Kernel(a.data(), b.data(), c.data(), m, k, n);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2ll *
+                          m * k * n);
+}
+
+void register_gemm_benchmarks() {
+  const std::vector<std::vector<std::int64_t>> shapes = {
+      {1, kD, kD},     {kChain, kD, kD},   // QKV: one row / a drafted chain
+      {1, kD, kV},     {4, kD, kV},        // logits: single / small batch
+      {8, kD, kV},     {16, kD, kV},       // logits: fused batch rows
+  };
+  for (const auto& s : shapes) {
+    benchmark::RegisterBenchmark("naive", BM_Gemm<nn::matmul_acc>)->Args(s);
+    benchmark::RegisterBenchmark("kouter", BM_Gemm<nn::matmul_acc_kouter>)->Args(s);
+    benchmark::RegisterBenchmark("blocked", BM_Gemm<nn::matmul_acc_blocked>)->Args(s);
+    benchmark::RegisterBenchmark("parallel", BM_Gemm<nn::matmul_acc_parallel>)->Args(s);
+  }
+}
+
+// --- ledger comparison --------------------------------------------------------
+
+/// Best-of-rounds seconds per call for `kernel` on fresh-zeroed C.
+template <typename Fn>
+double time_kernel(const Fn& kernel, nn::Tensor& c, int reps, int rounds) {
+  double best = 1e30;
+  for (int r = 0; r < rounds; ++r) {
+    c.fill(0.0f);
+    const auto t0 = Clock::now();
+    for (int i = 0; i < reps; ++i) kernel();
+    const double dt =
+        std::chrono::duration<double>(Clock::now() - t0).count() / reps;
+    best = std::min(best, dt);
+  }
+  return best;
+}
+
+struct ShapeReport {
+  int m, k, n;
+  double naive_s = 0.0;
+  double kouter_s = 0.0;
+  double blocked_s = 0.0;
+  double parallel_s = 0.0;
+  bool identical = true;
+};
+
+ShapeReport compare_shape(int m, int k, int n, int reps) {
+  Rng rng(11);
+  const nn::Tensor a = nn::Tensor::randn(m, k, 1.0f, rng);
+  const nn::Tensor b = nn::Tensor::randn(k, n, 1.0f, rng);
+  nn::Tensor c(m, n);
+  constexpr int kRounds = 5;
+
+  ShapeReport rep{m, k, n};
+  rep.naive_s = time_kernel(
+      [&] { nn::matmul_acc(a.data(), b.data(), c.data(), m, k, n); }, c, reps,
+      kRounds);
+  nn::Tensor ref(m, n);
+  nn::matmul_acc(a.data(), b.data(), ref.data(), m, k, n);
+
+  const auto check_identical = [&](const char* name) {
+    nn::Tensor once(m, n);
+    if (std::strcmp(name, "kouter") == 0) {
+      nn::matmul_acc_kouter(a.data(), b.data(), once.data(), m, k, n);
+    } else if (std::strcmp(name, "blocked") == 0) {
+      nn::matmul_acc_blocked(a.data(), b.data(), once.data(), m, k, n);
+    } else {
+      nn::matmul_acc_parallel(a.data(), b.data(), once.data(), m, k, n);
+    }
+    if (std::memcmp(once.data(), ref.data(), ref.size() * sizeof(float)) != 0) {
+      rep.identical = false;
+      std::fprintf(stderr, "kernel %s NOT bit-identical at [%d,%d]x[%d,%d]\n",
+                   name, m, k, k, n);
+    }
+  };
+
+  rep.kouter_s = time_kernel(
+      [&] { nn::matmul_acc_kouter(a.data(), b.data(), c.data(), m, k, n); }, c,
+      reps, kRounds);
+  check_identical("kouter");
+  rep.blocked_s = time_kernel(
+      [&] { nn::matmul_acc_blocked(a.data(), b.data(), c.data(), m, k, n); }, c,
+      reps, kRounds);
+  check_identical("blocked");
+  rep.parallel_s = time_kernel(
+      [&] { nn::matmul_acc_parallel(a.data(), b.data(), c.data(), m, k, n); },
+      c, reps, kRounds);
+  check_identical("parallel");
+  return rep;
+}
+
+void print_report(const ShapeReport& r, const char* label) {
+  std::printf(
+      "%-18s [%2d,%3d]x[%3d,%3d]: naive %8.0f ns  kouter %8.0f ns  "
+      "blocked %8.0f ns  parallel %8.0f ns  (blocked %.2fx, parallel %.2fx "
+      "vs naive)%s\n",
+      label, r.m, r.k, r.k, r.n, r.naive_s * 1e9, r.kouter_s * 1e9,
+      r.blocked_s * 1e9, r.parallel_s * 1e9, r.naive_s / r.blocked_s,
+      r.naive_s / r.parallel_s, r.identical ? "" : "  BIT-IDENTITY FAILED");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Peel off this repo's --json flag before google-benchmark sees argv (it
+  // rejects flags it does not know).  Discovery reuses the shared helper.
+  const char* json_path = vsd::bench::json_out_path(argc, argv);
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      ++i;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--json=", 7) == 0) continue;
+    passthrough.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  register_gemm_benchmarks();
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+
+  // --- ledger comparison: the shapes the serving stack actually runs ------
+  const int fused_rows = eval::env_int("VSD_KERNEL_ROWS", 16);
+  const int threads = vsd::nn::compute_threads();
+  const ShapeReport qkv = compare_shape(kChain, kD, kD,
+                                        eval::env_int("VSD_KERNEL_REPS", 4000));
+  const ShapeReport logits = compare_shape(
+      fused_rows, kD, kV, eval::env_int("VSD_KERNEL_REPS", 1000));
+  std::printf("\n# kernel ledger (compute_threads=%d, best of 5 rounds)\n",
+              threads);
+  print_report(qkv, "qkv chain");
+  print_report(logits, "logits fused");
+
+  // Acceptance floor: on the [B, D] x [D, V] logit shape — the GEMM behind
+  // the fused batched forward — the blocked parallel driver must beat the
+  // naive reference loop, with bit-identical output.
+  const double parallel_speedup = logits.naive_s / logits.parallel_s;
+  const double blocked_speedup = logits.naive_s / logits.blocked_s;
+  const bool identical = qkv.identical && logits.identical;
+  const bool floor_ok = parallel_speedup > 1.0;
+  std::printf("logit-shape floor: parallel %.2fx vs naive (>1.0x %s), "
+              "bit-identity %s\n",
+              parallel_speedup, floor_ok ? "PASS" : "FAIL",
+              identical ? "PASS" : "FAIL");
+
+  if (json_path != nullptr) {
+    const vsd::bench::Scale scale = vsd::bench::Scale::from_env();
+    std::FILE* f = vsd::bench::open_json(json_path, "bench_kernels", scale);
+    const auto shape_json = [&](const ShapeReport& r) {
+      char buf[320];
+      std::snprintf(
+          buf, sizeof(buf),
+          "{\"m\": %d, \"k\": %d, \"n\": %d, \"naive_ns\": %.0f, "
+          "\"kouter_ns\": %.0f, \"blocked_ns\": %.0f, \"parallel_ns\": %.0f, "
+          "\"blocked_speedup\": %.3f, \"parallel_speedup\": %.3f, "
+          "\"bit_identical\": %s}",
+          r.m, r.k, r.n, r.naive_s * 1e9, r.kouter_s * 1e9, r.blocked_s * 1e9,
+          r.parallel_s * 1e9, r.naive_s / r.blocked_s, r.naive_s / r.parallel_s,
+          r.identical ? "true" : "false");
+      return std::string(buf);
+    };
+    std::fprintf(f,
+                 "  \"compute_threads\": %d,\n"
+                 "  \"qkv_chain\": %s,\n"
+                 "  \"logits_fused\": %s,\n"
+                 "  \"logit_parallel_speedup\": %.3f,\n"
+                 "  \"logit_blocked_speedup\": %.3f,\n"
+                 "  \"floor_parallel_beats_naive\": %s,\n"
+                 "  \"bit_identical\": %s\n}\n",
+                 threads, shape_json(qkv).c_str(), shape_json(logits).c_str(),
+                 parallel_speedup, blocked_speedup, floor_ok ? "true" : "false",
+                 identical ? "true" : "false");
+    std::fclose(f);
+    std::printf("# wrote %s\n", json_path);
+  }
+  return floor_ok && identical ? 0 : 1;
+}

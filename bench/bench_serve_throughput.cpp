@@ -26,14 +26,26 @@
 // outputs — the claim that batching amortizes the weight streaming, not
 // just the latency model.
 //
-// Knobs: VSD_PROMPTS (>= 8 enforced), VSD_WORKERS (4), VSD_BATCH (4),
-// VSD_CACHE (16 warm entries), plus the usual training-scale knobs;
-// `--json out.json` writes the ledger row.
+// Thread sizing: the serial baseline (and the fused/unfused 1t pair) run
+// at --compute-threads 1 — the exact pre-PR execution path, reference
+// kernels on one thread.  The batched and cached passes run with the
+// compute-kernel layer engaged (VSD_COMPUTE_THREADS, default
+// max(2, hardware)): blocked GEMM kernels, the pool-partitioned drivers,
+// and the scheduler's concurrent head passes where the hardware has cores
+// for them.  That pair is the bench's headline: `speedup_wall` compares
+// the full serving stack against the pre-PR serial loop and must exceed
+// 1.0 at batch >= 4 — model-level speedups have to show up on the wall
+// clock.  Tokens are asserted identical across all of it.
+//
+// Knobs: VSD_PROMPTS (>= 8 enforced), VSD_WORKERS (min(4, hardware)),
+// VSD_BATCH (4), VSD_CACHE (16 warm entries), VSD_COMPUTE_THREADS, plus
+// the usual training-scale knobs; `--json out.json` writes the ledger row.
 #include <algorithm>
 #include <chrono>
 #include <thread>
 
 #include "bench_common.hpp"
+#include "nn/parallel.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/session_cache.hpp"
@@ -54,17 +66,28 @@ double since(Clock::time_point t0) {
 int main(int argc, char** argv) {
   Scale scale = Scale::from_env();
   scale.prompts = std::max(8, scale.prompts);  // acceptance floor
-  const int workers = eval::env_int("VSD_WORKERS", 4);
+  // Workers sized to the hardware: parking four OS threads on one core is
+  // how the ledger once recorded a 0.97x wall "speedup".
+  const int workers = eval::env_int("VSD_WORKERS", std::min(4, nn::hardware_threads()));
   const int batch = eval::env_int("VSD_BATCH", 4);
   const int cache_cap = eval::env_int("VSD_CACHE", 16);
+  // The batched passes run with the compute pool sized to the hardware
+  // (identical tokens either way; on a single-core host that resolves to
+  // the serial reference path, so nothing is oversubscribed).
+  const int compute_threads =
+      eval::env_int("VSD_COMPUTE_THREADS", nn::hardware_threads());
   scale.print("Serving throughput — serial loop vs continuous batching");
-  std::printf("# serve shape: workers=%d batch=%d prompts=%d cache=%d\n",
-              workers, batch, scale.prompts, cache_cap);
+  std::printf(
+      "# serve shape: workers=%d batch=%d prompts=%d cache=%d compute-threads=%d"
+      " (hardware %d)\n",
+      workers, batch, scale.prompts, cache_cap, compute_threads,
+      nn::hardware_threads());
 
   const Workbench wb = Workbench::build(scale);
   const eval::TrainedSystem sys =
       wb.train(spec::Method::Ours, /*encoder_decoder=*/false, 1.0, scale);
   const spec::Decoder dec(*sys.model);
+  nn::set_compute_threads(1);  // pre-PR serial path for baseline + t_step
   const double t_step = dec.measure_step_seconds(64);
 
   // The same admission path `vsd serve` uses, at temperature 0 so the
@@ -87,19 +110,32 @@ int main(int argc, char** argv) {
   }
 
   // --- serial loop: one request at a time --------------------------------
+  // An untimed warm-up decode first, then best of two timed sweeps: the
+  // first pass through a fresh process is consistently slower (pages,
+  // allocator, branch history), and this baseline anchors every speedup
+  // the ledger reports.
   std::vector<spec::DecodeResult> serial(static_cast<std::size_t>(n));
-  const auto t_serial = Clock::now();
+  {
+    Rng rng(requests[0].seed);
+    (void)dec.speculative(requests[0].prompt_ids, requests[0].config, rng);
+  }
   long serial_steps = 0;
   long serial_prefill = 0;
-  for (int i = 0; i < n; ++i) {
-    Rng rng(requests[static_cast<std::size_t>(i)].seed);
-    serial[static_cast<std::size_t>(i)] =
-        dec.speculative(requests[static_cast<std::size_t>(i)].prompt_ids,
-                        requests[static_cast<std::size_t>(i)].config, rng);
-    serial_steps += serial[static_cast<std::size_t>(i)].steps;
-    serial_prefill += serial[static_cast<std::size_t>(i)].prefill_positions;
+  double serial_wall = 1e30;
+  for (int round = 0; round < 2; ++round) {
+    const auto t_serial = Clock::now();
+    serial_steps = 0;
+    serial_prefill = 0;
+    for (int i = 0; i < n; ++i) {
+      Rng rng(requests[static_cast<std::size_t>(i)].seed);
+      serial[static_cast<std::size_t>(i)] =
+          dec.speculative(requests[static_cast<std::size_t>(i)].prompt_ids,
+                          requests[static_cast<std::size_t>(i)].config, rng);
+      serial_steps += serial[static_cast<std::size_t>(i)].steps;
+      serial_prefill += serial[static_cast<std::size_t>(i)].prefill_positions;
+    }
+    serial_wall = std::min(serial_wall, since(t_serial));
   }
-  const double serial_wall = since(t_serial);
 
   // --- batched: the serving stack (queue + scheduler + pool) -------------
   const auto run_serving = [&](int run_workers, bool fuse,
@@ -125,8 +161,17 @@ int main(int argc, char** argv) {
     producer.join();
     return stats;
   };
+  // The batched pass is the headline wall number: best of two runs to
+  // shed scheduler noise (outputs are identical by construction, which the
+  // parity block below asserts against the serial loop).
+  nn::set_compute_threads(compute_threads);
   std::vector<spec::DecodeResult> batched(static_cast<std::size_t>(n));
-  const serve::ServeStats stats = run_serving(workers, true, nullptr, batched);
+  serve::ServeStats stats = run_serving(workers, true, nullptr, batched);
+  {
+    std::vector<spec::DecodeResult> scratch(static_cast<std::size_t>(n));
+    const serve::ServeStats b2 = run_serving(workers, true, nullptr, scratch);
+    if (b2.wall_seconds < stats.wall_seconds) stats = b2;
+  }
 
   // --- cached: same stack behind the prompt-prefix KV cache --------------
   serve::SessionCache cache(
@@ -138,9 +183,11 @@ int main(int argc, char** argv) {
   // --- fused vs unfused at ONE worker: the single-core wall-clock claim --
   // The latency model already credits a tick as one shared pass; this pair
   // isolates what fusing the logits matmuls buys in raw single-thread wall
-  // clock, with the thread pool held at one worker on both sides so only
-  // the batching of the [B, D] x [D, V] scoring differs.  Best of two runs
-  // per side to shed scheduler noise.
+  // clock, with the thread pool held at one worker — and the compute pool
+  // at one thread — on both sides so only the batching of the
+  // [B, D] x [D, V] scoring differs.  Best of two runs per side to shed
+  // scheduler noise.
+  nn::set_compute_threads(1);
   std::vector<spec::DecodeResult> unfused_1t(static_cast<std::size_t>(n));
   std::vector<spec::DecodeResult> fused_1t(static_cast<std::size_t>(n));
   serve::ServeStats ustats = run_serving(1, false, nullptr, unfused_1t);
@@ -201,7 +248,12 @@ int main(int argc, char** argv) {
   // under the latency model.  Narrower batches (a user knob) note a missed
   // floor without failing the run.
   const double speedup_model = batched_rps_model / serial_rps_model;
+  const double speedup_wall = batched_rps_wall / serial_rps_wall;
   const bool speedup_ok = batch < 4 || speedup_model >= 2.0;
+  // The wall floor this PR exists for: with the compute-kernel layer
+  // engaged, batched serving must beat the pre-PR serial loop in real
+  // time, not just under the latency model.
+  const bool wall_ok = batch < 4 || speedup_wall > 1.0;
   const char* speedup_note = "";
   if (!speedup_ok) {
     speedup_note = "; speedup FLOOR (>=2x at batch>=4) FAILED";
@@ -222,9 +274,12 @@ int main(int argc, char** argv) {
   const double fused_speedup_wall =
       ustats.wall_seconds / std::max(fstats.wall_seconds, 1e-12);
   const bool fused_ok = batch < 4 || fused_speedup_wall > 1.0;
-  std::printf("\nspeedup: %.2fx (model), %.2fx (wall); parity at T=0: %s%s\n",
-              speedup_model, batched_rps_wall / serial_rps_wall,
-              parity ? "PASS" : "FAIL", speedup_note);
+  std::printf(
+      "\nspeedup: %.2fx (model), %.2fx (wall, compute-threads=%d); parity at "
+      "T=0: %s%s%s\n",
+      speedup_model, speedup_wall, compute_threads, parity ? "PASS" : "FAIL",
+      speedup_note,
+      wall_ok ? "" : "; wall SPEEDUP FLOOR (>1x at batch>=4) FAILED");
   std::printf(
       "fused forward: %.3fs -> %.3fs single-thread wall (%.2fx, %ld rows in "
       "%ld passes); fused parity at T=0: %s%s\n",
@@ -243,7 +298,8 @@ int main(int argc, char** argv) {
     std::FILE* f = open_json(path, "bench_serve_throughput", scale);
     std::fprintf(
         f,
-        "  \"n_prompts\": %d,\n  \"workers\": %d,\n  \"batch\": %d,\n"
+        "  \"n_prompts\": %d,\n  \"workers\": %d,\n  \"compute_threads\": %d,\n"
+        "  \"batch\": %d,\n"
         "  \"cache_capacity\": %d,\n"
         "  \"t_step_seconds\": %.6e,\n"
         "  \"serial\": {\"steps\": %ld, \"wall_s\": %.4f, "
@@ -265,7 +321,8 @@ int main(int argc, char** argv) {
         "  \"prefill_saved_frac\": %.4f,\n"
         "  \"parity_temp0\": %s,\n  \"cached_parity_temp0\": %s,\n"
         "  \"fused_parity_temp0\": %s\n}\n",
-        n, workers, batch, cache_cap, t_step, serial_steps, serial_wall,
+        n, workers, compute_threads, batch, cache_cap, t_step, serial_steps,
+        serial_wall,
         serial_rps_model, serial_rps_wall, serial_prefill, stats.ticks,
         stats.max_in_flight, stats.wall_seconds, batched_rps_model,
         batched_rps_wall, stats.prefill_positions, cstats.ticks,
@@ -275,13 +332,13 @@ int main(int argc, char** argv) {
         cache_stats.entries, cache_stats.bytes, ustats.ticks,
         ustats.wall_seconds, fstats.ticks, fstats.wall_seconds,
         fstats.fused_rows, fstats.fused_passes, fused_speedup_wall,
-        speedup_model, batched_rps_wall / serial_rps_wall, prefill_saved_frac,
+        speedup_model, speedup_wall, prefill_saved_frac,
         parity ? "true" : "false", cached_parity ? "true" : "false",
         fused_parity ? "true" : "false");
     std::fclose(f);
     std::printf("# wrote %s\n", path);
   }
-  return parity && cached_parity && fused_parity && speedup_ok &&
+  return parity && cached_parity && fused_parity && speedup_ok && wall_ok &&
                  prefill_reduced && fused_ok
              ? 0
              : 1;

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Builds the tree and runs the perf-ledger benches.  Each bench writes its
 # own machine-readable JSON via --json (no stdout scraping):
-#   BENCH_table2.json — Table-II speed grid (Ours / Medusa / NTP)
-#   BENCH_serve.json  — serial loop vs continuous-batching serving
-#                       throughput (requests/sec, wall + latency model)
+#   BENCH_table2.json  — Table-II speed grid (Ours / Medusa / NTP)
+#   BENCH_serve.json   — serial loop vs continuous-batching serving
+#                        throughput (requests/sec, wall + latency model)
+#   BENCH_kernels.json — blocked/parallel GEMM kernels vs the naive
+#                        reference loops on the model's shapes
 # Raw logs land next to the JSON as BENCH_*.txt.
 #
 # Scale knobs pass through to the benches (see bench/bench_common.hpp):
@@ -14,18 +16,19 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="$repo/build"
 
 cmake -B "$build" -S "$repo" >/dev/null
-cmake --build "$build" -j --target bench_table2_speed bench_serve_throughput >/dev/null
+cmake --build "$build" -j --target bench_table2_speed bench_serve_throughput bench_kernels >/dev/null
 
 # Runs one bench and insists on its JSON artifact: a missing binary or an
 # empty result is a hard failure, never a silently partial ledger entry.
 run_bench() {
   local name="$1" json="$2" log="$3"
+  shift 3
   local bin="$build/bench/$name"
   if [[ ! -x "$bin" ]]; then
     echo "bench.sh: error: $bin is missing or not executable (build failed?)" >&2
     exit 1
   fi
-  "$bin" --json "$json" | tee "$log"
+  "$bin" --json "$json" "$@" | tee "$log"
   if [[ ! -s "$json" ]]; then
     echo "bench.sh: error: $name wrote no JSON to $json" >&2
     exit 1
@@ -35,6 +38,11 @@ run_bench() {
 run_bench bench_table2_speed "$repo/BENCH_table2.json" "$repo/BENCH_table2.txt"
 echo
 run_bench bench_serve_throughput "$repo/BENCH_serve.json" "$repo/BENCH_serve.txt"
+echo
+# The GEMM micro-bench: skip the google-benchmark table (the ledger
+# comparison times the same kernels itself) so the run stays quick.
+run_bench bench_kernels "$repo/BENCH_kernels.json" "$repo/BENCH_kernels.txt" \
+  --benchmark_filter=NONE
 
 echo
-echo "wrote $repo/BENCH_table2.json and $repo/BENCH_serve.json"
+echo "wrote $repo/BENCH_table2.json, $repo/BENCH_serve.json, and $repo/BENCH_kernels.json"

@@ -10,6 +10,7 @@
 #include "cli/commands.hpp"
 #include "data/dataset.hpp"
 #include "eval/harness.hpp"
+#include "nn/parallel.hpp"
 #include "sim/check.hpp"
 #include "vlog/parser.hpp"
 
@@ -26,6 +27,9 @@ constexpr OptionSpec kOptions[] = {
     {"max-tokens", true, "generation budget (default 220)"},
     {"candidates", true, "top-k base candidates per speculative step (default 1)", "K"},
     {"temperature", true, "sampling temperature, 0 = greedy (default 0)", "T"},
+    {"compute-threads", true,
+     "GEMM compute-pool threads (default: $VSD_COMPUTE_THREADS or hardware\n"
+     "                   concurrency; 1 = serial kernels, identical tokens)", "N"},
     {"enc-dec", false, "use the encoder-decoder (CodeT5p-like) architecture"},
     {"strict", false, "exit nonzero when the generated code fails the checks"},
     {"help", false, "show this help"},
@@ -89,9 +93,16 @@ int cmd_decode(int argc, const char* const* argv) {
   else if (dc.num_candidates < 1) bad_arg = "--candidates must be >= 1";
   else if (!(std::isfinite(dc.temperature) && dc.temperature >= 0.0f))
     bad_arg = "--temperature must be finite and >= 0 (0 = greedy)";
+  else if (args.has("compute-threads") && args.get_int("compute-threads", 0) < 1)
+    bad_arg = "--compute-threads must be >= 1 (1 = serial kernels)";
   if (bad_arg != nullptr) {
     std::fprintf(stderr, "vsd decode: %s\n", bad_arg);
     return kExitUsage;
+  }
+  // Size the process-wide GEMM pool before any forward pass runs; tokens
+  // are bit-identical at every setting.
+  if (args.has("compute-threads")) {
+    nn::set_compute_threads(args.get_int("compute-threads", 1));
   }
 
   const data::Dataset dataset = data::build_dataset(dcfg);

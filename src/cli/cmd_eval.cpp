@@ -10,6 +10,7 @@
 #include "cli/args.hpp"
 #include "cli/commands.hpp"
 #include "eval/harness.hpp"
+#include "nn/parallel.hpp"
 
 namespace vsd::cli {
 
@@ -23,6 +24,9 @@ constexpr OptionSpec kOptions[] = {
     {"prompts", true, "speed-eval prompts (default 4)"},
     {"workers", true, "quality-eval worker threads (default 1; scores are\n"
                       "                   identical for any worker count)"},
+    {"compute-threads", true,
+     "GEMM compute-pool threads (default: $VSD_COMPUTE_THREADS or hardware\n"
+     "                   concurrency; 1 = serial kernels, identical scores)", "N"},
     {"max-tokens", true, "generation budget (default 200)"},
     {"seed", true, "global seed (default 1)"},
     {"enc-dec", false, "use the encoder-decoder (CodeT5p-like) architecture"},
@@ -64,6 +68,16 @@ int cmd_eval(int argc, const char* const* argv) {
                  args.error().empty() ? "unexpected positional argument"
                                       : args.error().c_str());
     return kExitUsage;
+  }
+  if (args.has("compute-threads") && args.get_int("compute-threads", 0) < 1) {
+    std::fprintf(stderr,
+                 "vsd eval: --compute-threads must be >= 1 (1 = serial kernels)\n");
+    return kExitUsage;
+  }
+  // Size the process-wide GEMM pool before any forward pass runs; scores
+  // are bit-identical at every setting.
+  if (args.has("compute-threads")) {
+    nn::set_compute_threads(args.get_int("compute-threads", 1));
   }
 
   data::DatasetConfig dcfg;

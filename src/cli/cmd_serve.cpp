@@ -20,6 +20,7 @@
 #include "cli/commands.hpp"
 #include "data/dataset.hpp"
 #include "eval/harness.hpp"
+#include "nn/parallel.hpp"
 #include "serve/json.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/scheduler.hpp"
@@ -32,6 +33,9 @@ namespace {
 constexpr OptionSpec kOptions[] = {
     {"input", true, "file of prompts, one per line (default: stdin)", "FILE"},
     {"workers", true, "decode worker threads (default 1)"},
+    {"compute-threads", true,
+     "GEMM compute-pool threads (default: $VSD_COMPUTE_THREADS or hardware\n"
+     "                   concurrency; 1 = serial kernels, identical tokens)", "N"},
     {"batch", true, "max in-flight requests (default = workers)"},
     {"queue", true, "admission queue capacity (default 2*batch)"},
     {"cache", true, "prompt-prefix KV cache capacity, warm entries (default 16)"},
@@ -98,6 +102,7 @@ int cmd_serve(int argc, const char* const* argv) {
   }
 
   const int workers = args.get_int("workers", 1);
+  const int compute_threads = args.get_int("compute-threads", 0);  // 0 = ambient
   const int batch = args.get_int("batch", workers);
   const int queue_cap = args.get_int("queue", 2 * std::max(1, batch));
   const bool use_cache = !args.has("no-cache");
@@ -123,6 +128,8 @@ int cmd_serve(int argc, const char* const* argv) {
   else if (!args.positional().empty()) bad_arg = "unexpected positional argument";
   else if (workers < 1 || batch < 1 || queue_cap < 1)
     bad_arg = "--workers/--batch/--queue must be >= 1";
+  else if (args.has("compute-threads") && compute_threads < 1)
+    bad_arg = "--compute-threads must be >= 1 (1 = serial kernels)";
   else if (base_cfg.max_new_tokens < 0) bad_arg = "--max-tokens must be >= 0";
   else if (base_cfg.num_candidates < 1) bad_arg = "--candidates must be >= 1";
   else if (!(std::isfinite(base_cfg.temperature) && base_cfg.temperature >= 0.0f))
@@ -146,6 +153,10 @@ int cmd_serve(int argc, const char* const* argv) {
     in = &file;
   }
 
+  // Size the process-wide GEMM pool before any forward pass runs.  The
+  // tokens served are bit-identical at every setting; only the clock moves.
+  if (args.has("compute-threads")) nn::set_compute_threads(compute_threads);
+
   // --- train the system that backs the service ---------------------------
   const data::Dataset dataset = data::build_dataset(dcfg);
   const text::Tokenizer tokenizer =
@@ -154,9 +165,11 @@ int cmd_serve(int argc, const char* const* argv) {
                dataset.items.size(), spec::method_name(method),
                cfg.encoder_decoder ? "enc-dec" : "dec-only");
   const eval::TrainedSystem sys = eval::train_system(cfg, dataset, tokenizer);
-  std::fprintf(stderr, "serve: trained, loss %.3f -> %.3f; workers=%d batch=%d queue=%d\n",
+  std::fprintf(stderr,
+               "serve: trained, loss %.3f -> %.3f; workers=%d batch=%d queue=%d "
+               "compute-threads=%d\n",
                sys.train_stats.first_loss, sys.train_stats.final_loss, workers,
-               batch, queue_cap);
+               batch, queue_cap, nn::compute_threads());
 
   // --- stream prompts into the scheduler ---------------------------------
   serve::RequestQueue queue(static_cast<std::size_t>(queue_cap));
@@ -236,13 +249,15 @@ int cmd_serve(int argc, const char* const* argv) {
 
   const double wall = stats.wall_seconds > 0.0 ? stats.wall_seconds : 1e-12;
   std::printf(
-      "{\"summary\":{\"requests\":%d,\"workers\":%d,\"batch\":%d,"
+      "{\"summary\":{\"requests\":%d,\"workers\":%d,\"compute_threads\":%d,"
+      "\"batch\":%d,"
       "\"max_in_flight\":%d,\"ticks\":%ld,\"total_tokens\":%ld,"
       "\"total_steps\":%ld,\"wall_s\":%.4f,\"requests_per_sec\":%.3f,"
       "\"tokens_per_sec\":%.2f,\"prefill_positions\":%ld,"
       "\"cached_positions\":%ld,\"fused\":%s,\"fused_rows\":%ld,"
       "\"fused_passes\":%ld",
-      stats.completed, workers, batch, stats.max_in_flight, stats.ticks,
+      stats.completed, workers, nn::compute_threads(), batch,
+      stats.max_in_flight, stats.ticks,
       total_tokens, total_steps, stats.wall_seconds,
       stats.completed / wall, total_tokens / wall, stats.prefill_positions,
       stats.cached_positions, fuse ? "true" : "false", stats.fused_rows,

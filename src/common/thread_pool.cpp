@@ -1,10 +1,11 @@
-#include "serve/thread_pool.hpp"
+#include "common/thread_pool.hpp"
 
 #include <algorithm>
 
-namespace vsd::serve {
+namespace vsd {
 
-ThreadPool::ThreadPool(int workers) {
+ThreadPool::ThreadPool(int workers, std::function<void()> worker_init)
+    : worker_init_(std::move(worker_init)) {
   const int n = std::max(1, workers);
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -22,6 +23,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  if (worker_init_) worker_init_();
   for (;;) {
     std::function<void()> task;
     {
@@ -35,4 +37,4 @@ void ThreadPool::worker_loop() {
   }
 }
 
-}  // namespace vsd::serve
+}  // namespace vsd

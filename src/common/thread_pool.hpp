@@ -1,0 +1,69 @@
+// vsd::ThreadPool — a fixed-size worker pool returning std::futures.
+//
+// Lives in the common layer (it started out in serve/) so that both the
+// serving front end and the nn compute kernels can share the abstraction
+// without a layer inversion: nn must not link serve.
+//
+// Deliberately simple (no work stealing, one shared FIFO): tasks in this
+// codebase are coarse — a speculative decode step, a full eval sample, a
+// GEMM partition — so queue contention is negligible and FIFO keeps
+// scheduling deterministic enough to reason about.  Exceptions thrown by a
+// task surface from the corresponding future's get().  Destruction drains
+// every queued task before joining the workers.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace vsd {
+
+class ThreadPool {
+ public:
+  /// Spawns max(1, workers) threads.  `worker_init`, when given, runs once
+  /// on each worker thread before it takes tasks (e.g. to set a
+  /// thread_local "I am a pool worker" mark that nested submitters check).
+  explicit ThreadPool(int workers, std::function<void()> worker_init = nullptr);
+  /// Drains the queue (pending tasks still run), then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn` and returns a future for its result (or exception).
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      check(!stop_, "ThreadPool::submit after shutdown");
+      tasks_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+ private:
+  void worker_loop();
+
+  std::function<void()> worker_init_;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace vsd

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "nn/parallel.hpp"
+
 namespace vsd::nn {
 
 Var make_leaf(Tensor value, bool requires_grad, std::string name) {
@@ -55,7 +57,7 @@ Var linear(const Var& x, const Var& w, const Var& b) {
   const int e = w->value.cols();
   check(w->value.rows() == d, "linear: shape mismatch");
   Tensor out(t, e);
-  matmul_acc(x->value.data(), w->value.data(), out.data(), t, d, e);
+  linear_acc(x->value.data(), w->value.data(), out.data(), t, d, e);
   if (b) {
     check(b->value.cols() == e, "linear: bias mismatch");
     for (int i = 0; i < t; ++i) {
@@ -74,7 +76,10 @@ Var linear(const Var& x, const Var& w, const Var& b) {
     result->backward_fn = [xn, wn, bn, rn, t, d, e]() {
       const float* dy = rn->grad.data();
       if (xn->requires_grad) {
-        matmul_bt_acc(dy, wn->value.data(), xn->ensure_grad().data(), t, e, d);
+        // Row/column partitions accumulate each grad element in one chunk,
+        // so the parallel driver is bit-identical to matmul_bt_acc even
+        // into a non-zero (accumulating) gradient.
+        linear_bt_acc(dy, wn->value.data(), xn->ensure_grad().data(), t, e, d);
       }
       if (wn->requires_grad) {
         matmul_at_acc(xn->value.data(), dy, wn->ensure_grad().data(), t, d, e);

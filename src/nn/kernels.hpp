@@ -1,0 +1,171 @@
+// Cache-blocked GEMM kernels, bit-identical to the reference loops in
+// tensor.hpp.
+//
+// Determinism contract: every kernel here accumulates each output element
+// c[i][j] over p = 0..K-1 in the SAME ascending order as its reference
+// kernel (matmul_acc / matmul_acc_kouter / matmul_bt_acc), including the
+// reference's skip of exact-zero A elements.  Blocking only reorders work
+// BETWEEN output elements, never within one, and the parallel drivers in
+// parallel.hpp only ever partition whole output rows or columns — so for
+// any tile size and any thread count the produced floats are bit-identical
+// to the serial reference.  That is what lets the serving stack swap these
+// kernels in without touching the repo's temperature-0 token-parity
+// invariant.
+//
+// The pointers are __restrict: callers must pass non-overlapping A, B, C
+// (every call site writes a freshly zeroed output), which frees the
+// compiler from emitting runtime alias checks before vectorizing the
+// contiguous inner loops.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "nn/tensor.hpp"
+
+namespace vsd::nn {
+
+namespace kdetail {
+
+// Blocking geometry.  kPanelFloats bounds the C row panel streamed per p
+// step to ~24 KiB (L1-resident); kTileRows / kTileCols shape the generic
+// ranged tile used by column-partitioned parallel chunks.
+inline constexpr int kPanelFloats = 6144;
+inline constexpr int kTileRows = 8;
+inline constexpr int kTileCols = 256;
+
+/// Rows per L1 panel for an N-column output (clamped to [8, 512]).
+inline int panel_rows(int n) {
+  return std::max(8, std::min(512, kPanelFloats / std::max(n, 1)));
+}
+
+/// C rows [i0, i1) += A * B over the full [0, N) width — the k-outer
+/// __restrict core (p, then i, then a full contiguous j sweep).  This loop
+/// shape is what GCC vectorizes best at plain -O3: B is streamed once per
+/// panel, the C panel stays hot, and __restrict removes the runtime alias
+/// checks.  Per element the p loop runs 0..K-1 ascending with the same
+/// zero-skip as matmul_acc, so any row partition composes bit-exactly.
+inline void matmul_acc_rows(const float* __restrict a, const float* __restrict b,
+                            float* __restrict c, int k, int n, int i0, int i1) {
+  // The j sweep is hand-unrolled by 8: each unrolled slot touches a
+  // DIFFERENT output element, so per-element accumulation order is
+  // untouched — the unroll only pins down the vector codegen, which at
+  // these small trip counts otherwise swings with inlining context.
+  const int n8 = n & ~7;
+  for (int p = 0; p < k; ++p) {
+    const float* __restrict brow = b + static_cast<std::size_t>(p) * n;
+    for (int i = i0; i < i1; ++i) {
+      const float av = a[static_cast<std::size_t>(i) * k + p];
+      if (av == 0.0f) continue;
+      float* __restrict crow = c + static_cast<std::size_t>(i) * n;
+      int j = 0;
+      for (; j < n8; j += 8) {
+        crow[j + 0] += av * brow[j + 0];
+        crow[j + 1] += av * brow[j + 1];
+        crow[j + 2] += av * brow[j + 2];
+        crow[j + 3] += av * brow[j + 3];
+        crow[j + 4] += av * brow[j + 4];
+        crow[j + 5] += av * brow[j + 5];
+        crow[j + 6] += av * brow[j + 6];
+        crow[j + 7] += av * brow[j + 7];
+      }
+      for (; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// C rows [i0, i1), blocked into L1-sized row panels of the core above.
+inline void matmul_acc_rows_blocked(const float* a, const float* b, float* c,
+                                    int k, int n, int i0, int i1) {
+  const int panel = panel_rows(n);
+  for (int ib = i0; ib < i1; ib += panel) {
+    matmul_acc_rows(a, b, c, k, n, ib, std::min(i1, ib + panel));
+  }
+}
+
+/// C[i0:i1) x [j0:j1) += A[.xK] * B[KxN] over the full K range — the
+/// generic ranged tile behind column-partitioned parallel chunks.  Same
+/// per-element accumulation order and zero-skip as matmul_acc, so any
+/// (i, j) partition of the output composes bit-exactly.
+inline void matmul_acc_tile(const float* __restrict a, const float* __restrict b,
+                            float* __restrict c, int k, int n, int i0, int i1,
+                            int j0, int j1) {
+  for (int ib = i0; ib < i1; ib += kTileRows) {
+    const int ie = std::min(i1, ib + kTileRows);
+    for (int jb = j0; jb < j1; jb += kTileCols) {
+      const int je = std::min(j1, jb + kTileCols);
+      for (int p = 0; p < k; ++p) {
+        const float* __restrict brow = b + static_cast<std::size_t>(p) * n;
+        for (int i = ib; i < ie; ++i) {
+          const float av = a[static_cast<std::size_t>(i) * k + p];
+          if (av == 0.0f) continue;
+          float* __restrict crow = c + static_cast<std::size_t>(i) * n;
+          for (int j = jb; j < je; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+/// C[i0:i1) x [j0:j1) += A * B^T (B is [NxK]) — register-tiled dot
+/// products.  Each element's local accumulator sums p ascending from 0 and
+/// lands in C with one add, exactly like matmul_bt_acc.
+inline void matmul_bt_acc_tile(const float* __restrict a, const float* __restrict b,
+                               float* __restrict c, int k, int n, int i0, int i1,
+                               int j0, int j1) {
+  constexpr int kDotCols = 8;  // B rows reused across the row tile
+  for (int ib = i0; ib < i1; ib += kTileRows) {
+    const int ie = std::min(i1, ib + kTileRows);
+    for (int jb = j0; jb < j1; jb += kDotCols) {
+      const int je = std::min(j1, jb + kDotCols);
+      for (int i = ib; i < ie; ++i) {
+        const float* __restrict arow = a + static_cast<std::size_t>(i) * k;
+        float* __restrict crow = c + static_cast<std::size_t>(i) * n;
+        for (int j = jb; j < je; ++j) {
+          const float* __restrict brow = b + static_cast<std::size_t>(j) * k;
+          float acc = 0.0f;
+          for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+          crow[j] += acc;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace kdetail
+
+/// Blocked C[MxN] += A[MxK] * B[KxN]; bit-identical to matmul_acc.
+inline void matmul_acc_blocked(const float* a, const float* b, float* c, int m,
+                               int k, int n) {
+  kdetail::matmul_acc_rows_blocked(a, b, c, k, n, 0, m);
+}
+
+/// Blocked k-outer variant: j-blocks of B are streamed exactly once while
+/// the whole [M x block] C panel stays hot — the multi-row (weight-
+/// streaming) shape of matmul_acc_kouter with L1-sized column blocks.
+/// Bit-identical to matmul_acc_kouter (and so to matmul_acc).
+inline void matmul_acc_kouter_blocked(const float* __restrict a,
+                                      const float* __restrict b,
+                                      float* __restrict c, int m, int k, int n) {
+  for (int jb = 0; jb < n; jb += kdetail::kTileCols) {
+    const int je = std::min(n, jb + kdetail::kTileCols);
+    for (int p = 0; p < k; ++p) {
+      const float* __restrict brow = b + static_cast<std::size_t>(p) * n;
+      for (int i = 0; i < m; ++i) {
+        const float av = a[static_cast<std::size_t>(i) * k + p];
+        if (av == 0.0f) continue;
+        float* __restrict crow = c + static_cast<std::size_t>(i) * n;
+        for (int j = jb; j < je; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+/// Blocked C[MxN] += A[MxK] * B^T (B is [NxK]); bit-identical to
+/// matmul_bt_acc.
+inline void matmul_bt_acc_blocked(const float* a, const float* b, float* c,
+                                  int m, int k, int n) {
+  kdetail::matmul_bt_acc_tile(a, b, c, k, n, 0, m, 0, n);
+}
+
+}  // namespace vsd::nn

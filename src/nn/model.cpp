@@ -4,6 +4,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "nn/parallel.hpp"
+
 namespace vsd::nn {
 
 namespace {
@@ -230,16 +232,14 @@ const Tensor& InferSession::weight(const std::string& name) const {
 
 namespace {
 
-// y[TxE] = x[TxD] W[DxE] (+ b).  Multi-row inputs (speculative chains,
-// fused batched scoring) take the k-outer kernel, which streams the weight
-// matrix once for the whole row block; both kernels are bit-identical.
+// y[TxE] = x[TxD] W[DxE] (+ b).  linear_acc routes through the compute
+// pool's blocked parallel drivers when --compute-threads > 1 and takes the
+// exact historical serial kernels (k-outer for multi-row inputs, plain ikj
+// for one row) at 1; every variant is bit-identical, so the thread count
+// never changes an activation.
 Tensor apply_linear(const Tensor& x, const Tensor& w, const Tensor* b) {
   Tensor out(x.rows(), w.cols());
-  if (x.rows() > 1) {
-    matmul_acc_kouter(x.data(), w.data(), out.data(), x.rows(), x.cols(), w.cols());
-  } else {
-    matmul_acc(x.data(), w.data(), out.data(), x.rows(), x.cols(), w.cols());
-  }
+  linear_acc(x.data(), w.data(), out.data(), x.rows(), x.cols(), w.cols());
   if (b != nullptr) {
     for (int i = 0; i < out.rows(); ++i) {
       float* row = out.row(i);

@@ -1,0 +1,225 @@
+#include "nn/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "nn/kernels.hpp"
+
+namespace vsd::nn {
+
+namespace {
+
+// Don't split below this many multiply-accumulates per chunk: a pool
+// handoff costs a few microseconds, so a chunk must carry tens of
+// microseconds of arithmetic to win.  (65536 MACs ~ ten microseconds of a
+// blocked [, 64] x [64, 384] logit GEMM.)  Purely a performance threshold —
+// partitioning never changes the produced floats.
+constexpr long kGrainMacs = 65536;
+
+std::mutex g_mu;                        // guards (re)initialization only
+std::atomic<int> g_threads{0};          // 0 => not yet initialized
+std::unique_ptr<ThreadPool> g_pool;     // owned under g_mu
+std::atomic<ThreadPool*> g_pool_raw{nullptr};  // lock-free hot-path read
+
+thread_local bool t_on_worker = false;
+
+int env_or_hardware_threads() {
+  if (const char* env = std::getenv("VSD_COMPUTE_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 1024) {
+      return static_cast<int>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+int hardware_threads() {
+  static const int hw = [] {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+  }();
+  return hw;
+}
+
+namespace {
+
+/// Installs a pool of width - 1 workers: the thread that issues a kernel
+/// always works the first chunk itself, so N compute threads means N - 1
+/// pool workers plus the caller — `--compute-threads 2` occupies exactly
+/// two threads, not three.  Every worker marks itself, so a kernel issued
+/// from inside a pool task (a nested split, or a coarse task like a
+/// scheduler head pass) detects the nesting and runs serially instead of
+/// waiting on the pool it is occupying.  Called under g_mu.
+void install_pool_locked(int width) {
+  g_pool_raw.store(nullptr, std::memory_order_release);
+  g_pool.reset();  // joins idle workers; callers guarantee no kernels in flight
+  g_threads.store(width, std::memory_order_release);
+  if (width > 1) {
+    g_pool = std::make_unique<ThreadPool>(width - 1, [] { t_on_worker = true; });
+    g_pool_raw.store(g_pool.get(), std::memory_order_release);
+  }
+}
+
+}  // namespace
+
+int compute_threads() {
+  const int cached = g_threads.load(std::memory_order_acquire);
+  if (cached != 0) return cached;
+  const std::lock_guard<std::mutex> lock(g_mu);
+  if (g_threads.load(std::memory_order_relaxed) == 0) {
+    install_pool_locked(env_or_hardware_threads());
+  }
+  return g_threads.load(std::memory_order_relaxed);
+}
+
+void set_compute_threads(int n) {
+  const std::lock_guard<std::mutex> lock(g_mu);
+  const int want = std::max(1, n);
+  if (want == g_threads.load(std::memory_order_relaxed)) return;
+  install_pool_locked(want);
+}
+
+ThreadPool* compute_pool() {
+  compute_threads();  // force lazy init
+  return g_pool_raw.load(std::memory_order_acquire);
+}
+
+bool on_compute_worker() { return t_on_worker; }
+
+namespace {
+
+/// Chunk count parallel_ranges would split [0, total) into: 1 when there is
+/// no pool, we are already on a pool worker, or the range is too small to
+/// feed two chunks of min_grain.  Fan-out is additionally capped by the
+/// REAL core count — an oversubscribed pool (--compute-threads past the
+/// hardware) would only add context switches, never arithmetic.  Letting
+/// drivers plan first keeps the serial fallback a direct kernel call — no
+/// std::function detour on the hot single-thread path.
+int plan_chunks(int total, int min_grain) {
+  if (total <= 0 || t_on_worker || hardware_threads() < 2) return 1;
+  ThreadPool* pool = compute_pool();
+  if (pool == nullptr) return 1;
+  // pool->size() + 1 == the requested --compute-threads width (workers
+  // plus the calling thread, which always takes the first chunk).
+  const int cap = std::min(pool->size() + 1, hardware_threads());
+  return std::max(1, std::min(cap, total / std::max(1, min_grain)));
+}
+
+}  // namespace
+
+void parallel_ranges(int total, int min_grain,
+                     const std::function<void(int, int)>& body) {
+  if (total <= 0) return;
+  const int max_chunks = plan_chunks(total, min_grain);
+  if (max_chunks <= 1) {
+    body(0, total);
+    return;
+  }
+  ThreadPool* pool = compute_pool();
+  const int step = (total + max_chunks - 1) / max_chunks;
+  std::vector<std::future<void>> pending;
+  pending.reserve(static_cast<std::size_t>(max_chunks - 1));
+  // Workers reference `body` (and through it the caller's buffers), so
+  // this frame must not unwind until every submitted chunk has finished —
+  // even when a submit or the caller's own chunk throws.  Join first,
+  // rethrow after.
+  std::exception_ptr err;
+  try {
+    for (int lo = step; lo < total; lo += step) {
+      const int hi = std::min(total, lo + step);
+      pending.push_back(pool->submit([lo, hi, &body] { body(lo, hi); }));
+    }
+    body(0, std::min(step, total));
+  } catch (...) {
+    err = std::current_exception();
+  }
+  for (auto& f : pending) f.wait();
+  if (err) std::rethrow_exception(err);
+  // get() rethrows the first worker-chunk failure (a partial GEMM must
+  // never escape silently).
+  for (auto& f : pending) f.get();
+}
+
+void matmul_acc_parallel(const float* a, const float* b, float* c, int m,
+                         int k, int n) {
+  // Prefer whole-row chunks; skinny-but-wide logit shapes fall back to
+  // column chunks so a small batch still spreads across the pool.  Both
+  // plans leave every output element in exactly one chunk.
+  const long per_row = static_cast<long>(k) * n;
+  const int rows_min = static_cast<int>(
+      std::max<long>(1, (kGrainMacs + per_row - 1) / std::max<long>(per_row, 1)));
+  if (plan_chunks(m, rows_min) >= 2) {
+    parallel_ranges(m, rows_min, [&](int lo, int hi) {
+      kdetail::matmul_acc_rows_blocked(a, b, c, k, n, lo, hi);
+    });
+    return;
+  }
+  const long per_col = static_cast<long>(m) * k;
+  const int cols_min = static_cast<int>(
+      std::max<long>(1, (kGrainMacs + per_col - 1) / std::max<long>(per_col, 1)));
+  if (plan_chunks(n, cols_min) >= 2) {
+    parallel_ranges(n, cols_min, [&](int lo, int hi) {
+      kdetail::matmul_acc_tile(a, b, c, k, n, 0, m, lo, hi);
+    });
+    return;
+  }
+  matmul_acc_blocked(a, b, c, m, k, n);
+}
+
+void matmul_bt_acc_parallel(const float* a, const float* b, float* c, int m,
+                            int k, int n) {
+  const long per_row = static_cast<long>(k) * n;
+  const int rows_min = static_cast<int>(
+      std::max<long>(1, (kGrainMacs + per_row - 1) / std::max<long>(per_row, 1)));
+  if (plan_chunks(m, rows_min) >= 2) {
+    parallel_ranges(m, rows_min, [&](int lo, int hi) {
+      kdetail::matmul_bt_acc_tile(a, b, c, k, n, lo, hi, 0, n);
+    });
+    return;
+  }
+  const long per_col = static_cast<long>(m) * k;
+  const int cols_min = static_cast<int>(
+      std::max<long>(1, (kGrainMacs + per_col - 1) / std::max<long>(per_col, 1)));
+  if (plan_chunks(n, cols_min) >= 2) {
+    parallel_ranges(n, cols_min, [&](int lo, int hi) {
+      kdetail::matmul_bt_acc_tile(a, b, c, k, n, 0, m, lo, hi);
+    });
+    return;
+  }
+  matmul_bt_acc_blocked(a, b, c, m, k, n);
+}
+
+void linear_acc(const float* a, const float* b, float* c, int m, int k, int n) {
+  if (compute_threads() > 1) {
+    matmul_acc_parallel(a, b, c, m, k, n);
+    return;
+  }
+  // compute_threads() == 1: the exact pre-existing serial path — k-outer
+  // weight streaming for multi-row inputs, the plain ikj loop for one row.
+  if (m > 1) {
+    matmul_acc_kouter(a, b, c, m, k, n);
+  } else {
+    matmul_acc(a, b, c, m, k, n);
+  }
+}
+
+void linear_bt_acc(const float* a, const float* b, float* c, int m, int k, int n) {
+  if (compute_threads() > 1) {
+    matmul_bt_acc_parallel(a, b, c, m, k, n);
+  } else {
+    matmul_bt_acc(a, b, c, m, k, n);
+  }
+}
+
+}  // namespace vsd::nn

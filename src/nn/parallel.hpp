@@ -1,0 +1,88 @@
+// Process-wide compute pool and parallel GEMM drivers.
+//
+// One shared vsd::ThreadPool (the "compute pool") sits under every
+// inference matmul in the process.  Sizing:
+//   * VSD_COMPUTE_THREADS=N or the CLI's --compute-threads N pin it;
+//   * otherwise it defaults to std::thread::hardware_concurrency();
+//   * 1 means no pool at all — apply_linear takes the exact pre-existing
+//     serial kernels (matmul_acc / matmul_acc_kouter), byte-for-byte the
+//     old execution path.
+//
+// Determinism: the drivers only ever partition whole output rows or whole
+// output columns across workers, and every partition runs the blocked
+// kernels of kernels.hpp, whose per-element accumulation order matches the
+// serial references.  Results are therefore bit-identical for ANY thread
+// count — the serving stack's temperature-0 token parity holds at
+// --compute-threads 1 and 64 alike.
+//
+// Nesting: kernels issued from a compute-pool worker (e.g. a draft-head
+// pass the scheduler fanned out as one coarse task) run serially inline on
+// that worker instead of re-submitting to the pool, so the pool can never
+// deadlock on itself.
+#pragma once
+
+#include <functional>
+
+#include "common/thread_pool.hpp"
+
+namespace vsd::nn {
+
+/// Real core count (memoized std::thread::hardware_concurrency, >= 1).
+/// Work fan-out is capped here: threads past the hardware only add context
+/// switches, so on a single-core host the pool is created but never fed —
+/// kernels run their serial blocked path.
+int hardware_threads();
+
+/// Current compute-pool width.  First call initializes from
+/// VSD_COMPUTE_THREADS (falling back to hardware concurrency; >= 1).
+int compute_threads();
+
+/// Resizes the process-wide pool (n < 1 is clamped to 1; 1 tears the pool
+/// down and restores the exact serial path).  Not safe to call while
+/// kernels are in flight — call it at startup or between serving passes,
+/// as the CLI, benches, and tests do.
+void set_compute_threads(int n);
+
+/// The shared pool, or nullptr when compute_threads() == 1.  It holds
+/// compute_threads() - 1 workers — the thread issuing a kernel always works
+/// the first chunk itself, so N means N occupied threads, not N + 1.
+/// Coarse-grained callers (the scheduler's per-head scoring passes) may
+/// submit whole tasks here; kernels inside such tasks automatically run
+/// serially.
+ThreadPool* compute_pool();
+
+/// True on a compute-pool worker thread (inside a submitted task).
+bool on_compute_worker();
+
+/// Splits [0, total) into contiguous chunks of at least min_grain and runs
+/// body(lo, hi) for each — across the compute pool when it exists and the
+/// range is worth splitting, inline otherwise (always inline when already
+/// on a compute worker).  The calling thread works on the first chunk.
+/// Exceptions from any chunk rethrow here.
+void parallel_ranges(int total, int min_grain,
+                     const std::function<void(int, int)>& body);
+
+/// C[MxN] += A[MxK] * B[KxN], row- or column-partitioned across the
+/// compute pool (bit-identical to matmul_acc for any thread count).
+/// Row partitioning is preferred; skinny-but-wide shapes — the [B, D] x
+/// [D, V] logit GEMMs — fall back to column partitioning so a small batch
+/// still spreads across the pool.
+void matmul_acc_parallel(const float* a, const float* b, float* c, int m,
+                         int k, int n);
+
+/// C[MxN] += A[MxK] * B^T (B is [NxK]), partitioned like
+/// matmul_acc_parallel; bit-identical to matmul_bt_acc.
+void matmul_bt_acc_parallel(const float* a, const float* b, float* c, int m,
+                            int k, int n);
+
+/// The production linear-layer entry (used by every inference matmul):
+/// parallel blocked drivers when the compute pool exists, the exact
+/// pre-existing serial kernels at compute_threads() == 1.
+void linear_acc(const float* a, const float* b, float* c, int m, int k, int n);
+
+/// Same dispatch for the transposed-weight product (dX += dY * W^T in the
+/// linear backward): matmul_bt_acc_parallel with a pool, the reference
+/// matmul_bt_acc at compute_threads() == 1.
+void linear_bt_acc(const float* a, const float* b, float* c, int m, int k, int n);
+
+}  // namespace vsd::nn

@@ -1,6 +1,7 @@
 // Dense row-major float tensor (rank 1 or 2 is all the library needs).
 #pragma once
 
+#include <algorithm>  // Tensor::fill uses std::fill
 #include <cstddef>
 #include <vector>
 

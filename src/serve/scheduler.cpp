@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "nn/parallel.hpp"
 #include "serve/session_cache.hpp"
 #include "serve/thread_pool.hpp"
 
@@ -190,52 +191,92 @@ ServeStats Scheduler::run(const Completion& on_complete) {
           off += h.rows();
         }
       }
-      const nn::Tensor lm_all = model_.infer_lm_logits(all_rows);
-      ++stats.fused_passes;
-      stats.fused_rows += total_rows;
-
-      std::vector<spec::Scores> scores(pending.size());
+      // Draft-head row stacks, gathered up front: requests can want
+      // different head counts (chain verification wants none), so head k
+      // fuses the subset that has it.  Membership is monotone in k (a
+      // request wanting head k wants every lower head), so the stack only
+      // shrinks; consecutive heads with equal row counts share one tensor.
+      std::vector<int> head_rows(static_cast<std::size_t>(max_heads), 0);
+      std::vector<std::shared_ptr<const nn::Tensor>> head_stack(
+          static_cast<std::size_t>(max_heads));
       {
-        int off = 0;
-        for (std::size_t i = 0; i < pending.size(); ++i) {
-          const spec::ScoreRequest& req = pending[i]->dec->request();
-          scores[i].lm = copy_rows(lm_all, off, req.hidden.rows());
-          scores[i].heads.resize(static_cast<std::size_t>(req.n_heads));
-          off += req.hidden.rows();
-        }
-      }
-      // Draft heads: requests can want different head counts (chain
-      // verification wants none), so head k fuses the subset that has it.
-      // Membership is monotone in k (a request wanting head k wants every
-      // lower head), so the gathered stack is rebuilt only when it shrinks.
-      nn::Tensor hk;
-      for (int k = 0; k < max_heads; ++k) {
-        int rows_k = 0;
-        for (const Slot* s : pending) {
-          const spec::ScoreRequest& req = s->dec->request();
-          if (req.n_heads > k) rows_k += req.hidden.rows();
-        }
-        if (hk.rows() != rows_k) {
-          hk = nn::Tensor(rows_k, model_.config().d_model);
-          int off = 0;
+        std::shared_ptr<nn::Tensor> hk;
+        for (int k = 0; k < max_heads; ++k) {
+          int rows_k = 0;
           for (const Slot* s : pending) {
             const spec::ScoreRequest& req = s->dec->request();
-            if (req.n_heads <= k) continue;
-            std::memcpy(hk.row(off), req.hidden.data(),
-                        sizeof(float) * req.hidden.size());
+            if (req.n_heads > k) rows_k += req.hidden.rows();
+          }
+          if (!hk || hk->rows() != rows_k) {
+            hk = std::make_shared<nn::Tensor>(rows_k, model_.config().d_model);
+            int off = 0;
+            for (const Slot* s : pending) {
+              const spec::ScoreRequest& req = s->dec->request();
+              if (req.n_heads <= k) continue;
+              std::memcpy(hk->row(off), req.hidden.data(),
+                          sizeof(float) * req.hidden.size());
+              off += req.hidden.rows();
+            }
+          }
+          head_rows[static_cast<std::size_t>(k)] = rows_k;
+          head_stack[static_cast<std::size_t>(k)] = hk;
+        }
+      }
+
+      // One stacked base-LM pass plus one pass per draft head.  With a
+      // compute pool the K head passes run as coarse tasks concurrent with
+      // the base pass (which itself partitions across the same pool); the
+      // head passes' inner kernels detect they are on a pool worker and
+      // stay serial, so the pool never waits on itself.  Every pass is
+      // row-independent, so the schedule changes nothing but the clock.
+      std::vector<nn::Tensor> head_logits(static_cast<std::size_t>(max_heads));
+      std::vector<spec::Scores> scores(pending.size());
+      {
+        // Coarse concurrency only pays with real cores to run it on; on a
+        // single-core host the head passes stay on this thread.
+        ThreadPool* cpool =
+            nn::hardware_threads() > 1 ? nn::compute_pool() : nullptr;
+        std::vector<std::future<nn::Tensor>> head_futs;
+        if (cpool != nullptr) {
+          head_futs.reserve(static_cast<std::size_t>(max_heads));
+          const nn::TransformerModel& model = model_;
+          for (int k = 0; k < max_heads; ++k) {
+            auto stack = head_stack[static_cast<std::size_t>(k)];
+            head_futs.push_back(cpool->submit(
+                [&model, stack, k] { return model.infer_head_logits(*stack, k); }));
+          }
+        }
+        const nn::Tensor lm_all = model_.infer_lm_logits(all_rows);
+        ++stats.fused_passes;
+        stats.fused_rows += total_rows;
+        for (int k = 0; k < max_heads; ++k) {
+          head_logits[static_cast<std::size_t>(k)] =
+              cpool != nullptr
+                  ? head_futs[static_cast<std::size_t>(k)].get()
+                  : model_.infer_head_logits(*head_stack[static_cast<std::size_t>(k)], k);
+          ++stats.fused_passes;
+          stats.fused_rows += head_rows[static_cast<std::size_t>(k)];
+        }
+
+        {
+          int off = 0;
+          for (std::size_t i = 0; i < pending.size(); ++i) {
+            const spec::ScoreRequest& req = pending[i]->dec->request();
+            scores[i].lm = copy_rows(lm_all, off, req.hidden.rows());
+            scores[i].heads.resize(static_cast<std::size_t>(req.n_heads));
             off += req.hidden.rows();
           }
         }
-        const nn::Tensor hl = model_.infer_head_logits(hk, k);
-        ++stats.fused_passes;
-        stats.fused_rows += rows_k;
-        int off = 0;
-        for (std::size_t i = 0; i < pending.size(); ++i) {
-          const spec::ScoreRequest& req = pending[i]->dec->request();
-          if (req.n_heads <= k) continue;
-          scores[i].heads[static_cast<std::size_t>(k)] =
-              copy_rows(hl, off, req.hidden.rows());
-          off += req.hidden.rows();
+        for (int k = 0; k < max_heads; ++k) {
+          const nn::Tensor& hl = head_logits[static_cast<std::size_t>(k)];
+          int off = 0;
+          for (std::size_t i = 0; i < pending.size(); ++i) {
+            const spec::ScoreRequest& req = pending[i]->dec->request();
+            if (req.n_heads <= k) continue;
+            scores[i].heads[static_cast<std::size_t>(k)] =
+                copy_rows(hl, off, req.hidden.rows());
+            off += req.hidden.rows();
+          }
         }
       }
 

@@ -1,62 +1,15 @@
-// serve::ThreadPool — a fixed-size worker pool returning std::futures.
+// serve::ThreadPool — thin alias for the shared vsd::ThreadPool.
 //
-// Deliberately simple (no work stealing, one shared FIFO): tasks in this
-// codebase are coarse — a speculative decode step, a full eval sample — so
-// queue contention is negligible and FIFO keeps scheduling deterministic
-// enough to reason about.  Exceptions thrown by a task surface from the
-// corresponding future's get().  Destruction drains every queued task
-// before joining the workers.
+// The pool implementation moved to common/thread_pool.hpp so the nn
+// compute-kernel layer can parallelize GEMMs without linking the serving
+// layer (nn sits below serve in the layer map).  Serving code keeps its
+// historical serve::ThreadPool spelling through this alias.
 #pragma once
 
-#include <condition_variable>
-#include <deque>
-#include <functional>
-#include <future>
-#include <memory>
-#include <mutex>
-#include <thread>
-#include <type_traits>
-#include <vector>
-
-#include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace vsd::serve {
 
-class ThreadPool {
- public:
-  /// Spawns max(1, workers) threads.
-  explicit ThreadPool(int workers);
-  /// Drains the queue (pending tasks still run), then joins.
-  ~ThreadPool();
-
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  int size() const { return static_cast<int>(workers_.size()); }
-
-  /// Enqueues `fn` and returns a future for its result (or exception).
-  template <typename F>
-  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
-    using R = std::invoke_result_t<std::decay_t<F>>;
-    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
-    std::future<R> fut = task->get_future();
-    {
-      const std::lock_guard<std::mutex> lock(mu_);
-      check(!stop_, "ThreadPool::submit after shutdown");
-      tasks_.emplace_back([task] { (*task)(); });
-    }
-    cv_.notify_one();
-    return fut;
-  }
-
- private:
-  void worker_loop();
-
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-};
+using vsd::ThreadPool;
 
 }  // namespace vsd::serve

@@ -3,10 +3,15 @@
 // end-to-end overfit check.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <cmath>
+#include <vector>
 
+#include "nn/kernels.hpp"
 #include "nn/model.hpp"
 #include "nn/optim.hpp"
+#include "nn/parallel.hpp"
 
 namespace vsd::nn {
 namespace {
@@ -404,6 +409,154 @@ TEST(Tensor, KOuterMatmulBitIdenticalToRowMajor) {
   for (std::size_t i = 0; i < c_ref.size(); ++i) {
     EXPECT_EQ(c_ref.data()[i], c_fused.data()[i]) << "element " << i;
   }
+}
+
+// --- blocked / parallel kernels ---------------------------------------------
+
+// Restores the process-wide compute pool to whatever was ambient (e.g. the
+// TSan CI job's VSD_COMPUTE_THREADS=4) when a test returns, including on
+// assertion failure, so kernel tests cannot leak their settings into — or
+// serialize — unrelated suites.
+struct ComputeThreadsGuard {
+  int prior = compute_threads();
+  ~ComputeThreadsGuard() { set_compute_threads(prior); }
+};
+
+// Random operands with exact zeros sprinkled into A, so the kernels'
+// zero-skip branch (part of the bit-identity contract) is exercised.
+Tensor random_with_zeros(int rows, int cols, Rng& rng) {
+  Tensor t = Tensor::randn(rows, cols, 1.0f, rng);
+  for (std::size_t i = 0; i < t.size(); i += 7) t.data()[i] = 0.0f;
+  return t;
+}
+
+void expect_bit_identical(const Tensor& ref, const Tensor& got, int m, int k,
+                          int n, const char* kernel) {
+  ASSERT_TRUE(ref.same_shape(got));
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_EQ(ref.data()[i], got.data()[i])
+        << kernel << " diverged at element " << i << " for shape [" << m << ","
+        << k << "]x[" << k << "," << n << "]";
+  }
+}
+
+// Shapes the model actually runs (QKV [T,64]x[64,64], logit [B,64]x[64,384])
+// plus ragged ones where M, K, N are not multiples of the 4x64 tile.
+const std::vector<std::array<int, 3>>& kernel_shapes() {
+  static const std::vector<std::array<int, 3>> shapes = {
+      {1, 1, 1},   {1, 64, 384}, {3, 5, 2},    {4, 64, 64},  {5, 7, 11},
+      {7, 64, 384}, {13, 100, 37}, {64, 64, 64}, {65, 3, 129},
+  };
+  return shapes;
+}
+
+TEST(Kernels, BlockedVariantsBitIdenticalToSerialOnRaggedShapes) {
+  Rng rng(23);
+  for (const auto& [m, k, n] : kernel_shapes()) {
+    const Tensor a = random_with_zeros(m, k, rng);
+    const Tensor b = random_with_zeros(k, n, rng);
+    Tensor ref(m, n);
+    matmul_acc(a.data(), b.data(), ref.data(), m, k, n);
+
+    Tensor blocked(m, n);
+    matmul_acc_blocked(a.data(), b.data(), blocked.data(), m, k, n);
+    expect_bit_identical(ref, blocked, m, k, n, "matmul_acc_blocked");
+
+    Tensor kouter(m, n);
+    matmul_acc_kouter_blocked(a.data(), b.data(), kouter.data(), m, k, n);
+    expect_bit_identical(ref, kouter, m, k, n, "matmul_acc_kouter_blocked");
+
+    // B^T product: B is [N x K] here.
+    const Tensor bt = random_with_zeros(n, k, rng);
+    Tensor bt_ref(m, n);
+    matmul_bt_acc(a.data(), bt.data(), bt_ref.data(), m, k, n);
+    Tensor bt_blocked(m, n);
+    matmul_bt_acc_blocked(a.data(), bt.data(), bt_blocked.data(), m, k, n);
+    expect_bit_identical(bt_ref, bt_blocked, m, k, n, "matmul_bt_acc_blocked");
+  }
+}
+
+TEST(Kernels, ParallelDriversBitIdenticalForThreads125) {
+  const ComputeThreadsGuard guard;
+  Rng rng(29);
+  for (const int threads : {1, 2, 5}) {
+    set_compute_threads(threads);
+    ASSERT_EQ(compute_threads(), threads);
+    ASSERT_EQ(compute_pool() != nullptr, threads > 1);
+    for (const auto& [m, k, n] : kernel_shapes()) {
+      const Tensor a = random_with_zeros(m, k, rng);
+      const Tensor b = random_with_zeros(k, n, rng);
+      Tensor ref(m, n);
+      matmul_acc(a.data(), b.data(), ref.data(), m, k, n);
+
+      Tensor par(m, n);
+      matmul_acc_parallel(a.data(), b.data(), par.data(), m, k, n);
+      expect_bit_identical(ref, par, m, k, n, "matmul_acc_parallel");
+
+      Tensor lin(m, n);
+      linear_acc(a.data(), b.data(), lin.data(), m, k, n);
+      expect_bit_identical(ref, lin, m, k, n, "linear_acc");
+
+      const Tensor bt = random_with_zeros(n, k, rng);
+      Tensor bt_ref(m, n);
+      matmul_bt_acc(a.data(), bt.data(), bt_ref.data(), m, k, n);
+      Tensor bt_par(m, n);
+      matmul_bt_acc_parallel(a.data(), bt.data(), bt_par.data(), m, k, n);
+      expect_bit_identical(bt_ref, bt_par, m, k, n, "matmul_bt_acc_parallel");
+    }
+  }
+}
+
+TEST(Kernels, ParallelRangesPartitionsExactlyAndRunsInlineOnWorkers) {
+  const ComputeThreadsGuard guard;
+  set_compute_threads(4);
+  // Every index covered exactly once, whatever the chunking.
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_ranges(1000, 1, [&](int lo, int hi) {
+    for (int i = lo; i < hi; ++i) hits[static_cast<std::size_t>(i)]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // A kernel issued from a compute-pool worker must not re-submit to the
+  // pool (it would deadlock a fully busy pool) — it runs inline instead.
+  ThreadPool* pool = compute_pool();
+  ASSERT_NE(pool, nullptr);
+  auto fut = pool->submit([] {
+    EXPECT_TRUE(on_compute_worker());
+    int chunks = 0;
+    parallel_ranges(1000, 1, [&](int, int) { ++chunks; });
+    return chunks;
+  });
+  EXPECT_EQ(fut.get(), 1);  // one inline chunk, no nested submission
+  EXPECT_FALSE(on_compute_worker());
+}
+
+TEST(Kernels, ModelLogitsBitIdenticalAcrossComputeThreads) {
+  // The end-to-end determinism claim at the model layer: logits from the
+  // pooled blocked drivers match the serial kernels exactly, so serving
+  // tokens can never depend on --compute-threads.
+  const ComputeThreadsGuard guard;
+  ModelConfig cfg;
+  cfg.vocab = 96;
+  cfg.d_model = 32;
+  cfg.n_layers = 1;
+  cfg.n_heads = 2;
+  cfg.d_ff = 64;
+  cfg.max_seq = 32;
+  cfg.n_medusa_heads = 2;
+  const TransformerModel m(cfg, 31);
+  Rng rng(37);
+  const Tensor hidden = Tensor::randn(9, cfg.d_model, 1.0f, rng);
+
+  set_compute_threads(1);
+  const Tensor lm_serial = m.infer_lm_logits(hidden);
+  const Tensor h0_serial = m.infer_head_logits(hidden, 0);
+  set_compute_threads(5);
+  const Tensor lm_par = m.infer_lm_logits(hidden);
+  const Tensor h0_par = m.infer_head_logits(hidden, 0);
+  expect_bit_identical(lm_serial, lm_par, 9, cfg.d_model, cfg.vocab,
+                       "infer_lm_logits");
+  expect_bit_identical(h0_serial, h0_par, 9, cfg.d_model, cfg.vocab,
+                       "infer_head_logits");
 }
 
 TEST(Model, BatchedScoringBitIdenticalToPerRowCalls) {

@@ -9,6 +9,7 @@
 #include <map>
 #include <thread>
 
+#include "nn/parallel.hpp"
 #include "serve/json.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/scheduler.hpp"
@@ -476,6 +477,31 @@ TEST(Scheduler, NoFuseEscapeHatchMatchesFusedAndSkipsFusedPasses) {
   EXPECT_GT(fused_stats.fused_rows, 0);
   EXPECT_EQ(serial_stats.fused_rows, 0);
   EXPECT_EQ(serial_stats.fused_passes, 0);
+}
+
+TEST(Scheduler, ComputeThreadsTokenParityEndToEnd) {
+  // The compute-kernel tentpole's serving claim: sizing the GEMM pool
+  // (--compute-threads) reschedules the matmuls across threads but the
+  // served tokens are bit-identical — the same end-to-end T=0 parity the
+  // CLI promises for `vsd serve --compute-threads 4` vs `1`.
+  struct Guard {
+    int prior = nn::compute_threads();  // e.g. TSan CI's VSD_COMPUTE_THREADS=4
+    ~Guard() { nn::set_compute_threads(prior); }
+  } guard;
+  const Fixture f;
+  nn::set_compute_threads(1);
+  const auto serial = serve_ids(f, 6, {.workers = 2, .batch = 3, .fuse = true},
+                                nullptr);
+  nn::set_compute_threads(4);
+  ServeStats stats;
+  const auto pooled = serve_ids(f, 6, {.workers = 2, .batch = 3, .fuse = true},
+                                &stats);
+  EXPECT_EQ(pooled, serial);
+  EXPECT_GT(stats.fused_rows, 0) << "fused pass did not engage";
+  // The unfused (fully per-session) path must be invariant too.
+  const auto pooled_unfused = serve_ids(
+      f, 6, {.workers = 2, .batch = 3, .fuse = false}, nullptr);
+  EXPECT_EQ(pooled_unfused, serial);
 }
 
 TEST(Scheduler, IdleBurstIsBatchedIntoTheFirstTick) {
