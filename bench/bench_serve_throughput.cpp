@@ -13,11 +13,16 @@
 // with --workers on multi-core hosts.
 //
 // A third pass reruns the batched scheduler with the prompt-prefix KV
-// cache (serve::SessionCache): the speed prompts all share the Alpaca
-// preamble, so later requests restore the shared prefill instead of
-// recomputing it.  The pass must show fewer prefill positions per request
-// AND bit-identical temperature-0 outputs — caching trades memory for
-// prefill compute, never correctness.
+// cache (serve::SessionCache over the paged KV arena): the speed prompts
+// all share the Alpaca preamble, so later requests adopt the shared
+// prefill's pages by reference instead of recomputing it.  The cache and
+// arena persist across runs — one cold pass warms them, then the best of
+// two WARM passes is timed, which is the steady state a long-lived server
+// sits in.  The warm pass must show fewer prefill positions, beat the
+// uncached batched wall clock at batch >= 4 (adopting pages has to be
+// cheaper than re-feeding the preamble), AND keep bit-identical
+// temperature-0 outputs — caching trades memory for prefill compute,
+// never correctness.
 //
 // A final pair isolates the fused batched forward: the same scheduler at
 // ONE worker with and without fusion (one stacked [B, D] x [D, V] scoring
@@ -45,6 +50,7 @@
 #include <thread>
 
 #include "bench_common.hpp"
+#include "nn/kv_arena.hpp"
 #include "nn/parallel.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/scheduler.hpp"
@@ -140,6 +146,7 @@ int main(int argc, char** argv) {
   // --- batched: the serving stack (queue + scheduler + pool) -------------
   const auto run_serving = [&](int run_workers, bool fuse,
                                serve::SessionCache* cache,
+                               const std::shared_ptr<nn::KvArena>& arena,
                                std::vector<spec::DecodeResult>& out) {
     serve::RequestQueue queue(static_cast<std::size_t>(std::max(1, batch)));
     std::thread producer([&] {
@@ -153,7 +160,8 @@ int main(int argc, char** argv) {
                                {.workers = run_workers,
                                 .batch = batch,
                                 .fuse = fuse,
-                                .cache = cache});
+                                .cache = cache,
+                                .kv_arena = arena});
     const serve::ServeStats stats =
         scheduler.run([&](const serve::Request& req, spec::DecodeResult r) {
           out[req.id] = std::move(r);
@@ -166,18 +174,54 @@ int main(int argc, char** argv) {
   // parity block below asserts against the serial loop).
   nn::set_compute_threads(compute_threads);
   std::vector<spec::DecodeResult> batched(static_cast<std::size_t>(n));
-  serve::ServeStats stats = run_serving(workers, true, nullptr, batched);
+  serve::ServeStats stats = run_serving(workers, true, nullptr, nullptr, batched);
   {
     std::vector<spec::DecodeResult> scratch(static_cast<std::size_t>(n));
-    const serve::ServeStats b2 = run_serving(workers, true, nullptr, scratch);
+    const serve::ServeStats b2 =
+        run_serving(workers, true, nullptr, nullptr, scratch);
     if (b2.wall_seconds < stats.wall_seconds) stats = b2;
   }
 
   // --- cached: same stack behind the prompt-prefix KV cache --------------
+  // The cache AND the paged arena its entries live in outlive the runs, so
+  // warm passes adopt same-arena pages by reference (O(pages) refcount
+  // bumps) exactly like a long-lived server.  The arena is sized with the
+  // scheduler's own derived-cap formula.
   serve::SessionCache cache(
       {.capacity = static_cast<std::size_t>(std::max(1, cache_cap))});
+  const auto shared_arena = [&] {
+    const nn::ModelConfig& cfg = sys.model->config();
+    nn::KvArenaOptions ao;
+    // Page granularity sized to the traffic, not the default: the speed
+    // prompts' template families share ~9-token openings (the BPE folds
+    // the Alpaca preamble into ~2 tokens), so 16-position pages never
+    // complete a shared page and every adoption copy-on-writes its way to
+    // fully private storage.  Quarter-size pages let cluster-mates hold
+    // the shared opening pages by refcount, which is what keeps
+    // cache_bytes below the flat-snapshot cache this arena replaced.
+    ao.page = 4;
+    const long per_seq = (cfg.max_seq + ao.page - 1) / ao.page;
+    ao.max_pages = static_cast<int>(
+        std::max<long>(64, static_cast<long>(batch) + cache_cap + 8) * per_seq);
+    return std::make_shared<nn::KvArena>(cfg.n_layers, cfg.d_model, cfg.max_seq,
+                                         ao);
+  }();
   std::vector<spec::DecodeResult> cached(static_cast<std::size_t>(n));
-  const serve::ServeStats cstats = run_serving(workers, true, &cache, cached);
+  // Cold pass: every prompt misses and its prefill is captured into the
+  // cache (untimed for the headline — it matches the uncached pass plus
+  // capture overhead).  Then best of two warm passes.
+  serve::ServeStats cstats =
+      run_serving(workers, true, &cache, shared_arena, cached);
+  const serve::ServeStats cstats_cold = cstats;
+  for (int round = 0; round < 2; ++round) {
+    std::vector<spec::DecodeResult> warm(static_cast<std::size_t>(n));
+    const serve::ServeStats w =
+        run_serving(workers, true, &cache, shared_arena, warm);
+    if (round == 0 || w.wall_seconds < cstats.wall_seconds) {
+      cstats = w;
+      cached = std::move(warm);
+    }
+  }
   const serve::SessionCacheStats cache_stats = cache.stats();
 
   // --- fused vs unfused at ONE worker: the single-core wall-clock claim --
@@ -190,13 +234,13 @@ int main(int argc, char** argv) {
   nn::set_compute_threads(1);
   std::vector<spec::DecodeResult> unfused_1t(static_cast<std::size_t>(n));
   std::vector<spec::DecodeResult> fused_1t(static_cast<std::size_t>(n));
-  serve::ServeStats ustats = run_serving(1, false, nullptr, unfused_1t);
-  serve::ServeStats fstats = run_serving(1, true, nullptr, fused_1t);
+  serve::ServeStats ustats = run_serving(1, false, nullptr, nullptr, unfused_1t);
+  serve::ServeStats fstats = run_serving(1, true, nullptr, nullptr, fused_1t);
   {
     std::vector<spec::DecodeResult> scratch(static_cast<std::size_t>(n));
-    const serve::ServeStats u2 = run_serving(1, false, nullptr, scratch);
+    const serve::ServeStats u2 = run_serving(1, false, nullptr, nullptr, scratch);
     if (u2.wall_seconds < ustats.wall_seconds) ustats = u2;
-    const serve::ServeStats f2 = run_serving(1, true, nullptr, scratch);
+    const serve::ServeStats f2 = run_serving(1, true, nullptr, nullptr, scratch);
     if (f2.wall_seconds < fstats.wall_seconds) fstats = f2;
   }
 
@@ -260,9 +304,13 @@ int main(int argc, char** argv) {
   } else if (speedup_model < 2.0) {
     speedup_note = "; note: below the 2x floor (only enforced at batch>=4)";
   }
-  // The prefix cache's floor: on shared-preamble prompts the cached pass
-  // must prime strictly fewer prefill positions, with identical outputs.
+  // The prefix cache's floors: on shared-preamble prompts the warm cached
+  // pass must prime strictly fewer prefill positions AND, at the
+  // advertised batch, beat the uncached batched wall clock — adopting
+  // refcounted arena pages has to be cheaper than re-feeding the preamble,
+  // or the cache is dead weight.  Identical outputs throughout.
   const bool prefill_reduced = cstats.prefill_positions < stats.prefill_positions;
+  const bool cached_ok = batch < 4 || cstats.wall_seconds <= stats.wall_seconds;
   const double prefill_saved_frac =
       stats.prefill_positions > 0
           ? 1.0 - static_cast<double>(cstats.prefill_positions) /
@@ -288,11 +336,18 @@ int main(int argc, char** argv) {
       fused_ok ? "" : "; fused SPEEDUP FLOOR (>1x at batch>=4) FAILED");
   std::printf(
       "prefix cache: %ld -> %ld prefill positions (%.1f%% saved), "
-      "%ld hits / %ld misses / %ld evictions; cached parity at T=0: %s%s\n",
+      "%ld hits / %ld misses / %ld evictions; cached parity at T=0: %s%s%s\n",
       stats.prefill_positions, cstats.prefill_positions,
       100.0 * prefill_saved_frac, cache_stats.hits, cache_stats.misses,
       cache_stats.evictions, cached_parity ? "PASS" : "FAIL",
-      prefill_reduced ? "" : "; prefill REDUCTION FLOOR FAILED");
+      prefill_reduced ? "" : "; prefill REDUCTION FLOOR FAILED",
+      cached_ok ? "" : "; cached WALL FLOOR (<= batched at batch>=4) FAILED");
+  std::printf(
+      "kv arena: page=%d pages_total=%zu shared=%zu cow_cloned=%ld "
+      "bytes=%zu (cold wall %.3fs -> warm %.3fs)\n",
+      cstats.kv.page, cstats.kv.pages_total, cstats.kv.pages_shared,
+      cstats.kv.pages_cow_cloned, cstats.kv.bytes, cstats_cold.wall_seconds,
+      cstats.wall_seconds);
 
   if (const char* path = json_out_path(argc, argv)) {
     std::FILE* f = open_json(path, "bench_serve_throughput", scale);
@@ -309,16 +364,21 @@ int main(int argc, char** argv) {
         "\"requests_per_sec_model\": %.3f, \"requests_per_sec_wall\": %.3f, "
         "\"prefill_positions\": %ld},\n"
         "  \"cached\": {\"ticks\": %ld, \"max_in_flight\": %d, \"wall_s\": %.4f, "
+        "\"cold_wall_s\": %.4f, "
         "\"requests_per_sec_model\": %.3f, \"requests_per_sec_wall\": %.3f, "
         "\"prefill_positions\": %ld, \"cached_positions\": %ld, "
         "\"cache_hits\": %ld, \"cache_misses\": %ld, \"cache_evictions\": %ld, "
-        "\"cache_entries\": %zu, \"cache_bytes\": %zu},\n"
+        "\"cache_entries\": %zu, \"cache_bytes\": %zu, "
+        "\"kv_arena\": {\"page\": %d, \"page_bytes\": %zu, "
+        "\"pages_total\": %zu, \"pages_shared\": %zu, \"pages_free\": %zu, "
+        "\"pages_cow_cloned\": %ld, \"bytes\": %zu}},\n"
         "  \"unfused_1t\": {\"ticks\": %ld, \"wall_s\": %.4f},\n"
         "  \"fused_1t\": {\"ticks\": %ld, \"wall_s\": %.4f, "
         "\"fused_rows\": %ld, \"fused_passes\": %ld},\n"
         "  \"fused_speedup_wall_1t\": %.3f,\n"
         "  \"speedup_model\": %.3f,\n  \"speedup_wall\": %.3f,\n"
         "  \"prefill_saved_frac\": %.4f,\n"
+        "  \"cached_le_batched_wall\": %s,\n"
         "  \"parity_temp0\": %s,\n  \"cached_parity_temp0\": %s,\n"
         "  \"fused_parity_temp0\": %s\n}\n",
         n, workers, compute_threads, batch, cache_cap, t_step, serial_steps,
@@ -326,20 +386,25 @@ int main(int argc, char** argv) {
         serial_rps_model, serial_rps_wall, serial_prefill, stats.ticks,
         stats.max_in_flight, stats.wall_seconds, batched_rps_model,
         batched_rps_wall, stats.prefill_positions, cstats.ticks,
-        cstats.max_in_flight, cstats.wall_seconds, cached_rps_model,
+        cstats.max_in_flight, cstats.wall_seconds, cstats_cold.wall_seconds,
+        cached_rps_model,
         cached_rps_wall, cstats.prefill_positions, cstats.cached_positions,
         cache_stats.hits, cache_stats.misses, cache_stats.evictions,
-        cache_stats.entries, cache_stats.bytes, ustats.ticks,
+        cache_stats.entries, cache_stats.bytes, cstats.kv.page,
+        cstats.kv.page_bytes, cstats.kv.pages_total, cstats.kv.pages_shared,
+        cstats.kv.pages_free, cstats.kv.pages_cow_cloned, cstats.kv.bytes,
+        ustats.ticks,
         ustats.wall_seconds, fstats.ticks, fstats.wall_seconds,
         fstats.fused_rows, fstats.fused_passes, fused_speedup_wall,
         speedup_model, speedup_wall, prefill_saved_frac,
+        cstats.wall_seconds <= stats.wall_seconds ? "true" : "false",
         parity ? "true" : "false", cached_parity ? "true" : "false",
         fused_parity ? "true" : "false");
     std::fclose(f);
     std::printf("# wrote %s\n", path);
   }
   return parity && cached_parity && fused_parity && speedup_ok && wall_ok &&
-                 prefill_reduced && fused_ok
+                 prefill_reduced && cached_ok && fused_ok
              ? 0
              : 1;
 }

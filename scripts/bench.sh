@@ -18,8 +18,18 @@ build="$repo/build"
 cmake -B "$build" -S "$repo" >/dev/null
 cmake --build "$build" -j --target bench_table2_speed bench_serve_throughput bench_kernels >/dev/null
 
+# The set of JSON keys a ledger file carries, one per line, sorted.  Used
+# to catch regressions where a bench rewrite silently drops a metric the
+# ledger used to record — downstream diffs depend on keys only ever being
+# added.
+ledger_keys() {
+  grep -o '"[A-Za-z0-9_]*"[[:space:]]*:' "$1" | tr -d '[:space:]:' | sort -u
+}
+
 # Runs one bench and insists on its JSON artifact: a missing binary or an
 # empty result is a hard failure, never a silently partial ledger entry.
+# If the JSON existed before the run, every key it carried must still be
+# present afterwards — losing a previously-ledgered key fails loudly.
 run_bench() {
   local name="$1" json="$2" log="$3"
   shift 3
@@ -28,10 +38,23 @@ run_bench() {
     echo "bench.sh: error: $bin is missing or not executable (build failed?)" >&2
     exit 1
   fi
+  local prev_keys=""
+  if [[ -s "$json" ]]; then
+    prev_keys="$(ledger_keys "$json")"
+  fi
   "$bin" --json "$json" "$@" | tee "$log"
   if [[ ! -s "$json" ]]; then
     echo "bench.sh: error: $name wrote no JSON to $json" >&2
     exit 1
+  fi
+  if [[ -n "$prev_keys" ]]; then
+    local lost
+    lost="$(comm -23 <(printf '%s\n' "$prev_keys") <(ledger_keys "$json"))"
+    if [[ -n "$lost" ]]; then
+      echo "bench.sh: error: $name dropped previously-ledgered key(s) from $json:" >&2
+      printf '  %s\n' $lost >&2
+      exit 1
+    fi
   fi
 }
 

@@ -40,6 +40,9 @@ constexpr OptionSpec kOptions[] = {
     {"queue", true, "admission queue capacity (default 2*batch)"},
     {"cache", true, "prompt-prefix KV cache capacity, warm entries (default 16)"},
     {"no-cache", false, "disable the prompt-prefix KV cache"},
+    {"kv-page", true, "KV arena page size, positions per page (default 16)", "N"},
+    {"kv-pages-max", true,
+     "KV arena page cap (default: derived from batch + cache)", "N"},
     {"no-fuse", false, "disable the fused batched forward (per-session matmuls)"},
     {"method", true, "ours | medusa (default ours)", "NAME"},
     {"items", true, "corpus size (default 48)"},
@@ -71,9 +74,11 @@ void print_serve_help() {
       "--workers threads, admitted and completed independently.  Results\n"
       "are JSON-lines on stdout (diagnostics on stderr), ending with a\n"
       "{\"summary\":...} line (requests/sec, ticks, worker/batch shape).\n"
-      "A prompt-prefix KV cache (LRU of warm sessions) skips the shared\n"
-      "part of the prefill for overlapping prompts; size it with --cache N\n"
-      "or turn it off with --no-cache (results are identical either way\n"
+      "KV storage is a paged arena shared by all in-flight sessions\n"
+      "(--kv-page positions per page, --kv-pages-max pages); a radix-tree\n"
+      "prompt-prefix cache shares pages by refcount so overlapping prompts\n"
+      "skip the shared part of the prefill; size it with --cache N or turn\n"
+      "it off with --no-cache (results are identical either way\n"
       "at temperature 0).  Each tick fuses the per-session logits matmuls\n"
       "into one [batch, D] x [D, V] pass (the batched-forward win);\n"
       "--no-fuse falls back to fully per-session steps, again with\n"
@@ -108,6 +113,8 @@ int cmd_serve(int argc, const char* const* argv) {
   const bool use_cache = !args.has("no-cache");
   const bool fuse = !args.has("no-fuse");
   const int cache_cap = args.get_int("cache", 16);
+  const int kv_page = args.get_int("kv-page", 16);
+  const int kv_pages_max = args.get_int("kv-pages-max", 0);  // 0 = derived
   eval::SystemConfig cfg;
   cfg.method = method;
   cfg.encoder_decoder = args.has("enc-dec");
@@ -136,6 +143,9 @@ int cmd_serve(int argc, const char* const* argv) {
     bad_arg = "--temperature must be finite and >= 0 (0 = greedy)";
   else if (use_cache && cache_cap < 1)
     bad_arg = "--cache must be >= 1 (use --no-cache to disable)";
+  else if (kv_page < 1) bad_arg = "--kv-page must be >= 1 (positions per page)";
+  else if (args.has("kv-pages-max") && kv_pages_max < 1)
+    bad_arg = "--kv-pages-max must be >= 1 (0 is reserved for the derived cap)";
   if (bad_arg != nullptr) {
     std::fprintf(stderr, "vsd serve: %s\n", bad_arg);
     return kExitUsage;
@@ -205,9 +215,14 @@ int cmd_serve(int argc, const char* const* argv) {
     cache = std::make_unique<serve::SessionCache>(serve::SessionCacheOptions{
         .capacity = static_cast<std::size_t>(cache_cap)});
   }
-  serve::Scheduler scheduler(
-      *sys.model, queue,
-      {.workers = workers, .batch = batch, .fuse = fuse, .cache = cache.get()});
+  serve::Scheduler scheduler(*sys.model, queue,
+                             {.workers = workers,
+                              .batch = batch,
+                              .fuse = fuse,
+                              .cache = cache.get(),
+                              .kv_page = kv_page,
+                              .kv_pages_max = kv_pages_max,
+                              .kv_arena = nullptr});
   int exit_code = kExitOk;
   serve::ServeStats stats;
   try {
@@ -269,6 +284,13 @@ int cmd_serve(int argc, const char* const* argv) {
         "\"hits\":%ld,\"misses\":%ld,\"evictions\":%ld}",
         cache_cap, cs.entries, cs.bytes, cs.hits, cs.misses, cs.evictions);
   }
+  std::printf(
+      ",\"kv_arena\":{\"page\":%d,\"page_bytes\":%zu,\"pages_total\":%zu,"
+      "\"pages_shared\":%zu,\"pages_free\":%zu,\"pages_cow_cloned\":%ld,"
+      "\"bytes\":%zu}",
+      stats.kv.page, stats.kv.page_bytes, stats.kv.pages_total,
+      stats.kv.pages_shared, stats.kv.pages_free, stats.kv.pages_cow_cloned,
+      stats.kv.bytes);
   std::printf("}}\n");
   return kExitOk;
 }

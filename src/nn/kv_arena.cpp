@@ -1,0 +1,156 @@
+#include "nn/kv_arena.hpp"
+
+#include <cstring>
+
+namespace vsd::nn {
+
+namespace {
+
+int derived_cap(int max_seq, int page, int requested) {
+  if (requested > 0) return requested;
+  // Default: 64 sequences' worth of pages — covers a serving batch plus a
+  // default-sized warm cache with room for copy-on-write divergence.
+  const int per_seq = (max_seq + page - 1) / page;
+  const int cap = 64 * per_seq;
+  return cap < 256 ? 256 : cap;
+}
+
+}  // namespace
+
+KvArena::KvArena(int n_layers, int d_model, int max_seq, KvArenaOptions opts)
+    : page_(opts.page),
+      n_layers_(n_layers),
+      d_model_(d_model),
+      cap_(derived_cap(max_seq, opts.page < 1 ? 1 : opts.page, opts.max_pages)),
+      page_floats_(static_cast<std::size_t>(n_layers) * 2 *
+                   static_cast<std::size_t>(page_ < 1 ? 1 : page_) *
+                   static_cast<std::size_t>(d_model)) {
+  check(page_ >= 1, "KvArena: page size must be >= 1");
+  check(n_layers_ >= 1 && d_model_ >= 1, "KvArena: bad model geometry");
+  check(cap_ >= pages_for(max_seq),
+        "KvArena: max_pages cannot hold even one max_seq sequence");
+  pages_.resize(static_cast<std::size_t>(cap_));
+  refs_ = std::make_unique<std::atomic<int>[]>(static_cast<std::size_t>(cap_));
+  for (int i = 0; i < cap_; ++i) refs_[static_cast<std::size_t>(i)].store(0, std::memory_order_relaxed);
+}
+
+int KvArena::alloc_page() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  int id;
+  if (!free_.empty()) {
+    id = free_.back();
+    free_.pop_back();
+  } else {
+    check(next_ < cap_,
+          "KvArena: out of pages (raise --kv-pages-max or shrink the cache)");
+    id = next_++;
+    pages_[static_cast<std::size_t>(id)] =
+        std::make_unique<float[]>(page_floats_);
+  }
+  refs_[static_cast<std::size_t>(id)].store(1, std::memory_order_relaxed);
+  return id;
+}
+
+void KvArena::incref(int id) {
+  // The caller holds a reference, so the count is >= 1 and cannot hit
+  // zero concurrently; a relaxed bump is enough.
+  refs_[static_cast<std::size_t>(id)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void KvArena::decref(int id) {
+  const int prev =
+      refs_[static_cast<std::size_t>(id)].fetch_sub(1, std::memory_order_acq_rel);
+  check(prev >= 1, "KvArena: decref of a free page");
+  if (prev == 1) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(id);  // buffer stays allocated for reuse
+  }
+}
+
+int KvArena::refcount(int id) const {
+  return refs_[static_cast<std::size_t>(id)].load(std::memory_order_acquire);
+}
+
+int KvArena::clone_page(int id) {
+  const int copy = alloc_page();
+  std::memcpy(page_data(copy), page_data(id), page_bytes());
+  cow_clones_.fetch_add(1, std::memory_order_relaxed);
+  return copy;
+}
+
+KvArenaStats KvArena::stats() const {
+  KvArenaStats s;
+  s.page = page_;
+  s.page_bytes = page_bytes();
+  s.pages_cow_cloned = cow_clones_.load(std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(mu_);
+  s.pages_free = free_.size();
+  s.pages_total = static_cast<std::size_t>(next_) - free_.size();
+  for (int i = 0; i < next_; ++i) {
+    if (refs_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed) > 1) {
+      ++s.pages_shared;
+    }
+  }
+  s.bytes = s.pages_total * s.page_bytes;
+  return s;
+}
+
+// --- KvPrefix -----------------------------------------------------------------
+
+KvPrefix::KvPrefix(std::shared_ptr<KvArena> arena, std::vector<int> pages,
+                   int len, Tensor enc_out)
+    : arena_(std::move(arena)),
+      pages_(std::move(pages)),
+      len_(len),
+      enc_out_(std::move(enc_out)) {}
+
+KvPrefix::KvPrefix(KvPrefix&& o) noexcept
+    : arena_(std::move(o.arena_)),
+      pages_(std::move(o.pages_)),
+      len_(o.len_),
+      enc_out_(std::move(o.enc_out_)) {
+  o.pages_.clear();
+  o.len_ = 0;
+}
+
+KvPrefix& KvPrefix::operator=(KvPrefix&& o) noexcept {
+  if (this != &o) {
+    release();
+    arena_ = std::move(o.arena_);
+    pages_ = std::move(o.pages_);
+    len_ = o.len_;
+    enc_out_ = std::move(o.enc_out_);
+    o.pages_.clear();
+    o.len_ = 0;
+  }
+  return *this;
+}
+
+KvPrefix::~KvPrefix() { release(); }
+
+void KvPrefix::release() {
+  if (arena_) {
+    for (const int id : pages_) arena_->decref(id);
+  }
+  pages_.clear();
+  len_ = 0;
+  arena_.reset();
+  enc_out_ = Tensor();
+}
+
+const float* KvPrefix::k_row(int layer, int pos) const {
+  const int p = arena_->page_size();
+  return arena_->k_row(pages_[static_cast<std::size_t>(pos / p)], layer, pos % p);
+}
+
+const float* KvPrefix::v_row(int layer, int pos) const {
+  const int p = arena_->page_size();
+  return arena_->v_row(pages_[static_cast<std::size_t>(pos / p)], layer, pos % p);
+}
+
+std::size_t KvPrefix::byte_size() const {
+  const std::size_t page_bytes = arena_ ? arena_->page_bytes() : 0;
+  return pages_.size() * page_bytes + enc_out_.size() * sizeof(float);
+}
+
+}  // namespace vsd::nn

@@ -1,0 +1,175 @@
+// nn::KvArena — block-paged KV-cache storage with refcounted
+// copy-on-write prefix sharing (the vLLM/PagedAttention storage model,
+// scaled to this codebase).
+//
+// KV rows live in fixed-size token-pages: one page holds every decoder
+// layer's K and V rows for `page` consecutive positions, contiguously.
+// An InferSession no longer owns flat [max_seq, D] buffers; it holds a
+// page table (vector of page ids) into an arena shared by every session
+// (and every warm cache entry) of one model.  Sharing is by refcount:
+// capturing a prompt prefix (`InferSession::share_prefix`) or restoring
+// one (`adopt_prefix`) bumps the covered pages' refcounts — O(pages)
+// instead of the O(bytes) row copies the old KvSnapshot path paid — and
+// a session appending into a page it shares with someone else first
+// clones just that page (copy-on-write), so divergence costs one page,
+// not a whole prefix.
+//
+// Determinism: pages only move bytes (memcpy on clone, row writes on
+// feed); attention always reads rows in ascending position order through
+// the page table, so paged and flat KV layouts are bit-identical — a
+// one-page-per-sequence arena IS the old flat buffer.
+//
+// Thread safety: alloc/free take the arena mutex; refcounts are atomic
+// (incref requires the caller to already hold a reference, which every
+// caller does — you can only share pages you reference).  Page buffers
+// are published before their id is handed out and never deallocated
+// while any reference exists, so concurrent readers of shared pages need
+// no further synchronization.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/error.hpp"
+#include "nn/tensor.hpp"
+
+namespace vsd::nn {
+
+struct KvArenaOptions {
+  int page = 16;      // positions per page
+  int max_pages = 0;  // hard page-id cap; 0 => derived (64 sequences' worth)
+};
+
+/// A point-in-time accounting of one arena (serve summary / bench ledger).
+struct KvArenaStats {
+  int page = 0;                    // positions per page
+  std::size_t page_bytes = 0;      // bytes per page (all layers' K+V rows)
+  std::size_t pages_total = 0;     // pages currently referenced (in use)
+  std::size_t pages_shared = 0;    // in-use pages with refcount > 1
+  std::size_t pages_free = 0;      // allocated buffers parked on the free list
+  long pages_cow_cloned = 0;       // cumulative copy-on-write page clones
+  std::size_t bytes = 0;           // pages_total * page_bytes
+};
+
+class KvArena {
+ public:
+  /// Geometry comes from the model: `n_layers` decoder layers of width
+  /// `d_model`.  `max_seq` sizes the derived default page cap.
+  KvArena(int n_layers, int d_model, int max_seq, KvArenaOptions opts = {});
+
+  int page_size() const { return page_; }
+  int n_layers() const { return n_layers_; }
+  int d_model() const { return d_model_; }
+  std::size_t page_floats() const { return page_floats_; }
+  std::size_t page_bytes() const { return page_floats_ * sizeof(float); }
+  int max_pages() const { return cap_; }
+  /// Pages needed to hold `len` positions (ceil division).
+  int pages_for(int len) const { return (len + page_ - 1) / page_; }
+
+  /// Allocates a page (free list first), refcount 1.  Throws when the
+  /// page cap is exhausted (`--kv-pages-max` raises it).
+  int alloc_page();
+  /// Adds a reference.  The caller must already hold one.
+  void incref(int id);
+  /// Drops a reference; the page returns to the free list at zero.
+  void decref(int id);
+  int refcount(int id) const;
+
+  /// Copy-on-write clone: a fresh page with identical bytes, refcount 1.
+  /// The caller must hold a reference on `id` (it is reading the page).
+  int clone_page(int id);
+
+  /// Base of a page's float storage.  Valid while the caller holds a
+  /// reference on the page.
+  float* page_data(int id) { return pages_[static_cast<std::size_t>(id)].get(); }
+  const float* page_data(int id) const {
+    return pages_[static_cast<std::size_t>(id)].get();
+  }
+
+  // Row addressing inside a page: all K rows of a layer, then its V rows.
+  std::size_t k_offset(int layer, int slot) const {
+    return (static_cast<std::size_t>(layer) * 2 * static_cast<std::size_t>(page_) +
+            static_cast<std::size_t>(slot)) *
+           static_cast<std::size_t>(d_model_);
+  }
+  std::size_t v_offset(int layer, int slot) const {
+    return (static_cast<std::size_t>(layer) * 2 * static_cast<std::size_t>(page_) +
+            static_cast<std::size_t>(page_) + static_cast<std::size_t>(slot)) *
+           static_cast<std::size_t>(d_model_);
+  }
+  float* k_row(int id, int layer, int slot) {
+    return page_data(id) + k_offset(layer, slot);
+  }
+  const float* k_row(int id, int layer, int slot) const {
+    return page_data(id) + k_offset(layer, slot);
+  }
+  float* v_row(int id, int layer, int slot) {
+    return page_data(id) + v_offset(layer, slot);
+  }
+  const float* v_row(int id, int layer, int slot) const {
+    return page_data(id) + v_offset(layer, slot);
+  }
+
+  KvArenaStats stats() const;
+
+ private:
+  const int page_;
+  const int n_layers_;
+  const int d_model_;
+  const int cap_;
+  const std::size_t page_floats_;
+
+  mutable std::mutex mu_;                         // free list + directory growth
+  std::vector<std::unique_ptr<float[]>> pages_;   // directory, fixed size cap_
+  std::unique_ptr<std::atomic<int>[]> refs_;
+  std::vector<int> free_;                         // ids with refcount 0
+  int next_ = 0;                                  // first never-allocated id
+  std::atomic<long> cow_clones_{0};
+};
+
+/// A refcounted run of arena pages covering the first `len` positions of
+/// some sequence — the unit the serving layer's prefix cache stores and
+/// the currency of zero-copy prefix sharing.  Holding a KvPrefix keeps
+/// the covered pages (and the arena) alive; destruction drops the page
+/// references.  Movable, not copyable (copying would need refcount bumps
+/// the type makes explicit via InferSession::share_prefix).
+class KvPrefix {
+ public:
+  KvPrefix() = default;
+  KvPrefix(std::shared_ptr<KvArena> arena, std::vector<int> pages, int len,
+           Tensor enc_out);
+  KvPrefix(KvPrefix&& o) noexcept;
+  KvPrefix& operator=(KvPrefix&& o) noexcept;
+  KvPrefix(const KvPrefix&) = delete;
+  KvPrefix& operator=(const KvPrefix&) = delete;
+  ~KvPrefix();
+
+  const std::shared_ptr<KvArena>& arena() const { return arena_; }
+  const std::vector<int>& pages() const { return pages_; }
+  int len() const { return len_; }
+  const Tensor& enc_out() const { return enc_out_; }
+  bool empty() const { return len_ == 0; }
+
+  /// KV row access through the prefix's own page table (cross-arena
+  /// adoption materializes rows through these).
+  const float* k_row(int layer, int pos) const;
+  const float* v_row(int layer, int pos) const;
+
+  /// Bytes held: covered pages (each counted in full — the page is the
+  /// allocation unit) plus any encoder context.  Sharing is accounted at
+  /// the cache level, where distinct pages across entries are visible.
+  std::size_t byte_size() const;
+
+  void release();
+
+ private:
+  std::shared_ptr<KvArena> arena_;
+  std::vector<int> pages_;
+  int len_ = 0;
+  Tensor enc_out_;
+};
+
+}  // namespace vsd::nn

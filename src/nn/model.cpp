@@ -216,13 +216,41 @@ std::size_t KvSnapshot::byte_size() const {
   return n;
 }
 
-InferSession::InferSession(const TransformerModel& m) : m_(m) {
+InferSession::InferSession(const TransformerModel& m,
+                           std::shared_ptr<KvArena> arena)
+    : m_(m), arena_(std::move(arena)) {
   const ModelConfig& cfg = m.config();
-  k_cache_.reserve(static_cast<std::size_t>(cfg.n_layers));
-  v_cache_.reserve(static_cast<std::size_t>(cfg.n_layers));
-  for (int l = 0; l < cfg.n_layers; ++l) {
-    k_cache_.emplace_back(cfg.max_seq, cfg.d_model);
-    v_cache_.emplace_back(cfg.max_seq, cfg.d_model);
+  if (!arena_) {
+    arena_ = std::make_shared<KvArena>(cfg.n_layers, cfg.d_model, cfg.max_seq);
+  }
+  check(arena_->n_layers() == cfg.n_layers && arena_->d_model() == cfg.d_model,
+        "InferSession: arena geometry does not match the model");
+}
+
+InferSession::~InferSession() { release_pages(0); }
+
+void InferSession::release_pages(std::size_t from_page) {
+  for (std::size_t i = from_page; i < pages_.size(); ++i) {
+    arena_->decref(pages_[i]);
+  }
+  pages_.resize(from_page);
+}
+
+void InferSession::prepare_append(int n) {
+  const int P = arena_->page_size();
+  // A partially filled tail page could be shared with a prefix holder (a
+  // warm-cache entry or a forked session); clone it before writing into
+  // its free slots — copy-on-write at page granularity.
+  if (len_ % P != 0) {
+    int& tail = pages_.back();
+    if (arena_->refcount(tail) > 1) {
+      const int copy = arena_->clone_page(tail);
+      arena_->decref(tail);
+      tail = copy;
+    }
+  }
+  while (static_cast<int>(pages_.size()) * P < len_ + n) {
+    pages_.push_back(arena_->alloc_page());
   }
 }
 
@@ -358,6 +386,18 @@ Tensor InferSession::feed(std::span<const int> ids) {
   const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(dh));
   std::vector<float> scores(static_cast<std::size_t>(cfg.max_seq));
 
+  // Make positions [len_, len_+n) writable (CoW a shared tail page,
+  // append fresh pages), then resolve every cached row's location once
+  // per layer: the attention loops read rows [0, len_+n) repeatedly, and
+  // a flat pointer array keeps them division-free and in the exact
+  // ascending-position order of the old flat cache — bit-identical
+  // accumulation for any page size.
+  prepare_append(n);
+  const int P = arena_->page_size();
+  const int total = len_ + n;
+  std::vector<const float*> kptr(static_cast<std::size_t>(total));
+  std::vector<const float*> vptr(static_cast<std::size_t>(total));
+
   for (int l = 0; l < cfg.n_layers; ++l) {
     const std::string p = layer_prefix(false, l);
     Tensor h = x;
@@ -365,12 +405,22 @@ Tensor InferSession::feed(std::span<const int> ids) {
     Tensor q = apply_linear(h, weight(p + "wq"), nullptr);
     Tensor k = apply_linear(h, weight(p + "wk"), nullptr);
     Tensor v = apply_linear(h, weight(p + "wv"), nullptr);
-    // Append to cache.
-    Tensor& kc = k_cache_[static_cast<std::size_t>(l)];
-    Tensor& vc = v_cache_[static_cast<std::size_t>(l)];
+    // Append to the cache pages.
     for (int i = 0; i < n; ++i) {
-      std::memcpy(kc.row(len_ + i), k.row(i), sizeof(float) * static_cast<std::size_t>(d));
-      std::memcpy(vc.row(len_ + i), v.row(i), sizeof(float) * static_cast<std::size_t>(d));
+      const int pos = len_ + i;
+      const int page = pages_[static_cast<std::size_t>(pos / P)];
+      std::memcpy(arena_->k_row(page, l, pos % P), k.row(i),
+                  sizeof(float) * static_cast<std::size_t>(d));
+      std::memcpy(arena_->v_row(page, l, pos % P), v.row(i),
+                  sizeof(float) * static_cast<std::size_t>(d));
+    }
+    for (std::size_t pi = 0; pi < pages_.size(); ++pi) {
+      const int base = static_cast<int>(pi) * P;
+      const int count = std::min(P, total - base);
+      for (int s = 0; s < count; ++s) {
+        kptr[static_cast<std::size_t>(base + s)] = arena_->k_row(pages_[pi], l, s);
+        vptr[static_cast<std::size_t>(base + s)] = arena_->v_row(pages_[pi], l, s);
+      }
     }
     // Causal attention against the cache.
     Tensor attn(n, d);
@@ -381,7 +431,7 @@ Tensor InferSession::feed(std::span<const int> ids) {
         const float* qrow = q.row(i) + off;
         float maxv = -1e30f;
         for (int j = 0; j < limit; ++j) {
-          const float* krow = kc.row(j) + off;
+          const float* krow = kptr[static_cast<std::size_t>(j)] + off;
           float dot = 0.0f;
           for (int c = 0; c < dh; ++c) dot += qrow[c] * krow[c];
           scores[static_cast<std::size_t>(j)] = dot * inv_sqrt;
@@ -398,7 +448,7 @@ Tensor InferSession::feed(std::span<const int> ids) {
         for (int c = 0; c < dh; ++c) orow[c] = 0.0f;
         for (int j = 0; j < limit; ++j) {
           const float pv = scores[static_cast<std::size_t>(j)] * inv_denom;
-          const float* vrow = vc.row(j) + off;
+          const float* vrow = vptr[static_cast<std::size_t>(j)] + off;
           for (int c = 0; c < dh; ++c) orow[c] += pv * vrow[c];
         }
       }
@@ -460,28 +510,80 @@ Tensor InferSession::feed(std::span<const int> ids) {
 
 void InferSession::truncate(int new_len) {
   check(new_len >= 0 && new_len <= len_, "truncate: bad length");
-  len_ = new_len;  // cache rows beyond new_len are simply overwritten later
+  // Pages wholly beyond the new length go back to the arena; a partially
+  // covered tail page is kept (its stale rows are overwritten — after a
+  // copy-on-write if the page is shared — by the next feed).
+  release_pages(static_cast<std::size_t>(arena_->pages_for(new_len)));
+  len_ = new_len;
 }
 
 void InferSession::reset() {
+  release_pages(0);
   len_ = 0;
-  enc_out_ = Tensor();  // stale cache rows are overwritten by the next feed
+  enc_out_ = Tensor();
+}
+
+KvPrefix InferSession::share_prefix(int upto_len) const {
+  check(upto_len >= 1 && upto_len <= len_, "share_prefix: bad length");
+  const std::size_t np = static_cast<std::size_t>(arena_->pages_for(upto_len));
+  std::vector<int> run(pages_.begin(), pages_.begin() + static_cast<long>(np));
+  for (const int id : run) arena_->incref(id);
+  return KvPrefix(arena_, std::move(run), upto_len, enc_out_);
+}
+
+void InferSession::adopt_prefix(const KvPrefix& p, int upto_len) {
+  check(upto_len == -1 || upto_len >= 1, "adopt_prefix: bad length");
+  const int n = upto_len < 0 ? p.len() : upto_len;
+  check(n >= 1 && n <= p.len(), "adopt_prefix: bad length");
+  check(n <= m_.config().max_seq, "adopt_prefix: prefix exceeds max_seq");
+  const KvArena& src = *p.arena();
+  check(src.n_layers() == m_.config().n_layers &&
+            src.d_model() == m_.config().d_model,
+        "adopt_prefix: prefix geometry does not match the model");
+  release_pages(0);
+  const std::size_t np = static_cast<std::size_t>(arena_->pages_for(n));
+  if (p.arena() == arena_) {
+    // Fast path: same arena — adopt the pages by reference.
+    pages_.assign(p.pages().begin(), p.pages().begin() + static_cast<long>(np));
+    for (const int id : pages_) arena_->incref(id);
+  } else {
+    // A prefix from another arena (or page geometry): materialize it by
+    // copying rows into freshly allocated pages of our own.
+    const int P = arena_->page_size();
+    const std::size_t row_bytes =
+        sizeof(float) * static_cast<std::size_t>(m_.config().d_model);
+    pages_.reserve(np);
+    for (std::size_t i = 0; i < np; ++i) pages_.push_back(arena_->alloc_page());
+    for (int l = 0; l < m_.config().n_layers; ++l) {
+      for (int pos = 0; pos < n; ++pos) {
+        const int page = pages_[static_cast<std::size_t>(pos / P)];
+        std::memcpy(arena_->k_row(page, l, pos % P), p.k_row(l, pos), row_bytes);
+        std::memcpy(arena_->v_row(page, l, pos % P), p.v_row(l, pos), row_bytes);
+      }
+    }
+  }
+  enc_out_ = p.enc_out();
+  len_ = n;
 }
 
 KvSnapshot InferSession::snapshot(int upto_len) const {
   check(upto_len >= 1 && upto_len <= len_, "snapshot: bad length");
   const int d = m_.config().d_model;
-  const std::size_t row_bytes =
-      sizeof(float) * static_cast<std::size_t>(upto_len) * static_cast<std::size_t>(d);
+  const int L = m_.config().n_layers;
+  const std::size_t row_bytes = sizeof(float) * static_cast<std::size_t>(d);
   KvSnapshot snap;
   snap.len = upto_len;
-  snap.k_rows.reserve(k_cache_.size());
-  snap.v_rows.reserve(v_cache_.size());
-  for (std::size_t l = 0; l < k_cache_.size(); ++l) {
+  snap.k_rows.reserve(static_cast<std::size_t>(L));
+  snap.v_rows.reserve(static_cast<std::size_t>(L));
+  const int P = arena_->page_size();
+  for (int l = 0; l < L; ++l) {
     Tensor k(upto_len, d);
     Tensor v(upto_len, d);
-    std::memcpy(k.data(), k_cache_[l].data(), row_bytes);
-    std::memcpy(v.data(), v_cache_[l].data(), row_bytes);
+    for (int pos = 0; pos < upto_len; ++pos) {
+      const int page = pages_[static_cast<std::size_t>(pos / P)];
+      std::memcpy(k.row(pos), arena_->k_row(page, l, pos % P), row_bytes);
+      std::memcpy(v.row(pos), arena_->v_row(page, l, pos % P), row_bytes);
+    }
     snap.k_rows.push_back(std::move(k));
     snap.v_rows.push_back(std::move(v));
   }
@@ -496,17 +598,25 @@ void InferSession::restore(const KvSnapshot& snap, int upto_len) {
   const int n = upto_len < 0 ? snap.len : upto_len;
   check(n >= 1 && n <= snap.len, "restore: bad length");
   check(n <= m_.config().max_seq, "restore: snapshot exceeds max_seq");
-  check(snap.k_rows.size() == k_cache_.size() &&
-            snap.v_rows.size() == v_cache_.size(),
+  const int L = m_.config().n_layers;
+  check(static_cast<int>(snap.k_rows.size()) == L &&
+            static_cast<int>(snap.v_rows.size()) == L,
         "restore: layer count mismatch");
   check(!snap.k_rows.empty() && snap.k_rows[0].cols() == m_.config().d_model,
         "restore: width mismatch");
+  release_pages(0);
+  const std::size_t np = static_cast<std::size_t>(arena_->pages_for(n));
+  pages_.reserve(np);
+  for (std::size_t i = 0; i < np; ++i) pages_.push_back(arena_->alloc_page());
+  const int P = arena_->page_size();
   const std::size_t row_bytes =
-      sizeof(float) * static_cast<std::size_t>(n) *
-      static_cast<std::size_t>(m_.config().d_model);
-  for (std::size_t l = 0; l < k_cache_.size(); ++l) {
-    std::memcpy(k_cache_[l].data(), snap.k_rows[l].data(), row_bytes);
-    std::memcpy(v_cache_[l].data(), snap.v_rows[l].data(), row_bytes);
+      sizeof(float) * static_cast<std::size_t>(m_.config().d_model);
+  for (int l = 0; l < L; ++l) {
+    for (int pos = 0; pos < n; ++pos) {
+      const int page = pages_[static_cast<std::size_t>(pos / P)];
+      std::memcpy(arena_->k_row(page, l, pos % P), snap.k_rows[static_cast<std::size_t>(l)].row(pos), row_bytes);
+      std::memcpy(arena_->v_row(page, l, pos % P), snap.v_rows[static_cast<std::size_t>(l)].row(pos), row_bytes);
+    }
   }
   enc_out_ = snap.enc_out;
   len_ = n;

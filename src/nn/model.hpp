@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "nn/autograd.hpp"
+#include "nn/kv_arena.hpp"
 
 namespace vsd::nn {
 
@@ -91,10 +92,12 @@ class TransformerModel {
   std::unordered_map<std::string, Var> by_name_;
 };
 
-/// Detachable copy of the first `len` positions of an InferSession's KV
-/// cache (plus any encoder context): the unit of reuse behind the serving
-/// layer's prompt-prefix cache.  A snapshot outlives the session it was
-/// taken from and can be restored into any session of a same-shaped model.
+/// Detachable DEEP COPY of the first `len` positions of an InferSession's
+/// KV cache (plus any encoder context).  Compatibility shim from before
+/// the paged KvArena: production prefix reuse goes through
+/// InferSession::share_prefix / adopt_prefix (O(pages) refcount bumps on
+/// shared arena pages); a snapshot still materializes detached row copies
+/// for tests and cross-process uses, at O(bytes).
 struct KvSnapshot {
   int len = 0;                  // cached positions
   std::vector<Tensor> k_rows;   // per decoder layer: [len, D]
@@ -105,9 +108,23 @@ struct KvSnapshot {
 };
 
 /// KV-cached inference over a TransformerModel (no gradients).
+///
+/// Storage is a page table into a KvArena: fixed-size token-pages holding
+/// all layers' K/V rows for a run of positions, shared by refcount across
+/// sessions and warm-cache entries of one model.  Feeds append through
+/// the table with zero-copy row access (attention resolves row pointers
+/// through the pages in ascending position order, so results are
+/// bit-identical to a flat [max_seq, D] cache for ANY page size); a feed
+/// that would write into a page shared with another holder first clones
+/// just that page (copy-on-write).  Pass a shared arena to let sessions
+/// share prefix pages; by default each session gets a private arena.
 class InferSession {
  public:
-  explicit InferSession(const TransformerModel& m);
+  explicit InferSession(const TransformerModel& m,
+                        std::shared_ptr<KvArena> arena = nullptr);
+  InferSession(const InferSession&) = delete;
+  InferSession& operator=(const InferSession&) = delete;
+  ~InferSession();
 
   /// Encoder-decoder models: run the encoder once over the source prompt.
   void set_encoder(std::span<const int> src_ids);
@@ -124,17 +141,27 @@ class InferSession {
   /// allocations can be reused for a new request (serving session reuse).
   void reset();
 
-  /// Copies the first `upto_len` cached positions (1 <= upto_len <= len())
-  /// into a detachable snapshot, so a prompt prefill can be captured once
-  /// and replayed into other sessions.
-  KvSnapshot snapshot(int upto_len) const;
+  /// Shares the first `upto_len` cached positions (1 <= upto_len <= len())
+  /// as a refcounted page run — O(pages) refcount bumps, zero row copies.
+  /// The prefix keeps its pages (and the arena) alive independently of
+  /// this session; a later feed past a shared page copy-on-writes it.
+  KvPrefix share_prefix(int upto_len) const;
 
   /// Replaces this session's state with the first `upto_len` positions of
-  /// `snap` (-1 => all of it) — a restored prefill, ready to feed suffix
-  /// tokens.  The snapshot must come from a same-shaped model.
+  /// `p` (-1 => all of it).  Same-arena prefixes are adopted by reference
+  /// — O(pages) refcount bumps, the restored-prefill fast path; a prefix
+  /// from a different arena (or page geometry) is materialized by copying
+  /// rows into freshly allocated pages.
+  void adopt_prefix(const KvPrefix& p, int upto_len = -1);
+
+  /// DEEP-COPY compatibility shims over the paged storage (see
+  /// KvSnapshot): snapshot copies rows out of the pages; restore copies
+  /// them into freshly allocated pages.
+  KvSnapshot snapshot(int upto_len) const;
   void restore(const KvSnapshot& snap, int upto_len = -1);
 
   int len() const { return len_; }
+  const std::shared_ptr<KvArena>& arena() const { return arena_; }
 
   /// Base-model logits for hidden rows [n, V].
   Tensor lm_logits(const Tensor& hidden) const;
@@ -143,13 +170,19 @@ class InferSession {
 
  private:
   const TransformerModel& m_;
+  std::shared_ptr<KvArena> arena_;
   int len_ = 0;
-  // Per decoder layer: cached K and V, each [max_seq, D].
-  std::vector<Tensor> k_cache_;
-  std::vector<Tensor> v_cache_;
+  // Page table: pages_[i] holds positions [i*page, (i+1)*page).  The
+  // invariant between calls is pages_.size() == ceil(len_ / page): a
+  // rollback drops (derefs) pages wholly beyond the new length.
+  std::vector<int> pages_;
   Tensor enc_out_;  // [S, D] encoder output (encoder-decoder only)
 
   const Tensor& weight(const std::string& name) const;
+  void release_pages(std::size_t from_page);
+  /// Makes positions [len_, len_ + n) writable: copy-on-writes a shared
+  /// tail page and appends freshly allocated pages as needed.
+  void prepare_append(int n);
 };
 
 }  // namespace vsd::nn

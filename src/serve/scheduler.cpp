@@ -41,9 +41,32 @@ ServeStats Scheduler::run(const Completion& on_complete) {
     bool capture_pending = false;  // snapshot the prompt prefill after step 1
   };
   // The cache only helps decoder-only models: enc-dec prompts feed the
-  // encoder, not the KV cache the snapshots capture.
+  // encoder, not the KV cache the prefixes cover.
   SessionCache* const cache =
       model_.config().encoder_decoder ? nullptr : opts_.cache;
+
+  // One paged KV arena shared by every slot's session and every warm
+  // cache entry: prefix adoption and capture become O(pages) refcount
+  // bumps on its pages instead of O(bytes) row copies.
+  std::shared_ptr<nn::KvArena> arena = opts_.kv_arena;
+  if (!arena) {
+    const nn::ModelConfig& cfg = model_.config();
+    nn::KvArenaOptions ao;
+    ao.page = std::max(1, opts_.kv_page);
+    if (opts_.kv_pages_max > 0) {
+      ao.max_pages = opts_.kv_pages_max;
+    } else {
+      // Room for the in-flight batch, a full warm cache, and some
+      // copy-on-write divergence headroom.
+      const int per_seq = (cfg.max_seq + ao.page - 1) / ao.page;
+      const long warm =
+          cache != nullptr ? static_cast<long>(cache->options().capacity) : 0;
+      ao.max_pages = static_cast<int>(
+          std::max<long>(64, static_cast<long>(batch) + warm + 8) * per_seq);
+    }
+    arena = std::make_shared<nn::KvArena>(cfg.n_layers, cfg.d_model,
+                                          cfg.max_seq, ao);
+  }
   // Declared before the pool: if a decode error unwinds this frame, the
   // pool must join its workers (which may still be mid-step on other
   // slots' sessions) before the slots are destroyed.
@@ -55,7 +78,7 @@ ServeStats Scheduler::run(const Completion& on_complete) {
   int live = 0;
 
   const auto admit = [&](Slot& slot, Request&& r) {
-    if (!slot.sess) slot.sess = std::make_unique<nn::InferSession>(model_);
+    if (!slot.sess) slot.sess = std::make_unique<nn::InferSession>(model_, arena);
     slot.req = std::move(r);
     const bool cacheable = cache != nullptr && !slot.req.prompt_ids.empty();
     int prefix = 0;
@@ -64,7 +87,7 @@ ServeStats Scheduler::run(const Completion& on_complete) {
       const SessionCache::Match m = cache->lookup(slot.req.prompt_ids);
       covered = m.covered;
       if (m.len > 0) {
-        slot.sess->restore(*m.snap, m.len);
+        slot.sess->adopt_prefix(*m.prefix, m.len);
         prefix = m.len;
       }
     }
@@ -97,15 +120,15 @@ ServeStats Scheduler::run(const Completion& on_complete) {
         // First step of a cacheable request: capture its prompt prefill on
         // the worker, sequenced right after the step (the prompt rows are
         // final once primed, and nothing else touches this slot's session
-        // until the next tick) — the copy runs in parallel across slots
-        // instead of stalling the scheduler thread between ticks.
+        // until the next tick) — share_prefix only bumps page refcounts,
+        // so the capture costs O(pages), not a row copy.
         slot.capture_pending = false;
         nn::InferSession* sess = slot.sess.get();
         inflight.emplace_back(
             &slot, pool.submit([dec, sess, cache,
                                 ids = slot.req.prompt_ids] {
               const bool more = dec->step();
-              cache->insert(ids, sess->snapshot(static_cast<int>(ids.size())));
+              cache->insert(ids, sess->share_prefix(static_cast<int>(ids.size())));
               return more;
             }));
       } else {
@@ -322,7 +345,7 @@ ServeStats Scheduler::run(const Completion& on_complete) {
       slot->capture_pending = false;
       nn::InferSession* sess = slot->sess.get();
       captures.push_back(pool.submit([sess, cache, ids = slot->req.prompt_ids] {
-        cache->insert(ids, sess->snapshot(static_cast<int>(ids.size())));
+        cache->insert(ids, sess->share_prefix(static_cast<int>(ids.size())));
       }));
     }
     for (auto& f : captures) f.get();
@@ -360,6 +383,11 @@ ServeStats Scheduler::run(const Completion& on_complete) {
   }
   stats.wall_seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
+  // Release the slots' sessions before sampling the arena, so the stats
+  // report what the run leaves behind: pages pinned by warm cache entries
+  // (plus anything an external kv_arena owner still holds).
+  for (Slot& slot : slots) slot.sess.reset();
+  stats.kv = arena->stats();
   return stats;
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 
 #include "nn/model.hpp"
 #include "serve/request_queue.hpp"
@@ -32,11 +33,22 @@ struct SchedulerOptions {
   // falls back to fully per-session steps (`vsd serve --no-fuse`).
   bool fuse = true;
   // Optional prompt-prefix KV cache (see serve/session_cache.hpp): slot
-  // admission restores the longest cached prefix of each prompt so the
-  // prefill feeds only the suffix, and each prompt's own prefill is
-  // captured after its first step.  Decoder-only models; results stay
+  // admission adopts the longest cached prefix of each prompt — O(pages)
+  // refcount bumps into the shared arena — so the prefill feeds only the
+  // suffix, and each prompt's own prefill is captured (share_prefix)
+  // after its first step.  Decoder-only models; results stay
   // token-identical to the uncached path.  nullptr disables reuse.
   SessionCache* cache = nullptr;
+  // Paged KV arena geometry (`vsd serve --kv-page / --kv-pages-max`):
+  // every slot's InferSession and every cache entry share one arena of
+  // `kv_page`-position pages.  kv_pages_max == 0 derives a cap from the
+  // batch width and warm-cache capacity.
+  int kv_page = 16;
+  int kv_pages_max = 0;
+  // A pre-built arena to serve from (benchmarks reuse one across runs so
+  // warm cache entries stay same-arena and adopt by reference).  Null =>
+  // the scheduler builds its own from kv_page / kv_pages_max.
+  std::shared_ptr<nn::KvArena> kv_arena = nullptr;
 };
 
 /// Serving accounting.  `ticks` counts scheduler iterations: under the
@@ -52,6 +64,7 @@ struct ServeStats {
   long cached_positions = 0;   // prompt positions restored from the cache
   long fused_rows = 0;         // hidden rows scored through the fused pass
   long fused_passes = 0;       // stacked score passes run (0 when unfused)
+  nn::KvArenaStats kv{};       // serving arena accounting at end of run
 };
 
 class Scheduler {

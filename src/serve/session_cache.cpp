@@ -6,20 +6,25 @@
 
 namespace vsd::serve {
 
-namespace {
-
-int common_prefix_len(std::span<const int> a, std::span<const int> b) {
-  const std::size_t n = std::min(a.size(), b.size());
-  std::size_t i = 0;
-  while (i < n && a[i] == b[i]) ++i;
-  return static_cast<int>(i);
-}
-
-}  // namespace
-
 SessionCache::SessionCache(SessionCacheOptions opts) : opts_(opts) {
   check(opts_.capacity >= 1, "SessionCache capacity must be >= 1");
   check(opts_.min_prefix >= 1, "SessionCache min_prefix must be >= 1");
+}
+
+SessionCache::~SessionCache() = default;
+
+SessionCache::Node* SessionCache::find_child(Node* n, int token) const {
+  for (auto& c : n->children) {
+    if (c->edge.front() == token) return c.get();
+  }
+  return nullptr;
+}
+
+SessionCache::EntryList::iterator SessionCache::subtree_terminal(Node* n) {
+  // Every non-root node keeps a terminal somewhere below (removal prunes
+  // nodes that lose theirs), so this descent always lands on one.
+  while (!n->has_term) n = n->children.front().get();
+  return n->term;
 }
 
 SessionCache::Match SessionCache::lookup(std::span<const int> prompt_ids) {
@@ -27,57 +32,175 @@ SessionCache::Match SessionCache::lookup(std::span<const int> prompt_ids) {
   // A full-prompt match is clamped one token short: the decoder must feed
   // at least one position to produce the next-token hidden state.
   const int usable = static_cast<int>(prompt_ids.size()) - 1;
-  auto best = lru_.end();
-  int best_len = 0;
-  bool covered = false;
-  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
-    const int common = common_prefix_len(it->key, prompt_ids);
-    covered = covered || common == static_cast<int>(prompt_ids.size());
-    const int len = std::min({common, usable, it->snap->len});
-    if (len > best_len) {
-      best_len = len;
-      best = it;
+
+  // Walk edges while prompt tokens keep matching.  Wherever the walk
+  // stops, every terminal in the subtree below shares exactly `matched`
+  // tokens with the prompt (keys diverge only past the stop point), so
+  // one descent — not a scan over entries — yields the longest match.
+  Node* node = &root_;
+  std::size_t matched = 0;
+  while (matched < prompt_ids.size()) {
+    Node* child = find_child(node, prompt_ids[matched]);
+    if (!child) break;
+    std::size_t e = 0;
+    while (e < child->edge.size() && matched < prompt_ids.size() &&
+           child->edge[e] == prompt_ids[matched]) {
+      ++e;
+      ++matched;
     }
+    node = child;
+    if (e < child->edge.size()) break;  // diverged (or prompt ended) mid-edge
   }
-  if (best == lru_.end() || best_len < opts_.min_prefix) {
+
+  if (node == &root_) {  // nothing matched even one token
     ++stats_.misses;
-    return {.len = 0, .covered = covered, .snap = nullptr};
+    return {.len = 0, .covered = false, .prefix = nullptr};
+  }
+
+  const auto term = subtree_terminal(node);
+  const bool covered = matched == prompt_ids.size();
+  const int len = std::min(static_cast<int>(matched), usable);
+  if (len < opts_.min_prefix) {
+    ++stats_.misses;
+    if (covered) {
+      // The covering entry still serves a purpose (the scheduler skips
+      // re-capturing this prompt because of it) — keep it warm.
+      lru_.splice(lru_.begin(), lru_, term);
+    }
+    return {.len = 0, .covered = covered, .prefix = nullptr};
   }
   ++stats_.hits;
-  lru_.splice(lru_.begin(), lru_, best);  // bump to most-recently-used
-  return {.len = best_len, .covered = covered, .snap = best->snap};
+  lru_.splice(lru_.begin(), lru_, term);  // bump the serving entry to MRU
+  return {.len = len, .covered = covered, .prefix = term->prefix};
 }
 
-void SessionCache::insert(std::span<const int> prefix_ids, nn::KvSnapshot snap) {
-  check(snap.len == static_cast<int>(prefix_ids.size()),
-        "SessionCache: snapshot length does not match the key prefix");
-  if (snap.len < opts_.min_prefix) return;  // too short to ever match
-  Entry e;
-  e.key.assign(prefix_ids.begin(), prefix_ids.end());
-  e.bytes = snap.byte_size() + e.key.size() * sizeof(int);
-  e.snap = std::make_shared<const nn::KvSnapshot>(std::move(snap));
+void SessionCache::insert(std::span<const int> prefix_ids, nn::KvPrefix prefix) {
+  check(prefix.len() == static_cast<int>(prefix_ids.size()),
+        "SessionCache: prefix length does not match the key");
+  if (prefix.len() < opts_.min_prefix) return;  // too short to ever match
 
   const std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
-    if (it->key == e.key) {  // refresh: newest snapshot wins, no eviction
-      stats_.bytes -= it->bytes;
-      lru_.erase(it);
+  Node* node = &root_;
+  std::size_t pos = 0;
+  while (pos < prefix_ids.size()) {
+    Node* child = find_child(node, prefix_ids[pos]);
+    if (!child) {
+      auto leaf = std::make_unique<Node>();
+      leaf->parent = node;
+      leaf->edge.assign(prefix_ids.begin() + static_cast<long>(pos),
+                        prefix_ids.end());
+      node->children.push_back(std::move(leaf));
+      node = node->children.back().get();
+      pos = prefix_ids.size();
       break;
     }
+    std::size_t e = 0;
+    while (e < child->edge.size() && pos < prefix_ids.size() &&
+           child->edge[e] == prefix_ids[pos]) {
+      ++e;
+      ++pos;
+    }
+    if (e == child->edge.size()) {
+      node = child;
+      continue;
+    }
+    // The key leaves the edge mid-run: split the edge at the divergence,
+    // with a new interior node owning the shared front half.
+    auto mid = std::make_unique<Node>();
+    mid->parent = node;
+    mid->edge.assign(child->edge.begin(), child->edge.begin() + static_cast<long>(e));
+    child->edge.erase(child->edge.begin(), child->edge.begin() + static_cast<long>(e));
+    for (auto& slot : node->children) {
+      if (slot.get() == child) {
+        mid->children.push_back(std::move(slot));
+        child->parent = mid.get();
+        slot = std::move(mid);
+        node = slot.get();
+        break;
+      }
+    }
+    // Loop continues: either the key is exhausted (node is the terminal)
+    // or its next token diverges from the split-off child, so the next
+    // iteration adds a fresh leaf under `node`.
   }
-  stats_.bytes += e.bytes;
-  lru_.push_front(std::move(e));
+
+  if (node->has_term) {  // refresh in place: newest prefill wins, no eviction
+    account_drop_locked(*node->term);
+    lru_.erase(node->term);
+    node->has_term = false;
+  }
+  lru_.push_front(Entry{
+      .node = node,
+      .key_len = prefix_ids.size(),
+      .prefix = std::make_shared<const nn::KvPrefix>(std::move(prefix))});
+  node->term = lru_.begin();
+  node->has_term = true;
+  account_add_locked(*node->term);
   ++stats_.insertions;
   evict_to_budget_locked();
 }
 
+void SessionCache::account_add_locked(const Entry& e) {
+  const nn::KvArena* arena = e.prefix->arena().get();
+  for (const int id : e.prefix->pages()) {
+    if (page_refs_[{arena, id}]++ == 0) stats_.bytes += arena->page_bytes();
+  }
+  stats_.bytes += e.key_len * sizeof(int) +
+                  e.prefix->enc_out().size() * sizeof(float);
+}
+
+void SessionCache::account_drop_locked(const Entry& e) {
+  const nn::KvArena* arena = e.prefix->arena().get();
+  for (const int id : e.prefix->pages()) {
+    const auto it = page_refs_.find({arena, id});
+    if (--it->second == 0) {
+      page_refs_.erase(it);
+      stats_.bytes -= arena->page_bytes();
+    }
+  }
+  stats_.bytes -= e.key_len * sizeof(int) +
+                  e.prefix->enc_out().size() * sizeof(float);
+}
+
+void SessionCache::remove_entry_locked(EntryList::iterator it) {
+  Node* node = it->node;
+  account_drop_locked(*it);
+  lru_.erase(it);
+  node->has_term = false;
+  // Prune nodes left with neither a terminal nor children...
+  while (node != &root_ && !node->has_term && node->children.empty()) {
+    Node* parent = node->parent;
+    auto& kids = parent->children;
+    for (auto slot = kids.begin(); slot != kids.end(); ++slot) {
+      if (slot->get() == node) {
+        kids.erase(slot);
+        break;
+      }
+    }
+    node = parent;
+  }
+  // ...then re-compress a pass-through survivor into its only child, so
+  // the tree stays a proper radix tree (one node per divergence).
+  if (node != &root_ && !node->has_term && node->children.size() == 1) {
+    Node* child = node->children.front().get();
+    node->edge.insert(node->edge.end(), child->edge.begin(), child->edge.end());
+    node->has_term = child->has_term;
+    if (child->has_term) {
+      node->term = child->term;
+      node->term->node = node;
+    }
+    std::vector<std::unique_ptr<Node>> grand = std::move(child->children);
+    node->children = std::move(grand);
+    for (auto& g : node->children) g->parent = node;
+  }
+}
+
 void SessionCache::evict_to_budget_locked() {
   // An entry bigger than the whole byte budget evicts everything including
-  // itself — the cache never holds more than max_bytes.
+  // itself — the cache never holds more than max_bytes of distinct pages.
   while (!lru_.empty() &&
          (lru_.size() > opts_.capacity || stats_.bytes > opts_.max_bytes)) {
-    stats_.bytes -= lru_.back().bytes;
-    lru_.pop_back();
+    remove_entry_locked(std::prev(lru_.end()));
     ++stats_.evictions;
   }
 }
@@ -93,6 +216,9 @@ void SessionCache::clear() {
   const std::lock_guard<std::mutex> lock(mu_);
   stats_.evictions += static_cast<long>(lru_.size());
   lru_.clear();
+  root_.children.clear();
+  root_.has_term = false;
+  page_refs_.clear();
   stats_.bytes = 0;
 }
 

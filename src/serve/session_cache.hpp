@@ -1,36 +1,51 @@
 // serve::SessionCache — the prompt-prefix KV cache behind the scheduler:
-// an LRU of warm sessions, each entry mapping a token prefix (a previously
-// prefilled prompt) to a detachable nn::KvSnapshot of its KV rows.
+// a radix tree over token prefixes whose terminals hold refcounted
+// nn::KvPrefix page runs into the model's KvArena.
 //
 // Admission looks up the longest cached prefix of an incoming prompt and
-// restores it into the slot's InferSession, so the prefill feeds only the
-// suffix; after a request's first step the scheduler captures its prompt
-// prefill and inserts it for future requests.  Speed-bench prompts all
-// share the Alpaca preamble, which is exactly the repeated structure this
-// dedups — the same shared-prefix compression idea the ACAS-Xu BDD tables
-// use, applied to KV rows.
+// adopts it into the slot's InferSession (O(pages) refcount bumps — no
+// row copies), so the prefill feeds only the suffix; after a request's
+// first step the scheduler captures its prompt prefill (share_prefix,
+// again O(pages)) and inserts it for future requests.  Speed-bench
+// prompts all share the Alpaca preamble, which is exactly the repeated
+// structure the tree compresses — one stored edge per shared token run,
+// one arena page per shared KV block.
 //
-// Bounded by an entry capacity and a byte budget (least-recently-used
-// entries evict first); hit/miss/insertion/eviction counters feed the
-// serve summary.  All operations are thread-safe; lookup hands out a
-// shared_ptr so a restore can proceed even if the entry is evicted
-// concurrently.
+// The tree replaces the old longest-match LRU scan: lookup walks edges
+// in O(prompt length) instead of O(entries * prompt length), and any
+// terminal below the divergence point proves coverage of every matched
+// token.  Entries still age on one LRU list (a hit bumps the matched
+// entry; a covered hit bumps the covering entry, so full coverage cannot
+// silently age out while the scheduler keeps skipping re-capture).
+//
+// Bounded by an entry capacity and a byte budget.  Bytes are accounted
+// at page granularity and pages shared between entries (or with live
+// sessions) count ONCE — the budget tracks distinct arena pages held,
+// which is what the arena actually spends.  Least-recently-used entries
+// evict first until both bounds hold; evicting an entry releases page
+// references, freeing only the pages no other holder still references.
+// Hit/miss/insertion/eviction counters feed the serve summary.  All
+// operations are thread-safe; lookup hands out a shared_ptr so an adopt
+// can proceed even if the entry is evicted concurrently (the pages stay
+// referenced until the last holder lets go).
 #pragma once
 
 #include <cstddef>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <utility>
 #include <vector>
 
-#include "nn/model.hpp"
+#include "nn/kv_arena.hpp"
 
 namespace vsd::serve {
 
 struct SessionCacheOptions {
   std::size_t capacity = 16;             // max warm entries
-  std::size_t max_bytes = 64ull << 20;   // KV byte budget across entries
+  std::size_t max_bytes = 64ull << 20;   // distinct-page byte budget
   int min_prefix = 4;                    // shortest prefix worth reusing
 };
 
@@ -40,51 +55,76 @@ struct SessionCacheStats {
   long insertions = 0;
   long evictions = 0;
   std::size_t entries = 0;
-  std::size_t bytes = 0;
+  std::size_t bytes = 0;  // distinct pages held + keys + encoder contexts
 };
 
 class SessionCache {
  public:
-  /// A lookup result: `len` prompt tokens are covered by `snap` (restore
-  /// with `sess.restore(*snap, len)`).  len == 0 means a miss.  `covered`
-  /// reports that some entry already spans the entire prompt, so
-  /// re-capturing this prompt's prefill would add no coverage.
+  /// A lookup result: `len` prompt tokens are covered by `prefix` (adopt
+  /// with `sess.adopt_prefix(*prefix, len)`).  len == 0 means a miss.
+  /// `covered` reports that some entry already spans the entire prompt,
+  /// so re-capturing this prompt's prefill would add no coverage.
   struct Match {
     int len = 0;
     bool covered = false;
-    std::shared_ptr<const nn::KvSnapshot> snap;
+    std::shared_ptr<const nn::KvPrefix> prefix;
   };
 
   explicit SessionCache(SessionCacheOptions opts = {});
+  ~SessionCache();
 
   /// Longest cached token prefix of `prompt_ids`, clamped one short of the
   /// full prompt (the decoder still needs a non-empty suffix to compute
   /// the next-token hidden state).  Matches shorter than min_prefix count
-  /// as misses; a hit bumps the entry to most-recently-used.
+  /// as misses; a hit — covered or not — bumps the serving entry to
+  /// most-recently-used.
   Match lookup(std::span<const int> prompt_ids);
 
-  /// Stores `snap` (the prefill of exactly `prefix_ids`) keyed by those
+  /// Stores `prefix` (the prefill of exactly `prefix_ids`) keyed by those
   /// tokens.  An exact-key entry is refreshed in place; least-recently-used
   /// entries evict until capacity and the byte budget hold.  Prefixes
   /// shorter than min_prefix are not worth a slot and are dropped.
-  void insert(std::span<const int> prefix_ids, nn::KvSnapshot snap);
+  void insert(std::span<const int> prefix_ids, nn::KvPrefix prefix);
 
   SessionCacheStats stats() const;
   void clear();
   const SessionCacheOptions& options() const { return opts_; }
 
  private:
+  struct Node;
   struct Entry {
-    std::vector<int> key;
-    std::shared_ptr<const nn::KvSnapshot> snap;
-    std::size_t bytes = 0;
+    Node* node = nullptr;
+    std::size_t key_len = 0;
+    std::shared_ptr<const nn::KvPrefix> prefix;
+  };
+  using EntryList = std::list<Entry>;  // most-recently-used first
+
+  /// Compressed trie node: `edge` is the token run from the parent.  Every
+  /// node except the root has a terminal somewhere in its subtree (nodes
+  /// that lose that property are pruned or merged away on removal).
+  struct Node {
+    Node* parent = nullptr;
+    std::vector<int> edge;
+    std::vector<std::unique_ptr<Node>> children;
+    bool has_term = false;
+    EntryList::iterator term;
   };
 
+  Node* find_child(Node* n, int token) const;
+  EntryList::iterator subtree_terminal(Node* n);
+  void account_add_locked(const Entry& e);
+  void account_drop_locked(const Entry& e);
+  void remove_entry_locked(EntryList::iterator it);
   void evict_to_budget_locked();
 
   const SessionCacheOptions opts_;
   mutable std::mutex mu_;
-  std::list<Entry> lru_;  // most-recently-used first
+  Node root_;
+  EntryList lru_;
+  // Distinct-page multiplicity across entries, keyed by (arena, page id):
+  // a page enters the byte total when its first entry arrives and leaves
+  // when its last entry goes.
+  std::map<std::pair<const nn::KvArena*, int>, int> page_refs_;
   SessionCacheStats stats_;
 };
 

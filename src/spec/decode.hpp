@@ -79,12 +79,16 @@ struct DecodeResult {
 /// step() call so a thread pool can absorb the prefill cost too.
 ///
 /// `primed_prefix` > 0 declares that the first `primed_prefix` prompt
-/// tokens are already in the KV cache (restored from an nn::KvSnapshot by
-/// the serving layer's prompt-prefix cache): the session is NOT reset and
+/// tokens are already in the KV cache (an nn::KvPrefix adopted from the
+/// serving layer's prompt-prefix cache — shared arena pages, possibly
+/// referenced by other in-flight sessions): the session is NOT reset and
 /// prime() feeds only the remaining suffix, which must be non-empty so the
 /// next-token hidden state is computed.  Results are token-identical to
 /// the unprimed path (feeds are row-local, so splitting the prompt at any
-/// boundary is bit-exact).  Decoder-only models only; degenerate configs
+/// boundary is bit-exact), and the speculative feed/truncate rollbacks
+/// work unchanged over the page table: truncate releases whole pages past
+/// the new length, and a feed into a page still shared with the cache
+/// copy-on-writes just that page.  Decoder-only models only; degenerate configs
 /// (num_candidates < 1, max_new_tokens < 0, no draft heads) are rejected
 /// here, up front.  An empty prompt yields an immediately-done empty
 /// result instead of crashing in the prefill.

@@ -464,6 +464,52 @@ TEST(Scheduler, FusedForwardTokenIdenticalToSerialAcrossShapes) {
   EXPECT_GT(cstats.cached_positions, 0) << "cache never hit";
 }
 
+TEST(Scheduler, KvPageSizeNeverChangesTokens) {
+  // The paged-arena contract: KV pages only relocate rows, attention still
+  // reads them in ascending position order, so ANY page size serves the
+  // same tokens — a one-page-per-sequence arena IS the old flat buffer.
+  // Sweep page sizes with the prefix cache on (adoption, CoW and eviction
+  // all engage) and fused/unfused ticks.
+  const Fixture f;
+  const spec::Decoder dec(*f.model);
+  const spec::DecodeConfig cfg = greedy_config();
+  const int n = 6;
+  const auto prompts = f.prompts(n);
+  std::map<std::uint64_t, std::vector<int>> expected;
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    Rng rng(90 + i);
+    expected[i] = dec.speculative(prompts[i], cfg, rng).ids;
+  }
+
+  for (const int page : {1, 4, 16, f.cfg.max_seq}) {
+    for (const bool fuse : {true, false}) {
+      SessionCache cache({.capacity = 8, .min_prefix = 2});
+      ServeStats stats;
+      const auto got = serve_ids(
+          f, n, {.workers = 2, .batch = 3, .fuse = fuse, .kv_page = page},
+          &stats, &cache);
+      EXPECT_EQ(got, expected) << "kv_page=" << page << " fuse=" << fuse;
+      // The run reports its arena: geometry echoed, warm cache entries
+      // still pin pages after the slots are torn down.
+      EXPECT_EQ(stats.kv.page, page);
+      EXPECT_GT(stats.kv.page_bytes, 0u);
+      EXPECT_GT(stats.kv.pages_total, 0u);
+      EXPECT_EQ(stats.kv.bytes, stats.kv.pages_total * stats.kv.page_bytes);
+    }
+  }
+
+  // An explicit page cap is honored: pages for one sequence is the floor.
+  ServeStats capped;
+  const auto got = serve_ids(f, n,
+                             {.workers = 1,
+                              .batch = 1,
+                              .fuse = true,
+                              .kv_page = 16,
+                              .kv_pages_max = 4 * ((f.cfg.max_seq + 15) / 16)},
+                             &capped);
+  EXPECT_EQ(got, expected);
+}
+
 TEST(Scheduler, NoFuseEscapeHatchMatchesFusedAndSkipsFusedPasses) {
   const Fixture f;
   ServeStats fused_stats;

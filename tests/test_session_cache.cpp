@@ -1,8 +1,9 @@
-// Tests for the prompt-prefix KV cache: longest-prefix matching with the
-// full-prompt clamp, LRU/byte-budget eviction and counter accounting, and
-// the scheduler integration — temperature-0 token parity cached vs
-// uncached across worker/batch shapes, with rollback-heavy speculative
-// decoding on top of restored prefixes.
+// Tests for the prompt-prefix KV cache: radix-tree longest-prefix matching
+// with the full-prompt clamp, LRU/byte-budget eviction with distinct-page
+// accounting, covered-hit recency, concurrent insert/evict/adopt races on
+// shared arena pages, and the scheduler integration — temperature-0 token
+// parity cached vs uncached across worker/batch shapes, with
+// rollback-heavy speculative decoding on top of adopted prefixes.
 #include <gtest/gtest.h>
 
 #include <map>
@@ -18,11 +19,12 @@
 namespace vsd::serve {
 namespace {
 
-// --- snapshot plumbing on an untrained tiny model ---------------------------
+// --- prefix plumbing on an untrained tiny model -----------------------------
 
 struct CacheFixture {
   nn::ModelConfig cfg;
   std::unique_ptr<nn::TransformerModel> model;
+  std::shared_ptr<nn::KvArena> arena;
 
   CacheFixture() {
     cfg.vocab = 48;
@@ -32,13 +34,15 @@ struct CacheFixture {
     cfg.d_ff = 32;
     cfg.max_seq = 64;
     model = std::make_unique<nn::TransformerModel>(cfg, 3);
+    arena = std::make_shared<nn::KvArena>(cfg.n_layers, cfg.d_model, cfg.max_seq);
   }
 
-  /// Prefill `ids` into a scratch session and snapshot all of it.
-  nn::KvSnapshot prefill(const std::vector<int>& ids) const {
-    nn::InferSession sess(*model);
+  /// Prefill `ids` into a scratch session on the shared arena and share
+  /// all of it (the pages outlive the session via the prefix's refs).
+  nn::KvPrefix prefill(const std::vector<int>& ids) const {
+    nn::InferSession sess(*model, arena);
     sess.feed(ids);
-    return sess.snapshot(static_cast<int>(ids.size()));
+    return sess.share_prefix(static_cast<int>(ids.size()));
   }
 };
 
@@ -60,20 +64,22 @@ TEST(SessionCache, MissThenHitWithCounters) {
   // non-empty suffix remains to feed.
   const SessionCache::Match m = cache.lookup(prompt);
   EXPECT_EQ(m.len, static_cast<int>(prompt.size()) - 1);
-  ASSERT_TRUE(m.snap != nullptr);
-  EXPECT_EQ(m.snap->len, static_cast<int>(prompt.size()));
+  ASSERT_TRUE(m.prefix != nullptr);
+  EXPECT_EQ(m.prefix->len(), static_cast<int>(prompt.size()));
+  EXPECT_TRUE(m.covered);
 
   // A longer prompt sharing the whole entry: full entry length usable.
   std::vector<int> longer = prompt;
   longer.push_back(45);
   longer.push_back(46);
   EXPECT_EQ(cache.lookup(longer).len, static_cast<int>(prompt.size()));
+  EXPECT_FALSE(cache.lookup(longer).covered);
 
   // Disjoint prompt: miss.
   EXPECT_EQ(cache.lookup(iota_ids(20, 10)).len, 0);
 
   const SessionCacheStats s = cache.stats();
-  EXPECT_EQ(s.hits, 2);
+  EXPECT_EQ(s.hits, 3);
   EXPECT_EQ(s.misses, 2);
   EXPECT_EQ(s.insertions, 1);
   EXPECT_EQ(s.evictions, 0);
@@ -138,6 +144,34 @@ TEST(SessionCache, CapacityEvictsLeastRecentlyUsed) {
   EXPECT_EQ(s.entries, 2u);
 }
 
+TEST(SessionCache, CoveredHitRefreshesRecency) {
+  // Regression: a covered hit must bump the covering entry to MRU.  The
+  // scheduler skips re-capturing prompts the cache already spans, so if
+  // coverage silently aged out under eviction pressure, repeat traffic
+  // would thrash between "covered, skip capture" and "gone, cold prefill".
+  const CacheFixture f;
+  SessionCache cache({.capacity = 2, .min_prefix = 2});
+  const std::vector<int> prompt = iota_ids(1, 8);
+  std::vector<int> longer = prompt;
+  longer.push_back(33);
+  longer.push_back(34);
+  const std::vector<int> other = iota_ids(20, 8);
+
+  cache.insert(longer, f.prefill(longer));  // covers `prompt` entirely
+  cache.insert(other, f.prefill(other));    // fresher than `longer`
+
+  // Covered hit on `prompt` serves (and must refresh) the `longer` entry.
+  const SessionCache::Match m = cache.lookup(prompt);
+  EXPECT_TRUE(m.covered);
+  EXPECT_EQ(m.len, static_cast<int>(prompt.size()) - 1);
+
+  // A cold insert at capacity now evicts `other`, not the covering entry.
+  const std::vector<int> cold = iota_ids(30, 8);
+  cache.insert(cold, f.prefill(cold));
+  EXPECT_TRUE(cache.lookup(prompt).covered);
+  EXPECT_EQ(cache.lookup(other).len, 0);
+}
+
 TEST(SessionCache, ByteBudgetBoundsTotalSize) {
   const CacheFixture f;
   const std::vector<int> a = iota_ids(0, 8);
@@ -145,6 +179,8 @@ TEST(SessionCache, ByteBudgetBoundsTotalSize) {
       f.prefill(a).byte_size() + a.size() * sizeof(int);
 
   // Budget for two entries: the third insert evicts the least recent.
+  // (The prefills run on separate sessions, so no pages are shared and
+  // per-entry bytes are simply pages + key.)
   SessionCache cache(
       {.capacity = 100, .max_bytes = 2 * one_entry + 16, .min_prefix = 2});
   cache.insert(a, f.prefill(a));
@@ -161,6 +197,42 @@ TEST(SessionCache, ByteBudgetBoundsTotalSize) {
   EXPECT_EQ(cache.stats().entries, 2u);
 }
 
+TEST(SessionCache, SharedPagesAcrossEntriesCountOnce) {
+  // Two entries forked from one prefill share their preamble pages by
+  // refcount; the byte budget must charge each distinct arena page once,
+  // not once per entry — that is the whole point of paging the cache.
+  const CacheFixture f;
+  const auto arena = std::make_shared<nn::KvArena>(
+      f.cfg.n_layers, f.cfg.d_model, f.cfg.max_seq, nn::KvArenaOptions{.page = 4});
+  const std::vector<int> preamble = iota_ids(1, 8);  // 2 full pages
+
+  nn::InferSession a(*f.model, arena);
+  std::vector<int> key_a = preamble;
+  for (const int t : {30, 31, 32, 33}) key_a.push_back(t);
+  a.feed(key_a);
+  const nn::KvPrefix pre = a.share_prefix(static_cast<int>(preamble.size()));
+
+  nn::InferSession b(*f.model, arena);
+  b.adopt_prefix(pre, static_cast<int>(preamble.size()));  // by reference
+  std::vector<int> key_b = preamble;
+  for (const int t : {35, 36, 37, 38}) key_b.push_back(t);
+  b.feed(std::vector<int>(key_b.begin() + static_cast<long>(preamble.size()),
+                          key_b.end()));
+
+  SessionCache cache({.capacity = 8, .min_prefix = 2});
+  cache.insert(key_a, a.share_prefix(static_cast<int>(key_a.size())));
+  cache.insert(key_b, b.share_prefix(static_cast<int>(key_b.size())));
+
+  // 2 shared preamble pages + 1 distinct tail page each = 4 pages, though
+  // the entries' standalone sizes sum to 6 pages.
+  const std::size_t key_bytes = (key_a.size() + key_b.size()) * sizeof(int);
+  EXPECT_EQ(cache.stats().bytes, 4 * arena->page_bytes() + key_bytes);
+  EXPECT_GE(arena->stats().pages_shared, 2u);
+
+  cache.clear();
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
 TEST(SessionCache, ConcurrentSameKeyInsertsKeepAccountingExact) {
   // Two workers racing to capture the same prompt prefill (the scheduler
   // does exactly this when a shared-preamble burst lands on an empty
@@ -169,9 +241,8 @@ TEST(SessionCache, ConcurrentSameKeyInsertsKeepAccountingExact) {
   const CacheFixture f;
   SessionCache cache({.capacity = 8, .max_bytes = 1ull << 30, .min_prefix = 2});
   const std::vector<int> shared = iota_ids(1, 10);
-  const nn::KvSnapshot proto = f.prefill(shared);
   const std::size_t entry_bytes =
-      proto.byte_size() + shared.size() * sizeof(int);
+      f.prefill(shared).byte_size() + shared.size() * sizeof(int);
 
   constexpr int kThreads = 4;
   constexpr int kIters = 25;
@@ -231,6 +302,54 @@ TEST(SessionCache, ConcurrentMixedKeyInsertsStayWithinBudget) {
   EXPECT_EQ(s.bytes, expected_bytes);
   EXPECT_EQ(s.insertions, static_cast<long>(kThreads) * kIters * 2);
   EXPECT_EQ(s.evictions, 0);
+}
+
+TEST(SessionCache, ConcurrentAdoptVsEvictOnSharedPages) {
+  // The shared-page lifetime race the refcounts exist for: readers adopt
+  // a cached prefix (then append, copy-on-writing the shared tail page)
+  // while writers refresh and evict entries referencing the same pages.
+  // The lookup's shared_ptr plus the page refcounts must keep every page
+  // alive exactly as long as someone reads it (TSan hunts the rest).
+  const CacheFixture f;
+  SessionCache cache({.capacity = 2, .max_bytes = 1ull << 30, .min_prefix = 2});
+  const std::vector<int> hot = iota_ids(1, 9);
+  cache.insert(hot, f.prefill(hot));
+
+  constexpr int kReaders = 3;
+  constexpr int kIters = 30;
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&f, &cache, &hot] {
+      std::vector<int> query = hot;
+      query.push_back(39);
+      for (int i = 0; i < kIters; ++i) {
+        const SessionCache::Match m = cache.lookup(query);
+        if (m.len == 0) continue;
+        nn::InferSession sess(*f.model, f.arena);
+        sess.adopt_prefix(*m.prefix, m.len);
+        // Appending into the shared tail page forces a CoW clone while
+        // other readers still read the original page.
+        sess.feed(std::vector<int>{query[static_cast<std::size_t>(m.len)]});
+      }
+    });
+  }
+  threads.emplace_back([&f, &cache, &hot] {
+    for (int i = 0; i < kIters; ++i) {
+      // Churn: disjoint inserts push `hot` out of the 2-entry cache, then
+      // a re-insert brings it back — entries holding the shared pages die
+      // and are reborn under the readers.
+      cache.insert(iota_ids(20 + (i % 3) * 5, 8),
+                   f.prefill(iota_ids(20 + (i % 3) * 5, 8)));
+      cache.insert(hot, f.prefill(hot));
+    }
+  });
+  for (std::thread& t : threads) t.join();
+
+  // Everything still accounted: drop all entries and the arena keeps no
+  // cache-held pages (sessions are gone too), so nothing leaked.
+  cache.clear();
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  EXPECT_EQ(f.arena->stats().pages_total, 0u);
 }
 
 TEST(SessionCache, ClearDropsEverything) {
@@ -310,8 +429,11 @@ std::map<std::uint64_t, std::vector<int>> serve_ids(
   }
   queue.close();
   std::map<std::uint64_t, std::vector<int>> ids;
-  Scheduler sched(*f.model, queue,
-                  {.workers = workers, .batch = batch, .cache = cache});
+  SchedulerOptions opts;
+  opts.workers = workers;
+  opts.batch = batch;
+  opts.cache = cache;
+  Scheduler sched(*f.model, queue, opts);
   const ServeStats stats = sched.run(
       [&](const Request& req, spec::DecodeResult r) { ids[req.id] = std::move(r.ids); });
   if (stats_out != nullptr) *stats_out = stats;
@@ -374,7 +496,7 @@ TEST(SchedulerCache, IdenticalPromptsReuseAllButOneToken) {
   const auto cached = serve_ids(f, prompts, 1, 1, &cache, &stats);
   const auto plain = serve_ids(f, prompts, 1, 1, nullptr, nullptr);
   EXPECT_EQ(cached, plain);
-  // Each repeat restores all but the forced last prompt token.
+  // Each repeat adopts all but the forced last prompt token.
   const long plen = static_cast<long>(prompts[0].size());
   EXPECT_EQ(stats.cached_positions, 3 * (plen - 1));
   EXPECT_EQ(stats.prefill_positions, plen + 3);

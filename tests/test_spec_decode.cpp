@@ -284,6 +284,88 @@ TEST(DecodeE2E, PrimedPrefixSessionMatchesUncachedDecode) {
   EXPECT_EQ(r.positions, uncached.positions - prefix);
 }
 
+TEST(DecodeE2E, RollbackAcrossPageBoundariesKeepsTokenParity) {
+  // Speculative verification feeds candidate tokens then truncates the
+  // rejects — on a paged KV arena with tiny pages that rollback repeatedly
+  // releases and re-allocates pages mid-decode and copy-on-writes shared
+  // tails.  Tokens must not move for ANY page size: one page per sequence
+  // is the flat layout, so parity across {1, 2, 4} pages vs max_seq is
+  // the whole-decode determinism proof.
+  Fixture f(Method::Ours);
+  DecodeConfig cfg;
+  cfg.max_new_tokens = 32;
+  cfg.num_heads = 6;
+  const std::vector<int> prompt = f.full_prompt();
+  const nn::ModelConfig& mc = f.model->config();
+
+  auto decode_with_page = [&](int page) {
+    auto arena = std::make_shared<nn::KvArena>(mc.n_layers, mc.d_model,
+                                               mc.max_seq,
+                                               nn::KvArenaOptions{.page = page});
+    nn::InferSession sess(*f.model, arena);
+    DecodeSession dec(*f.model, sess, prompt, cfg, Rng(11));
+    while (dec.step()) {
+    }
+    return dec.take_result();
+  };
+
+  const DecodeResult flat = decode_with_page(mc.max_seq);
+  ASSERT_FALSE(flat.ids.empty());
+  for (const int page : {1, 2, 4}) {
+    const DecodeResult paged = decode_with_page(page);
+    EXPECT_EQ(paged.ids, flat.ids) << "page=" << page;
+    EXPECT_EQ(paged.steps, flat.steps) << "page=" << page;
+    EXPECT_EQ(paged.accepted_per_step, flat.accepted_per_step);
+  }
+}
+
+TEST(DecodeE2E, SharedPrefixForkDivergesByCopyOnWrite) {
+  // Two decodes forked from ONE shared prefill (the serving cache's hot
+  // path): both adopt the same pages by reference, then diverge — each
+  // session's first append into the shared tail page clones it, and both
+  // decodes must match their independently-prefilled twins token for token.
+  Fixture f(Method::Ours);
+  DecodeConfig cfg;
+  cfg.max_new_tokens = 24;
+  cfg.num_heads = 6;
+  const std::vector<int> prompt = f.full_prompt();
+  const nn::ModelConfig& mc = f.model->config();
+  auto arena = std::make_shared<nn::KvArena>(mc.n_layers, mc.d_model, mc.max_seq,
+                                             nn::KvArenaOptions{.page = 4});
+  const int prefix = static_cast<int>(prompt.size()) - 1;
+
+  nn::InferSession prefill(*f.model, arena);
+  prefill.feed(std::span<const int>(prompt.data(), prefix));
+  const nn::KvPrefix pre = prefill.share_prefix(prefix);
+
+  auto run_fork = [&](std::uint64_t seed) {
+    nn::InferSession sess(*f.model, arena);
+    sess.adopt_prefix(pre, prefix);
+    DecodeSession dec(*f.model, sess, prompt, cfg, Rng(seed), prefix);
+    while (dec.step()) {
+    }
+    return dec.take_result();
+  };
+  auto run_flat = [&](std::uint64_t seed) {
+    nn::InferSession sess(*f.model, arena);
+    DecodeSession dec(*f.model, sess, prompt, cfg, Rng(seed));
+    while (dec.step()) {
+    }
+    return dec.take_result();
+  };
+
+  const long cow_before = arena->stats().pages_cow_cloned;
+  const DecodeResult fork_a = run_fork(21);
+  const DecodeResult fork_b = run_fork(22);
+  EXPECT_GE(arena->stats().pages_cow_cloned, cow_before + 1)
+      << "diverging from a shared tail page must clone it";
+  EXPECT_EQ(fork_a.ids, run_flat(21).ids);
+  EXPECT_EQ(fork_b.ids, run_flat(22).ids);
+  // The shared prefill pages are still intact for the next fork.
+  EXPECT_EQ(pre.len(), prefix);
+  for (const int id : pre.pages()) EXPECT_GE(arena->refcount(id), 1);
+}
+
 TEST(DecodeE2E, PrimedPrefixValidatesSessionState) {
   Fixture f(Method::Ours);
   DecodeConfig cfg;
@@ -392,12 +474,12 @@ TEST(DecodeE2E, FusedScoringAcrossSessionsIsTokenIdentical) {
     serial.push_back(dec.speculative(prompts[i], cfg, rng));
   }
 
-  std::vector<nn::InferSession> sessions;
-  sessions.emplace_back(*f.model);
-  sessions.emplace_back(*f.model);
+  std::vector<std::unique_ptr<nn::InferSession>> sessions;
+  sessions.push_back(std::make_unique<nn::InferSession>(*f.model));
+  sessions.push_back(std::make_unique<nn::InferSession>(*f.model));
   std::vector<std::unique_ptr<DecodeSession>> live;
   for (std::size_t i = 0; i < prompts.size(); ++i) {
-    live.push_back(std::make_unique<DecodeSession>(*f.model, sessions[i],
+    live.push_back(std::make_unique<DecodeSession>(*f.model, *sessions[i],
                                                    prompts[i], cfg, Rng(50 + i)));
   }
   while (live[0]->done() == false || live[1]->done() == false) {
