@@ -16,10 +16,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <ctime>
 #include <string>
 #include <vector>
 
+#include "common/trace.hpp"
 #include "eval/harness.hpp"
 
 namespace vsd::bench {
@@ -71,18 +71,10 @@ inline const char* json_out_path(int argc, char** argv) {
   return std::getenv("VSD_JSON");
 }
 
-/// UTC timestamp for the perf ledger (dates each BENCH_*.json entry).
-inline std::string utc_now() {
-  const std::time_t t = std::time(nullptr);
-  std::tm tm_utc{};
-  gmtime_r(&t, &tm_utc);
-  char buf[32];
-  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
-  return buf;
-}
-
 /// Opens the --json output file and writes the shared header fields
-/// (bench name, timestamp, scale); the caller continues the object.
+/// (bench name, timestamp, scale); the caller continues the object.  The
+/// timestamp comes from vsd::obs::utc_iso8601 — one formatter dates both
+/// the perf ledger and the trace files.
 inline std::FILE* open_json(const char* path, const char* bench_name,
                             const Scale& scale) {
   std::FILE* f = std::fopen(path, "w");
@@ -93,7 +85,7 @@ inline std::FILE* open_json(const char* path, const char* bench_name,
   std::fprintf(f,
                "{\n  \"bench\": \"%s\",\n  \"generated_utc\": \"%s\",\n"
                "  \"scale\": %s,\n",
-               bench_name, utc_now().c_str(), scale.json().c_str());
+               bench_name, obs::utc_iso8601().c_str(), scale.json().c_str());
   return f;
 }
 

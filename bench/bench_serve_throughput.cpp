@@ -16,9 +16,12 @@
 // cache (serve::SessionCache over the paged KV arena): the speed prompts
 // all share the Alpaca preamble, so later requests adopt the shared
 // prefill's pages by reference instead of recomputing it.  The cache and
-// arena persist across runs — one cold pass warms them, then the best of
-// two WARM passes is timed, which is the steady state a long-lived server
-// sits in.  The warm pass must show fewer prefill positions, beat the
+// arena persist across runs — one cold pass warms them, then WARM passes
+// are timed, which is the steady state a long-lived server sits in.  All
+// wall floors are judged on medians of within-round ratios (serial,
+// batched, and cached run back to back each round) so host-load noise
+// cancels instead of inverting thin margins.  The warm pass must show
+// fewer prefill positions, beat the
 // uncached batched wall clock at batch >= 4 (adopting pages has to be
 // cheaper than re-feeding the preamble), AND keep bit-identical
 // temperature-0 outputs — caching trades memory for prefill compute,
@@ -50,6 +53,7 @@
 #include <thread>
 
 #include "bench_common.hpp"
+#include "common/metrics.hpp"
 #include "nn/kv_arena.hpp"
 #include "nn/parallel.hpp"
 #include "serve/request_queue.hpp"
@@ -67,6 +71,19 @@ double since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
+// Median of a sample of per-round wall-clock ratios.  The speedup floors
+// are judged on medians of WITHIN-round ratios rather than ratios of
+// cross-round minima: adjacent runs in one round see the same host load,
+// so the ratio cancels noise that best-of-N minima taken in different
+// load windows do not — on a busy shared core the minima can land
+// seconds apart and invert a thin (~1.1x) but real margin.
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t mid = v.size() / 2;
+  return v.size() % 2 == 1 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -77,6 +94,12 @@ int main(int argc, char** argv) {
   const int workers = eval::env_int("VSD_WORKERS", std::min(4, nn::hardware_threads()));
   const int batch = eval::env_int("VSD_BATCH", 4);
   const int cache_cap = eval::env_int("VSD_CACHE", 16);
+  // Timed decode passes cost well under a second each against minutes of
+  // training, so extra rounds are nearly free — and the speedup floors
+  // are medians over per-round ratios, so more rounds directly tightens
+  // the estimate on a noisy shared host (best-of-2 minima, the old
+  // scheme, wobbled enough to flip the >1x floors outright).
+  const int timed_rounds = std::max(1, eval::env_int("VSD_BENCH_ROUNDS", 6));
   // The batched passes run with the compute pool sized to the hardware
   // (identical tokens either way; on a single-core host that resolves to
   // the serial reference path, so nothing is oversubscribed).
@@ -116,10 +139,11 @@ int main(int argc, char** argv) {
   }
 
   // --- serial loop: one request at a time --------------------------------
-  // An untimed warm-up decode first, then best of two timed sweeps: the
-  // first pass through a fresh process is consistently slower (pages,
-  // allocator, branch history), and this baseline anchors every speedup
-  // the ledger reports.
+  // An untimed warm-up decode first (the first pass through a fresh
+  // process is consistently slower — pages, allocator, branch history),
+  // then a sweep helper the main timing loop below interleaves with the
+  // batched passes: this baseline anchors every speedup the ledger
+  // reports, so it must sample the same load windows as its rivals.
   std::vector<spec::DecodeResult> serial(static_cast<std::size_t>(n));
   {
     Rng rng(requests[0].seed);
@@ -128,7 +152,8 @@ int main(int argc, char** argv) {
   long serial_steps = 0;
   long serial_prefill = 0;
   double serial_wall = 1e30;
-  for (int round = 0; round < 2; ++round) {
+  const auto run_serial_sweep = [&] {
+    nn::set_compute_threads(1);  // the exact pre-PR serial path
     const auto t_serial = Clock::now();
     serial_steps = 0;
     serial_prefill = 0;
@@ -140,8 +165,10 @@ int main(int argc, char** argv) {
       serial_steps += serial[static_cast<std::size_t>(i)].steps;
       serial_prefill += serial[static_cast<std::size_t>(i)].prefill_positions;
     }
-    serial_wall = std::min(serial_wall, since(t_serial));
-  }
+    const double wall = since(t_serial);
+    serial_wall = std::min(serial_wall, wall);
+    return wall;
+  };
 
   // --- batched: the serving stack (queue + scheduler + pool) -------------
   const auto run_serving = [&](int run_workers, bool fuse,
@@ -169,20 +196,7 @@ int main(int argc, char** argv) {
     producer.join();
     return stats;
   };
-  // The batched pass is the headline wall number: best of two runs to
-  // shed scheduler noise (outputs are identical by construction, which the
-  // parity block below asserts against the serial loop).
-  nn::set_compute_threads(compute_threads);
-  std::vector<spec::DecodeResult> batched(static_cast<std::size_t>(n));
-  serve::ServeStats stats = run_serving(workers, true, nullptr, nullptr, batched);
-  {
-    std::vector<spec::DecodeResult> scratch(static_cast<std::size_t>(n));
-    const serve::ServeStats b2 =
-        run_serving(workers, true, nullptr, nullptr, scratch);
-    if (b2.wall_seconds < stats.wall_seconds) stats = b2;
-  }
-
-  // --- cached: same stack behind the prompt-prefix KV cache --------------
+  // --- cached setup: the prompt-prefix KV cache + its arena --------------
   // The cache AND the paged arena its entries live in outlive the runs, so
   // warm passes adopt same-arena pages by reference (O(pages) refcount
   // bumps) exactly like a long-lived server.  The arena is sized with the
@@ -206,20 +220,49 @@ int main(int argc, char** argv) {
     return std::make_shared<nn::KvArena>(cfg.n_layers, cfg.d_model, cfg.max_seq,
                                          ao);
   }();
+  // --- serial, batched (uncached), and warm cached, interleaved ----------
+  // The batched pass is the headline wall number; the warm cached pass
+  // must beat it, and both are judged against the serial baseline.  Best
+  // of several rounds per side, alternating serial/batched/cached inside
+  // each round so a host load spike lands on every side alike instead of
+  // sinking whichever section it overlapped (outputs are identical by
+  // construction, which the parity block below asserts).
+  std::vector<spec::DecodeResult> batched(static_cast<std::size_t>(n));
   std::vector<spec::DecodeResult> cached(static_cast<std::size_t>(n));
-  // Cold pass: every prompt misses and its prefill is captured into the
-  // cache (untimed for the headline — it matches the uncached pass plus
-  // capture overhead).  Then best of two warm passes.
+  // Cold cached pass first: every prompt misses and its prefill is
+  // captured into the cache (untimed for the headline — it matches the
+  // uncached pass plus capture overhead).
+  nn::set_compute_threads(compute_threads);
   serve::ServeStats cstats =
       run_serving(workers, true, &cache, shared_arena, cached);
   const serve::ServeStats cstats_cold = cstats;
-  for (int round = 0; round < 2; ++round) {
+  serve::ServeStats stats{};
+  bool have_warm = false;
+  std::vector<double> wall_ratios;       // serial_r / batched_r, per round
+  std::vector<double> cached_ratios;     // warm_r / batched_r, per round
+  for (int round = 0; round < timed_rounds; ++round) {
+    const double serial_r = run_serial_sweep();
+    nn::set_compute_threads(compute_threads);
+    double batched_r = 0.0;
+    if (round == 0) {
+      stats = run_serving(workers, true, nullptr, nullptr, batched);
+      batched_r = stats.wall_seconds;
+    } else {
+      std::vector<spec::DecodeResult> scratch(static_cast<std::size_t>(n));
+      const serve::ServeStats b2 =
+          run_serving(workers, true, nullptr, nullptr, scratch);
+      batched_r = b2.wall_seconds;
+      if (b2.wall_seconds < stats.wall_seconds) stats = b2;
+    }
     std::vector<spec::DecodeResult> warm(static_cast<std::size_t>(n));
     const serve::ServeStats w =
         run_serving(workers, true, &cache, shared_arena, warm);
-    if (round == 0 || w.wall_seconds < cstats.wall_seconds) {
+    wall_ratios.push_back(serial_r / std::max(batched_r, 1e-12));
+    cached_ratios.push_back(w.wall_seconds / std::max(batched_r, 1e-12));
+    if (!have_warm || w.wall_seconds < cstats.wall_seconds) {
       cstats = w;
       cached = std::move(warm);
+      have_warm = true;
     }
   }
   const serve::SessionCacheStats cache_stats = cache.stats();
@@ -229,19 +272,43 @@ int main(int argc, char** argv) {
   // isolates what fusing the logits matmuls buys in raw single-thread wall
   // clock, with the thread pool held at one worker — and the compute pool
   // at one thread — on both sides so only the batching of the
-  // [B, D] x [D, V] scoring differs.  Best of two runs per side to shed
-  // scheduler noise.
+  // [B, D] x [D, V] scoring differs.  This pair has the thinnest margin
+  // in the ledger (~1.1x), so it gets twice the rounds, interleaved AND
+  // alternating which side goes first each round — a load spike or a
+  // slow drift then hits both sides alike instead of whichever side
+  // happened to own that slice of wall clock.
   nn::set_compute_threads(1);
   std::vector<spec::DecodeResult> unfused_1t(static_cast<std::size_t>(n));
   std::vector<spec::DecodeResult> fused_1t(static_cast<std::size_t>(n));
   serve::ServeStats ustats = run_serving(1, false, nullptr, nullptr, unfused_1t);
   serve::ServeStats fstats = run_serving(1, true, nullptr, nullptr, fused_1t);
-  {
+  std::vector<double> fused_ratios;  // unfused_r / fused_r, per round
+  fused_ratios.push_back(ustats.wall_seconds /
+                         std::max(fstats.wall_seconds, 1e-12));
+  for (int round = 1; round < 2 * timed_rounds; ++round) {
     std::vector<spec::DecodeResult> scratch(static_cast<std::size_t>(n));
-    const serve::ServeStats u2 = run_serving(1, false, nullptr, nullptr, scratch);
-    if (u2.wall_seconds < ustats.wall_seconds) ustats = u2;
-    const serve::ServeStats f2 = run_serving(1, true, nullptr, nullptr, scratch);
-    if (f2.wall_seconds < fstats.wall_seconds) fstats = f2;
+    double u_r = 0.0;
+    double f_r = 0.0;
+    const auto time_unfused = [&] {
+      const serve::ServeStats u2 =
+          run_serving(1, false, nullptr, nullptr, scratch);
+      u_r = u2.wall_seconds;
+      if (u2.wall_seconds < ustats.wall_seconds) ustats = u2;
+    };
+    const auto time_fused = [&] {
+      const serve::ServeStats f2 =
+          run_serving(1, true, nullptr, nullptr, scratch);
+      f_r = f2.wall_seconds;
+      if (f2.wall_seconds < fstats.wall_seconds) fstats = f2;
+    };
+    if (round % 2 == 0) {
+      time_unfused();
+      time_fused();
+    } else {
+      time_fused();
+      time_unfused();
+    }
+    fused_ratios.push_back(u_r / std::max(f_r, 1e-12));
   }
 
   bool parity = true;
@@ -258,6 +325,19 @@ int main(int argc, char** argv) {
                    unfused_1t[static_cast<std::size_t>(i)].ids ==
                        serial[static_cast<std::size_t>(i)].ids;
   }
+
+  // Per-request wall-latency quantiles.  The serving passes carry theirs in
+  // ServeStats (enqueue -> complete through the queue + scheduler); the
+  // serial loop has no queue, so each request's latency is its own decode
+  // wall time, folded through the same histogram type for like-for-like
+  // quantile extraction.
+  obs::Histogram serial_lat_hist;
+  for (int i = 0; i < n; ++i) {
+    serial_lat_hist.record(serial[static_cast<std::size_t>(i)].wall_seconds);
+  }
+  const obs::HistogramStats serial_lat = serial_lat_hist.stats();
+  const obs::HistogramStats batched_lat = stats.latency;
+  const obs::HistogramStats cached_lat = cstats.latency;
 
   const double serial_model_s = static_cast<double>(serial_steps) * t_step;
   const double batched_model_s = static_cast<double>(stats.ticks) * t_step;
@@ -292,7 +372,10 @@ int main(int argc, char** argv) {
   // under the latency model.  Narrower batches (a user knob) note a missed
   // floor without failing the run.
   const double speedup_model = batched_rps_model / serial_rps_model;
-  const double speedup_wall = batched_rps_wall / serial_rps_wall;
+  // Wall speedups are medians of within-round ratios (see median() above):
+  // each round times serial, batched, and warm-cached back to back, so the
+  // per-round ratio sees one load window, not two.
+  const double speedup_wall = median(wall_ratios);
   const bool speedup_ok = batch < 4 || speedup_model >= 2.0;
   // The wall floor this PR exists for: with the compute-kernel layer
   // engaged, batched serving must beat the pre-PR serial loop in real
@@ -310,7 +393,7 @@ int main(int argc, char** argv) {
   // refcounted arena pages has to be cheaper than re-feeding the preamble,
   // or the cache is dead weight.  Identical outputs throughout.
   const bool prefill_reduced = cstats.prefill_positions < stats.prefill_positions;
-  const bool cached_ok = batch < 4 || cstats.wall_seconds <= stats.wall_seconds;
+  const bool cached_ok = batch < 4 || median(cached_ratios) <= 1.0;
   const double prefill_saved_frac =
       stats.prefill_positions > 0
           ? 1.0 - static_cast<double>(cstats.prefill_positions) /
@@ -319,8 +402,7 @@ int main(int argc, char** argv) {
   // The fused forward's acceptance floor: at the advertised batch the
   // stacked [B, D] x [D, V] pass must beat per-session matmuls in raw
   // single-thread wall clock (>1x), with token-identical outputs.
-  const double fused_speedup_wall =
-      ustats.wall_seconds / std::max(fstats.wall_seconds, 1e-12);
+  const double fused_speedup_wall = median(fused_ratios);
   const bool fused_ok = batch < 4 || fused_speedup_wall > 1.0;
   std::printf(
       "\nspeedup: %.2fx (model), %.2fx (wall, compute-threads=%d); parity at "
@@ -348,6 +430,12 @@ int main(int argc, char** argv) {
       cstats.kv.page, cstats.kv.pages_total, cstats.kv.pages_shared,
       cstats.kv.pages_cow_cloned, cstats.kv.bytes, cstats_cold.wall_seconds,
       cstats.wall_seconds);
+  std::printf(
+      "latency p50/p95/p99 (s): serial %.3f/%.3f/%.3f, "
+      "batched %.3f/%.3f/%.3f, cached %.3f/%.3f/%.3f\n",
+      serial_lat.p50, serial_lat.p95, serial_lat.p99, batched_lat.p50,
+      batched_lat.p95, batched_lat.p99, cached_lat.p50, cached_lat.p95,
+      cached_lat.p99);
 
   if (const char* path = json_out_path(argc, argv)) {
     std::FILE* f = open_json(path, "bench_serve_throughput", scale);
@@ -380,7 +468,7 @@ int main(int argc, char** argv) {
         "  \"prefill_saved_frac\": %.4f,\n"
         "  \"cached_le_batched_wall\": %s,\n"
         "  \"parity_temp0\": %s,\n  \"cached_parity_temp0\": %s,\n"
-        "  \"fused_parity_temp0\": %s\n}\n",
+        "  \"fused_parity_temp0\": %s,\n",
         n, workers, compute_threads, batch, cache_cap, t_step, serial_steps,
         serial_wall,
         serial_rps_model, serial_rps_wall, serial_prefill, stats.ticks,
@@ -400,6 +488,15 @@ int main(int argc, char** argv) {
         cstats.wall_seconds <= stats.wall_seconds ? "true" : "false",
         parity ? "true" : "false", cached_parity ? "true" : "false",
         fused_parity ? "true" : "false");
+    std::fprintf(
+        f,
+        "  \"latency\": {"
+        "\"serial\": {\"p50_s\": %.4f, \"p95_s\": %.4f, \"p99_s\": %.4f}, "
+        "\"batched\": {\"p50_s\": %.4f, \"p95_s\": %.4f, \"p99_s\": %.4f}, "
+        "\"cached\": {\"p50_s\": %.4f, \"p95_s\": %.4f, \"p99_s\": %.4f}}\n}\n",
+        serial_lat.p50, serial_lat.p95, serial_lat.p99, batched_lat.p50,
+        batched_lat.p95, batched_lat.p99, cached_lat.p50, cached_lat.p95,
+        cached_lat.p99);
     std::fclose(f);
     std::printf("# wrote %s\n", path);
   }

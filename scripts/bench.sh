@@ -23,7 +23,9 @@ cmake --build "$build" -j --target bench_table2_speed bench_serve_throughput ben
 # ledger used to record — downstream diffs depend on keys only ever being
 # added.
 ledger_keys() {
-  grep -o '"[A-Za-z0-9_]*"[[:space:]]*:' "$1" | tr -d '[:space:]:' | sort -u
+  # NB: keep newlines — [:space:] would eat them and fold every key onto
+  # one line, making any key *addition* read as a loss of the old set.
+  grep -o '"[A-Za-z0-9_]*"[[:space:]]*:' "$1" | tr -d ' \t:' | sort -u
 }
 
 # Runs one bench and insists on its JSON artifact: a missing binary or an

@@ -6,7 +6,9 @@
 // per line on stdout, completion order; a final {"summary":...} line
 // carries the throughput numbers.  All diagnostics go to stderr so stdout
 // stays machine-readable.
+#include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -18,6 +20,8 @@
 
 #include "cli/args.hpp"
 #include "cli/commands.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "data/dataset.hpp"
 #include "eval/harness.hpp"
 #include "nn/parallel.hpp"
@@ -44,6 +48,11 @@ constexpr OptionSpec kOptions[] = {
     {"kv-pages-max", true,
      "KV arena page cap (default: derived from batch + cache)", "N"},
     {"no-fuse", false, "disable the fused batched forward (per-session matmuls)"},
+    {"trace", true,
+     "write a Chrome-trace-event JSON timeline (per-tick phase spans,\n"
+     "                   per-request lifecycles; open in Perfetto)", "FILE"},
+    {"stats-every", true,
+     "print a one-line metrics snapshot to stderr every SECS seconds", "SECS"},
     {"method", true, "ours | medusa (default ours)", "NAME"},
     {"items", true, "corpus size (default 48)"},
     {"epochs", true, "training epochs (default 3)"},
@@ -83,6 +92,12 @@ void print_serve_help() {
       "into one [batch, D] x [D, V] pass (the batched-forward win);\n"
       "--no-fuse falls back to fully per-session steps, again with\n"
       "identical results.\n\n"
+      "Observability: --trace FILE records every tick phase and request\n"
+      "lifecycle as a Chrome-trace timeline (load in Perfetto or\n"
+      "chrome://tracing); --stats-every SECS prints periodic one-line\n"
+      "metric snapshots to stderr; the summary line always carries\n"
+      "latency/queue-wait/TTFT/tick quantiles.  Both are off by default\n"
+      "and cost nothing when off.\n\n"
       "options:\n");
   print_options(kOptions);
 }
@@ -115,6 +130,8 @@ int cmd_serve(int argc, const char* const* argv) {
   const int cache_cap = args.get_int("cache", 16);
   const int kv_page = args.get_int("kv-page", 16);
   const int kv_pages_max = args.get_int("kv-pages-max", 0);  // 0 = derived
+  const std::string trace_path = args.get("trace", "");
+  const double stats_every = args.get_double("stats-every", 0.0);
   eval::SystemConfig cfg;
   cfg.method = method;
   cfg.encoder_decoder = args.has("enc-dec");
@@ -146,6 +163,11 @@ int cmd_serve(int argc, const char* const* argv) {
   else if (kv_page < 1) bad_arg = "--kv-page must be >= 1 (positions per page)";
   else if (args.has("kv-pages-max") && kv_pages_max < 1)
     bad_arg = "--kv-pages-max must be >= 1 (0 is reserved for the derived cap)";
+  else if (args.has("stats-every") &&
+           !(std::isfinite(stats_every) && stats_every > 0.0))
+    bad_arg = "--stats-every must be > 0 (seconds between snapshots)";
+  else if (args.has("trace") && trace_path.empty())
+    bad_arg = "--trace needs a file path to write the timeline to";
   if (bad_arg != nullptr) {
     std::fprintf(stderr, "vsd serve: %s\n", bad_arg);
     return kExitUsage;
@@ -162,6 +184,21 @@ int cmd_serve(int argc, const char* const* argv) {
     }
     in = &file;
   }
+
+  // Open (and thereby validate) the trace destination before any training
+  // runs — an unwritable path should fail in milliseconds, not minutes.
+  std::FILE* trace_out = nullptr;
+  if (!trace_path.empty()) {
+    trace_out = std::fopen(trace_path.c_str(), "w");
+    if (trace_out == nullptr) {
+      std::fprintf(stderr, "vsd serve: cannot write --trace output to %s\n",
+                   trace_path.c_str());
+      return kExitUsage;
+    }
+  }
+  std::unique_ptr<obs::TraceWriter> tracer;
+  if (trace_out != nullptr) tracer = std::make_unique<obs::TraceWriter>();
+  obs::Registry& reg = obs::Registry::global();
 
   // Size the process-wide GEMM pool before any forward pass runs.  The
   // tokens served are bit-identical at every setting; only the clock moves.
@@ -183,6 +220,7 @@ int cmd_serve(int argc, const char* const* argv) {
 
   // --- stream prompts into the scheduler ---------------------------------
   serve::RequestQueue queue(static_cast<std::size_t>(queue_cap));
+  queue.attach_metrics(&reg);  // before the producer starts pushing
   std::uint64_t admitted = 0;
   std::thread producer([&] {
     std::string line;
@@ -215,6 +253,7 @@ int cmd_serve(int argc, const char* const* argv) {
     cache = std::make_unique<serve::SessionCache>(serve::SessionCacheOptions{
         .capacity = static_cast<std::size_t>(cache_cap)});
   }
+  if (cache) cache->attach_metrics(&reg);
   serve::Scheduler scheduler(*sys.model, queue,
                              {.workers = workers,
                               .batch = batch,
@@ -222,7 +261,38 @@ int cmd_serve(int argc, const char* const* argv) {
                               .cache = cache.get(),
                               .kv_page = kv_page,
                               .kv_pages_max = kv_pages_max,
-                              .kv_arena = nullptr});
+                              .kv_arena = nullptr,
+                              .metrics = &reg,
+                              .trace = tracer.get()});
+
+  // Periodic one-line snapshots (--stats-every): a sampling thread reads
+  // the registry — every read is lock-free or a brief registry-map lock —
+  // so it never perturbs the scheduler.
+  std::atomic<bool> stats_stop{false};
+  std::thread reporter;
+  if (args.has("stats-every")) {
+    reporter = std::thread([&reg, stats_every, &stats_stop] {
+      const auto period = std::chrono::duration<double>(stats_every);
+      auto next = std::chrono::steady_clock::now() + period;
+      while (!stats_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        if (std::chrono::steady_clock::now() < next) continue;
+        next += period;
+        const obs::HistogramStats lat =
+            reg.histogram("serve.request.latency_s").stats();
+        const obs::HistogramStats tick = reg.histogram("serve.tick_s").stats();
+        std::fprintf(stderr,
+                     "serve: stats completed=%ld in_flight=%.0f queue=%.0f "
+                     "latency{p50=%.3fs p99=%.3fs} tick_p50=%.4fs "
+                     "kv_pages=%.0f\n",
+                     reg.counter("serve.requests.completed").value(),
+                     reg.gauge("serve.in_flight").value(),
+                     reg.gauge("serve.queue.depth").value(), lat.p50, lat.p99,
+                     tick.p50, reg.gauge("serve.kv.pages_in_use").value());
+      }
+    });
+  }
+
   int exit_code = kExitOk;
   serve::ServeStats stats;
   try {
@@ -261,6 +331,8 @@ int cmd_serve(int argc, const char* const* argv) {
     std::_Exit(exit_code);
   }
   producer.join();
+  stats_stop.store(true, std::memory_order_relaxed);
+  if (reporter.joinable()) reporter.join();
 
   const double wall = stats.wall_seconds > 0.0 ? stats.wall_seconds : 1e-12;
   std::printf(
@@ -277,6 +349,18 @@ int cmd_serve(int argc, const char* const* argv) {
       stats.completed / wall, total_tokens / wall, stats.prefill_positions,
       stats.cached_positions, fuse ? "true" : "false", stats.fused_rows,
       stats.fused_passes);
+  std::printf(
+      ",\"latency\":{\"count\":%ld,\"mean_s\":%.4f,\"p50_s\":%.4f,"
+      "\"p95_s\":%.4f,\"p99_s\":%.4f,\"max_s\":%.4f}",
+      stats.latency.count, stats.latency.mean(), stats.latency.p50,
+      stats.latency.p95, stats.latency.p99, stats.latency.max);
+  std::printf(
+      ",\"obs\":{\"queue_wait_p50_s\":%.4f,\"queue_wait_p99_s\":%.4f,"
+      "\"ttft_p50_s\":%.4f,\"ttft_p99_s\":%.4f,\"tick_p50_s\":%.5f,"
+      "\"tick_p99_s\":%.5f,\"occupancy_mean\":%.3f,\"trace_events\":%zu}",
+      stats.queue_wait.p50, stats.queue_wait.p99, stats.ttft.p50,
+      stats.ttft.p99, stats.tick.p50, stats.tick.p99, stats.occupancy_mean,
+      tracer ? tracer->events() : std::size_t{0});
   if (cache) {
     const serve::SessionCacheStats cs = cache->stats();
     std::printf(
@@ -292,6 +376,12 @@ int cmd_serve(int argc, const char* const* argv) {
       stats.kv.pages_shared, stats.kv.pages_free, stats.kv.pages_cow_cloned,
       stats.kv.bytes);
   std::printf("}}\n");
+  if (tracer) {
+    tracer->write(trace_out);
+    std::fclose(trace_out);
+    std::fprintf(stderr, "serve: wrote trace (%zu events, %zu dropped) to %s\n",
+                 tracer->events(), tracer->dropped(), trace_path.c_str());
+  }
   return kExitOk;
 }
 

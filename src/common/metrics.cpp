@@ -1,0 +1,184 @@
+#include "common/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vsd::obs {
+
+namespace {
+
+/// Stable per-thread shard index: threads take the next slot round-robin
+/// on first use, so up to kShards concurrent recorders never collide.
+std::size_t this_thread_shard() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned idx = next.fetch_add(1, std::memory_order_relaxed);
+  return idx % static_cast<unsigned>(Counter::kShards);
+}
+
+/// fetch_add for atomic<double> via CAS (portable before P0020 support).
+void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Counter::add(long n) {
+  shards_[this_thread_shard()].v.fetch_add(n, std::memory_order_relaxed);
+}
+
+long Counter::value() const {
+  long total = 0;
+  for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+int Histogram::bucket_index(double v) {
+  if (!(v > kMin)) return 0;  // non-positive, tiny, and NaN all land here
+  const int idx =
+      1 + static_cast<int>(std::floor(std::log2(v / kMin) * kBucketsPerDoubling));
+  return idx >= kBuckets ? kBuckets - 1 : idx;
+}
+
+double Histogram::bucket_lower(int i) {
+  return i <= 0 ? 0.0
+                : kMin * std::exp2(static_cast<double>(i - 1) / kBucketsPerDoubling);
+}
+
+double Histogram::bucket_upper(int i) {
+  return kMin * std::exp2(static_cast<double>(i) / kBucketsPerDoubling);
+}
+
+void Histogram::record(double v) {
+  if (std::isnan(v)) return;
+  if (v < 0.0) v = 0.0;
+  buckets_[static_cast<std::size_t>(bucket_index(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  atomic_min(min_, v);  // min_/max_ start at +/-inf, so the CAS loops
+  atomic_max(max_, v);  // need no first-recorder special case
+  atomic_add(sum_, v);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::min_value() const {
+  return count() > 0 ? min_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::max_value() const {
+  return count() > 0 ? max_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::quantile(double q) const {
+  const long n = count();
+  if (n <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(n);
+
+  // Walk buckets until the cumulative count reaches the target rank;
+  // remember the last non-empty bucket so racing reads (count_ and the
+  // buckets are sampled separately) degrade to the tail, never past it.
+  int idx = -1;
+  long in_bucket = 0;
+  double before = 0.0;
+  double cum = 0.0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const long b = buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    if (b <= 0) continue;
+    idx = i;
+    in_bucket = b;
+    before = cum;
+    cum += b;
+    if (cum >= target) break;
+  }
+  if (idx < 0) return 0.0;
+
+  const double lo = bucket_lower(idx);
+  const double hi = bucket_upper(idx);
+  const double frac =
+      in_bucket > 0
+          ? std::clamp((target - before) / static_cast<double>(in_bucket), 0.0, 1.0)
+          : 0.0;
+  double v = lo + (hi - lo) * frac;
+  // Clamp to the observed range: a one-value distribution reports that
+  // value exactly instead of a bucket bound.
+  v = std::min(v, max_.load(std::memory_order_relaxed));
+  v = std::max(v, min_.load(std::memory_order_relaxed));
+  return v;
+}
+
+HistogramStats Histogram::stats() const {
+  HistogramStats s;
+  s.count = count();
+  if (s.count <= 0) return s;
+  s.sum = sum();
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  s.p50 = quantile(0.50);
+  s.p95 = quantile(0.95);
+  s.p99 = quantile(0.99);
+  return s;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::vector<MetricRow> Registry::collect() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricRow> rows;
+  rows.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    rows.push_back({.name = name,
+                    .kind = MetricKind::Counter,
+                    .value = static_cast<double>(c->value())});
+  }
+  for (const auto& [name, g] : gauges_) {
+    rows.push_back(
+        {.name = name, .kind = MetricKind::Gauge, .value = g->value()});
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricRow row;
+    row.name = name;
+    row.kind = MetricKind::Histogram;
+    row.hist = h->stats();
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace vsd::obs

@@ -1,0 +1,147 @@
+// vsd::obs — the serving stack's metrics layer: named counters, gauges,
+// and fixed log-bucket histograms behind a registry, built so that the
+// hot path (a scheduler tick, a queue pop, a cache lookup) records with a
+// handful of relaxed atomic operations and no locks.
+//
+// Design points:
+//   - Counter is sharded across cache lines: concurrent add()s from the
+//     scheduler and every pool worker land on different shards instead of
+//     bouncing one hot line; value() sums the shards.
+//   - Histogram buckets are logarithmic (4 per doubling, ~19% wide) over
+//     a fixed range, so one 128-slot array covers microseconds to an hour
+//     of latency and record() is bucket-index + fetch_add.  Quantiles
+//     (p50/p95/p99) interpolate inside the covering bucket and clamp to
+//     the observed min/max, so a degenerate distribution (all values
+//     equal) reports its exact value.
+//   - Registry hands out stable references (metrics are never destroyed
+//     while the registry lives), so callers resolve a name once and keep
+//     the pointer; creation takes a mutex, recording never does.
+//
+// Per-run isolation: the Scheduler and benches build their own Registry
+// per serving run; `Registry::global()` is the process-wide instance the
+// `vsd serve` front end snapshots for --stats-every and the summary.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vsd::obs {
+
+/// Point-in-time summary of one histogram, quantiles extracted from the
+/// log buckets.  Plain data — copy it into stats structs and ledgers.
+struct HistogramStats {
+  long count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double mean() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+};
+
+/// Monotonic counter, sharded so concurrent add()s don't contend.
+class Counter {
+ public:
+  static constexpr int kShards = 16;
+
+  void add(long n);
+  void inc() { add(1); }
+  long value() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<long> v{0};
+  };
+  Shard shards_[kShards];
+};
+
+/// Last-written value — sampled state like queue depth or arena pressure.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed log-bucket histogram with lock-free record().
+///
+/// Bucket 0 holds values <= kMin (and anything non-positive); bucket i
+/// (i >= 1) covers [kMin * 2^((i-1)/4), kMin * 2^(i/4)); the last bucket
+/// additionally catches overflow.  Recording seconds, the range runs from
+/// 1 microsecond to ~3.6e3 s with ~19% relative resolution — one bucket
+/// width is the quantile error bound the test suite asserts against a
+/// sorted-vector oracle.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 128;
+  static constexpr double kMin = 1e-6;
+  static constexpr double kBucketsPerDoubling = 4.0;
+
+  void record(double v);
+  long count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min_value() const;
+  double max_value() const;
+  /// Approximate quantile (q in [0, 1]): linear interpolation by rank
+  /// inside the covering bucket, clamped to the observed min/max.
+  double quantile(double q) const;
+  HistogramStats stats() const;
+
+  static int bucket_index(double v);
+  static double bucket_lower(int i);
+  static double bucket_upper(int i);
+
+ private:
+  std::atomic<long> buckets_[kBuckets] = {};
+  std::atomic<long> count_{0};
+  std::atomic<double> sum_{0.0};
+  // min/max are meaningful only while count_ > 0 (readers guard on it).
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+enum class MetricKind { Counter, Gauge, Histogram };
+
+/// One row of a registry snapshot (the --stats-every line, the summary's
+/// obs block).
+struct MetricRow {
+  std::string name;
+  MetricKind kind = MetricKind::Counter;
+  double value = 0.0;      // counter / gauge
+  HistogramStats hist{};   // kind == Histogram
+};
+
+/// Named metrics, get-or-create.  References stay valid for the
+/// registry's lifetime; resolve once, record through the pointer.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Snapshot of every metric, name-sorted within each kind.
+  std::vector<MetricRow> collect() const;
+
+  /// The process-wide registry (`vsd serve` records here; benches and
+  /// tests build their own instances for per-run isolation).
+  static Registry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace vsd::obs

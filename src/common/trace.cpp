@@ -1,0 +1,196 @@
+#include "common/trace.hpp"
+
+#include <string_view>
+#include <utility>
+
+namespace vsd::obs {
+
+namespace {
+
+/// Minimal JSON string escape for event/thread names and categories (all
+/// generated in-tree, but a stray quote must not corrupt the file).  The
+/// common layer cannot use serve/json.hpp — serve links common, not the
+/// other way around.
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(std::size_t max_events)
+    : max_events_(max_events), t0_(Clock::now()) {}
+
+int TraceWriter::lane_locked() {
+  const auto id = std::this_thread::get_id();
+  const auto it = lanes_.find(id);
+  if (it != lanes_.end()) return it->second;
+  const int lane = static_cast<int>(lanes_.size());
+  lanes_.emplace(id, lane);
+  return lane;
+}
+
+void TraceWriter::push(Event e) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  e.tid = lane_locked();
+  events_.push_back(std::move(e));
+}
+
+void TraceWriter::name_this_thread(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  lane_names_[lane_locked()] = name;
+}
+
+void TraceWriter::complete(const char* name, const char* cat,
+                           Clock::time_point begin, Clock::time_point end,
+                           std::string args_json) {
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'X';
+  e.ts_us = std::chrono::duration<double, std::micro>(begin - t0_).count();
+  e.dur_us = std::chrono::duration<double, std::micro>(end - begin).count();
+  e.args = std::move(args_json);
+  push(std::move(e));
+}
+
+void TraceWriter::instant(const char* name, const char* cat) {
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'i';
+  e.ts_us = std::chrono::duration<double, std::micro>(Clock::now() - t0_).count();
+  push(std::move(e));
+}
+
+void TraceWriter::counter(const char* name, double value) {
+  Event e;
+  e.name = name;
+  e.ph = 'C';
+  e.ts_us = std::chrono::duration<double, std::micro>(Clock::now() - t0_).count();
+  e.value = value;
+  push(std::move(e));
+}
+
+void TraceWriter::async_begin(const char* name, std::uint64_t id,
+                              std::string args_json) {
+  Event e;
+  e.name = name;
+  e.cat = "request";
+  e.ph = 'b';
+  e.id = id;
+  e.ts_us = std::chrono::duration<double, std::micro>(Clock::now() - t0_).count();
+  e.args = std::move(args_json);
+  push(std::move(e));
+}
+
+void TraceWriter::async_instant(const char* name, std::uint64_t id) {
+  Event e;
+  e.name = name;
+  e.cat = "request";
+  e.ph = 'n';
+  e.id = id;
+  e.ts_us = std::chrono::duration<double, std::micro>(Clock::now() - t0_).count();
+  push(std::move(e));
+}
+
+void TraceWriter::async_end(const char* name, std::uint64_t id,
+                            std::string args_json) {
+  Event e;
+  e.name = name;
+  e.cat = "request";
+  e.ph = 'e';
+  e.id = id;
+  e.ts_us = std::chrono::duration<double, std::micro>(Clock::now() - t0_).count();
+  e.args = std::move(args_json);
+  push(std::move(e));
+}
+
+std::size_t TraceWriter::events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::size_t TraceWriter::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void TraceWriter::write(std::FILE* out) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(out, "{\n\"traceEvents\":[\n");
+  // Metadata first: the process lane and one named track per thread.
+  std::fprintf(out,
+               "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+               "\"args\":{\"name\":\"vsd serve\"}}");
+  for (const auto& [id, lane] : lanes_) {
+    const auto named = lane_names_.find(lane);
+    std::string name = named != lane_names_.end()
+                           ? named->second
+                           : "thread-" + std::to_string(lane);
+    std::fprintf(out,
+                 ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\","
+                 "\"args\":{\"name\":\"%s\"}},\n"
+                 "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":"
+                 "\"thread_sort_index\",\"args\":{\"sort_index\":%d}}",
+                 lane, escape(name).c_str(), lane, lane);
+  }
+  for (const Event& e : events_) {
+    std::fprintf(out, ",\n{\"name\":\"%s\",\"ph\":\"%c\",\"pid\":1,\"tid\":%d",
+                 escape(e.name).c_str(), e.ph, e.tid);
+    if (!e.cat.empty()) std::fprintf(out, ",\"cat\":\"%s\"", escape(e.cat).c_str());
+    std::fprintf(out, ",\"ts\":%.3f", e.ts_us);
+    switch (e.ph) {
+      case 'X': std::fprintf(out, ",\"dur\":%.3f", e.dur_us); break;
+      case 'i': std::fprintf(out, ",\"s\":\"t\""); break;
+      case 'C': std::fprintf(out, ",\"args\":{\"value\":%.6g}", e.value); break;
+      case 'b':
+      case 'n':
+      case 'e':
+        std::fprintf(out, ",\"id\":%llu", static_cast<unsigned long long>(e.id));
+        break;
+      default: break;
+    }
+    if (!e.args.empty() && e.ph != 'C') {
+      std::fprintf(out, ",\"args\":%s", e.args.c_str());
+    }
+    std::fprintf(out, "}");
+  }
+  std::fprintf(out,
+               "\n],\n\"displayTimeUnit\":\"ms\",\n"
+               "\"otherData\":{\"generated_utc\":\"%s\",\"dropped_events\":%zu}"
+               "\n}\n",
+               utc_iso8601().c_str(), dropped_);
+}
+
+bool TraceWriter::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  write(f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace vsd::obs

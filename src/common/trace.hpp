@@ -1,0 +1,124 @@
+// vsd::obs::TraceWriter — a Chrome-trace-event JSON timeline writer
+// (loadable in Perfetto / chrome://tracing) for the serving stack.
+//
+// Events accumulate cross-thread into one buffer (a mutex-guarded append;
+// spans are opened and closed hundreds of times per tick at most, so the
+// lock never shows up next to a forward pass) and are written out once at
+// the end of the run.  Each recording thread gets its own lane (tid),
+// assigned on first event and nameable via name_this_thread(), so the
+// scheduler and every pool worker render as separate tracks.  Request
+// lifecycles use async events keyed by the request id, which Perfetto
+// groups into one track per in-flight request.
+//
+// The buffer is bounded (max_events): past the cap events are counted as
+// dropped — never silently — and the count is reported both by dropped()
+// and in the written file's otherData block.
+//
+// A null TraceWriter* disables everything: Span and the record calls are
+// no-ops, which is how `vsd serve` keeps zero overhead with --trace off.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <ctime>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace vsd::obs {
+
+/// UTC wall-clock timestamp (ISO 8601, seconds resolution) — dates the
+/// perf-ledger entries (BENCH_*.json) and the trace file's metadata.
+inline std::string utc_iso8601() {
+  const std::time_t t = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&t, &tm_utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
+}
+
+class TraceWriter {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit TraceWriter(std::size_t max_events = std::size_t{1} << 22);
+
+  /// Names the calling thread's lane ("scheduler", "pool-worker-0", ...).
+  void name_this_thread(const std::string& name);
+
+  /// Complete event (ph "X"): a [begin, end) span on this thread's lane.
+  /// `args_json`, when non-empty, must be a JSON object literal.
+  void complete(const char* name, const char* cat, Clock::time_point begin,
+                Clock::time_point end, std::string args_json = {});
+  /// Instant event (ph "i") on this thread's lane.
+  void instant(const char* name, const char* cat);
+  /// Counter event (ph "C"): a sampled series Perfetto renders as a track.
+  void counter(const char* name, double value);
+  /// Async span events (ph "b"/"n"/"e"), grouped by `id` — one lane per
+  /// in-flight request regardless of which thread emits them.
+  void async_begin(const char* name, std::uint64_t id, std::string args_json = {});
+  void async_instant(const char* name, std::uint64_t id);
+  void async_end(const char* name, std::uint64_t id, std::string args_json = {});
+
+  std::size_t events() const;
+  std::size_t dropped() const;
+
+  /// Writes the whole timeline as one JSON object ({"traceEvents": [...]}).
+  void write(std::FILE* out) const;
+  /// Convenience wrapper: write to `path`, false if the file won't open.
+  bool write_file(const std::string& path) const;
+
+ private:
+  struct Event {
+    std::string name;
+    std::string cat;
+    char ph = 'X';
+    int tid = 0;
+    double ts_us = 0.0;
+    double dur_us = 0.0;     // ph == 'X'
+    std::uint64_t id = 0;    // async events
+    double value = 0.0;      // ph == 'C'
+    std::string args;        // raw JSON object text, may be empty
+  };
+
+  int lane_locked();
+  void push(Event e);
+
+  const std::size_t max_events_;
+  const Clock::time_point t0_;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::map<std::thread::id, int> lanes_;
+  std::map<int, std::string> lane_names_;
+  std::size_t dropped_ = 0;
+};
+
+/// RAII phase span: times a scope and records it as one complete event on
+/// the calling thread's lane.  A null writer makes construction and
+/// destruction branch-only no-ops.
+class Span {
+ public:
+  explicit Span(TraceWriter* w, const char* name, const char* cat = "serve")
+      : w_(w),
+        name_(name),
+        cat_(cat),
+        t0_(w != nullptr ? TraceWriter::Clock::now()
+                         : TraceWriter::Clock::time_point{}) {}
+  ~Span() {
+    if (w_ != nullptr) w_->complete(name_, cat_, t0_, TraceWriter::Clock::now());
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  TraceWriter* w_;
+  const char* name_;
+  const char* cat_;
+  TraceWriter::Clock::time_point t0_;
+};
+
+}  // namespace vsd::obs

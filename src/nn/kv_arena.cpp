@@ -95,6 +95,16 @@ KvArenaStats KvArena::stats() const {
   return s;
 }
 
+KvPressure KvArena::pressure() const {
+  KvPressure p;
+  p.cap = cap_;
+  p.cow_clones = cow_clones_.load(std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(mu_);
+  p.free_pages = static_cast<int>(free_.size());
+  p.in_use = next_ - p.free_pages;
+  return p;
+}
+
 // --- KvPrefix -----------------------------------------------------------------
 
 KvPrefix::KvPrefix(std::shared_ptr<KvArena> arena, std::vector<int> pages,

@@ -43,6 +43,16 @@ struct KvArenaOptions {
   int max_pages = 0;  // hard page-id cap; 0 => derived (64 sequences' worth)
 };
 
+/// O(1) pressure sample for per-tick monitoring: unlike KvArenaStats it
+/// never scans the page directory, so the scheduler can read it every
+/// tick without the shared-page census cost.
+struct KvPressure {
+  int in_use = 0;       // pages currently referenced
+  int free_pages = 0;   // buffers parked on the free list
+  int cap = 0;          // hard page-id cap
+  long cow_clones = 0;  // cumulative copy-on-write clones
+};
+
 /// A point-in-time accounting of one arena (serve summary / bench ledger).
 struct KvArenaStats {
   int page = 0;                    // positions per page
@@ -114,6 +124,7 @@ class KvArena {
   }
 
   KvArenaStats stats() const;
+  KvPressure pressure() const;
 
  private:
   const int page_;

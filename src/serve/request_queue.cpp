@@ -1,6 +1,7 @@
 #include "serve/request_queue.hpp"
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 
 namespace vsd::serve {
 
@@ -8,11 +9,37 @@ RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
   check(capacity >= 1, "RequestQueue capacity must be >= 1");
 }
 
+void RequestQueue::attach_metrics(obs::Registry* reg) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (reg == nullptr) {
+    depth_ = nullptr;
+    wait_ = nullptr;
+    return;
+  }
+  depth_ = &reg->gauge("serve.queue.depth");
+  wait_ = &reg->histogram("serve.queue.wait_s");
+  depth_->set(static_cast<double>(items_.size()));
+}
+
+void RequestQueue::sample_depth_locked() {
+  if (depth_ != nullptr) depth_->set(static_cast<double>(items_.size()));
+}
+
+void RequestQueue::record_wait(const Request& r, obs::Histogram* wait) const {
+  if (wait == nullptr) return;
+  if (r.enqueued_at == std::chrono::steady_clock::time_point{}) return;
+  wait->record(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             r.enqueued_at)
+                   .count());
+}
+
 bool RequestQueue::push(Request r) {
+  r.enqueued_at = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lock(mu_);
   not_full_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
   if (closed_) return false;
   items_.push_back(std::move(r));
+  sample_depth_locked();
   lock.unlock();
   not_empty_.notify_one();
   return true;
@@ -22,26 +49,33 @@ bool RequestQueue::try_push(Request&& r) {
   {
     const std::lock_guard<std::mutex> lock(mu_);
     if (closed_ || items_.size() >= capacity_) return false;
+    r.enqueued_at = std::chrono::steady_clock::now();
     items_.push_back(std::move(r));
+    sample_depth_locked();
   }
   not_empty_.notify_one();
   return true;
 }
 
 std::optional<Request> RequestQueue::pop() {
+  obs::Histogram* wait = nullptr;
   std::unique_lock<std::mutex> lock(mu_);
   not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
   if (items_.empty()) return std::nullopt;  // closed and drained
   Request r = std::move(items_.front());
   items_.pop_front();
+  sample_depth_locked();
+  wait = wait_;
   lock.unlock();
   not_full_.notify_one();
+  record_wait(r, wait);  // outside the lock: record is lock-free but not cheap
   return r;
 }
 
 std::vector<Request> RequestQueue::pop_burst(std::size_t max_n) {
   std::vector<Request> out;
   if (max_n == 0) return out;
+  obs::Histogram* wait = nullptr;
   {
     std::unique_lock<std::mutex> lock(mu_);
     not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
@@ -49,34 +83,45 @@ std::vector<Request> RequestQueue::pop_burst(std::size_t max_n) {
       out.push_back(std::move(items_.front()));
       items_.pop_front();
     }
+    sample_depth_locked();
+    wait = wait_;
   }
   if (!out.empty()) not_full_.notify_all();
+  for (const Request& r : out) record_wait(r, wait);
   return out;
 }
 
 std::vector<Request> RequestQueue::try_pop_burst(std::size_t max_n) {
   std::vector<Request> out;
   if (max_n == 0) return out;
+  obs::Histogram* wait = nullptr;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     while (out.size() < max_n && !items_.empty()) {
       out.push_back(std::move(items_.front()));
       items_.pop_front();
     }
+    sample_depth_locked();
+    wait = wait_;
   }
   if (!out.empty()) not_full_.notify_all();
+  for (const Request& r : out) record_wait(r, wait);
   return out;
 }
 
 std::optional<Request> RequestQueue::try_pop() {
   std::optional<Request> r;
+  obs::Histogram* wait = nullptr;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     if (items_.empty()) return std::nullopt;
     r = std::move(items_.front());
     items_.pop_front();
+    sample_depth_locked();
+    wait = wait_;
   }
   not_full_.notify_one();
+  record_wait(*r, wait);
   return r;
 }
 

@@ -4,6 +4,7 @@
 // remaining items and then observe end-of-stream as an empty pop.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -13,6 +14,12 @@
 #include <vector>
 
 #include "spec/decode.hpp"
+
+namespace vsd::obs {
+class Gauge;
+class Histogram;
+class Registry;
+}  // namespace vsd::obs
 
 namespace vsd::serve {
 
@@ -24,6 +31,9 @@ struct Request {
   std::vector<int> prompt_ids;  // tokens fed to the decoder
   spec::DecodeConfig config;
   std::uint64_t seed = 0;       // per-request RNG stream (sampling only)
+  // Stamped by the queue on push: when this request entered admission, so
+  // the scheduler can attribute queue wait and end-to-end latency.
+  std::chrono::steady_clock::time_point enqueued_at{};
 };
 
 class RequestQueue {
@@ -58,13 +68,25 @@ class RequestQueue {
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
 
+  /// Wires the queue's observability into `reg`: admission depth as the
+  /// `serve.queue.depth` gauge (sampled on every push/pop) and time spent
+  /// queued as the `serve.queue.wait_s` histogram (recorded as each
+  /// request is popped).  Call before producers/consumers start; nullptr
+  /// detaches.
+  void attach_metrics(obs::Registry* reg);
+
  private:
+  void sample_depth_locked();
+  void record_wait(const Request& r, obs::Histogram* wait) const;
+
   const std::size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<Request> items_;
   bool closed_ = false;
+  obs::Gauge* depth_ = nullptr;      // guarded by mu_
+  obs::Histogram* wait_ = nullptr;   // guarded by mu_
 };
 
 }  // namespace vsd::serve

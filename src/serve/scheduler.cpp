@@ -1,12 +1,16 @@
 #include "serve/scheduler.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "common/trace.hpp"
 #include "nn/parallel.hpp"
 #include "serve/session_cache.hpp"
 #include "serve/thread_pool.hpp"
@@ -39,6 +43,8 @@ ServeStats Scheduler::run(const Completion& on_complete) {
     std::unique_ptr<spec::DecodeSession> dec;
     Request req;
     bool capture_pending = false;  // snapshot the prompt prefill after step 1
+    Clock::time_point admitted_at{};  // when this request entered a slot
+    bool first_token_seen = false;    // TTFT recorded for the current req
   };
   // The cache only helps decoder-only models: enc-dec prompts feed the
   // encoder, not the KV cache the prefixes cover.
@@ -67,11 +73,42 @@ ServeStats Scheduler::run(const Completion& on_complete) {
     arena = std::make_shared<nn::KvArena>(cfg.n_layers, cfg.d_model,
                                           cfg.max_seq, ao);
   }
+  // Observability.  An external registry (vsd serve passes the global
+  // one) collects the run's metrics; without one the run still fills a
+  // private registry so ServeStats carries latency quantiles.  The
+  // registry outlives the pool/slots below, so recording from workers
+  // during unwind stays safe.
+  obs::Registry local_registry;
+  obs::Registry& reg =
+      opts_.metrics != nullptr ? *opts_.metrics : local_registry;
+  obs::TraceWriter* const trace = opts_.trace;
+  queue_.attach_metrics(&reg);
+  obs::Histogram& h_latency = reg.histogram("serve.request.latency_s");
+  obs::Histogram& h_ttft = reg.histogram("serve.request.ttft_s");
+  obs::Histogram& h_wait = reg.histogram("serve.queue.wait_s");
+  obs::Histogram& h_tick = reg.histogram("serve.tick_s");
+  obs::Histogram& h_occ = reg.histogram("serve.tick.occupancy");
+  obs::Counter& c_completed = reg.counter("serve.requests.completed");
+  obs::Gauge& g_inflight = reg.gauge("serve.in_flight");
+  obs::Gauge& g_kv_used = reg.gauge("serve.kv.pages_in_use");
+  obs::Gauge& g_kv_free = reg.gauge("serve.kv.pages_free");
+  obs::Gauge& g_kv_cow = reg.gauge("serve.kv.cow_clones");
+  if (trace != nullptr) trace->name_this_thread("scheduler");
+
   // Declared before the pool: if a decode error unwinds this frame, the
   // pool must join its workers (which may still be mid-step on other
-  // slots' sessions) before the slots are destroyed.
+  // slots' sessions) before the slots are destroyed.  worker_seq likewise
+  // (the init hooks run on pool threads).
+  std::atomic<int> worker_seq{0};
+  std::function<void()> worker_init;
+  if (trace != nullptr) {
+    worker_init = [trace, &worker_seq] {
+      trace->name_this_thread(
+          "pool-worker-" + std::to_string(worker_seq.fetch_add(1)));
+    };
+  }
   std::vector<Slot> slots(static_cast<std::size_t>(batch));
-  ThreadPool pool(std::max(1, opts_.workers));
+  ThreadPool pool(std::max(1, opts_.workers), worker_init);
 
   ServeStats stats;
   const auto start = Clock::now();
@@ -80,6 +117,14 @@ ServeStats Scheduler::run(const Completion& on_complete) {
   const auto admit = [&](Slot& slot, Request&& r) {
     if (!slot.sess) slot.sess = std::make_unique<nn::InferSession>(model_, arena);
     slot.req = std::move(r);
+    slot.admitted_at = Clock::now();
+    slot.first_token_seen = false;
+    if (trace != nullptr) {
+      char args[64];
+      std::snprintf(args, sizeof(args), "{\"prompt_tokens\":%zu}",
+                    slot.req.prompt_ids.size());
+      trace->async_begin("request", slot.req.id, args);
+    }
     const bool cacheable = cache != nullptr && !slot.req.prompt_ids.empty();
     int prefix = 0;
     bool covered = false;
@@ -101,8 +146,35 @@ ServeStats Scheduler::run(const Completion& on_complete) {
     ++live;
   };
 
+  // TTFT: admit -> first committed token.  Checked after each tick (and
+  // at completion, which can land in the same tick that produced the
+  // token) — one tick is the scheduling grain, so that is also the
+  // measurement grain.
+  const auto note_first_token = [&](Slot& slot) {
+    if (slot.first_token_seen || !slot.dec) return;
+    if (slot.dec->result().ids.empty()) return;
+    slot.first_token_seen = true;
+    h_ttft.record(
+        std::chrono::duration<double>(Clock::now() - slot.admitted_at).count());
+    if (trace != nullptr) trace->async_instant("first_token", slot.req.id);
+  };
+
   const auto complete_slot = [&](Slot& slot) {
+    note_first_token(slot);
     stats.prefill_positions += slot.dec->result().prefill_positions;
+    // End-to-end latency from the queue's enqueue stamp; requests that
+    // bypassed the queue stamp (none today) fall back to admission time.
+    const auto t0 = slot.req.enqueued_at == Clock::time_point{}
+                        ? slot.admitted_at
+                        : slot.req.enqueued_at;
+    h_latency.record(std::chrono::duration<double>(Clock::now() - t0).count());
+    c_completed.inc();
+    if (trace != nullptr) {
+      char args[96];
+      std::snprintf(args, sizeof(args), "{\"tokens\":%zu,\"steps\":%d}",
+                    slot.dec->result().ids.size(), slot.dec->result().steps);
+      trace->async_end("request", slot.req.id, args);
+    }
     on_complete(slot.req, slot.dec->take_result());
     slot.dec.reset();
     --live;
@@ -181,6 +253,7 @@ ServeStats Scheduler::run(const Completion& on_complete) {
     std::vector<Slot*> pending;  // paused on a ScoreRequest
     std::vector<std::pair<Slot*, spec::StepState>> finals;
     {
+      const obs::Span propose_span(trace, "propose");
       std::vector<std::pair<Slot*, std::function<spec::StepState()>>> tasks;
       tasks.reserve(static_cast<std::size_t>(live));
       for (Slot& slot : slots) {
@@ -206,14 +279,6 @@ ServeStats Scheduler::run(const Completion& on_complete) {
         max_heads = std::max(max_heads, s->dec->request().n_heads);
       }
       nn::Tensor all_rows(total_rows, model_.config().d_model);
-      {
-        int off = 0;
-        for (const Slot* s : pending) {
-          const nn::Tensor& h = s->dec->request().hidden;
-          std::memcpy(all_rows.row(off), h.data(), sizeof(float) * h.size());
-          off += h.rows();
-        }
-      }
       // Draft-head row stacks, gathered up front: requests can want
       // different head counts (chain verification wants none), so head k
       // fuses the subset that has it.  Membership is monotone in k (a
@@ -223,6 +288,13 @@ ServeStats Scheduler::run(const Completion& on_complete) {
       std::vector<std::shared_ptr<const nn::Tensor>> head_stack(
           static_cast<std::size_t>(max_heads));
       {
+        const obs::Span gather_span(trace, "gather");
+        int off = 0;
+        for (const Slot* s : pending) {
+          const nn::Tensor& h = s->dec->request().hidden;
+          std::memcpy(all_rows.row(off), h.data(), sizeof(float) * h.size());
+          off += h.rows();
+        }
         std::shared_ptr<nn::Tensor> hk;
         for (int k = 0; k < max_heads; ++k) {
           int rows_k = 0;
@@ -232,13 +304,13 @@ ServeStats Scheduler::run(const Completion& on_complete) {
           }
           if (!hk || hk->rows() != rows_k) {
             hk = std::make_shared<nn::Tensor>(rows_k, model_.config().d_model);
-            int off = 0;
+            int hoff = 0;
             for (const Slot* s : pending) {
               const spec::ScoreRequest& req = s->dec->request();
               if (req.n_heads <= k) continue;
-              std::memcpy(hk->row(off), req.hidden.data(),
+              std::memcpy(hk->row(hoff), req.hidden.data(),
                           sizeof(float) * req.hidden.size());
-              off += req.hidden.rows();
+              hoff += req.hidden.rows();
             }
           }
           head_rows[static_cast<std::size_t>(k)] = rows_k;
@@ -253,8 +325,9 @@ ServeStats Scheduler::run(const Completion& on_complete) {
       // stay serial, so the pool never waits on itself.  Every pass is
       // row-independent, so the schedule changes nothing but the clock.
       std::vector<nn::Tensor> head_logits(static_cast<std::size_t>(max_heads));
-      std::vector<spec::Scores> scores(pending.size());
+      nn::Tensor lm_all;
       {
+        const obs::Span score_span(trace, "score");
         // Coarse concurrency only pays with real cores to run it on; on a
         // single-core host the head passes stay on this thread.
         ThreadPool* cpool =
@@ -269,7 +342,7 @@ ServeStats Scheduler::run(const Completion& on_complete) {
                 [&model, stack, k] { return model.infer_head_logits(*stack, k); }));
           }
         }
-        const nn::Tensor lm_all = model_.infer_lm_logits(all_rows);
+        lm_all = model_.infer_lm_logits(all_rows);
         ++stats.fused_passes;
         stats.fused_rows += total_rows;
         for (int k = 0; k < max_heads; ++k) {
@@ -280,7 +353,11 @@ ServeStats Scheduler::run(const Completion& on_complete) {
           ++stats.fused_passes;
           stats.fused_rows += head_rows[static_cast<std::size_t>(k)];
         }
+      }
 
+      std::vector<spec::Scores> scores(pending.size());
+      {
+        const obs::Span scatter_span(trace, "scatter");
         {
           int off = 0;
           for (std::size_t i = 0; i < pending.size(); ++i) {
@@ -322,6 +399,7 @@ ServeStats Scheduler::run(const Completion& on_complete) {
         }
       }
 
+      const obs::Span accept_span(trace, "accept");
       std::vector<std::pair<Slot*, std::function<spec::StepState()>>> tasks;
       tasks.reserve(pending.size());
       for (std::size_t i = 0; i < pending.size(); ++i) {
@@ -339,16 +417,19 @@ ServeStats Scheduler::run(const Completion& on_complete) {
     // Capture prompt prefills for the cache once the tick's feeds are done
     // (the prompt rows are final from priming on), in parallel across
     // slots.
-    std::vector<std::future<void>> captures;
-    for (auto& [slot, st] : finals) {
-      if (!slot->capture_pending) continue;
-      slot->capture_pending = false;
-      nn::InferSession* sess = slot->sess.get();
-      captures.push_back(pool.submit([sess, cache, ids = slot->req.prompt_ids] {
-        cache->insert(ids, sess->share_prefix(static_cast<int>(ids.size())));
-      }));
+    {
+      const obs::Span capture_span(trace, "capture");
+      std::vector<std::future<void>> captures;
+      for (auto& [slot, st] : finals) {
+        if (!slot->capture_pending) continue;
+        slot->capture_pending = false;
+        nn::InferSession* sess = slot->sess.get();
+        captures.push_back(pool.submit([sess, cache, ids = slot->req.prompt_ids] {
+          cache->insert(ids, sess->share_prefix(static_cast<int>(ids.size())));
+        }));
+      }
+      for (auto& f : captures) f.get();
     }
-    for (auto& f : captures) f.get();
 
     for (auto& [slot, st] : finals) {
       if (st == spec::StepState::Finished) complete_slot(*slot);
@@ -364,21 +445,49 @@ ServeStats Scheduler::run(const Completion& on_complete) {
     const std::size_t free_slots = static_cast<std::size_t>(batch - live);
     std::vector<Request> burst = live == 0 ? queue_.pop_burst(free_slots)
                                            : queue_.try_pop_burst(free_slots);
-    std::size_t next = 0;
-    for (Slot& slot : slots) {
-      if (next >= burst.size()) break;
-      if (slot.dec) continue;
-      admit(slot, std::move(burst[next++]));
+    {
+      // The span covers slot setup (cache lookup, session build), not the
+      // blocking wait above — an idle scheduler should trace as idle.
+      const obs::Span admit_span(burst.empty() ? nullptr : trace, "admit");
+      std::size_t next = 0;
+      for (Slot& slot : slots) {
+        if (next >= burst.size()) break;
+        if (slot.dec) continue;
+        admit(slot, std::move(burst[next++]));
+      }
     }
     if (live == 0) break;  // queue closed and drained
 
     // --- tick: advance every live session one speculative step -----------
     ++stats.ticks;
     stats.max_in_flight = std::max(stats.max_in_flight, live);
-    if (opts_.fuse) {
-      tick_fused();
-    } else {
-      tick_serial();
+    h_occ.record(static_cast<double>(live));
+    g_inflight.set(static_cast<double>(live));
+    const auto tick_start = Clock::now();
+    {
+      const obs::Span tick_span(trace, "tick");
+      if (opts_.fuse) {
+        tick_fused();
+      } else {
+        tick_serial();
+      }
+    }
+    h_tick.record(
+        std::chrono::duration<double>(Clock::now() - tick_start).count());
+    for (Slot& slot : slots) {
+      if (slot.dec) note_first_token(slot);
+    }
+    // Per-tick pressure sample: O(1) on the arena (no page census), one
+    // mutex hop against a tick that just ran a batched forward.
+    const nn::KvPressure kvp = arena->pressure();
+    g_kv_used.set(static_cast<double>(kvp.in_use));
+    g_kv_free.set(static_cast<double>(kvp.free_pages));
+    g_kv_cow.set(static_cast<double>(kvp.cow_clones));
+    if (trace != nullptr) {
+      trace->counter("queue.depth", static_cast<double>(queue_.size()));
+      trace->counter("batch.live", static_cast<double>(live));
+      trace->counter("kv.pages_in_use", static_cast<double>(kvp.in_use));
+      trace->counter("kv.pages_free", static_cast<double>(kvp.free_pages));
     }
   }
   stats.wall_seconds =
@@ -388,6 +497,14 @@ ServeStats Scheduler::run(const Completion& on_complete) {
   // (plus anything an external kv_arena owner still holds).
   for (Slot& slot : slots) slot.sess.reset();
   stats.kv = arena->stats();
+  g_inflight.set(0.0);
+  stats.latency = h_latency.stats();
+  stats.queue_wait = h_wait.stats();
+  stats.ttft = h_ttft.stats();
+  stats.tick = h_tick.stats();
+  stats.occupancy_mean = h_occ.stats().mean();
+  // A private registry dies with this frame — unhook the queue first.
+  if (opts_.metrics == nullptr) queue_.attach_metrics(nullptr);
   return stats;
 }
 

@@ -11,9 +11,14 @@
 #include <functional>
 #include <memory>
 
+#include "common/metrics.hpp"
 #include "nn/model.hpp"
 #include "serve/request_queue.hpp"
 #include "spec/decode.hpp"
+
+namespace vsd::obs {
+class TraceWriter;
+}  // namespace vsd::obs
 
 namespace vsd::serve {
 
@@ -49,6 +54,15 @@ struct SchedulerOptions {
   // warm cache entries stay same-arena and adopt by reference).  Null =>
   // the scheduler builds its own from kv_page / kv_pages_max.
   std::shared_ptr<nn::KvArena> kv_arena = nullptr;
+  // Observability (both optional, off by default — zero overhead when
+  // unset beyond a branch per record site).  `metrics` is the registry
+  // the run's counters/gauges/histograms land in; nullptr gives the run a
+  // private scheduler-local registry so ServeStats still carries latency
+  // quantiles.  `trace` streams per-tick phase spans, per-request
+  // lifecycle spans, and pressure counters into a Chrome-trace buffer
+  // (`vsd serve --trace FILE`).
+  obs::Registry* metrics = nullptr;
+  obs::TraceWriter* trace = nullptr;
 };
 
 /// Serving accounting.  `ticks` counts scheduler iterations: under the
@@ -65,6 +79,16 @@ struct ServeStats {
   long fused_rows = 0;         // hidden rows scored through the fused pass
   long fused_passes = 0;       // stacked score passes run (0 when unfused)
   nn::KvArenaStats kv{};       // serving arena accounting at end of run
+  // Latency distributions for the run (always populated, even without an
+  // external registry): end-to-end request latency (enqueue -> complete),
+  // queue wait (enqueue -> admit), time to first token (admit -> first
+  // accepted token), and per-tick duration, plus mean batch occupancy
+  // (live sessions per tick).
+  obs::HistogramStats latency{};
+  obs::HistogramStats queue_wait{};
+  obs::HistogramStats ttft{};
+  obs::HistogramStats tick{};
+  double occupancy_mean = 0.0;
 };
 
 class Scheduler {

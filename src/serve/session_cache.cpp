@@ -1,8 +1,10 @@
 #include "serve/session_cache.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 
 namespace vsd::serve {
 
@@ -27,8 +29,36 @@ SessionCache::EntryList::iterator SessionCache::subtree_terminal(Node* n) {
   return n->term;
 }
 
-SessionCache::Match SessionCache::lookup(std::span<const int> prompt_ids) {
+void SessionCache::attach_metrics(obs::Registry* reg) {
   const std::lock_guard<std::mutex> lock(mu_);
+  if (reg == nullptr) {
+    lookup_s_ = nullptr;
+    hits_ = nullptr;
+    misses_ = nullptr;
+    return;
+  }
+  lookup_s_ = &reg->histogram("serve.cache.lookup_s");
+  hits_ = &reg->counter("serve.cache.hits");
+  misses_ = &reg->counter("serve.cache.misses");
+}
+
+SessionCache::Match SessionCache::lookup(std::span<const int> prompt_ids) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::lock_guard<std::mutex> lock(mu_);
+  const Match m = lookup_locked(prompt_ids);
+  // Recording is lock-free (relaxed atomics), so doing it under mu_ costs
+  // a few nanoseconds against a radix-tree walk.
+  if (lookup_s_ != nullptr) {
+    lookup_s_->record(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+  obs::Counter* const c = m.len > 0 ? hits_ : misses_;
+  if (c != nullptr) c->inc();
+  return m;
+}
+
+SessionCache::Match SessionCache::lookup_locked(std::span<const int> prompt_ids) {
   // A full-prompt match is clamped one token short: the decoder must feed
   // at least one position to produce the next-token hidden state.
   const int usable = static_cast<int>(prompt_ids.size()) - 1;

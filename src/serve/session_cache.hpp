@@ -41,6 +41,12 @@
 
 #include "nn/kv_arena.hpp"
 
+namespace vsd::obs {
+class Counter;
+class Histogram;
+class Registry;
+}  // namespace vsd::obs
+
 namespace vsd::serve {
 
 struct SessionCacheOptions {
@@ -90,6 +96,11 @@ class SessionCache {
   void clear();
   const SessionCacheOptions& options() const { return opts_; }
 
+  /// Wires the cache's observability into `reg`: lookup latency as the
+  /// `serve.cache.lookup_s` histogram plus `serve.cache.hits` /
+  /// `serve.cache.misses` counters.  nullptr detaches.
+  void attach_metrics(obs::Registry* reg);
+
  private:
   struct Node;
   struct Entry {
@@ -110,6 +121,7 @@ class SessionCache {
     EntryList::iterator term;
   };
 
+  Match lookup_locked(std::span<const int> prompt_ids);
   Node* find_child(Node* n, int token) const;
   EntryList::iterator subtree_terminal(Node* n);
   void account_add_locked(const Entry& e);
@@ -126,6 +138,9 @@ class SessionCache {
   // when its last entry goes.
   std::map<std::pair<const nn::KvArena*, int>, int> page_refs_;
   SessionCacheStats stats_;
+  obs::Histogram* lookup_s_ = nullptr;  // guarded by mu_
+  obs::Counter* hits_ = nullptr;        // guarded by mu_
+  obs::Counter* misses_ = nullptr;      // guarded by mu_
 };
 
 }  // namespace vsd::serve

@@ -1,0 +1,285 @@
+// Tests for the vsd::obs observability layer: log-bucket histogram bucket
+// boundaries and quantiles against a sorted-vector oracle, sharded counter
+// exactness under concurrent recording, registry get-or-create stability,
+// the Chrome-trace writer's span nesting / lane naming / bounded buffer,
+// and the RequestQueue's depth + wait instrumentation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "common/trace.hpp"
+#include "serve/request_queue.hpp"
+
+namespace vsd::obs {
+namespace {
+
+// --- histogram buckets -------------------------------------------------------
+
+TEST(Histogram, BucketZeroCatchesNonPositiveAndTiny) {
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(-3.5), 0);
+  EXPECT_EQ(Histogram::bucket_index(Histogram::kMin), 0);
+  EXPECT_EQ(Histogram::bucket_index(Histogram::kMin * 0.5), 0);
+  // NaN compares false against kMin, so it lands in bucket 0 too (record()
+  // additionally drops NaN before it gets here).
+  EXPECT_EQ(Histogram::bucket_index(std::nan("")), 0);
+}
+
+TEST(Histogram, BucketBoundsCoverTheirValues) {
+  // Every recorded value must satisfy lower(i) <= v <= upper(i) for its
+  // bucket (boundaries may round either way in floating point, hence the
+  // closed upper check), and bounds must tile: upper(i) == lower(i+1).
+  Rng rng(11);
+  for (int trial = 0; trial < 2000; ++trial) {
+    // Log-uniform over the histogram's designed range: 1us .. ~1h.
+    const double v = Histogram::kMin * std::exp2(rng.next_double() * 31.0);
+    const int idx = Histogram::bucket_index(v);
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, Histogram::kBuckets);
+    // 1ulp-scale tolerance: log2/exp2 round-trips can disagree at the
+    // exact bucket boundaries.
+    EXPECT_LE(Histogram::bucket_lower(idx), v * (1.0 + 1e-12));
+    EXPECT_LE(v, Histogram::bucket_upper(idx) * (1.0 + 1e-12));
+  }
+  for (int i = 0; i < Histogram::kBuckets - 1; ++i) {
+    EXPECT_DOUBLE_EQ(Histogram::bucket_upper(i), Histogram::bucket_lower(i + 1));
+  }
+}
+
+TEST(Histogram, LastBucketCatchesOverflow) {
+  EXPECT_EQ(Histogram::bucket_index(1e30), Histogram::kBuckets - 1);
+  Histogram h;
+  h.record(1e30);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_DOUBLE_EQ(h.max_value(), 1e30);
+  // Quantiles clamp to the observed max, not the bucket's upper bound.
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 1e30);
+}
+
+TEST(Histogram, EmptyReportsZeros) {
+  const Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.min_value(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max_value(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  const HistogramStats s = h.stats();
+  EXPECT_EQ(s.count, 0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, DegenerateDistributionReportsExactValue) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.record(0.0375);
+  const HistogramStats s = h.stats();
+  EXPECT_DOUBLE_EQ(s.p50, 0.0375);
+  EXPECT_DOUBLE_EQ(s.p95, 0.0375);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0375);
+  EXPECT_DOUBLE_EQ(s.min, 0.0375);
+  EXPECT_DOUBLE_EQ(s.max, 0.0375);
+}
+
+TEST(Histogram, QuantilesMatchSortedOracleWithinOneBucket) {
+  // Log-uniform latencies over [10us, 10s] — the regime the serving stack
+  // records.  The log buckets are 2^(1/4) (~19%) wide, so an approximate
+  // quantile may land anywhere in the bucket covering the true one: allow
+  // one bucket width of relative error on each side.
+  Rng rng(1234);
+  Histogram h;
+  std::vector<double> oracle;
+  const int n = 5000;
+  oracle.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const double v = 1e-5 * std::pow(10.0, rng.next_double() * 6.0);
+    h.record(v);
+    oracle.push_back(v);
+  }
+  std::sort(oracle.begin(), oracle.end());
+  const double width = std::exp2(1.0 / Histogram::kBucketsPerDoubling);
+  for (const double q : {0.1, 0.5, 0.9, 0.95, 0.99}) {
+    // quantile() covers the bucket where the cumulative count first
+    // reaches q*n — the ceil(q*n)-th smallest value (1-indexed).
+    const auto rank =
+        static_cast<std::size_t>(std::max(0.0, std::ceil(q * n) - 1.0));
+    const double truth = oracle[rank];
+    const double est = h.quantile(q);
+    EXPECT_LE(est, truth * width * (1.0 + 1e-9)) << "q=" << q;
+    EXPECT_GE(est, truth / width * (1.0 - 1e-9)) << "q=" << q;
+  }
+  EXPECT_EQ(h.count(), n);
+  EXPECT_DOUBLE_EQ(h.min_value(), oracle.front());
+  EXPECT_DOUBLE_EQ(h.max_value(), oracle.back());
+}
+
+// --- concurrency -------------------------------------------------------------
+
+TEST(ObsConcurrency, CounterAndHistogramCountsAreExact) {
+  Counter c;
+  Histogram h;
+  const int n_threads = 8;
+  const int per_thread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(n_threads);
+  for (int t = 0; t < n_threads; ++t) {
+    threads.emplace_back([&c, &h, t] {
+      for (int i = 0; i < per_thread; ++i) {
+        c.inc();
+        h.record(1e-3 * (t + 1));  // distinct per-thread values
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), static_cast<long>(n_threads) * per_thread);
+  EXPECT_EQ(h.count(), static_cast<long>(n_threads) * per_thread);
+  EXPECT_DOUBLE_EQ(h.min_value(), 1e-3);
+  EXPECT_DOUBLE_EQ(h.max_value(), 8e-3);
+  EXPECT_NEAR(h.sum(), per_thread * 1e-3 * (1 + 2 + 3 + 4 + 5 + 6 + 7 + 8),
+              1e-6);
+}
+
+// --- registry ----------------------------------------------------------------
+
+TEST(Registry, GetOrCreateReturnsStableReferences) {
+  Registry reg;
+  Counter& a = reg.counter("serve.requests.completed");
+  Counter& b = reg.counter("serve.requests.completed");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &reg.counter("serve.requests.dropped"));
+  Histogram& h1 = reg.histogram("serve.tick_s");
+  h1.record(0.5);
+  EXPECT_EQ(reg.histogram("serve.tick_s").count(), 1);
+  // The same name can exist per kind without collision.
+  reg.gauge("serve.tick_s").set(3.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("serve.tick_s").value(), 3.0);
+
+  a.add(2);
+  const std::vector<MetricRow> rows = reg.collect();
+  bool saw_counter = false;
+  for (const MetricRow& row : rows) {
+    if (row.kind == MetricKind::Counter &&
+        row.name == "serve.requests.completed") {
+      saw_counter = true;
+      EXPECT_DOUBLE_EQ(row.value, 2.0);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+}
+
+// --- trace writer ------------------------------------------------------------
+
+std::string write_trace_to_string(const TraceWriter& w) {
+  std::string path = ::testing::TempDir() + "vsd_trace_test.json";
+  EXPECT_TRUE(w.write_file(path));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::remove(path.c_str());
+  return ss.str();
+}
+
+TEST(TraceWriter, NestedSpansEmitInnerBeforeOuterWithOrderedDurations) {
+  TraceWriter w;
+  w.name_this_thread("test-thread");
+  {
+    const Span outer(&w, "outer");
+    {
+      const Span inner(&w, "inner", "phase");
+      Histogram busy;  // a little real work so durations are nonzero
+      for (int i = 0; i < 1000; ++i) busy.record(i * 1e-5);
+    }
+  }
+  EXPECT_EQ(w.events(), 2u);
+  EXPECT_EQ(w.dropped(), 0u);
+
+  const std::string json = write_trace_to_string(w);
+  // The inner span closes (and is appended) first.
+  const std::size_t inner_at = json.find("\"inner\"");
+  const std::size_t outer_at = json.find("\"outer\"");
+  ASSERT_NE(inner_at, std::string::npos);
+  ASSERT_NE(outer_at, std::string::npos);
+  EXPECT_LT(inner_at, outer_at);
+  // Both lanes are named, category flows through, and the file carries the
+  // Chrome-trace framing Perfetto keys on.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"test-thread\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_events\":0"), std::string::npos);
+}
+
+TEST(TraceWriter, NullWriterSpansAreNoOps) {
+  const Span s(nullptr, "nothing");  // must not crash or allocate a lane
+  TraceWriter w;
+  EXPECT_EQ(w.events(), 0u);
+}
+
+TEST(TraceWriter, AsyncLifecycleEventsCarryTheRequestId) {
+  TraceWriter w;
+  w.async_begin("request", 42, "{\"prompt_tokens\":7}");
+  w.async_instant("first_token", 42);
+  w.async_end("request", 42, "{\"tokens\":12,\"steps\":3}");
+  EXPECT_EQ(w.events(), 3u);
+  const std::string json = write_trace_to_string(w);
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"n\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"prompt_tokens\":7"), std::string::npos);
+}
+
+TEST(TraceWriter, BoundedBufferCountsDrops) {
+  TraceWriter w(/*max_events=*/2);
+  for (int i = 0; i < 5; ++i) w.instant("tick", "serve");
+  EXPECT_EQ(w.events(), 2u);
+  EXPECT_EQ(w.dropped(), 3u);
+  const std::string json = write_trace_to_string(w);
+  EXPECT_NE(json.find("\"dropped_events\":3"), std::string::npos);
+}
+
+TEST(TraceWriter, EscapesHostileNames) {
+  TraceWriter w;
+  w.name_this_thread("evil\"name\nwith\tcontrol\x01"
+                     "chars");
+  w.instant("quote\"in\\name", "serve");
+  const std::string json = write_trace_to_string(w);
+  EXPECT_EQ(json.find('\x01'), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  EXPECT_NE(json.find("quote\\\"in\\\\name"), std::string::npos);
+}
+
+// --- request queue wiring ----------------------------------------------------
+
+TEST(RequestQueueObs, RecordsDepthAndPerRequestWait) {
+  Registry reg;
+  serve::RequestQueue queue(8);
+  queue.attach_metrics(&reg);
+
+  for (int i = 0; i < 3; ++i) {
+    serve::Request r;
+    r.id = static_cast<std::uint64_t>(i);
+    ASSERT_TRUE(queue.push(std::move(r)));
+  }
+  EXPECT_DOUBLE_EQ(reg.gauge("serve.queue.depth").value(), 3.0);
+
+  (void)queue.pop();
+  EXPECT_DOUBLE_EQ(reg.gauge("serve.queue.depth").value(), 2.0);
+  const std::vector<serve::Request> burst = queue.try_pop_burst(8);
+  EXPECT_EQ(burst.size(), 2u);
+  EXPECT_DOUBLE_EQ(reg.gauge("serve.queue.depth").value(), 0.0);
+
+  const Histogram& wait = reg.histogram("serve.queue.wait_s");
+  EXPECT_EQ(wait.count(), 3);       // one wait sample per popped request
+  EXPECT_GE(wait.min_value(), 0.0);
+}
+
+}  // namespace
+}  // namespace vsd::obs
