@@ -59,6 +59,7 @@
 #include "serve/request_queue.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/session_cache.hpp"
+#include "vlog/lint.hpp"
 
 using namespace vsd;
 using namespace vsd::bench;
@@ -171,6 +172,10 @@ int main(int argc, char** argv) {
   };
 
   // --- batched: the serving stack (queue + scheduler + pool) -------------
+  // `active_check` is empty for every pass except the check-overhead pass
+  // at the end — an empty CheckFn leaves the scheduler on its unchecked
+  // fast path, so the timed passes above are unaffected.
+  serve::CheckFn active_check;
   const auto run_serving = [&](int run_workers, bool fuse,
                                serve::SessionCache* cache,
                                const std::shared_ptr<nn::KvArena>& arena,
@@ -188,7 +193,9 @@ int main(int argc, char** argv) {
                                 .batch = batch,
                                 .fuse = fuse,
                                 .cache = cache,
-                                .kv_arena = arena});
+                                .kv_arena = arena,
+                                .check = active_check,
+                                .check_label = "lint"});
     const serve::ServeStats stats =
         scheduler.run([&](const serve::Request& req, spec::DecodeResult r) {
           out[req.id] = std::move(r);
@@ -311,9 +318,45 @@ int main(int argc, char** argv) {
     fused_ratios.push_back(u_r / std::max(f_r, 1e-12));
   }
 
+  // --- check stage: `--check lint` overhead on the batched path ----------
+  // One more batched pass with the semantic linter installed as the
+  // post-acceptance check stage, exactly as `vsd serve --check lint` wires
+  // it: each completed request's tokens are decoded and linted on the
+  // shared pool while decoding continues.  The ledger records what that
+  // costs as a fraction of the run's wall clock (checks overlap decoding,
+  // so the frac is check CPU time over serving wall time) with a ceiling
+  // assertion — linting a few hundred tokens must stay a rounding error
+  // next to decoding them — plus the T=0 parity the stage guarantees:
+  // checks observe results, they never gate or reorder token output.
+  active_check = [&](const serve::Request&, const spec::DecodeResult& r) {
+    const vlog::LintResult lint = vlog::lint_source(sys.tokenizer.decode(r.ids));
+    serve::CheckOutcome out;
+    out.pass = !lint.has_errors();
+    out.errors = lint.errors();
+    out.warnings = lint.warnings();
+    out.infos = lint.infos();
+    out.diagnostics_json = vlog::diagnostics_json(lint.diagnostics());
+    return out;
+  };
+  nn::set_compute_threads(compute_threads);
+  std::vector<spec::DecodeResult> checked(static_cast<std::size_t>(n));
+  const serve::ServeStats kstats =
+      run_serving(workers, true, nullptr, nullptr, checked);
+  active_check = nullptr;
+  const double check_total_s =
+      kstats.check.mean() * static_cast<double>(kstats.check.count);
+  const double check_overhead_frac =
+      check_total_s / std::max(kstats.wall_seconds, 1e-12);
+  const bool check_all = kstats.checks_pass + kstats.checks_fail == n;
+  // Ceiling: the lint stage may cost at most 15% of serving wall clock at
+  // bench scale (in practice it is well under 1%; the slack absorbs noisy
+  // shared hosts without ever letting a quadratic lint pass sneak in).
+  const bool check_ok = check_all && check_overhead_frac <= 0.15;
+
   bool parity = true;
   bool cached_parity = true;
   bool fused_parity = true;
+  bool check_parity = true;
   for (int i = 0; i < n; ++i) {
     parity = parity && batched[static_cast<std::size_t>(i)].ids ==
                            serial[static_cast<std::size_t>(i)].ids;
@@ -324,6 +367,8 @@ int main(int argc, char** argv) {
                        serial[static_cast<std::size_t>(i)].ids &&
                    unfused_1t[static_cast<std::size_t>(i)].ids ==
                        serial[static_cast<std::size_t>(i)].ids;
+    check_parity = check_parity && checked[static_cast<std::size_t>(i)].ids ==
+                                       serial[static_cast<std::size_t>(i)].ids;
   }
 
   // Per-request wall-latency quantiles.  The serving passes carry theirs in
@@ -436,6 +481,15 @@ int main(int argc, char** argv) {
       serial_lat.p50, serial_lat.p95, serial_lat.p99, batched_lat.p50,
       batched_lat.p95, batched_lat.p99, cached_lat.p50, cached_lat.p95,
       cached_lat.p99);
+  std::printf(
+      "check stage (lint): %d pass / %d fail over %d requests, %.4fs lint in "
+      "%.3fs serving wall (overhead %.2f%%); checked parity at T=0: %s%s%s\n",
+      kstats.checks_pass, kstats.checks_fail, n, check_total_s,
+      kstats.wall_seconds, 100.0 * check_overhead_frac,
+      check_parity ? "PASS" : "FAIL",
+      check_all ? "" : "; check COVERAGE (one outcome per request) FAILED",
+      check_overhead_frac <= 0.15 ? ""
+                                  : "; check OVERHEAD CEILING (15%) FAILED");
 
   if (const char* path = json_out_path(argc, argv)) {
     std::FILE* f = open_json(path, "bench_serve_throughput", scale);
@@ -468,7 +522,12 @@ int main(int argc, char** argv) {
         "  \"prefill_saved_frac\": %.4f,\n"
         "  \"cached_le_batched_wall\": %s,\n"
         "  \"parity_temp0\": %s,\n  \"cached_parity_temp0\": %s,\n"
-        "  \"fused_parity_temp0\": %s,\n",
+        "  \"fused_parity_temp0\": %s,\n"
+        "  \"check\": {\"stage\": \"lint\", \"pass\": %d, \"fail\": %d, "
+        "\"wall_s\": %.4f, \"total_s\": %.4f, \"p50_s\": %.5f, "
+        "\"p99_s\": %.5f},\n"
+        "  \"check_overhead_frac\": %.4f,\n"
+        "  \"check_parity_temp0\": %s,\n",
         n, workers, compute_threads, batch, cache_cap, t_step, serial_steps,
         serial_wall,
         serial_rps_model, serial_rps_wall, serial_prefill, stats.ticks,
@@ -487,7 +546,10 @@ int main(int argc, char** argv) {
         speedup_model, speedup_wall, prefill_saved_frac,
         cstats.wall_seconds <= stats.wall_seconds ? "true" : "false",
         parity ? "true" : "false", cached_parity ? "true" : "false",
-        fused_parity ? "true" : "false");
+        fused_parity ? "true" : "false", kstats.checks_pass,
+        kstats.checks_fail, kstats.wall_seconds, check_total_s,
+        kstats.check.p50, kstats.check.p99, check_overhead_frac,
+        check_parity ? "true" : "false");
     std::fprintf(
         f,
         "  \"latency\": {"
@@ -500,8 +562,9 @@ int main(int argc, char** argv) {
     std::fclose(f);
     std::printf("# wrote %s\n", path);
   }
-  return parity && cached_parity && fused_parity && speedup_ok && wall_ok &&
-                 prefill_reduced && cached_ok && fused_ok
+  return parity && cached_parity && fused_parity && check_parity &&
+                 speedup_ok && wall_ok && prefill_reduced && cached_ok &&
+                 fused_ok && check_ok
              ? 0
              : 1;
 }

@@ -1,7 +1,11 @@
-// `vsd lint` — parse Verilog sources, report syntax errors, and optionally
-// show the paper's Fig.-3 views (AST keywords, canonical print, [FRAG]
-// marking).  Accepts files and directories (scanned recursively for *.v);
-// with no inputs it lints a built-in example module.
+// `vsd lint` — parse Verilog sources, run the semantic lint passes
+// (vlog/lint.hpp), report structured diagnostics, and optionally show the
+// paper's Fig.-3 views (AST keywords, canonical print, [FRAG] marking).
+// Accepts files and directories (scanned recursively for *.v); with no
+// inputs it lints a built-in example module.
+//
+// Exit codes: 0 clean (warnings allowed), 2 syntax or semantic errors,
+// 4 warnings under --werror, 5 I/O failure, 1 bad usage.
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -11,7 +15,9 @@
 #include "cli/args.hpp"
 #include "cli/commands.hpp"
 #include "cli/io.hpp"
+#include "serve/json.hpp"
 #include "vlog/fragment.hpp"
+#include "vlog/lint.hpp"
 #include "vlog/parser.hpp"
 #include "vlog/printer.hpp"
 #include "vlog/significant.hpp"
@@ -25,6 +31,9 @@ constexpr OptionSpec kOptions[] = {
     {"print", false, "print the canonical pretty-printed source"},
     {"frag", false, "print the [FRAG]-marked training-data view"},
     {"quiet", false, "only report errors"},
+    {"json", false, "emit one JSON object per input (machine-readable)"},
+    {"werror", false, "treat lint warnings as errors (exit 4)"},
+    {"syntax-only", false, "parse only; skip the semantic lint passes"},
     {"help", false, "show this help"},
 };
 
@@ -94,11 +103,19 @@ bool collect(const std::vector<std::string>& paths, std::vector<Input>& out) {
 }  // namespace
 
 void print_lint_help() {
-  std::printf("usage: vsd lint [options] [file.v | directory]...\n\n"
-              "Parses each source (directories are scanned recursively for *.v)\n"
-              "and reports syntax errors.  With no inputs, lints a built-in\n"
-              "example.  Exit code: 0 all clean, %d on syntax errors.\n\noptions:\n",
-              kExitSyntax);
+  std::printf(
+      "usage: vsd lint [options] [file.v | directory]...\n\n"
+      "Parses each source (directories are scanned recursively for *.v),\n"
+      "runs the semantic lint passes (VSD-Lxxx diagnostics; see README\n"
+      "\"Static analysis\"), and reports findings.  With no inputs, lints a\n"
+      "built-in example.\n\n"
+      "exit codes:\n"
+      "  %d  clean (warnings/infos do not fail without --werror)\n"
+      "  %d  bad usage\n"
+      "  %d  syntax or semantic-lint errors\n"
+      "  %d  warnings present and --werror given\n"
+      "  %d  I/O failure (unreadable file or directory)\n\noptions:\n",
+      kExitOk, kExitUsage, kExitSyntax, kExitLintWarnings, kExitIo);
   print_options(kOptions);
 }
 
@@ -113,25 +130,53 @@ int cmd_lint(int argc, const char* const* argv) {
     return kExitUsage;
   }
   const bool quiet = args.has("quiet");
+  const bool json = args.has("json");
+  const bool werror = args.has("werror");
+  const bool syntax_only = args.has("syntax-only");
 
   std::vector<Input> inputs;
   if (args.positional().empty()) {
     inputs.push_back({"<built-in example>", kBuiltin});
   } else if (!collect(args.positional(), inputs)) {
-    return kExitUsage;
+    return kExitIo;
   }
 
-  int bad = 0;
+  int syntax_bad = 0;
+  int total_errors = 0;
+  int total_warnings = 0;
   for (const Input& input : inputs) {
     const vlog::ParseResult result = vlog::parse(input.source);
+    vlog::LintResult lint;
+    if (result.ok && !syntax_only) {
+      lint = vlog::lint_unit(*result.unit);
+    } else if (!result.ok) {
+      lint.add(vlog::Severity::Error, "VSD-L001", result.error_line,
+               "syntax error: " + result.error);
+    }
+    total_errors += lint.errors();
+    total_warnings += lint.warnings();
+    if (!result.ok) ++syntax_bad;
+
+    if (json) {
+      std::string line = "{\"file\":\"" + serve::json_escape(input.label) +
+                         "\",\"ok\":" + (lint.has_errors() ? "false" : "true") +
+                         ",\"errors\":" + std::to_string(lint.errors()) +
+                         ",\"warnings\":" + std::to_string(lint.warnings()) +
+                         ",\"infos\":" + std::to_string(lint.infos()) +
+                         ",\"diagnostics\":" +
+                         vlog::diagnostics_json(lint.diagnostics()) + "}";
+      std::printf("%s\n", line.c_str());
+      continue;
+    }
+
     if (!result.ok) {
       std::printf("%s: SYNTAX ERROR at line %d: %s\n", input.label.c_str(),
                   result.error_line, result.error.c_str());
-      ++bad;
       continue;
     }
     if (!quiet) {
-      std::printf("%s: OK (%zu module(s))\n", input.label.c_str(),
+      std::printf("%s: %s (%zu module(s))\n", input.label.c_str(),
+                  lint.has_errors() ? "LINT ERRORS" : "OK",
                   result.unit->modules.size());
       if (args.has("keywords")) {
         for (const auto& m : result.unit->modules) {
@@ -149,11 +194,24 @@ int cmd_lint(int argc, const char* const* argv) {
         std::printf("%s\n", vlog::mark_fragments(input.source).c_str());
       }
     }
+    for (const vlog::Diagnostic& d : lint.diagnostics()) {
+      if (quiet && d.severity != vlog::Severity::Error) continue;
+      const std::string where =
+          d.module.empty() ? std::string() : " [" + d.module +
+              (d.signal.empty() ? "" : "." + d.signal) + "]";
+      std::printf("%s:%d: %s %s%s: %s\n", input.label.c_str(), d.line,
+                  vlog::severity_name(d.severity), d.code.c_str(),
+                  where.c_str(), d.message.c_str());
+    }
   }
-  if (!quiet) {
-    std::printf("%zu file(s), %d with syntax errors\n", inputs.size(), bad);
+  if (!quiet && !json) {
+    std::printf("%zu file(s), %d with syntax errors, %d lint error(s), "
+                "%d warning(s)\n",
+                inputs.size(), syntax_bad, total_errors, total_warnings);
   }
-  return bad == 0 ? kExitOk : kExitSyntax;
+  if (total_errors > 0) return kExitSyntax;
+  if (werror && total_warnings > 0) return kExitLintWarnings;
+  return kExitOk;
 }
 
 }  // namespace vsd::cli

@@ -29,6 +29,7 @@
 #include "serve/request_queue.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/session_cache.hpp"
+#include "vlog/lint.hpp"
 
 namespace vsd::cli {
 
@@ -48,6 +49,11 @@ constexpr OptionSpec kOptions[] = {
     {"kv-pages-max", true,
      "KV arena page cap (default: derived from batch + cache)", "N"},
     {"no-fuse", false, "disable the fused batched forward (per-session matmuls)"},
+    {"check", true,
+     "post-acceptance check stage over each completed candidate;\n"
+     "                   'lint' parses + semantically lints the generated code\n"
+     "                   and attaches VSD-Lxxx diagnostics to its JSON result\n"
+     "                   (tokens are unchanged; the check runs on the pool)", "STAGE"},
     {"trace", true,
      "write a Chrome-trace-event JSON timeline (per-tick phase spans,\n"
      "                   per-request lifecycles; open in Perfetto)", "FILE"},
@@ -132,6 +138,7 @@ int cmd_serve(int argc, const char* const* argv) {
   const int kv_pages_max = args.get_int("kv-pages-max", 0);  // 0 = derived
   const std::string trace_path = args.get("trace", "");
   const double stats_every = args.get_double("stats-every", 0.0);
+  const std::string check_stage = args.get("check", "");
   eval::SystemConfig cfg;
   cfg.method = method;
   cfg.encoder_decoder = args.has("enc-dec");
@@ -168,6 +175,8 @@ int cmd_serve(int argc, const char* const* argv) {
     bad_arg = "--stats-every must be > 0 (seconds between snapshots)";
   else if (args.has("trace") && trace_path.empty())
     bad_arg = "--trace needs a file path to write the timeline to";
+  else if (args.has("check") && check_stage != "lint")
+    bad_arg = "--check supports one stage: lint";
   if (bad_arg != nullptr) {
     std::fprintf(stderr, "vsd serve: %s\n", bad_arg);
     return kExitUsage;
@@ -254,6 +263,23 @@ int cmd_serve(int argc, const char* const* argv) {
         .capacity = static_cast<std::size_t>(cache_cap)});
   }
   if (cache) cache->attach_metrics(&reg);
+  // --check lint: parse + semantically lint each completed candidate on the
+  // shared pool.  Decoding is not gated on it — tokens are bit-identical to
+  // a run without --check; the outcome rides along on the JSON result.
+  serve::CheckFn check_fn;
+  if (check_stage == "lint") {
+    check_fn = [&sys](const serve::Request&, const spec::DecodeResult& r) {
+      const vlog::LintResult lint =
+          vlog::lint_source(sys.tokenizer.decode(r.ids));
+      serve::CheckOutcome out;
+      out.pass = !lint.has_errors();
+      out.errors = lint.errors();
+      out.warnings = lint.warnings();
+      out.infos = lint.infos();
+      out.diagnostics_json = vlog::diagnostics_json(lint.diagnostics());
+      return out;
+    };
+  }
   serve::Scheduler scheduler(*sys.model, queue,
                              {.workers = workers,
                               .batch = batch,
@@ -263,7 +289,10 @@ int cmd_serve(int argc, const char* const* argv) {
                               .kv_pages_max = kv_pages_max,
                               .kv_arena = nullptr,
                               .metrics = &reg,
-                              .trace = tracer.get()});
+                              .trace = tracer.get(),
+                              .check = check_fn,
+                              .check_label =
+                                  check_stage.empty() ? "check" : check_stage});
 
   // Periodic one-line snapshots (--stats-every): a sampling thread reads
   // the registry — every read is lock-free or a brief registry-map lock —
@@ -296,7 +325,8 @@ int cmd_serve(int argc, const char* const* argv) {
   int exit_code = kExitOk;
   serve::ServeStats stats;
   try {
-    stats = scheduler.run([&](const serve::Request& req, spec::DecodeResult r) {
+    stats = scheduler.run([&](const serve::Request& req, spec::DecodeResult r,
+                              const serve::CheckOutcome* check) {
       total_tokens += static_cast<long>(r.ids.size());
       total_steps += r.steps;
       std::string line = "{\"id\":" + std::to_string(req.id) +
@@ -308,6 +338,14 @@ int cmd_serve(int argc, const char* const* argv) {
                     r.mean_accepted(), r.wall_seconds);
       line += buf;
       line += r.hit_eos ? ",\"eos\":true" : ",\"eos\":false";
+      if (check != nullptr) {
+        std::snprintf(buf, sizeof(buf),
+                      ",\"errors\":%d,\"warnings\":%d,\"wall_s\":%.4f",
+                      check->errors, check->warnings, check->wall_seconds);
+        line += ",\"check\":{\"stage\":\"" + check_stage + "\",\"pass\":" +
+                (check->pass ? "true" : "false") + buf +
+                ",\"diagnostics\":" + check->diagnostics_json + "}";
+      }
       if (emit_code) {
         line += ",\"code\":\"" +
                 serve::json_escape(sys.tokenizer.decode(r.ids)) + "\"";
@@ -357,10 +395,19 @@ int cmd_serve(int argc, const char* const* argv) {
   std::printf(
       ",\"obs\":{\"queue_wait_p50_s\":%.4f,\"queue_wait_p99_s\":%.4f,"
       "\"ttft_p50_s\":%.4f,\"ttft_p99_s\":%.4f,\"tick_p50_s\":%.5f,"
-      "\"tick_p99_s\":%.5f,\"occupancy_mean\":%.3f,\"trace_events\":%zu}",
+      "\"tick_p99_s\":%.5f,\"occupancy_mean\":%.3f,\"trace_events\":%zu",
       stats.queue_wait.p50, stats.queue_wait.p99, stats.ttft.p50,
       stats.ttft.p99, stats.tick.p50, stats.tick.p99, stats.occupancy_mean,
       tracer ? tracer->events() : std::size_t{0});
+  if (!check_stage.empty()) {
+    std::printf(
+        ",\"check\":{\"stage\":\"%s\",\"pass\":%d,\"fail\":%d,"
+        "\"p50_s\":%.5f,\"p99_s\":%.5f,\"total_s\":%.4f}",
+        check_stage.c_str(), stats.checks_pass, stats.checks_fail,
+        stats.check.p50, stats.check.p99,
+        stats.check.mean() * static_cast<double>(stats.check.count));
+  }
+  std::printf("}");
   if (cache) {
     const serve::SessionCacheStats cs = cache->stats();
     std::printf(

@@ -1,9 +1,11 @@
-// The four `vsd` subcommands.  Each takes the argv slice after its own
-// name and returns a process exit code:
-//   0 — success
-//   1 — usage or I/O error
-//   2 — input failed a syntax / compile check
+// The `vsd` subcommands.  Each takes the argv slice after its own name and
+// returns a process exit code:
+//   0 — success (lint: no errors; warnings do not fail without --werror)
+//   1 — usage error (bad flags / arguments)
+//   2 — input failed a syntax / compile / semantic-lint check
 //   3 — simulation or differential check failed
+//   4 — lint found only warnings and --werror was given
+//   5 — I/O failure (unreadable file or directory)
 #pragma once
 
 namespace vsd::cli {
@@ -12,6 +14,8 @@ inline constexpr int kExitOk = 0;
 inline constexpr int kExitUsage = 1;
 inline constexpr int kExitSyntax = 2;
 inline constexpr int kExitCheckFailed = 3;
+inline constexpr int kExitLintWarnings = 4;
+inline constexpr int kExitIo = 5;
 
 int cmd_lint(int argc, const char* const* argv);
 int cmd_simulate(int argc, const char* const* argv);

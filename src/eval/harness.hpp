@@ -92,6 +92,11 @@ struct BenchScores {
   double func_rate = 0.0;
   std::vector<double> syn_pass_at_k;
   double syn_rate = 0.0;
+  // Fraction of samples whose candidate passes the semantic linter with no
+  // Error-severity findings (vlog::lint_ok) — same entry point as `vsd
+  // serve --check lint`.  Always <= syn_rate's sample-level pass share:
+  // lint requires a parse plus clean symbol/driver resolution.
+  double lint_rate = 0.0;
 };
 
 BenchScores evaluate_quality(const TrainedSystem& sys,

@@ -5,6 +5,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <deque>
+#include <future>
 #include <memory>
 #include <string>
 #include <utility>
@@ -36,6 +38,14 @@ Scheduler::Scheduler(const nn::TransformerModel& model, RequestQueue& queue,
     : model_(model), queue_(queue), opts_(opts) {}
 
 ServeStats Scheduler::run(const Completion& on_complete) {
+  return run(CheckedCompletion(
+      [&on_complete](const Request& req, spec::DecodeResult result,
+                     const CheckOutcome* /*check*/) {
+        on_complete(req, std::move(result));
+      }));
+}
+
+ServeStats Scheduler::run(const CheckedCompletion& on_complete) {
   const int batch = std::max(1, opts_.batch);
 
   struct Slot {
@@ -93,6 +103,17 @@ ServeStats Scheduler::run(const Completion& on_complete) {
   obs::Gauge& g_kv_used = reg.gauge("serve.kv.pages_in_use");
   obs::Gauge& g_kv_free = reg.gauge("serve.kv.pages_free");
   obs::Gauge& g_kv_cow = reg.gauge("serve.kv.cow_clones");
+  // Check-stage instruments, created once so pool workers only record.
+  const bool checked = static_cast<bool>(opts_.check);
+  obs::Histogram* const h_check =
+      checked ? &reg.histogram("serve.check." + opts_.check_label + "_s")
+              : nullptr;
+  obs::Counter* const c_check_pass =
+      checked ? &reg.counter("serve.check." + opts_.check_label + ".pass")
+              : nullptr;
+  obs::Counter* const c_check_fail =
+      checked ? &reg.counter("serve.check." + opts_.check_label + ".fail")
+              : nullptr;
   if (trace != nullptr) trace->name_this_thread("scheduler");
 
   // Declared before the pool: if a decode error unwinds this frame, the
@@ -107,6 +128,16 @@ ServeStats Scheduler::run(const Completion& on_complete) {
           "pool-worker-" + std::to_string(worker_seq.fetch_add(1)));
     };
   }
+  // Completed requests waiting on their check stage.  Declared before the
+  // pool (like the slots): workers hold pointers into these entries, so on
+  // unwind the pool must join before the deque dies.  End-insertion keeps
+  // element addresses stable while workers read them.
+  struct PendingCheck {
+    Request req;
+    spec::DecodeResult result;
+    std::future<CheckOutcome> fut;
+  };
+  std::deque<PendingCheck> checks;
   std::vector<Slot> slots(static_cast<std::size_t>(batch));
   ThreadPool pool(std::max(1, opts_.workers), worker_init);
 
@@ -164,21 +195,72 @@ ServeStats Scheduler::run(const Completion& on_complete) {
     stats.prefill_positions += slot.dec->result().prefill_positions;
     // End-to-end latency from the queue's enqueue stamp; requests that
     // bypassed the queue stamp (none today) fall back to admission time.
+    // Latency covers decoding only — the check stage runs after the tokens
+    // are final, so latency stays comparable with an unchecked run.
     const auto t0 = slot.req.enqueued_at == Clock::time_point{}
                         ? slot.admitted_at
                         : slot.req.enqueued_at;
     h_latency.record(std::chrono::duration<double>(Clock::now() - t0).count());
     c_completed.inc();
-    if (trace != nullptr) {
-      char args[96];
-      std::snprintf(args, sizeof(args), "{\"tokens\":%zu,\"steps\":%d}",
-                    slot.dec->result().ids.size(), slot.dec->result().steps);
-      trace->async_end("request", slot.req.id, args);
+    if (!checked) {
+      if (trace != nullptr) {
+        char args[96];
+        std::snprintf(args, sizeof(args), "{\"tokens\":%zu,\"steps\":%d}",
+                      slot.dec->result().ids.size(), slot.dec->result().steps);
+        trace->async_end("request", slot.req.id, args);
+      }
+      on_complete(slot.req, slot.dec->take_result(), nullptr);
+    } else {
+      // Hand the finished request to the check stage and free the slot
+      // immediately — admission never waits on a check.  The request's
+      // trace span stays open until the check lands (reap_checks).
+      checks.push_back(PendingCheck{std::move(slot.req),
+                                    slot.dec->take_result(), {}});
+      PendingCheck& entry = checks.back();
+      const CheckFn& fn = opts_.check;
+      const Request* req = &entry.req;
+      const spec::DecodeResult* res = &entry.result;
+      entry.fut = pool.submit(
+          [&fn, req, res, h_check, c_check_pass, c_check_fail, trace] {
+            const obs::Span span(trace, "check");
+            const auto check_start = Clock::now();
+            CheckOutcome out = fn(*req, *res);
+            out.wall_seconds =
+                std::chrono::duration<double>(Clock::now() - check_start)
+                    .count();
+            h_check->record(out.wall_seconds);
+            (out.pass ? c_check_pass : c_check_fail)->inc();
+            return out;
+          });
     }
-    on_complete(slot.req, slot.dec->take_result());
     slot.dec.reset();
     --live;
     ++stats.completed;
+  };
+
+  // Delivers finished checks (FIFO in check-submission order) to the
+  // completion callback.  Non-blocking after each tick; blocking before the
+  // scheduler would idle-wait on the queue and at the final drain, so every
+  // result is delivered before the run can stall or end.
+  const auto reap_checks = [&](bool block) {
+    while (!checks.empty()) {
+      PendingCheck& front = checks.front();
+      if (!block && front.fut.wait_for(std::chrono::seconds(0)) !=
+                        std::future_status::ready) {
+        break;
+      }
+      const CheckOutcome outcome = front.fut.get();  // rethrows check errors
+      (outcome.pass ? stats.checks_pass : stats.checks_fail) += 1;
+      if (trace != nullptr) {
+        char args[96];
+        std::snprintf(args, sizeof(args),
+                      "{\"tokens\":%zu,\"check_pass\":%s}",
+                      front.result.ids.size(), outcome.pass ? "true" : "false");
+        trace->async_end("request", front.req.id, args);
+      }
+      on_complete(front.req, std::move(front.result), &outcome);
+      checks.pop_front();
+    }
   };
 
   // --- serial tick: every live session runs a whole step on the pool ----
@@ -443,8 +525,15 @@ ServeStats Scheduler::run(const Completion& on_complete) {
     // idle are all batched into the same first tick instead of trickling
     // in one per tick.
     const std::size_t free_slots = static_cast<std::size_t>(batch - live);
-    std::vector<Request> burst = live == 0 ? queue_.pop_burst(free_slots)
-                                           : queue_.try_pop_burst(free_slots);
+    std::vector<Request> burst;
+    if (live == 0) {
+      // About to block on the queue: flush every pending check first so
+      // completed results are never held hostage by an idle scheduler.
+      reap_checks(/*block=*/true);
+      burst = queue_.pop_burst(free_slots);
+    } else {
+      burst = queue_.try_pop_burst(free_slots);
+    }
     {
       // The span covers slot setup (cache lookup, session build), not the
       // blocking wait above — an idle scheduler should trace as idle.
@@ -474,6 +563,7 @@ ServeStats Scheduler::run(const Completion& on_complete) {
     }
     h_tick.record(
         std::chrono::duration<double>(Clock::now() - tick_start).count());
+    reap_checks(/*block=*/false);
     for (Slot& slot : slots) {
       if (slot.dec) note_first_token(slot);
     }
@@ -490,6 +580,7 @@ ServeStats Scheduler::run(const Completion& on_complete) {
       trace->counter("kv.pages_free", static_cast<double>(kvp.free_pages));
     }
   }
+  reap_checks(/*block=*/true);  // final drain
   stats.wall_seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
   // Release the slots' sessions before sampling the arena, so the stats
@@ -503,6 +594,7 @@ ServeStats Scheduler::run(const Completion& on_complete) {
   stats.ttft = h_ttft.stats();
   stats.tick = h_tick.stats();
   stats.occupancy_mean = h_occ.stats().mean();
+  if (h_check != nullptr) stats.check = h_check->stats();
   // A private registry dies with this frame — unhook the queue first.
   if (opts_.metrics == nullptr) queue_.attach_metrics(nullptr);
   return stats;

@@ -10,6 +10,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "common/metrics.hpp"
 #include "nn/model.hpp"
@@ -23,6 +24,24 @@ class TraceWriter;
 namespace vsd::serve {
 
 class SessionCache;
+
+/// Result of a post-acceptance check stage (e.g. `--check lint`) over one
+/// completed request.  `diagnostics_json` is a JSON array literal ready to
+/// splice into the request's JSON-lines result.
+struct CheckOutcome {
+  bool pass = true;
+  int errors = 0;
+  int warnings = 0;
+  int infos = 0;
+  double wall_seconds = 0.0;
+  std::string diagnostics_json = "[]";
+};
+
+/// A check stage: runs on a pool worker after a request's tokens are final,
+/// so it must not touch scheduler state.  Decoding is NOT gated on it —
+/// token output is bit-identical with and without a check installed.
+using CheckFn =
+    std::function<CheckOutcome(const Request&, const spec::DecodeResult&)>;
 
 struct SchedulerOptions {
   int workers = 1;  // threads advancing sessions each tick
@@ -63,6 +82,15 @@ struct SchedulerOptions {
   // (`vsd serve --trace FILE`).
   obs::Registry* metrics = nullptr;
   obs::TraceWriter* trace = nullptr;
+  // Post-acceptance check stage (`vsd serve --check lint`).  When set, each
+  // completed request is parsed+checked on the shared pool while decoding
+  // continues; its slot frees immediately, and the completion callback is
+  // invoked once the check lands (FIFO in check-submission order).  The
+  // label derives the metric names: `serve.check.<label>_s` histogram and
+  // `serve.check.<label>.pass` / `.fail` counters, plus a "check" span per
+  // request in the trace timeline.
+  CheckFn check = nullptr;
+  std::string check_label = "check";
 };
 
 /// Serving accounting.  `ticks` counts scheduler iterations: under the
@@ -89,6 +117,10 @@ struct ServeStats {
   obs::HistogramStats ttft{};
   obs::HistogramStats tick{};
   double occupancy_mean = 0.0;
+  // Check-stage accounting (all zero when no check is installed).
+  int checks_pass = 0;
+  int checks_fail = 0;
+  obs::HistogramStats check{};
 };
 
 class Scheduler {
@@ -96,6 +128,10 @@ class Scheduler {
   /// Called on the scheduler thread for each finished request, in
   /// completion order (not admission order).
   using Completion = std::function<void(const Request&, spec::DecodeResult)>;
+  /// Completion that also receives the check stage's outcome — nullptr
+  /// when no check is installed (SchedulerOptions::check is empty).
+  using CheckedCompletion = std::function<void(
+      const Request&, spec::DecodeResult, const CheckOutcome*)>;
 
   Scheduler(const nn::TransformerModel& model, RequestQueue& queue,
             SchedulerOptions opts);
@@ -103,6 +139,7 @@ class Scheduler {
   /// Runs until the queue is closed and fully drained.  A decode error in
   /// any request propagates out as vsd::Error.
   ServeStats run(const Completion& on_complete);
+  ServeStats run(const CheckedCompletion& on_complete);
 
  private:
   const nn::TransformerModel& model_;

@@ -1,0 +1,107 @@
+#include "vlog/diagnostics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace vsd::vlog {
+
+namespace {
+
+/// Minimal JSON string escaping for diagnostic text: codes, identifiers,
+/// and messages are ASCII by construction, but messages can quote source
+/// fragments, so control characters and quotes must not leak through.
+/// (The serve layer has a full UTF-8-aware escaper; vlog sits below it in
+/// the layer graph and only ever emits text it produced itself.)
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 4);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::Info: return "info";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "error";
+}
+
+void LintResult::add(Severity sev, std::string code, int line,
+                     std::string message, std::string module,
+                     std::string signal) {
+  Diagnostic d;
+  d.severity = sev;
+  d.code = std::move(code);
+  d.line = line;
+  d.message = std::move(message);
+  d.module = std::move(module);
+  d.signal = std::move(signal);
+  diags_.push_back(std::move(d));
+}
+
+int LintResult::count(Severity s) const {
+  int n = 0;
+  for (const Diagnostic& d : diags_) {
+    if (d.severity == s) ++n;
+  }
+  return n;
+}
+
+void LintResult::sort_by_location() {
+  std::stable_sort(diags_.begin(), diags_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.line != b.line) return a.line < b.line;
+                     if (a.code != b.code) return a.code < b.code;
+                     return a.signal < b.signal;
+                   });
+}
+
+void LintResult::merge(LintResult other) {
+  diags_.insert(diags_.end(),
+                std::make_move_iterator(other.diags_.begin()),
+                std::make_move_iterator(other.diags_.end()));
+}
+
+std::string diagnostic_json(const Diagnostic& d) {
+  std::string out = "{\"severity\":\"";
+  out += severity_name(d.severity);
+  out += "\",\"code\":\"" + escape(d.code) + "\",\"line\":" +
+         std::to_string(d.line) + ",\"message\":\"" + escape(d.message) + "\"";
+  if (!d.module.empty()) out += ",\"module\":\"" + escape(d.module) + "\"";
+  if (!d.signal.empty()) out += ",\"signal\":\"" + escape(d.signal) + "\"";
+  out += "}";
+  return out;
+}
+
+std::string diagnostics_json(const std::vector<Diagnostic>& ds) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    if (i > 0) out += ",";
+    out += diagnostic_json(ds[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace vsd::vlog

@@ -1,0 +1,73 @@
+// Structured diagnostics for the Verilog semantic analyzer (vlog/lint).
+//
+// Modeled on elaboration-diagnostic designs in production SystemVerilog
+// front ends: every finding is a Diagnostic carrying a severity, a stable
+// machine-readable code ("VSD-Lxxx"), a source line, a human message, and
+// the module/signal context it applies to.  LintResult aggregates the
+// findings of one analysis run (one file, one module, or one generated
+// candidate) and answers the questions callers actually ask: are there
+// errors, how many warnings, give me the findings in source order.
+//
+// The JSON helpers here are what `vsd lint --json` and the serving path's
+// `--check lint` stage emit, so the schema lives in exactly one place.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vsd::vlog {
+
+enum class Severity : std::uint8_t { Info, Warning, Error };
+
+/// "info" / "warning" / "error" — the JSON spelling.
+const char* severity_name(Severity s);
+
+/// One finding.  `code` is stable across releases ("VSD-L110"); tools may
+/// key suppression or CI gates on it.  `line` is 1-based in the linted
+/// buffer, 0 when the finding has no single source line.
+struct Diagnostic {
+  Severity severity = Severity::Warning;
+  std::string code;     // "VSD-Lxxx"
+  int line = 0;
+  std::string message;
+  std::string module;   // enclosing module name, empty for file-level
+  std::string signal;   // subject signal/identifier, empty when n/a
+};
+
+/// Aggregated findings of one lint run.
+class LintResult {
+ public:
+  void add(Diagnostic d) { diags_.push_back(std::move(d)); }
+  void add(Severity sev, std::string code, int line, std::string message,
+           std::string module = {}, std::string signal = {});
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  int count(Severity s) const;
+  int errors() const { return count(Severity::Error); }
+  int warnings() const { return count(Severity::Warning); }
+  int infos() const { return count(Severity::Info); }
+  bool has_errors() const { return errors() > 0; }
+  /// No findings at any severity.
+  bool clean() const { return diags_.empty(); }
+
+  /// Stable order for output and tests: (line, code, signal).
+  void sort_by_location();
+  /// Appends `other`'s findings to this result.
+  void merge(LintResult other);
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+/// One diagnostic as a JSON object:
+///   {"severity":"warning","code":"VSD-L120","line":7,
+///    "message":"...","module":"m","signal":"q"}
+/// (module/signal keys are omitted when empty).
+std::string diagnostic_json(const Diagnostic& d);
+
+/// A JSON array of diagnostic_json objects ("[]" when empty) — the
+/// `diagnostics` field of `vsd lint --json` and serve's check stage.
+std::string diagnostics_json(const std::vector<Diagnostic>& ds);
+
+}  // namespace vsd::vlog

@@ -1,0 +1,1594 @@
+#include "vlog/lint.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "vlog/parser.hpp"
+
+namespace vsd::vlog {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Symbol / drive model
+// ---------------------------------------------------------------------------
+
+/// Who is driving a signal.  Conflict passes (L110/L111/L112) only consider
+/// "hard" structural drivers: continuous assignments, procedural always
+/// blocks, and instance output connections whose direction we resolved.
+/// Initial blocks, function/task bodies, and generate bodies are recorded so
+/// the signal counts as driven (no false L103) but are exempt from conflict
+/// detection — initial blocks model test stimulus, and generate iterations
+/// legitimately drive different slices through non-constant selects.
+enum class DriveKind : std::uint8_t {
+  Continuous,
+  AlwaysBlocking,
+  AlwaysNonBlocking,
+  Initial,
+  Instance,
+  Generate,
+  Function,
+};
+
+struct Drive {
+  DriveKind kind = DriveKind::Continuous;
+  const AlwaysItem* always = nullptr;  // owning block for Always* kinds
+  int line = 0;
+  bool whole = true;  // false when lo/hi bound the driven bits
+  int lo = 0;
+  int hi = 0;
+  bool soft = false;  // direction unknown (unresolvable instance port)
+};
+
+enum class SymKind : std::uint8_t { Net, Param, Function, Task, Instance };
+
+struct Sym {
+  SymKind kind = SymKind::Net;
+  NetType net = NetType::Wire;
+  bool is_port = false;
+  bool dir_known = false;  // false for non-ANSI header names pre-PortDecl
+  PortDir dir = PortDir::Input;
+  bool net_redeclared = false;  // "output q; reg q;" merge already applied
+  int line = 0;
+
+  // Normalized packed range when const-evaluable.  Scalars are [0,0].
+  bool range_known = false;
+  int lo = 0;
+  int hi = 0;
+  int decl_msb = 0;  // declared order, for reversed part-select messages
+  int decl_lsb = 0;
+
+  bool has_unpacked = false;  // memory: bit-range checks are skipped
+
+  bool read = false;
+  std::vector<Drive> drives;
+
+  const FunctionItem* func = nullptr;
+  const TaskItem* task = nullptr;
+};
+
+/// Per-walk context: which construct we are inside, and what the enclosing
+/// always block has read/assigned so far (for the latch / sensitivity /
+/// blocking-style passes).
+struct WalkCtx {
+  DriveKind kind = DriveKind::Continuous;
+  const AlwaysItem* always = nullptr;
+  bool comb = false;
+  bool seq = false;
+  std::set<std::string> assigned;
+  std::set<std::string> reads;
+  std::vector<const CaseStmt*> defaultless_cases;
+  std::set<std::string> l131_reported;
+};
+
+bool interval_overlap(const Drive& a, const Drive& b) {
+  if (a.whole || b.whole) return true;
+  return a.lo <= b.hi && b.lo <= a.hi;
+}
+
+/// True when the literal's source spelling carries an explicit size prefix
+/// ("4'b1010").  Unsized literals decode to >= 32 bits, so only sized ones
+/// participate in the truncation pass.
+bool number_is_sized(const NumberExpr& n) {
+  const auto tick = n.text.find('\'');
+  return tick != std::string::npos && tick > 0;
+}
+
+// ---------------------------------------------------------------------------
+// Module linter
+// ---------------------------------------------------------------------------
+
+class ModuleLinter {
+ public:
+  ModuleLinter(const Module& m, LintResult& out,
+               const std::map<std::string, const Module*>* unit_modules)
+      : m_(m), out_(out), unit_modules_(unit_modules) {
+    scopes_.emplace_back();
+  }
+
+  void run() {
+    declare_params();
+    declare_items();
+    walk_items();
+    report_symbols();
+  }
+
+ private:
+  // ---- diagnostics -------------------------------------------------------
+
+  void diag(Severity sev, const char* code, int line, std::string message,
+            std::string signal = {}) {
+    out_.add(sev, code, line, std::move(message), m_.name, std::move(signal));
+  }
+
+  // ---- scopes ------------------------------------------------------------
+
+  Sym* resolve(const std::string& name) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) return &found->second;
+    }
+    return nullptr;
+  }
+
+  Sym& declare_local(const std::string& name, Sym s) {
+    return scopes_.back()[name] = std::move(s);
+  }
+
+  // ---- constant evaluation ----------------------------------------------
+
+  std::optional<long long> const_int(const Expr* e) const {
+    if (e == nullptr) return std::nullopt;
+    switch (e->kind) {
+      case ExprKind::Number: {
+        const auto& n = static_cast<const NumberExpr&>(*e);
+        if (n.is_real || n.bits.empty() || n.bits.size() > 62) {
+          return std::nullopt;
+        }
+        long long v = 0;
+        for (const char c : n.bits) {
+          if (c != '0' && c != '1') return std::nullopt;  // x/z digits
+          v = (v << 1) | (c == '1' ? 1 : 0);
+        }
+        return v;
+      }
+      case ExprKind::Ident: {
+        const auto& id = static_cast<const IdentExpr&>(*e);
+        if (id.path.size() != 1) return std::nullopt;
+        const auto it = params_.find(id.path.front());
+        if (it == params_.end()) return std::nullopt;
+        return it->second;
+      }
+      case ExprKind::Unary: {
+        const auto& u = static_cast<const UnaryExpr&>(*e);
+        const auto v = const_int(u.operand.get());
+        if (!v) return std::nullopt;
+        switch (u.op) {
+          case UnaryOp::Plus: return *v;
+          case UnaryOp::Minus: return -*v;
+          case UnaryOp::LogicNot: return *v == 0 ? 1 : 0;
+          default: return std::nullopt;  // ~ and reductions are width-bound
+        }
+      }
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const BinaryExpr&>(*e);
+        const auto l = const_int(b.lhs.get());
+        const auto r = const_int(b.rhs.get());
+        if (!l || !r) return std::nullopt;
+        switch (b.op) {
+          case BinaryOp::Add: return *l + *r;
+          case BinaryOp::Sub: return *l - *r;
+          case BinaryOp::Mul: return *l * *r;
+          case BinaryOp::Div: return *r == 0 ? std::nullopt
+                                             : std::optional<long long>(*l / *r);
+          case BinaryOp::Mod: return *r == 0 ? std::nullopt
+                                             : std::optional<long long>(*l % *r);
+          case BinaryOp::Shl:
+          case BinaryOp::AShl:
+            return (*r < 0 || *r > 62) ? std::nullopt
+                                       : std::optional<long long>(*l << *r);
+          case BinaryOp::Shr:
+          case BinaryOp::AShr:
+            return (*r < 0 || *r > 62) ? std::nullopt
+                                       : std::optional<long long>(*l >> *r);
+          case BinaryOp::Lt: return *l < *r ? 1 : 0;
+          case BinaryOp::Le: return *l <= *r ? 1 : 0;
+          case BinaryOp::Gt: return *l > *r ? 1 : 0;
+          case BinaryOp::Ge: return *l >= *r ? 1 : 0;
+          case BinaryOp::Eq: return *l == *r ? 1 : 0;
+          case BinaryOp::Neq: return *l != *r ? 1 : 0;
+          case BinaryOp::LogicAnd: return (*l != 0 && *r != 0) ? 1 : 0;
+          case BinaryOp::LogicOr: return (*l != 0 || *r != 0) ? 1 : 0;
+          case BinaryOp::BitAnd: return *l & *r;
+          case BinaryOp::BitOr: return *l | *r;
+          case BinaryOp::BitXor: return *l ^ *r;
+          case BinaryOp::Pow: {
+            if (*r < 0 || *r > 62) return std::nullopt;
+            long long v = 1;
+            for (long long i = 0; i < *r; ++i) {
+              if (v > (1LL << 50)) return std::nullopt;
+              v *= *l;
+            }
+            return v;
+          }
+          default: return std::nullopt;
+        }
+      }
+      case ExprKind::Ternary: {
+        const auto& t = static_cast<const TernaryExpr&>(*e);
+        const auto c = const_int(t.cond.get());
+        if (!c) return std::nullopt;
+        return const_int(*c != 0 ? t.then_expr.get() : t.else_expr.get());
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+  void apply_range(Sym& s, const std::optional<Range>& r) {
+    if (!r) {
+      s.range_known = true;  // scalar: exactly bit [0:0]
+      s.lo = s.hi = 0;
+      s.decl_msb = s.decl_lsb = 0;
+      return;
+    }
+    const auto msb = const_int(r->msb.get());
+    const auto lsb = const_int(r->lsb.get());
+    if (!msb || !lsb) {
+      s.range_known = false;
+      return;
+    }
+    s.range_known = true;
+    s.decl_msb = static_cast<int>(*msb);
+    s.decl_lsb = static_cast<int>(*lsb);
+    s.lo = std::min(s.decl_msb, s.decl_lsb);
+    s.hi = std::max(s.decl_msb, s.decl_lsb);
+  }
+
+  // ---- pass 0: parameters ------------------------------------------------
+
+  void declare_param(const ParamAssign& p, int line) {
+    Sym s;
+    s.kind = SymKind::Param;
+    s.line = line;
+    if (scopes_.size() == 1) {
+      auto [it, inserted] = scopes_.front().emplace(p.name, std::move(s));
+      if (!inserted) {
+        diag(Severity::Error, "VSD-L101", line,
+             "'" + p.name + "' is already declared at line " +
+                 std::to_string(it->second.line),
+             p.name);
+        return;
+      }
+    } else {
+      declare_local(p.name, std::move(s));
+    }
+    if (const auto v = const_int(p.value.get())) params_[p.name] = *v;
+  }
+
+  void declare_params() {
+    for (const ParamAssign& p : m_.header_params) declare_param(p, m_.line);
+    // Item-list parameters are const-evaluated in item order so later
+    // parameters may reference earlier ones.
+    for (const ItemPtr& item : m_.items) {
+      if (item->kind != ItemKind::ParamDecl) continue;
+      const auto& pd = static_cast<const ParamDeclItem&>(*item);
+      for (const ParamAssign& p : pd.params) declare_param(p, pd.line);
+    }
+  }
+
+  // ---- pass 1: declarations ----------------------------------------------
+
+  void declare_header_ports() {
+    for (const ModulePort& p : m_.ports) {
+      Sym s;
+      s.kind = SymKind::Net;
+      s.is_port = true;
+      s.line = m_.line;
+      if (p.ansi) {
+        s.dir_known = true;
+        s.dir = p.dir;
+        s.net = p.is_reg ? NetType::Reg : NetType::Wire;
+        apply_range(s, p.range);
+      }
+      auto [it, inserted] = scopes_.front().emplace(p.name, std::move(s));
+      if (!inserted) {
+        diag(Severity::Error, "VSD-L101", m_.line,
+             "port '" + p.name + "' appears more than once in the port list",
+             p.name);
+      } else {
+        (void)it;
+      }
+    }
+  }
+
+  void declare_port_decl(const PortDeclItem& pd) {
+    for (const std::string& name : pd.names) {
+      Sym* existing = scopes_.front().count(name)
+                          ? &scopes_.front()[name]
+                          : nullptr;
+      if (existing != nullptr && existing->is_port && !existing->dir_known) {
+        // Non-ANSI header name getting its direction.
+        existing->dir_known = true;
+        existing->dir = pd.dir;
+        existing->net = pd.is_reg ? NetType::Reg : NetType::Wire;
+        existing->line = pd.line;
+        apply_range(*existing, pd.range);
+        continue;
+      }
+      if (existing != nullptr) {
+        diag(Severity::Error, "VSD-L101", pd.line,
+             "'" + name + "' is already declared at line " +
+                 std::to_string(existing->line),
+             name);
+        continue;
+      }
+      // A port declaration for a name the header does not list: declare it
+      // anyway so uses resolve (the mismatch is a concern for elaboration,
+      // not this layer).
+      Sym s;
+      s.kind = SymKind::Net;
+      s.is_port = true;
+      s.dir_known = true;
+      s.dir = pd.dir;
+      s.net = pd.is_reg ? NetType::Reg : NetType::Wire;
+      s.line = pd.line;
+      apply_range(s, pd.range);
+      scopes_.front().emplace(name, std::move(s));
+    }
+  }
+
+  void declare_net_decl(const NetDeclItem& nd, bool in_generate) {
+    for (const DeclaredNet& n : nd.nets) {
+      Sym* existing = scopes_.front().count(n.name)
+                          ? &scopes_.front()[n.name]
+                          : nullptr;
+      if (existing != nullptr && existing->is_port &&
+          !existing->net_redeclared) {
+        // "output q;  reg q;" — the legal net-type redeclaration of a port.
+        existing->net = nd.net;
+        existing->net_redeclared = true;
+        if (!existing->range_known && nd.range) apply_range(*existing, nd.range);
+        existing->has_unpacked = existing->has_unpacked || n.unpacked.has_value();
+        continue;
+      }
+      if (existing != nullptr) {
+        if (!in_generate) {
+          diag(Severity::Error, "VSD-L101", nd.line,
+               "'" + n.name + "' is already declared at line " +
+                   std::to_string(existing->line),
+               n.name);
+        }
+        continue;
+      }
+      Sym s;
+      s.kind = SymKind::Net;
+      s.net = nd.net;
+      s.line = nd.line;
+      apply_range(s, nd.range);
+      s.has_unpacked = n.unpacked.has_value();
+      if (n.init != nullptr) {
+        Drive d;
+        d.kind = in_generate ? DriveKind::Generate : DriveKind::Continuous;
+        d.line = nd.line;
+        s.drives.push_back(d);
+      }
+      scopes_.front().emplace(n.name, std::move(s));
+    }
+  }
+
+  void declare_item(const ModuleItem& item, bool in_generate) {
+    switch (item.kind) {
+      case ItemKind::PortDecl:
+        declare_port_decl(static_cast<const PortDeclItem&>(item));
+        break;
+      case ItemKind::NetDecl:
+        declare_net_decl(static_cast<const NetDeclItem&>(item), in_generate);
+        break;
+      case ItemKind::Genvar: {
+        const auto& g = static_cast<const GenvarItem&>(item);
+        for (const std::string& name : g.names) {
+          Sym s;
+          s.kind = SymKind::Net;
+          s.net = NetType::Genvar;
+          s.line = g.line;
+          s.range_known = false;
+          scopes_.front().emplace(name, std::move(s));
+        }
+        break;
+      }
+      case ItemKind::Function: {
+        const auto& f = static_cast<const FunctionItem&>(item);
+        Sym s;
+        s.kind = SymKind::Function;
+        s.line = f.line;
+        s.func = &f;
+        auto [it, inserted] = scopes_.front().emplace(f.name, std::move(s));
+        if (!inserted) {
+          diag(Severity::Error, "VSD-L101", f.line,
+               "'" + f.name + "' is already declared at line " +
+                   std::to_string(it->second.line),
+               f.name);
+        }
+        break;
+      }
+      case ItemKind::Task: {
+        const auto& t = static_cast<const TaskItem&>(item);
+        Sym s;
+        s.kind = SymKind::Task;
+        s.line = t.line;
+        s.task = &t;
+        auto [it, inserted] = scopes_.front().emplace(t.name, std::move(s));
+        if (!inserted) {
+          diag(Severity::Error, "VSD-L101", t.line,
+               "'" + t.name + "' is already declared at line " +
+                   std::to_string(it->second.line),
+               t.name);
+        }
+        break;
+      }
+      case ItemKind::Instance: {
+        const auto& inst = static_cast<const InstanceItem&>(item);
+        if (inst.instance_name.empty()) break;
+        Sym s;
+        s.kind = SymKind::Instance;
+        s.line = inst.line;
+        auto [it, inserted] =
+            scopes_.front().emplace(inst.instance_name, std::move(s));
+        if (!inserted && !in_generate) {
+          diag(Severity::Error, "VSD-L101", inst.line,
+               "'" + inst.instance_name + "' is already declared at line " +
+                   std::to_string(it->second.line),
+               inst.instance_name);
+        }
+        break;
+      }
+      case ItemKind::GenerateFor: {
+        const auto& g = static_cast<const GenerateForItem&>(item);
+        if (!g.genvar.empty() && scopes_.front().count(g.genvar) == 0) {
+          Sym s;
+          s.kind = SymKind::Net;
+          s.net = NetType::Genvar;
+          s.line = g.line;
+          scopes_.front().emplace(g.genvar, std::move(s));
+        }
+        for (const ItemPtr& body_item : g.body) declare_item(*body_item, true);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  void declare_items() {
+    declare_header_ports();
+    for (const ItemPtr& item : m_.items) declare_item(*item, false);
+  }
+
+  // ---- expression reads / select checking --------------------------------
+
+  void note_undeclared(const std::string& name, int line) {
+    if (!reported_undeclared_.insert(name).second) return;
+    diag(Severity::Error, "VSD-L100", line,
+         "identifier '" + name + "' is undeclared", name);
+  }
+
+  /// Marks a read of `name`; tracks it in the always context if the symbol
+  /// is a module-scope net (the only things sensitivity lists care about).
+  Sym* mark_read(const std::string& name, int line, WalkCtx* ctx) {
+    Sym* sym = resolve(name);
+    if (sym == nullptr) {
+      note_undeclared(name, line);
+      return nullptr;
+    }
+    sym->read = true;
+    if (ctx != nullptr && ctx->always != nullptr && sym->kind == SymKind::Net &&
+        sym->net != NetType::Genvar && scopes_.front().count(name) != 0) {
+      ctx->reads.insert(name);
+    }
+    return sym;
+  }
+
+  /// Walks to the root identifier of an lvalue-shaped select chain
+  /// (mem[i][3] -> mem).  Returns nullptr for computed bases.
+  static const IdentExpr* root_ident(const Expr* e) {
+    while (e != nullptr && e->kind == ExprKind::Select) {
+      e = static_cast<const SelectExpr&>(*e).base.get();
+    }
+    if (e != nullptr && e->kind == ExprKind::Ident) {
+      return &static_cast<const IdentExpr&>(*e);
+    }
+    return nullptr;
+  }
+
+  std::string range_spelling(const Sym& s) const {
+    return "[" + std::to_string(s.decl_msb) + ":" +
+           std::to_string(s.decl_lsb) + "]";
+  }
+
+  /// Constant range checks on a select whose base resolves to a symbol with
+  /// a known packed range.  Returns the driven/read interval when constant.
+  std::optional<std::pair<int, int>> check_select(const SelectExpr& sel) {
+    const IdentExpr* base = root_ident(sel.base.get());
+    if (base == nullptr || base->path.size() != 1) return std::nullopt;
+    // A nested select (memory word + bit) defeats the simple packed-range
+    // model; only check single-level selects.
+    if (sel.base->kind != ExprKind::Ident) return std::nullopt;
+    Sym* sym = resolve(base->path.front());
+    if (sym == nullptr || sym->kind != SymKind::Net || sym->has_unpacked ||
+        !sym->range_known || sym->net == NetType::Integer ||
+        sym->net == NetType::Time || sym->net == NetType::Real ||
+        sym->net == NetType::Genvar) {
+      return std::nullopt;
+    }
+    const std::string& name = base->path.front();
+    switch (sel.select) {
+      case SelectKind::Bit: {
+        const auto idx = const_int(sel.index.get());
+        if (!idx) return std::nullopt;
+        if (*idx < sym->lo || *idx > sym->hi) {
+          diag(Severity::Error, "VSD-L150", sel.line,
+               "bit-select '" + name + "[" + std::to_string(*idx) +
+                   "]' is outside the declared range " + range_spelling(*sym),
+               name);
+          return std::nullopt;
+        }
+        return std::make_pair(static_cast<int>(*idx), static_cast<int>(*idx));
+      }
+      case SelectKind::Part: {
+        const auto msb = const_int(sel.index.get());
+        const auto lsb = const_int(sel.width.get());
+        if (!msb || !lsb) return std::nullopt;
+        const bool decl_desc = sym->decl_msb >= sym->decl_lsb;
+        const bool part_desc = *msb >= *lsb;
+        if (decl_desc != part_desc && *msb != *lsb) {
+          diag(Severity::Error, "VSD-L151", sel.line,
+               "part-select '" + name + "[" + std::to_string(*msb) + ":" +
+                   std::to_string(*lsb) +
+                   "]' is reversed against the declared range " +
+                   range_spelling(*sym),
+               name);
+          return std::nullopt;
+        }
+        const int lo = static_cast<int>(std::min(*msb, *lsb));
+        const int hi = static_cast<int>(std::max(*msb, *lsb));
+        if (lo < sym->lo || hi > sym->hi) {
+          diag(Severity::Error, "VSD-L151", sel.line,
+               "part-select '" + name + "[" + std::to_string(*msb) + ":" +
+                   std::to_string(*lsb) +
+                   "]' is outside the declared range " + range_spelling(*sym),
+               name);
+          return std::nullopt;
+        }
+        return std::make_pair(lo, hi);
+      }
+      case SelectKind::IndexedUp:
+      case SelectKind::IndexedDown: {
+        const auto base_idx = const_int(sel.index.get());
+        const auto width = const_int(sel.width.get());
+        if (!base_idx || !width) return std::nullopt;
+        if (*width <= 0) {
+          diag(Severity::Error, "VSD-L151", sel.line,
+               "indexed part-select of '" + name + "' has non-positive width",
+               name);
+          return std::nullopt;
+        }
+        const int lo = sel.select == SelectKind::IndexedUp
+                           ? static_cast<int>(*base_idx)
+                           : static_cast<int>(*base_idx - *width + 1);
+        const int hi = sel.select == SelectKind::IndexedUp
+                           ? static_cast<int>(*base_idx + *width - 1)
+                           : static_cast<int>(*base_idx);
+        if (lo < sym->lo || hi > sym->hi) {
+          diag(Severity::Error, "VSD-L151", sel.line,
+               "indexed part-select of '" + name +
+                   "' is outside the declared range " + range_spelling(*sym),
+               name);
+          return std::nullopt;
+        }
+        return std::make_pair(lo, hi);
+      }
+    }
+    return std::nullopt;
+  }
+
+  void read_expr(const Expr* e, WalkCtx* ctx) {
+    if (e == nullptr) return;
+    switch (e->kind) {
+      case ExprKind::Number:
+      case ExprKind::String:
+        return;
+      case ExprKind::Ident: {
+        const auto& id = static_cast<const IdentExpr&>(*e);
+        if (id.path.size() == 1) {
+          mark_read(id.path.front(), id.line, ctx);
+        } else {
+          // Hierarchical reference: resolve the head if we can, give the
+          // rest the benefit of the doubt.
+          Sym* sym = resolve(id.path.front());
+          if (sym != nullptr) sym->read = true;
+        }
+        return;
+      }
+      case ExprKind::Select: {
+        const auto& sel = static_cast<const SelectExpr&>(*e);
+        check_select(sel);
+        read_expr(sel.base.get(), ctx);
+        read_expr(sel.index.get(), ctx);
+        read_expr(sel.width.get(), ctx);
+        return;
+      }
+      case ExprKind::Unary:
+        read_expr(static_cast<const UnaryExpr&>(*e).operand.get(), ctx);
+        return;
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const BinaryExpr&>(*e);
+        read_expr(b.lhs.get(), ctx);
+        read_expr(b.rhs.get(), ctx);
+        return;
+      }
+      case ExprKind::Ternary: {
+        const auto& t = static_cast<const TernaryExpr&>(*e);
+        read_expr(t.cond.get(), ctx);
+        read_expr(t.then_expr.get(), ctx);
+        read_expr(t.else_expr.get(), ctx);
+        return;
+      }
+      case ExprKind::Concat:
+        for (const ExprPtr& p : static_cast<const ConcatExpr&>(*e).parts) {
+          read_expr(p.get(), ctx);
+        }
+        return;
+      case ExprKind::Repl: {
+        const auto& r = static_cast<const ReplExpr&>(*e);
+        read_expr(r.count.get(), ctx);
+        read_expr(r.body.get(), ctx);
+        return;
+      }
+      case ExprKind::Call: {
+        const auto& c = static_cast<const CallExpr&>(*e);
+        if (!c.is_system) {
+          Sym* sym = resolve(c.callee);
+          if (sym == nullptr) {
+            note_undeclared(c.callee, c.line);
+          } else {
+            sym->read = true;
+          }
+        }
+        for (const ExprPtr& a : c.args) read_expr(a.get(), ctx);
+        return;
+      }
+    }
+  }
+
+  // ---- width model (L152) ------------------------------------------------
+
+  std::optional<int> sym_width(const Sym& s) const {
+    if (s.kind != SymKind::Net || !s.range_known || s.has_unpacked ||
+        s.net == NetType::Integer || s.net == NetType::Time ||
+        s.net == NetType::Real || s.net == NetType::Genvar) {
+      return std::nullopt;
+    }
+    return s.hi - s.lo + 1;
+  }
+
+  std::optional<int> expr_width(const Expr* e) {
+    if (e == nullptr) return std::nullopt;
+    switch (e->kind) {
+      case ExprKind::Number: {
+        const auto& n = static_cast<const NumberExpr&>(*e);
+        if (n.is_real || !number_is_sized(n) || n.width <= 0) {
+          return std::nullopt;
+        }
+        return n.width;
+      }
+      case ExprKind::Ident: {
+        const auto& id = static_cast<const IdentExpr&>(*e);
+        if (id.path.size() != 1) return std::nullopt;
+        Sym* sym = resolve(id.path.front());
+        if (sym == nullptr) return std::nullopt;
+        return sym_width(*sym);
+      }
+      case ExprKind::Select: {
+        const auto& sel = static_cast<const SelectExpr&>(*e);
+        if (sel.select == SelectKind::Bit) {
+          const IdentExpr* base = root_ident(sel.base.get());
+          if (base == nullptr) return std::nullopt;
+          Sym* sym = resolve(base->full_name());
+          // A bit-select of a memory yields a word, not one bit.
+          if (sym != nullptr && sym->has_unpacked) return sym_width(*sym);
+          return 1;
+        }
+        if (sel.select == SelectKind::Part) {
+          const auto msb = const_int(sel.index.get());
+          const auto lsb = const_int(sel.width.get());
+          if (!msb || !lsb) return std::nullopt;
+          const long long w = std::max(*msb, *lsb) - std::min(*msb, *lsb) + 1;
+          return static_cast<int>(w);
+        }
+        const auto w = const_int(sel.width.get());
+        if (!w || *w <= 0) return std::nullopt;
+        return static_cast<int>(*w);
+      }
+      case ExprKind::Concat: {
+        int total = 0;
+        for (const ExprPtr& p : static_cast<const ConcatExpr&>(*e).parts) {
+          const auto w = expr_width(p.get());
+          if (!w) return std::nullopt;
+          total += *w;
+        }
+        return total;
+      }
+      case ExprKind::Repl: {
+        const auto& r = static_cast<const ReplExpr&>(*e);
+        const auto c = const_int(r.count.get());
+        const auto w = expr_width(r.body.get());
+        if (!c || !w || *c <= 0) return std::nullopt;
+        return static_cast<int>(*c) * *w;
+      }
+      default:
+        // Operator results follow context-determined sizing rules that a
+        // lint pass should not second-guess.
+        return std::nullopt;
+    }
+  }
+
+  void check_assign_width(const Expr* lhs, const Expr* rhs, int line) {
+    const auto lw = expr_width(lhs);
+    const auto rw = expr_width(rhs);
+    if (!lw || !rw || *rw <= *lw) return;
+    const IdentExpr* base = root_ident(lhs);
+    const std::string name = base != nullptr ? base->full_name() : "";
+    diag(Severity::Warning, "VSD-L152", line,
+         "assignment truncates a " + std::to_string(*rw) +
+             "-bit value to " + std::to_string(*lw) + " bits" +
+             (name.empty() ? "" : " ('" + name + "')"),
+         name);
+  }
+
+  // ---- lvalue drives -----------------------------------------------------
+
+  void record_drive(const std::string& name, int line, WalkCtx* ctx,
+                    std::optional<std::pair<int, int>> bits, bool soft) {
+    Sym* sym = resolve(name);
+    if (sym == nullptr) {
+      note_undeclared(name, line);
+      return;
+    }
+    if (sym->kind != SymKind::Net) return;
+    const DriveKind kind = ctx != nullptr ? ctx->kind : DriveKind::Continuous;
+    if (sym->is_port && sym->dir_known && sym->dir == PortDir::Input &&
+        !soft && kind != DriveKind::Function) {
+      diag(Severity::Error, "VSD-L102", line,
+           "assignment drives input port '" + name + "'", name);
+    }
+    Drive d;
+    d.kind = kind;
+    d.always = ctx != nullptr ? ctx->always : nullptr;
+    d.line = line;
+    d.soft = soft;
+    if (bits) {
+      d.whole = false;
+      d.lo = bits->first;
+      d.hi = bits->second;
+    }
+    sym->drives.push_back(d);
+    if (ctx != nullptr && scopes_.front().count(name) != 0) {
+      ctx->assigned.insert(name);
+    }
+  }
+
+  void drive_lvalue(const Expr* e, int line, WalkCtx* ctx, bool soft = false) {
+    if (e == nullptr) return;
+    switch (e->kind) {
+      case ExprKind::Ident: {
+        const auto& id = static_cast<const IdentExpr&>(*e);
+        if (id.path.size() == 1) {
+          record_drive(id.path.front(), line, ctx, std::nullopt, soft);
+        }
+        return;
+      }
+      case ExprKind::Select: {
+        const auto& sel = static_cast<const SelectExpr&>(*e);
+        const auto bits = check_select(sel);
+        read_expr(sel.index.get(), ctx);
+        read_expr(sel.width.get(), ctx);
+        const IdentExpr* base = root_ident(sel.base.get());
+        if (base != nullptr && base->path.size() == 1) {
+          // Selected writes drive the selected bits; a non-constant or
+          // nested select means "unknown bits" (whole-signal drive).
+          record_drive(base->path.front(), line, ctx, bits, soft);
+        }
+        // Memory word addressing inside the base chain reads its indices.
+        if (sel.base->kind == ExprKind::Select) {
+          const auto& inner = static_cast<const SelectExpr&>(*sel.base);
+          read_expr(inner.index.get(), ctx);
+          read_expr(inner.width.get(), ctx);
+        }
+        return;
+      }
+      case ExprKind::Concat:
+        for (const ExprPtr& p : static_cast<const ConcatExpr&>(*e).parts) {
+          drive_lvalue(p.get(), line, ctx, soft);
+        }
+        return;
+      default:
+        // Not lvalue-shaped; treat as a read so uses still resolve.
+        read_expr(e, ctx);
+        return;
+    }
+  }
+
+  static void collect_lhs_names(const Expr* e, std::set<std::string>& out) {
+    if (e == nullptr) return;
+    if (e->kind == ExprKind::Ident) {
+      const auto& id = static_cast<const IdentExpr&>(*e);
+      if (id.path.size() == 1) out.insert(id.path.front());
+      return;
+    }
+    if (e->kind == ExprKind::Select) {
+      const IdentExpr* base = root_ident(e);
+      if (base != nullptr && base->path.size() == 1) {
+        out.insert(base->path.front());
+      }
+      return;
+    }
+    if (e->kind == ExprKind::Concat) {
+      for (const ExprPtr& p : static_cast<const ConcatExpr&>(*e).parts) {
+        collect_lhs_names(p.get(), out);
+      }
+    }
+  }
+
+  // ---- statement walk ----------------------------------------------------
+
+  void walk_stmt(const Stmt* s, WalkCtx& ctx) {
+    if (s == nullptr) return;
+    switch (s->kind) {
+      case StmtKind::Block:
+        for (const StmtPtr& c : static_cast<const BlockStmt&>(*s).body) {
+          walk_stmt(c.get(), ctx);
+        }
+        return;
+      case StmtKind::Assign: {
+        const auto& a = static_cast<const AssignStmt&>(*s);
+        if (ctx.comb && a.non_blocking) {
+          std::set<std::string> names;
+          collect_lhs_names(a.lhs.get(), names);
+          diag(Severity::Warning, "VSD-L130", a.line,
+               "non-blocking assignment in a combinational always block",
+               names.empty() ? "" : *names.begin());
+        }
+        if (ctx.seq && !a.non_blocking) {
+          std::set<std::string> names;
+          collect_lhs_names(a.lhs.get(), names);
+          for (const std::string& n : names) {
+            Sym* sym = resolve(n);
+            if (sym == nullptr || sym->kind != SymKind::Net) continue;
+            if (sym->net == NetType::Integer || sym->net == NetType::Time ||
+                sym->net == NetType::Real || sym->net == NetType::Genvar) {
+              continue;  // loop indices and bookkeeping variables
+            }
+            if (scopes_.front().count(n) == 0) continue;
+            if (!ctx.l131_reported.insert(n).second) continue;
+            diag(Severity::Warning, "VSD-L131", a.line,
+                 "blocking assignment to '" + n +
+                     "' in an edge-triggered always block",
+                 n);
+          }
+        }
+        drive_lvalue(a.lhs.get(), a.line, &ctx);
+        read_expr(a.rhs.get(), &ctx);
+        read_expr(a.delay.get(), &ctx);
+        check_assign_width(a.lhs.get(), a.rhs.get(), a.line);
+        return;
+      }
+      case StmtKind::If: {
+        const auto& i = static_cast<const IfStmt&>(*s);
+        read_expr(i.cond.get(), &ctx);
+        walk_stmt(i.then_stmt.get(), ctx);
+        walk_stmt(i.else_stmt.get(), ctx);
+        return;
+      }
+      case StmtKind::Case: {
+        const auto& c = static_cast<const CaseStmt&>(*s);
+        read_expr(c.subject.get(), &ctx);
+        bool has_default = false;
+        for (const CaseItem& item : c.items) {
+          if (item.labels.empty()) has_default = true;
+          for (const ExprPtr& l : item.labels) read_expr(l.get(), &ctx);
+          walk_stmt(item.body.get(), ctx);
+        }
+        if (!has_default && ctx.comb) ctx.defaultless_cases.push_back(&c);
+        return;
+      }
+      case StmtKind::For: {
+        const auto& f = static_cast<const ForStmt&>(*s);
+        walk_stmt(f.init.get(), ctx);
+        read_expr(f.cond.get(), &ctx);
+        walk_stmt(f.body.get(), ctx);
+        walk_stmt(f.step.get(), ctx);
+        return;
+      }
+      case StmtKind::While: {
+        const auto& w = static_cast<const WhileStmt&>(*s);
+        read_expr(w.cond.get(), &ctx);
+        walk_stmt(w.body.get(), ctx);
+        return;
+      }
+      case StmtKind::Repeat: {
+        const auto& r = static_cast<const RepeatStmt&>(*s);
+        read_expr(r.count.get(), &ctx);
+        walk_stmt(r.body.get(), ctx);
+        return;
+      }
+      case StmtKind::Forever:
+        walk_stmt(static_cast<const ForeverStmt&>(*s).body.get(), ctx);
+        return;
+      case StmtKind::Delay: {
+        const auto& d = static_cast<const DelayStmt&>(*s);
+        read_expr(d.delay.get(), &ctx);
+        walk_stmt(d.body.get(), ctx);
+        return;
+      }
+      case StmtKind::EventControl: {
+        const auto& ec = static_cast<const EventControlStmt&>(*s);
+        for (const EventExpr& ev : ec.events) read_expr(ev.signal.get(), &ctx);
+        walk_stmt(ec.body.get(), ctx);
+        return;
+      }
+      case StmtKind::Wait: {
+        const auto& w = static_cast<const WaitStmt&>(*s);
+        read_expr(w.cond.get(), &ctx);
+        walk_stmt(w.body.get(), ctx);
+        return;
+      }
+      case StmtKind::SysTask:
+        for (const ExprPtr& a : static_cast<const SysTaskStmt&>(*s).args) {
+          read_expr(a.get(), &ctx);
+        }
+        return;
+      case StmtKind::TaskCall: {
+        const auto& t = static_cast<const TaskCallStmt&>(*s);
+        Sym* sym = resolve(t.name);
+        if (sym == nullptr) {
+          note_undeclared(t.name, t.line);
+        } else {
+          sym->read = true;
+        }
+        const TaskItem* decl =
+            (sym != nullptr && sym->kind == SymKind::Task) ? sym->task
+                                                           : nullptr;
+        for (std::size_t i = 0; i < t.args.size(); ++i) {
+          const bool writes = decl != nullptr && i < decl->args.size() &&
+                              decl->args[i].dir != PortDir::Input;
+          if (writes) {
+            drive_lvalue(t.args[i].get(), t.line, &ctx);
+          } else {
+            read_expr(t.args[i].get(), &ctx);
+          }
+        }
+        return;
+      }
+      case StmtKind::Disable:
+      case StmtKind::Trigger:
+      case StmtKind::Null:
+        return;
+    }
+  }
+
+  // ---- all-paths assignment analysis (L120/L121) -------------------------
+
+  bool task_assigns(const TaskCallStmt& t, const std::string& name) {
+    Sym* sym = resolve(t.name);
+    const TaskItem* decl =
+        (sym != nullptr && sym->kind == SymKind::Task) ? sym->task : nullptr;
+    if (decl == nullptr) return false;
+    for (std::size_t i = 0; i < t.args.size() && i < decl->args.size(); ++i) {
+      if (decl->args[i].dir == PortDir::Input) continue;
+      std::set<std::string> names;
+      collect_lhs_names(t.args[i].get(), names);
+      if (names.count(name) != 0) return true;
+    }
+    return false;
+  }
+
+  /// True when every execution path through `s` assigns `name`.  Loops are
+  /// treated optimistically (their body is assumed to run) — the pass exists
+  /// to catch `if` without `else` and defaultless `case`, not to prove loop
+  /// trip counts.
+  bool assigns_on_all_paths(const Stmt* s, const std::string& name) {
+    if (s == nullptr) return false;
+    switch (s->kind) {
+      case StmtKind::Assign: {
+        std::set<std::string> names;
+        collect_lhs_names(static_cast<const AssignStmt&>(*s).lhs.get(), names);
+        return names.count(name) != 0;
+      }
+      case StmtKind::Block:
+        for (const StmtPtr& c : static_cast<const BlockStmt&>(*s).body) {
+          if (assigns_on_all_paths(c.get(), name)) return true;
+        }
+        return false;
+      case StmtKind::If: {
+        const auto& i = static_cast<const IfStmt&>(*s);
+        return assigns_on_all_paths(i.then_stmt.get(), name) &&
+               assigns_on_all_paths(i.else_stmt.get(), name);
+      }
+      case StmtKind::Case: {
+        const auto& c = static_cast<const CaseStmt&>(*s);
+        if (c.items.empty()) return false;
+        bool has_default = false;
+        for (const CaseItem& item : c.items) {
+          if (item.labels.empty()) has_default = true;
+          if (!assigns_on_all_paths(item.body.get(), name)) return false;
+        }
+        return has_default;
+      }
+      case StmtKind::For:
+        return assigns_on_all_paths(
+            static_cast<const ForStmt&>(*s).body.get(), name);
+      case StmtKind::While:
+        return assigns_on_all_paths(
+            static_cast<const WhileStmt&>(*s).body.get(), name);
+      case StmtKind::Repeat:
+        return assigns_on_all_paths(
+            static_cast<const RepeatStmt&>(*s).body.get(), name);
+      case StmtKind::Forever:
+        return assigns_on_all_paths(
+            static_cast<const ForeverStmt&>(*s).body.get(), name);
+      case StmtKind::Delay:
+        return assigns_on_all_paths(
+            static_cast<const DelayStmt&>(*s).body.get(), name);
+      case StmtKind::EventControl:
+        return assigns_on_all_paths(
+            static_cast<const EventControlStmt&>(*s).body.get(), name);
+      case StmtKind::Wait:
+        return assigns_on_all_paths(
+            static_cast<const WaitStmt&>(*s).body.get(), name);
+      case StmtKind::TaskCall:
+        return task_assigns(static_cast<const TaskCallStmt&>(*s), name);
+      default:
+        return false;
+    }
+  }
+
+  static void collect_assigned_names(const Stmt* s,
+                                     std::set<std::string>& out) {
+    if (s == nullptr) return;
+    switch (s->kind) {
+      case StmtKind::Assign:
+        collect_lhs_names(static_cast<const AssignStmt&>(*s).lhs.get(), out);
+        return;
+      case StmtKind::Block:
+        for (const StmtPtr& c : static_cast<const BlockStmt&>(*s).body) {
+          collect_assigned_names(c.get(), out);
+        }
+        return;
+      case StmtKind::If: {
+        const auto& i = static_cast<const IfStmt&>(*s);
+        collect_assigned_names(i.then_stmt.get(), out);
+        collect_assigned_names(i.else_stmt.get(), out);
+        return;
+      }
+      case StmtKind::Case:
+        for (const CaseItem& item :
+             static_cast<const CaseStmt&>(*s).items) {
+          collect_assigned_names(item.body.get(), out);
+        }
+        return;
+      case StmtKind::For: {
+        const auto& f = static_cast<const ForStmt&>(*s);
+        collect_assigned_names(f.init.get(), out);
+        collect_assigned_names(f.body.get(), out);
+        collect_assigned_names(f.step.get(), out);
+        return;
+      }
+      case StmtKind::While:
+        collect_assigned_names(static_cast<const WhileStmt&>(*s).body.get(),
+                               out);
+        return;
+      case StmtKind::Repeat:
+        collect_assigned_names(static_cast<const RepeatStmt&>(*s).body.get(),
+                               out);
+        return;
+      case StmtKind::Forever:
+        collect_assigned_names(static_cast<const ForeverStmt&>(*s).body.get(),
+                               out);
+        return;
+      case StmtKind::Delay:
+        collect_assigned_names(static_cast<const DelayStmt&>(*s).body.get(),
+                               out);
+        return;
+      case StmtKind::EventControl:
+        collect_assigned_names(
+            static_cast<const EventControlStmt&>(*s).body.get(), out);
+        return;
+      case StmtKind::Wait:
+        collect_assigned_names(static_cast<const WaitStmt&>(*s).body.get(),
+                               out);
+        return;
+      default:
+        return;
+    }
+  }
+
+  // ---- always / initial / function walks ---------------------------------
+
+  void lint_always(const AlwaysItem& a, bool in_generate) {
+    WalkCtx ctx;
+    ctx.always = &a;
+    const Stmt* inner = a.body.get();
+    const EventControlStmt* ec = nullptr;
+    bool star = false;
+    std::vector<std::string> listed;  // explicit non-edge sensitivity names
+    if (inner != nullptr && inner->kind == StmtKind::EventControl) {
+      ec = static_cast<const EventControlStmt*>(inner);
+      star = ec->star;
+      bool any_edge = false;
+      for (const EventExpr& ev : ec->events) {
+        if (ev.edge != EdgeKind::Any) any_edge = true;
+      }
+      if (star || !any_edge) {
+        ctx.comb = true;
+        if (!star) {
+          for (const EventExpr& ev : ec->events) {
+            const IdentExpr* id =
+                ev.signal != nullptr ? root_ident(ev.signal.get()) : nullptr;
+            if (id != nullptr && id->path.size() == 1) {
+              listed.push_back(id->path.front());
+              mark_read(id->path.front(), ec->line, nullptr);
+            }
+          }
+        }
+      } else {
+        ctx.seq = true;
+        for (const EventExpr& ev : ec->events) {
+          read_expr(ev.signal.get(), nullptr);
+        }
+      }
+      inner = ec->body.get();
+    }
+    ctx.kind = in_generate
+                   ? DriveKind::Generate
+                   : (ctx.seq ? DriveKind::AlwaysNonBlocking
+                              : DriveKind::AlwaysBlocking);
+    // Blocking/non-blocking drives are distinguished per assignment for
+    // conflict grouping; ctx.kind carries the default used by task calls.
+    walk_stmt(inner, ctx);
+
+    if (!ctx.comb) return;
+
+    // L120: a combinational block must assign each of its targets on every
+    // path, or simulation/synthesis infer a latch.
+    for (const std::string& name : ctx.assigned) {
+      Sym* sym = resolve(name);
+      if (sym == nullptr || sym->kind != SymKind::Net) continue;
+      if (sym->net == NetType::Integer || sym->net == NetType::Time ||
+          sym->net == NetType::Real || sym->net == NetType::Genvar) {
+        continue;
+      }
+      if (!assigns_on_all_paths(inner, name)) {
+        diag(Severity::Warning, "VSD-L120", a.line,
+             "'" + name +
+                 "' is not assigned on every path through this combinational "
+                 "always block (latch inferred)",
+             name);
+      }
+    }
+    // L121: point at the specific defaultless case feeding a latch.
+    for (const CaseStmt* c : ctx.defaultless_cases) {
+      std::set<std::string> case_targets;
+      collect_assigned_names(c, case_targets);
+      for (const std::string& name : case_targets) {
+        if (!assigns_on_all_paths(inner, name)) {
+          diag(Severity::Warning, "VSD-L121", c->line,
+               "case statement without a default may infer a latch for '" +
+                   name + "'",
+               name);
+          break;
+        }
+      }
+    }
+    // L140/L141: explicit sensitivity lists only — @(*) is always complete.
+    if (!star && ec != nullptr && !listed.empty()) {
+      const std::set<std::string> listed_set(listed.begin(), listed.end());
+      for (const std::string& name : ctx.reads) {
+        if (listed_set.count(name) != 0) continue;
+        if (ctx.assigned.count(name) != 0) continue;
+        diag(Severity::Warning, "VSD-L140", ec->line,
+             "combinational always reads '" + name +
+                 "' but the sensitivity list omits it",
+             name);
+      }
+      for (const std::string& name : listed) {
+        if (ctx.reads.count(name) == 0) {
+          diag(Severity::Info, "VSD-L141", ec->line,
+               "sensitivity list entry '" + name +
+                   "' is never read in the block",
+               name);
+        }
+      }
+    }
+  }
+
+  void lint_function(const FunctionItem& f) {
+    scopes_.emplace_back();
+    // The function name doubles as its return-value variable.
+    Sym ret;
+    ret.kind = SymKind::Net;
+    ret.net = NetType::Reg;
+    ret.line = f.line;
+    apply_range(ret, f.return_range);
+    declare_local(f.name, std::move(ret));
+    for (const FunctionArg& a : f.args) {
+      Sym s;
+      s.kind = SymKind::Net;
+      s.net = a.net;
+      s.line = f.line;
+      apply_range(s, a.range);
+      declare_local(a.name, std::move(s));
+    }
+    for (const ItemPtr& local : f.locals) declare_item(*local, false);
+    WalkCtx ctx;
+    ctx.kind = DriveKind::Function;
+    walk_stmt(f.body.get(), ctx);
+    scopes_.pop_back();
+  }
+
+  void lint_task(const TaskItem& t) {
+    scopes_.emplace_back();
+    for (const FunctionArg& a : t.args) {
+      Sym s;
+      s.kind = SymKind::Net;
+      s.net = a.net;
+      s.line = t.line;
+      apply_range(s, a.range);
+      declare_local(a.name, std::move(s));
+    }
+    for (const ItemPtr& local : t.locals) declare_item(*local, false);
+    WalkCtx ctx;
+    ctx.kind = DriveKind::Function;
+    walk_stmt(t.body.get(), ctx);
+    scopes_.pop_back();
+  }
+
+  // ---- instances ---------------------------------------------------------
+
+  static std::optional<PortDir> port_dir(const Module& m,
+                                         const std::string& name) {
+    for (const ModulePort& p : m.ports) {
+      if (p.name != name) continue;
+      if (p.ansi) return p.dir;
+      break;
+    }
+    for (const ItemPtr& item : m.items) {
+      if (item->kind != ItemKind::PortDecl) continue;
+      const auto& pd = static_cast<const PortDeclItem&>(*item);
+      for (const std::string& n : pd.names) {
+        if (n == name) return pd.dir;
+      }
+    }
+    return std::nullopt;
+  }
+
+  const Module* find_module(const std::string& name) const {
+    if (unit_modules_ == nullptr) return nullptr;
+    const auto it = unit_modules_->find(name);
+    return it != unit_modules_->end() ? it->second : nullptr;
+  }
+
+  static bool lvalue_shaped(const Expr* e) {
+    if (e == nullptr) return false;
+    if (e->kind == ExprKind::Ident) return true;
+    if (e->kind == ExprKind::Select) return true;
+    if (e->kind == ExprKind::Concat) {
+      for (const ExprPtr& p : static_cast<const ConcatExpr&>(*e).parts) {
+        if (!lvalue_shaped(p.get())) return false;
+      }
+      return true;
+    }
+    return false;
+  }
+
+  void lint_instance(const InstanceItem& inst, WalkCtx& ctx) {
+    for (const PortConnection& p : inst.param_overrides) {
+      read_expr(p.actual.get(), &ctx);
+    }
+    const Module* target = find_module(inst.module_name);
+    std::size_t index = 0;
+    for (const PortConnection& conn : inst.connections) {
+      const std::size_t pos = index++;
+      if (conn.actual == nullptr) continue;
+      std::optional<PortDir> dir;
+      if (target != nullptr) {
+        if (!conn.formal.empty()) {
+          dir = port_dir(*target, conn.formal);
+        } else if (pos < target->ports.size()) {
+          dir = port_dir(*target, target->ports[pos].name);
+        }
+      }
+      if (dir.has_value() && *dir == PortDir::Input) {
+        read_expr(conn.actual.get(), &ctx);
+      } else if (dir.has_value() && lvalue_shaped(conn.actual.get())) {
+        // Output or inout: the instance drives the actual.
+        drive_lvalue(conn.actual.get(), inst.line, &ctx, /*soft=*/false);
+        if (*dir == PortDir::Inout) read_expr(conn.actual.get(), &ctx);
+      } else {
+        // Unknown direction (module outside the unit): count it as a read
+        // and as a soft drive so undriven/unused passes stay quiet.
+        read_expr(conn.actual.get(), &ctx);
+        if (lvalue_shaped(conn.actual.get())) {
+          drive_lvalue(conn.actual.get(), inst.line, &ctx, /*soft=*/true);
+        }
+      }
+    }
+  }
+
+  // ---- pass 2: usage -----------------------------------------------------
+
+  void walk_item(const ModuleItem& item, bool in_generate) {
+    switch (item.kind) {
+      case ItemKind::ParamDecl: {
+        const auto& pd = static_cast<const ParamDeclItem&>(item);
+        if (pd.range) {
+          read_expr(pd.range->msb.get(), nullptr);
+          read_expr(pd.range->lsb.get(), nullptr);
+        }
+        for (const ParamAssign& p : pd.params) {
+          read_expr(p.value.get(), nullptr);
+        }
+        break;
+      }
+      case ItemKind::PortDecl: {
+        const auto& pd = static_cast<const PortDeclItem&>(item);
+        if (pd.range) {
+          read_expr(pd.range->msb.get(), nullptr);
+          read_expr(pd.range->lsb.get(), nullptr);
+        }
+        break;
+      }
+      case ItemKind::NetDecl: {
+        const auto& nd = static_cast<const NetDeclItem&>(item);
+        if (nd.range) {
+          read_expr(nd.range->msb.get(), nullptr);
+          read_expr(nd.range->lsb.get(), nullptr);
+        }
+        for (const DeclaredNet& n : nd.nets) {
+          if (n.unpacked) {
+            read_expr(n.unpacked->msb.get(), nullptr);
+            read_expr(n.unpacked->lsb.get(), nullptr);
+          }
+          read_expr(n.init.get(), nullptr);
+        }
+        break;
+      }
+      case ItemKind::ContAssign: {
+        const auto& ca = static_cast<const ContAssignItem&>(item);
+        WalkCtx ctx;
+        ctx.kind = in_generate ? DriveKind::Generate : DriveKind::Continuous;
+        read_expr(ca.delay.get(), nullptr);
+        for (const auto& [lhs, rhs] : ca.assigns) {
+          drive_lvalue(lhs.get(), ca.line, &ctx);
+          read_expr(rhs.get(), nullptr);
+          check_assign_width(lhs.get(), rhs.get(), ca.line);
+        }
+        break;
+      }
+      case ItemKind::Always:
+        lint_always(static_cast<const AlwaysItem&>(item), in_generate);
+        break;
+      case ItemKind::Initial: {
+        WalkCtx ctx;
+        ctx.kind = DriveKind::Initial;
+        walk_stmt(static_cast<const InitialItem&>(item).body.get(), ctx);
+        break;
+      }
+      case ItemKind::Instance: {
+        WalkCtx ctx;
+        ctx.kind = in_generate ? DriveKind::Generate : DriveKind::Instance;
+        lint_instance(static_cast<const InstanceItem&>(item), ctx);
+        break;
+      }
+      case ItemKind::Function:
+        lint_function(static_cast<const FunctionItem&>(item));
+        break;
+      case ItemKind::Task:
+        lint_task(static_cast<const TaskItem&>(item));
+        break;
+      case ItemKind::GenerateFor: {
+        const auto& g = static_cast<const GenerateForItem&>(item);
+        if (!g.genvar.empty()) mark_read(g.genvar, g.line, nullptr);
+        read_expr(g.init.get(), nullptr);
+        read_expr(g.cond.get(), nullptr);
+        read_expr(g.step.get(), nullptr);
+        for (const ItemPtr& body_item : g.body) walk_item(*body_item, true);
+        break;
+      }
+      case ItemKind::Genvar:
+        break;
+    }
+  }
+
+  void walk_items() {
+    for (const ParamAssign& p : m_.header_params) {
+      read_expr(p.value.get(), nullptr);
+    }
+    for (const ModulePort& p : m_.ports) {
+      if (p.ansi && p.range) {
+        read_expr(p.range->msb.get(), nullptr);
+        read_expr(p.range->lsb.get(), nullptr);
+      }
+    }
+    for (const ItemPtr& item : m_.items) walk_item(*item, false);
+  }
+
+  // ---- pass 3: per-symbol reporting --------------------------------------
+
+  void report_symbols() {
+    for (auto& [name, s] : scopes_.front()) {
+      if (s.kind == SymKind::Param) {
+        if (!s.read) {
+          diag(Severity::Info, "VSD-L161", s.line,
+               "parameter '" + name + "' is never used", name);
+        }
+        continue;
+      }
+      if (s.kind != SymKind::Net) continue;
+      if (s.net == NetType::Genvar) continue;
+
+      const bool is_input =
+          s.is_port && s.dir_known && s.dir == PortDir::Input;
+      const bool is_inout =
+          s.is_port && s.dir_known && s.dir == PortDir::Inout;
+      const bool supply =
+          s.net == NetType::Supply0 || s.net == NetType::Supply1;
+
+      if (s.read && s.drives.empty() && !is_input && !is_inout && !supply) {
+        diag(Severity::Warning, "VSD-L103", s.line,
+             "'" + name + "' is read but never driven", name);
+      }
+      if (!s.read && !s.is_port) {
+        diag(Severity::Warning, "VSD-L160", s.line,
+             "'" + name + "' is declared but never read", name);
+      }
+
+      if (s.net == NetType::Tri || supply) continue;
+
+      // Split hard drives into structural (continuous-like) and procedural.
+      std::vector<const Drive*> structural;
+      std::vector<const Drive*> procedural;
+      for (const Drive& d : s.drives) {
+        if (d.soft) continue;
+        switch (d.kind) {
+          case DriveKind::Continuous:
+          case DriveKind::Instance:
+            structural.push_back(&d);
+            break;
+          case DriveKind::AlwaysBlocking:
+          case DriveKind::AlwaysNonBlocking:
+            procedural.push_back(&d);
+            break;
+          default:
+            break;  // Initial / Generate / Function are exempt
+        }
+      }
+
+      // L110: overlapping structural drivers.
+      bool l110 = false;
+      for (std::size_t i = 0; i < structural.size() && !l110; ++i) {
+        for (std::size_t j = i + 1; j < structural.size(); ++j) {
+          if (interval_overlap(*structural[i], *structural[j])) {
+            diag(Severity::Error, "VSD-L110", structural[j]->line,
+                 "'" + name +
+                     "' has multiple continuous drivers for the same bits "
+                     "(first driver at line " +
+                     std::to_string(structural[i]->line) + ")",
+                 name);
+            l110 = true;
+            break;
+          }
+        }
+      }
+
+      // L111: structural vs procedural conflict.
+      bool l111 = false;
+      for (const Drive* a : structural) {
+        if (l111) break;
+        for (const Drive* b : procedural) {
+          if (interval_overlap(*a, *b)) {
+            diag(Severity::Error, "VSD-L111", b->line,
+                 "'" + name +
+                     "' is driven by both a continuous assignment (line " +
+                     std::to_string(a->line) + ") and an always block",
+                 name);
+            l111 = true;
+            break;
+          }
+        }
+      }
+
+      // L112: the same bits assigned from more than one always block.
+      bool l112 = false;
+      for (std::size_t i = 0; i < procedural.size() && !l112; ++i) {
+        for (std::size_t j = i + 1; j < procedural.size(); ++j) {
+          if (procedural[i]->always != procedural[j]->always &&
+              interval_overlap(*procedural[i], *procedural[j])) {
+            diag(Severity::Warning, "VSD-L112", procedural[j]->line,
+                 "'" + name + "' is assigned in more than one always block "
+                              "(also at line " +
+                     std::to_string(procedural[i]->line) + ")",
+                 name);
+            l112 = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  const Module& m_;
+  LintResult& out_;
+  const std::map<std::string, const Module*>* unit_modules_;
+  std::vector<std::map<std::string, Sym>> scopes_;
+  std::map<std::string, long long> params_;
+  std::set<std::string> reported_undeclared_;
+};
+
+LintResult lint_module_impl(
+    const Module& m,
+    const std::map<std::string, const Module*>* unit_modules) {
+  LintResult out;
+  ModuleLinter linter(m, out, unit_modules);
+  linter.run();
+  return out;
+}
+
+}  // namespace
+
+LintResult lint_module(const Module& m) {
+  LintResult out = lint_module_impl(m, nullptr);
+  out.sort_by_location();
+  return out;
+}
+
+LintResult lint_unit(const SourceUnit& unit) {
+  LintResult out;
+  std::map<std::string, const Module*> modules;
+  for (const auto& m : unit.modules) {
+    const auto [it, inserted] = modules.emplace(m->name, m.get());
+    if (!inserted) {
+      out.add(Severity::Error, "VSD-L002", m->line,
+              "duplicate module '" + m->name + "' (first declared at line " +
+                  std::to_string(it->second->line) + ")",
+              m->name);
+    }
+  }
+  for (const auto& m : unit.modules) {
+    out.merge(lint_module_impl(*m, &modules));
+  }
+  out.sort_by_location();
+  return out;
+}
+
+LintResult lint_source(std::string_view source) {
+  const ParseResult parsed = parse(source);
+  if (!parsed.ok) {
+    LintResult out;
+    out.add(Severity::Error, "VSD-L001", parsed.error_line,
+            "syntax error: " + parsed.error);
+    return out;
+  }
+  return lint_unit(*parsed.unit);
+}
+
+bool lint_ok(std::string_view source) {
+  return !lint_source(source).has_errors();
+}
+
+}  // namespace vsd::vlog

@@ -1,0 +1,69 @@
+// Semantic static analysis over the vlog AST — the "does this RTL mean
+// something sane" gate that sits one level above the parser's "does this
+// text parse" gate.  The serving path runs it on generated candidates
+// (`vsd serve --check lint`), the CLI exposes it as `vsd lint`, and the
+// eval harness reports lint-clean rates next to syntax rates.
+//
+// Pass catalogue (codes are stable; tests pin them):
+//
+//   code      sev      pass
+//   VSD-L001  error    syntax error (parse failure; lint_source only)
+//   VSD-L002  error    duplicate module name in the source unit
+//   VSD-L100  error    undeclared identifier
+//   VSD-L101  error    duplicate declaration of a signal
+//   VSD-L102  error    assignment drives an input port
+//   VSD-L110  error    multiple continuous assignments drive overlapping
+//                      bits of one signal
+//   VSD-L111  error    signal driven by both a continuous assignment and
+//                      a procedural always block
+//   VSD-L112  warning  signal assigned in more than one always block
+//   VSD-L120  warning  latch inference: combinational always does not
+//                      assign a signal on every path ('if' without 'else')
+//   VSD-L121  warning  latch inference: 'case' without a covering default
+//                      in a combinational always
+//   VSD-L130  warning  non-blocking assignment in a combinational always
+//   VSD-L131  warning  blocking assignment to a non-integer signal in an
+//                      edge-triggered always
+//   VSD-L140  warning  sensitivity list misses a signal the body reads
+//   VSD-L141  info     sensitivity list entry never read in the body
+//   VSD-L150  error    constant bit-select outside the declared range
+//   VSD-L151  error    constant part-select outside the declared range
+//                      (or reversed against the declaration)
+//   VSD-L152  warning  sized assignment wider than its target (truncation)
+//   VSD-L160  warning  signal declared but never read
+//   VSD-L161  info     parameter declared but never used
+//   VSD-L103  warning  signal read but never driven
+//
+// Analysis is intentionally conservative: a check only fires when the
+// AST proves the condition (constant indices, declared ranges, resolvable
+// names).  Anything dynamic — variable indices, hierarchical references
+// into other modules, instances of modules outside the source unit —
+// is given the benefit of the doubt, so a diagnostic is always worth
+// reading, never noise to be suppressed wholesale.
+#pragma once
+
+#include <string_view>
+
+#include "vlog/ast.hpp"
+#include "vlog/diagnostics.hpp"
+
+namespace vsd::vlog {
+
+/// Lints one module.  Findings carry `m.name` as their module context.
+LintResult lint_module(const Module& m);
+
+/// Lints every module in the unit plus unit-level checks (VSD-L002).
+LintResult lint_unit(const SourceUnit& unit);
+
+/// Parses and lints `source`.  A parse failure yields a single VSD-L001
+/// error diagnostic (with the parser's line and message) — the structured
+/// twin of ParseResult — so callers get one result type either way.
+LintResult lint_source(std::string_view source);
+
+/// True iff `source` parses and lints with no Error-severity findings.
+/// This is the cheap deterministic accept/reject the serving check stage
+/// and the eval harness's lint-clean rate are built on (warnings do not
+/// fail it; they ride along in the diagnostics).
+bool lint_ok(std::string_view source);
+
+}  // namespace vsd::vlog

@@ -575,5 +575,114 @@ TEST(Scheduler, IdleBurstIsBatchedIntoTheFirstTick) {
   EXPECT_EQ(stats.ticks, expected_ticks);
 }
 
+// --- post-acceptance check stage ---------------------------------------------
+
+TEST(Scheduler, CheckStageAttachesOutcomesWithoutChangingTokens) {
+  const Fixture f;
+  const int n = 6;
+  // Baseline: the same prompts with no check installed.
+  ServeStats base_stats;
+  const auto base =
+      serve_ids(f, n, {.workers = 2, .batch = 3, .fuse = true}, &base_stats);
+
+  // Checked run: a deterministic stub check (pass iff the token count is
+  // even) so the outcome each completion receives is predictable from the
+  // result it rides on.
+  const spec::DecodeConfig cfg = greedy_config();
+  const auto prompts = f.prompts(n);
+  RequestQueue queue(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    Request r;
+    r.id = i;
+    r.prompt_ids = prompts[i];
+    r.config = cfg;
+    r.seed = 90 + i;
+    queue.push(std::move(r));
+  }
+  queue.close();
+  std::atomic<int> calls{0};
+  SchedulerOptions opts{.workers = 2, .batch = 3, .fuse = true};
+  opts.check = [&calls](const Request&, const spec::DecodeResult& r) {
+    ++calls;
+    CheckOutcome out;
+    out.pass = r.ids.size() % 2 == 0;
+    out.errors = out.pass ? 0 : 1;
+    out.diagnostics_json = "[]";
+    return out;
+  };
+  opts.check_label = "stub";
+  std::map<std::uint64_t, std::vector<int>> ids;
+  std::map<std::uint64_t, CheckOutcome> outcomes;
+  Scheduler sched(*f.model, queue, opts);
+  const ServeStats stats = sched.run(
+      [&](const Request& req, spec::DecodeResult r, const CheckOutcome* check) {
+        ASSERT_NE(check, nullptr) << "request " << req.id;
+        outcomes[req.id] = *check;
+        ids[req.id] = std::move(r.ids);
+      });
+
+  // The check observes results; it never gates or reorders token output.
+  EXPECT_EQ(ids, base);
+  EXPECT_EQ(calls.load(), n);
+  ASSERT_EQ(outcomes.size(), static_cast<std::size_t>(n));
+  int expect_pass = 0;
+  for (const auto& [id, out] : outcomes) {
+    EXPECT_EQ(out.pass, ids[id].size() % 2 == 0) << "request " << id;
+    EXPECT_GE(out.wall_seconds, 0.0);
+    expect_pass += out.pass ? 1 : 0;
+  }
+  EXPECT_EQ(stats.checks_pass, expect_pass);
+  EXPECT_EQ(stats.checks_fail, n - expect_pass);
+  EXPECT_EQ(stats.check.count, n);
+  EXPECT_EQ(stats.completed, n);
+  // The unchecked baseline recorded no check-stage accounting.
+  EXPECT_EQ(base_stats.checks_pass + base_stats.checks_fail, 0);
+  EXPECT_EQ(base_stats.check.count, 0);
+}
+
+TEST(Scheduler, CheckedCompletionGetsNullWhenNoCheckInstalled) {
+  const Fixture f;
+  const spec::DecodeConfig cfg = greedy_config();
+  RequestQueue queue(1);
+  Request r;
+  r.id = 0;
+  r.prompt_ids = f.prompts(1)[0];
+  r.config = cfg;
+  r.seed = 90;
+  queue.push(std::move(r));
+  queue.close();
+  Scheduler sched(*f.model, queue, {.workers = 1, .batch = 1});
+  int seen = 0;
+  sched.run([&](const Request&, spec::DecodeResult, const CheckOutcome* check) {
+    EXPECT_EQ(check, nullptr);
+    ++seen;
+  });
+  EXPECT_EQ(seen, 1);
+}
+
+TEST(Scheduler, CheckExceptionPropagatesOutOfRun) {
+  const Fixture f;
+  const spec::DecodeConfig cfg = greedy_config();
+  const auto prompts = f.prompts(2);
+  RequestQueue queue(2);
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    Request r;
+    r.id = i;
+    r.prompt_ids = prompts[i];
+    r.config = cfg;
+    r.seed = 90 + i;
+    queue.push(std::move(r));
+  }
+  queue.close();
+  SchedulerOptions opts{.workers = 2, .batch = 2};
+  opts.check = [](const Request&, const spec::DecodeResult&) -> CheckOutcome {
+    throw Error("check stage failed");
+  };
+  Scheduler sched(*f.model, queue, opts);
+  EXPECT_THROW(
+      sched.run([](const Request&, spec::DecodeResult, const CheckOutcome*) {}),
+      Error);
+}
+
 }  // namespace
 }  // namespace vsd::serve

@@ -1,0 +1,490 @@
+// Tests for the semantic static analyzer (vlog/lint) and its diagnostic
+// types: one positive (the pass fires on a minimal offending module) and
+// one negative (a clean twin stays silent) per pass, pinned to the stable
+// VSD-Lxxx codes the CLI, the serving check stage, and CI suppressions
+// key on — plus the JSON schema and the lint-cleanliness of the repo's
+// own generated training corpus.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "data/dataset.hpp"
+#include "vlog/diagnostics.hpp"
+#include "vlog/lint.hpp"
+
+namespace vsd::vlog {
+namespace {
+
+int count_code(const LintResult& r, const std::string& code) {
+  return static_cast<int>(
+      std::count_if(r.diagnostics().begin(), r.diagnostics().end(),
+                    [&](const Diagnostic& d) { return d.code == code; }));
+}
+
+bool has_code(const LintResult& r, const std::string& code) {
+  return count_code(r, code) > 0;
+}
+
+const Diagnostic& find_code(const LintResult& r, const std::string& code) {
+  for (const Diagnostic& d : r.diagnostics()) {
+    if (d.code == code) return d;
+  }
+  ADD_FAILURE() << "no diagnostic with code " << code;
+  static const Diagnostic none{};
+  return none;
+}
+
+// --- baseline ----------------------------------------------------------------
+
+TEST(Lint, CleanModuleHasNoFindings) {
+  const LintResult r = lint_source(
+      "module clean_mod(input wire a, input wire b, output wire y);\n"
+      "  assign y = a & b;\n"
+      "endmodule\n");
+  EXPECT_TRUE(r.clean()) << diagnostics_json(r.diagnostics());
+  EXPECT_EQ(r.errors(), 0);
+  EXPECT_EQ(r.warnings(), 0);
+  EXPECT_EQ(r.infos(), 0);
+}
+
+// --- L001: parse failure becomes a structured diagnostic ---------------------
+
+TEST(Lint, L001SyntaxErrorFromUnparsableSource) {
+  const LintResult r = lint_source("module m(; endmodule\n");
+  ASSERT_TRUE(has_code(r, "VSD-L001"));
+  const Diagnostic& d = find_code(r, "VSD-L001");
+  EXPECT_EQ(d.severity, Severity::Error);
+  EXPECT_GT(d.line, 0);
+  EXPECT_FALSE(lint_ok("module m(; endmodule\n"));
+}
+
+TEST(Lint, L001NotEmittedForParsableSource) {
+  const LintResult r = lint_source("module m; endmodule\n");
+  EXPECT_FALSE(has_code(r, "VSD-L001"));
+}
+
+// --- L002: duplicate module --------------------------------------------------
+
+TEST(Lint, L002DuplicateModuleName) {
+  const LintResult r = lint_source(
+      "module m(input wire a, output wire y);\n  assign y = a;\nendmodule\n"
+      "module m(input wire a, output wire y);\n  assign y = a;\nendmodule\n");
+  const Diagnostic& d = find_code(r, "VSD-L002");
+  EXPECT_EQ(d.severity, Severity::Error);
+  EXPECT_EQ(d.line, 4);  // the second declaration is the offender
+}
+
+TEST(Lint, L002SilentForDistinctModules) {
+  const LintResult r = lint_source(
+      "module m1(input wire a, output wire y);\n  assign y = a;\nendmodule\n"
+      "module m2(input wire a, output wire y);\n  assign y = a;\nendmodule\n");
+  EXPECT_FALSE(has_code(r, "VSD-L002"));
+  EXPECT_TRUE(r.clean());
+}
+
+// --- L100/L101/L102: symbol resolution ---------------------------------------
+
+TEST(Lint, L100UndeclaredIdentifier) {
+  const LintResult r =
+      lint_source("module m(output wire y);\n  assign y = a;\nendmodule\n");
+  const Diagnostic& d = find_code(r, "VSD-L100");
+  EXPECT_EQ(d.severity, Severity::Error);
+  EXPECT_EQ(d.signal, "a");
+  EXPECT_EQ(d.module, "m");
+}
+
+TEST(Lint, L101DuplicateDeclaration) {
+  const LintResult r = lint_source(
+      "module m(output wire y);\n  wire x;\n  wire x;\n  assign y = x;\n"
+      "endmodule\n");
+  const Diagnostic& d = find_code(r, "VSD-L101");
+  EXPECT_EQ(d.severity, Severity::Error);
+  EXPECT_EQ(d.line, 3);
+}
+
+TEST(Lint, L101SilentForNonAnsiPortNetMerge) {
+  // `output q; reg q;` is the Verilog-2001 way to give a non-ANSI port a
+  // net type — one symbol, not a duplicate.
+  const LintResult r = lint_source(
+      "module m(d, q);\n  input d;\n  output q;\n  reg q;\n"
+      "  always @* q = d;\nendmodule\n");
+  EXPECT_FALSE(has_code(r, "VSD-L101"));
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(Lint, L102AssignmentDrivesInputPort) {
+  const LintResult r = lint_source(
+      "module m(input wire a, output wire y);\n  assign a = 1'b0;\n"
+      "  assign y = a;\nendmodule\n");
+  const Diagnostic& d = find_code(r, "VSD-L102");
+  EXPECT_EQ(d.severity, Severity::Error);
+  EXPECT_EQ(d.signal, "a");
+}
+
+TEST(Lint, L102SilentForOutputPortDrive) {
+  const LintResult r = lint_source(
+      "module m(input wire a, output wire y);\n  assign y = a;\nendmodule\n");
+  EXPECT_FALSE(has_code(r, "VSD-L102"));
+}
+
+// --- L103/L160/L161: usage ---------------------------------------------------
+
+TEST(Lint, L103ReadButNeverDriven) {
+  const LintResult r = lint_source(
+      "module m(input wire a, output wire y);\n  wire u;\n"
+      "  assign y = a & u;\nendmodule\n");
+  const Diagnostic& d = find_code(r, "VSD-L103");
+  EXPECT_EQ(d.severity, Severity::Warning);
+  EXPECT_EQ(d.signal, "u");
+}
+
+TEST(Lint, L103SilentWhenDriven) {
+  const LintResult r = lint_source(
+      "module m(input wire a, output wire y);\n  wire u;\n  assign u = a;\n"
+      "  assign y = u;\nendmodule\n");
+  EXPECT_FALSE(has_code(r, "VSD-L103"));
+}
+
+TEST(Lint, L160DeclaredButNeverRead) {
+  const LintResult r = lint_source(
+      "module m(input wire a, output wire y);\n  wire u;\n  assign u = a;\n"
+      "  assign y = a;\nendmodule\n");
+  const Diagnostic& d = find_code(r, "VSD-L160");
+  EXPECT_EQ(d.severity, Severity::Warning);
+  EXPECT_EQ(d.signal, "u");
+}
+
+TEST(Lint, L160SilentForReadSignalsAndPorts) {
+  // Ports face the outside world: an unread input or an un-driven output
+  // inside the module is not dead code.
+  const LintResult r = lint_source(
+      "module m(input wire a, input wire unused_in, output wire y);\n"
+      "  assign y = a;\nendmodule\n");
+  EXPECT_FALSE(has_code(r, "VSD-L160"));
+}
+
+TEST(Lint, L161UnusedParameter) {
+  const LintResult r = lint_source(
+      "module m(input wire a, output wire y);\n  parameter W = 4;\n"
+      "  assign y = a;\nendmodule\n");
+  const Diagnostic& d = find_code(r, "VSD-L161");
+  EXPECT_EQ(d.severity, Severity::Info);
+  EXPECT_EQ(d.signal, "W");
+}
+
+TEST(Lint, L161SilentForUsedParameter) {
+  const LintResult r = lint_source(
+      "module m(input wire a, output wire [3:0] y);\n  parameter W = 4;\n"
+      "  wire [W-1:0] t;\n  assign t = {W{a}};\n  assign y = t;\nendmodule\n");
+  EXPECT_FALSE(has_code(r, "VSD-L161"));
+}
+
+// --- L110/L111/L112: driver conflicts ----------------------------------------
+
+TEST(Lint, L110OverlappingContinuousDrivers) {
+  const LintResult r = lint_source(
+      "module m(input wire a, input wire b, output wire y);\n"
+      "  assign y = a;\n  assign y = b;\nendmodule\n");
+  const Diagnostic& d = find_code(r, "VSD-L110");
+  EXPECT_EQ(d.severity, Severity::Error);
+  EXPECT_EQ(d.signal, "y");
+}
+
+TEST(Lint, L110SilentForDisjointBitDrivers) {
+  // Driving different bits of one vector from different assigns is the
+  // normal way to build a bus — only overlapping bits conflict.
+  const LintResult r = lint_source(
+      "module m(input wire a, input wire b, output wire [1:0] y);\n"
+      "  assign y[0] = a;\n  assign y[1] = b;\nendmodule\n");
+  EXPECT_FALSE(has_code(r, "VSD-L110"));
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(Lint, L111ContinuousAndProceduralConflict) {
+  const LintResult r = lint_source(
+      "module m(input wire a, output reg y);\n  assign y = a;\n"
+      "  always @(a) y = a;\nendmodule\n");
+  const Diagnostic& d = find_code(r, "VSD-L111");
+  EXPECT_EQ(d.severity, Severity::Error);
+  EXPECT_EQ(d.signal, "y");
+}
+
+TEST(Lint, L111SilentForProceduralOnlyDrive) {
+  const LintResult r = lint_source(
+      "module m(input wire a, output reg y);\n  always @(a) y = a;\n"
+      "endmodule\n");
+  EXPECT_FALSE(has_code(r, "VSD-L111"));
+}
+
+TEST(Lint, L112AssignedInMultipleAlwaysBlocks) {
+  const LintResult r = lint_source(
+      "module m(input wire clk, input wire d, output reg q);\n"
+      "  always @(posedge clk) q <= d;\n"
+      "  always @(posedge clk) q <= ~d;\nendmodule\n");
+  const Diagnostic& d = find_code(r, "VSD-L112");
+  EXPECT_EQ(d.severity, Severity::Warning);
+  EXPECT_EQ(d.signal, "q");
+}
+
+TEST(Lint, L112SilentForSingleAlwaysBlock) {
+  const LintResult r = lint_source(
+      "module m(input wire clk, input wire d, output reg q);\n"
+      "  always @(posedge clk) q <= d;\nendmodule\n");
+  EXPECT_FALSE(has_code(r, "VSD-L112"));
+  EXPECT_TRUE(r.clean());
+}
+
+// --- L120/L121: latch inference ----------------------------------------------
+
+TEST(Lint, L120IfWithoutElseInfersLatch) {
+  const LintResult r = lint_source(
+      "module m(input wire en, input wire d, output reg q);\n"
+      "  always @* begin\n    if (en) q = d;\n  end\nendmodule\n");
+  const Diagnostic& d = find_code(r, "VSD-L120");
+  EXPECT_EQ(d.severity, Severity::Warning);
+  EXPECT_EQ(d.signal, "q");
+}
+
+TEST(Lint, L120SilentWhenDefaultAssignmentCoversAllPaths) {
+  // The standard latch-free idiom: assign a default first, then override
+  // conditionally — every path through the block assigns q.
+  const LintResult r = lint_source(
+      "module m(input wire en, input wire d, output reg q);\n"
+      "  always @* begin\n    q = 1'b0;\n    if (en) q = d;\n  end\n"
+      "endmodule\n");
+  EXPECT_FALSE(has_code(r, "VSD-L120"));
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(Lint, L121CaseWithoutDefaultInfersLatch) {
+  const LintResult r = lint_source(
+      "module m(input wire [1:0] s, output reg q);\n  always @* begin\n"
+      "    case (s)\n      2'd0: q = 1'b0;\n      2'd1: q = 1'b1;\n"
+      "    endcase\n  end\nendmodule\n");
+  const Diagnostic& d = find_code(r, "VSD-L121");
+  EXPECT_EQ(d.severity, Severity::Warning);
+  EXPECT_EQ(d.signal, "q");
+}
+
+TEST(Lint, L121SilentWithCoveringDefault) {
+  const LintResult r = lint_source(
+      "module m(input wire [1:0] s, output reg q);\n  always @* begin\n"
+      "    case (s)\n      2'd0: q = 1'b0;\n      default: q = 1'b1;\n"
+      "    endcase\n  end\nendmodule\n");
+  EXPECT_FALSE(has_code(r, "VSD-L121"));
+  EXPECT_FALSE(has_code(r, "VSD-L120"));
+  EXPECT_TRUE(r.clean());
+}
+
+// --- L130/L131: blocking vs non-blocking discipline --------------------------
+
+TEST(Lint, L130NonBlockingInCombinationalAlways) {
+  const LintResult r = lint_source(
+      "module m(input wire a, output reg y);\n  always @* y <= a;\n"
+      "endmodule\n");
+  const Diagnostic& d = find_code(r, "VSD-L130");
+  EXPECT_EQ(d.severity, Severity::Warning);
+}
+
+TEST(Lint, L130SilentForBlockingInCombinational) {
+  const LintResult r = lint_source(
+      "module m(input wire a, output reg y);\n  always @* y = a;\n"
+      "endmodule\n");
+  EXPECT_FALSE(has_code(r, "VSD-L130"));
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(Lint, L131BlockingInEdgeTriggeredAlways) {
+  const LintResult r = lint_source(
+      "module m(input wire clk, input wire d, output reg q);\n"
+      "  always @(posedge clk) q = d;\nendmodule\n");
+  const Diagnostic& d = find_code(r, "VSD-L131");
+  EXPECT_EQ(d.severity, Severity::Warning);
+  EXPECT_EQ(d.signal, "q");
+}
+
+TEST(Lint, L131SilentForIntegerLoopVariables) {
+  // Blocking assignment to an integer in a clocked block is the idiomatic
+  // loop-counter pattern, not a race hazard worth flagging.
+  const LintResult r = lint_source(
+      "module m(input wire clk);\n  integer i;\n"
+      "  always @(posedge clk) i = i + 1;\nendmodule\n");
+  EXPECT_FALSE(has_code(r, "VSD-L131"));
+  EXPECT_TRUE(r.clean());
+}
+
+// --- L140/L141: sensitivity lists --------------------------------------------
+
+TEST(Lint, L140SensitivityListOmitsReadSignal) {
+  const LintResult r = lint_source(
+      "module m(input wire a, input wire b, output reg y);\n"
+      "  always @(a) y = a & b;\nendmodule\n");
+  const Diagnostic& d = find_code(r, "VSD-L140");
+  EXPECT_EQ(d.severity, Severity::Warning);
+  EXPECT_EQ(d.signal, "b");
+}
+
+TEST(Lint, L140SilentForCompleteListAndStar) {
+  const LintResult explicit_list = lint_source(
+      "module m(input wire a, input wire b, output reg y);\n"
+      "  always @(a or b) y = a & b;\nendmodule\n");
+  EXPECT_FALSE(has_code(explicit_list, "VSD-L140"));
+  const LintResult star = lint_source(
+      "module m(input wire a, input wire b, output reg y);\n"
+      "  always @* y = a & b;\nendmodule\n");
+  EXPECT_FALSE(has_code(star, "VSD-L140"));
+  EXPECT_TRUE(star.clean());
+}
+
+TEST(Lint, L141SensitivityEntryNeverRead) {
+  const LintResult r = lint_source(
+      "module m(input wire a, input wire b, output reg y);\n"
+      "  always @(a or b) y = a;\nendmodule\n");
+  const Diagnostic& d = find_code(r, "VSD-L141");
+  EXPECT_EQ(d.severity, Severity::Info);
+  EXPECT_EQ(d.signal, "b");
+}
+
+TEST(Lint, L141SilentWhenEveryEntryIsRead) {
+  const LintResult r = lint_source(
+      "module m(input wire a, input wire b, output reg y);\n"
+      "  always @(a or b) y = a ^ b;\nendmodule\n");
+  EXPECT_FALSE(has_code(r, "VSD-L141"));
+}
+
+// --- L150/L151/L152: constant range checks -----------------------------------
+
+TEST(Lint, L150BitSelectOutOfRange) {
+  const LintResult r = lint_source(
+      "module m(input wire [3:0] w, output wire y);\n  assign y = w[6];\n"
+      "endmodule\n");
+  const Diagnostic& d = find_code(r, "VSD-L150");
+  EXPECT_EQ(d.severity, Severity::Error);
+  EXPECT_EQ(d.signal, "w");
+}
+
+TEST(Lint, L150SilentForInRangeSelect) {
+  const LintResult r = lint_source(
+      "module m(input wire [3:0] w, output wire y);\n  assign y = w[3];\n"
+      "endmodule\n");
+  EXPECT_FALSE(has_code(r, "VSD-L150"));
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(Lint, L151PartSelectOutOfRangeAndReversed) {
+  const LintResult oor = lint_source(
+      "module m(input wire [3:0] w, output wire [1:0] y);\n"
+      "  assign y = w[5:4];\nendmodule\n");
+  EXPECT_EQ(find_code(oor, "VSD-L151").severity, Severity::Error);
+  const LintResult reversed = lint_source(
+      "module m(input wire [3:0] w, output wire [1:0] y);\n"
+      "  assign y = w[0:1];\nendmodule\n");
+  EXPECT_TRUE(has_code(reversed, "VSD-L151"));
+}
+
+TEST(Lint, L151SilentForInRangePartSelect) {
+  const LintResult r = lint_source(
+      "module m(input wire [3:0] w, output wire [1:0] y);\n"
+      "  assign y = w[1:0];\nendmodule\n");
+  EXPECT_FALSE(has_code(r, "VSD-L151"));
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(Lint, L152SizedLiteralTruncation) {
+  const LintResult r = lint_source(
+      "module m(output wire [1:0] y);\n  assign y = 4'hF;\nendmodule\n");
+  const Diagnostic& d = find_code(r, "VSD-L152");
+  EXPECT_EQ(d.severity, Severity::Warning);
+  EXPECT_EQ(d.signal, "y");
+}
+
+TEST(Lint, L152SilentForUnsizedLiterals) {
+  // Unsized literals are 32-bit by the LRM; flagging `y = 0` on every
+  // narrow net would bury the real truncations, so only literals the
+  // author explicitly sized participate.
+  const LintResult r = lint_source(
+      "module m(output wire [1:0] y);\n  assign y = 0;\nendmodule\n");
+  EXPECT_FALSE(has_code(r, "VSD-L152"));
+  EXPECT_TRUE(r.clean());
+}
+
+// --- lint_ok: the serving accept criterion -----------------------------------
+
+TEST(Lint, LintOkAcceptsWarningsRejectsErrors) {
+  // Warning-only findings ride along without failing the accept gate.
+  EXPECT_TRUE(lint_ok("module m(input wire a, output wire y);\n  wire u;\n"
+                      "  assign u = a;\n  assign y = a;\nendmodule\n"));
+  // Error-severity findings (here: multiple drivers) reject.
+  EXPECT_FALSE(lint_ok("module m(input wire a, output wire y);\n"
+                       "  assign y = a;\n  assign y = ~a;\nendmodule\n"));
+  EXPECT_FALSE(lint_ok("module m(; endmodule\n"));
+}
+
+// --- diagnostics JSON schema -------------------------------------------------
+
+TEST(Diagnostics, JsonObjectCarriesAllFieldsAndEscapes) {
+  Diagnostic d;
+  d.severity = Severity::Warning;
+  d.code = "VSD-L120";
+  d.line = 7;
+  d.message = "latch \"q\"\ninferred";
+  d.module = "m";
+  d.signal = "q";
+  EXPECT_EQ(diagnostic_json(d),
+            "{\"severity\":\"warning\",\"code\":\"VSD-L120\",\"line\":7,"
+            "\"message\":\"latch \\\"q\\\"\\ninferred\",\"module\":\"m\","
+            "\"signal\":\"q\"}");
+  // module/signal are omitted when empty (file-level findings).
+  d.module.clear();
+  d.signal.clear();
+  EXPECT_EQ(diagnostic_json(d),
+            "{\"severity\":\"warning\",\"code\":\"VSD-L120\",\"line\":7,"
+            "\"message\":\"latch \\\"q\\\"\\ninferred\"}");
+}
+
+TEST(Diagnostics, JsonArrayAndEmpty) {
+  EXPECT_EQ(diagnostics_json({}), "[]");
+  Diagnostic a;
+  a.severity = Severity::Error;
+  a.code = "VSD-L100";
+  a.line = 2;
+  a.message = "x";
+  const std::string json = diagnostics_json({a, a});
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"VSD-L100\""), std::string::npos);
+}
+
+TEST(Diagnostics, SortByLocationOrdersLineThenCode) {
+  LintResult r;
+  r.add(Severity::Warning, "VSD-L160", 9, "later");
+  r.add(Severity::Error, "VSD-L110", 2, "dup drive");
+  r.add(Severity::Error, "VSD-L100", 2, "undeclared");
+  r.sort_by_location();
+  ASSERT_EQ(r.diagnostics().size(), 3u);
+  EXPECT_EQ(r.diagnostics()[0].code, "VSD-L100");
+  EXPECT_EQ(r.diagnostics()[1].code, "VSD-L110");
+  EXPECT_EQ(r.diagnostics()[2].code, "VSD-L160");
+}
+
+// --- the repo's own corpus must be lint-accepted -----------------------------
+
+TEST(Lint, GeneratedTrainingCorpusIsLintAccepted) {
+  // The training templates teach the model what "good" looks like; if a
+  // template trips an Error-severity lint pass, the serving check stage
+  // would reject faithful reproductions of the corpus itself.
+  data::DatasetConfig cfg;
+  cfg.target_items = 64;
+  cfg.seed = 11;
+  const data::Dataset ds = data::build_dataset(cfg);
+  ASSERT_FALSE(ds.items.empty());
+  for (const data::DatasetItem& item : ds.items) {
+    const LintResult r = lint_source(item.code);
+    EXPECT_FALSE(r.has_errors())
+        << item.module_name << ": " << diagnostics_json(r.diagnostics());
+  }
+}
+
+}  // namespace
+}  // namespace vsd::vlog
