@@ -56,10 +56,10 @@
 #include "common/metrics.hpp"
 #include "nn/kv_arena.hpp"
 #include "nn/parallel.hpp"
+#include "serve/check_stage.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/session_cache.hpp"
-#include "vlog/lint.hpp"
 
 using namespace vsd;
 using namespace vsd::bench;
@@ -172,10 +172,10 @@ int main(int argc, char** argv) {
   };
 
   // --- batched: the serving stack (queue + scheduler + pool) -------------
-  // `active_check` is empty for every pass except the check-overhead pass
-  // at the end — an empty CheckFn leaves the scheduler on its unchecked
+  // `active_checks` is empty for every pass except the check-overhead pass
+  // at the end — an empty stage list leaves the scheduler on its unchecked
   // fast path, so the timed passes above are unaffected.
-  serve::CheckFn active_check;
+  std::vector<serve::CheckStage> active_checks;
   const auto run_serving = [&](int run_workers, bool fuse,
                                serve::SessionCache* cache,
                                const std::shared_ptr<nn::KvArena>& arena,
@@ -194,8 +194,7 @@ int main(int argc, char** argv) {
                                 .fuse = fuse,
                                 .cache = cache,
                                 .kv_arena = arena,
-                                .check = active_check,
-                                .check_label = "lint"});
+                                .checks = active_checks});
     const serve::ServeStats stats =
         scheduler.run([&](const serve::Request& req, spec::DecodeResult r) {
           out[req.id] = std::move(r);
@@ -318,39 +317,46 @@ int main(int argc, char** argv) {
     fused_ratios.push_back(u_r / std::max(f_r, 1e-12));
   }
 
-  // --- check stage: `--check lint` overhead on the batched path ----------
-  // One more batched pass with the semantic linter installed as the
-  // post-acceptance check stage, exactly as `vsd serve --check lint` wires
-  // it: each completed request's tokens are decoded and linted on the
-  // shared pool while decoding continues.  The ledger records what that
-  // costs as a fraction of the run's wall clock (checks overlap decoding,
-  // so the frac is check CPU time over serving wall time) with a ceiling
-  // assertion — linting a few hundred tokens must stay a rounding error
-  // next to decoding them — plus the T=0 parity the stage guarantees:
-  // checks observe results, they never gate or reorder token output.
-  active_check = [&](const serve::Request&, const spec::DecodeResult& r) {
-    const vlog::LintResult lint = vlog::lint_source(sys.tokenizer.decode(r.ids));
-    serve::CheckOutcome out;
-    out.pass = !lint.has_errors();
-    out.errors = lint.errors();
-    out.warnings = lint.warnings();
-    out.infos = lint.infos();
-    out.diagnostics_json = vlog::diagnostics_json(lint.diagnostics());
-    return out;
-  };
+  // --- check stages: `--check lint,elab` overhead on the batched path ----
+  // One more batched pass with BOTH registry stages installed, exactly as
+  // `vsd serve --check lint,elab` wires them: each completed request's
+  // tokens are decoded, flat-linted (L0xx/L1xx), then elaborated through
+  // the hierarchical L2xx dataflow passes on the shared pool while
+  // decoding continues.  The ledger records what the whole pipeline costs
+  // as a fraction of the run's wall clock (checks overlap decoding, so the
+  // frac is check CPU time over serving wall time) with a ceiling
+  // assertion — analysing a few hundred tokens must stay a rounding error
+  // next to decoding them — plus per-stage cost rows and the T=0 parity
+  // the stages guarantee: checks observe results, they never gate or
+  // reorder token output.
+  {
+    std::string check_err;
+    active_checks = serve::parse_check_stages(
+        "lint,elab",
+        [&](const spec::DecodeResult& r) { return sys.tokenizer.decode(r.ids); },
+        check_err);
+    if (!check_err.empty()) {
+      std::fprintf(stderr, "check stage registry: %s\n", check_err.c_str());
+      return 1;
+    }
+  }
   nn::set_compute_threads(compute_threads);
   std::vector<spec::DecodeResult> checked(static_cast<std::size_t>(n));
   const serve::ServeStats kstats =
       run_serving(workers, true, nullptr, nullptr, checked);
-  active_check = nullptr;
+  active_checks.clear();
   const double check_total_s =
       kstats.check.mean() * static_cast<double>(kstats.check.count);
   const double check_overhead_frac =
       check_total_s / std::max(kstats.wall_seconds, 1e-12);
-  const bool check_all = kstats.checks_pass + kstats.checks_fail == n;
-  // Ceiling: the lint stage may cost at most 15% of serving wall clock at
-  // bench scale (in practice it is well under 1%; the slack absorbs noisy
-  // shared hosts without ever letting a quadratic lint pass sneak in).
+  bool check_all = kstats.checks_pass + kstats.checks_fail == n;
+  for (const serve::CheckStageStats& st : kstats.check_stages) {
+    check_all = check_all && st.pass + st.fail == n;
+  }
+  // Ceiling: the whole check pipeline may cost at most 15% of serving wall
+  // clock at bench scale (in practice it is well under 1%; the slack
+  // absorbs noisy shared hosts without ever letting a quadratic pass sneak
+  // in).
   const bool check_ok = check_all && check_overhead_frac <= 0.15;
 
   bool parity = true;
@@ -482,14 +488,22 @@ int main(int argc, char** argv) {
       batched_lat.p95, batched_lat.p99, cached_lat.p50, cached_lat.p95,
       cached_lat.p99);
   std::printf(
-      "check stage (lint): %d pass / %d fail over %d requests, %.4fs lint in "
-      "%.3fs serving wall (overhead %.2f%%); checked parity at T=0: %s%s%s\n",
+      "check stages (lint,elab): %d pass / %d fail over %d requests, %.4fs "
+      "checking in %.3fs serving wall (overhead %.2f%%); checked parity at "
+      "T=0: %s%s%s\n",
       kstats.checks_pass, kstats.checks_fail, n, check_total_s,
       kstats.wall_seconds, 100.0 * check_overhead_frac,
       check_parity ? "PASS" : "FAIL",
       check_all ? "" : "; check COVERAGE (one outcome per request) FAILED",
       check_overhead_frac <= 0.15 ? ""
                                   : "; check OVERHEAD CEILING (15%) FAILED");
+  for (const serve::CheckStageStats& st : kstats.check_stages) {
+    std::printf("  stage %-5s: %d pass / %d fail, %.4fs total "
+                "(p50 %.5fs, p99 %.5fs per request)\n",
+                st.name.c_str(), st.pass, st.fail,
+                st.latency.mean() * static_cast<double>(st.latency.count),
+                st.latency.p50, st.latency.p99);
+  }
 
   if (const char* path = json_out_path(argc, argv)) {
     std::FILE* f = open_json(path, "bench_serve_throughput", scale);
@@ -523,7 +537,7 @@ int main(int argc, char** argv) {
         "  \"cached_le_batched_wall\": %s,\n"
         "  \"parity_temp0\": %s,\n  \"cached_parity_temp0\": %s,\n"
         "  \"fused_parity_temp0\": %s,\n"
-        "  \"check\": {\"stage\": \"lint\", \"pass\": %d, \"fail\": %d, "
+        "  \"check\": {\"stages\": \"lint,elab\", \"pass\": %d, \"fail\": %d, "
         "\"wall_s\": %.4f, \"total_s\": %.4f, \"p50_s\": %.5f, "
         "\"p99_s\": %.5f},\n"
         "  \"check_overhead_frac\": %.4f,\n"
@@ -550,6 +564,20 @@ int main(int argc, char** argv) {
         kstats.checks_fail, kstats.wall_seconds, check_total_s,
         kstats.check.p50, kstats.check.p99, check_overhead_frac,
         check_parity ? "true" : "false");
+    // Per-stage cost rows: how the check budget splits between the flat
+    // linter and the elaboration-backed dataflow passes.
+    std::fprintf(f, "  \"check_stages\": [");
+    for (std::size_t i = 0; i < kstats.check_stages.size(); ++i) {
+      const serve::CheckStageStats& st = kstats.check_stages[i];
+      std::fprintf(
+          f,
+          "%s{\"stage\": \"%s\", \"pass\": %d, \"fail\": %d, "
+          "\"total_s\": %.4f, \"p50_s\": %.5f, \"p99_s\": %.5f}",
+          i == 0 ? "" : ", ", st.name.c_str(), st.pass, st.fail,
+          st.latency.mean() * static_cast<double>(st.latency.count),
+          st.latency.p50, st.latency.p99);
+    }
+    std::fprintf(f, "],\n");
     std::fprintf(
         f,
         "  \"latency\": {"

@@ -130,14 +130,14 @@ int cmd_eval(int argc, const char* const* argv) {
   if (run_quality) {
     std::printf("\n-- quality (%d problems x %d samples, RTLLM-like) --\n",
                 problems, samples);
-    std::printf("%-8s %10s %10s %10s %10s %10s\n", "Method", "func@1",
-                "funcRate", "syn@1", "synRate", "lintRate");
+    std::printf("%-8s %10s %10s %10s %10s %10s %10s\n", "Method", "func@1",
+                "funcRate", "syn@1", "synRate", "lintRate", "elabRate");
     for (int m = 0; m < 3; ++m) {
       const eval::BenchScores& s = quality[m];
-      std::printf("%-8s %9.2f%% %9.2f%% %9.2f%% %9.2f%% %9.2f%%\n",
+      std::printf("%-8s %9.2f%% %9.2f%% %9.2f%% %9.2f%% %9.2f%% %9.2f%%\n",
                   spec::method_name(methods[m]), 100.0 * s.func_pass_at_k[0],
                   100.0 * s.func_rate, 100.0 * s.syn_pass_at_k[0],
-                  100.0 * s.syn_rate, 100.0 * s.lint_rate);
+                  100.0 * s.syn_rate, 100.0 * s.lint_rate, 100.0 * s.elab_rate);
     }
   }
   if (run_speed) {

@@ -1,6 +1,8 @@
 // `vsd lint` — parse Verilog sources, run the semantic lint passes
 // (vlog/lint.hpp), report structured diagnostics, and optionally show the
 // paper's Fig.-3 views (AST keywords, canonical print, [FRAG] marking).
+// With --elab each file is also elaborated and the hierarchical L2xx
+// passes (vlog/dataflow.hpp) run over the flattened design.
 // Accepts files and directories (scanned recursively for *.v); with no
 // inputs it lints a built-in example module.
 //
@@ -9,13 +11,16 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cli/args.hpp"
 #include "cli/commands.hpp"
 #include "cli/io.hpp"
 #include "serve/json.hpp"
+#include "vlog/dataflow.hpp"
 #include "vlog/fragment.hpp"
 #include "vlog/lint.hpp"
 #include "vlog/parser.hpp"
@@ -30,8 +35,10 @@ constexpr OptionSpec kOptions[] = {
     {"keywords", false, "print extracted AST keywords per module"},
     {"print", false, "print the canonical pretty-printed source"},
     {"frag", false, "print the [FRAG]-marked training-data view"},
+    {"elab", false, "elaborate and run the hierarchical L2xx passes too"},
+    {"top", true, "root module for --elab (default: inferred roots)", "NAME"},
     {"quiet", false, "only report errors"},
-    {"json", false, "emit one JSON object per input (machine-readable)"},
+    {"json", false, "emit a JSON array with one object per input"},
     {"werror", false, "treat lint warnings as errors (exit 4)"},
     {"syntax-only", false, "parse only; skip the semantic lint passes"},
     {"help", false, "show this help"},
@@ -107,8 +114,10 @@ void print_lint_help() {
       "usage: vsd lint [options] [file.v | directory]...\n\n"
       "Parses each source (directories are scanned recursively for *.v),\n"
       "runs the semantic lint passes (VSD-Lxxx diagnostics; see README\n"
-      "\"Static analysis\"), and reports findings.  With no inputs, lints a\n"
-      "built-in example.\n\n"
+      "\"Static analysis\"), and reports findings.  With --elab each file\n"
+      "is additionally elaborated and the hierarchical dataflow passes\n"
+      "(VSD-L2xx: comb loops, CDC, port contracts) run over the flattened\n"
+      "design.  With no inputs, lints a built-in example.\n\n"
       "exit codes:\n"
       "  %d  clean (warnings/infos do not fail without --werror)\n"
       "  %d  bad usage\n"
@@ -133,6 +142,16 @@ int cmd_lint(int argc, const char* const* argv) {
   const bool json = args.has("json");
   const bool werror = args.has("werror");
   const bool syntax_only = args.has("syntax-only");
+  const bool elab = args.has("elab");
+  const std::string top = args.get("top", "");
+  if (!top.empty() && !elab) {
+    std::fprintf(stderr, "vsd lint: --top requires --elab\n");
+    return kExitUsage;
+  }
+  if (elab && syntax_only) {
+    std::fprintf(stderr, "vsd lint: --elab conflicts with --syntax-only\n");
+    return kExitUsage;
+  }
 
   std::vector<Input> inputs;
   if (args.positional().empty()) {
@@ -144,11 +163,19 @@ int cmd_lint(int argc, const char* const* argv) {
   int syntax_bad = 0;
   int total_errors = 0;
   int total_warnings = 0;
+  std::vector<std::string> json_entries;
   for (const Input& input : inputs) {
-    const vlog::ParseResult result = vlog::parse(input.source);
+    vlog::ParseResult result = vlog::parse(input.source);
+    // The AST is shared from here: --elab hands it to the elaborator, which
+    // keeps it alive alongside the design it borrows from.
+    const std::shared_ptr<const vlog::SourceUnit> unit(std::move(result.unit));
     vlog::LintResult lint;
     if (result.ok && !syntax_only) {
-      lint = vlog::lint_unit(*result.unit);
+      lint = vlog::lint_unit(*unit);
+      if (elab) {
+        lint.merge(vlog::analyze_unit(unit, top));
+        lint.sort_by_location();
+      }
     } else if (!result.ok) {
       lint.add(vlog::Severity::Error, "VSD-L001", result.error_line,
                "syntax error: " + result.error);
@@ -158,14 +185,14 @@ int cmd_lint(int argc, const char* const* argv) {
     if (!result.ok) ++syntax_bad;
 
     if (json) {
-      std::string line = "{\"file\":\"" + serve::json_escape(input.label) +
-                         "\",\"ok\":" + (lint.has_errors() ? "false" : "true") +
-                         ",\"errors\":" + std::to_string(lint.errors()) +
-                         ",\"warnings\":" + std::to_string(lint.warnings()) +
-                         ",\"infos\":" + std::to_string(lint.infos()) +
-                         ",\"diagnostics\":" +
-                         vlog::diagnostics_json(lint.diagnostics()) + "}";
-      std::printf("%s\n", line.c_str());
+      json_entries.push_back(
+          "{\"file\":\"" + serve::json_escape(input.label) +
+          "\",\"ok\":" + (lint.has_errors() ? "false" : "true") +
+          ",\"errors\":" + std::to_string(lint.errors()) +
+          ",\"warnings\":" + std::to_string(lint.warnings()) +
+          ",\"infos\":" + std::to_string(lint.infos()) +
+          ",\"diagnostics\":" + vlog::diagnostics_json(lint.diagnostics()) +
+          "}");
       continue;
     }
 
@@ -177,9 +204,9 @@ int cmd_lint(int argc, const char* const* argv) {
     if (!quiet) {
       std::printf("%s: %s (%zu module(s))\n", input.label.c_str(),
                   lint.has_errors() ? "LINT ERRORS" : "OK",
-                  result.unit->modules.size());
+                  unit->modules.size());
       if (args.has("keywords")) {
-        for (const auto& m : result.unit->modules) {
+        for (const auto& m : unit->modules) {
           std::printf("  %s:", m->name.c_str());
           for (const auto& kw : vlog::extract_ast_keywords(*m)) {
             std::printf(" %s", kw.c_str());
@@ -188,7 +215,7 @@ int cmd_lint(int argc, const char* const* argv) {
         }
       }
       if (args.has("print")) {
-        std::printf("%s", vlog::print_source(*result.unit).c_str());
+        std::printf("%s", vlog::print_source(*unit).c_str());
       }
       if (args.has("frag")) {
         std::printf("%s\n", vlog::mark_fragments(input.source).c_str());
@@ -203,6 +230,13 @@ int cmd_lint(int argc, const char* const* argv) {
                   vlog::severity_name(d.severity), d.code.c_str(),
                   where.c_str(), d.message.c_str());
     }
+  }
+  if (json) {
+    std::printf("[");
+    for (std::size_t i = 0; i < json_entries.size(); ++i) {
+      std::printf("%s%s", i == 0 ? "" : ",\n ", json_entries[i].c_str());
+    }
+    std::printf("]\n");
   }
   if (!quiet && !json) {
     std::printf("%zu file(s), %d with syntax errors, %d lint error(s), "

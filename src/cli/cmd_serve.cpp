@@ -25,11 +25,11 @@
 #include "data/dataset.hpp"
 #include "eval/harness.hpp"
 #include "nn/parallel.hpp"
+#include "serve/check_stage.hpp"
 #include "serve/json.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/session_cache.hpp"
-#include "vlog/lint.hpp"
 
 namespace vsd::cli {
 
@@ -50,10 +50,12 @@ constexpr OptionSpec kOptions[] = {
      "KV arena page cap (default: derived from batch + cache)", "N"},
     {"no-fuse", false, "disable the fused batched forward (per-session matmuls)"},
     {"check", true,
-     "post-acceptance check stage over each completed candidate;\n"
-     "                   'lint' parses + semantically lints the generated code\n"
-     "                   and attaches VSD-Lxxx diagnostics to its JSON result\n"
-     "                   (tokens are unchanged; the check runs on the pool)", "STAGE"},
+     "comma-separated post-acceptance check stages over each completed\n"
+     "                   candidate ('lint', 'elab', or 'lint,elab'): lint runs\n"
+     "                   the flat semantic passes, elab elaborates and runs the\n"
+     "                   hierarchical VSD-L2xx passes; diagnostics attach to the\n"
+     "                   JSON result (tokens are unchanged; checks run on the\n"
+     "                   pool)", "STAGES"},
     {"trace", true,
      "write a Chrome-trace-event JSON timeline (per-tick phase spans,\n"
      "                   per-request lifecycles; open in Perfetto)", "FILE"},
@@ -138,7 +140,16 @@ int cmd_serve(int argc, const char* const* argv) {
   const int kv_pages_max = args.get_int("kv-pages-max", 0);  // 0 = derived
   const std::string trace_path = args.get("trace", "");
   const double stats_every = args.get_double("stats-every", 0.0);
-  const std::string check_stage = args.get("check", "");
+  const std::string check_list = args.get("check", "");
+  // Validate the stage list before any training runs; the real stages are
+  // built later, once the tokenizer they decode with exists.  The error
+  // message (and the help text's stage list) derive from the registry.
+  std::string check_err;
+  if (args.has("check")) {
+    serve::parse_check_stages(
+        check_list, [](const spec::DecodeResult&) { return std::string(); },
+        check_err);
+  }
   eval::SystemConfig cfg;
   cfg.method = method;
   cfg.encoder_decoder = args.has("enc-dec");
@@ -175,8 +186,7 @@ int cmd_serve(int argc, const char* const* argv) {
     bad_arg = "--stats-every must be > 0 (seconds between snapshots)";
   else if (args.has("trace") && trace_path.empty())
     bad_arg = "--trace needs a file path to write the timeline to";
-  else if (args.has("check") && check_stage != "lint")
-    bad_arg = "--check supports one stage: lint";
+  else if (!check_err.empty()) bad_arg = check_err.c_str();
   if (bad_arg != nullptr) {
     std::fprintf(stderr, "vsd serve: %s\n", bad_arg);
     return kExitUsage;
@@ -263,22 +273,19 @@ int cmd_serve(int argc, const char* const* argv) {
         .capacity = static_cast<std::size_t>(cache_cap)});
   }
   if (cache) cache->attach_metrics(&reg);
-  // --check lint: parse + semantically lint each completed candidate on the
-  // shared pool.  Decoding is not gated on it — tokens are bit-identical to
-  // a run without --check; the outcome rides along on the JSON result.
-  serve::CheckFn check_fn;
-  if (check_stage == "lint") {
-    check_fn = [&sys](const serve::Request&, const spec::DecodeResult& r) {
-      const vlog::LintResult lint =
-          vlog::lint_source(sys.tokenizer.decode(r.ids));
-      serve::CheckOutcome out;
-      out.pass = !lint.has_errors();
-      out.errors = lint.errors();
-      out.warnings = lint.warnings();
-      out.infos = lint.infos();
-      out.diagnostics_json = vlog::diagnostics_json(lint.diagnostics());
-      return out;
-    };
+  // --check lint,elab: run each completed candidate through the named
+  // stages on the shared pool.  Decoding is not gated on them — tokens are
+  // bit-identical to a run without --check; the report rides along on the
+  // JSON result.
+  std::vector<serve::CheckStage> check_stages;
+  if (args.has("check")) {
+    std::string ignored;  // the list already validated above
+    check_stages = serve::parse_check_stages(
+        check_list,
+        [&sys](const spec::DecodeResult& r) {
+          return sys.tokenizer.decode(r.ids);
+        },
+        ignored);
   }
   serve::Scheduler scheduler(*sys.model, queue,
                              {.workers = workers,
@@ -290,9 +297,7 @@ int cmd_serve(int argc, const char* const* argv) {
                               .kv_arena = nullptr,
                               .metrics = &reg,
                               .trace = tracer.get(),
-                              .check = check_fn,
-                              .check_label =
-                                  check_stage.empty() ? "check" : check_stage});
+                              .checks = check_stages});
 
   // Periodic one-line snapshots (--stats-every): a sampling thread reads
   // the registry — every read is lock-free or a brief registry-map lock —
@@ -326,7 +331,7 @@ int cmd_serve(int argc, const char* const* argv) {
   serve::ServeStats stats;
   try {
     stats = scheduler.run([&](const serve::Request& req, spec::DecodeResult r,
-                              const serve::CheckOutcome* check) {
+                              const serve::CheckReport* check) {
       total_tokens += static_cast<long>(r.ids.size());
       total_steps += r.steps;
       std::string line = "{\"id\":" + std::to_string(req.id) +
@@ -339,12 +344,20 @@ int cmd_serve(int argc, const char* const* argv) {
       line += buf;
       line += r.hit_eos ? ",\"eos\":true" : ",\"eos\":false";
       if (check != nullptr) {
-        std::snprintf(buf, sizeof(buf),
-                      ",\"errors\":%d,\"warnings\":%d,\"wall_s\":%.4f",
-                      check->errors, check->warnings, check->wall_seconds);
-        line += ",\"check\":{\"stage\":\"" + check_stage + "\",\"pass\":" +
-                (check->pass ? "true" : "false") + buf +
-                ",\"diagnostics\":" + check->diagnostics_json + "}";
+        std::snprintf(buf, sizeof(buf), ",\"total_s\":%.4f,\"stages\":[",
+                      check->total_seconds());
+        line += ",\"check\":{\"pass\":" +
+                std::string(check->pass() ? "true" : "false") + buf;
+        for (std::size_t i = 0; i < check->stages.size(); ++i) {
+          const serve::CheckOutcome& s = check->stages[i];
+          std::snprintf(buf, sizeof(buf),
+                        ",\"errors\":%d,\"warnings\":%d,\"wall_s\":%.4f",
+                        s.errors, s.warnings, s.wall_seconds);
+          line += std::string(i == 0 ? "" : ",") + "{\"stage\":\"" + s.stage +
+                  "\",\"pass\":" + (s.pass ? "true" : "false") + buf +
+                  ",\"diagnostics\":" + s.diagnostics_json + "}";
+        }
+        line += "]}";
       }
       if (emit_code) {
         line += ",\"code\":\"" +
@@ -399,13 +412,21 @@ int cmd_serve(int argc, const char* const* argv) {
       stats.queue_wait.p50, stats.queue_wait.p99, stats.ttft.p50,
       stats.ttft.p99, stats.tick.p50, stats.tick.p99, stats.occupancy_mean,
       tracer ? tracer->events() : std::size_t{0});
-  if (!check_stage.empty()) {
+  if (!check_stages.empty()) {
     std::printf(
-        ",\"check\":{\"stage\":\"%s\",\"pass\":%d,\"fail\":%d,"
-        "\"p50_s\":%.5f,\"p99_s\":%.5f,\"total_s\":%.4f}",
-        check_stage.c_str(), stats.checks_pass, stats.checks_fail,
-        stats.check.p50, stats.check.p99,
+        ",\"check\":{\"pass\":%d,\"fail\":%d,\"p50_s\":%.5f,\"p99_s\":%.5f,"
+        "\"total_s\":%.4f,\"stages\":[",
+        stats.checks_pass, stats.checks_fail, stats.check.p50, stats.check.p99,
         stats.check.mean() * static_cast<double>(stats.check.count));
+    for (std::size_t i = 0; i < stats.check_stages.size(); ++i) {
+      const serve::CheckStageStats& ss = stats.check_stages[i];
+      std::printf(
+          "%s{\"stage\":\"%s\",\"pass\":%d,\"fail\":%d,\"p50_s\":%.5f,"
+          "\"p99_s\":%.5f}",
+          i == 0 ? "" : ",", ss.name.c_str(), ss.pass, ss.fail, ss.latency.p50,
+          ss.latency.p99);
+    }
+    std::printf("]}");
   }
   std::printf("}");
   if (cache) {

@@ -5,6 +5,7 @@
 
 #include "serve/thread_pool.hpp"
 #include "sim/check.hpp"
+#include "vlog/dataflow.hpp"
 #include "vlog/lint.hpp"
 #include "vlog/parser.hpp"
 
@@ -109,6 +110,7 @@ BenchScores evaluate_quality(const TrainedSystem& sys,
   std::vector<std::uint8_t> syn_ok(tasks.size(), 0);
   std::vector<std::uint8_t> func_ok(tasks.size(), 0);
   std::vector<std::uint8_t> lint_ok(tasks.size(), 0);
+  std::vector<std::uint8_t> elab_clean(tasks.size(), 0);
   const auto run_sample = [&](std::size_t i) {
     const SampleTask& tk = tasks[i];
     const BenchProblem& p = problems[static_cast<std::size_t>(tk.problem)];
@@ -136,6 +138,10 @@ BenchScores evaluate_quality(const TrainedSystem& sys,
     // Lint-clean: the serve --check lint accept criterion (parses and no
     // Error-severity findings).  Checked against the same candidate.
     lint_ok[i] = (syntax && vlog::lint_ok(candidate)) ? 1 : 0;
+    // Elab-clean: the serve --check elab accept criterion (elaborates and
+    // the hierarchical L2xx passes report no errors).
+    elab_clean[i] =
+        (syntax && vlog::elab_ok(candidate, p.module_name)) ? 1 : 0;
   };
 
   if (opts.workers <= 1) {
@@ -154,27 +160,33 @@ BenchScores evaluate_quality(const TrainedSystem& sys,
   std::vector<std::pair<int, int>> func_nc;
   std::vector<std::pair<int, int>> syn_nc;
   std::vector<std::pair<int, int>> lint_nc;
+  std::vector<std::pair<int, int>> elab_nc;
   std::size_t cursor = 0;
   for (std::size_t p = 0; p < problems.size(); ++p) {
     int best_func = -1;
     int best_syn = -1;
     int best_lint = -1;
+    int best_elab = -1;
     for (std::size_t t = 0; t < opts.temperatures.size(); ++t) {
       int c_func = 0;
       int c_syn = 0;
       int c_lint = 0;
+      int c_elab = 0;
       for (int s = 0; s < opts.n_samples; ++s, ++cursor) {
         c_syn += syn_ok[cursor];
         c_func += func_ok[cursor];
         c_lint += lint_ok[cursor];
+        c_elab += elab_clean[cursor];
       }
       best_func = std::max(best_func, c_func);
       best_syn = std::max(best_syn, c_syn);
       best_lint = std::max(best_lint, c_lint);
+      best_elab = std::max(best_elab, c_elab);
     }
     func_nc.emplace_back(opts.n_samples, best_func);
     syn_nc.emplace_back(opts.n_samples, best_syn);
     lint_nc.emplace_back(opts.n_samples, best_lint);
+    elab_nc.emplace_back(opts.n_samples, best_elab);
   }
 
   for (const int k : opts.ks) {
@@ -184,6 +196,7 @@ BenchScores evaluate_quality(const TrainedSystem& sys,
   scores.func_rate = pass_rate(func_nc);
   scores.syn_rate = pass_rate(syn_nc);
   scores.lint_rate = pass_rate(lint_nc);
+  scores.elab_rate = pass_rate(elab_nc);
   return scores;
 }
 

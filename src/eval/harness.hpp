@@ -97,6 +97,10 @@ struct BenchScores {
   // serve --check lint`.  Always <= syn_rate's sample-level pass share:
   // lint requires a parse plus clean symbol/driver resolution.
   double lint_rate = 0.0;
+  // Fraction whose candidate also elaborates and passes the hierarchical
+  // dataflow passes with no Error-severity L2xx finding (vlog::elab_ok) —
+  // same entry point as `vsd serve --check elab`.
+  double elab_rate = 0.0;
 };
 
 BenchScores evaluate_quality(const TrainedSystem& sys,

@@ -1,0 +1,89 @@
+#include "serve/check_stage.hpp"
+
+#include <set>
+#include <utility>
+
+#include "vlog/dataflow.hpp"
+#include "vlog/diagnostics.hpp"
+#include "vlog/lint.hpp"
+
+namespace vsd::serve {
+
+namespace {
+
+CheckOutcome outcome_from(const vlog::LintResult& lint) {
+  CheckOutcome out;
+  out.pass = !lint.has_errors();
+  out.errors = lint.errors();
+  out.warnings = lint.warnings();
+  out.infos = lint.infos();
+  out.diagnostics_json = vlog::diagnostics_json(lint.diagnostics());
+  return out;
+}
+
+std::string joined_names() {
+  std::string s;
+  for (const std::string& n : check_stage_names()) {
+    if (!s.empty()) s += ", ";
+    s += n;
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::string> check_stage_names() { return {"lint", "elab"}; }
+
+std::optional<CheckStage> make_check_stage(const std::string& name,
+                                           DecodeTextFn decode) {
+  if (name == "lint") {
+    return CheckStage{
+        "lint",
+        [decode = std::move(decode)](const Request&,
+                                     const spec::DecodeResult& r) {
+          return outcome_from(vlog::lint_source(decode(r)));
+        }};
+  }
+  if (name == "elab") {
+    return CheckStage{
+        "elab",
+        [decode = std::move(decode)](const Request&,
+                                     const spec::DecodeResult& r) {
+          return outcome_from(vlog::elab_lint_source(decode(r)));
+        }};
+  }
+  return std::nullopt;
+}
+
+std::vector<CheckStage> parse_check_stages(const std::string& list,
+                                           const DecodeTextFn& decode,
+                                           std::string& error) {
+  std::vector<CheckStage> out;
+  std::set<std::string> seen;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string name =
+        list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    pos = comma == std::string::npos ? list.size() + 1 : comma + 1;
+    if (name.empty()) {
+      error = "--check needs a comma-separated stage list (available: " +
+              joined_names() + ")";
+      return {};
+    }
+    if (!seen.insert(name).second) {
+      error = "--check lists stage '" + name + "' twice";
+      return {};
+    }
+    auto stage = make_check_stage(name, decode);
+    if (!stage) {
+      error = "unknown check stage '" + name +
+              "' (available: " + joined_names() + ")";
+      return {};
+    }
+    out.push_back(std::move(*stage));
+  }
+  return out;
+}
+
+}  // namespace vsd::serve

@@ -1,0 +1,48 @@
+// Registry of named post-acceptance check stages for the serving loop
+// (`vsd serve --check lint,elab`).  A stage maps a finished request's
+// decoded text to a CheckOutcome on a pool worker; the scheduler composes
+// any subset in order (serve/scheduler.hpp's SchedulerOptions::checks) and
+// never gates decoding on them, so tokens are bit-identical with any
+// stage list.
+//
+// Built-in stages:
+//   lint  — parse + flat semantic lint passes (vlog/lint.hpp, VSD-L0xx/L1xx)
+//   elab  — parse + elaborate + hierarchical dataflow passes
+//           (vlog/dataflow.hpp, VSD-L2xx: comb loops, CDC, port contracts)
+//
+// Both fail a request on Error-severity findings only; warnings ride along
+// in the diagnostics payload.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/scheduler.hpp"
+
+namespace vsd::serve {
+
+/// Decodes a finished request's token ids back to source text.  Supplied
+/// by the host, which owns the tokenizer; must be callable concurrently
+/// from pool workers.
+using DecodeTextFn = std::function<std::string(const spec::DecodeResult&)>;
+
+/// Names of every registered stage, in canonical composition order.  Usage
+/// errors and `--check` help text derive from this list, so adding a stage
+/// here is the whole registration.
+std::vector<std::string> check_stage_names();
+
+/// Builds the named stage, or nullopt for an unknown name.
+std::optional<CheckStage> make_check_stage(const std::string& name,
+                                           DecodeTextFn decode);
+
+/// Parses a comma-separated stage list ("lint" or "lint,elab") into built
+/// stages.  On an unknown, duplicate, or empty name, returns an empty
+/// vector and fills `error` with a message naming the offender and the
+/// registered stages.
+std::vector<CheckStage> parse_check_stages(const std::string& list,
+                                           const DecodeTextFn& decode,
+                                           std::string& error);
+
+}  // namespace vsd::serve

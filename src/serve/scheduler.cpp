@@ -40,7 +40,7 @@ Scheduler::Scheduler(const nn::TransformerModel& model, RequestQueue& queue,
 ServeStats Scheduler::run(const Completion& on_complete) {
   return run(CheckedCompletion(
       [&on_complete](const Request& req, spec::DecodeResult result,
-                     const CheckOutcome* /*check*/) {
+                     const CheckReport* /*report*/) {
         on_complete(req, std::move(result));
       }));
 }
@@ -104,16 +104,21 @@ ServeStats Scheduler::run(const CheckedCompletion& on_complete) {
   obs::Gauge& g_kv_free = reg.gauge("serve.kv.pages_free");
   obs::Gauge& g_kv_cow = reg.gauge("serve.kv.cow_clones");
   // Check-stage instruments, created once so pool workers only record.
-  const bool checked = static_cast<bool>(opts_.check);
+  // Declared before the pool (workers hold a pointer to the vector).
+  const bool checked = !opts_.checks.empty();
+  struct StageInstruments {
+    obs::Histogram* latency = nullptr;
+    obs::Counter* pass = nullptr;
+    obs::Counter* fail = nullptr;
+  };
+  std::vector<StageInstruments> stage_obs;
+  for (const CheckStage& cs : opts_.checks) {
+    stage_obs.push_back({&reg.histogram("serve.check." + cs.name + "_s"),
+                         &reg.counter("serve.check." + cs.name + ".pass"),
+                         &reg.counter("serve.check." + cs.name + ".fail")});
+  }
   obs::Histogram* const h_check =
-      checked ? &reg.histogram("serve.check." + opts_.check_label + "_s")
-              : nullptr;
-  obs::Counter* const c_check_pass =
-      checked ? &reg.counter("serve.check." + opts_.check_label + ".pass")
-              : nullptr;
-  obs::Counter* const c_check_fail =
-      checked ? &reg.counter("serve.check." + opts_.check_label + ".fail")
-              : nullptr;
+      checked ? &reg.histogram("serve.check.total_s") : nullptr;
   if (trace != nullptr) trace->name_this_thread("scheduler");
 
   // Declared before the pool: if a decode error unwinds this frame, the
@@ -135,13 +140,16 @@ ServeStats Scheduler::run(const CheckedCompletion& on_complete) {
   struct PendingCheck {
     Request req;
     spec::DecodeResult result;
-    std::future<CheckOutcome> fut;
+    std::future<CheckReport> fut;
   };
   std::deque<PendingCheck> checks;
   std::vector<Slot> slots(static_cast<std::size_t>(batch));
   ThreadPool pool(std::max(1, opts_.workers), worker_init);
 
   ServeStats stats;
+  for (const CheckStage& cs : opts_.checks) {
+    stats.check_stages.push_back({cs.name, 0, 0, {}});
+  }
   const auto start = Clock::now();
   int live = 0;
 
@@ -211,26 +219,37 @@ ServeStats Scheduler::run(const CheckedCompletion& on_complete) {
       }
       on_complete(slot.req, slot.dec->take_result(), nullptr);
     } else {
-      // Hand the finished request to the check stage and free the slot
+      // Hand the finished request to the check stages and free the slot
       // immediately — admission never waits on a check.  The request's
-      // trace span stays open until the check lands (reap_checks).
+      // trace span stays open until the whole report lands (reap_checks).
       checks.push_back(PendingCheck{std::move(slot.req),
                                     slot.dec->take_result(), {}});
       PendingCheck& entry = checks.back();
-      const CheckFn& fn = opts_.check;
+      const std::vector<CheckStage>* const stages = &opts_.checks;
+      const std::vector<StageInstruments>* const instruments = &stage_obs;
       const Request* req = &entry.req;
       const spec::DecodeResult* res = &entry.result;
       entry.fut = pool.submit(
-          [&fn, req, res, h_check, c_check_pass, c_check_fail, trace] {
-            const obs::Span span(trace, "check");
-            const auto check_start = Clock::now();
-            CheckOutcome out = fn(*req, *res);
-            out.wall_seconds =
-                std::chrono::duration<double>(Clock::now() - check_start)
-                    .count();
-            h_check->record(out.wall_seconds);
-            (out.pass ? c_check_pass : c_check_fail)->inc();
-            return out;
+          [stages, instruments, req, res, h_check, trace] {
+            CheckReport report;
+            report.stages.reserve(stages->size());
+            for (std::size_t i = 0; i < stages->size(); ++i) {
+              const CheckStage& cs = (*stages)[i];
+              const std::string span_name = "check:" + cs.name;
+              const obs::Span span(trace, span_name.c_str());
+              const auto stage_start = Clock::now();
+              CheckOutcome out = cs.fn(*req, *res);
+              out.stage = cs.name;
+              out.wall_seconds =
+                  std::chrono::duration<double>(Clock::now() - stage_start)
+                      .count();
+              const StageInstruments& si = (*instruments)[i];
+              si.latency->record(out.wall_seconds);
+              (out.pass ? si.pass : si.fail)->inc();
+              report.stages.push_back(std::move(out));
+            }
+            h_check->record(report.total_seconds());
+            return report;
           });
     }
     slot.dec.reset();
@@ -249,16 +268,22 @@ ServeStats Scheduler::run(const CheckedCompletion& on_complete) {
                         std::future_status::ready) {
         break;
       }
-      const CheckOutcome outcome = front.fut.get();  // rethrows check errors
-      (outcome.pass ? stats.checks_pass : stats.checks_fail) += 1;
+      const CheckReport report = front.fut.get();  // rethrows check errors
+      const bool all_pass = report.pass();
+      (all_pass ? stats.checks_pass : stats.checks_fail) += 1;
+      for (std::size_t i = 0;
+           i < report.stages.size() && i < stats.check_stages.size(); ++i) {
+        auto& ss = stats.check_stages[i];
+        (report.stages[i].pass ? ss.pass : ss.fail) += 1;
+      }
       if (trace != nullptr) {
         char args[96];
         std::snprintf(args, sizeof(args),
                       "{\"tokens\":%zu,\"check_pass\":%s}",
-                      front.result.ids.size(), outcome.pass ? "true" : "false");
+                      front.result.ids.size(), all_pass ? "true" : "false");
         trace->async_end("request", front.req.id, args);
       }
-      on_complete(front.req, std::move(front.result), &outcome);
+      on_complete(front.req, std::move(front.result), &report);
       checks.pop_front();
     }
   };
@@ -595,6 +620,9 @@ ServeStats Scheduler::run(const CheckedCompletion& on_complete) {
   stats.tick = h_tick.stats();
   stats.occupancy_mean = h_occ.stats().mean();
   if (h_check != nullptr) stats.check = h_check->stats();
+  for (std::size_t i = 0; i < stage_obs.size(); ++i) {
+    stats.check_stages[i].latency = stage_obs[i].latency->stats();
+  }
   // A private registry dies with this frame — unhook the queue first.
   if (opts_.metrics == nullptr) queue_.attach_metrics(nullptr);
   return stats;

@@ -11,6 +11,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/metrics.hpp"
 #include "nn/model.hpp"
@@ -25,10 +26,11 @@ namespace vsd::serve {
 
 class SessionCache;
 
-/// Result of a post-acceptance check stage (e.g. `--check lint`) over one
+/// Result of one post-acceptance check stage (e.g. `--check lint`) over one
 /// completed request.  `diagnostics_json` is a JSON array literal ready to
 /// splice into the request's JSON-lines result.
 struct CheckOutcome {
+  std::string stage;  // filled in by the scheduler from the stage's name
   bool pass = true;
   int errors = 0;
   int warnings = 0;
@@ -37,11 +39,44 @@ struct CheckOutcome {
   std::string diagnostics_json = "[]";
 };
 
-/// A check stage: runs on a pool worker after a request's tokens are final,
-/// so it must not touch scheduler state.  Decoding is NOT gated on it —
-/// token output is bit-identical with and without a check installed.
+/// A check stage body: runs on a pool worker after a request's tokens are
+/// final, so it must not touch scheduler state.  Decoding is NOT gated on
+/// any stage — token output is bit-identical with and without checks.
 using CheckFn =
     std::function<CheckOutcome(const Request&, const spec::DecodeResult&)>;
+
+/// A named check stage.  `name` derives the stage's metric names
+/// (`serve.check.<name>_s`, `.pass`, `.fail`) and its `check:<name>` trace
+/// span.  serve/check_stage.hpp is the registry of built-in stages.
+struct CheckStage {
+  std::string name;
+  CheckFn fn;
+};
+
+/// Every stage's outcome for one request, in the configured stage order.
+/// All stages always run (a failing stage does not short-circuit the rest),
+/// so the report shape is fixed per run.
+struct CheckReport {
+  std::vector<CheckOutcome> stages;
+
+  bool pass() const {
+    for (const CheckOutcome& s : stages) {
+      if (!s.pass) return false;
+    }
+    return true;
+  }
+  double total_seconds() const {
+    double t = 0.0;
+    for (const CheckOutcome& s : stages) t += s.wall_seconds;
+    return t;
+  }
+  const CheckOutcome* find(const std::string& name) const {
+    for (const CheckOutcome& s : stages) {
+      if (s.stage == name) return &s;
+    }
+    return nullptr;
+  }
+};
 
 struct SchedulerOptions {
   int workers = 1;  // threads advancing sessions each tick
@@ -82,21 +117,29 @@ struct SchedulerOptions {
   // (`vsd serve --trace FILE`).
   obs::Registry* metrics = nullptr;
   obs::TraceWriter* trace = nullptr;
-  // Post-acceptance check stage (`vsd serve --check lint`).  When set, each
-  // completed request is parsed+checked on the shared pool while decoding
-  // continues; its slot frees immediately, and the completion callback is
-  // invoked once the check lands (FIFO in check-submission order).  The
-  // label derives the metric names: `serve.check.<label>_s` histogram and
-  // `serve.check.<label>.pass` / `.fail` counters, plus a "check" span per
-  // request in the trace timeline.
-  CheckFn check = nullptr;
-  std::string check_label = "check";
+  // Post-acceptance check stages (`vsd serve --check lint,elab`).  When
+  // non-empty, each completed request runs every stage in order on the
+  // shared pool while decoding continues; its slot frees immediately, and
+  // the completion callback is invoked once the whole report lands (FIFO in
+  // check-submission order).  Each stage's name derives its metric names —
+  // `serve.check.<name>_s` histogram, `serve.check.<name>.pass` / `.fail`
+  // counters — and a `check:<name>` span per request in the trace timeline;
+  // `serve.check.total_s` records the per-request total across stages.
+  std::vector<CheckStage> checks{};
 };
 
 /// Serving accounting.  `ticks` counts scheduler iterations: under the
 /// repo's serving-latency model (see eval/harness.hpp) one tick costs one
 /// shared batched base-model forward, which is what the paper's
 /// memory-bandwidth-bound GPU regime measures.
+/// One check stage's accounting for a run.
+struct CheckStageStats {
+  std::string name;
+  int pass = 0;
+  int fail = 0;
+  obs::HistogramStats latency{};
+};
+
 struct ServeStats {
   long ticks = 0;
   int completed = 0;
@@ -117,10 +160,15 @@ struct ServeStats {
   obs::HistogramStats ttft{};
   obs::HistogramStats tick{};
   double occupancy_mean = 0.0;
-  // Check-stage accounting (all zero when no check is installed).
+  // Check-stage accounting (all zero/empty when no checks are installed).
+  // `checks_pass`/`checks_fail` count whole requests (a request passes when
+  // every stage passed); `check` is the per-request total across stages;
+  // `check_stages` carries each stage's own counts and latency quantiles,
+  // in the configured stage order.
   int checks_pass = 0;
   int checks_fail = 0;
   obs::HistogramStats check{};
+  std::vector<CheckStageStats> check_stages;
 };
 
 class Scheduler {
@@ -128,10 +176,10 @@ class Scheduler {
   /// Called on the scheduler thread for each finished request, in
   /// completion order (not admission order).
   using Completion = std::function<void(const Request&, spec::DecodeResult)>;
-  /// Completion that also receives the check stage's outcome — nullptr
-  /// when no check is installed (SchedulerOptions::check is empty).
+  /// Completion that also receives the check stages' report — nullptr
+  /// when no checks are installed (SchedulerOptions::checks is empty).
   using CheckedCompletion = std::function<void(
-      const Request&, spec::DecodeResult, const CheckOutcome*)>;
+      const Request&, spec::DecodeResult, const CheckReport*)>;
 
   Scheduler(const nn::TransformerModel& model, RequestQueue& queue,
             SchedulerOptions opts);

@@ -26,6 +26,7 @@ struct Signal {
   int msb = 0;        // declared bounds; msb may be < lsb
   int lsb = 0;
   bool is_reg = false;
+  bool is_const = false;  // parameter/genvar pseudo-signal: value is fixed
   Value value;        // current value (non-array signals)
 
   // Memory arrays: reg [7:0] m [0:15]
@@ -59,6 +60,26 @@ struct Process {
   std::vector<int> sensitivity;             // ContAssign static sensitivity
 };
 
+/// One formal-to-actual port connection of an elaborated instance, kept for
+/// hierarchical analysis (vlog/dataflow.hpp's port-contract passes).  The
+/// simulator itself only needs the synthesized ContAssign processes; these
+/// records preserve what those assigns erase — which port each one came
+/// from, its direction, and the connection's declared shapes.  Unconnected
+/// ports (explicit `.p()` or simply omitted) are recorded with a null
+/// `actual` so dangling-input checks see them.
+struct PortBinding {
+  std::string instance;     // flat instance path without trailing dot: "u0"
+  std::string module_name;  // instantiated module
+  std::string port;         // formal port name
+  vlog::PortDir dir = vlog::PortDir::Input;
+  int formal_signal = -1;   // flat signal id of the child-side port signal
+  int formal_width = 0;
+  const vlog::Expr* actual = nullptr;  // parent-scope expression, nullable
+  int actual_width = 0;     // best-effort inferred width; 0 when unknown
+  int connect_process = -1; // index of the synthesized ContAssign, -1 if none
+  int line = 0;             // instantiation line
+};
+
 /// A module-scope user function/task visible to the interpreter.
 struct RoutineDef {
   const vlog::FunctionItem* function = nullptr;
@@ -74,6 +95,7 @@ struct Design {
   std::unordered_map<std::string, RoutineDef> routines;  // scoped name
   std::vector<int> top_inputs;   // signal ids of top-level input ports
   std::vector<int> top_outputs;  // signal ids of top-level output ports
+  std::vector<PortBinding> port_bindings;  // every elaborated instance port
 
   /// Synthetic expressions created during elaboration (port-connection
   /// identifiers); owned here so Process pointers stay valid.

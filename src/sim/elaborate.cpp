@@ -4,6 +4,7 @@
 
 #include "sim/design.hpp"
 #include "sim/elab_detail.hpp"
+#include "vlog/const_eval.hpp"
 #include "common/error.hpp"
 
 namespace vsd::sim {
@@ -138,8 +139,16 @@ std::optional<Value> const_eval(const Expr& e, const ParamEnv& env) {
 
 std::optional<std::int64_t> const_eval_int(const Expr& e, const ParamEnv& env) {
   auto v = const_eval(e, env);
-  if (!v || v->has_xz()) return std::nullopt;
-  return v->to_int();
+  if (v && !v->has_xz()) return v->to_int();
+  // Fall back to the shared plain-integer fold (vlog/const_eval.hpp) so both
+  // front ends agree on what counts as a constant in width-free contexts
+  // (ranges, generate bounds): anything lint's const_int folds, we fold.
+  return vlog::fold_int(
+      &e, [&env](const std::string& name) -> std::optional<std::int64_t> {
+        const auto it = env.find(name);
+        if (it == env.end() || it->second.has_xz()) return std::nullopt;
+        return it->second.to_int();
+      });
 }
 
 void collect_reads(const Expr* e, const ScopeResolver& resolve,
@@ -453,6 +462,7 @@ class Elaborator {
       sig.is_signed = value.is_signed();
       sig.msb = value.width() - 1;
       sig.lsb = 0;
+      sig.is_const = true;
       sig.value = value;
       add_signal(std::move(sig));
     }
@@ -581,6 +591,121 @@ class Elaborator {
     add_cont_assign(make_ident(flat_name), &init, prefix);
   }
 
+  /// Best-effort bit width of a parent-scope expression, for the port
+  /// width-contract records.  0 means "unknown or width-flexible" (unsized
+  /// literals, parameters, unresolvable names) and suppresses the check.
+  int expr_width(const Expr* e, const std::string& scope,
+                 const ParamEnv& env) const {
+    if (e == nullptr) return 0;
+    switch (e->kind) {
+      case ExprKind::Number: {
+        const auto& n = static_cast<const vlog::NumberExpr&>(*e);
+        if (n.is_real) return 0;
+        // Only explicitly sized literals ("4'b1010") have a contract width.
+        const auto tick = n.text.find('\'');
+        if (tick == std::string::npos || tick == 0) return 0;
+        return static_cast<int>(n.bits.size());
+      }
+      case ExprKind::Ident: {
+        const int id = resolver(scope)(
+            static_cast<const vlog::IdentExpr&>(*e).full_name());
+        if (id < 0) return 0;
+        const Signal& s = design_->signals[static_cast<std::size_t>(id)];
+        return s.is_const ? 0 : s.width;  // parameters are width-flexible
+      }
+      case ExprKind::Select: {
+        const auto& s = static_cast<const vlog::SelectExpr&>(*e);
+        switch (s.select) {
+          case vlog::SelectKind::Bit: {
+            // m[i] on a memory selects a whole word; on a vector, one bit.
+            if (s.base != nullptr && s.base->kind == ExprKind::Ident) {
+              const int id = resolver(scope)(
+                  static_cast<const vlog::IdentExpr&>(*s.base).full_name());
+              if (id >= 0 &&
+                  design_->signals[static_cast<std::size_t>(id)].is_array) {
+                return design_->signals[static_cast<std::size_t>(id)].width;
+              }
+            }
+            return 1;
+          }
+          case vlog::SelectKind::Part: {
+            const auto msb = const_eval_int(*s.index, env);
+            const auto lsb = const_eval_int(*s.width, env);
+            if (!msb || !lsb) return 0;
+            return static_cast<int>(std::abs(*msb - *lsb)) + 1;
+          }
+          case vlog::SelectKind::IndexedUp:
+          case vlog::SelectKind::IndexedDown: {
+            const auto w = const_eval_int(*s.width, env);
+            return (w && *w > 0) ? static_cast<int>(*w) : 0;
+          }
+        }
+        return 0;
+      }
+      case ExprKind::Concat: {
+        int total = 0;
+        for (const auto& p : static_cast<const vlog::ConcatExpr&>(*e).parts) {
+          const int w = expr_width(p.get(), scope, env);
+          if (w == 0) return 0;
+          total += w;
+        }
+        return total;
+      }
+      case ExprKind::Repl: {
+        const auto& r = static_cast<const vlog::ReplExpr&>(*e);
+        const auto n = const_eval_int(*r.count, env);
+        const int w = expr_width(r.body.get(), scope, env);
+        if (!n || *n < 1 || w == 0) return 0;
+        return static_cast<int>(*n) * w;
+      }
+      case ExprKind::Unary: {
+        const auto& u = static_cast<const vlog::UnaryExpr&>(*e);
+        switch (u.op) {
+          case vlog::UnaryOp::Plus:
+          case vlog::UnaryOp::Minus:
+          case vlog::UnaryOp::BitNot:
+            return expr_width(u.operand.get(), scope, env);
+          default:
+            return 1;  // !x and the reductions
+        }
+      }
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const vlog::BinaryExpr&>(*e);
+        switch (b.op) {
+          case vlog::BinaryOp::Eq:
+          case vlog::BinaryOp::Neq:
+          case vlog::BinaryOp::CaseEq:
+          case vlog::BinaryOp::CaseNeq:
+          case vlog::BinaryOp::Lt:
+          case vlog::BinaryOp::Le:
+          case vlog::BinaryOp::Gt:
+          case vlog::BinaryOp::Ge:
+          case vlog::BinaryOp::LogicAnd:
+          case vlog::BinaryOp::LogicOr:
+            return 1;
+          case vlog::BinaryOp::Shl:
+          case vlog::BinaryOp::Shr:
+          case vlog::BinaryOp::AShl:
+          case vlog::BinaryOp::AShr:
+            return expr_width(b.lhs.get(), scope, env);
+          default: {
+            const int l = expr_width(b.lhs.get(), scope, env);
+            const int r = expr_width(b.rhs.get(), scope, env);
+            return (l == 0 || r == 0) ? 0 : std::max(l, r);
+          }
+        }
+      }
+      case ExprKind::Ternary: {
+        const auto& t = static_cast<const vlog::TernaryExpr&>(*e);
+        const int a = expr_width(t.then_expr.get(), scope, env);
+        const int b = expr_width(t.else_expr.get(), scope, env);
+        return (a == 0 || b == 0) ? 0 : std::max(a, b);
+      }
+      default:
+        return 0;
+    }
+  }
+
   void elab_instance(const vlog::InstanceItem& inst, const std::string& prefix,
                      const ParamEnv& env, int depth) {
     const Module* child = find_module(inst.module_name);
@@ -622,7 +747,26 @@ class Elaborator {
       for (const auto& n : pd.names) dirs[n] = pd.dir;
     }
 
+    // Besides synthesizing the ContAssigns that carry values across the
+    // boundary, record one PortBinding per formal port — connected or not —
+    // so the hierarchical port-contract passes (vlog/dataflow) can see what
+    // the flattening erases.
+    auto start_binding = [&](const std::string& formal) {
+      PortBinding pb;
+      pb.instance = prefix + inst.instance_name;
+      pb.module_name = inst.module_name;
+      pb.port = formal;
+      pb.formal_signal = design_->find(child_prefix + formal);
+      if (pb.formal_signal >= 0) {
+        pb.formal_width =
+            design_->signals[static_cast<std::size_t>(pb.formal_signal)].width;
+      }
+      pb.line = inst.line;
+      return pb;
+    };
+
     std::size_t ordered = 0;
+    std::set<std::string> mentioned;
     for (const auto& c : inst.connections) {
       std::string formal = c.formal;
       if (formal.empty()) {
@@ -631,7 +775,16 @@ class Elaborator {
         }
         formal = formal_order[ordered++];
       }
-      if (c.actual == nullptr) continue;  // .port() — left unconnected
+      mentioned.insert(formal);
+      if (c.actual == nullptr) {  // .port() — left unconnected
+        const auto dir_it = dirs.find(formal);
+        if (dir_it != dirs.end() && design_->find(child_prefix + formal) >= 0) {
+          PortBinding pb = start_binding(formal);
+          pb.dir = dir_it->second;
+          design_->port_bindings.push_back(std::move(pb));
+        }
+        continue;
+      }
       const auto dir_it = dirs.find(formal);
       if (dir_it == dirs.end()) {
         throw ElabFailure("connection to unknown port '" + formal + "' of " +
@@ -641,6 +794,11 @@ class Elaborator {
       if (design_->find(flat_formal) < 0) {
         throw ElabFailure("internal: missing port signal " + flat_formal);
       }
+      PortBinding pb = start_binding(formal);
+      pb.dir = dir_it->second;
+      pb.actual = c.actual.get();
+      pb.actual_width = expr_width(c.actual.get(), prefix, env);
+      pb.connect_process = static_cast<int>(design_->processes.size());
       switch (dir_it->second) {
         case PortDir::Input:
           add_cont_assign(make_ident(flat_formal), c.actual.get(), prefix);
@@ -651,6 +809,16 @@ class Elaborator {
         case PortDir::Inout:
           throw ElabFailure("inout ports are not supported");
       }
+      design_->port_bindings.push_back(std::move(pb));
+    }
+    // Formal ports never mentioned in the connection list are unconnected.
+    for (const auto& formal : formal_order) {
+      if (mentioned.count(formal) > 0) continue;
+      const auto dir_it = dirs.find(formal);
+      if (dir_it == dirs.end() || design_->find(child_prefix + formal) < 0) continue;
+      PortBinding pb = start_binding(formal);
+      pb.dir = dir_it->second;
+      design_->port_bindings.push_back(std::move(pb));
     }
   }
 
@@ -678,6 +846,7 @@ class Elaborator {
       gv.width = 32;
       gv.is_signed = true;
       gv.msb = 31;
+      gv.is_const = true;
       gv.value = Value::from_int(i, 32);
       add_signal(std::move(gv));
 

@@ -1,0 +1,92 @@
+#include "vlog/const_eval.hpp"
+
+namespace vsd::vlog {
+
+std::optional<std::int64_t> fold_int(const Expr* e, const IntResolver& resolve) {
+  if (e == nullptr) return std::nullopt;
+  switch (e->kind) {
+    case ExprKind::Number: {
+      const auto& n = static_cast<const NumberExpr&>(*e);
+      if (n.is_real || n.bits.empty() || n.bits.size() > 62) {
+        return std::nullopt;
+      }
+      std::int64_t v = 0;
+      for (const char c : n.bits) {
+        if (c != '0' && c != '1') return std::nullopt;  // x/z digits
+        v = (v << 1) | (c == '1' ? 1 : 0);
+      }
+      return v;
+    }
+    case ExprKind::Ident: {
+      const auto& id = static_cast<const IdentExpr&>(*e);
+      if (id.path.size() != 1) return std::nullopt;
+      if (!resolve) return std::nullopt;
+      return resolve(id.path.front());
+    }
+    case ExprKind::Unary: {
+      const auto& u = static_cast<const UnaryExpr&>(*e);
+      const auto v = fold_int(u.operand.get(), resolve);
+      if (!v) return std::nullopt;
+      switch (u.op) {
+        case UnaryOp::Plus: return *v;
+        case UnaryOp::Minus: return -*v;
+        case UnaryOp::LogicNot: return *v == 0 ? 1 : 0;
+        default: return std::nullopt;  // ~ and reductions are width-bound
+      }
+    }
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(*e);
+      const auto l = fold_int(b.lhs.get(), resolve);
+      const auto r = fold_int(b.rhs.get(), resolve);
+      if (!l || !r) return std::nullopt;
+      switch (b.op) {
+        case BinaryOp::Add: return *l + *r;
+        case BinaryOp::Sub: return *l - *r;
+        case BinaryOp::Mul: return *l * *r;
+        case BinaryOp::Div:
+          return *r == 0 ? std::nullopt : std::optional<std::int64_t>(*l / *r);
+        case BinaryOp::Mod:
+          return *r == 0 ? std::nullopt : std::optional<std::int64_t>(*l % *r);
+        case BinaryOp::Shl:
+        case BinaryOp::AShl:
+          return (*r < 0 || *r > 62) ? std::nullopt
+                                     : std::optional<std::int64_t>(*l << *r);
+        case BinaryOp::Shr:
+        case BinaryOp::AShr:
+          return (*r < 0 || *r > 62) ? std::nullopt
+                                     : std::optional<std::int64_t>(*l >> *r);
+        case BinaryOp::Lt: return *l < *r ? 1 : 0;
+        case BinaryOp::Le: return *l <= *r ? 1 : 0;
+        case BinaryOp::Gt: return *l > *r ? 1 : 0;
+        case BinaryOp::Ge: return *l >= *r ? 1 : 0;
+        case BinaryOp::Eq: return *l == *r ? 1 : 0;
+        case BinaryOp::Neq: return *l != *r ? 1 : 0;
+        case BinaryOp::LogicAnd: return (*l != 0 && *r != 0) ? 1 : 0;
+        case BinaryOp::LogicOr: return (*l != 0 || *r != 0) ? 1 : 0;
+        case BinaryOp::BitAnd: return *l & *r;
+        case BinaryOp::BitOr: return *l | *r;
+        case BinaryOp::BitXor: return *l ^ *r;
+        case BinaryOp::Pow: {
+          if (*r < 0 || *r > 62) return std::nullopt;
+          std::int64_t v = 1;
+          for (std::int64_t i = 0; i < *r; ++i) {
+            if (v > (1LL << 50)) return std::nullopt;
+            v *= *l;
+          }
+          return v;
+        }
+        default: return std::nullopt;
+      }
+    }
+    case ExprKind::Ternary: {
+      const auto& t = static_cast<const TernaryExpr&>(*e);
+      const auto c = fold_int(t.cond.get(), resolve);
+      if (!c) return std::nullopt;
+      return fold_int(*c != 0 ? t.then_expr.get() : t.else_expr.get(), resolve);
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace vsd::vlog

@@ -1,0 +1,37 @@
+// Shared compile-time constant folding over the AST.
+//
+// Both consumers of constant expressions fold to a plain signed integer:
+// the semantic linter (range bounds, part-select widths, case-label
+// comparisons) and the elaboration/dataflow side (parameter lookups against
+// already-elaborated constant pseudo-signals).  This is the single
+// implementation of that integer fold; callers differ only in how a bare
+// identifier resolves to a value, which they inject through `IntResolver`.
+//
+// The fold is deliberately conservative: anything whose Verilog result
+// depends on operand *width* (bit-not, reductions, wrapping arithmetic on
+// sized operands) returns nullopt rather than a plausible-but-wrong value.
+// Four-state width-accurate evaluation stays in `sim::detail::const_eval`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "vlog/ast.hpp"
+
+namespace vsd::vlog {
+
+/// Maps a bare identifier (parameter, genvar, localparam) to its constant
+/// integer value, or nullopt when the name is not a known constant.
+using IntResolver =
+    std::function<std::optional<std::int64_t>(const std::string&)>;
+
+/// Folds `e` to a signed integer if it is a plain-integer constant
+/// expression: literals without x/z digits up to 62 bits, resolvable
+/// identifiers, +/-/! unary ops, the full binary operator set with
+/// divide-by-zero / shift-range / pow-overflow guards, and ternaries with
+/// foldable conditions.  Returns nullopt otherwise.
+std::optional<std::int64_t> fold_int(const Expr* e, const IntResolver& resolve);
+
+}  // namespace vsd::vlog

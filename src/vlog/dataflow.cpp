@@ -1,0 +1,1137 @@
+#include "vlog/dataflow.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "vlog/const_eval.hpp"
+#include "vlog/parser.hpp"
+
+namespace vsd::vlog {
+
+namespace {
+
+using sim::Design;
+using sim::ProcKind;
+using sim::Signal;
+
+// ---------------------------------------------------------------------------
+// Graph model
+// ---------------------------------------------------------------------------
+
+/// Physical bit range within a signal (lsb-offsets, inclusive).  The
+/// default-constructed value is the "whole signal" wildcard.
+struct BitRange {
+  int lo = 0;
+  int hi = -1;
+  bool whole() const { return hi < lo; }
+};
+
+bool ranges_overlap(const BitRange& a, const BitRange& b) {
+  if (a.whole() || b.whole()) return true;
+  return a.lo <= b.hi && b.lo <= a.hi;
+}
+
+/// One same-tick dependency: reading `src` can change `dst` without a clock
+/// edge in between (continuous assigns and combinational always blocks).
+struct CombEdge {
+  int src = -1;
+  int dst = -1;
+  BitRange use;  // bits of src read
+  BitRange def;  // bits of dst written
+  int line = 0;
+};
+
+/// One non-reset assignment in an edge-triggered always block, with the
+/// reads (data + enclosing conditions) that feed it — the unit the CDC
+/// passes reason about.
+struct SeqAssign {
+  int reg = -1;
+  int clock = -1;
+  int line = 0;
+  bool pure_copy = false;  // rhs is a bare identifier
+  int copy_src = -1;
+  std::set<int> reads;
+};
+
+/// A signal reference with the bit range actually touched.
+struct Ref {
+  int sig = -1;
+  BitRange range;
+};
+
+// ---------------------------------------------------------------------------
+// Analyzer
+// ---------------------------------------------------------------------------
+
+class DesignAnalyzer {
+ public:
+  DesignAnalyzer(const Design& d, std::string top, LintResult& out)
+      : d_(d), top_(std::move(top)), out_(out) {}
+
+  void run() {
+    build();                // also emits L230 / L240 as blocks are walked
+    pass_comb_loops();      // L200
+    pass_cdc();             // L210 / L211
+    pass_port_contracts();  // L220 / L221 / L222
+  }
+
+ private:
+  // ---- diagnostics -------------------------------------------------------
+
+  void diag(Severity sev, const char* code, int line, std::string message,
+            std::string signal = {}) {
+    out_.add(sev, code, line, std::move(message), top_, std::move(signal));
+  }
+
+  const std::string& name(int sig) const {
+    return d_.signals[static_cast<std::size_t>(sig)].name;
+  }
+
+  int width(int sig) const {
+    return d_.signals[static_cast<std::size_t>(sig)].width;
+  }
+
+  // ---- name resolution (mirrors the elaborator's scope chain) ------------
+
+  int resolve(const std::string& scope, const std::string& nm) const {
+    std::string s = scope;
+    while (true) {
+      const int id = d_.find(s + nm);
+      if (id >= 0) return id;
+      if (s.empty()) return -1;
+      const std::size_t dot = s.rfind('.', s.size() - 2);
+      s = dot == std::string::npos ? std::string() : s.substr(0, dot + 1);
+    }
+  }
+
+  /// Constant-signal lookup for fold_int: parameters and genvars survive
+  /// elaboration as is_const pseudo-signals carrying their value.
+  std::optional<std::int64_t> const_lookup(const std::string& scope,
+                                           const std::string& nm) const {
+    const int id = resolve(scope, nm);
+    if (id < 0) return std::nullopt;
+    const Signal& s = d_.signals[static_cast<std::size_t>(id)];
+    if (!s.is_const || s.value.has_xz()) return std::nullopt;
+    return s.value.to_int();
+  }
+
+  std::optional<std::int64_t> fold(const Expr* e,
+                                   const std::string& scope) const {
+    return fold_int(e, [this, &scope](const std::string& nm) {
+      return const_lookup(scope, nm);
+    });
+  }
+
+  // ---- reference collection ----------------------------------------------
+
+  /// Physical bit range a select covers, or whole when not const-foldable.
+  BitRange select_range(const SelectExpr& s, int sig_id,
+                        const std::string& scope) const {
+    const Signal& sig = d_.signals[static_cast<std::size_t>(sig_id)];
+    if (sig.is_array) return {};  // word select: the whole word width
+    switch (s.select) {
+      case SelectKind::Bit: {
+        const auto i = fold(s.index.get(), scope);
+        if (!i) return {};
+        const int off = sig.bit_offset(*i);
+        if (off < 0) return {};
+        return {off, off};
+      }
+      case SelectKind::Part: {
+        const auto m = fold(s.index.get(), scope);
+        const auto l = fold(s.width.get(), scope);
+        if (!m || !l) return {};
+        const int a = sig.bit_offset(*m);
+        const int b = sig.bit_offset(*l);
+        if (a < 0 || b < 0) return {};
+        return {std::min(a, b), std::max(a, b)};
+      }
+      case SelectKind::IndexedUp:
+      case SelectKind::IndexedDown: {
+        const auto i = fold(s.index.get(), scope);
+        const auto w = fold(s.width.get(), scope);
+        if (!i || !w || *w <= 0) return {};
+        const std::int64_t other =
+            s.select == SelectKind::IndexedUp ? *i + *w - 1 : *i - *w + 1;
+        const int a = sig.bit_offset(*i);
+        const int b = sig.bit_offset(other);
+        if (a < 0 || b < 0) return {};
+        return {std::min(a, b), std::max(a, b)};
+      }
+    }
+    return {};
+  }
+
+  /// Signals read by `e`, with bit ranges where const-foldable.  Constant
+  /// pseudo-signals (parameters, genvars) are not dataflow and are skipped.
+  void expr_reads(const Expr* e, const std::string& scope,
+                  std::vector<Ref>& out) const {
+    if (e == nullptr) return;
+    switch (e->kind) {
+      case ExprKind::Ident: {
+        const int id =
+            resolve(scope, static_cast<const IdentExpr&>(*e).full_name());
+        if (id >= 0 && !d_.signals[static_cast<std::size_t>(id)].is_const) {
+          out.push_back({id, BitRange{}});
+        }
+        return;
+      }
+      case ExprKind::Select: {
+        const auto& s = static_cast<const SelectExpr&>(*e);
+        if (s.base != nullptr && s.base->kind == ExprKind::Ident) {
+          const int id = resolve(
+              scope, static_cast<const IdentExpr&>(*s.base).full_name());
+          if (id >= 0 && !d_.signals[static_cast<std::size_t>(id)].is_const) {
+            out.push_back({id, select_range(s, id, scope)});
+          }
+        } else {
+          expr_reads(s.base.get(), scope, out);
+        }
+        expr_reads(s.index.get(), scope, out);
+        expr_reads(s.width.get(), scope, out);
+        return;
+      }
+      case ExprKind::Unary:
+        expr_reads(static_cast<const UnaryExpr&>(*e).operand.get(), scope, out);
+        return;
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const BinaryExpr&>(*e);
+        expr_reads(b.lhs.get(), scope, out);
+        expr_reads(b.rhs.get(), scope, out);
+        return;
+      }
+      case ExprKind::Ternary: {
+        const auto& t = static_cast<const TernaryExpr&>(*e);
+        expr_reads(t.cond.get(), scope, out);
+        expr_reads(t.then_expr.get(), scope, out);
+        expr_reads(t.else_expr.get(), scope, out);
+        return;
+      }
+      case ExprKind::Concat:
+        for (const auto& p : static_cast<const ConcatExpr&>(*e).parts) {
+          expr_reads(p.get(), scope, out);
+        }
+        return;
+      case ExprKind::Repl: {
+        const auto& r = static_cast<const ReplExpr&>(*e);
+        expr_reads(r.count.get(), scope, out);
+        expr_reads(r.body.get(), scope, out);
+        return;
+      }
+      case ExprKind::Call:
+        for (const auto& a : static_cast<const CallExpr&>(*e).args) {
+          expr_reads(a.get(), scope, out);
+        }
+        return;
+      default:
+        return;
+    }
+  }
+
+  /// Assignment targets of an lhs (ident / select / concat of those), plus
+  /// the reads hidden in select indices.
+  void lhs_refs(const Expr* lhs, const std::string& scope,
+                std::vector<Ref>& targets, std::vector<Ref>& index_reads) const {
+    if (lhs == nullptr) return;
+    switch (lhs->kind) {
+      case ExprKind::Ident: {
+        const int id =
+            resolve(scope, static_cast<const IdentExpr&>(*lhs).full_name());
+        if (id >= 0 && !d_.signals[static_cast<std::size_t>(id)].is_const) {
+          targets.push_back({id, BitRange{}});
+        }
+        return;
+      }
+      case ExprKind::Select: {
+        const auto& s = static_cast<const SelectExpr&>(*lhs);
+        if (s.base != nullptr && s.base->kind == ExprKind::Ident) {
+          const int id = resolve(
+              scope, static_cast<const IdentExpr&>(*s.base).full_name());
+          if (id >= 0 && !d_.signals[static_cast<std::size_t>(id)].is_const) {
+            targets.push_back({id, select_range(s, id, scope)});
+          }
+        } else {
+          lhs_refs(s.base.get(), scope, targets, index_reads);
+        }
+        expr_reads(s.index.get(), scope, index_reads);
+        expr_reads(s.width.get(), scope, index_reads);
+        return;
+      }
+      case ExprKind::Concat:
+        for (const auto& p : static_cast<const ConcatExpr&>(*lhs).parts) {
+          lhs_refs(p.get(), scope, targets, index_reads);
+        }
+        return;
+      default:
+        return;
+    }
+  }
+
+  // ---- build --------------------------------------------------------------
+
+  void build() {
+    for (std::size_t pi = 0; pi < d_.processes.size(); ++pi) {
+      const sim::Process& p = d_.processes[pi];
+      switch (p.kind) {
+        case ProcKind::ContAssign:
+          add_cont_assign(static_cast<int>(pi), p);
+          break;
+        case ProcKind::Always:
+          add_always(static_cast<int>(pi), p);
+          break;
+        case ProcKind::Initial:
+          break;  // test stimulus, not hardware
+      }
+    }
+  }
+
+  void record_driver(int sig, const BitRange& range, int pi) {
+    drivers_[sig].push_back({pi, range});
+  }
+
+  void add_cont_assign(int pi, const sim::Process& p) {
+    std::vector<Ref> targets;
+    std::vector<Ref> index_reads;
+    lhs_refs(p.lhs, p.scope, targets, index_reads);
+    std::vector<Ref> reads;
+    expr_reads(p.rhs, p.scope, reads);
+    for (const Ref& r : index_reads) reads.push_back(r);
+    int line = p.lhs != nullptr ? p.lhs->line : 0;
+    if (line == 0 && p.rhs != nullptr) line = p.rhs->line;
+    for (const Ref& t : targets) {
+      record_driver(t.sig, t.range, pi);
+      for (const Ref& r : reads) {
+        comb_edges_.push_back({r.sig, t.sig, r.range, t.range, line});
+      }
+    }
+  }
+
+  void add_always(int pi, const sim::Process& p) {
+    if (p.body == nullptr || p.body->kind != StmtKind::EventControl) {
+      return;  // `always #5 ...` style — testbench, not synthesizable flow
+    }
+    const auto& ec = static_cast<const EventControlStmt&>(*p.body);
+    bool edged = false;
+    for (const auto& ev : ec.events) edged = edged || ev.edge != EdgeKind::Any;
+    if (ec.star || !edged) {
+      walk_comb_block(pi, p, ec.body.get());
+    } else {
+      walk_seq_block(pi, p, ec);
+    }
+  }
+
+  /// Prepass over a block: everything it assigns (also feeds drivers_).
+  void collect_block_writes(const Stmt* s, const std::string& scope,
+                            std::set<int>& out, int pi) {
+    if (s == nullptr) return;
+    switch (s->kind) {
+      case StmtKind::Block:
+        for (const auto& st : static_cast<const BlockStmt&>(*s).body) {
+          collect_block_writes(st.get(), scope, out, pi);
+        }
+        return;
+      case StmtKind::Assign: {
+        const auto& a = static_cast<const AssignStmt&>(*s);
+        std::vector<Ref> targets;
+        std::vector<Ref> index_reads;
+        lhs_refs(a.lhs.get(), scope, targets, index_reads);
+        for (const Ref& t : targets) {
+          if (out.insert(t.sig).second || !t.range.whole()) {
+            record_driver(t.sig, t.range, pi);
+          }
+        }
+        return;
+      }
+      case StmtKind::If: {
+        const auto& i = static_cast<const IfStmt&>(*s);
+        collect_block_writes(i.then_stmt.get(), scope, out, pi);
+        collect_block_writes(i.else_stmt.get(), scope, out, pi);
+        return;
+      }
+      case StmtKind::Case:
+        for (const auto& item : static_cast<const CaseStmt&>(*s).items) {
+          collect_block_writes(item.body.get(), scope, out, pi);
+        }
+        return;
+      case StmtKind::For: {
+        const auto& f = static_cast<const ForStmt&>(*s);
+        collect_block_writes(f.init.get(), scope, out, pi);
+        collect_block_writes(f.step.get(), scope, out, pi);
+        collect_block_writes(f.body.get(), scope, out, pi);
+        return;
+      }
+      case StmtKind::While:
+        collect_block_writes(static_cast<const WhileStmt&>(*s).body.get(),
+                             scope, out, pi);
+        return;
+      case StmtKind::Repeat:
+        collect_block_writes(static_cast<const RepeatStmt&>(*s).body.get(),
+                             scope, out, pi);
+        return;
+      case StmtKind::Forever:
+        collect_block_writes(static_cast<const ForeverStmt&>(*s).body.get(),
+                             scope, out, pi);
+        return;
+      case StmtKind::Delay:
+        collect_block_writes(static_cast<const DelayStmt&>(*s).body.get(),
+                             scope, out, pi);
+        return;
+      case StmtKind::EventControl:
+        collect_block_writes(
+            static_cast<const EventControlStmt&>(*s).body.get(), scope, out, pi);
+        return;
+      case StmtKind::Wait:
+        collect_block_writes(static_cast<const WaitStmt&>(*s).body.get(),
+                             scope, out, pi);
+        return;
+      default:
+        return;
+    }
+  }
+
+  // ---- combinational blocks (comb edges, L230) ---------------------------
+
+  struct CombCtx {
+    const std::string* scope = nullptr;
+    const std::set<int>* writes = nullptr;
+    // Blocking-assignment substitution: current root deps of each signal the
+    // block has assigned so far.  A read of an assigned signal sees those
+    // roots; a read of anything else is itself a root.
+    std::map<int, std::set<int>> defined;
+    std::vector<std::set<int>> ctrl;  // expanded condition deps, stacked
+    std::set<int> l230_reported;
+  };
+
+  void note_comb_read(int sig, int line, CombCtx& c, std::set<int>& roots) {
+    const auto it = c.defined.find(sig);
+    if (it != c.defined.end()) {
+      roots.insert(it->second.begin(), it->second.end());
+      return;
+    }
+    if (c.writes->count(sig) > 0 && c.l230_reported.insert(sig).second) {
+      diag(Severity::Warning, "VSD-L230", line,
+           "combinational block reads '" + name(sig) +
+               "' before assigning it (stale-value hazard)",
+           name(sig));
+    }
+    roots.insert(sig);
+  }
+
+  std::set<int> expand_reads(const Expr* e, int line, CombCtx& c) {
+    std::vector<Ref> reads;
+    expr_reads(e, *c.scope, reads);
+    std::set<int> roots;
+    for (const Ref& r : reads) note_comb_read(r.sig, line, c, roots);
+    return roots;
+  }
+
+  void walk_comb_block(int pi, const sim::Process& p, const Stmt* body) {
+    std::set<int> writes;
+    collect_block_writes(body, p.scope, writes, pi);
+    CombCtx c;
+    c.scope = &p.scope;
+    c.writes = &writes;
+    walk_comb_stmt(body, c);
+  }
+
+  void walk_comb_stmt(const Stmt* s, CombCtx& c) {
+    if (s == nullptr) return;
+    switch (s->kind) {
+      case StmtKind::Block:
+        for (const auto& st : static_cast<const BlockStmt&>(*s).body) {
+          walk_comb_stmt(st.get(), c);
+        }
+        return;
+      case StmtKind::Assign: {
+        const auto& a = static_cast<const AssignStmt&>(*s);
+        std::vector<Ref> targets;
+        std::vector<Ref> index_reads;
+        lhs_refs(a.lhs.get(), *c.scope, targets, index_reads);
+        std::set<int> roots = expand_reads(a.rhs.get(), s->line, c);
+        for (const Ref& ir : index_reads) note_comb_read(ir.sig, s->line, c, roots);
+        for (const auto& cs : c.ctrl) roots.insert(cs.begin(), cs.end());
+        for (const Ref& t : targets) {
+          std::set<int>& defs = c.defined[t.sig];
+          if (t.range.whole()) {
+            defs = roots;
+          } else {
+            defs.insert(roots.begin(), roots.end());  // partial: merge
+          }
+          for (const int r : roots) {
+            comb_edges_.push_back({r, t.sig, BitRange{}, t.range, s->line});
+          }
+        }
+        return;
+      }
+      case StmtKind::If: {
+        const auto& i = static_cast<const IfStmt&>(*s);
+        c.ctrl.push_back(expand_reads(i.cond.get(), s->line, c));
+        walk_comb_stmt(i.then_stmt.get(), c);
+        walk_comb_stmt(i.else_stmt.get(), c);
+        c.ctrl.pop_back();
+        return;
+      }
+      case StmtKind::Case: {
+        const auto& cs = static_cast<const CaseStmt&>(*s);
+        c.ctrl.push_back(expand_reads(cs.subject.get(), s->line, c));
+        for (const auto& item : cs.items) walk_comb_stmt(item.body.get(), c);
+        c.ctrl.pop_back();
+        return;
+      }
+      case StmtKind::For: {
+        const auto& f = static_cast<const ForStmt&>(*s);
+        walk_comb_stmt(f.init.get(), c);
+        c.ctrl.push_back(expand_reads(f.cond.get(), s->line, c));
+        walk_comb_stmt(f.body.get(), c);
+        walk_comb_stmt(f.step.get(), c);
+        c.ctrl.pop_back();
+        return;
+      }
+      case StmtKind::While: {
+        const auto& w = static_cast<const WhileStmt&>(*s);
+        c.ctrl.push_back(expand_reads(w.cond.get(), s->line, c));
+        walk_comb_stmt(w.body.get(), c);
+        c.ctrl.pop_back();
+        return;
+      }
+      case StmtKind::Repeat:
+        walk_comb_stmt(static_cast<const RepeatStmt&>(*s).body.get(), c);
+        return;
+      case StmtKind::Forever:
+        walk_comb_stmt(static_cast<const ForeverStmt&>(*s).body.get(), c);
+        return;
+      case StmtKind::Delay:
+        walk_comb_stmt(static_cast<const DelayStmt&>(*s).body.get(), c);
+        return;
+      case StmtKind::EventControl:
+        walk_comb_stmt(static_cast<const EventControlStmt&>(*s).body.get(), c);
+        return;
+      case StmtKind::Wait:
+        walk_comb_stmt(static_cast<const WaitStmt&>(*s).body.get(), c);
+        return;
+      default:
+        return;
+    }
+  }
+
+  // ---- sequential blocks (domains, SeqAssigns, L240) ---------------------
+
+  /// Value of the reset-if condition when the reset is at its active level,
+  /// or nullopt when the condition is too clever to fold.
+  std::optional<bool> cond_at_reset(const Expr* e,
+                                    const std::map<int, bool>& active,
+                                    const std::string& scope) const {
+    if (e == nullptr) return std::nullopt;
+    switch (e->kind) {
+      case ExprKind::Ident: {
+        const int id =
+            resolve(scope, static_cast<const IdentExpr&>(*e).full_name());
+        const auto it = active.find(id);
+        if (it == active.end()) return std::nullopt;
+        return it->second;
+      }
+      case ExprKind::Unary: {
+        const auto& u = static_cast<const UnaryExpr&>(*e);
+        if (u.op != UnaryOp::LogicNot && u.op != UnaryOp::BitNot) {
+          return std::nullopt;
+        }
+        const auto v = cond_at_reset(u.operand.get(), active, scope);
+        if (!v) return std::nullopt;
+        return !*v;
+      }
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const BinaryExpr&>(*e);
+        if (b.op == BinaryOp::Eq || b.op == BinaryOp::Neq) {
+          const Expr* ident = b.lhs.get();
+          const Expr* num = b.rhs.get();
+          if (ident != nullptr && ident->kind != ExprKind::Ident) {
+            std::swap(ident, num);
+          }
+          const auto v = cond_at_reset(ident, active, scope);
+          const auto n = fold(num, scope);
+          if (!v || !n) return std::nullopt;
+          const bool eq = (*n != 0) == *v;
+          return b.op == BinaryOp::Eq ? eq : !eq;
+        }
+        if (b.op == BinaryOp::LogicAnd || b.op == BinaryOp::LogicOr) {
+          const auto l = cond_at_reset(b.lhs.get(), active, scope);
+          const auto r = cond_at_reset(b.rhs.get(), active, scope);
+          if (b.op == BinaryOp::LogicAnd) {
+            if ((l && !*l) || (r && !*r)) return false;
+            if (l && r) return *l && *r;
+          } else {
+            if ((l && *l) || (r && *r)) return true;
+            if (l && r) return *l || *r;
+          }
+          return std::nullopt;
+        }
+        return std::nullopt;
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+  struct SeqCtx {
+    const std::string* scope = nullptr;
+    int clock = -1;
+    bool in_reset = false;
+    std::set<int> ctrl;  // condition reads below the reset-if
+    std::set<int> reset_assigned;
+    std::map<int, int> nonreset_assigned;  // reg -> first assignment line
+  };
+
+  void walk_seq_stmt(const Stmt* s, SeqCtx& c) {
+    if (s == nullptr) return;
+    switch (s->kind) {
+      case StmtKind::Block:
+        for (const auto& st : static_cast<const BlockStmt&>(*s).body) {
+          walk_seq_stmt(st.get(), c);
+        }
+        return;
+      case StmtKind::Assign: {
+        const auto& a = static_cast<const AssignStmt&>(*s);
+        std::vector<Ref> targets;
+        std::vector<Ref> index_reads;
+        lhs_refs(a.lhs.get(), *c.scope, targets, index_reads);
+        std::vector<Ref> reads;
+        expr_reads(a.rhs.get(), *c.scope, reads);
+        for (const Ref& r : index_reads) reads.push_back(r);
+        const bool bare_ident =
+            a.rhs != nullptr && a.rhs->kind == ExprKind::Ident;
+        for (const Ref& t : targets) {
+          if (reg_domain_.count(t.sig) == 0) reg_domain_[t.sig] = c.clock;
+          if (c.in_reset) {
+            c.reset_assigned.insert(t.sig);
+            continue;
+          }
+          c.nonreset_assigned.emplace(t.sig, s->line);
+          SeqAssign sa;
+          sa.reg = t.sig;
+          sa.clock = c.clock;
+          sa.line = s->line;
+          if (bare_ident && reads.size() == 1 && c.ctrl.empty()) {
+            sa.pure_copy = true;
+            sa.copy_src = reads.front().sig;
+          }
+          for (const Ref& r : reads) sa.reads.insert(r.sig);
+          sa.reads.insert(c.ctrl.begin(), c.ctrl.end());
+          seq_assigns_.push_back(std::move(sa));
+        }
+        return;
+      }
+      case StmtKind::If: {
+        const auto& i = static_cast<const IfStmt&>(*s);
+        std::vector<Ref> cr;
+        expr_reads(i.cond.get(), *c.scope, cr);
+        std::vector<int> added;
+        for (const Ref& r : cr) {
+          if (c.ctrl.insert(r.sig).second) added.push_back(r.sig);
+        }
+        walk_seq_stmt(i.then_stmt.get(), c);
+        walk_seq_stmt(i.else_stmt.get(), c);
+        for (const int sig : added) c.ctrl.erase(sig);
+        return;
+      }
+      case StmtKind::Case: {
+        const auto& cs = static_cast<const CaseStmt&>(*s);
+        std::vector<Ref> cr;
+        expr_reads(cs.subject.get(), *c.scope, cr);
+        std::vector<int> added;
+        for (const Ref& r : cr) {
+          if (c.ctrl.insert(r.sig).second) added.push_back(r.sig);
+        }
+        for (const auto& item : cs.items) walk_seq_stmt(item.body.get(), c);
+        for (const int sig : added) c.ctrl.erase(sig);
+        return;
+      }
+      case StmtKind::For: {
+        const auto& f = static_cast<const ForStmt&>(*s);
+        walk_seq_stmt(f.init.get(), c);
+        walk_seq_stmt(f.body.get(), c);
+        walk_seq_stmt(f.step.get(), c);
+        return;
+      }
+      case StmtKind::While:
+        walk_seq_stmt(static_cast<const WhileStmt&>(*s).body.get(), c);
+        return;
+      case StmtKind::Repeat:
+        walk_seq_stmt(static_cast<const RepeatStmt&>(*s).body.get(), c);
+        return;
+      case StmtKind::Delay:
+        walk_seq_stmt(static_cast<const DelayStmt&>(*s).body.get(), c);
+        return;
+      default:
+        return;
+    }
+  }
+
+  void walk_seq_block(int pi, const sim::Process& p, const EventControlStmt& ec) {
+    std::set<int> writes;
+    collect_block_writes(ec.body.get(), p.scope, writes, pi);
+
+    std::vector<std::pair<int, EdgeKind>> edge_sigs;
+    for (const auto& ev : ec.events) {
+      if (ev.edge == EdgeKind::Any || ev.signal == nullptr) continue;
+      if (ev.signal->kind != ExprKind::Ident) continue;
+      const int id = resolve(
+          p.scope, static_cast<const IdentExpr&>(*ev.signal).full_name());
+      if (id >= 0) edge_sigs.push_back({id, ev.edge});
+    }
+    if (edge_sigs.empty()) return;
+
+    // The reset(s) are the edge signals the body's top-level if tests; the
+    // remaining edge signal is the clock.
+    const IfStmt* reset_if = nullptr;
+    {
+      const Stmt* s = ec.body.get();
+      while (s != nullptr && s->kind == StmtKind::Block) {
+        const auto& b = static_cast<const BlockStmt&>(*s);
+        if (b.body.size() != 1) {
+          s = nullptr;
+          break;
+        }
+        s = b.body.front().get();
+      }
+      if (s != nullptr && s->kind == StmtKind::If) {
+        reset_if = static_cast<const IfStmt*>(s);
+      }
+    }
+    std::set<int> cond_sigs;
+    if (reset_if != nullptr && edge_sigs.size() > 1) {
+      std::vector<Ref> cr;
+      expr_reads(reset_if->cond.get(), p.scope, cr);
+      for (const Ref& r : cr) cond_sigs.insert(r.sig);
+    }
+    int clock = -1;
+    std::map<int, bool> reset_active;  // reset sig -> active level
+    for (const auto& [id, edge] : edge_sigs) {
+      if (cond_sigs.count(id) > 0) {
+        reset_active.emplace(id, edge == EdgeKind::Posedge);
+      } else if (clock < 0) {
+        clock = id;
+      }
+    }
+    if (clock < 0) {
+      clock = edge_sigs.front().first;
+      reset_active.erase(clock);
+    }
+
+    SeqCtx c;
+    c.scope = &p.scope;
+    c.clock = clock;
+    if (!reset_active.empty() && reset_if != nullptr) {
+      const bool then_is_reset =
+          cond_at_reset(reset_if->cond.get(), reset_active, p.scope)
+              .value_or(true);
+      c.in_reset = then_is_reset;
+      walk_seq_stmt(reset_if->then_stmt.get(), c);
+      c.in_reset = !then_is_reset;
+      walk_seq_stmt(reset_if->else_stmt.get(), c);
+      c.in_reset = false;
+
+      // L240: registers this async-reset block updates but never resets.
+      for (const auto& [reg, line] : c.nonreset_assigned) {
+        if (c.reset_assigned.count(reg) > 0) continue;
+        diag(Severity::Warning, "VSD-L240", line,
+             "register '" + name(reg) +
+                 "' is updated in an async-reset block but not assigned on "
+                 "the reset branch",
+             name(reg));
+      }
+    } else {
+      walk_seq_stmt(ec.body.get(), c);
+    }
+  }
+
+  // ---- L200: combinational loops -----------------------------------------
+
+  void pass_comb_loops() {
+    if (comb_edges_.empty()) return;
+    std::map<int, std::vector<int>> adj;  // node -> edge indices out of it
+    std::set<int> nodes;
+    for (std::size_t i = 0; i < comb_edges_.size(); ++i) {
+      adj[comb_edges_[i].src].push_back(static_cast<int>(i));
+      nodes.insert(comb_edges_[i].src);
+      nodes.insert(comb_edges_[i].dst);
+    }
+
+    // Iterative Tarjan SCC.
+    std::map<int, int> index;
+    std::map<int, int> low;
+    std::set<int> on_stack;
+    std::vector<int> stack;
+    int counter = 0;
+    struct Frame {
+      int node;
+      std::size_t next = 0;
+    };
+    for (const int start : nodes) {
+      if (index.count(start) > 0) continue;
+      std::vector<Frame> frames;
+      frames.push_back({start});
+      index[start] = low[start] = counter++;
+      stack.push_back(start);
+      on_stack.insert(start);
+      while (!frames.empty()) {
+        Frame& f = frames.back();
+        const auto it = adj.find(f.node);
+        bool descended = false;
+        while (it != adj.end() && f.next < it->second.size()) {
+          const CombEdge& e = comb_edges_[static_cast<std::size_t>(
+              it->second[f.next++])];
+          const int w = e.dst;
+          if (index.count(w) == 0) {
+            index[w] = low[w] = counter++;
+            stack.push_back(w);
+            on_stack.insert(w);
+            frames.push_back({w});
+            descended = true;
+            break;
+          }
+          if (on_stack.count(w) > 0) low[f.node] = std::min(low[f.node], index[w]);
+        }
+        if (descended) continue;
+        if (low[f.node] == index[f.node]) {
+          std::set<int> scc;
+          while (true) {
+            const int w = stack.back();
+            stack.pop_back();
+            on_stack.erase(w);
+            scc.insert(w);
+            if (w == f.node) break;
+          }
+          report_scc(scc);
+        }
+        const int done = f.node;
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().node] = std::min(low[frames.back().node], low[done]);
+        }
+      }
+    }
+  }
+
+  void report_scc(const std::set<int>& scc) {
+    std::vector<const CombEdge*> inside;
+    for (const CombEdge& e : comb_edges_) {
+      if (scc.count(e.src) > 0 && scc.count(e.dst) > 0) inside.push_back(&e);
+    }
+    if (scc.size() == 1) {
+      bool self = false;
+      for (const CombEdge* e : inside) self = self || e->src == e->dst;
+      if (!self) return;
+    }
+    if (inside.empty()) return;
+    if (!bit_level_cycle(scc, inside)) return;
+
+    // Walk an actual cycle for the message.
+    std::vector<int> path;
+    std::set<int> seen;
+    int cur = *scc.begin();
+    while (seen.insert(cur).second) {
+      path.push_back(cur);
+      int next = -1;
+      for (const CombEdge* e : inside) {
+        if (e->src == cur) {
+          next = e->dst;
+          break;
+        }
+      }
+      if (next < 0) break;
+      cur = next;
+    }
+    std::string msg = "combinational loop: ";
+    std::size_t from = 0;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      if (path[i] == cur) {
+        from = i;
+        break;
+      }
+    }
+    for (std::size_t i = from; i < path.size(); ++i) {
+      msg += name(path[i]) + " -> ";
+    }
+    msg += name(cur);
+
+    int line = 0;
+    for (const CombEdge* e : inside) {
+      if (e->line > 0 && (line == 0 || e->line < line)) line = e->line;
+    }
+    diag(Severity::Error, "VSD-L200", line, std::move(msg), name(cur));
+  }
+
+  /// Re-verifies a signal-level SCC at bit granularity, so per-bit chains
+  /// (carry[i+1] = f(carry[i])) are not reported as loops.  Falls back to
+  /// "it's a loop" when the expansion would be unreasonably large.
+  bool bit_level_cycle(const std::set<int>& scc,
+                       const std::vector<const CombEdge*>& edges) const {
+    long long cost = 0;
+    for (const CombEdge* e : edges) {
+      const long long uw =
+          e->use.whole() ? width(e->src) : e->use.hi - e->use.lo + 1;
+      const long long dw =
+          e->def.whole() ? width(e->dst) : e->def.hi - e->def.lo + 1;
+      cost += uw * dw;
+    }
+    if (cost > 200000) return true;
+
+    std::map<int, int> base;
+    int total = 0;
+    for (const int s : scc) {
+      base[s] = total;
+      total += width(s);
+    }
+    std::vector<std::vector<int>> g(static_cast<std::size_t>(total));
+    for (const CombEdge* e : edges) {
+      const int ulo = e->use.whole() ? 0 : e->use.lo;
+      const int uhi = e->use.whole() ? width(e->src) - 1 : e->use.hi;
+      const int dlo = e->def.whole() ? 0 : e->def.lo;
+      const int dhi = e->def.whole() ? width(e->dst) - 1 : e->def.hi;
+      for (int u = ulo; u <= uhi && u < width(e->src); ++u) {
+        for (int d = dlo; d <= dhi && d < width(e->dst); ++d) {
+          g[static_cast<std::size_t>(base.at(e->src) + u)].push_back(
+              base.at(e->dst) + d);
+        }
+      }
+    }
+
+    // Iterative DFS cycle detection (colors: 0 white, 1 grey, 2 black).
+    std::vector<int> color(static_cast<std::size_t>(total), 0);
+    for (int s = 0; s < total; ++s) {
+      if (color[static_cast<std::size_t>(s)] != 0) continue;
+      std::vector<std::pair<int, std::size_t>> st;
+      st.push_back({s, 0});
+      color[static_cast<std::size_t>(s)] = 1;
+      while (!st.empty()) {
+        auto& [n, next] = st.back();
+        if (next < g[static_cast<std::size_t>(n)].size()) {
+          const int m = g[static_cast<std::size_t>(n)][next++];
+          if (color[static_cast<std::size_t>(m)] == 1) return true;
+          if (color[static_cast<std::size_t>(m)] == 0) {
+            color[static_cast<std::size_t>(m)] = 1;
+            st.push_back({m, 0});
+          }
+        } else {
+          color[static_cast<std::size_t>(n)] = 2;
+          st.pop_back();
+        }
+      }
+    }
+    return false;
+  }
+
+  // ---- L210 / L211: clock-domain crossings -------------------------------
+
+  /// A proper synchronizer front flop: drives no combinational logic, is
+  /// not a top-level output, and every register that samples it is a pure
+  /// copy in the same domain (the second flop).
+  bool clean_sync_front(int q, int domain) const {
+    for (const CombEdge& e : comb_edges_) {
+      if (e.src == q) return false;
+    }
+    for (const int t : d_.top_outputs) {
+      if (t == q) return false;
+    }
+    for (const SeqAssign& sa : seq_assigns_) {
+      if (sa.reads.count(q) == 0) continue;
+      if (sa.clock != domain || !sa.pure_copy || sa.copy_src != q) return false;
+    }
+    return true;
+  }
+
+  void pass_cdc() {
+    if (seq_assigns_.empty()) return;
+    std::map<int, std::vector<const CombEdge*>> into;
+    for (const CombEdge& e : comb_edges_) into[e.dst].push_back(&e);
+
+    std::set<std::pair<int, int>> reported;  // (dst reg, src reg)
+    for (const SeqAssign& sa : seq_assigns_) {
+      for (const int r : sa.reads) {
+        const auto dom = reg_domain_.find(r);
+        if (dom != reg_domain_.end()) {
+          if (dom->second == sa.clock) continue;
+          if (sa.pure_copy && sa.copy_src == r &&
+              clean_sync_front(sa.reg, sa.clock)) {
+            continue;  // front flop of a 2-flop synchronizer
+          }
+          if (reported.insert({sa.reg, r}).second) {
+            diag(Severity::Warning, "VSD-L211", sa.line,
+                 "register '" + name(sa.reg) + "' (clock '" + name(sa.clock) +
+                     "') samples '" + name(r) + "' from clock domain '" +
+                     name(dom->second) + "' without a 2-flop synchronizer",
+                 name(sa.reg));
+          }
+          continue;  // registers terminate the cone
+        }
+        // Fan in through combinational logic to foreign-domain registers.
+        std::vector<int> work{r};
+        std::set<int> visited{r};
+        while (!work.empty()) {
+          const int sig = work.back();
+          work.pop_back();
+          const auto it = into.find(sig);
+          if (it == into.end()) continue;
+          for (const CombEdge* e : it->second) {
+            const int src = e->src;
+            const auto sdom = reg_domain_.find(src);
+            if (sdom != reg_domain_.end()) {
+              if (sdom->second != sa.clock &&
+                  reported.insert({sa.reg, src}).second) {
+                diag(Severity::Warning, "VSD-L210", sa.line,
+                     "clock-domain crossing: '" + name(src) + "' (clock '" +
+                         name(sdom->second) + "') reaches register '" +
+                         name(sa.reg) + "' (clock '" + name(sa.clock) +
+                         "') through combinational logic",
+                     name(sa.reg));
+              }
+              continue;  // do not traverse through registers
+            }
+            if (visited.insert(src).second) work.push_back(src);
+          }
+        }
+      }
+    }
+  }
+
+  // ---- L220 / L221 / L222: port contracts --------------------------------
+
+  void pass_port_contracts() {
+    std::set<int> l221_reported;
+    for (const sim::PortBinding& pb : d_.port_bindings) {
+      const std::string subject = pb.instance + "." + pb.port;
+      if (pb.actual == nullptr) {
+        if (pb.dir == PortDir::Input) {
+          diag(Severity::Warning, "VSD-L222", pb.line,
+               "input port '" + pb.port + "' of instance '" + pb.instance +
+                   "' (module " + pb.module_name + ") is left unconnected",
+               subject);
+        }
+        continue;
+      }
+      if (pb.formal_width > 0 && pb.actual_width > 0 &&
+          pb.formal_width != pb.actual_width) {
+        diag(Severity::Warning, "VSD-L220", pb.line,
+             "port '" + pb.port + "' of instance '" + pb.instance +
+                 "' (module " + pb.module_name + ") is " +
+                 std::to_string(pb.formal_width) + " bits but connects to a " +
+                 std::to_string(pb.actual_width) + "-bit expression",
+             subject);
+      }
+      if (pb.dir == PortDir::Output) {
+        const std::size_t dot = pb.instance.rfind('.');
+        const std::string scope =
+            dot == std::string::npos ? std::string()
+                                     : pb.instance.substr(0, dot + 1);
+        std::vector<Ref> targets;
+        std::vector<Ref> index_reads;
+        lhs_refs(pb.actual, scope, targets, index_reads);
+        for (const Ref& t : targets) {
+          const auto it = drivers_.find(t.sig);
+          if (it == drivers_.end()) continue;
+          for (const auto& [proc, range] : it->second) {
+            if (proc == pb.connect_process) continue;
+            if (!ranges_overlap(range, t.range)) continue;
+            if (l221_reported.insert(t.sig).second) {
+              diag(Severity::Error, "VSD-L221", pb.line,
+                   "net '" + name(t.sig) + "' is driven by output port '" +
+                       subject + "' and by another driver",
+                   name(t.sig));
+            }
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // ---- state --------------------------------------------------------------
+
+  const Design& d_;
+  std::string top_;
+  LintResult& out_;
+
+  std::vector<CombEdge> comb_edges_;
+  std::vector<SeqAssign> seq_assigns_;
+  std::map<int, int> reg_domain_;  // register -> clock signal id
+  std::map<int, std::vector<std::pair<int, BitRange>>> drivers_;
+};
+
+void collect_instantiated(const std::vector<ItemPtr>& items,
+                          std::set<std::string>& out) {
+  for (const auto& item : items) {
+    if (item->kind == ItemKind::Instance) {
+      out.insert(static_cast<const InstanceItem&>(*item).module_name);
+    } else if (item->kind == ItemKind::GenerateFor) {
+      collect_instantiated(static_cast<const GenerateForItem&>(*item).body,
+                           out);
+    }
+  }
+}
+
+}  // namespace
+
+LintResult analyze_design(const sim::Design& design, const std::string& top) {
+  LintResult out;
+  DesignAnalyzer(design, top, out).run();
+  return out;
+}
+
+LintResult analyze_unit(std::shared_ptr<const SourceUnit> unit,
+                        const std::string& top) {
+  LintResult out;
+  if (!unit) return out;
+  std::vector<std::string> roots;
+  if (!top.empty()) {
+    roots.push_back(top);
+  } else {
+    // Every root module: one nothing else instantiates.  A unit where every
+    // module is instantiated (unusual) falls back to the last module, the
+    // same convention sim::check_compiles uses for testbench files.
+    std::set<std::string> instantiated;
+    for (const auto& m : unit->modules) {
+      collect_instantiated(m->items, instantiated);
+    }
+    for (const auto& m : unit->modules) {
+      if (instantiated.count(m->name) == 0) roots.push_back(m->name);
+    }
+    if (roots.empty() && !unit->modules.empty()) {
+      roots.push_back(unit->modules.back()->name);
+    }
+  }
+  for (const std::string& root : roots) {
+    sim::ElabResult er = sim::elaborate(unit, root);
+    if (!er.ok) {
+      out.add(Severity::Error, "VSD-L201", 0,
+              "elaboration of '" + root + "' failed: " + er.error, root);
+      continue;
+    }
+    out.merge(analyze_design(*er.design, root));
+  }
+  out.sort_by_location();
+  return out;
+}
+
+LintResult elab_lint_source(std::string_view source, const std::string& top) {
+  ParseResult pr = parse(source);
+  if (!pr.ok || pr.unit == nullptr || pr.unit->modules.empty()) {
+    LintResult out;
+    out.add(Severity::Error, "VSD-L001", pr.error_line,
+            pr.error.empty() ? "source contains no modules" : pr.error);
+    return out;
+  }
+  return analyze_unit(std::shared_ptr<const SourceUnit>(std::move(pr.unit)),
+                      top);
+}
+
+bool elab_ok(std::string_view source, const std::string& top) {
+  return !elab_lint_source(source, top).has_errors();
+}
+
+}  // namespace vsd::vlog

@@ -1,0 +1,72 @@
+// Hierarchical dataflow analysis — the VSD-L2xx pass family.
+//
+// Where vlog/lint.hpp analyzes one module's AST at a time, these passes run
+// over the *elaborated* sim::Design: the module hierarchy flattened,
+// parameters folded, generate loops unrolled.  That is the representation
+// in which the defects that actually sink generated RTL become visible —
+// a combinational loop closed through an instance boundary, a register
+// sampling another clock domain's flop, a port whose widths disagree only
+// after parameter resolution.
+//
+// Pass catalogue (codes are stable; tests pin them):
+//
+//   code      sev      pass
+//   VSD-L200  error    combinational loop (Tarjan SCC over comb def/use
+//                      edges, verified per-bit so ripple structures like
+//                      carry[i+1] = f(carry[i]) do not false-positive;
+//                      message carries the cycle path)
+//   VSD-L201  error    elaboration failure (unknown module, non-constant
+//                      parameter, unresolved name, ...)
+//   VSD-L210  warning  clock-domain crossing reaches a register through
+//                      combinational logic
+//   VSD-L211  warning  register samples a foreign-domain register directly
+//                      without a 2-flop synchronizer (the front flop of a
+//                      proper synchronizer — pure copy, fanout only into
+//                      same-domain pure-copy flops — is exempt)
+//   VSD-L220  warning  instance port width mismatch (formal vs. actual,
+//                      both widths known after parameter folding)
+//   VSD-L221  error    net connected to an instance output is also driven
+//                      by another process (overlapping bits)
+//   VSD-L222  warning  instance input port left unconnected
+//   VSD-L230  warning  combinational always reads a signal before the
+//                      block assigns it (stale-value hazard)
+//   VSD-L240  warning  register in an async-reset process is not assigned
+//                      on the reset branch
+//
+// Like the flat linter, every pass is conservative: it fires only when the
+// elaborated design proves the condition, and anything dynamic (variable
+// indices, unresolvable widths) gets the benefit of the doubt.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "sim/design.hpp"
+#include "vlog/diagnostics.hpp"
+
+namespace vsd::vlog {
+
+/// Runs the L2xx passes over one elaborated design.  `top` is used as the
+/// module context on the emitted diagnostics.
+LintResult analyze_design(const sim::Design& design, const std::string& top);
+
+/// Elaborates `unit` and analyzes the result.  With `top` empty, every
+/// root module (one no other module instantiates; the last module when all
+/// are instantiated) is elaborated and analyzed.  An elaboration failure
+/// yields a VSD-L201 error diagnostic instead of findings.
+LintResult analyze_unit(std::shared_ptr<const SourceUnit> unit,
+                        const std::string& top = "");
+
+/// Parses `source` and runs analyze_unit.  A parse failure yields the same
+/// single VSD-L001 error diagnostic lint_source produces, so the serving
+/// check stages built on either have one result shape.
+LintResult elab_lint_source(std::string_view source,
+                            const std::string& top = "");
+
+/// True iff `source` parses, elaborates, and carries no Error-severity
+/// L2xx finding — the hierarchical twin of lint_ok, and what `vsd eval`
+/// reports as the elab-clean rate.
+bool elab_ok(std::string_view source, const std::string& top = "");
+
+}  // namespace vsd::vlog

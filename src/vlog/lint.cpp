@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "vlog/const_eval.hpp"
 #include "vlog/parser.hpp"
 
 namespace vsd::vlog {
@@ -143,91 +144,13 @@ class ModuleLinter {
   // ---- constant evaluation ----------------------------------------------
 
   std::optional<long long> const_int(const Expr* e) const {
-    if (e == nullptr) return std::nullopt;
-    switch (e->kind) {
-      case ExprKind::Number: {
-        const auto& n = static_cast<const NumberExpr&>(*e);
-        if (n.is_real || n.bits.empty() || n.bits.size() > 62) {
-          return std::nullopt;
-        }
-        long long v = 0;
-        for (const char c : n.bits) {
-          if (c != '0' && c != '1') return std::nullopt;  // x/z digits
-          v = (v << 1) | (c == '1' ? 1 : 0);
-        }
-        return v;
-      }
-      case ExprKind::Ident: {
-        const auto& id = static_cast<const IdentExpr&>(*e);
-        if (id.path.size() != 1) return std::nullopt;
-        const auto it = params_.find(id.path.front());
-        if (it == params_.end()) return std::nullopt;
-        return it->second;
-      }
-      case ExprKind::Unary: {
-        const auto& u = static_cast<const UnaryExpr&>(*e);
-        const auto v = const_int(u.operand.get());
-        if (!v) return std::nullopt;
-        switch (u.op) {
-          case UnaryOp::Plus: return *v;
-          case UnaryOp::Minus: return -*v;
-          case UnaryOp::LogicNot: return *v == 0 ? 1 : 0;
-          default: return std::nullopt;  // ~ and reductions are width-bound
-        }
-      }
-      case ExprKind::Binary: {
-        const auto& b = static_cast<const BinaryExpr&>(*e);
-        const auto l = const_int(b.lhs.get());
-        const auto r = const_int(b.rhs.get());
-        if (!l || !r) return std::nullopt;
-        switch (b.op) {
-          case BinaryOp::Add: return *l + *r;
-          case BinaryOp::Sub: return *l - *r;
-          case BinaryOp::Mul: return *l * *r;
-          case BinaryOp::Div: return *r == 0 ? std::nullopt
-                                             : std::optional<long long>(*l / *r);
-          case BinaryOp::Mod: return *r == 0 ? std::nullopt
-                                             : std::optional<long long>(*l % *r);
-          case BinaryOp::Shl:
-          case BinaryOp::AShl:
-            return (*r < 0 || *r > 62) ? std::nullopt
-                                       : std::optional<long long>(*l << *r);
-          case BinaryOp::Shr:
-          case BinaryOp::AShr:
-            return (*r < 0 || *r > 62) ? std::nullopt
-                                       : std::optional<long long>(*l >> *r);
-          case BinaryOp::Lt: return *l < *r ? 1 : 0;
-          case BinaryOp::Le: return *l <= *r ? 1 : 0;
-          case BinaryOp::Gt: return *l > *r ? 1 : 0;
-          case BinaryOp::Ge: return *l >= *r ? 1 : 0;
-          case BinaryOp::Eq: return *l == *r ? 1 : 0;
-          case BinaryOp::Neq: return *l != *r ? 1 : 0;
-          case BinaryOp::LogicAnd: return (*l != 0 && *r != 0) ? 1 : 0;
-          case BinaryOp::LogicOr: return (*l != 0 || *r != 0) ? 1 : 0;
-          case BinaryOp::BitAnd: return *l & *r;
-          case BinaryOp::BitOr: return *l | *r;
-          case BinaryOp::BitXor: return *l ^ *r;
-          case BinaryOp::Pow: {
-            if (*r < 0 || *r > 62) return std::nullopt;
-            long long v = 1;
-            for (long long i = 0; i < *r; ++i) {
-              if (v > (1LL << 50)) return std::nullopt;
-              v *= *l;
-            }
-            return v;
-          }
-          default: return std::nullopt;
-        }
-      }
-      case ExprKind::Ternary: {
-        const auto& t = static_cast<const TernaryExpr&>(*e);
-        const auto c = const_int(t.cond.get());
-        if (!c) return std::nullopt;
-        return const_int(*c != 0 ? t.then_expr.get() : t.else_expr.get());
-      }
-      default:
-        return std::nullopt;
-    }
+    // One shared fold (vlog/const_eval.hpp) serves both this linter and the
+    // elaborator; the linter's identifier environment is its parameter map.
+    return fold_int(e, [this](const std::string& name) -> std::optional<std::int64_t> {
+      const auto it = params_.find(name);
+      if (it == params_.end()) return std::nullopt;
+      return it->second;
+    });
   }
 
   void apply_range(Sym& s, const std::optional<Range>& r) {

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "nn/parallel.hpp"
+#include "serve/check_stage.hpp"
 #include "serve/json.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/scheduler.hpp"
@@ -575,7 +576,7 @@ TEST(Scheduler, IdleBurstIsBatchedIntoTheFirstTick) {
   EXPECT_EQ(stats.ticks, expected_ticks);
 }
 
-// --- post-acceptance check stage ---------------------------------------------
+// --- post-acceptance check stages --------------------------------------------
 
 TEST(Scheduler, CheckStageAttachesOutcomesWithoutChangingTokens) {
   const Fixture f;
@@ -602,32 +603,35 @@ TEST(Scheduler, CheckStageAttachesOutcomesWithoutChangingTokens) {
   queue.close();
   std::atomic<int> calls{0};
   SchedulerOptions opts{.workers = 2, .batch = 3, .fuse = true};
-  opts.check = [&calls](const Request&, const spec::DecodeResult& r) {
-    ++calls;
-    CheckOutcome out;
-    out.pass = r.ids.size() % 2 == 0;
-    out.errors = out.pass ? 0 : 1;
-    out.diagnostics_json = "[]";
-    return out;
-  };
-  opts.check_label = "stub";
+  opts.checks = {{"stub", [&calls](const Request&, const spec::DecodeResult& r) {
+                    ++calls;
+                    CheckOutcome out;
+                    out.pass = r.ids.size() % 2 == 0;
+                    out.errors = out.pass ? 0 : 1;
+                    out.diagnostics_json = "[]";
+                    return out;
+                  }}};
   std::map<std::uint64_t, std::vector<int>> ids;
-  std::map<std::uint64_t, CheckOutcome> outcomes;
+  std::map<std::uint64_t, CheckReport> reports;
   Scheduler sched(*f.model, queue, opts);
   const ServeStats stats = sched.run(
-      [&](const Request& req, spec::DecodeResult r, const CheckOutcome* check) {
+      [&](const Request& req, spec::DecodeResult r, const CheckReport* check) {
         ASSERT_NE(check, nullptr) << "request " << req.id;
-        outcomes[req.id] = *check;
+        reports[req.id] = *check;
         ids[req.id] = std::move(r.ids);
       });
 
   // The check observes results; it never gates or reorders token output.
   EXPECT_EQ(ids, base);
   EXPECT_EQ(calls.load(), n);
-  ASSERT_EQ(outcomes.size(), static_cast<std::size_t>(n));
+  ASSERT_EQ(reports.size(), static_cast<std::size_t>(n));
   int expect_pass = 0;
-  for (const auto& [id, out] : outcomes) {
+  for (const auto& [id, report] : reports) {
+    ASSERT_EQ(report.stages.size(), 1u) << "request " << id;
+    const CheckOutcome& out = report.stages[0];
+    EXPECT_EQ(out.stage, "stub");
     EXPECT_EQ(out.pass, ids[id].size() % 2 == 0) << "request " << id;
+    EXPECT_EQ(report.pass(), out.pass);
     EXPECT_GE(out.wall_seconds, 0.0);
     expect_pass += out.pass ? 1 : 0;
   }
@@ -635,9 +639,89 @@ TEST(Scheduler, CheckStageAttachesOutcomesWithoutChangingTokens) {
   EXPECT_EQ(stats.checks_fail, n - expect_pass);
   EXPECT_EQ(stats.check.count, n);
   EXPECT_EQ(stats.completed, n);
+  ASSERT_EQ(stats.check_stages.size(), 1u);
+  EXPECT_EQ(stats.check_stages[0].name, "stub");
+  EXPECT_EQ(stats.check_stages[0].pass, expect_pass);
+  EXPECT_EQ(stats.check_stages[0].fail, n - expect_pass);
+  EXPECT_EQ(stats.check_stages[0].latency.count, n);
   // The unchecked baseline recorded no check-stage accounting.
   EXPECT_EQ(base_stats.checks_pass + base_stats.checks_fail, 0);
   EXPECT_EQ(base_stats.check.count, 0);
+  EXPECT_TRUE(base_stats.check_stages.empty());
+}
+
+TEST(Scheduler, MultiStageChecksComposeInOrderAndFailWholeRequest) {
+  // Two stages with opposite verdicts: "even" passes iff the token count is
+  // even, "odd" iff it is odd.  Every request runs BOTH (no short-circuit),
+  // outcomes arrive in configured order, and the request-level verdict is
+  // the AND across stages — here always fail.  Tokens still match a
+  // check-free baseline.
+  const Fixture f;
+  const int n = 5;
+  const auto base =
+      serve_ids(f, n, {.workers = 2, .batch = 2, .fuse = true}, nullptr);
+
+  const spec::DecodeConfig cfg = greedy_config();
+  const auto prompts = f.prompts(n);
+  RequestQueue queue(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    Request r;
+    r.id = i;
+    r.prompt_ids = prompts[i];
+    r.config = cfg;
+    r.seed = 90 + i;
+    queue.push(std::move(r));
+  }
+  queue.close();
+  const auto parity_stage = [](bool want_even) {
+    return [want_even](const Request&, const spec::DecodeResult& r) {
+      CheckOutcome out;
+      out.pass = (r.ids.size() % 2 == 0) == want_even;
+      out.errors = out.pass ? 0 : 1;
+      return out;
+    };
+  };
+  SchedulerOptions opts{.workers = 2, .batch = 2, .fuse = true};
+  opts.checks = {{"even", parity_stage(true)}, {"odd", parity_stage(false)}};
+  std::map<std::uint64_t, std::vector<int>> ids;
+  std::map<std::uint64_t, CheckReport> reports;
+  Scheduler sched(*f.model, queue, opts);
+  const ServeStats stats = sched.run(
+      [&](const Request& req, spec::DecodeResult r, const CheckReport* check) {
+        ASSERT_NE(check, nullptr);
+        reports[req.id] = *check;
+        ids[req.id] = std::move(r.ids);
+      });
+
+  EXPECT_EQ(ids, base);
+  ASSERT_EQ(reports.size(), static_cast<std::size_t>(n));
+  int even_pass = 0;
+  for (const auto& [id, report] : reports) {
+    ASSERT_EQ(report.stages.size(), 2u);
+    EXPECT_EQ(report.stages[0].stage, "even");
+    EXPECT_EQ(report.stages[1].stage, "odd");
+    // Exactly one parity stage can pass, so the request always fails.
+    EXPECT_NE(report.stages[0].pass, report.stages[1].pass);
+    EXPECT_FALSE(report.pass());
+    EXPECT_EQ(report.find("odd"), &report.stages[1]);
+    EXPECT_GE(report.total_seconds(),
+              report.stages[0].wall_seconds + report.stages[1].wall_seconds -
+                  1e-12);
+    even_pass += report.stages[0].pass ? 1 : 0;
+  }
+  EXPECT_EQ(stats.checks_pass, 0);
+  EXPECT_EQ(stats.checks_fail, n);
+  ASSERT_EQ(stats.check_stages.size(), 2u);
+  EXPECT_EQ(stats.check_stages[0].name, "even");
+  EXPECT_EQ(stats.check_stages[1].name, "odd");
+  EXPECT_EQ(stats.check_stages[0].pass, even_pass);
+  EXPECT_EQ(stats.check_stages[0].fail, n - even_pass);
+  EXPECT_EQ(stats.check_stages[1].pass, n - even_pass);
+  EXPECT_EQ(stats.check_stages[1].fail, even_pass);
+  EXPECT_EQ(stats.check_stages[0].latency.count, n);
+  EXPECT_EQ(stats.check_stages[1].latency.count, n);
+  // The per-request total histogram counts requests, not stage runs.
+  EXPECT_EQ(stats.check.count, n);
 }
 
 TEST(Scheduler, CheckedCompletionGetsNullWhenNoCheckInstalled) {
@@ -653,7 +737,7 @@ TEST(Scheduler, CheckedCompletionGetsNullWhenNoCheckInstalled) {
   queue.close();
   Scheduler sched(*f.model, queue, {.workers = 1, .batch = 1});
   int seen = 0;
-  sched.run([&](const Request&, spec::DecodeResult, const CheckOutcome* check) {
+  sched.run([&](const Request&, spec::DecodeResult, const CheckReport* check) {
     EXPECT_EQ(check, nullptr);
     ++seen;
   });
@@ -675,13 +759,51 @@ TEST(Scheduler, CheckExceptionPropagatesOutOfRun) {
   }
   queue.close();
   SchedulerOptions opts{.workers = 2, .batch = 2};
-  opts.check = [](const Request&, const spec::DecodeResult&) -> CheckOutcome {
-    throw Error("check stage failed");
-  };
+  opts.checks = {
+      {"boom", [](const Request&, const spec::DecodeResult&) -> CheckOutcome {
+         throw Error("check stage failed");
+       }}};
   Scheduler sched(*f.model, queue, opts);
   EXPECT_THROW(
-      sched.run([](const Request&, spec::DecodeResult, const CheckOutcome*) {}),
+      sched.run([](const Request&, spec::DecodeResult, const CheckReport*) {}),
       Error);
+}
+
+TEST(CheckStageRegistry, NamesAndParsing) {
+  const DecodeTextFn decode = [](const spec::DecodeResult&) {
+    return std::string("module m (input a, output y); assign y = a; endmodule");
+  };
+  const std::vector<std::string> names = check_stage_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "lint");
+  EXPECT_EQ(names[1], "elab");
+  for (const std::string& n : names) {
+    EXPECT_TRUE(make_check_stage(n, decode).has_value()) << n;
+  }
+  EXPECT_FALSE(make_check_stage("nope", decode).has_value());
+
+  std::string err;
+  auto stages = parse_check_stages("lint,elab", decode, err);
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_TRUE(err.empty());
+  EXPECT_EQ(stages[0].name, "lint");
+  EXPECT_EQ(stages[1].name, "elab");
+  // Both built-in stages accept a clean module.
+  const Request req;
+  const spec::DecodeResult res;
+  for (const CheckStage& s : stages) {
+    const CheckOutcome out = s.fn(req, res);
+    EXPECT_TRUE(out.pass) << s.name;
+    EXPECT_EQ(out.errors, 0) << s.name;
+  }
+
+  EXPECT_TRUE(parse_check_stages("lint,nope", decode, err).empty());
+  EXPECT_NE(err.find("nope"), std::string::npos);
+  EXPECT_NE(err.find("lint, elab"), std::string::npos);  // names the registry
+  EXPECT_TRUE(parse_check_stages("lint,lint", decode, err).empty());
+  EXPECT_NE(err.find("twice"), std::string::npos);
+  EXPECT_TRUE(parse_check_stages("", decode, err).empty());
+  EXPECT_TRUE(parse_check_stages("lint,", decode, err).empty());
 }
 
 }  // namespace

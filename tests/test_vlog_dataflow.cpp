@@ -1,0 +1,431 @@
+// Tests for the hierarchical dataflow analyzer (vlog/dataflow) — the
+// elaboration-backed VSD-L2xx pass family: one positive (the pass fires on
+// a minimal offending design) and one negative (a clean twin stays silent)
+// per pass, pinned to the stable codes the CLI (`vsd lint --elab`), the
+// serving check stage (`--check elab`), and CI gates key on — plus the
+// corpus gate: every generated training template and the CLI's built-in
+// example must elaborate L2xx-clean.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "common/rng.hpp"
+#include "data/templates.hpp"
+#include "vlog/diagnostics.hpp"
+#include "vlog/dataflow.hpp"
+
+namespace vsd::vlog {
+namespace {
+
+int count_code(const LintResult& r, const std::string& code) {
+  return static_cast<int>(
+      std::count_if(r.diagnostics().begin(), r.diagnostics().end(),
+                    [&](const Diagnostic& d) { return d.code == code; }));
+}
+
+bool has_code(const LintResult& r, const std::string& code) {
+  return count_code(r, code) > 0;
+}
+
+const Diagnostic& find_code(const LintResult& r, const std::string& code) {
+  for (const Diagnostic& d : r.diagnostics()) {
+    if (d.code == code) return d;
+  }
+  ADD_FAILURE() << "no diagnostic with code " << code;
+  static const Diagnostic none{};
+  return none;
+}
+
+bool any_l2xx(const LintResult& r) {
+  return std::any_of(r.diagnostics().begin(), r.diagnostics().end(),
+                     [](const Diagnostic& d) {
+                       return d.code.rfind("VSD-L2", 0) == 0;
+                     });
+}
+
+// --- baseline ----------------------------------------------------------------
+
+TEST(Dataflow, CleanHierarchyHasNoFindings) {
+  const LintResult r = elab_lint_source(
+      "module leaf(input a, input b, output y);\n"
+      "  assign y = a & b;\n"
+      "endmodule\n"
+      "module top(input p, input q, output z);\n"
+      "  leaf u0 (.a(p), .b(q), .y(z));\n"
+      "endmodule\n");
+  EXPECT_TRUE(r.clean()) << diagnostics_json(r.diagnostics());
+  EXPECT_TRUE(elab_ok(
+      "module m(input a, output y);\n  assign y = ~a;\nendmodule\n"));
+}
+
+TEST(Dataflow, ParseFailureYieldsL001) {
+  const LintResult r = elab_lint_source("module m(; endmodule\n");
+  ASSERT_TRUE(has_code(r, "VSD-L001"));
+  EXPECT_FALSE(elab_ok("module m(; endmodule\n"));
+}
+
+// --- L200: combinational loop ------------------------------------------------
+
+TEST(Dataflow, L200CombLoopThroughContinuousAssigns) {
+  const LintResult r = elab_lint_source(
+      "module loop_top (input a, output y);\n"
+      "  wire p, q;\n"
+      "  assign p = q & a;\n"
+      "  assign q = p | a;\n"
+      "  assign y = q;\n"
+      "endmodule\n");
+  ASSERT_TRUE(has_code(r, "VSD-L200")) << diagnostics_json(r.diagnostics());
+  const Diagnostic& d = find_code(r, "VSD-L200");
+  EXPECT_EQ(d.severity, Severity::Error);
+  // The message carries the cycle path through both nets.
+  EXPECT_NE(d.message.find("->"), std::string::npos);
+  EXPECT_NE(d.message.find("p"), std::string::npos);
+  EXPECT_NE(d.message.find("q"), std::string::npos);
+  EXPECT_FALSE(elab_ok(
+      "module loop_top (input a, output y);\n"
+      "  wire p, q;\n"
+      "  assign p = q & a;\n"
+      "  assign q = p | a;\n"
+      "  assign y = q;\n"
+      "endmodule\n"));
+}
+
+TEST(Dataflow, L200FiresOnCombAlwaysSelfDependence) {
+  const LintResult r = elab_lint_source(
+      "module m (input a, output reg y);\n"
+      "  always @(*) y = y ^ a;\n"
+      "endmodule\n");
+  EXPECT_TRUE(has_code(r, "VSD-L200")) << diagnostics_json(r.diagnostics());
+}
+
+TEST(Dataflow, L200SilentOnRippleCarryGenerate) {
+  // carry[i+1] = f(carry[i]) loops at signal granularity; the per-bit
+  // verification must clear it.
+  const LintResult r = elab_lint_source(
+      "module ripple #(parameter W = 8) (input [W-1:0] a, input [W-1:0] b,"
+      " output [W-1:0] s);\n"
+      "  wire [W:0] c;\n"
+      "  assign c[0] = 1'b0;\n"
+      "  genvar i;\n"
+      "  generate\n"
+      "    for (i = 0; i < W; i = i + 1) begin : g\n"
+      "      assign s[i] = a[i] ^ b[i] ^ c[i];\n"
+      "      assign c[i+1] = (a[i] & b[i]) | (c[i] & (a[i] ^ b[i]));\n"
+      "    end\n"
+      "  endgenerate\n"
+      "endmodule\n");
+  EXPECT_FALSE(has_code(r, "VSD-L200")) << diagnostics_json(r.diagnostics());
+}
+
+// --- L201: elaboration failure -----------------------------------------------
+
+TEST(Dataflow, L201UnknownModuleFailsElaboration) {
+  const LintResult r = elab_lint_source(
+      "module top (input a, output y);\n"
+      "  missing u0 (.a(a), .y(y));\n"
+      "endmodule\n");
+  ASSERT_TRUE(has_code(r, "VSD-L201")) << diagnostics_json(r.diagnostics());
+  EXPECT_EQ(find_code(r, "VSD-L201").severity, Severity::Error);
+}
+
+TEST(Dataflow, L201SilentWhenHierarchyElaborates) {
+  const LintResult r = elab_lint_source(
+      "module inner (input a, output y);\n  assign y = a;\nendmodule\n"
+      "module top (input a, output y);\n"
+      "  inner u0 (.a(a), .y(y));\n"
+      "endmodule\n");
+  EXPECT_FALSE(has_code(r, "VSD-L201")) << diagnostics_json(r.diagnostics());
+}
+
+// --- L210 / L211: clock-domain crossings -------------------------------------
+
+TEST(Dataflow, L210CdcThroughCombLogic) {
+  const LintResult r = elab_lint_source(
+      "module cdc_top (input clk_a, input clk_b, input rst_n, input d,"
+      " output reg q_b);\n"
+      "  reg r_a;\n"
+      "  always @(posedge clk_a or negedge rst_n) begin\n"
+      "    if (!rst_n) r_a <= 1'b0;\n"
+      "    else r_a <= d;\n"
+      "  end\n"
+      "  wire mix = r_a & d;\n"
+      "  always @(posedge clk_b or negedge rst_n) begin\n"
+      "    if (!rst_n) q_b <= 1'b0;\n"
+      "    else q_b <= mix;\n"
+      "  end\n"
+      "endmodule\n");
+  ASSERT_TRUE(has_code(r, "VSD-L210")) << diagnostics_json(r.diagnostics());
+  EXPECT_EQ(find_code(r, "VSD-L210").severity, Severity::Warning);
+}
+
+TEST(Dataflow, L211DirectForeignSampleWithoutSynchronizer) {
+  const LintResult r = elab_lint_source(
+      "module l211_top (input clk_a, input clk_b, input d, output reg q);\n"
+      "  reg r_a;\n"
+      "  always @(posedge clk_a) r_a <= d;\n"
+      "  always @(posedge clk_b) q <= r_a;\n"
+      "endmodule\n");
+  EXPECT_TRUE(has_code(r, "VSD-L211")) << diagnostics_json(r.diagnostics());
+}
+
+TEST(Dataflow, TwoFlopSynchronizerIsExempt) {
+  // s1 samples r_a directly but is the front flop of a proper 2-flop
+  // synchronizer: a pure copy whose fanout is same-domain pure copies.
+  const LintResult r = elab_lint_source(
+      "module sync_top (input clk_a, input clk_b, input d, output reg q);\n"
+      "  reg r_a, s1, s2;\n"
+      "  always @(posedge clk_a) r_a <= d;\n"
+      "  always @(posedge clk_b) begin\n"
+      "    s1 <= r_a;\n"
+      "    s2 <= s1;\n"
+      "  end\n"
+      "  always @(posedge clk_b) q <= s2;\n"
+      "endmodule\n");
+  EXPECT_FALSE(has_code(r, "VSD-L210")) << diagnostics_json(r.diagnostics());
+  EXPECT_FALSE(has_code(r, "VSD-L211")) << diagnostics_json(r.diagnostics());
+}
+
+TEST(Dataflow, SameDomainPipelineIsSilent) {
+  const LintResult r = elab_lint_source(
+      "module pipe (input clk, input d, output reg q);\n"
+      "  reg a, b;\n"
+      "  always @(posedge clk) begin\n"
+      "    a <= d;\n"
+      "    b <= a & d;\n"
+      "    q <= b;\n"
+      "  end\n"
+      "endmodule\n");
+  EXPECT_FALSE(has_code(r, "VSD-L210")) << diagnostics_json(r.diagnostics());
+  EXPECT_FALSE(has_code(r, "VSD-L211")) << diagnostics_json(r.diagnostics());
+}
+
+// --- L220 / L221 / L222: port contracts --------------------------------------
+
+TEST(Dataflow, L220PortWidthMismatchAfterParameterFolding) {
+  const LintResult r = elab_lint_source(
+      "module child (input [7:0] in8, output [7:0] out8);\n"
+      "  assign out8 = in8;\n"
+      "endmodule\n"
+      "module port_top (input [3:0] narrow, output [7:0] wide);\n"
+      "  wire [7:0] w;\n"
+      "  child u0 (.in8(narrow), .out8(w));\n"
+      "  assign wide = w;\n"
+      "endmodule\n");
+  ASSERT_TRUE(has_code(r, "VSD-L220")) << diagnostics_json(r.diagnostics());
+  EXPECT_EQ(find_code(r, "VSD-L220").severity, Severity::Warning);
+}
+
+TEST(Dataflow, L220SilentWhenWidthsAgree) {
+  const LintResult r = elab_lint_source(
+      "module child (input [7:0] in8, output [7:0] out8);\n"
+      "  assign out8 = in8;\n"
+      "endmodule\n"
+      "module port_top (input [7:0] a, output [7:0] y);\n"
+      "  child u0 (.in8(a), .out8(y));\n"
+      "endmodule\n");
+  EXPECT_FALSE(has_code(r, "VSD-L220")) << diagnostics_json(r.diagnostics());
+}
+
+TEST(Dataflow, L221InstanceOutputNetDoubleDriven) {
+  const LintResult r = elab_lint_source(
+      "module drv (output o);\n"
+      "  assign o = 1'b1;\n"
+      "endmodule\n"
+      "module l221_top (input a, output y);\n"
+      "  wire n;\n"
+      "  drv u0 (.o(n));\n"
+      "  assign n = a;\n"
+      "  assign y = n;\n"
+      "endmodule\n");
+  ASSERT_TRUE(has_code(r, "VSD-L221")) << diagnostics_json(r.diagnostics());
+  EXPECT_EQ(find_code(r, "VSD-L221").severity, Severity::Error);
+}
+
+TEST(Dataflow, L221SilentWhenOutputNetHasOneDriver) {
+  const LintResult r = elab_lint_source(
+      "module drv (output o);\n"
+      "  assign o = 1'b1;\n"
+      "endmodule\n"
+      "module top (output y);\n"
+      "  wire n;\n"
+      "  drv u0 (.o(n));\n"
+      "  assign y = n;\n"
+      "endmodule\n");
+  EXPECT_FALSE(has_code(r, "VSD-L221")) << diagnostics_json(r.diagnostics());
+}
+
+TEST(Dataflow, L222DanglingInstanceInput) {
+  const LintResult r = elab_lint_source(
+      "module leaf (input a, input b, output y);\n"
+      "  assign y = a & b;\n"
+      "endmodule\n"
+      "module l222_top (input p, output q);\n"
+      "  leaf u0 (.a(p), .y(q));\n"
+      "endmodule\n");
+  ASSERT_TRUE(has_code(r, "VSD-L222")) << diagnostics_json(r.diagnostics());
+  const Diagnostic& d = find_code(r, "VSD-L222");
+  EXPECT_EQ(d.severity, Severity::Warning);
+  EXPECT_NE(d.message.find("b"), std::string::npos);
+}
+
+TEST(Dataflow, L222SilentWhenAllInputsConnected) {
+  const LintResult r = elab_lint_source(
+      "module leaf (input a, input b, output y);\n"
+      "  assign y = a & b;\n"
+      "endmodule\n"
+      "module top (input p, input r, output q);\n"
+      "  leaf u0 (.a(p), .b(r), .y(q));\n"
+      "endmodule\n");
+  EXPECT_FALSE(has_code(r, "VSD-L222")) << diagnostics_json(r.diagnostics());
+}
+
+// --- L230: comb read-before-write --------------------------------------------
+
+TEST(Dataflow, L230ReadBeforeBlockingWrite) {
+  const LintResult r = elab_lint_source(
+      "module l230_top (input [1:0] sel, input a, output reg y);\n"
+      "  reg t;\n"
+      "  always @(*) begin\n"
+      "    y = t;\n"
+      "    t = a & sel[0];\n"
+      "  end\n"
+      "endmodule\n");
+  ASSERT_TRUE(has_code(r, "VSD-L230")) << diagnostics_json(r.diagnostics());
+  EXPECT_EQ(find_code(r, "VSD-L230").severity, Severity::Warning);
+}
+
+TEST(Dataflow, L230SilentWhenWriteComesFirst) {
+  const LintResult r = elab_lint_source(
+      "module m (input [1:0] sel, input a, output reg y);\n"
+      "  reg t;\n"
+      "  always @(*) begin\n"
+      "    t = a & sel[0];\n"
+      "    y = t;\n"
+      "  end\n"
+      "endmodule\n");
+  EXPECT_FALSE(has_code(r, "VSD-L230")) << diagnostics_json(r.diagnostics());
+}
+
+// --- L240: register not reset in an async-reset block ------------------------
+
+TEST(Dataflow, L240RegisterMissingFromResetBranch) {
+  const LintResult r = elab_lint_source(
+      "module l240_top (input clk, input rst_n, input d, output reg q,"
+      " output reg u);\n"
+      "  always @(posedge clk or negedge rst_n) begin\n"
+      "    if (!rst_n) begin\n"
+      "      q <= 1'b0;\n"
+      "    end else begin\n"
+      "      q <= d;\n"
+      "      u <= ~d;\n"
+      "    end\n"
+      "  end\n"
+      "endmodule\n");
+  ASSERT_TRUE(has_code(r, "VSD-L240")) << diagnostics_json(r.diagnostics());
+  const Diagnostic& d = find_code(r, "VSD-L240");
+  EXPECT_EQ(d.severity, Severity::Warning);
+  EXPECT_EQ(d.signal, "u");
+}
+
+TEST(Dataflow, L240SilentWhenEveryRegisterResets) {
+  const LintResult r = elab_lint_source(
+      "module m (input clk, input rst_n, input d, output reg q,"
+      " output reg u);\n"
+      "  always @(posedge clk or negedge rst_n) begin\n"
+      "    if (!rst_n) begin\n"
+      "      q <= 1'b0;\n"
+      "      u <= 1'b0;\n"
+      "    end else begin\n"
+      "      q <= d;\n"
+      "      u <= ~d;\n"
+      "    end\n"
+      "  end\n"
+      "endmodule\n");
+  EXPECT_FALSE(has_code(r, "VSD-L240")) << diagnostics_json(r.diagnostics());
+}
+
+// --- API shape ---------------------------------------------------------------
+
+TEST(Dataflow, TopSelectsTheAnalyzedRoot) {
+  // With --top naming the clean module, the loop module is never
+  // elaborated and the result is clean; with the loop module as top the
+  // L200 fires.
+  const std::string src =
+      "module clean_m (input a, output y);\n  assign y = a;\nendmodule\n"
+      "module loop_m (input a, output y);\n"
+      "  wire p, q;\n"
+      "  assign p = q & a;\n"
+      "  assign q = p | a;\n"
+      "  assign y = q;\n"
+      "endmodule\n";
+  EXPECT_TRUE(elab_ok(src, "clean_m"));
+  EXPECT_FALSE(elab_ok(src, "loop_m"));
+}
+
+TEST(Dataflow, DiagnosticsCarryModuleContext) {
+  const LintResult r = elab_lint_source(
+      "module loop_top (input a, output y);\n"
+      "  wire p, q;\n"
+      "  assign p = q & a;\n"
+      "  assign q = p | a;\n"
+      "  assign y = q;\n"
+      "endmodule\n");
+  ASSERT_TRUE(has_code(r, "VSD-L200"));
+  EXPECT_EQ(find_code(r, "VSD-L200").module, "loop_top");
+  EXPECT_GT(find_code(r, "VSD-L200").line, 0);
+}
+
+// --- corpus gate -------------------------------------------------------------
+// Every training template the data layer generates — and the CLI's
+// built-in example — must elaborate with zero L2xx findings at every
+// severity, or the serving `--check elab` stage would reject the model's
+// own training distribution.
+
+TEST(DataflowCorpus, GeneratedTemplatesAreElabClean) {
+  Rng rng(20240807);
+  for (const std::string& family : data::TemplateLibrary::families()) {
+    for (int i = 0; i < 4; ++i) {
+      const data::RtlSample s =
+          data::TemplateLibrary::generate(family, rng, data::Pool::Train);
+      const LintResult r = elab_lint_source(s.code, s.module_name);
+      EXPECT_FALSE(any_l2xx(r))
+          << "family " << family << " sample " << i << " module "
+          << s.module_name << ":\n"
+          << s.code << "\n"
+          << diagnostics_json(r.diagnostics());
+    }
+  }
+}
+
+TEST(DataflowCorpus, EvalPoolTemplatesAreElabClean) {
+  Rng rng(77);
+  for (const std::string& family : data::TemplateLibrary::families()) {
+    const data::RtlSample s =
+        data::TemplateLibrary::generate(family, rng, data::Pool::Eval);
+    const LintResult r = elab_lint_source(s.code, s.module_name);
+    EXPECT_FALSE(any_l2xx(r)) << "family " << family << ":\n"
+                              << s.code << "\n"
+                              << diagnostics_json(r.diagnostics());
+  }
+}
+
+TEST(DataflowCorpus, BuiltinExampleIsElabClean) {
+  // The same source `vsd lint` analyzes when run with no input.
+  const char* builtin =
+      "module data_register (\n"
+      "    input clk,\n"
+      "    input [3:0] data_in,\n"
+      "    output reg [3:0] data_out\n"
+      ");\n"
+      "    always @(posedge clk) begin\n"
+      "        data_out <= data_in;\n"
+      "    end\n"
+      "endmodule\n";
+  const LintResult r = elab_lint_source(builtin);
+  EXPECT_FALSE(any_l2xx(r)) << diagnostics_json(r.diagnostics());
+  EXPECT_TRUE(elab_ok(builtin));
+}
+
+}  // namespace
+}  // namespace vsd::vlog
