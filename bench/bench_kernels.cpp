@@ -25,8 +25,10 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "nn/kernel_dispatch.hpp"
 #include "nn/kernels.hpp"
 #include "nn/parallel.hpp"
+#include "nn/quant.hpp"
 
 namespace {
 
@@ -57,6 +59,34 @@ void BM_Gemm(benchmark::State& state) {
                           m * k * n);
 }
 
+// The exact-tier dispatched SIMD GEMM (bit-identical to naive by contract;
+// falls back to the blocked scalar kernel when the probe found no vector ISA).
+void simd_exact_gemm(const float* a, const float* b, float* c, int m, int k,
+                     int n) {
+  nn::kernels_for(nn::dispatched_isa(), nn::KernelMode::Exact)
+      .acc_kouter(a, b, c, m, k, n);
+}
+
+// The grouped-int8 compressed-weight path (fast tier: weights are packed
+// once, dequantised in-register per group — NOT bit-identical).
+void BM_GemmInt8(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  const int n = static_cast<int>(state.range(2));
+  Rng rng(5);
+  const nn::Tensor a = nn::Tensor::randn(m, k, 1.0f, rng);
+  const nn::Tensor b = nn::Tensor::randn(k, n, 1.0f, rng);
+  const nn::QuantizedWeights qw = nn::QuantizedWeights::pack(b.data(), k, n);
+  nn::Tensor c(m, n);
+  for (auto _ : state) {
+    c.fill(0.0f);
+    nn::q8_linear_acc(a.data(), qw, c.data(), m);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2ll *
+                          m * k * n);
+}
+
 void register_gemm_benchmarks() {
   const std::vector<std::vector<std::int64_t>> shapes = {
       {1, kD, kD},     {kChain, kD, kD},   // QKV: one row / a drafted chain
@@ -68,6 +98,8 @@ void register_gemm_benchmarks() {
     benchmark::RegisterBenchmark("kouter", BM_Gemm<nn::matmul_acc_kouter>)->Args(s);
     benchmark::RegisterBenchmark("blocked", BM_Gemm<nn::matmul_acc_blocked>)->Args(s);
     benchmark::RegisterBenchmark("parallel", BM_Gemm<nn::matmul_acc_parallel>)->Args(s);
+    benchmark::RegisterBenchmark("simd", BM_Gemm<simd_exact_gemm>)->Args(s);
+    benchmark::RegisterBenchmark("int8", BM_GemmInt8)->Args(s);
   }
 }
 
@@ -94,6 +126,8 @@ struct ShapeReport {
   double kouter_s = 0.0;
   double blocked_s = 0.0;
   double parallel_s = 0.0;
+  double simd_s = 0.0;
+  double int8_s = 0.0;
   bool identical = true;
 };
 
@@ -101,6 +135,7 @@ ShapeReport compare_shape(int m, int k, int n, int reps) {
   Rng rng(11);
   const nn::Tensor a = nn::Tensor::randn(m, k, 1.0f, rng);
   const nn::Tensor b = nn::Tensor::randn(k, n, 1.0f, rng);
+  const nn::QuantizedWeights qw = nn::QuantizedWeights::pack(b.data(), k, n);
   nn::Tensor c(m, n);
   constexpr int kRounds = 5;
 
@@ -111,15 +146,11 @@ ShapeReport compare_shape(int m, int k, int n, int reps) {
   nn::Tensor ref(m, n);
   nn::matmul_acc(a.data(), b.data(), ref.data(), m, k, n);
 
-  const auto check_identical = [&](const char* name) {
+  // Every exact-tier kernel (simd included) must reproduce the reference
+  // bit-for-bit; the int8 path is fast-tier and exempt by design.
+  const auto check_identical = [&](const char* name, const auto& run) {
     nn::Tensor once(m, n);
-    if (std::strcmp(name, "kouter") == 0) {
-      nn::matmul_acc_kouter(a.data(), b.data(), once.data(), m, k, n);
-    } else if (std::strcmp(name, "blocked") == 0) {
-      nn::matmul_acc_blocked(a.data(), b.data(), once.data(), m, k, n);
-    } else {
-      nn::matmul_acc_parallel(a.data(), b.data(), once.data(), m, k, n);
-    }
+    run(once.data());
     if (std::memcmp(once.data(), ref.data(), ref.size() * sizeof(float)) != 0) {
       rep.identical = false;
       std::fprintf(stderr, "kernel %s NOT bit-identical at [%d,%d]x[%d,%d]\n",
@@ -130,26 +161,41 @@ ShapeReport compare_shape(int m, int k, int n, int reps) {
   rep.kouter_s = time_kernel(
       [&] { nn::matmul_acc_kouter(a.data(), b.data(), c.data(), m, k, n); }, c,
       reps, kRounds);
-  check_identical("kouter");
+  check_identical("kouter", [&](float* out) {
+    nn::matmul_acc_kouter(a.data(), b.data(), out, m, k, n);
+  });
   rep.blocked_s = time_kernel(
       [&] { nn::matmul_acc_blocked(a.data(), b.data(), c.data(), m, k, n); }, c,
       reps, kRounds);
-  check_identical("blocked");
+  check_identical("blocked", [&](float* out) {
+    nn::matmul_acc_blocked(a.data(), b.data(), out, m, k, n);
+  });
   rep.parallel_s = time_kernel(
       [&] { nn::matmul_acc_parallel(a.data(), b.data(), c.data(), m, k, n); },
       c, reps, kRounds);
-  check_identical("parallel");
+  check_identical("parallel", [&](float* out) {
+    nn::matmul_acc_parallel(a.data(), b.data(), out, m, k, n);
+  });
+  rep.simd_s = time_kernel(
+      [&] { simd_exact_gemm(a.data(), b.data(), c.data(), m, k, n); }, c, reps,
+      kRounds);
+  check_identical("simd", [&](float* out) {
+    simd_exact_gemm(a.data(), b.data(), out, m, k, n);
+  });
+  rep.int8_s = time_kernel(
+      [&] { nn::q8_linear_acc(a.data(), qw, c.data(), m); }, c, reps, kRounds);
   return rep;
 }
 
 void print_report(const ShapeReport& r, const char* label) {
   std::printf(
       "%-18s [%2d,%3d]x[%3d,%3d]: naive %8.0f ns  kouter %8.0f ns  "
-      "blocked %8.0f ns  parallel %8.0f ns  (blocked %.2fx, parallel %.2fx "
-      "vs naive)%s\n",
+      "blocked %8.0f ns  parallel %8.0f ns  simd %8.0f ns  int8 %8.0f ns  "
+      "(blocked %.2fx, parallel %.2fx, simd %.2fx, int8 %.2fx vs naive)%s\n",
       label, r.m, r.k, r.k, r.n, r.naive_s * 1e9, r.kouter_s * 1e9,
-      r.blocked_s * 1e9, r.parallel_s * 1e9, r.naive_s / r.blocked_s,
-      r.naive_s / r.parallel_s, r.identical ? "" : "  BIT-IDENTITY FAILED");
+      r.blocked_s * 1e9, r.parallel_s * 1e9, r.simd_s * 1e9, r.int8_s * 1e9,
+      r.naive_s / r.blocked_s, r.naive_s / r.parallel_s, r.naive_s / r.simd_s,
+      r.naive_s / r.int8_s, r.identical ? "" : "  BIT-IDENTITY FAILED");
 }
 
 }  // namespace
@@ -187,47 +233,71 @@ int main(int argc, char** argv) {
   print_report(qkv, "qkv chain");
   print_report(logits, "logits fused");
 
-  // Acceptance floor: on the [B, D] x [D, V] logit shape — the GEMM behind
-  // the fused batched forward — the blocked parallel driver must beat the
-  // naive reference loop, with bit-identical output.
+  // Acceptance floors, all on the [B, D] x [D, V] logit shape — the GEMM
+  // behind the fused batched forward: (1) the blocked parallel driver must
+  // beat the naive reference loop, with bit-identical output; (2) when the
+  // CPUID probe dispatched a vector ISA, the exact-tier SIMD kernel must
+  // beat the blocked scalar kernel (on a scalar-only host simd IS blocked,
+  // so the floor is vacuous and skipped).
   const double parallel_speedup = logits.naive_s / logits.parallel_s;
   const double blocked_speedup = logits.naive_s / logits.blocked_s;
+  const double simd_speedup = logits.naive_s / logits.simd_s;
+  const double int8_speedup = logits.naive_s / logits.int8_s;
+  const nn::KernelIsa isa = nn::dispatched_isa();
+  const bool simd_active = isa != nn::KernelIsa::Scalar;
   const bool identical = qkv.identical && logits.identical;
   const bool floor_ok = parallel_speedup > 1.0;
+  const bool floor_simd_ok = !simd_active || simd_speedup > blocked_speedup;
   std::printf("logit-shape floor: parallel %.2fx vs naive (>1.0x %s), "
               "bit-identity %s\n",
               parallel_speedup, floor_ok ? "PASS" : "FAIL",
               identical ? "PASS" : "FAIL");
+  std::printf("logit-shape simd floor (isa %s): simd %.2fx vs blocked %.2fx "
+              "(%s); int8 %.2fx\n",
+              nn::isa_name(isa), simd_speedup, blocked_speedup,
+              simd_active ? (floor_simd_ok ? "PASS" : "FAIL")
+                          : "SKIP: scalar host",
+              int8_speedup);
 
   if (json_path != nullptr) {
     const vsd::bench::Scale scale = vsd::bench::Scale::from_env();
     std::FILE* f = vsd::bench::open_json(json_path, "bench_kernels", scale);
     const auto shape_json = [&](const ShapeReport& r) {
-      char buf[320];
+      char buf[512];
       std::snprintf(
           buf, sizeof(buf),
           "{\"m\": %d, \"k\": %d, \"n\": %d, \"naive_ns\": %.0f, "
           "\"kouter_ns\": %.0f, \"blocked_ns\": %.0f, \"parallel_ns\": %.0f, "
+          "\"simd_ns\": %.0f, \"int8_ns\": %.0f, "
           "\"blocked_speedup\": %.3f, \"parallel_speedup\": %.3f, "
+          "\"simd_speedup\": %.3f, \"int8_speedup\": %.3f, "
           "\"bit_identical\": %s}",
           r.m, r.k, r.n, r.naive_s * 1e9, r.kouter_s * 1e9, r.blocked_s * 1e9,
-          r.parallel_s * 1e9, r.naive_s / r.blocked_s, r.naive_s / r.parallel_s,
+          r.parallel_s * 1e9, r.simd_s * 1e9, r.int8_s * 1e9,
+          r.naive_s / r.blocked_s, r.naive_s / r.parallel_s,
+          r.naive_s / r.simd_s, r.naive_s / r.int8_s,
           r.identical ? "true" : "false");
       return std::string(buf);
     };
     std::fprintf(f,
                  "  \"compute_threads\": %d,\n"
+                 "  \"isa\": \"%s\",\n"
                  "  \"qkv_chain\": %s,\n"
                  "  \"logits_fused\": %s,\n"
                  "  \"logit_parallel_speedup\": %.3f,\n"
                  "  \"logit_blocked_speedup\": %.3f,\n"
+                 "  \"logit_simd_speedup\": %.3f,\n"
+                 "  \"logit_int8_speedup\": %.3f,\n"
                  "  \"floor_parallel_beats_naive\": %s,\n"
+                 "  \"floor_simd_beats_blocked\": %s,\n"
                  "  \"bit_identical\": %s\n}\n",
-                 threads, shape_json(qkv).c_str(), shape_json(logits).c_str(),
-                 parallel_speedup, blocked_speedup, floor_ok ? "true" : "false",
+                 threads, nn::isa_name(isa), shape_json(qkv).c_str(),
+                 shape_json(logits).c_str(), parallel_speedup, blocked_speedup,
+                 simd_speedup, int8_speedup, floor_ok ? "true" : "false",
+                 floor_simd_ok ? "true" : "false",
                  identical ? "true" : "false");
     std::fclose(f);
     std::printf("# wrote %s\n", json_path);
   }
-  return floor_ok && identical ? 0 : 1;
+  return floor_ok && floor_simd_ok && identical ? 0 : 1;
 }

@@ -4,8 +4,10 @@
 #   BENCH_table2.json  — Table-II speed grid (Ours / Medusa / NTP)
 #   BENCH_serve.json   — serial loop vs continuous-batching serving
 #                        throughput (requests/sec, wall + latency model)
-#   BENCH_kernels.json — blocked/parallel GEMM kernels vs the naive
-#                        reference loops on the model's shapes
+#   BENCH_kernels.json — blocked/parallel/simd/int8 GEMM kernels vs the
+#                        naive reference loops on the model's shapes,
+#                        plus the dispatched ISA and the simd-beats-
+#                        blocked floor on the logit shape
 # Raw logs land next to the JSON as BENCH_*.txt.
 #
 # Scale knobs pass through to the benches (see bench/bench_common.hpp):

@@ -10,6 +10,7 @@
 #include "cli/commands.hpp"
 #include "data/dataset.hpp"
 #include "eval/harness.hpp"
+#include "nn/kernel_dispatch.hpp"
 #include "nn/parallel.hpp"
 #include "sim/check.hpp"
 #include "vlog/parser.hpp"
@@ -30,6 +31,10 @@ constexpr OptionSpec kOptions[] = {
     {"compute-threads", true,
      "GEMM compute-pool threads (default: $VSD_COMPUTE_THREADS or hardware\n"
      "                   concurrency; 1 = serial kernels, identical tokens)", "N"},
+    {"kernel", true,
+     "GEMM kernel tier: 'exact' (bit-identical accumulation, the default)\n"
+     "                   or 'fast' (FMA/reassociated SIMD + grouped-int8\n"
+     "                   compressed logit weights; tokens may differ)", "MODE"},
     {"enc-dec", false, "use the encoder-decoder (CodeT5p-like) architecture"},
     {"strict", false, "exit nonzero when the generated code fails the checks"},
     {"help", false, "show this help"},
@@ -84,6 +89,10 @@ int cmd_decode(int argc, const char* const* argv) {
   dc.max_new_tokens = args.get_int("max-tokens", 220);
   dc.num_candidates = args.get_int("candidates", 1);
   dc.temperature = static_cast<float>(args.get_double("temperature", 0.0));
+  nn::KernelMode kernel = nn::kernel_mode();
+  const std::string kernel_name = args.get("kernel", "");
+  const bool kernel_ok =
+      !args.has("kernel") || nn::parse_kernel_mode(kernel_name.c_str(), kernel);
   // Reject degenerate configs before any training, with the flag named —
   // not mid-decode by an opaque check().
   const char* bad_arg = nullptr;
@@ -95,6 +104,8 @@ int cmd_decode(int argc, const char* const* argv) {
     bad_arg = "--temperature must be finite and >= 0 (0 = greedy)";
   else if (args.has("compute-threads") && args.get_int("compute-threads", 0) < 1)
     bad_arg = "--compute-threads must be >= 1 (1 = serial kernels)";
+  else if (!kernel_ok)
+    bad_arg = "--kernel must be exact|fast (exact keeps bit-identical tokens)";
   if (bad_arg != nullptr) {
     std::fprintf(stderr, "vsd decode: %s\n", bad_arg);
     return kExitUsage;
@@ -105,6 +116,9 @@ int cmd_decode(int argc, const char* const* argv) {
     nn::set_compute_threads(args.get_int("compute-threads", 1));
   }
 
+  // Training always runs the exact tier so the weights are identical
+  // across kernel modes; --kernel selects the generation tier below.
+  nn::set_kernel_mode(nn::KernelMode::Exact);
   const data::Dataset dataset = data::build_dataset(dcfg);
   std::printf("dataset: %zu cleaned (module,description) pairs\n",
               dataset.items.size());
@@ -121,10 +135,13 @@ int cmd_decode(int argc, const char* const* argv) {
 
   const std::string prompt =
       data::alpaca_prompt(args.get("prompt", kDefaultInstruction));
+  nn::set_kernel_mode(kernel);
   Rng rng(cfg.seed ^ 0x5eedu);
   const spec::DecodeResult result = eval::generate(sys, prompt, dc, rng);
   const std::string code = sys.tokenizer.decode(result.ids);
-  std::printf("\ngenerated in %d decode steps (%.2f tokens/step):\n%s\n",
+  std::printf("\ngenerated with the %s/%s kernels in %d decode steps "
+              "(%.2f tokens/step):\n%s\n",
+              nn::kernel_mode_name(kernel), nn::isa_name(nn::dispatched_isa()),
               result.steps, result.mean_accepted(), code.c_str());
 
   const bool syntax = vlog::syntax_ok(code);

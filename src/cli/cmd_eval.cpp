@@ -10,6 +10,7 @@
 #include "cli/args.hpp"
 #include "cli/commands.hpp"
 #include "eval/harness.hpp"
+#include "nn/kernel_dispatch.hpp"
 #include "nn/parallel.hpp"
 
 namespace vsd::cli {
@@ -27,6 +28,11 @@ constexpr OptionSpec kOptions[] = {
     {"compute-threads", true,
      "GEMM compute-pool threads (default: $VSD_COMPUTE_THREADS or hardware\n"
      "                   concurrency; 1 = serial kernels, identical scores)", "N"},
+    {"kernel", true,
+     "GEMM kernel tier: 'exact' (bit-identical, default) or 'fast' (SIMD\n"
+     "                   reassociation + int8 compressed logit weights);\n"
+     "                   'fast' additionally reports quality/accept-rate\n"
+     "                   deltas vs the exact tier on the same weights", "MODE"},
     {"max-tokens", true, "generation budget (default 200)"},
     {"seed", true, "global seed (default 1)"},
     {"enc-dec", false, "use the encoder-decoder (CodeT5p-like) architecture"},
@@ -63,6 +69,10 @@ int cmd_eval(int argc, const char* const* argv) {
   const bool enc_dec = args.has("enc-dec");
   const bool run_quality = !args.has("no-quality");
   const bool run_speed = !args.has("no-speed");
+  nn::KernelMode kernel = nn::kernel_mode();
+  const std::string kernel_name = args.get("kernel", "");
+  const bool kernel_ok =
+      !args.has("kernel") || nn::parse_kernel_mode(kernel_name.c_str(), kernel);
   if (!args.error().empty() || !args.positional().empty()) {
     std::fprintf(stderr, "vsd eval: %s\n",
                  args.error().empty() ? "unexpected positional argument"
@@ -72,6 +82,12 @@ int cmd_eval(int argc, const char* const* argv) {
   if (args.has("compute-threads") && args.get_int("compute-threads", 0) < 1) {
     std::fprintf(stderr,
                  "vsd eval: --compute-threads must be >= 1 (1 = serial kernels)\n");
+    return kExitUsage;
+  }
+  if (!kernel_ok) {
+    std::fprintf(stderr,
+                 "vsd eval: --kernel must be exact|fast (exact keeps "
+                 "bit-identical scores)\n");
     return kExitUsage;
   }
   // Size the process-wide GEMM pool before any forward pass runs; scores
@@ -107,8 +123,11 @@ int cmd_eval(int argc, const char* const* argv) {
 
   const spec::Method methods[3] = {spec::Method::Ours, spec::Method::Medusa,
                                    spec::Method::NTP};
+  const bool fast = kernel == nn::KernelMode::Fast;
   eval::BenchScores quality[3];
+  eval::BenchScores quality_fast[3];
   eval::SpeedRow speed[3];
+  eval::SpeedRow speed_fast[3];
   double t_step = 0.0;
   for (int m = 0; m < 3; ++m) {
     eval::SystemConfig cfg;
@@ -118,12 +137,26 @@ int cmd_eval(int argc, const char* const* argv) {
     cfg.seed = seed;
     std::printf("training %-6s ...\n", spec::method_name(methods[m]));
     std::fflush(stdout);
+    // Train and baseline-evaluate with the exact tier: fast-mode deltas
+    // below then measure kernel relaxation on identical weights, not
+    // training divergence.
+    nn::set_kernel_mode(nn::KernelMode::Exact);
     const eval::TrainedSystem sys = eval::train_system(cfg, dataset, tokenizer);
     if (run_quality) quality[m] = eval::evaluate_quality(sys, quality_problems, qopts);
     if (run_speed) {
       const spec::Decoder dec(*sys.model);
       if (t_step == 0.0) t_step = dec.measure_step_seconds(64);
       speed[m] = eval::evaluate_speed(sys, speed_prompts, sopts, t_step);
+    }
+    if (fast) {
+      nn::set_kernel_mode(nn::KernelMode::Fast);
+      if (run_quality) {
+        quality_fast[m] = eval::evaluate_quality(sys, quality_problems, qopts);
+      }
+      if (run_speed) {
+        speed_fast[m] = eval::evaluate_speed(sys, speed_prompts, sopts, t_step);
+      }
+      nn::set_kernel_mode(nn::KernelMode::Exact);
     }
   }
 
@@ -140,6 +173,32 @@ int cmd_eval(int argc, const char* const* argv) {
                   100.0 * s.syn_rate, 100.0 * s.lint_rate, 100.0 * s.elab_rate);
     }
   }
+  if (run_quality && fast) {
+    // Same weights, relaxed kernels: each cell is the fast-tier score with
+    // its delta vs the exact baseline above.
+    std::printf("\n-- quality with --kernel fast (isa %s; delta vs exact) --\n",
+                nn::isa_name(nn::dispatched_isa()));
+    std::printf("%-8s %14s %14s %14s %14s %14s %14s\n", "Method", "func@1",
+                "funcRate", "syn@1", "synRate", "lintRate", "elabRate");
+    for (int m = 0; m < 3; ++m) {
+      const eval::BenchScores& f = quality_fast[m];
+      const eval::BenchScores& e = quality[m];
+      const auto cell = [](double fv, double ev) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.1f%%%+.1f", 100.0 * fv,
+                      100.0 * (fv - ev));
+        return std::string(buf);
+      };
+      std::printf("%-8s %14s %14s %14s %14s %14s %14s\n",
+                  spec::method_name(methods[m]),
+                  cell(f.func_pass_at_k[0], e.func_pass_at_k[0]).c_str(),
+                  cell(f.func_rate, e.func_rate).c_str(),
+                  cell(f.syn_pass_at_k[0], e.syn_pass_at_k[0]).c_str(),
+                  cell(f.syn_rate, e.syn_rate).c_str(),
+                  cell(f.lint_rate, e.lint_rate).c_str(),
+                  cell(f.elab_rate, e.elab_rate).c_str());
+    }
+  }
   if (run_speed) {
     std::printf("\n-- speed (%d prompts, latency model; Eq. 3/4) --\n", prompts);
     std::printf("%-8s %14s %9s %10s %12s\n", "Method", "tok/s (model)", "speedup",
@@ -149,6 +208,21 @@ int cmd_eval(int argc, const char* const* argv) {
                   spec::method_name(methods[m]), speed[m].tokens_per_sec_model,
                   eval::speedup(speed[m], speed[2]), speed[m].mean_accepted,
                   speed[m].tokens_per_sec_wall);
+    }
+  }
+  if (run_speed && fast) {
+    // tok/step is the accept rate of speculative decoding — its delta is
+    // what the relaxed kernels cost (or gain) in acceptance.
+    std::printf("\n-- speed with --kernel fast (delta vs exact) --\n");
+    std::printf("%-8s %16s %18s\n", "Method", "tok/step (delta)",
+                "wall tok/s (delta)");
+    for (int m = 0; m < 3; ++m) {
+      std::printf("%-8s %9.2f %+.2f %12.2f %+.2f\n",
+                  spec::method_name(methods[m]), speed_fast[m].mean_accepted,
+                  speed_fast[m].mean_accepted - speed[m].mean_accepted,
+                  speed_fast[m].tokens_per_sec_wall,
+                  speed_fast[m].tokens_per_sec_wall -
+                      speed[m].tokens_per_sec_wall);
     }
   }
   return kExitOk;

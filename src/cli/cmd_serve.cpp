@@ -24,6 +24,7 @@
 #include "common/trace.hpp"
 #include "data/dataset.hpp"
 #include "eval/harness.hpp"
+#include "nn/kernel_dispatch.hpp"
 #include "nn/parallel.hpp"
 #include "serve/check_stage.hpp"
 #include "serve/json.hpp"
@@ -41,6 +42,10 @@ constexpr OptionSpec kOptions[] = {
     {"compute-threads", true,
      "GEMM compute-pool threads (default: $VSD_COMPUTE_THREADS or hardware\n"
      "                   concurrency; 1 = serial kernels, identical tokens)", "N"},
+    {"kernel", true,
+     "GEMM kernel tier: 'exact' (bit-identical accumulation, the default)\n"
+     "                   or 'fast' (FMA/reassociated SIMD + grouped-int8\n"
+     "                   compressed logit weights; tokens may differ)", "MODE"},
     {"batch", true, "max in-flight requests (default = workers)"},
     {"queue", true, "admission queue capacity (default 2*batch)"},
     {"cache", true, "prompt-prefix KV cache capacity, warm entries (default 16)"},
@@ -131,6 +136,12 @@ int cmd_serve(int argc, const char* const* argv) {
 
   const int workers = args.get_int("workers", 1);
   const int compute_threads = args.get_int("compute-threads", 0);  // 0 = ambient
+  // Kernel tier: the ambient mode ($VSD_KERNEL or exact) unless --kernel
+  // overrides it.  Parsed up front so a typo fails before training.
+  nn::KernelMode kernel = nn::kernel_mode();
+  const std::string kernel_name = args.get("kernel", "");
+  const bool kernel_ok =
+      !args.has("kernel") || nn::parse_kernel_mode(kernel_name.c_str(), kernel);
   const int batch = args.get_int("batch", workers);
   const int queue_cap = args.get_int("queue", 2 * std::max(1, batch));
   const bool use_cache = !args.has("no-cache");
@@ -172,6 +183,8 @@ int cmd_serve(int argc, const char* const* argv) {
     bad_arg = "--workers/--batch/--queue must be >= 1";
   else if (args.has("compute-threads") && compute_threads < 1)
     bad_arg = "--compute-threads must be >= 1 (1 = serial kernels)";
+  else if (!kernel_ok)
+    bad_arg = "--kernel must be exact|fast (exact keeps bit-identical tokens)";
   else if (base_cfg.max_new_tokens < 0) bad_arg = "--max-tokens must be >= 0";
   else if (base_cfg.num_candidates < 1) bad_arg = "--candidates must be >= 1";
   else if (!(std::isfinite(base_cfg.temperature) && base_cfg.temperature >= 0.0f))
@@ -224,6 +237,11 @@ int cmd_serve(int argc, const char* const* argv) {
   if (args.has("compute-threads")) nn::set_compute_threads(compute_threads);
 
   // --- train the system that backs the service ---------------------------
+  // Training always runs the exact tier: the served weights must be
+  // identical across kernel modes, so a --kernel fast run measures kernel
+  // relaxation, not training divergence.  The scheduler asserts the
+  // requested mode at run start.
+  nn::set_kernel_mode(nn::KernelMode::Exact);
   const data::Dataset dataset = data::build_dataset(dcfg);
   const text::Tokenizer tokenizer =
       text::Tokenizer::train(data::tokenizer_corpus(dataset), {.vocab_size = 384});
@@ -297,7 +315,8 @@ int cmd_serve(int argc, const char* const* argv) {
                               .kv_arena = nullptr,
                               .metrics = &reg,
                               .trace = tracer.get(),
-                              .checks = check_stages});
+                              .checks = check_stages,
+                              .kernel = kernel});
 
   // Periodic one-line snapshots (--stats-every): a sampling thread reads
   // the registry — every read is lock-free or a brief registry-map lock —
@@ -400,6 +419,13 @@ int cmd_serve(int argc, const char* const* argv) {
       stats.completed / wall, total_tokens / wall, stats.prefill_positions,
       stats.cached_positions, fuse ? "true" : "false", stats.fused_rows,
       stats.fused_passes);
+  std::printf(
+      ",\"kernel\":{\"mode\":\"%s\",\"isa\":\"%s\",\"quant_matrices\":%d,"
+      "\"quant_int8_bytes\":%zu,\"quant_fp32_bytes\":%zu,"
+      "\"quant_max_abs_err\":%.6f}",
+      nn::kernel_mode_name(stats.kernel), nn::isa_name(stats.isa),
+      stats.quant.matrices, stats.quant.int8_bytes, stats.quant.fp32_bytes,
+      stats.quant.max_abs_error);
   std::printf(
       ",\"latency\":{\"count\":%ld,\"mean_s\":%.4f,\"p50_s\":%.4f,"
       "\"p95_s\":%.4f,\"p99_s\":%.4f,\"max_s\":%.4f}",

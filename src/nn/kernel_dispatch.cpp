@@ -1,0 +1,190 @@
+#include "nn/kernel_dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "nn/kernels.hpp"
+#include "nn/kernels_simd.hpp"
+#include "nn/quant.hpp"
+
+namespace vsd::nn {
+
+namespace {
+
+// This TU is compiled WITHOUT ISA flags: it only probes and selects.  The
+// vectorized bodies live in kernels_simd.cpp (per-file -mavx2 -mfma) and
+// are reached exclusively through the tables below, after the probe said
+// the machine executes them.
+
+bool avx2_available() {
+#if defined(VSD_KERNELS_HAVE_AVX2)
+  // FMA rides along with the AVX2 tier (the fast kernels use it), so both
+  // must probe true before the tier is eligible.
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool neon_available() {
+#if defined(VSD_KERNELS_HAVE_NEON)
+  return true;  // NEON is baseline on every aarch64 this builds for
+#else
+  return false;
+#endif
+}
+
+KernelIsa probe_isa() {
+  if (avx2_available()) return KernelIsa::Avx2;
+  if (neon_available()) return KernelIsa::Neon;
+  return KernelIsa::Scalar;
+}
+
+/// The probe result, optionally capped by VSD_KERNEL_ISA (asking for a
+/// tier this build/machine lacks falls back to scalar, never crashes).
+KernelIsa initial_isa() {
+  KernelIsa isa = probe_isa();
+  if (const char* env = std::getenv("VSD_KERNEL_ISA")) {
+    if (std::strcmp(env, "scalar") == 0) {
+      isa = KernelIsa::Scalar;
+    } else if (std::strcmp(env, "avx2") == 0) {
+      isa = avx2_available() ? KernelIsa::Avx2 : KernelIsa::Scalar;
+    } else if (std::strcmp(env, "neon") == 0) {
+      isa = neon_available() ? KernelIsa::Neon : KernelIsa::Scalar;
+    }
+    // Anything else: ignore the override and keep the probe result.
+  }
+  return isa;
+}
+
+KernelMode initial_mode() {
+  if (const char* env = std::getenv("VSD_KERNEL")) {
+    KernelMode m = KernelMode::Exact;
+    if (parse_kernel_mode(env, m)) return m;
+  }
+  return KernelMode::Exact;
+}
+
+std::mutex g_mu;                     // guards lazy init only
+std::atomic<int> g_isa{-1};          // -1 => not yet probed
+std::atomic<int> g_mode{-1};         // -1 => not yet read from env
+
+// --- the tables --------------------------------------------------------------
+
+constexpr KernelOps kScalarOps{
+    kdetail::matmul_acc_rows, kdetail::matmul_acc_tile,
+    matmul_acc_kouter_blocked, kdetail::matmul_bt_acc_tile,
+    q8_matmul_acc_rows_scalar};
+
+#if defined(VSD_KERNELS_HAVE_AVX2)
+constexpr KernelOps kAvx2ExactOps{
+    simd_avx2::acc_rows_exact, simd_avx2::acc_tile_exact,
+    simd_avx2::acc_kouter_exact,
+    // B^T dot products accumulate over p INSIDE one output element — any
+    // SIMD sweep over p reassociates, so the exact tier keeps the scalar
+    // register-tiled dots.
+    kdetail::matmul_bt_acc_tile, simd_avx2::q8_rows};
+constexpr KernelOps kAvx2FastOps{
+    simd_avx2::acc_rows_fast, simd_avx2::acc_tile_fast,
+    simd_avx2::acc_kouter_fast, simd_avx2::bt_tile_fast, simd_avx2::q8_rows};
+#endif
+
+#if defined(VSD_KERNELS_HAVE_NEON)
+constexpr KernelOps kNeonExactOps{
+    simd_neon::acc_rows_exact, simd_neon::acc_tile_exact,
+    simd_neon::acc_kouter_exact, kdetail::matmul_bt_acc_tile,
+    simd_neon::q8_rows};
+constexpr KernelOps kNeonFastOps{
+    simd_neon::acc_rows_fast, simd_neon::acc_tile_fast,
+    simd_neon::acc_kouter_fast, simd_neon::bt_tile_fast, simd_neon::q8_rows};
+#endif
+
+}  // namespace
+
+KernelIsa dispatched_isa() {
+  const int cached = g_isa.load(std::memory_order_acquire);
+  if (cached >= 0) return static_cast<KernelIsa>(cached);
+  const std::lock_guard<std::mutex> lock(g_mu);
+  if (g_isa.load(std::memory_order_relaxed) < 0) {
+    g_isa.store(static_cast<int>(initial_isa()), std::memory_order_release);
+  }
+  return static_cast<KernelIsa>(g_isa.load(std::memory_order_relaxed));
+}
+
+void set_kernel_isa(KernelIsa isa) {
+  if (!kernel_isa_available(isa)) isa = KernelIsa::Scalar;
+  g_isa.store(static_cast<int>(isa), std::memory_order_release);
+}
+
+bool kernel_isa_available(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::Scalar: return true;
+    case KernelIsa::Avx2: return avx2_available();
+    case KernelIsa::Neon: return neon_available();
+  }
+  return false;
+}
+
+KernelMode kernel_mode() {
+  const int cached = g_mode.load(std::memory_order_acquire);
+  if (cached >= 0) return static_cast<KernelMode>(cached);
+  const std::lock_guard<std::mutex> lock(g_mu);
+  if (g_mode.load(std::memory_order_relaxed) < 0) {
+    g_mode.store(static_cast<int>(initial_mode()), std::memory_order_release);
+  }
+  return static_cast<KernelMode>(g_mode.load(std::memory_order_relaxed));
+}
+
+void set_kernel_mode(KernelMode mode) {
+  g_mode.store(static_cast<int>(mode), std::memory_order_release);
+}
+
+bool parse_kernel_mode(const char* name, KernelMode& out) {
+  if (name == nullptr) return false;
+  if (std::strcmp(name, "exact") == 0) {
+    out = KernelMode::Exact;
+    return true;
+  }
+  if (std::strcmp(name, "fast") == 0) {
+    out = KernelMode::Fast;
+    return true;
+  }
+  return false;
+}
+
+const char* isa_name(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::Scalar: return "scalar";
+    case KernelIsa::Avx2: return "avx2";
+    case KernelIsa::Neon: return "neon";
+  }
+  return "scalar";
+}
+
+const char* kernel_mode_name(KernelMode mode) {
+  return mode == KernelMode::Fast ? "fast" : "exact";
+}
+
+const KernelOps& kernels_for(KernelIsa isa, KernelMode mode) {
+#if defined(VSD_KERNELS_HAVE_AVX2)
+  if (isa == KernelIsa::Avx2 && avx2_available()) {
+    return mode == KernelMode::Fast ? kAvx2FastOps : kAvx2ExactOps;
+  }
+#endif
+#if defined(VSD_KERNELS_HAVE_NEON)
+  if (isa == KernelIsa::Neon && neon_available()) {
+    return mode == KernelMode::Fast ? kNeonFastOps : kNeonExactOps;
+  }
+#endif
+  (void)isa;
+  (void)mode;
+  return kScalarOps;
+}
+
+const KernelOps& active_kernels() {
+  return kernels_for(dispatched_isa(), kernel_mode());
+}
+
+}  // namespace vsd::nn

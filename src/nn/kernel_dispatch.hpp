@@ -1,0 +1,97 @@
+// Runtime kernel dispatch: one CPUID-style probe at startup picks the
+// widest instruction set this binary carries AND this machine executes
+// (AVX2+FMA on x86, NEON on arm), and every GEMM driver in parallel.hpp
+// routes through the selected function table instead of calling the
+// blocked scalar kernels directly.
+//
+// Two independent axes:
+//
+//   * KernelIsa — WHICH instructions run.  Chosen by probe, overridable
+//     with VSD_KERNEL_ISA=scalar (CI's forced-scalar leg) or
+//     set_kernel_isa() (tests).  The exact-mode SIMD kernels vectorize
+//     across output elements only — separate mul/add, same zero-skip, same
+//     per-element accumulation order as the scalar reference — so
+//     switching ISA NEVER changes the produced floats in exact mode.
+//
+//   * KernelMode — WHAT the kernels are allowed to do.  `exact` (default)
+//     keeps the repo's bit-identity contract: every output element
+//     accumulates in the reference order, so T=0 token parity holds across
+//     scalar/AVX2/NEON alike.  `fast` opts into FMA contraction and
+//     within-element reassociation (8-wide dot products), and lets the
+//     model score logits through grouped-int8 compressed weights
+//     (quant.hpp) — measurably faster, no longer bit-identical; the eval
+//     harness and benches ledger its accept-rate/quality deltas.
+//
+// Both knobs are process-global (like the compute pool in parallel.hpp):
+// the CLI sets them from --kernel / $VSD_KERNEL before any forward pass,
+// and the serve scheduler re-asserts its configured mode at run start.
+#pragma once
+
+namespace vsd::nn {
+
+struct QuantizedWeights;
+
+enum class KernelIsa {
+  Scalar = 0,  // the blocked scalar kernels of kernels.hpp
+  Avx2 = 1,    // AVX2 (+FMA in fast mode), x86-64
+  Neon = 2,    // NEON (+vfma in fast mode), arm64
+};
+
+enum class KernelMode {
+  Exact = 0,  // bit-identical accumulation order (default)
+  Fast = 1,   // FMA + reassociation + int8 compressed weights
+};
+
+/// The function table one (isa, mode) pair dispatches to.  Signatures
+/// mirror the kdetail kernels: range kernels cover output rows [i0, i1),
+/// tile kernels an (i, j) rectangle, so the parallel drivers can partition
+/// work identically for every ISA.
+struct KernelOps {
+  using RangeFn = void (*)(const float* a, const float* b, float* c, int k,
+                           int n, int i0, int i1);
+  using TileFn = void (*)(const float* a, const float* b, float* c, int k,
+                          int n, int i0, int i1, int j0, int j1);
+  using GemmFn = void (*)(const float* a, const float* b, float* c, int m,
+                          int k, int n);
+  using Q8RowsFn = void (*)(const float* a, const QuantizedWeights& w,
+                            float* c, int i0, int i1, float* acc);
+
+  RangeFn acc_rows = nullptr;    // C rows += A * B, full width
+  TileFn acc_tile = nullptr;     // C (i, j) rectangle += A * B
+  GemmFn acc_kouter = nullptr;   // whole C += A * B, k-outer j-blocked
+  TileFn bt_tile = nullptr;      // C rectangle += A * B^T (dot products)
+  Q8RowsFn q8_rows = nullptr;    // C rows += A * dequant(W), grouped int8
+};
+
+/// The ISA the probe selected (first call probes; later calls are a load).
+/// VSD_KERNEL_ISA=scalar|avx2|neon caps the probe result — asking for an
+/// ISA the build or machine lacks falls back to scalar, never crashes.
+KernelIsa dispatched_isa();
+
+/// Overrides the dispatched ISA (tests; clamped to what this build/machine
+/// can run, like the env cap).  Not safe while kernels are in flight.
+void set_kernel_isa(KernelIsa isa);
+
+/// True when `isa` is both compiled into this binary and executable here.
+bool kernel_isa_available(KernelIsa isa);
+
+/// Process-wide kernel mode.  First call initializes from VSD_KERNEL
+/// (exact|fast, default exact).
+KernelMode kernel_mode();
+void set_kernel_mode(KernelMode mode);
+
+/// Parses "exact" / "fast"; returns false (out untouched) on anything else.
+bool parse_kernel_mode(const char* name, KernelMode& out);
+
+const char* isa_name(KernelIsa isa);
+const char* kernel_mode_name(KernelMode mode);
+
+/// The table for an explicit (isa, mode) pair — benches and tests compare
+/// tiers side by side.  An unavailable ISA returns the scalar table.
+const KernelOps& kernels_for(KernelIsa isa, KernelMode mode);
+
+/// The table the current (dispatched_isa(), kernel_mode()) selects — what
+/// every parallel.hpp driver runs through.
+const KernelOps& active_kernels();
+
+}  // namespace vsd::nn

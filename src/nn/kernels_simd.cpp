@@ -1,0 +1,513 @@
+// Vectorized kernel tier (see kernels_simd.hpp for the exact/fast
+// contract).  This translation unit is compiled with the ISA flags the
+// kernels need (-mavx2 -mfma on x86) plus -ffp-contract=off: GCC lowers
+// the _mm256_mul_ps/_mm256_add_ps intrinsics to plain vector ops that
+// -ffp-contract=fast would silently fuse into FMA under -mfma — exactly
+// the single-rounding the exact tier must not do.  Explicit
+// _mm256_fmadd_ps is a distinct builtin and still emits FMA in the fast
+// tier.  Nothing here may run unless the dispatch probe selected the ISA.
+#include "nn/kernels_simd.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+
+#include "nn/kernels.hpp"
+#include "nn/quant.hpp"
+
+#if defined(VSD_KERNELS_HAVE_AVX2)
+#include <immintrin.h>
+#endif
+#if defined(VSD_KERNELS_HAVE_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace vsd::nn {
+
+#if defined(VSD_KERNELS_HAVE_AVX2)
+namespace simd_avx2 {
+
+namespace {
+
+/// Sum of the 8 lanes (fast tier only — a reduction reassociates).
+inline float hsum8(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_add_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+  return _mm_cvtss_f32(lo);
+}
+
+}  // namespace
+
+// --- exact tier --------------------------------------------------------------
+// Lane j of every vector owns output element c[i][j] and nothing else, so
+// `c += av * b` is the same mul-then-add rounding the scalar reference
+// performs on that element; the p loop and the zero-skip are untouched.
+
+void acc_rows_exact(const float* a, const float* b, float* c, int k, int n,
+                    int i0, int i1) {
+  const int n8 = n & ~7;
+  for (int p = 0; p < k; ++p) {
+    const float* brow = b + static_cast<std::size_t>(p) * n;
+    for (int i = i0; i < i1; ++i) {
+      const float av = a[static_cast<std::size_t>(i) * k + p];
+      if (av == 0.0f) continue;
+      float* crow = c + static_cast<std::size_t>(i) * n;
+      const __m256 vav = _mm256_set1_ps(av);
+      int j = 0;
+      for (; j < n8; j += 8) {
+        const __m256 prod = _mm256_mul_ps(vav, _mm256_loadu_ps(brow + j));
+        _mm256_storeu_ps(crow + j,
+                         _mm256_add_ps(_mm256_loadu_ps(crow + j), prod));
+      }
+      for (; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void acc_tile_exact(const float* a, const float* b, float* c, int k, int n,
+                    int i0, int i1, int j0, int j1) {
+  using kdetail::kTileCols;
+  using kdetail::kTileRows;
+  for (int ib = i0; ib < i1; ib += kTileRows) {
+    const int ie = std::min(i1, ib + kTileRows);
+    for (int jb = j0; jb < j1; jb += kTileCols) {
+      const int je = std::min(j1, jb + kTileCols);
+      const int je8 = jb + ((je - jb) & ~7);
+      for (int p = 0; p < k; ++p) {
+        const float* brow = b + static_cast<std::size_t>(p) * n;
+        for (int i = ib; i < ie; ++i) {
+          const float av = a[static_cast<std::size_t>(i) * k + p];
+          if (av == 0.0f) continue;
+          float* crow = c + static_cast<std::size_t>(i) * n;
+          const __m256 vav = _mm256_set1_ps(av);
+          int j = jb;
+          for (; j < je8; j += 8) {
+            const __m256 prod = _mm256_mul_ps(vav, _mm256_loadu_ps(brow + j));
+            _mm256_storeu_ps(crow + j,
+                             _mm256_add_ps(_mm256_loadu_ps(crow + j), prod));
+          }
+          for (; j < je; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void acc_kouter_exact(const float* a, const float* b, float* c, int m, int k,
+                      int n) {
+  using kdetail::kTileCols;
+  for (int jb = 0; jb < n; jb += kTileCols) {
+    const int je = std::min(n, jb + kTileCols);
+    const int je8 = jb + ((je - jb) & ~7);
+    for (int p = 0; p < k; ++p) {
+      const float* brow = b + static_cast<std::size_t>(p) * n;
+      for (int i = 0; i < m; ++i) {
+        const float av = a[static_cast<std::size_t>(i) * k + p];
+        if (av == 0.0f) continue;
+        float* crow = c + static_cast<std::size_t>(i) * n;
+        const __m256 vav = _mm256_set1_ps(av);
+        int j = jb;
+        for (; j < je8; j += 8) {
+          const __m256 prod = _mm256_mul_ps(vav, _mm256_loadu_ps(brow + j));
+          _mm256_storeu_ps(crow + j,
+                           _mm256_add_ps(_mm256_loadu_ps(crow + j), prod));
+        }
+        for (; j < je; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+// --- fast tier ---------------------------------------------------------------
+// Same loop structure with FMA contraction; bt_tile additionally
+// vectorizes each dot product over p (reassociation) and q8_rows
+// dequantizes grouped-int8 codes in register.
+
+void acc_rows_fast(const float* a, const float* b, float* c, int k, int n,
+                   int i0, int i1) {
+  const int n8 = n & ~7;
+  for (int p = 0; p < k; ++p) {
+    const float* brow = b + static_cast<std::size_t>(p) * n;
+    for (int i = i0; i < i1; ++i) {
+      const float av = a[static_cast<std::size_t>(i) * k + p];
+      if (av == 0.0f) continue;
+      float* crow = c + static_cast<std::size_t>(i) * n;
+      const __m256 vav = _mm256_set1_ps(av);
+      int j = 0;
+      for (; j < n8; j += 8) {
+        _mm256_storeu_ps(crow + j,
+                         _mm256_fmadd_ps(vav, _mm256_loadu_ps(brow + j),
+                                         _mm256_loadu_ps(crow + j)));
+      }
+      for (; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void acc_tile_fast(const float* a, const float* b, float* c, int k, int n,
+                   int i0, int i1, int j0, int j1) {
+  using kdetail::kTileCols;
+  using kdetail::kTileRows;
+  for (int ib = i0; ib < i1; ib += kTileRows) {
+    const int ie = std::min(i1, ib + kTileRows);
+    for (int jb = j0; jb < j1; jb += kTileCols) {
+      const int je = std::min(j1, jb + kTileCols);
+      const int je8 = jb + ((je - jb) & ~7);
+      for (int p = 0; p < k; ++p) {
+        const float* brow = b + static_cast<std::size_t>(p) * n;
+        for (int i = ib; i < ie; ++i) {
+          const float av = a[static_cast<std::size_t>(i) * k + p];
+          if (av == 0.0f) continue;
+          float* crow = c + static_cast<std::size_t>(i) * n;
+          const __m256 vav = _mm256_set1_ps(av);
+          int j = jb;
+          for (; j < je8; j += 8) {
+            _mm256_storeu_ps(crow + j,
+                             _mm256_fmadd_ps(vav, _mm256_loadu_ps(brow + j),
+                                             _mm256_loadu_ps(crow + j)));
+          }
+          for (; j < je; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void acc_kouter_fast(const float* a, const float* b, float* c, int m, int k,
+                     int n) {
+  using kdetail::kTileCols;
+  for (int jb = 0; jb < n; jb += kTileCols) {
+    const int je = std::min(n, jb + kTileCols);
+    const int je8 = jb + ((je - jb) & ~7);
+    for (int p = 0; p < k; ++p) {
+      const float* brow = b + static_cast<std::size_t>(p) * n;
+      for (int i = 0; i < m; ++i) {
+        const float av = a[static_cast<std::size_t>(i) * k + p];
+        if (av == 0.0f) continue;
+        float* crow = c + static_cast<std::size_t>(i) * n;
+        const __m256 vav = _mm256_set1_ps(av);
+        int j = jb;
+        for (; j < je8; j += 8) {
+          _mm256_storeu_ps(crow + j,
+                           _mm256_fmadd_ps(vav, _mm256_loadu_ps(brow + j),
+                                           _mm256_loadu_ps(crow + j)));
+        }
+        for (; j < je; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void bt_tile_fast(const float* a, const float* b, float* c, int k, int n,
+                  int i0, int i1, int j0, int j1) {
+  using kdetail::kTileRows;
+  constexpr int kDotCols = 8;
+  const int k8 = k & ~7;
+  for (int ib = i0; ib < i1; ib += kTileRows) {
+    const int ie = std::min(i1, ib + kTileRows);
+    for (int jb = j0; jb < j1; jb += kDotCols) {
+      const int je = std::min(j1, jb + kDotCols);
+      for (int i = ib; i < ie; ++i) {
+        const float* arow = a + static_cast<std::size_t>(i) * k;
+        float* crow = c + static_cast<std::size_t>(i) * n;
+        for (int j = jb; j < je; ++j) {
+          const float* brow = b + static_cast<std::size_t>(j) * k;
+          __m256 vacc = _mm256_setzero_ps();
+          int p = 0;
+          for (; p < k8; p += 8) {
+            vacc = _mm256_fmadd_ps(_mm256_loadu_ps(arow + p),
+                                   _mm256_loadu_ps(brow + p), vacc);
+          }
+          float acc = hsum8(vacc);
+          for (; p < k; ++p) acc += arow[p] * brow[p];
+          crow[j] += acc;
+        }
+      }
+    }
+  }
+}
+
+void q8_rows(const float* a, const QuantizedWeights& w, float* c, int i0,
+             int i1, float* acc) {
+  const int k = w.k;
+  const int n = w.n;
+  const int n8 = n & ~7;
+  for (int i = i0; i < i1; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    float* crow = c + static_cast<std::size_t>(i) * n;
+    for (int g = 0; g * w.group < k; ++g) {
+      const int p0 = g * w.group;
+      const int p1 = std::min(k, p0 + w.group);
+      std::fill(acc, acc + n, 0.0f);
+      float rowsum = 0.0f;
+      for (int p = p0; p < p1; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        rowsum += av;
+        const std::int8_t* qrow = w.q.data() + static_cast<std::size_t>(p) * n;
+        const __m256 vav = _mm256_set1_ps(av);
+        int j = 0;
+        for (; j < n8; j += 8) {
+          const __m128i q8 =
+              _mm_loadl_epi64(reinterpret_cast<const __m128i*>(qrow + j));
+          const __m256 qf = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(q8));
+          _mm256_storeu_ps(acc + j,
+                           _mm256_fmadd_ps(vav, qf, _mm256_loadu_ps(acc + j)));
+        }
+        for (; j < n; ++j) acc[j] += av * static_cast<float>(qrow[j]);
+      }
+      const float* sc = w.scale.data() + static_cast<std::size_t>(g) * n;
+      const float* zr = w.zero.data() + static_cast<std::size_t>(g) * n;
+      const __m256 vsum = _mm256_set1_ps(rowsum);
+      int j = 0;
+      for (; j < n8; j += 8) {
+        __m256 cv = _mm256_loadu_ps(crow + j);
+        cv = _mm256_fmadd_ps(vsum, _mm256_loadu_ps(zr + j), cv);
+        cv = _mm256_fmadd_ps(_mm256_loadu_ps(sc + j), _mm256_loadu_ps(acc + j),
+                             cv);
+        _mm256_storeu_ps(crow + j, cv);
+      }
+      for (; j < n; ++j) crow[j] += rowsum * zr[j] + sc[j] * acc[j];
+    }
+  }
+}
+
+}  // namespace simd_avx2
+#endif  // VSD_KERNELS_HAVE_AVX2
+
+#if defined(VSD_KERNELS_HAVE_NEON)
+namespace simd_neon {
+
+namespace {
+
+inline float hsum4(float32x4_t v) { return vaddvq_f32(v); }
+
+}  // namespace
+
+// NEON mirrors the AVX2 tiers 4 lanes wide.  Exact keeps separate
+// vmulq/vaddq (vfmaq fuses — same single-rounding hazard as x86 FMA);
+// -ffp-contract=off on this TU keeps the compiler from re-fusing them.
+
+void acc_rows_exact(const float* a, const float* b, float* c, int k, int n,
+                    int i0, int i1) {
+  const int n4 = n & ~3;
+  for (int p = 0; p < k; ++p) {
+    const float* brow = b + static_cast<std::size_t>(p) * n;
+    for (int i = i0; i < i1; ++i) {
+      const float av = a[static_cast<std::size_t>(i) * k + p];
+      if (av == 0.0f) continue;
+      float* crow = c + static_cast<std::size_t>(i) * n;
+      const float32x4_t vav = vdupq_n_f32(av);
+      int j = 0;
+      for (; j < n4; j += 4) {
+        const float32x4_t prod = vmulq_f32(vav, vld1q_f32(brow + j));
+        vst1q_f32(crow + j, vaddq_f32(vld1q_f32(crow + j), prod));
+      }
+      for (; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void acc_tile_exact(const float* a, const float* b, float* c, int k, int n,
+                    int i0, int i1, int j0, int j1) {
+  using kdetail::kTileCols;
+  using kdetail::kTileRows;
+  for (int ib = i0; ib < i1; ib += kTileRows) {
+    const int ie = std::min(i1, ib + kTileRows);
+    for (int jb = j0; jb < j1; jb += kTileCols) {
+      const int je = std::min(j1, jb + kTileCols);
+      const int je4 = jb + ((je - jb) & ~3);
+      for (int p = 0; p < k; ++p) {
+        const float* brow = b + static_cast<std::size_t>(p) * n;
+        for (int i = ib; i < ie; ++i) {
+          const float av = a[static_cast<std::size_t>(i) * k + p];
+          if (av == 0.0f) continue;
+          float* crow = c + static_cast<std::size_t>(i) * n;
+          const float32x4_t vav = vdupq_n_f32(av);
+          int j = jb;
+          for (; j < je4; j += 4) {
+            const float32x4_t prod = vmulq_f32(vav, vld1q_f32(brow + j));
+            vst1q_f32(crow + j, vaddq_f32(vld1q_f32(crow + j), prod));
+          }
+          for (; j < je; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void acc_kouter_exact(const float* a, const float* b, float* c, int m, int k,
+                      int n) {
+  using kdetail::kTileCols;
+  for (int jb = 0; jb < n; jb += kTileCols) {
+    const int je = std::min(n, jb + kTileCols);
+    const int je4 = jb + ((je - jb) & ~3);
+    for (int p = 0; p < k; ++p) {
+      const float* brow = b + static_cast<std::size_t>(p) * n;
+      for (int i = 0; i < m; ++i) {
+        const float av = a[static_cast<std::size_t>(i) * k + p];
+        if (av == 0.0f) continue;
+        float* crow = c + static_cast<std::size_t>(i) * n;
+        const float32x4_t vav = vdupq_n_f32(av);
+        int j = jb;
+        for (; j < je4; j += 4) {
+          const float32x4_t prod = vmulq_f32(vav, vld1q_f32(brow + j));
+          vst1q_f32(crow + j, vaddq_f32(vld1q_f32(crow + j), prod));
+        }
+        for (; j < je; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void acc_rows_fast(const float* a, const float* b, float* c, int k, int n,
+                   int i0, int i1) {
+  const int n4 = n & ~3;
+  for (int p = 0; p < k; ++p) {
+    const float* brow = b + static_cast<std::size_t>(p) * n;
+    for (int i = i0; i < i1; ++i) {
+      const float av = a[static_cast<std::size_t>(i) * k + p];
+      if (av == 0.0f) continue;
+      float* crow = c + static_cast<std::size_t>(i) * n;
+      const float32x4_t vav = vdupq_n_f32(av);
+      int j = 0;
+      for (; j < n4; j += 4) {
+        vst1q_f32(crow + j,
+                  vfmaq_f32(vld1q_f32(crow + j), vav, vld1q_f32(brow + j)));
+      }
+      for (; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void acc_tile_fast(const float* a, const float* b, float* c, int k, int n,
+                   int i0, int i1, int j0, int j1) {
+  using kdetail::kTileCols;
+  using kdetail::kTileRows;
+  for (int ib = i0; ib < i1; ib += kTileRows) {
+    const int ie = std::min(i1, ib + kTileRows);
+    for (int jb = j0; jb < j1; jb += kTileCols) {
+      const int je = std::min(j1, jb + kTileCols);
+      const int je4 = jb + ((je - jb) & ~3);
+      for (int p = 0; p < k; ++p) {
+        const float* brow = b + static_cast<std::size_t>(p) * n;
+        for (int i = ib; i < ie; ++i) {
+          const float av = a[static_cast<std::size_t>(i) * k + p];
+          if (av == 0.0f) continue;
+          float* crow = c + static_cast<std::size_t>(i) * n;
+          const float32x4_t vav = vdupq_n_f32(av);
+          int j = jb;
+          for (; j < je4; j += 4) {
+            vst1q_f32(crow + j,
+                      vfmaq_f32(vld1q_f32(crow + j), vav, vld1q_f32(brow + j)));
+          }
+          for (; j < je; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void acc_kouter_fast(const float* a, const float* b, float* c, int m, int k,
+                     int n) {
+  using kdetail::kTileCols;
+  for (int jb = 0; jb < n; jb += kTileCols) {
+    const int je = std::min(n, jb + kTileCols);
+    const int je4 = jb + ((je - jb) & ~3);
+    for (int p = 0; p < k; ++p) {
+      const float* brow = b + static_cast<std::size_t>(p) * n;
+      for (int i = 0; i < m; ++i) {
+        const float av = a[static_cast<std::size_t>(i) * k + p];
+        if (av == 0.0f) continue;
+        float* crow = c + static_cast<std::size_t>(i) * n;
+        const float32x4_t vav = vdupq_n_f32(av);
+        int j = jb;
+        for (; j < je4; j += 4) {
+          vst1q_f32(crow + j,
+                    vfmaq_f32(vld1q_f32(crow + j), vav, vld1q_f32(brow + j)));
+        }
+        for (; j < je; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void bt_tile_fast(const float* a, const float* b, float* c, int k, int n,
+                  int i0, int i1, int j0, int j1) {
+  using kdetail::kTileRows;
+  constexpr int kDotCols = 8;
+  const int k4 = k & ~3;
+  for (int ib = i0; ib < i1; ib += kTileRows) {
+    const int ie = std::min(i1, ib + kTileRows);
+    for (int jb = j0; jb < j1; jb += kDotCols) {
+      const int je = std::min(j1, jb + kDotCols);
+      for (int i = ib; i < ie; ++i) {
+        const float* arow = a + static_cast<std::size_t>(i) * k;
+        float* crow = c + static_cast<std::size_t>(i) * n;
+        for (int j = jb; j < je; ++j) {
+          const float* brow = b + static_cast<std::size_t>(j) * k;
+          float32x4_t vacc = vdupq_n_f32(0.0f);
+          int p = 0;
+          for (; p < k4; p += 4) {
+            vacc = vfmaq_f32(vacc, vld1q_f32(arow + p), vld1q_f32(brow + p));
+          }
+          float acc = hsum4(vacc);
+          for (; p < k; ++p) acc += arow[p] * brow[p];
+          crow[j] += acc;
+        }
+      }
+    }
+  }
+}
+
+void q8_rows(const float* a, const QuantizedWeights& w, float* c, int i0,
+             int i1, float* acc) {
+  const int k = w.k;
+  const int n = w.n;
+  const int n4 = n & ~3;
+  for (int i = i0; i < i1; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    float* crow = c + static_cast<std::size_t>(i) * n;
+    for (int g = 0; g * w.group < k; ++g) {
+      const int p0 = g * w.group;
+      const int p1 = std::min(k, p0 + w.group);
+      std::fill(acc, acc + n, 0.0f);
+      float rowsum = 0.0f;
+      for (int p = p0; p < p1; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        rowsum += av;
+        const std::int8_t* qrow = w.q.data() + static_cast<std::size_t>(p) * n;
+        const float32x4_t vav = vdupq_n_f32(av);
+        int j = 0;
+        for (; j < n4; j += 4) {
+          std::int32_t bits;  // 4-byte load: vld1_s8 would read past the row
+          std::memcpy(&bits, qrow + j, sizeof(bits));
+          const int16x8_t q16 = vmovl_s8(vreinterpret_s8_s32(vdup_n_s32(bits)));
+          const float32x4_t qf = vcvtq_f32_s32(vmovl_s16(vget_low_s16(q16)));
+          vst1q_f32(acc + j, vfmaq_f32(vld1q_f32(acc + j), vav, qf));
+        }
+        for (; j < n; ++j) acc[j] += av * static_cast<float>(qrow[j]);
+      }
+      const float* sc = w.scale.data() + static_cast<std::size_t>(g) * n;
+      const float* zr = w.zero.data() + static_cast<std::size_t>(g) * n;
+      const float32x4_t vsum = vdupq_n_f32(rowsum);
+      int j = 0;
+      for (; j < n4; j += 4) {
+        float32x4_t cv = vld1q_f32(crow + j);
+        cv = vfmaq_f32(cv, vsum, vld1q_f32(zr + j));
+        cv = vfmaq_f32(cv, vld1q_f32(sc + j), vld1q_f32(acc + j));
+        vst1q_f32(crow + j, cv);
+      }
+      for (; j < n; ++j) crow[j] += rowsum * zr[j] + sc[j] * acc[j];
+    }
+  }
+}
+
+}  // namespace simd_neon
+#endif  // VSD_KERNELS_HAVE_NEON
+
+}  // namespace vsd::nn

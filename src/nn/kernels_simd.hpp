@@ -1,0 +1,87 @@
+// Explicitly vectorized GEMM kernels behind the dispatch table
+// (kernel_dispatch.hpp).  Two tiers per ISA:
+//
+//   * exact — vectorizes ACROSS output elements only (each SIMD lane owns
+//     a distinct c[i][j]), with separate multiply and add (the build has
+//     no global -mffp-contract, so the scalar reference rounds mul then
+//     add — an FMA here would single-round and diverge) and the scalar
+//     reference's exact-zero skip.  Per element the p loop is untouched:
+//     bit-identical to kernels.hpp for every shape, which is what lets
+//     exact mode dispatch to AVX2/NEON without breaking T=0 token parity.
+//
+//   * fast — FMA contraction plus within-element reassociation: the B^T
+//     dot products vectorize over p with an 8-wide accumulator and a
+//     horizontal reduce, and the grouped-int8 kernel dequantizes codes in
+//     register (quant.hpp).  Fast results differ from the reference in the
+//     last ulps (fp32) or by the quantization error (int8); only
+//     `--kernel fast` runs these.
+//
+// The AVX2 translation unit is compiled with -mavx2 -mfma (per-file CMake
+// option) and holds ONLY functions reached through the dispatch table
+// after the CPUID probe — nothing here may run unguarded on a non-AVX2
+// machine.
+#pragma once
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define VSD_KERNELS_HAVE_AVX2 1
+#endif
+#if defined(__ARM_NEON)
+#define VSD_KERNELS_HAVE_NEON 1
+#endif
+
+namespace vsd::nn {
+
+struct QuantizedWeights;
+
+#if defined(VSD_KERNELS_HAVE_AVX2)
+namespace simd_avx2 {
+
+// exact tier — bit-identical to the kdetail scalar kernels.
+void acc_rows_exact(const float* a, const float* b, float* c, int k, int n,
+                    int i0, int i1);
+void acc_tile_exact(const float* a, const float* b, float* c, int k, int n,
+                    int i0, int i1, int j0, int j1);
+void acc_kouter_exact(const float* a, const float* b, float* c, int m, int k,
+                      int n);
+
+// fast tier — FMA + reassociation permitted.
+void acc_rows_fast(const float* a, const float* b, float* c, int k, int n,
+                   int i0, int i1);
+void acc_tile_fast(const float* a, const float* b, float* c, int k, int n,
+                   int i0, int i1, int j0, int j1);
+void acc_kouter_fast(const float* a, const float* b, float* c, int m, int k,
+                     int n);
+void bt_tile_fast(const float* a, const float* b, float* c, int k, int n,
+                  int i0, int i1, int j0, int j1);
+void q8_rows(const float* a, const QuantizedWeights& w, float* c, int i0,
+             int i1, float* acc);
+
+}  // namespace simd_avx2
+#endif  // VSD_KERNELS_HAVE_AVX2
+
+#if defined(VSD_KERNELS_HAVE_NEON)
+namespace simd_neon {
+
+void acc_rows_exact(const float* a, const float* b, float* c, int k, int n,
+                    int i0, int i1);
+void acc_tile_exact(const float* a, const float* b, float* c, int k, int n,
+                    int i0, int i1, int j0, int j1);
+void acc_kouter_exact(const float* a, const float* b, float* c, int m, int k,
+                      int n);
+
+void acc_rows_fast(const float* a, const float* b, float* c, int k, int n,
+                   int i0, int i1);
+void acc_tile_fast(const float* a, const float* b, float* c, int k, int n,
+                   int i0, int i1, int j0, int j1);
+void acc_kouter_fast(const float* a, const float* b, float* c, int m, int k,
+                     int n);
+void bt_tile_fast(const float* a, const float* b, float* c, int k, int n,
+                  int i0, int i1, int j0, int j1);
+void q8_rows(const float* a, const QuantizedWeights& w, float* c, int i0,
+             int i1, float* acc);
+
+}  // namespace simd_neon
+#endif  // VSD_KERNELS_HAVE_NEON
+
+}  // namespace vsd::nn

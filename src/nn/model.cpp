@@ -1,9 +1,11 @@
 #include "nn/model.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <sstream>
 
+#include "nn/kernel_dispatch.hpp"
 #include "nn/parallel.hpp"
 
 namespace vsd::nn {
@@ -622,8 +624,44 @@ void InferSession::restore(const KvSnapshot& snap, int upto_len) {
   len_ = n;
 }
 
+const QuantizedWeights& TransformerModel::quantized(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(quant_mu_);
+  auto it = quant_.find(name);
+  if (it == quant_.end()) {
+    const Tensor& w = param(name)->value;
+    it = quant_
+             .emplace(name, std::make_unique<QuantizedWeights>(
+                                QuantizedWeights::pack(w.data(), w.rows(),
+                                                       w.cols())))
+             .first;
+  }
+  return *it->second;
+}
+
+QuantStats TransformerModel::quant_stats() const {
+  const std::lock_guard<std::mutex> lock(quant_mu_);
+  QuantStats s;
+  for (const auto& [name, qw] : quant_) {
+    ++s.matrices;
+    s.int8_bytes += qw->byte_size();
+    s.fp32_bytes += qw->fp32_byte_size();
+    s.max_abs_error =
+        std::max(s.max_abs_error, qw->max_abs_error(param(name)->value.data()));
+  }
+  return s;
+}
+
 Tensor TransformerModel::infer_lm_logits(const Tensor& hidden) const {
   check(hidden.cols() == cfg_.d_model, "infer_lm_logits: width mismatch");
+  // Fast mode streams the [D, V] logit weight as grouped int8 — the
+  // widest, most bandwidth-bound matrix of the tick.  Exact mode (the
+  // default) keeps the bit-identical fp32 path.
+  if (kernel_mode() == KernelMode::Fast) {
+    const QuantizedWeights& qw = quantized("lm");
+    Tensor out(hidden.rows(), qw.n);
+    q8_linear_acc(hidden.data(), qw, out.data(), hidden.rows());
+    return out;
+  }
   return apply_linear(hidden, param("lm")->value, nullptr);
 }
 
@@ -634,6 +672,12 @@ Tensor TransformerModel::infer_head_logits(const Tensor& hidden, int k) const {
   Tensor mid = apply_linear(hidden, param(p + "w1")->value, &param(p + "b1")->value);
   apply_silu_inplace(mid);
   for (std::size_t i = 0; i < mid.size(); ++i) mid.data()[i] += hidden.data()[i];
+  if (kernel_mode() == KernelMode::Fast) {
+    const QuantizedWeights& qw = quantized(p + "lm");
+    Tensor out(mid.rows(), qw.n);
+    q8_linear_acc(mid.data(), qw, out.data(), mid.rows());
+    return out;
+  }
   return apply_linear(mid, param(p + "lm")->value, nullptr);
 }
 

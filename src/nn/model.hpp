@@ -15,6 +15,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -22,8 +23,19 @@
 
 #include "nn/autograd.hpp"
 #include "nn/kv_arena.hpp"
+#include "nn/quant.hpp"
 
 namespace vsd::nn {
+
+/// Compressed-weight accounting for the fast kernel mode (surfaces in the
+/// serve summary's `kernel` block).  All zero until a fast-mode inference
+/// packs the first matrix.
+struct QuantStats {
+  int matrices = 0;             // [D, V] weights packed so far
+  std::size_t int8_bytes = 0;   // packed size (codes + per-group affines)
+  std::size_t fp32_bytes = 0;   // the fp32 originals they replace
+  double max_abs_error = 0.0;   // worst |w - dequant(w)| across matrices
+};
 
 struct ModelConfig {
   int vocab = 512;
@@ -70,11 +82,20 @@ class TransformerModel {
   /// weights only) and row-independent: scoring a [B, D] stack of rows
   /// gathered from many sessions is bit-identical to B separate [1, D]
   /// calls, which is what lets the serving scheduler fuse the per-session
-  /// logits matmuls into one [B, D] x [D, V] pass per tick.
+  /// logits matmuls into one [B, D] x [D, V] pass per tick.  Under
+  /// `--kernel fast` the [D, V] weight streams as grouped int8
+  /// (quant.hpp), packed lazily on the first fast-mode call — results
+  /// then differ by the quantization error; exact mode never touches the
+  /// packed weights.
   Tensor infer_lm_logits(const Tensor& hidden) const;
   /// MEDUSA-head logits [n, D] -> [n, V] for head k; same row-independent
-  /// batching contract as infer_lm_logits.
+  /// batching contract (and fast-mode compression of the head's [D, V]
+  /// projection) as infer_lm_logits.
   Tensor infer_head_logits(const Tensor& hidden, int k) const;
+
+  /// Accounting for the lazily packed compressed weights (zeros until a
+  /// fast-mode inference runs).  Thread-safe.
+  QuantStats quant_stats() const;
 
   /// Simple binary checkpoint (config + named tensors).
   std::string serialize() const;
@@ -87,9 +108,20 @@ class TransformerModel {
   Var add_param(const std::string& name, Tensor t);
   Var block_forward(Var x, const std::string& prefix, bool causal, const Var& enc);
 
+  /// The grouped-int8 pack of parameter `name`, built on first use.
+  /// Contract: fast-mode inference only starts after training finishes
+  /// (the CLI switches the kernel mode post-training), so a pack never
+  /// goes stale — weights are frozen by the time anything reads it.
+  const QuantizedWeights& quantized(const std::string& name) const;
+
   ModelConfig cfg_;
   std::vector<Var> params_;
   std::unordered_map<std::string, Var> by_name_;
+  // Lazily packed compressed weights (see quantized()).  Mutable + mutex:
+  // packing happens inside const, concurrent inference calls.
+  mutable std::mutex quant_mu_;
+  mutable std::unordered_map<std::string, std::unique_ptr<QuantizedWeights>>
+      quant_;
 };
 
 /// Detachable DEEP COPY of the first `len` positions of an InferSession's

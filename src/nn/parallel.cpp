@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "nn/kernel_dispatch.hpp"
 #include "nn/kernels.hpp"
 
 namespace vsd::nn {
@@ -151,17 +152,36 @@ void parallel_ranges(int total, int min_grain,
   for (auto& f : pending) f.get();
 }
 
+namespace {
+
+/// Row-range driver through the dispatch table: the L1 panel blocking of
+/// matmul_acc_rows_blocked around whichever acc_rows kernel the probe
+/// selected.  Panel bounds only partition output rows, so the exact tier
+/// stays bit-identical to the scalar reference for every ISA.
+void acc_rows_blocked_dispatched(const KernelOps& ops, const float* a,
+                                 const float* b, float* c, int k, int n,
+                                 int i0, int i1) {
+  const int panel = kdetail::panel_rows(n);
+  for (int ib = i0; ib < i1; ib += panel) {
+    ops.acc_rows(a, b, c, k, n, ib, std::min(i1, ib + panel));
+  }
+}
+
+}  // namespace
+
 void matmul_acc_parallel(const float* a, const float* b, float* c, int m,
                          int k, int n) {
   // Prefer whole-row chunks; skinny-but-wide logit shapes fall back to
   // column chunks so a small batch still spreads across the pool.  Both
-  // plans leave every output element in exactly one chunk.
+  // plans leave every output element in exactly one chunk, and every chunk
+  // runs the dispatched (scalar / AVX2 / NEON) kernel tier.
+  const KernelOps& ops = active_kernels();
   const long per_row = static_cast<long>(k) * n;
   const int rows_min = static_cast<int>(
       std::max<long>(1, (kGrainMacs + per_row - 1) / std::max<long>(per_row, 1)));
   if (plan_chunks(m, rows_min) >= 2) {
     parallel_ranges(m, rows_min, [&](int lo, int hi) {
-      kdetail::matmul_acc_rows_blocked(a, b, c, k, n, lo, hi);
+      acc_rows_blocked_dispatched(ops, a, b, c, k, n, lo, hi);
     });
     return;
   }
@@ -170,21 +190,22 @@ void matmul_acc_parallel(const float* a, const float* b, float* c, int m,
       std::max<long>(1, (kGrainMacs + per_col - 1) / std::max<long>(per_col, 1)));
   if (plan_chunks(n, cols_min) >= 2) {
     parallel_ranges(n, cols_min, [&](int lo, int hi) {
-      kdetail::matmul_acc_tile(a, b, c, k, n, 0, m, lo, hi);
+      ops.acc_tile(a, b, c, k, n, 0, m, lo, hi);
     });
     return;
   }
-  matmul_acc_blocked(a, b, c, m, k, n);
+  acc_rows_blocked_dispatched(ops, a, b, c, k, n, 0, m);
 }
 
 void matmul_bt_acc_parallel(const float* a, const float* b, float* c, int m,
                             int k, int n) {
+  const KernelOps& ops = active_kernels();
   const long per_row = static_cast<long>(k) * n;
   const int rows_min = static_cast<int>(
       std::max<long>(1, (kGrainMacs + per_row - 1) / std::max<long>(per_row, 1)));
   if (plan_chunks(m, rows_min) >= 2) {
     parallel_ranges(m, rows_min, [&](int lo, int hi) {
-      kdetail::matmul_bt_acc_tile(a, b, c, k, n, lo, hi, 0, n);
+      ops.bt_tile(a, b, c, k, n, lo, hi, 0, n);
     });
     return;
   }
@@ -193,11 +214,11 @@ void matmul_bt_acc_parallel(const float* a, const float* b, float* c, int m,
       std::max<long>(1, (kGrainMacs + per_col - 1) / std::max<long>(per_col, 1)));
   if (plan_chunks(n, cols_min) >= 2) {
     parallel_ranges(n, cols_min, [&](int lo, int hi) {
-      kdetail::matmul_bt_acc_tile(a, b, c, k, n, 0, m, lo, hi);
+      ops.bt_tile(a, b, c, k, n, 0, m, lo, hi);
     });
     return;
   }
-  matmul_bt_acc_blocked(a, b, c, m, k, n);
+  ops.bt_tile(a, b, c, k, n, 0, m, 0, n);
 }
 
 void linear_acc(const float* a, const float* b, float* c, int m, int k, int n) {
@@ -205,20 +226,33 @@ void linear_acc(const float* a, const float* b, float* c, int m, int k, int n) {
     matmul_acc_parallel(a, b, c, m, k, n);
     return;
   }
-  // compute_threads() == 1: the exact pre-existing serial path — k-outer
-  // weight streaming for multi-row inputs, the plain ikj loop for one row.
+  // compute_threads() == 1 with scalar dispatch: the exact pre-existing
+  // serial path — k-outer weight streaming for multi-row inputs, the plain
+  // ikj loop for one row.  A vector ISA takes the dispatched kernels
+  // instead (bit-identical in exact mode, so T=0 parity still holds).
+  if (dispatched_isa() == KernelIsa::Scalar) {
+    if (m > 1) {
+      matmul_acc_kouter(a, b, c, m, k, n);
+    } else {
+      matmul_acc(a, b, c, m, k, n);
+    }
+    return;
+  }
+  const KernelOps& ops = active_kernels();
   if (m > 1) {
-    matmul_acc_kouter(a, b, c, m, k, n);
+    ops.acc_kouter(a, b, c, m, k, n);
   } else {
-    matmul_acc(a, b, c, m, k, n);
+    acc_rows_blocked_dispatched(ops, a, b, c, k, n, 0, 1);
   }
 }
 
 void linear_bt_acc(const float* a, const float* b, float* c, int m, int k, int n) {
   if (compute_threads() > 1) {
     matmul_bt_acc_parallel(a, b, c, m, k, n);
-  } else {
+  } else if (dispatched_isa() == KernelIsa::Scalar) {
     matmul_bt_acc(a, b, c, m, k, n);
+  } else {
+    active_kernels().bt_tile(a, b, c, k, n, 0, m, 0, n);
   }
 }
 

@@ -1,0 +1,140 @@
+#include "nn/quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "nn/kernel_dispatch.hpp"
+#include "nn/parallel.hpp"
+
+namespace vsd::nn {
+
+QuantizedWeights QuantizedWeights::pack(const float* w, int k, int n,
+                                        int group) {
+  check(k >= 1 && n >= 1, "QuantizedWeights::pack: empty matrix");
+  check(group >= 1, "QuantizedWeights::pack: group must be >= 1");
+  QuantizedWeights out;
+  out.k = k;
+  out.n = n;
+  out.group = group;
+  const int gs = out.groups();
+  out.q.assign(static_cast<std::size_t>(k) * n, 0);
+  out.scale.assign(static_cast<std::size_t>(gs) * n, 0.0f);
+  out.zero.assign(static_cast<std::size_t>(gs) * n, 0.0f);
+  for (int g = 0; g < gs; ++g) {
+    const int p0 = g * group;
+    const int p1 = std::min(k, p0 + group);
+    for (int j = 0; j < n; ++j) {
+      float lo = w[static_cast<std::size_t>(p0) * n + j];
+      float hi = lo;
+      for (int p = p0 + 1; p < p1; ++p) {
+        const float v = w[static_cast<std::size_t>(p) * n + j];
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      // Affine map of [lo, hi] onto codes [-127, 127].  A constant range
+      // packs as scale 0 + zero = the constant (reproduced exactly); the
+      // symmetric code range keeps the map round-trip stable.
+      const float zero = 0.5f * (lo + hi);
+      const float half = 0.5f * (hi - lo);
+      const float scale = half > 0.0f ? half / 127.0f : 0.0f;
+      const float inv = scale > 0.0f ? 1.0f / scale : 0.0f;
+      out.zero[static_cast<std::size_t>(g) * n + j] = zero;
+      out.scale[static_cast<std::size_t>(g) * n + j] = scale;
+      for (int p = p0; p < p1; ++p) {
+        const float v = w[static_cast<std::size_t>(p) * n + j];
+        const float code = std::round((v - zero) * inv);
+        out.q[static_cast<std::size_t>(p) * n + j] = static_cast<std::int8_t>(
+            std::clamp(code, -127.0f, 127.0f));
+      }
+    }
+  }
+  return out;
+}
+
+void QuantizedWeights::dequantize(float* out) const {
+  for (int p = 0; p < k; ++p) {
+    const int g = p / group;
+    const float* sc = scale.data() + static_cast<std::size_t>(g) * n;
+    const float* zr = zero.data() + static_cast<std::size_t>(g) * n;
+    const std::int8_t* qrow = q.data() + static_cast<std::size_t>(p) * n;
+    float* orow = out + static_cast<std::size_t>(p) * n;
+    for (int j = 0; j < n; ++j) {
+      orow[j] = zr[j] + sc[j] * static_cast<float>(qrow[j]);
+    }
+  }
+}
+
+double QuantizedWeights::max_abs_error(const float* w) const {
+  double worst = 0.0;
+  for (int p = 0; p < k; ++p) {
+    const int g = p / group;
+    for (int j = 0; j < n; ++j) {
+      const float deq =
+          zero[static_cast<std::size_t>(g) * n + j] +
+          scale[static_cast<std::size_t>(g) * n + j] *
+              static_cast<float>(q[static_cast<std::size_t>(p) * n + j]);
+      worst = std::max(
+          worst, std::abs(static_cast<double>(deq) -
+                          static_cast<double>(w[static_cast<std::size_t>(p) * n + j])));
+    }
+  }
+  return worst;
+}
+
+std::size_t QuantizedWeights::byte_size() const {
+  return q.size() * sizeof(std::int8_t) +
+         (scale.size() + zero.size()) * sizeof(float);
+}
+
+std::size_t QuantizedWeights::fp32_byte_size() const {
+  return static_cast<std::size_t>(k) * n * sizeof(float);
+}
+
+void q8_matmul_acc_rows_scalar(const float* a, const QuantizedWeights& w,
+                               float* c, int i0, int i1, float* acc) {
+  const int k = w.k;
+  const int n = w.n;
+  for (int i = i0; i < i1; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    float* crow = c + static_cast<std::size_t>(i) * n;
+    for (int g = 0; g * w.group < k; ++g) {
+      const int p0 = g * w.group;
+      const int p1 = std::min(k, p0 + w.group);
+      std::fill(acc, acc + n, 0.0f);
+      float rowsum = 0.0f;
+      for (int p = p0; p < p1; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        rowsum += av;
+        const std::int8_t* qrow = w.q.data() + static_cast<std::size_t>(p) * n;
+        for (int j = 0; j < n; ++j) {
+          acc[j] += av * static_cast<float>(qrow[j]);
+        }
+      }
+      const float* sc = w.scale.data() + static_cast<std::size_t>(g) * n;
+      const float* zr = w.zero.data() + static_cast<std::size_t>(g) * n;
+      for (int j = 0; j < n; ++j) {
+        crow[j] += rowsum * zr[j] + sc[j] * acc[j];
+      }
+    }
+  }
+}
+
+void q8_linear_acc(const float* a, const QuantizedWeights& w, float* c, int m) {
+  const KernelOps& ops = active_kernels();
+  // Row partition only (the quantized matrices are [D, V]: wide outputs,
+  // but every row chunk re-reads the whole packed weight anyway, and rows
+  // are what the fused scheduler batches).  Each chunk carries its own
+  // dequant scratch so pool workers never share a buffer.
+  const long per_row = static_cast<long>(w.k) * w.n;
+  const int rows_min = static_cast<int>(
+      std::max<long>(1, (65536 + per_row - 1) / std::max<long>(per_row, 1)));
+  parallel_ranges(m, rows_min, [&](int lo, int hi) {
+    std::vector<float> acc(static_cast<std::size_t>(w.n));
+    ops.q8_rows(a, w, c, lo, hi, acc.data());
+  });
+}
+
+}  // namespace vsd::nn

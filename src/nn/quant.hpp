@@ -1,0 +1,69 @@
+// Grouped int8 weight compression for the fast kernel mode.
+//
+// A [K, N] weight matrix is quantized along K in groups of `group` rows:
+// each (group, column) pair gets an affine (scale, zero) so one int8 code
+// dequantizes as  w = zero + scale * q.  The [D, V] logit and MEDUSA-head
+// weights this targets are streamed once per GEMM and dominate the hot
+// loop's memory traffic; int8 codes cut that stream 4x, and the group
+// factorization lets the kernel hoist the affine out of the inner loop:
+//
+//   c[i][j] += sum_p a[i][p] * (zero[g][j] + scale[g][j] * q[p][j])
+//            = sum_g ( rowsum_g(a_i) * zero[g][j]
+//                      + scale[g][j] * sum_{p in g} a[i][p] * q[p][j] )
+//
+// so the inner loop is pure int8->float convert + multiply-accumulate with
+// ONE fused affine per (group, column).  This is the representation-size
+// vs exactness trade the ACAS-Xu BDD table-compression work frames (see
+// PAPERS.md): `--kernel fast` opts into it, the bit-exact fp32 path stays
+// the default.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vsd::nn {
+
+/// A [K, N] weight matrix packed as grouped int8 (see file comment).
+/// Packing is deterministic (round-half-away rounding, no RNG), so two
+/// packs of the same weights are byte-identical.
+struct QuantizedWeights {
+  int k = 0;
+  int n = 0;
+  int group = 32;                // rows per quantization group along K
+  std::vector<std::int8_t> q;    // [k, n] row-major codes
+  std::vector<float> scale;      // [groups(), n]
+  std::vector<float> zero;       // [groups(), n]
+
+  int groups() const { return group > 0 ? (k + group - 1) / group : 0; }
+
+  /// Packs `w` ([k, n] row-major fp32).  Each (group, column) range maps
+  /// its [min, max] onto codes [-127, 127]; a constant range packs as
+  /// scale 0 + zero = the constant, reproducing it exactly.
+  static QuantizedWeights pack(const float* w, int k, int n, int group = 32);
+
+  /// Reconstructs the fp32 matrix (out is [k, n] row-major).
+  void dequantize(float* out) const;
+
+  /// Largest |w - dequant(w)| over the matrix it was packed from.
+  double max_abs_error(const float* w) const;
+
+  /// Bytes held by the packed representation (codes + affines).
+  std::size_t byte_size() const;
+  /// Bytes the fp32 original occupies.
+  std::size_t fp32_byte_size() const;
+};
+
+/// C rows [i0, i1) += A[.xK] * dequant(W) — the scalar reference for the
+/// quantized GEMM.  Per (row, group): one row-sum of A, one int8 MAC sweep
+/// per column, one fused affine; `acc` is caller-provided scratch of at
+/// least `n` floats (kept out of the signature's hot loop so parallel row
+/// chunks can reuse per-thread buffers).
+void q8_matmul_acc_rows_scalar(const float* a, const QuantizedWeights& w,
+                               float* c, int i0, int i1, float* acc);
+
+/// Production entry: C[MxN] += A[MxK] * dequant(W), row-partitioned across
+/// the compute pool, inner kernel chosen by the dispatched ISA.  Fast-mode
+/// only — results differ from the fp32 GEMM by the quantization error.
+void q8_linear_acc(const float* a, const QuantizedWeights& w, float* c, int m);
+
+}  // namespace vsd::nn

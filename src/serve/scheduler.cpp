@@ -47,6 +47,10 @@ ServeStats Scheduler::run(const Completion& on_complete) {
 
 ServeStats Scheduler::run(const CheckedCompletion& on_complete) {
   const int batch = std::max(1, opts_.batch);
+  // Assert the run's kernel policy before any forward pass: the mode is
+  // process-global (like the compute pool), so every tick's GEMMs — the
+  // fused stacked pass and per-slot stages alike — execute one tier.
+  nn::set_kernel_mode(opts_.kernel);
 
   struct Slot {
     std::unique_ptr<nn::InferSession> sess;  // KV allocations, reused
@@ -623,6 +627,9 @@ ServeStats Scheduler::run(const CheckedCompletion& on_complete) {
   for (std::size_t i = 0; i < stage_obs.size(); ++i) {
     stats.check_stages[i].latency = stage_obs[i].latency->stats();
   }
+  stats.kernel = opts_.kernel;
+  stats.isa = nn::dispatched_isa();
+  stats.quant = model_.quant_stats();
   // A private registry dies with this frame — unhook the queue first.
   if (opts_.metrics == nullptr) queue_.attach_metrics(nullptr);
   return stats;

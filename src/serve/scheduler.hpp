@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/metrics.hpp"
+#include "nn/kernel_dispatch.hpp"
 #include "nn/model.hpp"
 #include "serve/request_queue.hpp"
 #include "spec/decode.hpp"
@@ -126,6 +127,14 @@ struct SchedulerOptions {
   // counters — and a `check:<name>` span per request in the trace timeline;
   // `serve.check.total_s` records the per-request total across stages.
   std::vector<CheckStage> checks{};
+  // Kernel policy for the run (`vsd serve --kernel exact|fast`), asserted
+  // process-wide at run start so every tick's GEMMs — fused and per-slot
+  // alike — execute the same tier.  Defaults to the ambient mode ($VSD_KERNEL
+  // or exact).  `exact` keeps T=0 token parity for every dispatched ISA;
+  // `fast` opts the scoring passes into FMA/reassociated SIMD and the
+  // grouped-int8 logit weights (nn/quant.hpp), and the summary's `kernel`
+  // block reports the compression stats alongside the dispatched ISA.
+  nn::KernelMode kernel = nn::kernel_mode();
 };
 
 /// Serving accounting.  `ticks` counts scheduler iterations: under the
@@ -169,6 +178,11 @@ struct ServeStats {
   int checks_fail = 0;
   obs::HistogramStats check{};
   std::vector<CheckStageStats> check_stages;
+  // Kernel tier the run executed: the configured mode, the ISA the probe
+  // dispatched, and (fast mode only) the compressed-weight accounting.
+  nn::KernelMode kernel = nn::KernelMode::Exact;
+  nn::KernelIsa isa = nn::KernelIsa::Scalar;
+  nn::QuantStats quant{};
 };
 
 class Scheduler {

@@ -10,10 +10,12 @@
 #include <span>
 #include <vector>
 
+#include "nn/kernel_dispatch.hpp"
 #include "nn/kernels.hpp"
 #include "nn/model.hpp"
 #include "nn/optim.hpp"
 #include "nn/parallel.hpp"
+#include "nn/quant.hpp"
 
 namespace vsd::nn {
 namespace {
@@ -203,6 +205,21 @@ ModelConfig tiny_config(bool encoder_decoder = false, int heads = 0) {
   return cfg;
 }
 
+// Restores the dispatched ISA and kernel mode on return (including on
+// assertion failure), so kernel-tier tests cannot leak their settings into
+// unrelated suites.  Tests that assert an exact-tier contract (train/infer
+// agreement, bit-identity vs the naive reference) construct one and pin
+// KernelMode::Exact, so the suite also passes under CI's VSD_KERNEL=fast
+// leg where the ambient mode is relaxed.
+struct KernelTierGuard {
+  KernelIsa prior_isa = dispatched_isa();
+  KernelMode prior_mode = kernel_mode();
+  ~KernelTierGuard() {
+    set_kernel_isa(prior_isa);
+    set_kernel_mode(prior_mode);
+  }
+};
+
 TEST(Model, ParamCountMatchesFormula) {
   const ModelConfig cfg = tiny_config(true, 3);
   TransformerModel m(cfg, 1);
@@ -210,6 +227,8 @@ TEST(Model, ParamCountMatchesFormula) {
 }
 
 TEST(Model, TrainAndInferPathsAgreeDecoderOnly) {
+  const KernelTierGuard guard;
+  set_kernel_mode(KernelMode::Exact);  // train/infer agreement is exact-tier
   TransformerModel m(tiny_config(), 5);
   const std::vector<int> ids = {1, 5, 9, 3, 20};
   Var hidden = m.decode_hidden(ids);
@@ -552,6 +571,8 @@ TEST(Model, TrainAndInferPathsAgreeEncoderDecoder) {
 }
 
 TEST(Model, MedusaHeadLogitsAgreeAcrossPaths) {
+  const KernelTierGuard guard;
+  set_kernel_mode(KernelMode::Exact);  // train/infer agreement is exact-tier
   TransformerModel m(tiny_config(false, 4), 7);
   const std::vector<int> ids = {1, 2, 3};
   Var hidden = m.decode_hidden(ids);
@@ -681,6 +702,8 @@ TEST(Kernels, BlockedVariantsBitIdenticalToSerialOnRaggedShapes) {
 
 TEST(Kernels, ParallelDriversBitIdenticalForThreads125) {
   const ComputeThreadsGuard guard;
+  const KernelTierGuard tier_guard;
+  set_kernel_mode(KernelMode::Exact);  // bit-identity is the exact contract
   Rng rng(29);
   for (const int threads : {1, 2, 5}) {
     set_compute_threads(threads);
@@ -760,6 +783,271 @@ TEST(Kernels, ModelLogitsBitIdenticalAcrossComputeThreads) {
                        "infer_lm_logits");
   expect_bit_identical(h0_serial, h0_par, 9, cfg.d_model, cfg.vocab,
                        "infer_head_logits");
+}
+
+// --- dispatched SIMD kernels / grouped int8 ---------------------------------
+
+// Every ISA this build carries AND this machine executes; always includes
+// Scalar so the suite is meaningful on any host.
+std::vector<KernelIsa> available_isas() {
+  std::vector<KernelIsa> isas = {KernelIsa::Scalar};
+  for (const KernelIsa isa : {KernelIsa::Avx2, KernelIsa::Neon}) {
+    if (kernel_isa_available(isa)) isas.push_back(isa);
+  }
+  return isas;
+}
+
+TEST(KernelDispatch, ExactTierBitIdenticalToScalarForEveryAvailableIsa) {
+  // The exact-mode SIMD kernels vectorize across output elements only, so
+  // every table entry must reproduce the scalar reference floats exactly —
+  // this is what makes --kernel exact ISA-independent at T=0.
+  Rng rng(41);
+  for (const KernelIsa isa : available_isas()) {
+    const KernelOps& ops = kernels_for(isa, KernelMode::Exact);
+    for (const auto& [m, k, n] : kernel_shapes()) {
+      const Tensor a = random_with_zeros(m, k, rng);
+      const Tensor b = random_with_zeros(k, n, rng);
+      Tensor ref(m, n);
+      matmul_acc(a.data(), b.data(), ref.data(), m, k, n);
+
+      Tensor rows(m, n);
+      ops.acc_rows(a.data(), b.data(), rows.data(), k, n, 0, m);
+      expect_bit_identical(ref, rows, m, k, n, isa_name(isa));
+
+      Tensor tile(m, n);
+      ops.acc_tile(a.data(), b.data(), tile.data(), k, n, 0, m, 0, n);
+      expect_bit_identical(ref, tile, m, k, n, isa_name(isa));
+
+      Tensor kouter(m, n);
+      ops.acc_kouter(a.data(), b.data(), kouter.data(), m, k, n);
+      expect_bit_identical(ref, kouter, m, k, n, isa_name(isa));
+
+      const Tensor bt = random_with_zeros(n, k, rng);
+      Tensor bt_ref(m, n);
+      matmul_bt_acc(a.data(), bt.data(), bt_ref.data(), m, k, n);
+      Tensor bt_got(m, n);
+      ops.bt_tile(a.data(), bt.data(), bt_got.data(), k, n, 0, m, 0, n);
+      expect_bit_identical(bt_ref, bt_got, m, k, n, isa_name(isa));
+    }
+  }
+}
+
+TEST(KernelDispatch, IsaOverrideClampsAndRoutesActiveTable) {
+  const KernelTierGuard guard;
+  // Forcing scalar must always take (CI's VSD_KERNEL_ISA=scalar leg relies
+  // on it) and route the active table to the scalar kernels.
+  set_kernel_isa(KernelIsa::Scalar);
+  EXPECT_EQ(dispatched_isa(), KernelIsa::Scalar);
+  set_kernel_mode(KernelMode::Exact);
+  EXPECT_EQ(active_kernels().acc_rows,
+            kernels_for(KernelIsa::Scalar, KernelMode::Exact).acc_rows);
+  // Requesting an unavailable ISA clamps to scalar instead of crashing.
+  for (const KernelIsa isa : {KernelIsa::Avx2, KernelIsa::Neon}) {
+    set_kernel_isa(isa);
+    if (kernel_isa_available(isa)) {
+      EXPECT_EQ(dispatched_isa(), isa);
+      EXPECT_NE(kernels_for(isa, KernelMode::Exact).acc_rows,
+                kernels_for(KernelIsa::Scalar, KernelMode::Exact).acc_rows);
+    } else {
+      EXPECT_EQ(dispatched_isa(), KernelIsa::Scalar);
+    }
+  }
+}
+
+TEST(KernelDispatch, ParseKernelModeAcceptsOnlyExactAndFast) {
+  KernelMode mode = KernelMode::Exact;
+  EXPECT_TRUE(parse_kernel_mode("fast", mode));
+  EXPECT_EQ(mode, KernelMode::Fast);
+  EXPECT_TRUE(parse_kernel_mode("exact", mode));
+  EXPECT_EQ(mode, KernelMode::Exact);
+  mode = KernelMode::Fast;
+  EXPECT_FALSE(parse_kernel_mode("", mode));
+  EXPECT_FALSE(parse_kernel_mode("Fast", mode));
+  EXPECT_FALSE(parse_kernel_mode("simd", mode));
+  EXPECT_EQ(mode, KernelMode::Fast);  // untouched on failure
+}
+
+TEST(Quant, PackRoundTripStaysWithinGroupScale) {
+  // Affine round-to-nearest over codes [-127, 127]: every element must
+  // reconstruct within half a quantization step (scale/2 of its group).
+  Rng rng(43);
+  const int k = 70;  // ragged: 3 groups of 32, last one short
+  const int n = 37;
+  const Tensor w = random_with_zeros(k, n, rng);
+  const QuantizedWeights qw = QuantizedWeights::pack(w.data(), k, n);
+  ASSERT_EQ(qw.groups(), 3);
+  ASSERT_EQ(qw.q.size(), static_cast<std::size_t>(k) * n);
+  std::vector<float> back(static_cast<std::size_t>(k) * n);
+  qw.dequantize(back.data());
+  for (int p = 0; p < k; ++p) {
+    const int g = p / qw.group;
+    for (int j = 0; j < n; ++j) {
+      const float scale = qw.scale[static_cast<std::size_t>(g) * n + j];
+      const float err = std::abs(back[static_cast<std::size_t>(p) * n + j] -
+                                 w.data()[static_cast<std::size_t>(p) * n + j]);
+      ASSERT_LE(err, 0.5f * scale + 1e-6f)
+          << "element [" << p << "," << j << "]";
+    }
+  }
+  // Global sanity: N(0,1) weights span a few sigma per 32-row group, so the
+  // worst half-step is a couple of percent, never tens of percent.
+  EXPECT_LE(qw.max_abs_error(w.data()), 0.05);
+  // The packed form is genuinely smaller than fp32.
+  EXPECT_LT(qw.byte_size(), qw.fp32_byte_size());
+}
+
+TEST(Quant, ConstantColumnsPackExactly) {
+  // A constant (group, column) range has zero spread: scale 0, zero = the
+  // constant — dequantization is exact, not merely close.
+  const int k = 40;
+  const int n = 5;
+  std::vector<float> w(static_cast<std::size_t>(k) * n);
+  for (int p = 0; p < k; ++p) {
+    for (int j = 0; j < n; ++j) {
+      w[static_cast<std::size_t>(p) * n + j] = 0.25f * static_cast<float>(j);
+    }
+  }
+  const QuantizedWeights qw = QuantizedWeights::pack(w.data(), k, n);
+  EXPECT_EQ(qw.max_abs_error(w.data()), 0.0);
+}
+
+TEST(Quant, SimdQ8RowsMatchesScalarWithinRounding) {
+  // The vector q8 kernel reassociates the per-group MAC (fast tier), so it
+  // is not bit-identical to the scalar reference — but both compute the
+  // same dequantized product, so they must agree to fp32 rounding.
+  Rng rng(47);
+  for (const KernelIsa isa : available_isas()) {
+    if (isa == KernelIsa::Scalar) continue;
+    const KernelOps& ops = kernels_for(isa, KernelMode::Fast);
+    for (const auto& [m, k, n] : kernel_shapes()) {
+      const Tensor a = random_with_zeros(m, k, rng);
+      const Tensor w = random_with_zeros(k, n, rng);
+      const QuantizedWeights qw = QuantizedWeights::pack(w.data(), k, n);
+      Tensor ref(m, n);
+      std::vector<float> scratch(static_cast<std::size_t>(n));
+      q8_matmul_acc_rows_scalar(a.data(), qw, ref.data(), 0, m,
+                                scratch.data());
+      Tensor got(m, n);
+      ops.q8_rows(a.data(), qw, got.data(), 0, m, scratch.data());
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        ASSERT_NEAR(ref.data()[i], got.data()[i],
+                    1e-4 * (1.0 + std::abs(ref.data()[i])))
+            << isa_name(isa) << " q8 diverged at element " << i
+            << " for shape [" << m << "," << k << "]x[" << k << "," << n
+            << "]";
+      }
+    }
+  }
+}
+
+TEST(Quant, Q8LinearAccApproximatesFp32GemmAcrossThreads) {
+  // End-to-end: the production q8 driver must approximate the fp32 GEMM to
+  // within the quantization error bound, at any pool width.
+  const ComputeThreadsGuard guard;
+  Rng rng(53);
+  const int m = 9;
+  const int k = 64;
+  const int n = 384;
+  const Tensor a = random_with_zeros(m, k, rng);
+  const Tensor w = random_with_zeros(k, n, rng);
+  const QuantizedWeights qw = QuantizedWeights::pack(w.data(), k, n);
+  Tensor ref(m, n);
+  matmul_acc(a.data(), w.data(), ref.data(), m, k, n);
+  // |c_q8 - c_fp32| <= sum_p |a_p| * maxerr; bound it loosely.
+  double a_absmax = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a_absmax = std::max(a_absmax, std::abs(static_cast<double>(a.data()[i])));
+  }
+  const double bound = a_absmax * k * (qw.max_abs_error(w.data()) + 1e-6);
+  for (const int threads : {1, 4}) {
+    set_compute_threads(threads);
+    Tensor got(m, n);
+    q8_linear_acc(a.data(), qw, got.data(), m);
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_NEAR(ref.data()[i], got.data()[i], bound)
+          << "threads=" << threads << " element " << i;
+    }
+  }
+}
+
+TEST(Model, FastModeLogitsCloseToExactAndAccounted) {
+  // --kernel fast swaps infer_lm_logits / infer_head_logits onto the
+  // grouped-int8 weights: logits drift only by quantization error, and the
+  // model reports the compression it is carrying.
+  const KernelTierGuard guard;
+  ModelConfig cfg;
+  cfg.vocab = 96;
+  cfg.d_model = 32;
+  cfg.n_layers = 1;
+  cfg.n_heads = 2;
+  cfg.d_ff = 64;
+  cfg.max_seq = 32;
+  cfg.n_medusa_heads = 2;
+  const TransformerModel m(cfg, 59);
+  Rng rng(61);
+  const Tensor hidden = Tensor::randn(5, cfg.d_model, 1.0f, rng);
+
+  set_kernel_mode(KernelMode::Exact);
+  const Tensor lm_exact = m.infer_lm_logits(hidden);
+  const Tensor h0_exact = m.infer_head_logits(hidden, 0);
+  EXPECT_EQ(m.quant_stats().matrices, 0) << "exact mode must not pack";
+
+  set_kernel_mode(KernelMode::Fast);
+  const Tensor lm_fast = m.infer_lm_logits(hidden);
+  const Tensor h0_fast = m.infer_head_logits(hidden, 0);
+  const QuantStats qs = m.quant_stats();
+  EXPECT_EQ(qs.matrices, 2) << "lm + one head weight should be packed";
+  EXPECT_LT(qs.int8_bytes, qs.fp32_bytes);
+  EXPECT_GT(qs.max_abs_error, 0.0);
+  EXPECT_LT(qs.max_abs_error, 0.05);
+
+  double lm_drift = 0.0;
+  double h0_drift = 0.0;
+  for (std::size_t i = 0; i < lm_exact.size(); ++i) {
+    lm_drift = std::max(lm_drift,
+                        std::abs(static_cast<double>(lm_exact.data()[i]) -
+                                 lm_fast.data()[i]));
+  }
+  for (std::size_t i = 0; i < h0_exact.size(); ++i) {
+    h0_drift = std::max(h0_drift,
+                        std::abs(static_cast<double>(h0_exact.data()[i]) -
+                                 h0_fast.data()[i]));
+  }
+  EXPECT_GT(lm_drift, 0.0) << "fast mode should actually engage the q8 path";
+  EXPECT_LT(lm_drift, 0.5);
+  EXPECT_LT(h0_drift, 0.5);
+}
+
+TEST(KernelDispatch, ParallelDriversBitIdenticalAcrossIsasInExactMode) {
+  // The full end-to-end exact contract: for every available ISA and pool
+  // width, the parallel.hpp drivers produce the scalar serial floats.
+  const ComputeThreadsGuard threads_guard;
+  const KernelTierGuard tier_guard;
+  set_kernel_mode(KernelMode::Exact);
+  Rng rng(67);
+  for (const KernelIsa isa : available_isas()) {
+    set_kernel_isa(isa);
+    ASSERT_EQ(dispatched_isa(), isa);
+    for (const int threads : {1, 3}) {
+      set_compute_threads(threads);
+      for (const auto& [m, k, n] : kernel_shapes()) {
+        const Tensor a = random_with_zeros(m, k, rng);
+        const Tensor b = random_with_zeros(k, n, rng);
+        Tensor ref(m, n);
+        matmul_acc(a.data(), b.data(), ref.data(), m, k, n);
+        Tensor lin(m, n);
+        linear_acc(a.data(), b.data(), lin.data(), m, k, n);
+        expect_bit_identical(ref, lin, m, k, n, isa_name(isa));
+
+        const Tensor bt = random_with_zeros(n, k, rng);
+        Tensor bt_ref(m, n);
+        matmul_bt_acc(a.data(), bt.data(), bt_ref.data(), m, k, n);
+        Tensor bt_lin(m, n);
+        linear_bt_acc(a.data(), bt.data(), bt_lin.data(), m, k, n);
+        expect_bit_identical(bt_ref, bt_lin, m, k, n, isa_name(isa));
+      }
+    }
+  }
 }
 
 TEST(Model, BatchedScoringBitIdenticalToPerRowCalls) {

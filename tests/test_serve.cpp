@@ -551,6 +551,61 @@ TEST(Scheduler, ComputeThreadsTokenParityEndToEnd) {
   EXPECT_EQ(pooled_unfused, serial);
 }
 
+TEST(Scheduler, KernelIsaNeverChangesTokensInExactMode) {
+  // The SIMD-dispatch tentpole's serving claim: with --kernel exact the
+  // dispatched ISA (scalar vs AVX2/NEON) reorders nothing within an output
+  // element, so the served T=0 tokens are bit-identical at every dispatch
+  // level — the scalar leg IS the reference, not an approximation of it.
+  struct Guard {
+    nn::KernelIsa prior_isa = nn::dispatched_isa();
+    nn::KernelMode prior_mode = nn::kernel_mode();
+    ~Guard() {
+      nn::set_kernel_isa(prior_isa);
+      nn::set_kernel_mode(prior_mode);
+    }
+  } guard;
+  const Fixture f;
+  nn::set_kernel_isa(nn::KernelIsa::Scalar);
+  const auto scalar = serve_ids(
+      f, 6, {.workers = 2, .batch = 3, .fuse = true, .kernel = nn::KernelMode::Exact},
+      nullptr);
+  for (const nn::KernelIsa isa : {nn::KernelIsa::Avx2, nn::KernelIsa::Neon}) {
+    if (!nn::kernel_isa_available(isa)) continue;
+    nn::set_kernel_isa(isa);
+    for (const bool fuse : {true, false}) {
+      ServeStats stats;
+      const auto got = serve_ids(
+          f, 6,
+          {.workers = 2, .batch = 3, .fuse = fuse, .kernel = nn::KernelMode::Exact},
+          &stats);
+      EXPECT_EQ(got, scalar) << "isa=" << nn::isa_name(isa) << " fuse=" << fuse;
+      EXPECT_EQ(stats.kernel, nn::KernelMode::Exact);
+      EXPECT_EQ(stats.isa, isa);
+      EXPECT_EQ(stats.quant.matrices, 0) << "exact mode must not pack weights";
+    }
+  }
+}
+
+TEST(Scheduler, FastKernelModeServesAndReportsCompression) {
+  // --kernel fast is allowed to drift tokens (reassociated SIMD + int8
+  // logits), but the run must complete every request and the stats must
+  // carry the compressed-weight accounting the CLI summary prints.
+  struct Guard {
+    nn::KernelMode prior = nn::kernel_mode();
+    ~Guard() { nn::set_kernel_mode(prior); }
+  } guard;
+  const Fixture f;
+  ServeStats stats;
+  const auto got = serve_ids(
+      f, 6, {.workers = 2, .batch = 3, .fuse = true, .kernel = nn::KernelMode::Fast},
+      &stats);
+  EXPECT_EQ(got.size(), 6u);
+  for (const auto& [id, ids] : got) EXPECT_FALSE(ids.empty()) << "id=" << id;
+  EXPECT_EQ(stats.kernel, nn::KernelMode::Fast);
+  EXPECT_GT(stats.quant.matrices, 0) << "fast serving never packed weights";
+  EXPECT_LT(stats.quant.int8_bytes, stats.quant.fp32_bytes);
+}
+
 TEST(Scheduler, IdleBurstIsBatchedIntoTheFirstTick) {
   // A burst that is already queued when the scheduler wakes must fill
   // every free slot before the first tick (burst admission drains the
