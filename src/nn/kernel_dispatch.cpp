@@ -18,6 +18,31 @@ namespace {
 // are reached exclusively through the tables below, after the probe said
 // the machine executes them.
 
+// kernels_simd.hpp duplicates the kdetail blocking geometry so the
+// ISA-flagged TU never includes kernels.hpp (comdat-leak hazard); keep the
+// copies in lockstep here, the one TU that sees both.
+static_assert(simd_detail::kTileRows == kdetail::kTileRows &&
+                  simd_detail::kTileCols == kdetail::kTileCols,
+              "kernels_simd.hpp tile geometry out of sync with kernels.hpp");
+
+// The SIMD q8 kernels take raw arrays (same comdat hazard: std::vector
+// accessors must not instantiate under -mavx2), so the table entries are
+// these baseline-compiled trampolines that unpack QuantizedWeights.
+#if defined(VSD_KERNELS_HAVE_AVX2)
+void q8_rows_avx2(const float* a, const QuantizedWeights& w, float* c, int i0,
+                  int i1, float* acc) {
+  simd_avx2::q8_rows(a, w.q.data(), w.scale.data(), w.zero.data(), w.k, w.n,
+                     w.group, c, i0, i1, acc);
+}
+#endif
+#if defined(VSD_KERNELS_HAVE_NEON)
+void q8_rows_neon(const float* a, const QuantizedWeights& w, float* c, int i0,
+                  int i1, float* acc) {
+  simd_neon::q8_rows(a, w.q.data(), w.scale.data(), w.zero.data(), w.k, w.n,
+                     w.group, c, i0, i1, acc);
+}
+#endif
+
 bool avx2_available() {
 #if defined(VSD_KERNELS_HAVE_AVX2)
   // FMA rides along with the AVX2 tier (the fast kernels use it), so both
@@ -85,20 +110,19 @@ constexpr KernelOps kAvx2ExactOps{
     // B^T dot products accumulate over p INSIDE one output element — any
     // SIMD sweep over p reassociates, so the exact tier keeps the scalar
     // register-tiled dots.
-    kdetail::matmul_bt_acc_tile, simd_avx2::q8_rows};
+    kdetail::matmul_bt_acc_tile, q8_rows_avx2};
 constexpr KernelOps kAvx2FastOps{
     simd_avx2::acc_rows_fast, simd_avx2::acc_tile_fast,
-    simd_avx2::acc_kouter_fast, simd_avx2::bt_tile_fast, simd_avx2::q8_rows};
+    simd_avx2::acc_kouter_fast, simd_avx2::bt_tile_fast, q8_rows_avx2};
 #endif
 
 #if defined(VSD_KERNELS_HAVE_NEON)
 constexpr KernelOps kNeonExactOps{
     simd_neon::acc_rows_exact, simd_neon::acc_tile_exact,
-    simd_neon::acc_kouter_exact, kdetail::matmul_bt_acc_tile,
-    simd_neon::q8_rows};
+    simd_neon::acc_kouter_exact, kdetail::matmul_bt_acc_tile, q8_rows_neon};
 constexpr KernelOps kNeonFastOps{
     simd_neon::acc_rows_fast, simd_neon::acc_tile_fast,
-    simd_neon::acc_kouter_fast, simd_neon::bt_tile_fast, simd_neon::q8_rows};
+    simd_neon::acc_kouter_fast, simd_neon::bt_tile_fast, q8_rows_neon};
 #endif
 
 }  // namespace

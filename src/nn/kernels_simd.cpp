@@ -1,19 +1,22 @@
 // Vectorized kernel tier (see kernels_simd.hpp for the exact/fast
 // contract).  This translation unit is compiled with the ISA flags the
-// kernels need (-mavx2 -mfma on x86) plus -ffp-contract=off: GCC lowers
-// the _mm256_mul_ps/_mm256_add_ps intrinsics to plain vector ops that
-// -ffp-contract=fast would silently fuse into FMA under -mfma — exactly
-// the single-rounding the exact tier must not do.  Explicit
-// _mm256_fmadd_ps is a distinct builtin and still emits FMA in the fast
-// tier.  Nothing here may run unless the dispatch probe selected the ISA.
+// kernels need (-mavx2 -mfma on x86); -ffp-contract=off is pinned
+// project-wide, so the exact tier's separate _mm256_mul_ps/_mm256_add_ps
+// (and vmulq/vaddq) never re-fuse into FMA, while the fast tier's
+// explicit _mm256_fmadd_ps / vfmaq_f32 builtins still emit FMA.
+//
+// Nothing here may run unless the dispatch probe selected the ISA — and
+// because the whole TU is built with ISA flags, it must not instantiate
+// any shared inline/template code (a comdat symbol emitted out-of-line
+// here could be chosen by the linker over the baseline copy and executed
+// unguarded on an older machine).  Hence: no kernels.hpp/quant.hpp/
+// <algorithm> includes, local min/fill helpers with internal linkage, raw
+// pointers at the API boundary.  std::memcpy is an extern libc call, not
+// a template, and stays.
 #include "nn/kernels_simd.hpp"
 
-#include <algorithm>
 #include <cstdint>
 #include <cstring>
-
-#include "nn/kernels.hpp"
-#include "nn/quant.hpp"
 
 #if defined(VSD_KERNELS_HAVE_AVX2)
 #include <immintrin.h>
@@ -23,6 +26,16 @@
 #endif
 
 namespace vsd::nn {
+
+namespace {
+
+inline int imin(int a, int b) { return a < b ? a : b; }
+
+inline void zero_fill(float* p, int n) {
+  for (int i = 0; i < n; ++i) p[i] = 0.0f;
+}
+
+}  // namespace
 
 #if defined(VSD_KERNELS_HAVE_AVX2)
 namespace simd_avx2 {
@@ -69,12 +82,12 @@ void acc_rows_exact(const float* a, const float* b, float* c, int k, int n,
 
 void acc_tile_exact(const float* a, const float* b, float* c, int k, int n,
                     int i0, int i1, int j0, int j1) {
-  using kdetail::kTileCols;
-  using kdetail::kTileRows;
+  using simd_detail::kTileCols;
+  using simd_detail::kTileRows;
   for (int ib = i0; ib < i1; ib += kTileRows) {
-    const int ie = std::min(i1, ib + kTileRows);
+    const int ie = imin(i1, ib + kTileRows);
     for (int jb = j0; jb < j1; jb += kTileCols) {
-      const int je = std::min(j1, jb + kTileCols);
+      const int je = imin(j1, jb + kTileCols);
       const int je8 = jb + ((je - jb) & ~7);
       for (int p = 0; p < k; ++p) {
         const float* brow = b + static_cast<std::size_t>(p) * n;
@@ -98,9 +111,9 @@ void acc_tile_exact(const float* a, const float* b, float* c, int k, int n,
 
 void acc_kouter_exact(const float* a, const float* b, float* c, int m, int k,
                       int n) {
-  using kdetail::kTileCols;
+  using simd_detail::kTileCols;
   for (int jb = 0; jb < n; jb += kTileCols) {
-    const int je = std::min(n, jb + kTileCols);
+    const int je = imin(n, jb + kTileCols);
     const int je8 = jb + ((je - jb) & ~7);
     for (int p = 0; p < k; ++p) {
       const float* brow = b + static_cast<std::size_t>(p) * n;
@@ -149,12 +162,12 @@ void acc_rows_fast(const float* a, const float* b, float* c, int k, int n,
 
 void acc_tile_fast(const float* a, const float* b, float* c, int k, int n,
                    int i0, int i1, int j0, int j1) {
-  using kdetail::kTileCols;
-  using kdetail::kTileRows;
+  using simd_detail::kTileCols;
+  using simd_detail::kTileRows;
   for (int ib = i0; ib < i1; ib += kTileRows) {
-    const int ie = std::min(i1, ib + kTileRows);
+    const int ie = imin(i1, ib + kTileRows);
     for (int jb = j0; jb < j1; jb += kTileCols) {
-      const int je = std::min(j1, jb + kTileCols);
+      const int je = imin(j1, jb + kTileCols);
       const int je8 = jb + ((je - jb) & ~7);
       for (int p = 0; p < k; ++p) {
         const float* brow = b + static_cast<std::size_t>(p) * n;
@@ -178,9 +191,9 @@ void acc_tile_fast(const float* a, const float* b, float* c, int k, int n,
 
 void acc_kouter_fast(const float* a, const float* b, float* c, int m, int k,
                      int n) {
-  using kdetail::kTileCols;
+  using simd_detail::kTileCols;
   for (int jb = 0; jb < n; jb += kTileCols) {
-    const int je = std::min(n, jb + kTileCols);
+    const int je = imin(n, jb + kTileCols);
     const int je8 = jb + ((je - jb) & ~7);
     for (int p = 0; p < k; ++p) {
       const float* brow = b + static_cast<std::size_t>(p) * n;
@@ -203,13 +216,13 @@ void acc_kouter_fast(const float* a, const float* b, float* c, int m, int k,
 
 void bt_tile_fast(const float* a, const float* b, float* c, int k, int n,
                   int i0, int i1, int j0, int j1) {
-  using kdetail::kTileRows;
+  using simd_detail::kTileRows;
   constexpr int kDotCols = 8;
   const int k8 = k & ~7;
   for (int ib = i0; ib < i1; ib += kTileRows) {
-    const int ie = std::min(i1, ib + kTileRows);
+    const int ie = imin(i1, ib + kTileRows);
     for (int jb = j0; jb < j1; jb += kDotCols) {
-      const int je = std::min(j1, jb + kDotCols);
+      const int je = imin(j1, jb + kDotCols);
       for (int i = ib; i < ie; ++i) {
         const float* arow = a + static_cast<std::size_t>(i) * k;
         float* crow = c + static_cast<std::size_t>(i) * n;
@@ -230,24 +243,23 @@ void bt_tile_fast(const float* a, const float* b, float* c, int k, int n,
   }
 }
 
-void q8_rows(const float* a, const QuantizedWeights& w, float* c, int i0,
+void q8_rows(const float* a, const std::int8_t* q, const float* scale,
+             const float* zero, int k, int n, int group, float* c, int i0,
              int i1, float* acc) {
-  const int k = w.k;
-  const int n = w.n;
   const int n8 = n & ~7;
   for (int i = i0; i < i1; ++i) {
     const float* arow = a + static_cast<std::size_t>(i) * k;
     float* crow = c + static_cast<std::size_t>(i) * n;
-    for (int g = 0; g * w.group < k; ++g) {
-      const int p0 = g * w.group;
-      const int p1 = std::min(k, p0 + w.group);
-      std::fill(acc, acc + n, 0.0f);
+    for (int g = 0; g * group < k; ++g) {
+      const int p0 = g * group;
+      const int p1 = imin(k, p0 + group);
+      zero_fill(acc, n);
       float rowsum = 0.0f;
       for (int p = p0; p < p1; ++p) {
         const float av = arow[p];
         if (av == 0.0f) continue;
         rowsum += av;
-        const std::int8_t* qrow = w.q.data() + static_cast<std::size_t>(p) * n;
+        const std::int8_t* qrow = q + static_cast<std::size_t>(p) * n;
         const __m256 vav = _mm256_set1_ps(av);
         int j = 0;
         for (; j < n8; j += 8) {
@@ -259,8 +271,8 @@ void q8_rows(const float* a, const QuantizedWeights& w, float* c, int i0,
         }
         for (; j < n; ++j) acc[j] += av * static_cast<float>(qrow[j]);
       }
-      const float* sc = w.scale.data() + static_cast<std::size_t>(g) * n;
-      const float* zr = w.zero.data() + static_cast<std::size_t>(g) * n;
+      const float* sc = scale + static_cast<std::size_t>(g) * n;
+      const float* zr = zero + static_cast<std::size_t>(g) * n;
       const __m256 vsum = _mm256_set1_ps(rowsum);
       int j = 0;
       for (; j < n8; j += 8) {
@@ -289,7 +301,8 @@ inline float hsum4(float32x4_t v) { return vaddvq_f32(v); }
 
 // NEON mirrors the AVX2 tiers 4 lanes wide.  Exact keeps separate
 // vmulq/vaddq (vfmaq fuses — same single-rounding hazard as x86 FMA);
-// -ffp-contract=off on this TU keeps the compiler from re-fusing them.
+// the project-wide -ffp-contract=off keeps the compiler from re-fusing
+// them, here AND in every TU instantiating the scalar reference.
 
 void acc_rows_exact(const float* a, const float* b, float* c, int k, int n,
                     int i0, int i1) {
@@ -313,12 +326,12 @@ void acc_rows_exact(const float* a, const float* b, float* c, int k, int n,
 
 void acc_tile_exact(const float* a, const float* b, float* c, int k, int n,
                     int i0, int i1, int j0, int j1) {
-  using kdetail::kTileCols;
-  using kdetail::kTileRows;
+  using simd_detail::kTileCols;
+  using simd_detail::kTileRows;
   for (int ib = i0; ib < i1; ib += kTileRows) {
-    const int ie = std::min(i1, ib + kTileRows);
+    const int ie = imin(i1, ib + kTileRows);
     for (int jb = j0; jb < j1; jb += kTileCols) {
-      const int je = std::min(j1, jb + kTileCols);
+      const int je = imin(j1, jb + kTileCols);
       const int je4 = jb + ((je - jb) & ~3);
       for (int p = 0; p < k; ++p) {
         const float* brow = b + static_cast<std::size_t>(p) * n;
@@ -341,9 +354,9 @@ void acc_tile_exact(const float* a, const float* b, float* c, int k, int n,
 
 void acc_kouter_exact(const float* a, const float* b, float* c, int m, int k,
                       int n) {
-  using kdetail::kTileCols;
+  using simd_detail::kTileCols;
   for (int jb = 0; jb < n; jb += kTileCols) {
-    const int je = std::min(n, jb + kTileCols);
+    const int je = imin(n, jb + kTileCols);
     const int je4 = jb + ((je - jb) & ~3);
     for (int p = 0; p < k; ++p) {
       const float* brow = b + static_cast<std::size_t>(p) * n;
@@ -385,12 +398,12 @@ void acc_rows_fast(const float* a, const float* b, float* c, int k, int n,
 
 void acc_tile_fast(const float* a, const float* b, float* c, int k, int n,
                    int i0, int i1, int j0, int j1) {
-  using kdetail::kTileCols;
-  using kdetail::kTileRows;
+  using simd_detail::kTileCols;
+  using simd_detail::kTileRows;
   for (int ib = i0; ib < i1; ib += kTileRows) {
-    const int ie = std::min(i1, ib + kTileRows);
+    const int ie = imin(i1, ib + kTileRows);
     for (int jb = j0; jb < j1; jb += kTileCols) {
-      const int je = std::min(j1, jb + kTileCols);
+      const int je = imin(j1, jb + kTileCols);
       const int je4 = jb + ((je - jb) & ~3);
       for (int p = 0; p < k; ++p) {
         const float* brow = b + static_cast<std::size_t>(p) * n;
@@ -413,9 +426,9 @@ void acc_tile_fast(const float* a, const float* b, float* c, int k, int n,
 
 void acc_kouter_fast(const float* a, const float* b, float* c, int m, int k,
                      int n) {
-  using kdetail::kTileCols;
+  using simd_detail::kTileCols;
   for (int jb = 0; jb < n; jb += kTileCols) {
-    const int je = std::min(n, jb + kTileCols);
+    const int je = imin(n, jb + kTileCols);
     const int je4 = jb + ((je - jb) & ~3);
     for (int p = 0; p < k; ++p) {
       const float* brow = b + static_cast<std::size_t>(p) * n;
@@ -437,13 +450,13 @@ void acc_kouter_fast(const float* a, const float* b, float* c, int m, int k,
 
 void bt_tile_fast(const float* a, const float* b, float* c, int k, int n,
                   int i0, int i1, int j0, int j1) {
-  using kdetail::kTileRows;
+  using simd_detail::kTileRows;
   constexpr int kDotCols = 8;
   const int k4 = k & ~3;
   for (int ib = i0; ib < i1; ib += kTileRows) {
-    const int ie = std::min(i1, ib + kTileRows);
+    const int ie = imin(i1, ib + kTileRows);
     for (int jb = j0; jb < j1; jb += kDotCols) {
-      const int je = std::min(j1, jb + kDotCols);
+      const int je = imin(j1, jb + kDotCols);
       for (int i = ib; i < ie; ++i) {
         const float* arow = a + static_cast<std::size_t>(i) * k;
         float* crow = c + static_cast<std::size_t>(i) * n;
@@ -463,24 +476,23 @@ void bt_tile_fast(const float* a, const float* b, float* c, int k, int n,
   }
 }
 
-void q8_rows(const float* a, const QuantizedWeights& w, float* c, int i0,
+void q8_rows(const float* a, const std::int8_t* q, const float* scale,
+             const float* zero, int k, int n, int group, float* c, int i0,
              int i1, float* acc) {
-  const int k = w.k;
-  const int n = w.n;
   const int n4 = n & ~3;
   for (int i = i0; i < i1; ++i) {
     const float* arow = a + static_cast<std::size_t>(i) * k;
     float* crow = c + static_cast<std::size_t>(i) * n;
-    for (int g = 0; g * w.group < k; ++g) {
-      const int p0 = g * w.group;
-      const int p1 = std::min(k, p0 + w.group);
-      std::fill(acc, acc + n, 0.0f);
+    for (int g = 0; g * group < k; ++g) {
+      const int p0 = g * group;
+      const int p1 = imin(k, p0 + group);
+      zero_fill(acc, n);
       float rowsum = 0.0f;
       for (int p = p0; p < p1; ++p) {
         const float av = arow[p];
         if (av == 0.0f) continue;
         rowsum += av;
-        const std::int8_t* qrow = w.q.data() + static_cast<std::size_t>(p) * n;
+        const std::int8_t* qrow = q + static_cast<std::size_t>(p) * n;
         const float32x4_t vav = vdupq_n_f32(av);
         int j = 0;
         for (; j < n4; j += 4) {
@@ -492,8 +504,8 @@ void q8_rows(const float* a, const QuantizedWeights& w, float* c, int i0,
         }
         for (; j < n; ++j) acc[j] += av * static_cast<float>(qrow[j]);
       }
-      const float* sc = w.scale.data() + static_cast<std::size_t>(g) * n;
-      const float* zr = w.zero.data() + static_cast<std::size_t>(g) * n;
+      const float* sc = scale + static_cast<std::size_t>(g) * n;
+      const float* zr = zero + static_cast<std::size_t>(g) * n;
       const float32x4_t vsum = vdupq_n_f32(rowsum);
       int j = 0;
       for (; j < n4; j += 4) {

@@ -2,12 +2,14 @@
 // (kernel_dispatch.hpp).  Two tiers per ISA:
 //
 //   * exact — vectorizes ACROSS output elements only (each SIMD lane owns
-//     a distinct c[i][j]), with separate multiply and add (the build has
-//     no global -mffp-contract, so the scalar reference rounds mul then
-//     add — an FMA here would single-round and diverge) and the scalar
-//     reference's exact-zero skip.  Per element the p loop is untouched:
-//     bit-identical to kernels.hpp for every shape, which is what lets
-//     exact mode dispatch to AVX2/NEON without breaking T=0 token parity.
+//     a distinct c[i][j]), with separate multiply and add (the build pins
+//     -ffp-contract=off project-wide — see the top-level CMakeLists — so
+//     the scalar reference also rounds mul then add on every target,
+//     including aarch64 where default contraction would fuse into fmla)
+//     and the scalar reference's exact-zero skip.  Per element the p loop
+//     is untouched: bit-identical to kernels.hpp for every shape, which is
+//     what lets exact mode dispatch to AVX2/NEON without breaking T=0
+//     token parity.
 //
 //   * fast — FMA contraction plus within-element reassociation: the B^T
 //     dot products vectorize over p with an 8-wide accumulator and a
@@ -19,20 +21,39 @@
 // The AVX2 translation unit is compiled with -mavx2 -mfma (per-file CMake
 // option) and holds ONLY functions reached through the dispatch table
 // after the CPUID probe — nothing here may run unguarded on a non-AVX2
-// machine.
+// machine.  For the same reason the TU must not instantiate any shared
+// inline/template code (std::vector members, <algorithm> helpers, the
+// kernels.hpp inline references): a comdat symbol emitted out-of-line
+// under -mavx2 could be picked by the linker over the baseline copy and
+// then executed unguarded.  So these entry points take only raw pointers
+// and ints — kernel_dispatch.cpp (baseline-compiled) unpacks
+// QuantizedWeights before crossing into this TU.
 #pragma once
+
+#include <cstdint>
 
 #if (defined(__x86_64__) || defined(__i386__)) && \
     (defined(__GNUC__) || defined(__clang__))
 #define VSD_KERNELS_HAVE_AVX2 1
 #endif
-#if defined(__ARM_NEON)
+// AArch64 only: the kernels use A64-only intrinsics (vaddvq_f32), and
+// NEON there is baseline so the tier needs no runtime probe.  32-bit ARM
+// (armv7/armhf) falls back to the scalar kernels.
+#if defined(__aarch64__) && defined(__ARM_NEON)
 #define VSD_KERNELS_HAVE_NEON 1
 #endif
 
 namespace vsd::nn {
 
-struct QuantizedWeights;
+namespace simd_detail {
+
+// Blocking geometry, duplicated from kdetail so this header pulls in no
+// shared inline code (see the comdat note above).  kernel_dispatch.cpp
+// includes both headers and static_asserts the values stay in sync.
+inline constexpr int kTileRows = 8;
+inline constexpr int kTileCols = 256;
+
+}  // namespace simd_detail
 
 #if defined(VSD_KERNELS_HAVE_AVX2)
 namespace simd_avx2 {
@@ -54,7 +75,10 @@ void acc_kouter_fast(const float* a, const float* b, float* c, int m, int k,
                      int n);
 void bt_tile_fast(const float* a, const float* b, float* c, int k, int n,
                   int i0, int i1, int j0, int j1);
-void q8_rows(const float* a, const QuantizedWeights& w, float* c, int i0,
+/// Grouped-int8 rows kernel over the unpacked QuantizedWeights arrays:
+/// q is [k, n] row-major codes, scale/zero are [groups, n].
+void q8_rows(const float* a, const std::int8_t* q, const float* scale,
+             const float* zero, int k, int n, int group, float* c, int i0,
              int i1, float* acc);
 
 }  // namespace simd_avx2
@@ -78,7 +102,8 @@ void acc_kouter_fast(const float* a, const float* b, float* c, int m, int k,
                      int n);
 void bt_tile_fast(const float* a, const float* b, float* c, int k, int n,
                   int i0, int i1, int j0, int j1);
-void q8_rows(const float* a, const QuantizedWeights& w, float* c, int i0,
+void q8_rows(const float* a, const std::int8_t* q, const float* scale,
+             const float* zero, int k, int n, int group, float* c, int i0,
              int i1, float* acc);
 
 }  // namespace simd_neon

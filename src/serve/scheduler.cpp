@@ -50,6 +50,14 @@ ServeStats Scheduler::run(const CheckedCompletion& on_complete) {
   // Assert the run's kernel policy before any forward pass: the mode is
   // process-global (like the compute pool), so every tick's GEMMs — the
   // fused stacked pass and per-slot stages alike — execute one tier.
+  // Because it is process-global, concurrent runs in one process are NOT
+  // supported (see SchedulerOptions::kernel); the ambient mode is restored
+  // when run() returns so a sequential caller (e.g. an eval baseline pass
+  // after a serve run) keeps its own tier.
+  struct ModeGuard {
+    nn::KernelMode prior = nn::kernel_mode();
+    ~ModeGuard() { nn::set_kernel_mode(prior); }
+  } mode_guard;
   nn::set_kernel_mode(opts_.kernel);
 
   struct Slot {

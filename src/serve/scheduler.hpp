@@ -129,11 +129,16 @@ struct SchedulerOptions {
   std::vector<CheckStage> checks{};
   // Kernel policy for the run (`vsd serve --kernel exact|fast`), asserted
   // process-wide at run start so every tick's GEMMs — fused and per-slot
-  // alike — execute the same tier.  Defaults to the ambient mode ($VSD_KERNEL
-  // or exact).  `exact` keeps T=0 token parity for every dispatched ISA;
-  // `fast` opts the scoring passes into FMA/reassociated SIMD and the
-  // grouped-int8 logit weights (nn/quant.hpp), and the summary's `kernel`
-  // block reports the compression stats alongside the dispatched ISA.
+  // alike — execute the same tier; run() restores the ambient mode on
+  // return.  The mode is process-global state, so at most one run() may be
+  // in flight per process at a time — two concurrent schedulers would flip
+  // each other's tier mid-tick.  Defaults to the ambient mode at options
+  // construction ($VSD_KERNEL or exact); a later nn::set_kernel_mode() does
+  // NOT affect an already-constructed options struct — set this field.
+  // `exact` keeps T=0 token parity for every dispatched ISA; `fast` opts
+  // the scoring passes into FMA/reassociated SIMD and the grouped-int8
+  // logit weights (nn/quant.hpp), and the summary's `kernel` block reports
+  // the compression stats alongside the dispatched ISA.
   nn::KernelMode kernel = nn::kernel_mode();
 };
 
